@@ -1,0 +1,334 @@
+//! The aligners compared in Table 9.
+//!
+//! An alignment maps each node `u ∈ V1` to a candidate set `A_u ⊆ V2`
+//! (possibly empty). `FSimχ` aligns via `A_u = argmax_v FSimχ(u, v)`;
+//! the baselines reproduce the core mechanisms of k-bisimulation, Olap
+//! (bisimulation partitions), GSA-NA (global structural signatures), FINAL
+//! (iterative attributed similarity) and EWS (seed percolation).
+
+use fsim_core::{compute, FsimConfig};
+use fsim_exact::kbisim::{bisimulation_partition_depth, kbisim_signatures_joint};
+use fsim_graph::hash::FxHasher;
+use fsim_graph::{pair_key, FxHashMap, Graph, GraphBuilder, NodeId};
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// `alignment[u] = A_u`: candidate set in `V2` for every node of `V1`.
+pub type Alignment = Vec<Vec<NodeId>>;
+
+/// FSimχ aligner: `A_u = argmax_v FSimχ(u, v)` (all `v` tied within
+/// `1e-9` of the row maximum).
+pub fn fsim_align(g1: &Graph, g2: &Graph, cfg: &FsimConfig) -> Alignment {
+    let result = compute(g1, g2, cfg).expect("valid config");
+    result.argmax_rows(g1.node_count(), 1e-9)
+}
+
+/// k-bisimulation aligner: `A_u = {v : sigᵏ(u) = sigᵏ(v)}`.
+pub fn kbisim_align(g1: &Graph, g2: &Graph, k: usize) -> Alignment {
+    let (s1, s2) = kbisim_signatures_joint(g1, g2, k);
+    let mut by_sig: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
+    for (v, &sig) in s2.iter().enumerate() {
+        by_sig.entry(sig).or_default().push(v as u32);
+    }
+    s1.iter().map(|sig| by_sig.get(sig).cloned().unwrap_or_default()).collect()
+}
+
+/// Olap-like aligner (Buneman & Staworko): depth-bounded bisimulation
+/// partition of the *disjoint union* of both graphs; nodes in the same
+/// block align. The depth cap (3 rounds) keeps blocks non-trivial on
+/// churned inputs — full refinement would shatter them into per-graph
+/// singletons and align nothing.
+pub fn olap_align(g1: &Graph, g2: &Graph) -> Alignment {
+    // Build the disjoint union with a shared interner.
+    let interner = fsim_graph::LabelInterner::shared();
+    let mut b = GraphBuilder::with_interner(Arc::clone(&interner));
+    for u in g1.nodes() {
+        b.add_node(&g1.label_str(u));
+    }
+    let offset = g1.node_count() as u32;
+    for v in g2.nodes() {
+        b.add_node(&g2.label_str(v));
+    }
+    for (u, v) in g1.edges() {
+        b.add_edge(u, v);
+    }
+    for (u, v) in g2.edges() {
+        b.add_edge(u + offset, v + offset);
+    }
+    let union = b.build();
+    let (classes, _, _) = bisimulation_partition_depth(&union, true, 3);
+    let mut by_class: FxHashMap<u32, Vec<NodeId>> = FxHashMap::default();
+    for v in 0..g2.node_count() as u32 {
+        by_class.entry(classes[(v + offset) as usize]).or_default().push(v);
+    }
+    (0..g1.node_count())
+        .map(|u| by_class.get(&classes[u]).cloned().unwrap_or_default())
+        .collect()
+}
+
+fn structural_signature(g: &Graph, u: NodeId) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(g.label_str(u).as_bytes());
+    h.write_usize(g.out_degree(u));
+    h.write_usize(g.in_degree(u));
+    let mut neigh: Vec<u64> = g
+        .out_neighbors(u)
+        .iter()
+        .map(|&n| {
+            let mut nh = FxHasher::default();
+            nh.write(g.label_str(n).as_bytes());
+            nh.finish()
+        })
+        .collect();
+    neigh.sort_unstable();
+    for x in neigh {
+        h.write_u64(x);
+    }
+    h.finish()
+}
+
+/// GSA-NA-like aligner: global structural signature (label, degrees,
+/// sorted out-neighbor labels) equality classes. Brittle under churn —
+/// exactly the behaviour Table 9 reports.
+pub fn gsa_na_align(g1: &Graph, g2: &Graph) -> Alignment {
+    let mut by_sig: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
+    for v in g2.nodes() {
+        by_sig.entry(structural_signature(g2, v)).or_default().push(v);
+    }
+    g1.nodes()
+        .map(|u| by_sig.get(&structural_signature(g1, u)).cloned().unwrap_or_default())
+        .collect()
+}
+
+/// FINAL-like aligner (Zhang & Tong): iterative attributed similarity
+/// `S ← (1 − α)·H + α·(neighbor-averaged S)` with `H` = label consistency,
+/// aligned by row argmax. Dense `|V1| × |V2|` computation.
+pub fn final_align(g1: &Graph, g2: &Graph, alpha: f64, iters: usize) -> Alignment {
+    let (n1, n2) = (g1.node_count(), g2.node_count());
+    let h: Vec<f64> = (0..n1 as u32)
+        .flat_map(|u| {
+            let g1l = g1.label_str(u);
+            (0..n2 as u32)
+                .map(move |v| if *g1l == *g2.label_str(v) { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut s = h.clone();
+    let mut next = vec![0.0f64; n1 * n2];
+    for _ in 0..iters {
+        for u in 0..n1 as u32 {
+            for v in 0..n2 as u32 {
+                let mut acc = 0.0;
+                let mut terms = 0.0;
+                let (no1, no2) = (g1.out_neighbors(u), g2.out_neighbors(v));
+                if !no1.is_empty() && !no2.is_empty() {
+                    let mut sum = 0.0;
+                    for &a in no1 {
+                        for &b in no2 {
+                            sum += s[a as usize * n2 + b as usize];
+                        }
+                    }
+                    acc += sum / (no1.len() * no2.len()) as f64;
+                    terms += 1.0;
+                }
+                let (ni1, ni2) = (g1.in_neighbors(u), g2.in_neighbors(v));
+                if !ni1.is_empty() && !ni2.is_empty() {
+                    let mut sum = 0.0;
+                    for &a in ni1 {
+                        for &b in ni2 {
+                            sum += s[a as usize * n2 + b as usize];
+                        }
+                    }
+                    acc += sum / (ni1.len() * ni2.len()) as f64;
+                    terms += 1.0;
+                }
+                let neighbor_term = if terms > 0.0 { acc / terms } else { 0.0 };
+                next[u as usize * n2 + v as usize] =
+                    (1.0 - alpha) * h[u as usize * n2 + v as usize] + alpha * neighbor_term;
+            }
+        }
+        std::mem::swap(&mut s, &mut next);
+    }
+    argmax_rows(&s, n1, n2, 1e-9)
+}
+
+fn argmax_rows(s: &[f64], n1: usize, n2: usize, tie_eps: f64) -> Alignment {
+    (0..n1)
+        .map(|u| {
+            let row = &s[u * n2..(u + 1) * n2];
+            let best = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if best <= 0.0 {
+                return Vec::new();
+            }
+            row.iter()
+                .enumerate()
+                .filter(|(_, &x)| x >= best - tie_eps)
+                .map(|(v, _)| v as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// EWS-like aligner (Kazemi et al., "growing a graph matching from a
+/// handful of seeds"): percolation from seed pairs — each matched pair
+/// spreads witness marks to neighboring pairs; the unmatched pair with the
+/// most marks (≥ `min_marks`) is matched next. Like the original
+/// percolation matcher, it is *structure-only*: labels are ignored, which
+/// is where its errors come from on labeled graphs.
+pub fn ews_align(
+    g1: &Graph,
+    g2: &Graph,
+    seeds: &[(NodeId, NodeId)],
+    min_marks: usize,
+) -> Alignment {
+    let mut matched1: Vec<Option<NodeId>> = vec![None; g1.node_count()];
+    let mut matched2: Vec<bool> = vec![false; g2.node_count()];
+    let mut marks: FxHashMap<u64, usize> = FxHashMap::default();
+
+    let commit = |u: NodeId,
+                      v: NodeId,
+                      matched1: &mut Vec<Option<NodeId>>,
+                      matched2: &mut Vec<bool>,
+                      marks: &mut FxHashMap<u64, usize>| {
+        matched1[u as usize] = Some(v);
+        matched2[v as usize] = true;
+        for (s1, s2) in [
+            (g1.out_neighbors(u), g2.out_neighbors(v)),
+            (g1.in_neighbors(u), g2.in_neighbors(v)),
+        ] {
+            for &a in s1 {
+                for &b in s2 {
+                    if matched1[a as usize].is_none() && !matched2[b as usize] {
+                        *marks.entry(pair_key(a, b)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    };
+
+    for &(u, v) in seeds {
+        if matched1[u as usize].is_none() && !matched2[v as usize] {
+            commit(u, v, &mut matched1, &mut matched2, &mut marks);
+        }
+    }
+    loop {
+        // Deterministic best candidate: most marks, smallest pair.
+        let mut best: Option<(usize, u64)> = None;
+        for (&key, &m) in &marks {
+            let (a, b) = fsim_graph::unpack_pair(key);
+            if m < min_marks || matched1[a as usize].is_some() || matched2[b as usize] {
+                continue;
+            }
+            if best.map(|(bm, bk)| m > bm || (m == bm && key < bk)).unwrap_or(true) {
+                best = Some((m, key));
+            }
+        }
+        let Some((_, key)) = best else { break };
+        let (a, b) = fsim_graph::unpack_pair(key);
+        commit(a, b, &mut matched1, &mut matched2, &mut marks);
+    }
+    matched1
+        .into_iter()
+        .map(|m| m.map(|v| vec![v]).unwrap_or_default())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_core::Variant;
+    use fsim_graph::graph_from_parts;
+    use fsim_labels::LabelFn;
+
+    /// Two copies of the same small graph: every aligner should nail it.
+    fn twin() -> (Graph, Graph) {
+        let labels = ["a", "b", "c", "d"];
+        let edges = [(0, 1), (1, 2), (2, 3), (0, 3)];
+        (graph_from_parts(&labels, &edges), graph_from_parts(&labels, &edges))
+    }
+
+    fn correct(a: &Alignment) -> usize {
+        a.iter().enumerate().filter(|(u, row)| row.contains(&(*u as u32))).count()
+    }
+
+    #[test]
+    fn fsim_align_identical_graphs() {
+        let (g1, g2) = twin();
+        let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator);
+        let a = fsim_align(&g1, &g2, &cfg);
+        assert_eq!(correct(&a), 4);
+    }
+
+    #[test]
+    fn kbisim_align_identical_graphs() {
+        let (g1, g2) = twin();
+        let a = kbisim_align(&g1, &g2, 3);
+        assert_eq!(correct(&a), 4);
+    }
+
+    #[test]
+    fn olap_align_identical_graphs() {
+        let (g1, g2) = twin();
+        let a = olap_align(&g1, &g2);
+        assert_eq!(correct(&a), 4);
+    }
+
+    #[test]
+    fn gsa_na_align_identical_graphs() {
+        let (g1, g2) = twin();
+        let a = gsa_na_align(&g1, &g2);
+        assert_eq!(correct(&a), 4);
+    }
+
+    #[test]
+    fn final_align_identical_graphs() {
+        let (g1, g2) = twin();
+        let a = final_align(&g1, &g2, 0.5, 10);
+        assert_eq!(correct(&a), 4);
+    }
+
+    #[test]
+    fn ews_percolates_from_one_seed() {
+        let (g1, g2) = twin();
+        let a = ews_align(&g1, &g2, &[(0, 0)], 1);
+        assert_eq!(correct(&a), 4);
+    }
+
+    #[test]
+    fn kbisim_collapses_on_uniform_labels() {
+        // All-same-label star: k-bisimulation cannot tell leaves apart, so
+        // candidate sets are large (low precision) — the Table-9 weakness.
+        let g1 = graph_from_parts(&["x"; 4], &[(0, 1), (0, 2), (0, 3)]);
+        let g2 = graph_from_parts(&["x"; 4], &[(0, 1), (0, 2), (0, 3)]);
+        let a = kbisim_align(&g1, &g2, 2);
+        assert_eq!(a[1].len(), 3, "leaves are indistinguishable");
+    }
+
+    #[test]
+    fn fsim_align_survives_edge_churn() {
+        // Remove one edge from g2: exact partition methods degrade, FSim
+        // still ranks the true counterpart top-1 for most nodes.
+        let g1 = graph_from_parts(
+            &["a", "b", "c", "d", "e"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        );
+        let g2 = graph_from_parts(
+            &["a", "b", "c", "d", "e"],
+            &[(0, 1), (1, 2), (2, 3), (3, 4)], // (0,4) dropped
+        );
+        let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator);
+        let a = fsim_align(&g1, &g2, &cfg);
+        assert!(correct(&a) >= 4, "got {}", correct(&a));
+        // Olap on the union must fail for the perturbed node pair.
+        let o = olap_align(&g1, &g2);
+        assert!(correct(&o) < 5);
+    }
+
+    #[test]
+    fn ews_respects_min_marks() {
+        let (g1, g2) = twin();
+        // With an absurd witness threshold nothing beyond seeds matches.
+        let a = ews_align(&g1, &g2, &[(0, 0)], 10);
+        assert_eq!(correct(&a), 1);
+    }
+}

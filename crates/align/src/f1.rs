@@ -1,0 +1,68 @@
+//! The alignment F1 of §5.4 (Table 9):
+//! `F1 = Σ_u 2·P_u·R_u / (|V1|·(P_u + R_u))` with `P_u = 1/|A_u|` and
+//! `R_u = 1` when `A_u` contains the ground truth, both 0 otherwise.
+
+use crate::aligners::Alignment;
+use fsim_graph::NodeId;
+
+/// Alignment F1. `ground_truth[u] = None` marks nodes with no counterpart
+/// (e.g. deleted during evolution); they can never score.
+pub fn alignment_f1(alignment: &Alignment, ground_truth: &[Option<NodeId>]) -> f64 {
+    assert_eq!(alignment.len(), ground_truth.len(), "alignment / ground-truth length mismatch");
+    if alignment.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (a_u, gt) in alignment.iter().zip(ground_truth) {
+        let Some(gt) = gt else { continue };
+        if a_u.contains(gt) {
+            let p = 1.0 / a_u.len() as f64;
+            total += 2.0 * p / (p + 1.0);
+        }
+    }
+    total / alignment.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_singleton_alignment_is_one() {
+        let a: Alignment = vec![vec![0], vec![1], vec![2]];
+        let gt = vec![Some(0), Some(1), Some(2)];
+        assert!((alignment_f1(&a, &gt) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_candidate_sets_dilute_precision() {
+        let tight: Alignment = vec![vec![0]];
+        let loose: Alignment = vec![vec![0, 1, 2, 3]];
+        let gt = vec![Some(0)];
+        let f_tight = alignment_f1(&tight, &gt);
+        let f_loose = alignment_f1(&loose, &gt);
+        assert_eq!(f_tight, 1.0);
+        // P = 1/4 → 2·(1/4)/(1/4 + 1) = 0.4
+        assert!((f_loose - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_or_empty_sets_score_zero() {
+        let a: Alignment = vec![vec![5], vec![]];
+        let gt = vec![Some(0), Some(1)];
+        assert_eq!(alignment_f1(&a, &gt), 0.0);
+    }
+
+    #[test]
+    fn deleted_nodes_never_score() {
+        let a: Alignment = vec![vec![0], vec![0]];
+        let gt = vec![Some(0), None];
+        assert!((alignment_f1(&a, &gt) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        alignment_f1(&vec![vec![0]], &[Some(0), Some(1)]);
+    }
+}

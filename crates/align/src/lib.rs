@@ -1,0 +1,17 @@
+//! # fsim-align
+//!
+//! The graph-alignment case study of §5.4 (Table 9): the FSimχ aligner and
+//! re-implementations of the baselines' core mechanisms (k-bisimulation,
+//! Olap's bisimulation partitions, GSA-NA's structural signatures, FINAL's
+//! iterative attributed similarity, EWS's seed percolation), plus the
+//! paper's alignment-F1 metric.
+
+#![warn(missing_docs)]
+
+pub mod aligners;
+pub mod f1;
+
+pub use aligners::{
+    ews_align, final_align, fsim_align, gsa_na_align, kbisim_align, olap_align, Alignment,
+};
+pub use f1::alignment_f1;

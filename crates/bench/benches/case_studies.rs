@@ -1,0 +1,43 @@
+//! §5.4 efficiency bench: per-query pattern matching and end-to-end
+//! alignment (the paper's "Efficiency Evaluation" paragraph).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsim_align::fsim_align;
+use fsim_core::{FsimConfig, Variant};
+use fsim_datasets::evolving::{evolve, Churn};
+use fsim_datasets::copurchase;
+use fsim_graph::generate::{preferential, GeneratorConfig};
+use fsim_labels::LabelFn;
+use fsim_patmatch::{extract_query, fsim_match, strong_sim_match, tspan_match};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn case_studies(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let data = copurchase(300, 40, 3);
+    let case = extract_query(&data, 8, &mut rng).expect("query");
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+
+    let mut group = c.benchmark_group("case_studies");
+    group.sample_size(10);
+    group.bench_function("patmatch_fsim_per_query", |b| {
+        b.iter(|| fsim_match(&case.query, &data, &cfg))
+    });
+    group.bench_function("patmatch_strongsim_per_query", |b| {
+        b.iter(|| strong_sim_match(&case.query, &data))
+    });
+    group.bench_function("patmatch_tspan3_per_query", |b| {
+        b.iter(|| tspan_match(&case.query, &data, 3))
+    });
+
+    let g1 = preferential(&GeneratorConfig::new(200, 500, 8), &mut rng);
+    let (g2, _) = evolve(&g1, Churn::default(), &mut rng);
+    let align_cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+    group.bench_function("alignment_fsimb_end_to_end", |b| {
+        b.iter(|| fsim_align(&g1, &g2, &align_cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, case_studies);
+criterion_main!(benches);

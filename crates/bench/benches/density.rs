@@ -1,0 +1,32 @@
+//! Figure 9(b) bench: FSimbj{ub, θ=1} running time vs density multiplier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_bench::bench_nell;
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_graph::noise::densify;
+use fsim_labels::LabelFn;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn density(c: &mut Criterion) {
+    let base = bench_nell(0.08);
+    let mut group = c.benchmark_group("fig9b_density");
+    group.sample_size(10);
+    for factor in [1.0, 10.0, 25.0, 50.0] {
+        let mut rng = ChaCha8Rng::seed_from_u64(factor as u64);
+        let g = densify(&base, factor, &mut rng);
+        let cfg = FsimConfig::new(Variant::Bijective)
+            .label_fn(LabelFn::Indicator)
+            .theta(1.0)
+            .upper_bound(0.0, 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("x{factor:.0}")),
+            &cfg,
+            |b, cfg| b.iter(|| compute(&g, &g, cfg).expect("valid config")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, density);
+criterion_main!(benches);

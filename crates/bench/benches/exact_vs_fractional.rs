@@ -1,0 +1,31 @@
+//! Ablation bench: exact fixpoint χ-simulation versus the fractional
+//! engine (the paper's remark that FSim costs more than the yes/no check
+//! but returns usable scores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_bench::bench_nell;
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_exact::{simulation_relation, ExactVariant};
+use fsim_labels::LabelFn;
+
+fn exact_vs_fractional(c: &mut Criterion) {
+    let g = bench_nell(0.08);
+    let mut group = c.benchmark_group("exact_vs_fractional");
+    group.sample_size(10);
+    for (name, variant, exact) in [
+        ("s", Variant::Simple, ExactVariant::Simple),
+        ("bj", Variant::Bijective, ExactVariant::Bijective),
+    ] {
+        group.bench_with_input(BenchmarkId::new("exact", name), &exact, |b, &e| {
+            b.iter(|| simulation_relation(&g, &g, e))
+        });
+        let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+        group.bench_with_input(BenchmarkId::new("fractional", name), &cfg, |b, cfg| {
+            b.iter(|| compute(&g, &g, cfg).expect("valid config"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exact_vs_fractional);
+criterion_main!(benches);

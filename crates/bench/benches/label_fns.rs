@@ -1,0 +1,47 @@
+//! Ablation bench (Table 5 companion): cost of the three label functions,
+//! both raw string evaluation and prepared-table lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_graph::LabelInterner;
+use fsim_labels::{Indicator, JaroWinkler, LabelFn, LabelSim, NormalizedEditDistance};
+
+fn label_fns(c: &mut Criterion) {
+    let samples = ["concept:athlete", "concept:coach", "concept:sportsteam", "agent", "person"];
+    let mut group = c.benchmark_group("label_fns_raw");
+    let fns: [(&str, &dyn LabelSim); 3] = [
+        ("indicator", &Indicator),
+        ("edit-distance", &NormalizedEditDistance),
+        ("jaro-winkler", &JaroWinkler::default()),
+    ];
+    for (name, f) in fns {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for a in samples {
+                    for bb in samples {
+                        acc += f.sim(a, bb);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("label_fns_prepare");
+    let interner = LabelInterner::new();
+    for i in 0..200 {
+        interner.intern(&format!("concept:thing{i}"));
+    }
+    for (name, lf) in
+        [("edit-distance", LabelFn::EditDistance), ("jaro-winkler", LabelFn::JaroWinkler)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &lf, |b, lf| {
+            b.iter(|| lf.prepare(&interner))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, label_fns);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8 bench: FSimbj with each optimization combination
+//! ({}, {ub}, {θ=1}, {ub,θ=1}) on representative dataset surrogates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_datasets::DatasetSpec;
+use fsim_labels::LabelFn;
+
+fn optimizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_optimizations");
+    group.sample_size(10);
+    for name in ["Yeast", "NELL", "GP"] {
+        let g = DatasetSpec::by_name(name).expect("spec").generate_scaled(0.1, 42);
+        let configs: [(&str, FsimConfig); 4] = [
+            ("plain", FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator)),
+            (
+                "ub",
+                FsimConfig::new(Variant::Bijective)
+                    .label_fn(LabelFn::Indicator)
+                    .upper_bound(0.0, 0.5),
+            ),
+            (
+                "theta1",
+                FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator).theta(1.0),
+            ),
+            (
+                "ub+theta1",
+                FsimConfig::new(Variant::Bijective)
+                    .label_fn(LabelFn::Indicator)
+                    .theta(1.0)
+                    .upper_bound(0.0, 0.5),
+            ),
+        ];
+        for (label, cfg) in configs {
+            group.bench_with_input(BenchmarkId::new(name, label), &cfg, |b, cfg| {
+                b.iter(|| compute(&g, &g, cfg).expect("valid config"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, optimizations);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 7 bench: FSimχ running time vs θ, per variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_bench::bench_nell;
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_labels::LabelFn;
+
+fn theta_sweep(c: &mut Criterion) {
+    let g = bench_nell(0.1);
+    let mut group = c.benchmark_group("fig7_theta_sweep");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        for theta in [0.0, 0.6, 1.0] {
+            let cfg = FsimConfig::new(variant).label_fn(LabelFn::JaroWinkler).theta(theta);
+            group.bench_with_input(
+                BenchmarkId::new(variant.short_name(), format!("theta={theta}")),
+                &cfg,
+                |b, cfg| b.iter(|| compute(&g, &g, cfg).expect("valid config")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, theta_sweep);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 9(a) bench: FSimbj{ub, θ=1} running time vs thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_bench::bench_nell;
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_labels::LabelFn;
+
+fn threads(c: &mut Criterion) {
+    let g = bench_nell(0.25);
+    let mut group = c.benchmark_group("fig9a_threads");
+    group.sample_size(10);
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    for t in [1usize, 2, 4, 8, 16, 32] {
+        if t > max * 2 {
+            continue;
+        }
+        let cfg = FsimConfig::new(Variant::Bijective)
+            .label_fn(LabelFn::Indicator)
+            .theta(1.0)
+            .upper_bound(0.0, 0.5)
+            .threads(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &cfg, |b, cfg| {
+            b.iter(|| compute(&g, &g, cfg).expect("valid config"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, threads);
+criterion_main!(benches);

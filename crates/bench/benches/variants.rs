@@ -1,0 +1,26 @@
+//! Table 2 / §4 cost-analysis bench: per-variant engine cost at equal
+//! workloads (s and b are `O(d²)` per pair; dp and bj pay the extra
+//! `O(d² log d²)` matching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_bench::bench_nell;
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_labels::LabelFn;
+
+fn variants(c: &mut Criterion) {
+    let g = bench_nell(0.1);
+    let mut group = c.benchmark_group("variants");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.short_name()),
+            &cfg,
+            |b, cfg| b.iter(|| compute(&g, &g, cfg).expect("valid config")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, variants);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # fsim-bench
+//!
+//! Shared workload builders for the Criterion benches. Each bench target
+//! regenerates one timing figure of the paper (see DESIGN.md §3) or an
+//! ablation of a design choice (greedy vs Hungarian mapping, label
+//! functions, exact vs fractional computation).
+
+use fsim_datasets::DatasetSpec;
+use fsim_graph::Graph;
+
+/// A small NELL-like graph sized for statistical benching (criterion runs
+/// each measurement many times).
+pub fn bench_nell(extra: f64) -> Graph {
+    DatasetSpec::by_name("NELL").expect("spec").generate_scaled(extra, 42)
+}
+
+/// A small ACMCit-like graph.
+pub fn bench_acmcit(extra: f64) -> Graph {
+    DatasetSpec::by_name("ACMCit").expect("spec").generate_scaled(extra, 42)
+}

@@ -1,0 +1,261 @@
+//! Candidate-pair enumeration (Algorithm 1, Line 1) and the static upper
+//! bound of §3.4.
+//!
+//! Three regimes:
+//! * default (θ = 0, no pruning): all `|V1| × |V2|` pairs, dense index;
+//! * θ-pruning: only pairs with `L(u, v) ≥ θ` (joined per label bucket);
+//! * upper-bound pruning: additionally drop pairs with `ub(u, v) ≤ β`,
+//!   remembering `α·ub` for dropped pairs when `α > 0`.
+
+use crate::config::FsimConfig;
+use crate::operators::{OpCtx, Operator};
+use crate::store::{Fallback, PairIndex, PairStore};
+use fsim_graph::{pair_key, FxHashMap, Graph, NodeId};
+
+/// The static upper bound of Equation 6:
+/// `ub(u,v) = λ⁺ + λ⁻ + (1 − w⁺ − w⁻)·L(u,v)` with
+/// `λˢ = wˢ·|Mχ|/Ωχ` (full weight when the neighbor condition is vacuous).
+pub fn static_upper_bound<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    u: NodeId,
+    v: NodeId,
+) -> f64 {
+    let lambda = |s1: &[NodeId], s2: &[NodeId], w: f64| -> f64 {
+        if op.vacuous(s1.len(), s2.len()) {
+            return w;
+        }
+        let omega = op.omega(s1.len(), s2.len());
+        if omega <= 0.0 {
+            return 0.0;
+        }
+        w * op.map_size(ctx, s1, s2) as f64 / omega
+    };
+    let out = lambda(g1.out_neighbors(u), g2.out_neighbors(v), cfg.w_out);
+    let inn = lambda(g1.in_neighbors(u), g2.in_neighbors(v), cfg.w_in);
+    out + inn + cfg.w_label() * ctx.label_sim(u, v)
+}
+
+/// Enumerates the maintained candidate pairs for `cfg`.
+pub fn enumerate_candidates<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+) -> PairStore {
+    let base: Vec<(NodeId, NodeId)> = if cfg.theta > 0.0 {
+        theta_candidates(g1, g2, ctx, cfg.theta)
+    } else {
+        (0..g1.node_count() as u32)
+            .flat_map(|u| (0..g2.node_count() as u32).map(move |v| (u, v)))
+            .collect()
+    };
+
+    match cfg.upper_bound {
+        None => {
+            let full = g1.node_count() * g2.node_count();
+            if cfg.theta > 0.0 && base.len() < full {
+                sparse_store(base, Fallback::Zero)
+            } else {
+                // θ = 0, or θ-filtering kept everything (e.g. a permissive
+                // label function): the dense row-major index applies.
+                let mut pairs = base;
+                pairs.sort_unstable();
+                PairStore {
+                    pairs,
+                    index: PairIndex::Dense { n2: g2.node_count() as u32 },
+                    fallback: Fallback::Zero,
+                }
+            }
+        }
+        Some(ub_cfg) => {
+            // The bound evaluation is embarrassingly parallel over the
+            // candidate pairs; chunk it across the configured workers.
+            let threads = cfg.threads.min((base.len() / 4096).max(1));
+            let chunk = base.len().div_ceil(threads).max(1);
+            let results: Vec<(Vec<(NodeId, NodeId)>, Vec<(u64, f32)>)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = base
+                        .chunks(chunk)
+                        .map(|slice| {
+                            scope.spawn(move |_| {
+                                let mut kept = Vec::new();
+                                let mut dropped = Vec::new();
+                                for &(u, v) in slice {
+                                    let ub = static_upper_bound(g1, g2, ctx, cfg, op, u, v);
+                                    if ub > ub_cfg.beta {
+                                        kept.push((u, v));
+                                    } else if ub_cfg.alpha > 0.0 {
+                                        dropped
+                                            .push((pair_key(u, v), (ub_cfg.alpha * ub) as f32));
+                                    }
+                                }
+                                (kept, dropped)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("ub worker")).collect()
+                })
+                .expect("ub scope");
+            let mut kept = Vec::new();
+            let mut dropped: FxHashMap<u64, f32> = FxHashMap::default();
+            for (k, d) in results {
+                kept.extend(k);
+                dropped.extend(d);
+            }
+            if cfg.theta <= 0.0 && kept.len() == g1.node_count() * g2.node_count() {
+                // The bound pruned nothing: keep the dense fast path
+                // instead of paying hashed lookups for a full cross
+                // product.
+                kept.sort_unstable();
+                return PairStore {
+                    pairs: kept,
+                    index: PairIndex::Dense { n2: g2.node_count() as u32 },
+                    fallback: Fallback::AlphaUb(dropped),
+                };
+            }
+            sparse_store(kept, Fallback::AlphaUb(dropped))
+        }
+    }
+}
+
+fn sparse_store(mut pairs: Vec<(NodeId, NodeId)>, fallback: Fallback) -> PairStore {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+    map.reserve(pairs.len());
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        map.insert(pair_key(u, v), i as u32);
+    }
+    PairStore { pairs, index: PairIndex::Sparse(map), fallback }
+}
+
+/// Pairs with `L(u, v) ≥ θ`, enumerated per label-bucket pair so that the
+/// common indicator/θ=1 case costs `Σ_l |bucket1(l)|·|bucket2(l)|` instead of
+/// `|V1|·|V2|`.
+fn theta_candidates(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    theta: f64,
+) -> Vec<(NodeId, NodeId)> {
+    let buckets1 = g1.label_buckets();
+    let buckets2 = g2.label_buckets();
+    let used1 = g1.used_labels();
+    let used2 = g2.used_labels();
+    let mut pairs = Vec::new();
+    for &l1 in &used1 {
+        for &l2 in &used2 {
+            if ctx.label_eval.sim(l1, l2) >= theta {
+                for &u in &buckets1[l1.index()] {
+                    for &v in &buckets2[l2.index()] {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FsimConfig, Variant};
+    use crate::operators::{LabelEval, VariantOp};
+    use fsim_graph::{GraphBuilder, LabelInterner};
+    use fsim_labels::LabelFn;
+    use std::sync::Arc;
+
+    fn two_graphs() -> (Graph, Graph) {
+        let i = LabelInterner::shared();
+        let mut b1 = GraphBuilder::with_interner(Arc::clone(&i));
+        let a = b1.add_node("A");
+        let b = b1.add_node("B");
+        b1.add_edge(a, b);
+        let mut b2 = GraphBuilder::with_interner(i);
+        let x = b2.add_node("A");
+        let y = b2.add_node("B");
+        let z = b2.add_node("C");
+        b2.add_edge(x, y);
+        b2.add_edge(x, z);
+        (b1.build(), b2.build())
+    }
+
+    fn ctx<'a>(g1: &'a Graph, g2: &'a Graph, eval: &'a LabelEval, theta: f64) -> OpCtx<'a> {
+        OpCtx { labels1: g1.labels(), labels2: g2.labels(), label_eval: eval, theta }
+    }
+
+    #[test]
+    fn default_enumeration_is_dense_cross_product() {
+        let (g1, g2) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple);
+        let c = ctx(&g1, &g2, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        let store = enumerate_candidates(&g1, &g2, &c, &cfg, &op);
+        assert_eq!(store.len(), 6);
+        assert!(matches!(store.index, PairIndex::Dense { .. }));
+    }
+
+    #[test]
+    fn theta_one_keeps_same_label_pairs_only() {
+        let (g1, g2) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple).theta(1.0);
+        let c = ctx(&g1, &g2, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        let store = enumerate_candidates(&g1, &g2, &c, &cfg, &op);
+        // A–A and B–B only.
+        assert_eq!(store.pairs, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn upper_bound_is_a_valid_bound_at_one_for_equal_pairs() {
+        let (g1, _) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple);
+        let c = ctx(&g1, &g1, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        // A node compared to itself must have ub = 1.
+        for u in g1.nodes() {
+            let ub = static_upper_bound(&g1, &g1, &c, &cfg, &op, u, u);
+            assert!((ub - 1.0).abs() < 1e-9, "ub({u},{u}) = {ub}");
+        }
+    }
+
+    #[test]
+    fn beta_pruning_drops_low_bound_pairs() {
+        let (g1, g2) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple).upper_bound(0.2, 0.99);
+        let c = ctx(&g1, &g2, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        let store = enumerate_candidates(&g1, &g2, &c, &cfg, &op);
+        assert!(store.len() < 6, "beta=0.99 should prune something");
+        match &store.fallback {
+            Fallback::AlphaUb(map) => {
+                assert_eq!(map.len() + store.len(), 6, "alpha>0 stores every dropped pair")
+            }
+            Fallback::Zero => panic!("expected AlphaUb fallback"),
+        }
+    }
+
+    #[test]
+    fn alpha_zero_stores_nothing_for_dropped() {
+        let (g1, g2) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple).upper_bound(0.0, 0.99);
+        let c = ctx(&g1, &g2, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        let store = enumerate_candidates(&g1, &g2, &c, &cfg, &op);
+        match &store.fallback {
+            Fallback::AlphaUb(map) => assert!(map.is_empty()),
+            Fallback::Zero => panic!("expected AlphaUb fallback"),
+        }
+    }
+}

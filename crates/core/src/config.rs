@@ -1,0 +1,350 @@
+//! Configuration of an `FSimχ` computation.
+
+use fsim_labels::LabelFn;
+
+/// The four χ-simulation variants of Definition 2 / Definition 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Simple simulation (χ = s): no extra constraint.
+    Simple,
+    /// Degree-preserving simulation (χ = dp): injective neighbor mapping.
+    DegreePreserving,
+    /// Bisimulation (χ = b): converse invariant.
+    Bi,
+    /// Bijective simulation (χ = bj, new in the paper): injective *and*
+    /// converse invariant.
+    Bijective,
+}
+
+impl Variant {
+    /// All variants in the paper's order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Simple,
+        Variant::DegreePreserving,
+        Variant::Bi,
+        Variant::Bijective,
+    ];
+
+    /// Whether the variant requires an injective neighbor mapping
+    /// (Figure 3(a), "IN-mapping").
+    pub fn in_mapping(self) -> bool {
+        matches!(self, Variant::DegreePreserving | Variant::Bijective)
+    }
+
+    /// Whether the variant has the converse-invariant property
+    /// (Figure 3(a)); such variants yield symmetric fractional scores (P3).
+    pub fn converse_invariant(self) -> bool {
+        matches!(self, Variant::Bi | Variant::Bijective)
+    }
+
+    /// The paper's short name (`s`, `dp`, `b`, `bj`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Variant::Simple => "s",
+            Variant::DegreePreserving => "dp",
+            Variant::Bi => "b",
+            Variant::Bijective => "bj",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// How the label term of Equation 1 (and the mapping label-constraint of
+/// Remark 2) evaluates label pairs.
+#[derive(Debug, Clone)]
+pub enum LabelTermMode {
+    /// Evaluate the configured [`LabelFn`] on the two label strings
+    /// (the paper's default).
+    Sim,
+    /// A constant value for *every* pair — used by the SimRank (`0`) and
+    /// RoleSim (`1`) configurations of §4.3.
+    Constant(f64),
+}
+
+/// Initialization `FSim⁰` (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitScheme {
+    /// `FSim⁰(u, v) = L(u, v)` — the paper's default.
+    LabelSim,
+    /// `1` iff `u == v` (SimRank configuration; assumes `G1 = G2`).
+    Identity,
+    /// `min(d⁺(u), d⁺(v)) / max(d⁺(u), d⁺(v))` (RoleSim configuration;
+    /// `1` when both degrees are 0).
+    OutDegreeRatio,
+    /// A constant.
+    Constant(f64),
+}
+
+/// Upper-bound updating (§3.4): maintain only pairs whose static upper
+/// bound exceeds `beta`; absent pairs read as `alpha × upper-bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpperBoundPruning {
+    /// Approximation ratio `α ∈ [0, 1)` substituted for pruned pairs.
+    pub alpha: f64,
+    /// Pruning threshold `β ∈ [0, 1]`.
+    pub beta: f64,
+}
+
+/// Which assignment algorithm implements the injective mapping operators
+/// `M_dp` / `M_bj`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// Greedy 1/2-approximation (the paper's choice, §4.2).
+    Greedy,
+    /// Exact Hungarian — `O(n³)`; for ablation studies.
+    Hungarian,
+}
+
+/// Full configuration of an `FSimχ` computation.
+#[derive(Debug, Clone)]
+pub struct FsimConfig {
+    /// Simulation variant χ.
+    pub variant: Variant,
+    /// Weight `w⁺` of the out-neighbor term.
+    pub w_out: f64,
+    /// Weight `w⁻` of the in-neighbor term.
+    pub w_in: f64,
+    /// Label-constrained mapping threshold θ (Remark 2). `0` disables.
+    pub theta: f64,
+    /// Convergence threshold ε: stop when `max |Δ| < ε`.
+    pub epsilon: f64,
+    /// Iteration cap; defaults to the Corollary-1 bound
+    /// `⌈log_{w⁺+w⁻} ε⌉` when `None`.
+    pub max_iters: Option<usize>,
+    /// The label function `L(·)`.
+    pub label_fn: LabelFn,
+    /// Label-term evaluation mode.
+    pub label_term: LabelTermMode,
+    /// Score initialization.
+    pub init: InitScheme,
+    /// Optional upper-bound pruning (§3.4).
+    pub upper_bound: Option<UpperBoundPruning>,
+    /// Worker threads for the iterative update (≥ 1).
+    pub threads: usize,
+    /// Injective-mapping algorithm.
+    pub matcher: MatcherKind,
+    /// Pin `FSim(u, u) = 1` for equal ids (SimRank's fixed diagonal;
+    /// meaningful only when both graphs are the same graph).
+    pub pin_identical: bool,
+}
+
+impl FsimConfig {
+    /// The paper's default experimental setting for a variant:
+    /// `w⁺ = w⁻ = 0.4` (`w* = 0.2`), `θ = 0`, `ε = 0.01`, Jaro–Winkler
+    /// initialization, greedy matcher, single thread.
+    pub fn new(variant: Variant) -> Self {
+        Self {
+            variant,
+            w_out: 0.4,
+            w_in: 0.4,
+            theta: 0.0,
+            epsilon: 0.01,
+            max_iters: None,
+            label_fn: LabelFn::JaroWinkler,
+            label_term: LabelTermMode::Sim,
+            init: InitScheme::LabelSim,
+            upper_bound: None,
+            threads: 1,
+            matcher: MatcherKind::Greedy,
+            pin_identical: false,
+        }
+    }
+
+    /// Sets both neighbor weights (builder style).
+    pub fn weights(mut self, w_out: f64, w_in: f64) -> Self {
+        self.w_out = w_out;
+        self.w_in = w_in;
+        self
+    }
+
+    /// Sets θ.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the label function.
+    pub fn label_fn(mut self, f: LabelFn) -> Self {
+        self.label_fn = f;
+        self
+    }
+
+    /// Enables upper-bound pruning.
+    pub fn upper_bound(mut self, alpha: f64, beta: f64) -> Self {
+        self.upper_bound = Some(UpperBoundPruning { alpha, beta });
+        self
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// The label-term weight `w* = 1 − w⁺ − w⁻`.
+    pub fn w_label(&self) -> f64 {
+        1.0 - self.w_out - self.w_in
+    }
+
+    /// The Corollary-1 iteration bound `⌈log_{w⁺+w⁻} ε⌉` (falls back to 1
+    /// when the weights make the bound degenerate).
+    pub fn iteration_bound(&self) -> usize {
+        let w = self.w_out + self.w_in;
+        if w <= 0.0 || w >= 1.0 || self.epsilon <= 0.0 || self.epsilon >= 1.0 {
+            return 1;
+        }
+        (self.epsilon.ln() / w.ln()).ceil().max(1.0) as usize
+    }
+
+    /// Effective iteration cap.
+    pub fn effective_max_iters(&self) -> usize {
+        self.max_iters.unwrap_or_else(|| self.iteration_bound())
+    }
+
+    /// Validates the constraints of §3.2 (`0 ≤ w⁺ < 1`, `0 ≤ w⁻ < 1`,
+    /// `0 < w⁺ + w⁻ < 1`) plus parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..1.0).contains(&self.w_out) || !(0.0..1.0).contains(&self.w_in) {
+            return Err(ConfigError::WeightRange { w_out: self.w_out, w_in: self.w_in });
+        }
+        let w = self.w_out + self.w_in;
+        if !(w > 0.0 && w < 1.0) {
+            return Err(ConfigError::WeightSum { sum: w });
+        }
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(ConfigError::Theta { theta: self.theta });
+        }
+        if self.epsilon <= 0.0 && self.max_iters.is_none() {
+            return Err(ConfigError::Epsilon { epsilon: self.epsilon });
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::Threads);
+        }
+        if let Some(ub) = self.upper_bound {
+            if !(0.0..1.0).contains(&ub.alpha) || !(0.0..=1.0).contains(&ub.beta) {
+                return Err(ConfigError::UpperBound { alpha: ub.alpha, beta: ub.beta });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration validation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A weight fell outside `[0, 1)`.
+    WeightRange {
+        /// Offending `w⁺`.
+        w_out: f64,
+        /// Offending `w⁻`.
+        w_in: f64,
+    },
+    /// `w⁺ + w⁻` fell outside `(0, 1)`.
+    WeightSum {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// θ outside `[0, 1]`.
+    Theta {
+        /// The offending θ.
+        theta: f64,
+    },
+    /// ε must be positive unless an explicit iteration cap is given.
+    Epsilon {
+        /// The offending ε.
+        epsilon: f64,
+    },
+    /// Thread count must be ≥ 1.
+    Threads,
+    /// Upper-bound parameters out of range (`α ∈ [0,1)`, `β ∈ [0,1]`).
+    UpperBound {
+        /// The offending α.
+        alpha: f64,
+        /// The offending β.
+        beta: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::WeightRange { w_out, w_in } => {
+                write!(f, "weights must be in [0,1): w+={w_out}, w-={w_in}")
+            }
+            ConfigError::WeightSum { sum } => {
+                write!(f, "w+ + w- must lie in (0,1), got {sum}")
+            }
+            ConfigError::Theta { theta } => write!(f, "theta must be in [0,1], got {theta}"),
+            ConfigError::Epsilon { epsilon } => {
+                write!(f, "epsilon must be > 0 (or set max_iters), got {epsilon}")
+            }
+            ConfigError::Threads => write!(f, "thread count must be >= 1"),
+            ConfigError::UpperBound { alpha, beta } => {
+                write!(f, "upper-bound params out of range: alpha={alpha}, beta={beta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        for v in Variant::ALL {
+            assert!(FsimConfig::new(v).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn weight_sum_must_be_strictly_inside_unit_interval() {
+        let c = FsimConfig::new(Variant::Simple).weights(0.5, 0.5);
+        assert!(matches!(c.validate(), Err(ConfigError::WeightSum { .. })));
+        let c = FsimConfig::new(Variant::Simple).weights(0.0, 0.0);
+        assert!(matches!(c.validate(), Err(ConfigError::WeightSum { .. })));
+        let c = FsimConfig::new(Variant::Simple).weights(0.0, 0.8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn iteration_bound_matches_corollary1() {
+        let c = FsimConfig::new(Variant::Simple); // w = 0.8, eps = 0.01
+        // log_0.8(0.01) ≈ 20.6 → 21
+        assert_eq!(c.iteration_bound(), 21);
+    }
+
+    #[test]
+    fn properties_table_of_figure3a() {
+        assert!(!Variant::Simple.in_mapping() && !Variant::Simple.converse_invariant());
+        assert!(Variant::DegreePreserving.in_mapping());
+        assert!(!Variant::DegreePreserving.converse_invariant());
+        assert!(!Variant::Bi.in_mapping() && Variant::Bi.converse_invariant());
+        assert!(Variant::Bijective.in_mapping() && Variant::Bijective.converse_invariant());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(FsimConfig::new(Variant::Bi).theta(1.5).validate().is_err());
+        assert!(FsimConfig::new(Variant::Bi).threads(0).validate().is_err());
+        assert!(FsimConfig::new(Variant::Bi).upper_bound(1.0, 0.5).validate().is_err());
+        let mut c = FsimConfig::new(Variant::Bi);
+        c.epsilon = 0.0;
+        assert!(c.validate().is_err());
+        c.max_iters = Some(5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn w_label_complements_weights() {
+        let c = FsimConfig::new(Variant::Simple).weights(0.3, 0.5);
+        assert!((c.w_label() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,487 @@
+//! The iterative `FSimχ` engine (Algorithm 1): initialization, the
+//! per-iteration update of Equation 3, convergence control (Theorem 1 /
+//! Corollary 1), and the multi-threaded execution of §3.4.
+
+use crate::candidates::enumerate_candidates;
+use crate::config::{ConfigError, FsimConfig, InitScheme, LabelTermMode, Variant};
+use crate::operators::{LabelEval, OpCtx, Operator, OpScratch, VariantOp};
+use crate::result::FsimResult;
+use crate::store::PairStore;
+use fsim_graph::{Graph, LabelId, LabelInterner, NodeId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Computes `FSimχ` scores between all maintained node pairs of
+/// `(g1, g2)` for the variant selected in `cfg`.
+///
+/// This is the main entry point of the framework. `g1 == g2` (the same
+/// graph passed twice) is explicitly allowed, matching footnote 2 of the
+/// paper.
+pub fn compute(g1: &Graph, g2: &Graph, cfg: &FsimConfig) -> Result<FsimResult, ConfigError> {
+    let op = VariantOp { variant: cfg.variant, matcher: cfg.matcher };
+    compute_with_operator(g1, g2, cfg, &op)
+}
+
+/// Computes fractional simulation with a custom [`Operator`] — the
+/// "configure the framework" path of §4 (e.g. [`crate::operators::SimRankOp`]
+/// or user-defined variants).
+pub fn compute_with_operator<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    cfg: &FsimConfig,
+    op: &O,
+) -> Result<FsimResult, ConfigError> {
+    cfg.validate()?;
+    let aligned = AlignedLabels::new(g1, g2);
+    let label_eval = build_label_eval(cfg, &aligned.interner);
+    let ctx = OpCtx {
+        labels1: &aligned.labels1,
+        labels2: &aligned.labels2,
+        label_eval: &label_eval,
+        theta: cfg.theta,
+    };
+
+    let store = enumerate_candidates(g1, g2, &ctx, cfg, op);
+    if store.is_empty() {
+        return Ok(FsimResult::new(store, Vec::new(), 0, true, 0.0));
+    }
+
+    let mut prev = initialize(&store, &ctx, cfg, g1, g2);
+    let mut cur = vec![0.0f64; prev.len()];
+    let max_iters = cfg.effective_max_iters();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut delta = f64::INFINITY;
+    while iterations < max_iters {
+        delta = run_iteration(g1, g2, &ctx, cfg, op, &store, &prev, &mut cur);
+        std::mem::swap(&mut prev, &mut cur);
+        iterations += 1;
+        if delta < cfg.epsilon {
+            converged = true;
+            break;
+        }
+    }
+    Ok(FsimResult::new(store, prev, iterations, converged, delta))
+}
+
+/// One-shot re-evaluation of Equation 3 for an arbitrary pair against a
+/// finished result — used to query pairs that were pruned from the
+/// maintained set (their converged value is one update step away).
+pub fn score_on_demand(
+    g1: &Graph,
+    g2: &Graph,
+    cfg: &FsimConfig,
+    result: &FsimResult,
+    u: NodeId,
+    v: NodeId,
+) -> f64 {
+    if let Some(s) = result.get(u, v) {
+        return s;
+    }
+    let op = VariantOp { variant: cfg.variant, matcher: cfg.matcher };
+    let aligned = AlignedLabels::new(g1, g2);
+    let label_eval = build_label_eval(cfg, &aligned.interner);
+    let ctx = OpCtx {
+        labels1: &aligned.labels1,
+        labels2: &aligned.labels2,
+        label_eval: &label_eval,
+        theta: cfg.theta,
+    };
+    let view = result.view();
+    let mut scratch = OpScratch::new();
+    pair_update(g1, g2, &ctx, cfg, &op, u, v, &view, &mut scratch)
+}
+
+/// Label arrays of both graphs expressed in one shared interner.
+///
+/// When the graphs already share an interner (the recommended construction)
+/// this is a cheap copy; otherwise both label vocabularies are merged.
+struct AlignedLabels {
+    labels1: Vec<LabelId>,
+    labels2: Vec<LabelId>,
+    interner: Arc<LabelInterner>,
+}
+
+impl AlignedLabels {
+    fn new(g1: &Graph, g2: &Graph) -> Self {
+        if Arc::ptr_eq(g1.interner(), g2.interner()) {
+            return Self {
+                labels1: g1.labels().to_vec(),
+                labels2: g2.labels().to_vec(),
+                interner: Arc::clone(g1.interner()),
+            };
+        }
+        let merged = LabelInterner::shared();
+        let remap = |g: &Graph| -> Vec<LabelId> {
+            let table: Vec<LabelId> =
+                g.interner().all().iter().map(|s| merged.intern(s)).collect();
+            g.labels().iter().map(|l| table[l.index()]).collect()
+        };
+        let labels1 = remap(g1);
+        let labels2 = remap(g2);
+        Self { labels1, labels2, interner: merged }
+    }
+}
+
+fn build_label_eval(cfg: &FsimConfig, interner: &LabelInterner) -> LabelEval {
+    match &cfg.label_term {
+        LabelTermMode::Sim => LabelEval::Sim(cfg.label_fn.prepare(interner)),
+        LabelTermMode::Constant(c) => LabelEval::Constant(*c),
+    }
+}
+
+fn initialize(
+    store: &PairStore,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    g1: &Graph,
+    g2: &Graph,
+) -> Vec<f64> {
+    store
+        .pairs
+        .iter()
+        .map(|&(u, v)| match cfg.init {
+            InitScheme::LabelSim => ctx.label_sim(u, v),
+            InitScheme::Identity => {
+                if u == v {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            InitScheme::OutDegreeRatio => {
+                let (a, b) = (g1.out_degree(u), g2.out_degree(v));
+                let (lo, hi) = (a.min(b), a.max(b));
+                if hi == 0 {
+                    1.0
+                } else {
+                    lo as f64 / hi as f64
+                }
+            }
+            InitScheme::Constant(c) => c,
+        })
+        .collect()
+}
+
+/// Equation 3 for a single pair.
+#[allow(clippy::too_many_arguments)]
+fn pair_update<O: Operator, S: crate::operators::ScoreLookup>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    u: NodeId,
+    v: NodeId,
+    prev: &S,
+    scratch: &mut OpScratch,
+) -> f64 {
+    if cfg.pin_identical && u == v {
+        return 1.0;
+    }
+    let out = op.term(ctx, g1.out_neighbors(u), g2.out_neighbors(v), prev, scratch);
+    let inn = op.term(ctx, g1.in_neighbors(u), g2.in_neighbors(v), prev, scratch);
+    let label = ctx.label_sim(u, v);
+    let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
+    // Scores are mathematically confined to [0, 1]; clamp floating drift.
+    score.clamp(0.0, 1.0)
+}
+
+/// Runs one full iteration over the maintained pairs; returns
+/// `Δ = max |FSim^k − FSim^{k−1}|`.
+#[allow(clippy::too_many_arguments)]
+fn run_iteration<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    store: &PairStore,
+    prev: &[f64],
+    cur: &mut [f64],
+) -> f64 {
+    let view = store.view(prev);
+    // Auto-degrade the worker count on small worklists: per-iteration
+    // thread spawns would otherwise dominate (each worker should own at
+    // least a few thousand pairs to amortize).
+    let threads = cfg.threads.min((store.len() / 2048).max(1));
+    if threads <= 1 {
+        let mut scratch = OpScratch::new();
+        let mut delta = 0.0f64;
+        for (slot, &(u, v)) in store.pairs.iter().enumerate() {
+            let s = pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch);
+            let d = (s - prev[slot]).abs();
+            if d > delta {
+                delta = d;
+            }
+            cur[slot] = s;
+        }
+        return delta;
+    }
+    let cfg = &{
+        let mut c = cfg.clone();
+        c.threads = threads;
+        c
+    };
+
+    // Parallel path: the current-iteration buffer is split into disjoint
+    // chunks handed out through a work queue, so threads never alias and the
+    // result is bitwise identical to the sequential path (each pair's score
+    // depends only on `prev`).
+    let chunk_size = (store.len() / (cfg.threads * 8)).max(256);
+    let mut work: Vec<(usize, &mut [f64])> = Vec::new();
+    {
+        let mut rest = cur;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_size.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            work.push((start, head));
+            start += take;
+            rest = tail;
+        }
+    }
+    let queue = Mutex::new(work);
+    let global_delta = Mutex::new(0.0f64);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..cfg.threads {
+            scope.spawn(|_| {
+                let mut scratch = OpScratch::new();
+                let mut local_delta = 0.0f64;
+                loop {
+                    let item = queue.lock().pop();
+                    let Some((start, chunk)) = item else { break };
+                    for (off, slot_score) in chunk.iter_mut().enumerate() {
+                        let slot = start + off;
+                        let (u, v) = store.pairs[slot];
+                        let s = pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch);
+                        let d = (s - prev[slot]).abs();
+                        if d > local_delta {
+                            local_delta = d;
+                        }
+                        *slot_score = s;
+                    }
+                }
+                let mut g = global_delta.lock();
+                if local_delta > *g {
+                    *g = local_delta;
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let d = *global_delta.lock();
+    d
+}
+
+/// Convenience: computes all four variants of Table 2 for a pair list.
+pub fn all_variants(
+    g1: &Graph,
+    g2: &Graph,
+    base_cfg: &FsimConfig,
+) -> Result<[(Variant, FsimResult); 4], ConfigError> {
+    let mk = |variant: Variant| -> Result<(Variant, FsimResult), ConfigError> {
+        let mut cfg = base_cfg.clone();
+        cfg.variant = variant;
+        Ok((variant, compute(g1, g2, &cfg)?))
+    };
+    Ok([
+        mk(Variant::Simple)?,
+        mk(Variant::DegreePreserving)?,
+        mk(Variant::Bi)?,
+        mk(Variant::Bijective)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatcherKind;
+    use fsim_graph::examples::figure1;
+    use fsim_graph::graph_from_parts;
+    use fsim_labels::LabelFn;
+
+    fn cfg(variant: Variant) -> FsimConfig {
+        FsimConfig::new(variant).label_fn(LabelFn::Indicator)
+    }
+
+    #[test]
+    fn trivial_identical_graphs_score_one_on_diagonal() {
+        let g = graph_from_parts(&["a", "b", "c"], &[(0, 1), (1, 2)]);
+        for v in Variant::ALL {
+            let mut c = cfg(v);
+            c.matcher = MatcherKind::Hungarian;
+            let r = compute(&g, &g, &c).unwrap();
+            for u in g.nodes() {
+                let s = r.get(u, u).unwrap();
+                assert!((s - 1.0).abs() < 1e-9, "variant {v}: FSim({u},{u}) = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_table2_check_pattern() {
+        let f = figure1();
+        // Expected exact-simulation pattern from Table 2 (✓ = score 1).
+        let expected: [(Variant, [bool; 4]); 4] = [
+            (Variant::Simple, [false, true, true, true]),
+            (Variant::DegreePreserving, [false, false, true, true]),
+            (Variant::Bi, [false, true, false, true]),
+            (Variant::Bijective, [false, false, false, true]),
+        ];
+        for (variant, row) in expected {
+            let mut c = cfg(variant);
+            c.matcher = MatcherKind::Hungarian; // exact mapping ⇒ exact P2
+            let r = compute(&f.pattern, &f.data, &c).unwrap();
+            for (i, &should_be_one) in row.iter().enumerate() {
+                let s = r.get(f.u, f.v[i]).unwrap();
+                if should_be_one {
+                    assert!((s - 1.0).abs() < 1e-9, "{variant}: (u,v{}) = {s}, want 1", i + 1);
+                } else {
+                    assert!(s < 1.0 - 1e-9, "{variant}: (u,v{}) = {s}, want < 1", i + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_fractional_scores_are_ordered_like_table2() {
+        let f = figure1();
+        let r = compute(&f.pattern, &f.data, &cfg(Variant::Bijective)).unwrap();
+        let scores: Vec<f64> = f.v.iter().map(|&v| r.get(f.u, v).unwrap()).collect();
+        // Table 2 row bj: 0.72 < 0.81 < 0.94 < 1.00 — monotone towards v4.
+        assert!(scores[0] < scores[1]);
+        assert!(scores[1] < scores[2]);
+        assert!(scores[2] < scores[3]);
+    }
+
+    #[test]
+    fn scores_lie_in_unit_interval() {
+        let f = figure1();
+        for v in Variant::ALL {
+            let r = compute(&f.pattern, &f.data, &cfg(v)).unwrap();
+            for (_, _, s) in r.iter_pairs() {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn bi_and_bijective_are_symmetric_p3() {
+        // P3: converse-invariant variants must be symmetric. Compare
+        // FSim(G1→G2) with FSim(G2→G1) transposed.
+        let f = figure1();
+        for variant in [Variant::Bi, Variant::Bijective] {
+            let c = cfg(variant);
+            let fwd = compute(&f.pattern, &f.data, &c).unwrap();
+            let bwd = compute(&f.data, &f.pattern, &c).unwrap();
+            for u in f.pattern.nodes() {
+                for v in f.data.nodes() {
+                    let a = fwd.get(u, v).unwrap();
+                    let b = bwd.get(v, u).unwrap();
+                    assert!((a - b).abs() < 1e-9, "{variant}: asym at ({u},{v}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let f = figure1();
+        for variant in Variant::ALL {
+            let seq = compute(&f.pattern, &f.data, &cfg(variant)).unwrap();
+            let par = compute(&f.pattern, &f.data, &cfg(variant).threads(4)).unwrap();
+            assert_eq!(seq.pair_count(), par.pair_count());
+            for ((u1, v1, s1), (u2, v2, s2)) in seq.iter_pairs().zip(par.iter_pairs()) {
+                assert_eq!((u1, v1), (u2, v2));
+                assert_eq!(s1, s2, "{variant}: parallel diverged at ({u1},{v1})");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_within_corollary1_bound() {
+        let f = figure1();
+        let c = cfg(Variant::Simple);
+        let r = compute(&f.pattern, &f.data, &c).unwrap();
+        assert!(r.converged, "must converge within ⌈log_w ε⌉ iterations");
+        assert!(r.iterations <= c.iteration_bound());
+    }
+
+    #[test]
+    fn delta_shrinks_geometrically() {
+        // Theorem 1: Δ_{k+1} ≤ (w⁺+w⁻) Δ_k. Run with increasing caps and
+        // check the reported deltas decrease.
+        let f = figure1();
+        let mut prev_delta = f64::INFINITY;
+        for k in 1..=6 {
+            let mut c = cfg(Variant::Bi);
+            c.max_iters = Some(k);
+            c.epsilon = 1e-12;
+            let r = compute(&f.pattern, &f.data, &c).unwrap();
+            assert!(
+                r.final_delta <= prev_delta + 1e-12,
+                "delta grew at k={k}: {} > {prev_delta}",
+                r.final_delta
+            );
+            prev_delta = r.final_delta;
+        }
+    }
+
+    #[test]
+    fn theta_pruning_keeps_scores_close() {
+        let f = figure1();
+        let full = compute(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        let pruned = compute(&f.pattern, &f.data, &cfg(Variant::Simple).theta(1.0)).unwrap();
+        assert!(pruned.pair_count() < full.pair_count());
+        // Maintained pairs still score within [0,1] and exact pairs stay 1.
+        let s = pruned.get(f.u, f.v[3]).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_pruning_is_sound() {
+        let f = figure1();
+        let full = compute(&f.pattern, &f.data, &cfg(Variant::Bijective)).unwrap();
+        let mut c = cfg(Variant::Bijective).upper_bound(0.0, 0.5);
+        c.theta = 0.0;
+        let pruned = compute(&f.pattern, &f.data, &c).unwrap();
+        // Every pair the pruned run keeps must have a full-run score no
+        // larger than its upper bound; in particular (u, v4) must stay 1.
+        assert!((pruned.get(f.u, f.v[3]).unwrap() - 1.0).abs() < 1e-9);
+        assert!(pruned.pair_count() <= full.pair_count());
+    }
+
+    #[test]
+    fn score_on_demand_serves_pruned_pairs() {
+        let f = figure1();
+        let c = cfg(Variant::Simple).theta(1.0);
+        let r = compute(&f.pattern, &f.data, &c).unwrap();
+        // A cross-label pair is pruned but can still be evaluated on demand.
+        let hex_in_pattern = 1u32; // first hex child of u
+        assert_eq!(r.get(hex_in_pattern, f.v[0]), None);
+        let s = score_on_demand(&f.pattern, &f.data, &c, &r, hex_in_pattern, f.v[0]);
+        assert!((0.0..=1.0).contains(&s));
+        // Maintained pairs are returned as stored.
+        let direct = r.get(f.u, f.v[3]).unwrap();
+        assert_eq!(score_on_demand(&f.pattern, &f.data, &c, &r, f.u, f.v[3]), direct);
+    }
+
+    #[test]
+    fn separate_interners_are_merged() {
+        let g1 = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let g2 = graph_from_parts(&["a", "b"], &[(0, 1)]); // different interner
+        let r = compute(&g1, &g2, &cfg(Variant::Simple)).unwrap();
+        assert!((r.get(0, 0).unwrap() - 1.0).abs() < 1e-9);
+        assert!((r.get(1, 1).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_result() {
+        let g1 = graph_from_parts(&[], &[]);
+        let g2 = graph_from_parts(&["a"], &[]);
+        let r = compute(&g1, &g2, &cfg(Variant::Simple)).unwrap();
+        assert_eq!(r.pair_count(), 0);
+        assert!(r.converged);
+    }
+}

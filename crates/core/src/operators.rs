@@ -1,0 +1,545 @@
+//! Mapping (`Mχ`) and normalizing (`Ωχ`) operators — Equation 2 and
+//! Table 3 of the paper.
+//!
+//! Each operator computes, for two neighbor sets `S1 ⊆ V1` and `S2 ⊆ V2`,
+//! the *maximum mapping* sum `Σ_{(x,y)∈Mχ} FSim^{k−1}(x, y)` (condition C3
+//! of Theorem 1), the score-independent mapping size `|Mχ|` (conditions
+//! C1/C2, also used by the static upper bound of §3.4), and the normalizer
+//! `Ωχ`.
+//!
+//! The label constraint of Remark 2 (`L(x, y) ≥ θ` for every mapped pair) is
+//! enforced inside every operator via [`OpCtx::eligible`].
+
+use crate::config::{MatcherKind, Variant};
+use fsim_graph::{LabelId, NodeId};
+use fsim_labels::PreparedLabelSim;
+use fsim_matching::{hungarian_max_weight, GreedyMatcher};
+
+/// Label-term evaluation resolved for the engine hot loop.
+#[derive(Debug, Clone)]
+pub enum LabelEval {
+    /// Look up the prepared similarity of the two interned labels.
+    Sim(PreparedLabelSim),
+    /// Constant for every pair (SimRank: 0, RoleSim: 1).
+    Constant(f64),
+}
+
+impl LabelEval {
+    /// `L` applied to two label ids.
+    #[inline]
+    pub fn sim(&self, a: LabelId, b: LabelId) -> f64 {
+        match self {
+            LabelEval::Sim(p) => p.sim(a, b),
+            LabelEval::Constant(c) => *c,
+        }
+    }
+}
+
+/// Evaluation context shared by operators: node labels of both graphs, the
+/// label function, and θ.
+pub struct OpCtx<'a> {
+    /// Node labels of `G1`.
+    pub labels1: &'a [LabelId],
+    /// Node labels of `G2`.
+    pub labels2: &'a [LabelId],
+    /// The label function.
+    pub label_eval: &'a LabelEval,
+    /// Mapping threshold θ.
+    pub theta: f64,
+}
+
+impl<'a> OpCtx<'a> {
+    /// `L(ℓ1(x), ℓ2(y))`.
+    #[inline]
+    pub fn label_sim(&self, x: NodeId, y: NodeId) -> f64 {
+        self.label_eval.sim(self.labels1[x as usize], self.labels2[y as usize])
+    }
+
+    /// The Remark-2 constraint: may `x` be mapped to `y`?
+    #[inline]
+    pub fn eligible(&self, x: NodeId, y: NodeId) -> bool {
+        self.label_sim(x, y) >= self.theta
+    }
+}
+
+/// Read-only access to the previous iteration's scores, including the
+/// configured fallback for non-maintained pairs (0 under θ-pruning,
+/// `α·ub` under upper-bound pruning).
+pub trait ScoreLookup {
+    /// `FSim^{k−1}(x, y)`.
+    fn get(&self, x: NodeId, y: NodeId) -> f64;
+}
+
+/// Reusable per-worker scratch buffers for the injective operators.
+#[derive(Debug, Default)]
+pub struct OpScratch {
+    edges: Vec<(f64, u32, u32)>,
+    weights: Vec<f64>,
+    matcher: GreedyMatcher,
+}
+
+impl OpScratch {
+    /// Fresh scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A χ-simulation operator pair `(Mχ, Ωχ)`.
+///
+/// Implementations must satisfy the Theorem-1 conditions: `map_size` and
+/// `omega` are independent of iteration state (C1), `map_size ≤ omega`
+/// whenever not vacuous (C2), and `map_sum` realizes the *maximum* mapping
+/// (C3) — exactly for `s`/`b`, greedily (the paper's approximation) for
+/// `dp`/`bj`.
+pub trait Operator: Send + Sync {
+    /// Maximum-mapping sum `Σ_{(x,y)∈Mχ(S1,S2)} prev(x, y)`.
+    fn map_sum<S: ScoreLookup>(
+        &self,
+        ctx: &OpCtx<'_>,
+        s1: &[NodeId],
+        s2: &[NodeId],
+        prev: &S,
+        scratch: &mut OpScratch,
+    ) -> f64;
+
+    /// Score-independent upper bound on `|Mχ(S1, S2)|` (exact for `s`/`b`).
+    fn map_size(&self, ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize;
+
+    /// `Ωχ(S1, S2)` as a function of the set sizes.
+    fn omega(&self, len1: usize, len2: usize) -> f64;
+
+    /// Whether the underlying exact condition is *vacuously satisfied* for
+    /// these sizes (the term then contributes its full weight; §4.4 of
+    /// DESIGN.md).
+    fn vacuous(&self, len1: usize, len2: usize) -> bool;
+
+    /// The neighbor term of Equation 2 with the empty-set convention
+    /// applied.
+    fn term<S: ScoreLookup>(
+        &self,
+        ctx: &OpCtx<'_>,
+        s1: &[NodeId],
+        s2: &[NodeId],
+        prev: &S,
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        if self.vacuous(s1.len(), s2.len()) {
+            return 1.0;
+        }
+        let omega = self.omega(s1.len(), s2.len());
+        if omega <= 0.0 {
+            return 0.0;
+        }
+        self.map_sum(ctx, s1, s2, prev, scratch) / omega
+    }
+}
+
+/// `Σ_{x∈S1} max_{y∈S2, eligible} prev(x, y)` — the `fs` mapping of Eq. 7.
+fn sum_best_per_left<S: ScoreLookup>(
+    ctx: &OpCtx<'_>,
+    s1: &[NodeId],
+    s2: &[NodeId],
+    prev: &S,
+) -> f64 {
+    let mut total = 0.0;
+    for &x in s1 {
+        let mut best = 0.0f64;
+        for &y in s2 {
+            if ctx.eligible(x, y) {
+                let s = prev.get(x, y);
+                if s > best {
+                    best = s;
+                }
+            }
+        }
+        total += best;
+    }
+    total
+}
+
+/// `Σ_{y∈S2} max_{x∈S1, eligible} prev(x, y)` — the converse direction of
+/// the `fb` mapping (scores stay oriented `G1 → G2`).
+fn sum_best_per_right<S: ScoreLookup>(
+    ctx: &OpCtx<'_>,
+    s1: &[NodeId],
+    s2: &[NodeId],
+    prev: &S,
+) -> f64 {
+    let mut total = 0.0;
+    for &y in s2 {
+        let mut best = 0.0f64;
+        for &x in s1 {
+            if ctx.eligible(x, y) {
+                let s = prev.get(x, y);
+                if s > best {
+                    best = s;
+                }
+            }
+        }
+        total += best;
+    }
+    total
+}
+
+fn count_left_with_eligible(ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
+    s1.iter().filter(|&&x| s2.iter().any(|&y| ctx.eligible(x, y))).count()
+}
+
+fn count_right_with_eligible(ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
+    s2.iter().filter(|&&y| s1.iter().any(|&x| ctx.eligible(x, y))).count()
+}
+
+/// Maximum-weight injective mapping sum between `S1` and `S2`
+/// (used by both `M_dp` and `M_bj`; they differ only in `Ω` and vacuity).
+fn injective_sum<S: ScoreLookup>(
+    ctx: &OpCtx<'_>,
+    s1: &[NodeId],
+    s2: &[NodeId],
+    prev: &S,
+    scratch: &mut OpScratch,
+    matcher: MatcherKind,
+) -> f64 {
+    if s1.is_empty() || s2.is_empty() {
+        return 0.0;
+    }
+    match matcher {
+        MatcherKind::Greedy => {
+            scratch.edges.clear();
+            for (i, &x) in s1.iter().enumerate() {
+                for (j, &y) in s2.iter().enumerate() {
+                    if ctx.eligible(x, y) {
+                        let w = prev.get(x, y);
+                        if w > 0.0 {
+                            scratch.edges.push((w, i as u32, j as u32));
+                        }
+                    }
+                }
+            }
+            let (sum, _) = scratch.matcher.assign(s1.len(), s2.len(), &mut scratch.edges);
+            sum
+        }
+        MatcherKind::Hungarian => {
+            // Orient so rows are the smaller side; ineligible pairs weigh 0
+            // (they may be "assigned" but contribute nothing).
+            let (rows, cols, transposed) =
+                if s1.len() <= s2.len() { (s1, s2, false) } else { (s2, s1, true) };
+            scratch.weights.clear();
+            scratch.weights.resize(rows.len() * cols.len(), 0.0);
+            for (i, &r) in rows.iter().enumerate() {
+                for (j, &c) in cols.iter().enumerate() {
+                    let (x, y) = if transposed { (c, r) } else { (r, c) };
+                    if ctx.eligible(x, y) {
+                        scratch.weights[i * cols.len() + j] = prev.get(x, y);
+                    }
+                }
+            }
+            let (sum, _) = hungarian_max_weight(rows.len(), cols.len(), &scratch.weights);
+            sum
+        }
+    }
+}
+
+/// The Table-3 operator for a χ variant.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantOp {
+    /// The variant χ.
+    pub variant: Variant,
+    /// Injective-mapping backend.
+    pub matcher: MatcherKind,
+}
+
+impl VariantOp {
+    /// Operator for `variant` with the paper's greedy matcher.
+    pub fn new(variant: Variant) -> Self {
+        Self { variant, matcher: MatcherKind::Greedy }
+    }
+}
+
+impl Operator for VariantOp {
+    fn map_sum<S: ScoreLookup>(
+        &self,
+        ctx: &OpCtx<'_>,
+        s1: &[NodeId],
+        s2: &[NodeId],
+        prev: &S,
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        match self.variant {
+            Variant::Simple => sum_best_per_left(ctx, s1, s2, prev),
+            Variant::Bi => {
+                sum_best_per_left(ctx, s1, s2, prev) + sum_best_per_right(ctx, s1, s2, prev)
+            }
+            Variant::DegreePreserving | Variant::Bijective => {
+                injective_sum(ctx, s1, s2, prev, scratch, self.matcher)
+            }
+        }
+    }
+
+    fn map_size(&self, ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
+        if ctx.theta <= 0.0 {
+            // Every pair is eligible (L ≥ 0 always holds), so the counts
+            // collapse to set sizes — O(1) instead of O(|S1|·|S2|).
+            return match self.variant {
+                Variant::Simple => {
+                    if s2.is_empty() {
+                        0
+                    } else {
+                        s1.len()
+                    }
+                }
+                Variant::Bi => {
+                    let left = if s2.is_empty() { 0 } else { s1.len() };
+                    let right = if s1.is_empty() { 0 } else { s2.len() };
+                    left + right
+                }
+                Variant::DegreePreserving | Variant::Bijective => s1.len().min(s2.len()),
+            };
+        }
+        match self.variant {
+            Variant::Simple => count_left_with_eligible(ctx, s1, s2),
+            Variant::Bi => {
+                count_left_with_eligible(ctx, s1, s2) + count_right_with_eligible(ctx, s1, s2)
+            }
+            Variant::DegreePreserving | Variant::Bijective => count_left_with_eligible(ctx, s1, s2)
+                .min(count_right_with_eligible(ctx, s1, s2)),
+        }
+    }
+
+    fn omega(&self, len1: usize, len2: usize) -> f64 {
+        match self.variant {
+            Variant::Simple | Variant::DegreePreserving => len1 as f64,
+            Variant::Bi => (len1 + len2) as f64,
+            Variant::Bijective => ((len1 * len2) as f64).sqrt(),
+        }
+    }
+
+    fn vacuous(&self, len1: usize, len2: usize) -> bool {
+        match self.variant {
+            // ∀u′∈N(u)… is vacuous when u has no neighbors.
+            Variant::Simple | Variant::DegreePreserving => len1 == 0,
+            // b/bj additionally quantify over v's neighbors.
+            Variant::Bi | Variant::Bijective => len1 == 0 && len2 == 0,
+        }
+    }
+}
+
+/// The SimRank configuration of §4.3: `M(S1, S2) = S1 × S2`,
+/// `Ω = |S1|·|S2|`. All pairs are mapped (no maximization is involved — the
+/// mapping is the unique total one, so C3 holds trivially).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimRankOp;
+
+impl Operator for SimRankOp {
+    fn map_sum<S: ScoreLookup>(
+        &self,
+        _ctx: &OpCtx<'_>,
+        s1: &[NodeId],
+        s2: &[NodeId],
+        prev: &S,
+        _scratch: &mut OpScratch,
+    ) -> f64 {
+        let mut total = 0.0;
+        for &x in s1 {
+            for &y in s2 {
+                total += prev.get(x, y);
+            }
+        }
+        total
+    }
+
+    fn map_size(&self, _ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
+        s1.len() * s2.len()
+    }
+
+    fn omega(&self, len1: usize, len2: usize) -> f64 {
+        (len1 * len2) as f64
+    }
+
+    fn vacuous(&self, _len1: usize, _len2: usize) -> bool {
+        // SimRank scores 0 when either in-neighborhood is empty; no vacuous
+        // full-credit case.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_graph::pair_key;
+    use fsim_graph::FxHashMap;
+
+    struct MapLookup(FxHashMap<u64, f64>);
+    impl ScoreLookup for MapLookup {
+        fn get(&self, x: NodeId, y: NodeId) -> f64 {
+            self.0.get(&pair_key(x, y)).copied().unwrap_or(0.0)
+        }
+    }
+
+    fn ctx_indicator<'a>(
+        labels1: &'a [LabelId],
+        labels2: &'a [LabelId],
+        eval: &'a LabelEval,
+        theta: f64,
+    ) -> OpCtx<'a> {
+        OpCtx { labels1, labels2, label_eval: eval, theta }
+    }
+
+    fn scores(entries: &[((u32, u32), f64)]) -> MapLookup {
+        MapLookup(entries.iter().map(|&((x, y), s)| (pair_key(x, y), s)).collect())
+    }
+
+    const A: LabelId = LabelId(0);
+    const B: LabelId = LabelId(1);
+
+    #[test]
+    fn simple_takes_best_per_left() {
+        let l1 = [A, A];
+        let l2 = [A, A];
+        let eval = LabelEval::Constant(1.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        let prev = scores(&[((0, 0), 0.9), ((0, 1), 0.3), ((1, 0), 0.9), ((1, 1), 0.2)]);
+        let op = VariantOp::new(Variant::Simple);
+        let mut scratch = OpScratch::new();
+        // Both left nodes pick y=0 (0.9) — non-injective is fine for s.
+        let sum = op.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
+        assert!((sum - 1.8).abs() < 1e-12);
+        assert!((op.term(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injective_variants_cannot_reuse_targets() {
+        let l1 = [A, A];
+        let l2 = [A, A];
+        let eval = LabelEval::Constant(1.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        let prev = scores(&[((0, 0), 0.9), ((0, 1), 0.3), ((1, 0), 0.9), ((1, 1), 0.2)]);
+        let mut scratch = OpScratch::new();
+        for v in [Variant::DegreePreserving, Variant::Bijective] {
+            let op = VariantOp::new(v);
+            let sum = op.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
+            // greedy: (0,0)=0.9 then (1,1)=0.2
+            assert!((sum - 1.1).abs() < 1e-12, "variant {v:?}");
+        }
+    }
+
+    #[test]
+    fn hungarian_backend_is_at_least_greedy() {
+        let l1 = [A, A];
+        let l2 = [A, A];
+        let eval = LabelEval::Constant(1.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        // Adversarial: greedy takes 1.0 + 0.0, optimal 0.6 + 0.6.
+        let prev = scores(&[((0, 0), 1.0), ((0, 1), 0.6), ((1, 0), 0.6), ((1, 1), 0.0)]);
+        let mut scratch = OpScratch::new();
+        let greedy = VariantOp { variant: Variant::Bijective, matcher: MatcherKind::Greedy };
+        let exact = VariantOp { variant: Variant::Bijective, matcher: MatcherKind::Hungarian };
+        let gs = greedy.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
+        let hs = exact.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
+        assert!((gs - 1.0).abs() < 1e-12);
+        assert!((hs - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bi_sums_both_directions() {
+        let l1 = [A];
+        let l2 = [A, A];
+        let eval = LabelEval::Constant(1.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        let prev = scores(&[((0, 0), 0.8), ((0, 1), 0.5)]);
+        let op = VariantOp::new(Variant::Bi);
+        let mut scratch = OpScratch::new();
+        // left: max(0.8, 0.5) = 0.8; right: y0→0.8, y1→0.5.
+        let sum = op.map_sum(&ctx, &[0], &[0, 1], &prev, &mut scratch);
+        assert!((sum - 2.1).abs() < 1e-12);
+        assert!((op.omega(1, 2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_excludes_dissimilar_labels() {
+        let l1 = [A, B];
+        let l2 = [B, B];
+        let eval = LabelEval::Sim(
+            fsim_labels::LabelFn::Indicator.prepare(&{
+                let i = fsim_graph::LabelInterner::new();
+                i.intern("a");
+                i.intern("b");
+                i
+            }),
+        );
+        let ctx = OpCtx { labels1: &l1, labels2: &l2, label_eval: &eval, theta: 1.0 };
+        let prev = scores(&[((0, 0), 0.9), ((1, 0), 0.7), ((1, 1), 0.6)]);
+        let op = VariantOp::new(Variant::Simple);
+        let mut scratch = OpScratch::new();
+        // x=0 (label A) has no eligible target; x=1 picks best B-target 0.7.
+        let sum = op.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
+        assert!((sum - 0.7).abs() < 1e-12);
+        assert_eq!(op.map_size(&ctx, &[0, 1], &[0, 1]), 1);
+    }
+
+    #[test]
+    fn vacuity_conventions() {
+        for v in [Variant::Simple, Variant::DegreePreserving] {
+            let op = VariantOp::new(v);
+            assert!(op.vacuous(0, 5));
+            assert!(!op.vacuous(3, 0));
+        }
+        for v in [Variant::Bi, Variant::Bijective] {
+            let op = VariantOp::new(v);
+            assert!(op.vacuous(0, 0));
+            assert!(!op.vacuous(0, 5));
+            assert!(!op.vacuous(3, 0));
+        }
+    }
+
+    #[test]
+    fn empty_terms_follow_convention() {
+        let l1: [LabelId; 0] = [];
+        let l2 = [A];
+        let eval = LabelEval::Constant(1.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        let prev = scores(&[]);
+        let mut scratch = OpScratch::new();
+        // s: S1 empty → vacuous → 1. S2 empty but S1 not → 0.
+        let s = VariantOp::new(Variant::Simple);
+        assert_eq!(s.term(&ctx, &[], &[0], &prev, &mut scratch), 1.0);
+        let l1b = [A];
+        let ctx2 = ctx_indicator(&l1b, &l2, &eval, 0.0);
+        assert_eq!(s.term(&ctx2, &[0], &[], &prev, &mut scratch), 0.0);
+        // bj: one side empty → 0; both empty → 1.
+        let bj = VariantOp::new(Variant::Bijective);
+        assert_eq!(bj.term(&ctx2, &[0], &[], &prev, &mut scratch), 0.0);
+        assert_eq!(bj.term(&ctx, &[], &[], &prev, &mut scratch), 1.0);
+    }
+
+    #[test]
+    fn simrank_op_averages_all_pairs() {
+        let l1 = [A, A];
+        let l2 = [A, A];
+        let eval = LabelEval::Constant(0.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        let prev = scores(&[((0, 0), 1.0), ((1, 1), 1.0)]);
+        let op = SimRankOp;
+        let mut scratch = OpScratch::new();
+        let sum = op.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
+        assert!((sum - 2.0).abs() < 1e-12);
+        assert_eq!(op.map_size(&ctx, &[0, 1], &[0, 1]), 4);
+        assert!((op.term(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch) - 0.5).abs() < 1e-12);
+        assert_eq!(op.term(&ctx, &[], &[0], &prev, &mut scratch), 0.0);
+    }
+
+    #[test]
+    fn c2_map_size_le_omega() {
+        // C2 of Theorem 1 on a few shapes.
+        let l1 = [A, A, B];
+        let l2 = [A, B];
+        let eval = LabelEval::Constant(1.0);
+        let ctx = ctx_indicator(&l1, &l2, &eval, 0.0);
+        for v in Variant::ALL {
+            let op = VariantOp::new(v);
+            let ms = op.map_size(&ctx, &[0, 1, 2], &[0, 1]) as f64;
+            let om = op.omega(3, 2);
+            assert!(ms <= om + 1e-12, "C2 violated for {v:?}: |M|={ms} Ω={om}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The output of an `FSimχ` computation.
+
+use crate::store::{PairStore, ScoreView};
+use fsim_graph::NodeId;
+
+/// Converged (or iteration-capped) fractional simulation scores over the
+/// maintained candidate pairs.
+#[derive(Debug)]
+pub struct FsimResult {
+    store: PairStore,
+    scores: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether `Δ < ε` was reached before the iteration cap.
+    pub converged: bool,
+    /// The last iteration's `Δ = max |FSim^k − FSim^{k−1}|`.
+    pub final_delta: f64,
+}
+
+impl FsimResult {
+    pub(crate) fn new(
+        store: PairStore,
+        scores: Vec<f64>,
+        iterations: usize,
+        converged: bool,
+        final_delta: f64,
+    ) -> Self {
+        Self { store, scores, iterations, converged, final_delta }
+    }
+
+    /// Score of a maintained pair, or `None` if `(u, v)` was pruned.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.store.index.get(u, v).map(|i| self.scores[i])
+    }
+
+    /// Score with the engine's fallback semantics for pruned pairs
+    /// (0, or `α·ub` under upper-bound pruning).
+    pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        use crate::operators::ScoreLookup;
+        self.view().get(u, v)
+    }
+
+    /// Number of maintained pairs (`|H|`).
+    pub fn pair_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Iterates `(u, v, score)` over maintained pairs in slot order
+    /// (sorted by `(u, v)`).
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.store.pairs.iter().zip(&self.scores).map(|(&(u, v), &s)| (u, v, s))
+    }
+
+    /// The `k` best-scoring right-nodes for a given left node, sorted by
+    /// descending score (ties broken by node id).
+    pub fn top_k_for_left(&self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let mut row: Vec<(NodeId, f64)> = self
+            .iter_pairs()
+            .filter(|&(x, _, _)| x == u)
+            .map(|(_, v, s)| (v, s))
+            .collect();
+        row.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        row.truncate(k);
+        row
+    }
+
+    /// For each left node `u`, the set `argmax_v FSim(u, v)` (all `v`
+    /// within `tie_eps` of the row maximum), computed in one pass.
+    /// Rows with no maintained pair are empty. Used by the graph-alignment
+    /// case study.
+    pub fn argmax_rows(&self, n_left: usize, tie_eps: f64) -> Vec<Vec<NodeId>> {
+        let mut best = vec![f64::NEG_INFINITY; n_left];
+        for (u, _, s) in self.iter_pairs() {
+            if s > best[u as usize] {
+                best[u as usize] = s;
+            }
+        }
+        let mut rows: Vec<Vec<NodeId>> = vec![Vec::new(); n_left];
+        for (u, v, s) in self.iter_pairs() {
+            if s >= best[u as usize] - tie_eps {
+                rows[u as usize].push(v);
+            }
+        }
+        rows
+    }
+
+    /// Mean score over maintained pairs (0 when empty); a cheap global
+    /// summary used by tests and diagnostics.
+    pub fn mean_score(&self) -> f64 {
+        if self.scores.is_empty() {
+            0.0
+        } else {
+            self.scores.iter().sum::<f64>() / self.scores.len() as f64
+        }
+    }
+
+    pub(crate) fn view(&self) -> ScoreView<'_> {
+        self.store.view(&self.scores)
+    }
+
+    /// Collects maintained scores into `(pairs, scores)` vectors, consuming
+    /// nothing — for serialization by the experiment harness.
+    pub fn to_vecs(&self) -> (Vec<(NodeId, NodeId)>, Vec<f64>) {
+        (self.store.pairs.clone(), self.scores.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{FsimConfig, Variant};
+    use crate::engine::compute;
+    use fsim_graph::graph_from_parts;
+    use fsim_labels::LabelFn;
+
+    fn result() -> super::FsimResult {
+        let g1 = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let g2 = graph_from_parts(&["a", "b", "a"], &[(0, 1), (2, 1)]);
+        let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+        compute(&g1, &g2, &cfg).unwrap()
+    }
+
+    #[test]
+    fn top_k_is_sorted_desc() {
+        let r = result();
+        let top = r.top_k_for_left(0, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn argmax_rows_point_at_best() {
+        let r = result();
+        let rows = r.argmax_rows(2, 1e-12);
+        for (u, row) in rows.iter().enumerate() {
+            assert!(!row.is_empty());
+            let best = r.top_k_for_left(u as u32, 1)[0];
+            assert!(row.contains(&best.0));
+        }
+    }
+
+    #[test]
+    fn iter_pairs_is_sorted_and_complete() {
+        let r = result();
+        let pairs: Vec<_> = r.iter_pairs().map(|(u, v, _)| (u, v)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted);
+        assert_eq!(pairs.len(), r.pair_count());
+    }
+
+    #[test]
+    fn mean_score_in_unit_interval() {
+        let r = result();
+        assert!((0.0..=1.0).contains(&r.mean_score()));
+    }
+}

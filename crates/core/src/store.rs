@@ -1,0 +1,146 @@
+//! The candidate-pair store: which `(u, v) ∈ V1 × V2` pairs are maintained
+//! (Algorithm 1, Line 1) and how their scores are indexed.
+
+use crate::operators::ScoreLookup;
+use fsim_graph::{pair_key, FxHashMap, NodeId};
+
+/// Index from a pair `(u, v)` to its slot in the score buffers.
+#[derive(Debug, Clone)]
+pub enum PairIndex {
+    /// All `|V1| × |V2|` pairs are maintained; slot = `u · |V2| + v`.
+    /// Used by the default configuration (θ = 0, no pruning) — no hashing
+    /// in the hot loop.
+    Dense {
+        /// `|V2|`.
+        n2: u32,
+    },
+    /// Pruned candidate set; hashed lookup.
+    Sparse(FxHashMap<u64, u32>),
+}
+
+impl PairIndex {
+    /// Slot of `(u, v)` if maintained.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        match self {
+            PairIndex::Dense { n2 } => Some(u as usize * *n2 as usize + v as usize),
+            PairIndex::Sparse(map) => map.get(&pair_key(u, v)).map(|&i| i as usize),
+        }
+    }
+}
+
+/// What a lookup of a *non-maintained* pair returns.
+#[derive(Debug, Clone)]
+pub enum Fallback {
+    /// θ-pruned pairs never contribute (§4.1 "Computation").
+    Zero,
+    /// Upper-bound pruning (§3.4): `α × ub(x, y)` for pruned pairs.
+    /// The map is empty when `α = 0` (nothing needs storing).
+    AlphaUb(FxHashMap<u64, f32>),
+}
+
+/// The maintained pairs plus their double-buffered scores.
+#[derive(Debug)]
+pub struct PairStore {
+    /// Maintained pairs in slot order.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Pair → slot index.
+    pub index: PairIndex,
+    /// Fallback for absent pairs.
+    pub fallback: Fallback,
+}
+
+impl PairStore {
+    /// Number of maintained pairs (`|H|` in the cost analysis).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// A read view over a score buffer for operator lookups.
+    pub fn view<'a>(&'a self, scores: &'a [f64]) -> ScoreView<'a> {
+        debug_assert_eq!(scores.len(), self.pairs.len());
+        ScoreView { index: &self.index, fallback: &self.fallback, scores }
+    }
+}
+
+/// Read-only score accessor handed to the mapping operators.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreView<'a> {
+    index: &'a PairIndex,
+    fallback: &'a Fallback,
+    scores: &'a [f64],
+}
+
+impl ScoreLookup for ScoreView<'_> {
+    #[inline]
+    fn get(&self, x: NodeId, y: NodeId) -> f64 {
+        match self.index.get(x, y) {
+            Some(i) => self.scores[i],
+            None => match self.fallback {
+                Fallback::Zero => 0.0,
+                Fallback::AlphaUb(map) => {
+                    map.get(&pair_key(x, y)).map(|&v| v as f64).unwrap_or(0.0)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_store(n1: u32, n2: u32) -> PairStore {
+        let pairs: Vec<_> = (0..n1).flat_map(|u| (0..n2).map(move |v| (u, v))).collect();
+        PairStore { pairs, index: PairIndex::Dense { n2 }, fallback: Fallback::Zero }
+    }
+
+    #[test]
+    fn dense_index_is_row_major() {
+        let s = dense_store(3, 4);
+        for (slot, &(u, v)) in s.pairs.iter().enumerate() {
+            assert_eq!(s.index.get(u, v), Some(slot));
+        }
+    }
+
+    #[test]
+    fn sparse_index_misses_return_fallback() {
+        let pairs = vec![(0, 1), (2, 3)];
+        let mut map = FxHashMap::default();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            map.insert(pair_key(u, v), i as u32);
+        }
+        let store =
+            PairStore { pairs, index: PairIndex::Sparse(map), fallback: Fallback::Zero };
+        let scores = vec![0.5, 0.7];
+        let view = store.view(&scores);
+        assert_eq!(view.get(0, 1), 0.5);
+        assert_eq!(view.get(2, 3), 0.7);
+        assert_eq!(view.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn alpha_ub_fallback_is_served() {
+        let mut ub = FxHashMap::default();
+        ub.insert(pair_key(5, 5), 0.25f32);
+        let store = PairStore {
+            pairs: vec![(0, 0)],
+            index: PairIndex::Sparse({
+                let mut m = FxHashMap::default();
+                m.insert(pair_key(0, 0), 0);
+                m
+            }),
+            fallback: Fallback::AlphaUb(ub),
+        };
+        let scores = vec![1.0];
+        let view = store.view(&scores);
+        assert_eq!(view.get(0, 0), 1.0);
+        assert!((view.get(5, 5) - 0.25).abs() < 1e-6);
+        assert_eq!(view.get(9, 9), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Top-k fractional-simulation search — the future-work direction named in
+//! the paper's conclusion ("end-users are also interested in the top-k
+//! similarity search").
+//!
+//! The static upper bound of §3.4 makes a sound pruning scheme possible:
+//! any pair whose Equation-6 bound is below the k-th best *converged* score
+//! can never enter the top-k. [`top_k_search`] runs the engine under
+//! iteratively loosened β-pruning until the result is *certified*: the
+//! k-th best maintained score dominates the bound of every pruned pair.
+
+use crate::config::FsimConfig;
+use crate::engine::compute;
+use crate::result::FsimResult;
+use fsim_graph::{Graph, NodeId};
+
+/// Result of a certified top-k search.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    /// The `k` best pairs `(u, v, score)`, descending by score
+    /// (ties broken by `(u, v)`).
+    pub pairs: Vec<(NodeId, NodeId, f64)>,
+    /// Whether the answer is certified optimal (always true when the
+    /// search terminates via the β-certificate or an unpruned run).
+    pub certified: bool,
+    /// Number of engine passes executed.
+    pub passes: usize,
+}
+
+/// Extracts the global top-k pairs of a finished result.
+///
+/// `exclude_identity` drops `(u, u)` pairs — useful for single-graph
+/// similarity search where self-similarity is trivially 1.
+pub fn top_k_pairs(result: &FsimResult, k: usize, exclude_identity: bool) -> Vec<(NodeId, NodeId, f64)> {
+    let mut pairs: Vec<(NodeId, NodeId, f64)> = result
+        .iter_pairs()
+        .filter(|&(u, v, _)| !(exclude_identity && u == v))
+        .collect();
+    pairs.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2).unwrap().then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    pairs.truncate(k);
+    pairs
+}
+
+/// Certified top-k search: runs the engine with upper-bound pruning,
+/// halving β until the k-th best maintained score is at least β (at which
+/// point no pruned pair can displace the answer), or until β reaches 0
+/// (equivalent to an unpruned run).
+///
+/// Keeps the caller's θ / weights / variant; overrides the upper-bound
+/// setting. Cost: usually a single pass over a small maintained set.
+pub fn top_k_search(
+    g1: &Graph,
+    g2: &Graph,
+    cfg: &FsimConfig,
+    k: usize,
+    exclude_identity: bool,
+) -> TopK {
+    assert!(k > 0, "k must be positive");
+    let mut beta = 0.8f64;
+    let mut passes = 0usize;
+    loop {
+        let mut pass_cfg = cfg.clone();
+        pass_cfg.upper_bound = if beta > 0.0 {
+            Some(crate::config::UpperBoundPruning { alpha: 0.0, beta })
+        } else {
+            None
+        };
+        let result = compute(g1, g2, &pass_cfg).expect("valid top-k configuration");
+        passes += 1;
+        let pairs = top_k_pairs(&result, k, exclude_identity);
+        let kth = pairs.last().map(|&(_, _, s)| s).unwrap_or(0.0);
+        // Certificate: every pruned pair has ub ≤ beta; if the k-th kept
+        // score reaches beta, nothing pruned can beat it.
+        if beta <= 0.0 || (pairs.len() == k && kth >= beta) {
+            return TopK { pairs, certified: true, passes };
+        }
+        beta = if beta > 0.1 { beta / 2.0 } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use fsim_graph::graph_from_parts;
+    use fsim_labels::LabelFn;
+
+    fn cfg() -> FsimConfig {
+        FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator)
+    }
+
+    fn sample_graph() -> fsim_graph::Graph {
+        graph_from_parts(
+            &["a", "a", "b", "b", "c", "a"],
+            &[(0, 2), (1, 3), (2, 4), (3, 4), (5, 4), (0, 3)],
+        )
+    }
+
+    #[test]
+    fn top_k_pairs_sorted_and_truncated() {
+        let g = sample_graph();
+        let r = compute(&g, &g, &cfg()).unwrap();
+        let top = top_k_pairs(&r, 5, true);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        assert!(top.iter().all(|&(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn search_matches_exhaustive_answer() {
+        let g = sample_graph();
+        let full = compute(&g, &g, &cfg()).unwrap();
+        let expected = top_k_pairs(&full, 4, true);
+        let got = top_k_search(&g, &g, &cfg(), 4, true);
+        assert!(got.certified);
+        assert_eq!(got.pairs.len(), expected.len());
+        for (a, b) in got.pairs.iter().zip(&expected) {
+            assert_eq!((a.0, a.1), (b.0, b.1), "pair mismatch: {:?} vs {:?}", got.pairs, expected);
+            assert!((a.2 - b.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn search_with_identity_included_finds_diagonal() {
+        let g = sample_graph();
+        let got = top_k_search(&g, &g, &cfg(), 3, false);
+        // Self pairs score 1.0 and must dominate.
+        assert!(got.pairs.iter().all(|&(_, _, s)| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn k_larger_than_pair_count_degrades_gracefully() {
+        let g = graph_from_parts(&["a"], &[]);
+        let got = top_k_search(&g, &g, &cfg(), 10, true);
+        assert!(got.certified);
+        assert!(got.pairs.is_empty());
+    }
+
+    #[test]
+    fn pruned_first_pass_is_usually_enough() {
+        let g = sample_graph();
+        let got = top_k_search(&g, &g, &cfg(), 2, false);
+        assert!(got.passes <= 2, "expected early certification, took {} passes", got.passes);
+    }
+}

@@ -1,0 +1,89 @@
+//! `fsim-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! fsim-exp <id>... [--scale F] [--threads N] [--seed S] [--quick] [--json]
+//! fsim-exp all
+//! fsim-exp list
+//! ```
+
+use fsim_eval::experiments::{self, ALL_IDS};
+use fsim_eval::ExpOpts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOpts::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a float"));
+            }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--quick" => opts.scale = 0.25,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "list") {
+        usage();
+        return;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let mut all_reports = Vec::new();
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match experiments::run(id, &opts) {
+            Some(reports) => {
+                for r in reports {
+                    if json {
+                        all_reports.push(r);
+                    } else {
+                        println!("{r}");
+                    }
+                }
+                if !json {
+                    eprintln!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&all_reports).expect("serializable reports"));
+    }
+}
+
+fn usage() {
+    eprintln!("usage: fsim-exp <id>... [--scale F] [--threads N] [--seed S] [--quick] [--json]");
+    eprintln!("experiments: {}  (or 'all')", ALL_IDS.join(" "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

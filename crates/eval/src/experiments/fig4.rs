@@ -1,0 +1,110 @@
+//! Figure 4: sensitivity of FSimχ to (a) the mapping threshold θ and
+//! (b) the label weight `w* = 1 − w⁺ − w⁻`, on the NELL-like surrogate.
+
+use crate::metrics::result_correlation;
+use crate::opts::ExpOpts;
+use crate::report::{fmt3, Report};
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_labels::LabelFn;
+
+/// Figure 4(a): Pearson coefficient of FSimχ{θ} against the θ = 0
+/// baseline, θ ∈ {0, 0.2, …, 1.0}, w⁺ = w⁻ = 0.4.
+pub fn run_theta(opts: &ExpOpts) -> Report {
+    let g = opts.nell();
+    let mut report = Report::new(
+        "fig4a",
+        "Coefficient vs theta (baseline theta=0, w+=w-=0.4, NELL-like)",
+        &["theta", "FSims", "FSimdp", "FSimb", "FSimbj"],
+    );
+    let baselines: Vec<_> = Variant::ALL
+        .iter()
+        .map(|&v| {
+            let cfg = FsimConfig::new(v).label_fn(LabelFn::JaroWinkler).threads(opts.threads);
+            compute(&g, &g, &cfg).expect("valid config")
+        })
+        .collect();
+    for step in 0..=5 {
+        let theta = step as f64 * 0.2;
+        let mut cells = vec![format!("{theta:.1}")];
+        for (i, &v) in Variant::ALL.iter().enumerate() {
+            if theta == 0.0 {
+                cells.push(fmt3(1.0));
+                continue;
+            }
+            let cfg = FsimConfig::new(v)
+                .label_fn(LabelFn::JaroWinkler)
+                .theta(theta)
+                .threads(opts.threads);
+            let r = compute(&g, &g, &cfg).expect("valid config");
+            cells.push(fmt3(result_correlation(&r, &baselines[i])));
+        }
+        report.row(cells);
+    }
+    report.note("paper: coefficients decrease with theta but stay > 0.8 even at theta=1");
+    report
+}
+
+/// Figure 4(b): coefficient of FSimχ vs FSimχ{θ=1} while varying
+/// `w* ∈ {0.1, 0.2, 0.4, 0.6, 0.8, 0.95}` (`w⁺ = w⁻ = (1 − w*) / 2`).
+pub fn run_wstar(opts: &ExpOpts) -> Report {
+    let g = opts.nell();
+    let mut report = Report::new(
+        "fig4b",
+        "Coefficient of FSim vs FSim{theta=1} while varying w* (NELL-like)",
+        &["w*", "FSims", "FSimdp", "FSimb", "FSimbj"],
+    );
+    for w_star in [0.1, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        let w = (1.0 - w_star) / 2.0;
+        let mut cells = vec![format!("{w_star:.2}")];
+        for &v in &Variant::ALL {
+            let base = FsimConfig::new(v)
+                .label_fn(LabelFn::JaroWinkler)
+                .weights(w, w)
+                .threads(opts.threads);
+            let full = compute(&g, &g, &base).expect("valid config");
+            let pruned = compute(&g, &g, &base.clone().theta(1.0)).expect("valid config");
+            cells.push(fmt3(result_correlation(&full, &pruned)));
+        }
+        report.row(cells);
+    }
+    report.note("paper: coefficient rises with w*, ~1 for w* > 0.6, ~0.85 at w*=0.2");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOpts {
+        let mut o = ExpOpts::quick();
+        o.scale = 0.1;
+        o
+    }
+
+    #[test]
+    fn theta_zero_row_is_one_and_coeffs_stay_positive() {
+        let r = run_theta(&tiny());
+        assert_eq!(r.rows.len(), 6);
+        for cell in &r.rows[0][1..] {
+            assert_eq!(cell, "1.000");
+        }
+        for row in &r.rows[1..] {
+            for cell in &row[1..] {
+                if cell != "-" {
+                    let v: f64 = cell.parse().unwrap();
+                    assert!(v > 0.0, "theta pruning should stay correlated, got {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wstar_correlation_tends_up() {
+        let r = run_wstar(&tiny());
+        // Compare first and last w* rows for the FSims column: larger w*
+        // must not decrease the coefficient (paper's Figure 4(b) trend).
+        let first: f64 = r.rows.first().unwrap()[1].parse().unwrap_or(0.0);
+        let last: f64 = r.rows.last().unwrap()[1].parse().unwrap_or(1.0);
+        assert!(last >= first - 0.05, "w* trend violated: {first} -> {last}");
+    }
+}

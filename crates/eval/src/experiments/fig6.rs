@@ -1,0 +1,93 @@
+//! Figure 6: sensitivity of upper-bound updating (§3.4) to the pruning
+//! threshold β and the approximation ratio α, for FSimbj with and without
+//! the θ = 1 label constraint.
+
+use crate::metrics::result_correlation;
+use crate::opts::ExpOpts;
+use crate::report::{fmt3, Report};
+use fsim_core::{compute, FsimConfig, FsimResult, Variant};
+use fsim_graph::Graph;
+use fsim_labels::LabelFn;
+
+fn bj(g: &Graph, theta: f64, ub: Option<(f64, f64)>, opts: &ExpOpts) -> FsimResult {
+    let mut cfg = FsimConfig::new(Variant::Bijective)
+        .label_fn(LabelFn::JaroWinkler)
+        .theta(theta)
+        .threads(opts.threads);
+    if let Some((alpha, beta)) = ub {
+        cfg = cfg.upper_bound(alpha, beta);
+    }
+    compute(g, g, &cfg).expect("valid config")
+}
+
+/// Regenerates Figure 6 (both panels).
+pub fn run(opts: &ExpOpts) -> Vec<Report> {
+    let g = opts.nell();
+    let base0 = bj(&g, 0.0, None, opts);
+    let base1 = bj(&g, 1.0, None, opts);
+
+    let mut by_beta = Report::new(
+        "fig6a",
+        "Coefficient vs beta (alpha=0.2): FSimbj{ub} vs FSimbj",
+        &["beta", "FSimbj{ub}", "FSimbj{ub,theta=1}"],
+    );
+    for step in 0..=5 {
+        let beta = step as f64 * 0.1;
+        let p0 = bj(&g, 0.0, Some((0.2, beta)), opts);
+        let p1 = bj(&g, 1.0, Some((0.2, beta)), opts);
+        by_beta.row(vec![
+            format!("{beta:.1}"),
+            fmt3(result_correlation(&p0, &base0)),
+            fmt3(result_correlation(&p1, &base1)),
+        ]);
+    }
+    by_beta.note("paper: coefficients decrease with beta but stay > 0.9 at beta=0.5");
+
+    let mut by_alpha = Report::new(
+        "fig6b",
+        "Coefficient vs alpha (beta=0.5): FSimbj{ub} vs FSimbj",
+        &["alpha", "FSimbj{ub}", "FSimbj{ub,theta=1}"],
+    );
+    for alpha in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        let p0 = bj(&g, 0.0, Some((alpha, 0.5)), opts);
+        let p1 = bj(&g, 1.0, Some((alpha, 0.5)), opts);
+        by_alpha.row(vec![
+            format!("{alpha:.2}"),
+            fmt3(result_correlation(&p0, &base0)),
+            fmt3(result_correlation(&p1, &base1)),
+        ]);
+    }
+    by_alpha.note("paper: alpha=0 already > 0.9; default alpha=0 thereafter");
+    vec![by_beta, by_alpha]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_zero_keeps_high_correlation() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.1;
+        let reports = run(&opts);
+        let by_beta = &reports[0];
+        let v: f64 = by_beta.rows[0][1].parse().unwrap();
+        assert!(v > 0.95, "beta=0 prunes almost nothing, got {v}");
+    }
+
+    #[test]
+    fn correlations_remain_meaningful_across_sweeps() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.1;
+        for report in run(&opts) {
+            for row in &report.rows {
+                for cell in &row[1..] {
+                    if cell != "-" {
+                        let v: f64 = cell.parse().unwrap();
+                        assert!(v > 0.3, "{}: coefficient collapsed: {v}", report.id);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 7: running time of FSimχ and number of maintained candidate
+//! pairs while varying θ (NELL-like surrogate, all four variants).
+
+use crate::opts::ExpOpts;
+use crate::report::{fmt_secs, Report};
+use fsim_core::{compute, FsimConfig, Variant};
+use fsim_labels::LabelFn;
+use std::time::Instant;
+
+/// Regenerates Figure 7 (running time and #pairs per θ).
+pub fn run(opts: &ExpOpts) -> Report {
+    let g = opts.nell();
+    let mut report = Report::new(
+        "fig7",
+        "Running time and #candidate pairs vs theta (NELL-like)",
+        &["theta", "s", "dp", "b", "bj", "#pairs"],
+    );
+    for step in 0..=5 {
+        let theta = step as f64 * 0.2;
+        let mut cells = vec![format!("{theta:.1}")];
+        let mut pairs = 0usize;
+        for &v in &Variant::ALL {
+            let cfg = FsimConfig::new(v)
+                .label_fn(LabelFn::JaroWinkler)
+                .theta(theta)
+                .threads(opts.threads);
+            let t0 = Instant::now();
+            let r = compute(&g, &g, &cfg).expect("valid config");
+            cells.push(fmt_secs(t0.elapsed().as_secs_f64()));
+            pairs = r.pair_count();
+        }
+        cells.push(pairs.to_string());
+        report.row(cells);
+    }
+    report.note("paper: time and #pairs decrease as theta grows; dp/bj slowest (matching cost)");
+    report.note(format!("threads = {}", opts.threads));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_shrink_with_theta() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.1;
+        let r = run(&opts);
+        let first: usize = r.rows[0].last().unwrap().parse().unwrap();
+        let last: usize = r.rows.last().unwrap().last().unwrap().parse().unwrap();
+        assert!(last < first, "theta=1 must maintain fewer pairs ({last} !< {first})");
+    }
+}

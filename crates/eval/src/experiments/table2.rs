@@ -1,0 +1,78 @@
+//! Table 2: exact χ-simulation verdicts and fractional scores for the
+//! node pairs `(u, v1..v4)` of Figure 1.
+
+use crate::opts::ExpOpts;
+use crate::report::Report;
+use fsim_core::{compute, FsimConfig, MatcherKind, Variant};
+use fsim_exact::{simulation_relation, ExactVariant};
+use fsim_graph::examples::figure1;
+use fsim_labels::LabelFn;
+
+fn exact_of(v: Variant) -> ExactVariant {
+    match v {
+        Variant::Simple => ExactVariant::Simple,
+        Variant::DegreePreserving => ExactVariant::DegreePreserving,
+        Variant::Bi => ExactVariant::Bi,
+        Variant::Bijective => ExactVariant::Bijective,
+    }
+}
+
+/// Regenerates Table 2.
+pub fn run(opts: &ExpOpts) -> Report {
+    let f = figure1();
+    let mut report = Report::new(
+        "table2",
+        "Exact verdict and FSim score for (u, v1..v4) on Figure 1",
+        &["variant", "(u,v1)", "(u,v2)", "(u,v3)", "(u,v4)"],
+    );
+    for variant in Variant::ALL {
+        let mut cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+        cfg.matcher = MatcherKind::Hungarian; // exact mapping ⇒ P2 holds exactly
+        cfg.threads = opts.threads.min(4);
+        let scores = compute(&f.pattern, &f.data, &cfg).expect("valid config");
+        let relation = simulation_relation(&f.pattern, &f.data, exact_of(variant));
+        let mut cells = vec![format!("{variant}-simulation")];
+        for &v in &f.v {
+            let mark = if relation.contains(f.u, v) { "Y" } else { "x" };
+            let s = scores.get(f.u, v).expect("maintained pair");
+            cells.push(format!("{mark} ({s:.2})"));
+        }
+        report.row(cells);
+    }
+    report.note("paper reports: s = x,Y,Y,Y; dp = x,x,Y,Y; b = x,Y,x,Y; bj = x,x,x,Y");
+    report.note("scores use w+=w-=0.4, indicator L, Hungarian mapping");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_pattern_matches_paper() {
+        let r = run(&ExpOpts::quick());
+        assert_eq!(r.rows.len(), 4);
+        let marks: Vec<Vec<&str>> = r
+            .rows
+            .iter()
+            .map(|row| row[1..].iter().map(|c| &c[..1]).collect())
+            .collect();
+        assert_eq!(marks[0], vec!["x", "Y", "Y", "Y"]); // s
+        assert_eq!(marks[1], vec!["x", "x", "Y", "Y"]); // dp
+        assert_eq!(marks[2], vec!["x", "Y", "x", "Y"]); // b
+        assert_eq!(marks[3], vec!["x", "x", "x", "Y"]); // bj
+    }
+
+    #[test]
+    fn exact_verdicts_align_with_score_one() {
+        // P2: verdict Y ⇔ score 1.00 in every cell.
+        let r = run(&ExpOpts::quick());
+        for row in &r.rows {
+            for cell in &row[1..] {
+                let is_yes = cell.starts_with('Y');
+                let is_one = cell.contains("(1.00)");
+                assert_eq!(is_yes, is_one, "cell {cell} violates P2");
+            }
+        }
+    }
+}

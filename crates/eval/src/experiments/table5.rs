@@ -1,0 +1,69 @@
+//! Table 5: Pearson correlation between FSimχ runs under different
+//! initialization / label functions (`L_I`, `L_E`, `L_J`) on the NELL-like
+//! surrogate.
+
+use crate::metrics::result_correlation;
+use crate::opts::ExpOpts;
+use crate::report::{fmt3, Report};
+use fsim_core::{compute, FsimConfig, FsimResult, Variant};
+use fsim_graph::Graph;
+use fsim_labels::LabelFn;
+
+fn run_with(g: &Graph, variant: Variant, f: LabelFn, opts: &ExpOpts) -> FsimResult {
+    let cfg = FsimConfig::new(variant).label_fn(f).threads(opts.threads);
+    compute(g, g, &cfg).expect("valid config")
+}
+
+/// Regenerates Table 5.
+pub fn run(opts: &ExpOpts) -> Report {
+    let g = opts.nell();
+    let mut report = Report::new(
+        "table5",
+        "Pearson correlation across initialization functions (NELL-like)",
+        &["pair", "FSims", "FSimdp", "FSimb", "FSimbj"],
+    );
+    let mut per_variant: Vec<[FsimResult; 3]> = Vec::new();
+    for variant in Variant::ALL {
+        per_variant.push([
+            run_with(&g, variant, LabelFn::Indicator, opts),
+            run_with(&g, variant, LabelFn::EditDistance, opts),
+            run_with(&g, variant, LabelFn::JaroWinkler, opts),
+        ]);
+    }
+    let pairs: [(&str, usize, usize); 3] = [("LI-LE", 0, 1), ("LI-LJ", 0, 2), ("LJ-LE", 2, 1)];
+    for (name, a, b) in pairs {
+        let mut cells = vec![name.to_string()];
+        for results in &per_variant {
+            cells.push(fmt3(result_correlation(&results[a], &results[b])));
+        }
+        report.row(cells);
+    }
+    report.note(format!(
+        "surrogate: |V|={} |E|={} (NELL-like, seed {})",
+        g.node_count(),
+        g.edge_count(),
+        opts.seed
+    ));
+    report.note("paper reports all coefficients > 0.92");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlations_are_high() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.12;
+        let r = run(&opts);
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().expect("numeric cell");
+                assert!(v > 0.6, "init functions should correlate strongly, got {v}");
+                assert!(v <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

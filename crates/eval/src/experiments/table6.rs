@@ -1,0 +1,146 @@
+//! Table 6: average F1 of approximate pattern matching on the co-purchase
+//! surrogate, across the four query scenarios (Exact / Noisy-E / Noisy-L /
+//! Combined), for the baselines and FSims / FSimdp.
+
+use crate::opts::ExpOpts;
+use crate::report::Report;
+use fsim_core::{FsimConfig, Variant};
+use fsim_datasets::copurchase;
+use fsim_graph::Graph;
+use fsim_labels::LabelFn;
+use fsim_patmatch::{
+    apply_noise, extract_unique_query, f1_score, f1_sets, fsim_match, gfinder_match, naga_match,
+    strong_sim_match_nodes, tspan_match, QueryCase, Scenario,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The matchers of Table 6, in column order.
+const ALGOS: [&str; 7] = ["NAGA", "G-Finder", "TSpan-1", "TSpan-3", "StrongSim", "FSims", "FSimdp"];
+
+fn run_matcher(name: &str, case: &QueryCase, data: &Graph, opts: &ExpOpts) -> Option<f64> {
+    let q = &case.query;
+    let m = match name {
+        "NAGA" => Some(naga_match(q, data)),
+        "G-Finder" => Some(gfinder_match(q, data)),
+        "TSpan-1" => tspan_match(q, data, 1),
+        "TSpan-3" => tspan_match(q, data, 3),
+        "StrongSim" => {
+            // Strong simulation returns a match *subgraph*; score it
+            // set-based like the paper.
+            let nodes = strong_sim_match_nodes(q, data);
+            if nodes.is_empty() {
+                return Some(0.0);
+            }
+            return Some(f1_sets(&nodes, &case.ground_truth));
+        }
+        "FSims" => {
+            let cfg =
+                FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator).threads(opts.threads);
+            Some(fsim_match(q, data, &cfg))
+        }
+        "FSimdp" => {
+            let cfg = FsimConfig::new(Variant::DegreePreserving)
+                .label_fn(LabelFn::Indicator)
+                .threads(opts.threads);
+            Some(fsim_match(q, data, &cfg))
+        }
+        _ => unreachable!("unknown matcher {name}"),
+    };
+    m.map(|m| f1_score(&m, &case.ground_truth))
+}
+
+/// Regenerates Table 6.
+pub fn run(opts: &ExpOpts) -> Report {
+    let data_nodes = ((1200.0 * opts.scale) as usize).max(120);
+    let query_count = ((40.0 * opts.scale) as usize).max(6);
+    // Label diversity is scaled with |V| (the real Amazon graph is ~500x
+    // larger at 82 labels); keeping |V|/|Σ| ≈ 8 preserves the paper's
+    // near-unique query embeddings, which the F1 ground truth relies on.
+    let data = copurchase(data_nodes, (data_nodes / 8).max(20), opts.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x7ab1e6);
+
+    let mut report = Report::new(
+        "table6",
+        "Average pattern-matching F1 (%) per scenario (co-purchase surrogate)",
+        &["scenario", "NAGA", "G-Finder", "TSpan-1", "TSpan-3", "StrongSim", "FSims", "FSimdp"],
+    );
+
+    // Pre-extract the query pool (sizes 3..13 as in the paper).
+    let mut cases = Vec::new();
+    let mut attempts = 0usize;
+    while cases.len() < query_count && attempts < query_count * 50 {
+        attempts += 1;
+        let size = rng.gen_range(3..=13usize);
+        if let Some(case) = extract_unique_query(&data, size, 3, &mut rng) {
+            cases.push(case);
+        }
+    }
+
+    let alphabet = data.used_labels();
+    for scenario in Scenario::ALL {
+        let mut sums = vec![0.0f64; ALGOS.len()];
+        let mut fails = vec![0usize; ALGOS.len()];
+        for case in &cases {
+            let noisy = apply_noise(case, scenario, 0.33, &alphabet, &mut rng);
+            for (i, algo) in ALGOS.iter().enumerate() {
+                match run_matcher(algo, &noisy, &data, opts) {
+                    Some(f1) => sums[i] += f1,
+                    None => fails[i] += 1,
+                }
+            }
+        }
+        let mut cells = vec![scenario.name().to_string()];
+        for i in 0..ALGOS.len() {
+            if fails[i] * 10 >= cases.len() * 9 {
+                cells.push("-".to_string()); // no results (paper's '-')
+            } else {
+                cells.push(format!("{:.1}", 100.0 * sums[i] / cases.len() as f64));
+            }
+        }
+        report.row(cells);
+    }
+    report.note(format!("{} queries of sizes 3..13, 33% noise, seed {}", cases.len(), opts.seed));
+    report.note("paper: all 100% on Exact; TSpan best on Noisy-E; '-' for TSpan on label noise; FSims most robust overall");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_scenario_scores_high_for_exact_methods() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.15;
+        let r = run(&opts);
+        assert_eq!(r.rows.len(), 4);
+        let exact_row = &r.rows[0];
+        assert_eq!(exact_row[0], "Exact");
+        // TSpan-1 and StrongSim must be near-perfect on exact queries.
+        for col in [3usize, 5] {
+            let v: f64 = exact_row[col].parse().expect("numeric");
+            assert!(v > 80.0, "col {col} too low on Exact: {v}");
+        }
+    }
+
+    #[test]
+    fn tspan_has_no_results_under_label_noise() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.15;
+        let r = run(&opts);
+        let noisy_l = &r.rows[2];
+        assert_eq!(noisy_l[0], "Noisy-L");
+        // TSpan-1 must (nearly) vanish like the paper's '-'; at the tiny
+        // test scale a single lucky query may slip through.
+        let tspan1 = noisy_l[3].parse::<f64>().unwrap_or(0.0);
+        assert!(tspan1 < 15.0, "TSpan-1 should have (almost) no results: {tspan1}");
+        let tspan3 = noisy_l[4].parse::<f64>().unwrap_or(0.0);
+        assert!(tspan3 < 50.0, "TSpan-3 should collapse under label noise: {tspan3}");
+        // FSims must keep producing results and beat TSpan-3.
+        let fsims: f64 = noisy_l[6].parse().expect("numeric");
+        assert!(fsims > 20.0, "FSims should stay robust: {fsims}");
+        assert!(fsims > tspan3, "FSims must beat TSpan under label noise");
+    }
+}

@@ -1,0 +1,97 @@
+//! Table 9: graph-alignment F1 on the evolving-graph surrogate
+//! (`G1 → G2 → G3`), comparing k-bisimulation, Olap-like, GSA-NA-like,
+//! FINAL-like, EWS-like and FSimb / FSimbj.
+
+use crate::opts::ExpOpts;
+use crate::report::Report;
+use fsim_align::{
+    alignment_f1, ews_align, final_align, fsim_align, gsa_na_align, kbisim_align, olap_align,
+};
+use fsim_core::{FsimConfig, Variant};
+use fsim_datasets::evolving::{compose_ground_truth, evolve, reify_edges, Churn};
+use fsim_graph::generate::{preferential, GeneratorConfig};
+use fsim_graph::{Graph, NodeId};
+use fsim_labels::LabelFn;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn fsim_cfg(variant: Variant, opts: &ExpOpts) -> FsimConfig {
+    FsimConfig::new(variant).label_fn(LabelFn::Indicator).theta(1.0).threads(opts.threads)
+}
+
+fn seeds_from_gt(gt: &[Option<NodeId>], count: usize) -> Vec<(NodeId, NodeId)> {
+    gt.iter()
+        .enumerate()
+        .filter_map(|(u, v)| v.map(|v| (u as u32, v)))
+        .take(count)
+        .collect()
+}
+
+fn score_all(g1: &Graph, g2: &Graph, gt: &[Option<NodeId>], opts: &ExpOpts) -> Vec<f64> {
+    let seeds = seeds_from_gt(gt, 20);
+    vec![
+        alignment_f1(&kbisim_align(g1, g2, 2), gt),
+        alignment_f1(&kbisim_align(g1, g2, 4), gt),
+        alignment_f1(&olap_align(g1, g2), gt),
+        alignment_f1(&gsa_na_align(g1, g2), gt),
+        alignment_f1(&final_align(g1, g2, 0.82, 12), gt),
+        alignment_f1(&ews_align(g1, g2, &seeds, 1), gt),
+        alignment_f1(&fsim_align(g1, g2, &fsim_cfg(Variant::Bi, opts)), gt),
+        alignment_f1(&fsim_align(g1, g2, &fsim_cfg(Variant::Bijective, opts)), gt),
+    ]
+}
+
+/// Regenerates Table 9.
+pub fn run(opts: &ExpOpts) -> Report {
+    let n = ((500.0 * opts.scale) as usize).max(60);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0xa119);
+    // Entities with 8 node labels; edges reified through 23 relation types
+    // (the paper's RDF graphs have 8 node labels and 23 edge labels).
+    let entities = preferential(&GeneratorConfig::new(n, n * 2, 8).label_skew(0.5), &mut rng);
+    let g1 = reify_edges(&entities, 23);
+    let (g2, gt12) = evolve(&g1, Churn::default(), &mut rng);
+    let (g3, gt23) = evolve(&g2, Churn::default(), &mut rng);
+    let gt13 = compose_ground_truth(&gt12, &gt23);
+
+    let mut report = Report::new(
+        "table9",
+        "Alignment F1 (%) on evolving-graph surrogate",
+        &["graphs", "2-bisim", "4-bisim", "Olap", "GSA-NA", "FINAL", "EWS", "FSimb", "FSimbj"],
+    );
+    for (name, ga, gb, gt) in [("G1-G2", &g1, &g2, &gt12), ("G1-G3", &g1, &g3, &gt13)] {
+        let scores = score_all(ga, gb, gt, opts);
+        let mut cells = vec![name.to_string()];
+        cells.extend(scores.iter().map(|s| format!("{:.1}", 100.0 * s)));
+        report.row(cells);
+    }
+    report.note("entities carry 8 labels; edges reified through 23 relation types (RDF edge labels)");
+    report.note("plain (exact) bisimulation aligns 0% — no exact relation across versions");
+    report.note("EWS receives 20 ground-truth seed pairs (as the seed-based method requires)");
+    report.note("paper: FSimb ~97%, FSimbj ~96%, EWS ~70%, FINAL ~55%, others far below");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsim_aligners_dominate_partition_baselines() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.2;
+        let r = run(&opts);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            let parse = |i: usize| -> f64 { row[i].parse().unwrap() };
+            let bisim2 = parse(1);
+            let fsimb = parse(7);
+            let fsimbj = parse(8);
+            assert!(
+                fsimb > bisim2 && fsimbj > bisim2,
+                "{}: FSim ({fsimb}/{fsimbj}) must beat 2-bisim ({bisim2})",
+                row[0]
+            );
+            assert!(fsimb > 50.0, "{}: FSimb too weak: {fsimb}", row[0]);
+        }
+    }
+}

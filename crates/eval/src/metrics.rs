@@ -1,0 +1,142 @@
+//! Evaluation metrics: Pearson correlation (the sensitivity experiments of
+//! §5.2) and nDCG (the ranking-quality evaluation of Table 8).
+
+use fsim_core::FsimResult;
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns `NaN` for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Pearson correlation between two FSim results (the paper correlates a
+/// pruned/perturbed run against its baseline).
+///
+/// Computed over the pairs maintained in *both* runs: a pruned run simply
+/// does not produce scores for dropped pairs, so the comparison covers the
+/// scores that exist on both sides (correlating against a constant
+/// 0-fallback for the pruned complement would measure the pruning rate,
+/// not score fidelity).
+pub fn result_correlation(a: &FsimResult, b: &FsimResult) -> f64 {
+    let (small, large) = if a.pair_count() <= b.pair_count() { (a, b) } else { (b, a) };
+    let mut xs = Vec::with_capacity(small.pair_count());
+    let mut ys = Vec::with_capacity(small.pair_count());
+    for (u, v, s) in small.iter_pairs() {
+        if let Some(t) = large.get(u, v) {
+            xs.push(s);
+            ys.push(t);
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+/// Discounted cumulative gain of a ranked relevance list
+/// (`(2^rel − 1) / log2(i + 2)`).
+pub fn dcg(relevances: &[u32]) -> f64 {
+    relevances
+        .iter()
+        .enumerate()
+        .map(|(i, &rel)| ((1u64 << rel) - 1) as f64 / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// Normalized DCG: `dcg(ranked) / dcg(ideal)` where ideal is the same
+/// multiset sorted descending; `pool` supplies the full relevance pool the
+/// ideal ranking may draw from (usually all candidates). 0 when the pool
+/// has no relevant item.
+pub fn ndcg(ranked: &[u32], pool: &[u32], k: usize) -> f64 {
+    let ranked: Vec<u32> = ranked.iter().copied().take(k).collect();
+    let mut ideal: Vec<u32> = pool.to_vec();
+    ideal.sort_unstable_by(|a, b| b.cmp(a));
+    ideal.truncate(k);
+    let ideal_dcg = dcg(&ideal);
+    if ideal_dcg == 0.0 {
+        return 0.0;
+    }
+    dcg(&ranked) / ideal_dcg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_nan() {
+        assert!(pearson(&[1.0], &[1.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn dcg_discounts_by_position() {
+        // rel 2 at the top is worth more than rel 2 at position 3.
+        assert!(dcg(&[2, 0, 0]) > dcg(&[0, 0, 2]));
+        assert_eq!(dcg(&[]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let ranked = [2, 2, 1, 0];
+        assert!((ndcg(&ranked, &ranked, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_worst_ranking_below_one() {
+        let ranked = [0, 0, 1, 2];
+        let pool = [2, 2, 1, 0, 0];
+        let v = ndcg(&ranked, &pool, 4);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn ndcg_zero_pool_is_zero() {
+        assert_eq!(ndcg(&[0, 0], &[0, 0, 0], 2), 0.0);
+    }
+
+    #[test]
+    fn result_correlation_of_identical_runs_is_one() {
+        use fsim_core::{compute, FsimConfig, Variant};
+        use fsim_graph::examples::figure1;
+        use fsim_labels::LabelFn;
+        let f = figure1();
+        let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+        let a = compute(&f.pattern, &f.data, &cfg).unwrap();
+        let b = compute(&f.pattern, &f.data, &cfg).unwrap();
+        assert!((result_correlation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared experiment options: scaling, threading and seeding.
+
+/// Global knobs for the experiment harness.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Multiplier on the default surrogate sizes (1.0 ≈ laptop-scale
+    /// defaults; 0.25 for quick smoke runs).
+    pub scale: f64,
+    /// Worker threads for the FSim engine.
+    pub threads: usize,
+    /// Master seed; every experiment derives sub-seeds deterministically.
+    pub seed: u64,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            seed: 42,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// A fast configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        Self { scale: 0.25, ..Self::default() }
+    }
+
+    /// The NELL-like sensitivity workhorse graph (§5.2 uses NELL for all
+    /// sensitivity experiments).
+    pub fn nell(&self) -> fsim_graph::Graph {
+        fsim_datasets::DatasetSpec::by_name("NELL")
+            .expect("NELL spec exists")
+            .generate_scaled(0.5 * self.scale, self.seed)
+    }
+
+    /// The ACMCit-like large graph for the scalability experiments.
+    pub fn acmcit(&self) -> fsim_graph::Graph {
+        fsim_datasets::DatasetSpec::by_name("ACMCit")
+            .expect("ACMCit spec exists")
+            .generate_scaled(0.5 * self.scale, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ExpOpts::default();
+        assert!(o.threads >= 1);
+        assert_eq!(o.scale, 1.0);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = ExpOpts::quick();
+        let d = ExpOpts::default();
+        assert!(q.nell().node_count() < d.nell().node_count());
+    }
+}

@@ -1,0 +1,129 @@
+//! Textual experiment reports mirroring the paper's tables and figure
+//! series.
+
+use serde::Serialize;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id (`table2`, `fig4a`, …).
+    pub id: String,
+    /// Human title (paper reference).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, skipped configs, seeds).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().collect());
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total.max(4)))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimals, or `-` for NaN.
+pub fn fmt3(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_cells() {
+        let mut r = Report::new("t", "title", &["a", "bb"]);
+        r.row(["x".to_string(), "yyyy".to_string()]);
+        r.note("hello");
+        let s = format!("{r}");
+        for needle in ["== t", "title", "a", "bb", "x", "yyyy", "note: hello"] {
+            assert!(s.contains(needle), "missing {needle}: {s}");
+        }
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt3(f64::NAN), "-");
+        assert_eq!(fmt_secs(0.0000005), "0.5us");
+        assert_eq!(fmt_secs(0.5), "500.0ms");
+        assert_eq!(fmt_secs(2.0), "2.00s");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut r = Report::new("t", "title", &["a"]);
+        r.row(["1".to_string()]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"id\":\"t\""));
+    }
+}

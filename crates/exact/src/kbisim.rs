@@ -1,0 +1,223 @@
+//! k-bisimulation via signature hashing (Luo et al. [21]; §4.3 of the
+//! paper) and full bisimulation partitioning to a fixpoint.
+//!
+//! `sig⁰(u)` hashes the node label; `sigᵏ(u)` hashes
+//! `(sigᵏ⁻¹(u), sorted multiset of out-neighbor sigᵏ⁻¹)`. Two nodes are
+//! k-bisimilar iff their signatures agree (out-neighbors only, matching the
+//! reference definition). Theorem 4 connects this to `FSimᵏ_b` with
+//! `w⁻ = 0`.
+
+use fsim_graph::hash::FxHasher;
+use fsim_graph::{Graph, NodeId};
+use std::hash::Hasher;
+
+fn hash_one(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+fn hash_seq(seed: u64, xs: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(seed);
+    for &x in xs {
+        h.write_u64(x);
+    }
+    h.finish()
+}
+
+fn label_signatures(g: &Graph) -> Vec<u64> {
+    // Hash label *strings* so signatures are comparable across graphs that
+    // do not share an interner.
+    g.nodes()
+        .map(|u| {
+            let s = g.label_str(u);
+            let mut h = FxHasher::default();
+            h.write(s.as_bytes());
+            hash_one(h.finish())
+        })
+        .collect()
+}
+
+/// One signature-refinement round over out-neighbors.
+///
+/// The neighbor signatures are deduplicated: (k-)bisimulation quantifies
+/// existentially over neighbors, so only the *set* of neighbor classes
+/// matters (the paper's Theorem-4 proof: "the set of signature values in
+/// u's neighborhood is the same as that in v's neighborhood"). The WL
+/// test, in contrast, hashes the multiset — see [`crate::wl`].
+fn refine_round(g: &Graph, sig: &[u64]) -> Vec<u64> {
+    let mut scratch: Vec<u64> = Vec::new();
+    g.nodes()
+        .map(|u| {
+            scratch.clear();
+            scratch.extend(g.out_neighbors(u).iter().map(|&v| sig[v as usize]));
+            scratch.sort_unstable();
+            scratch.dedup();
+            hash_seq(sig[u as usize], &scratch)
+        })
+        .collect()
+}
+
+/// The k-bisimulation signatures `sigᵏ` for every node.
+pub fn kbisim_signatures(g: &Graph, k: usize) -> Vec<u64> {
+    let mut sig = label_signatures(g);
+    for _ in 0..k {
+        sig = refine_round(g, &sig);
+    }
+    sig
+}
+
+/// Whether `u` and `v` (same graph) are k-bisimilar.
+pub fn kbisimilar(g: &Graph, k: usize, u: NodeId, v: NodeId) -> bool {
+    let sig = kbisim_signatures(g, k);
+    sig[u as usize] == sig[v as usize]
+}
+
+/// Joint k-bisimulation signatures across two graphs (signatures are
+/// comparable between the returned vectors).
+pub fn kbisim_signatures_joint(g1: &Graph, g2: &Graph, k: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut s1 = label_signatures(g1);
+    let mut s2 = label_signatures(g2);
+    for _ in 0..k {
+        s1 = refine_round(g1, &s1);
+        s2 = refine_round(g2, &s2);
+    }
+    (s1, s2)
+}
+
+/// Dense partition ids from a signature vector (`0..#classes`).
+pub fn signatures_to_partition(sig: &[u64]) -> (Vec<u32>, usize) {
+    let mut sorted: Vec<u64> = sig.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let part = sig
+        .iter()
+        .map(|s| sorted.binary_search(s).expect("present") as u32)
+        .collect();
+    (part, sorted.len())
+}
+
+/// Full bisimulation partition: refine (over out-neighbors, plus
+/// in-neighbors when `use_in` — the paper's Definition 2 considers both)
+/// until the number of classes stabilizes. Returns `(class per node,
+/// #classes, rounds)`.
+pub fn bisimulation_partition(g: &Graph, use_in: bool) -> (Vec<u32>, usize, usize) {
+    bisimulation_partition_depth(g, use_in, usize::MAX)
+}
+
+/// [`bisimulation_partition`] with a refinement-depth cap: stops after
+/// `max_rounds` rounds even if the partition is still splitting. Depth-
+/// bounded contraction is what partition-based alignment tools actually
+/// operate on (full refinement shatters churned graphs into singletons).
+pub fn bisimulation_partition_depth(
+    g: &Graph,
+    use_in: bool,
+    max_rounds: usize,
+) -> (Vec<u32>, usize, usize) {
+    let mut sig = label_signatures(g);
+    let mut classes = signatures_to_partition(&sig).1;
+    let mut rounds = 0usize;
+    loop {
+        let mut next = refine_round(g, &sig);
+        if use_in {
+            // Mix in the in-neighbor signatures as a second pass.
+            let mut scratch: Vec<u64> = Vec::new();
+            next = g
+                .nodes()
+                .map(|u| {
+                    scratch.clear();
+                    scratch.extend(g.in_neighbors(u).iter().map(|&v| sig[v as usize]));
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    hash_seq(next[u as usize], &scratch)
+                })
+                .collect();
+        }
+        let next_classes = signatures_to_partition(&next).1;
+        rounds += 1;
+        if next_classes == classes || rounds >= max_rounds || rounds > g.node_count() {
+            return (signatures_to_partition(&next).0, next_classes, rounds);
+        }
+        sig = next;
+        classes = next_classes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_graph::graph_from_parts;
+
+    #[test]
+    fn sig0_is_label_partition() {
+        let g = graph_from_parts(&["a", "a", "b"], &[(0, 2)]);
+        let sig = kbisim_signatures(&g, 0);
+        assert_eq!(sig[0], sig[1]);
+        assert_ne!(sig[0], sig[2]);
+    }
+
+    #[test]
+    fn depth_separates_structures() {
+        // 0 -> 2(b); 1 has no child. Same labels at k=0, split at k=1.
+        let g = graph_from_parts(&["a", "a", "b"], &[(0, 2)]);
+        assert!(kbisimilar(&g, 0, 0, 1));
+        assert!(!kbisimilar(&g, 1, 0, 1));
+    }
+
+    #[test]
+    fn deeper_k_refines_monotonically() {
+        // Chain differences surface at exactly the right depth.
+        // 0->1->2->3(b) vs 4->5->6 (all a).
+        let g = graph_from_parts(
+            &["a", "a", "a", "b", "a", "a", "a"],
+            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)],
+        );
+        assert!(kbisimilar(&g, 1, 0, 4), "children look alike at k=1");
+        assert!(kbisimilar(&g, 2, 0, 4), "grandchildren alike at k=2");
+        assert!(!kbisimilar(&g, 3, 0, 4), "depth-3 sees the 'b'");
+        // k-bisimilarity is downward closed: split at k ⇒ split at k+1.
+        assert!(!kbisimilar(&g, 4, 0, 4));
+    }
+
+    #[test]
+    fn joint_signatures_align_across_graphs() {
+        let g1 = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let g2 = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let (s1, s2) = kbisim_signatures_joint(&g1, &g2, 3);
+        assert_eq!(s1[0], s2[0]);
+        assert_eq!(s1[1], s2[1]);
+        assert_ne!(s1[0], s1[1]);
+    }
+
+    #[test]
+    fn full_partition_on_symmetric_graph() {
+        // Star: leaves are bisimilar, center is not.
+        let g = graph_from_parts(&["c", "l", "l", "l"], &[(0, 1), (0, 2), (0, 3)]);
+        let (part, classes, _) = bisimulation_partition(&g, true);
+        assert_eq!(classes, 2);
+        assert_eq!(part[1], part[2]);
+        assert_eq!(part[2], part[3]);
+        assert_ne!(part[0], part[1]);
+    }
+
+    #[test]
+    fn in_neighbors_can_split_classes() {
+        // Two 'b' nodes; only one has an 'a' parent. Out-only refinement
+        // keeps them together; in-aware splits them.
+        let g = graph_from_parts(&["a", "b", "b"], &[(0, 1)]);
+        let (_, classes_out, _) = bisimulation_partition(&g, false);
+        let (part_in, classes_in, _) = bisimulation_partition(&g, true);
+        assert_eq!(classes_out, 2);
+        assert_eq!(classes_in, 3);
+        assert_ne!(part_in[1], part_in[2]);
+    }
+
+    #[test]
+    fn partition_ids_are_dense() {
+        let g = graph_from_parts(&["a", "b", "c", "a"], &[(0, 1), (3, 2)]);
+        let (part, classes, _) = bisimulation_partition(&g, true);
+        let max = *part.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, classes);
+    }
+}

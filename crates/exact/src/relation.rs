@@ -1,0 +1,108 @@
+//! The binary relation `R ⊆ V1 × V2` produced by the exact checkers.
+
+use fsim_graph::{FxHashSet, NodeId};
+
+/// A set of label strings (used by the strong-simulation precheck).
+pub type LabelSet = std::collections::HashSet<std::sync::Arc<str>>;
+
+/// A binary relation over `V1 × V2`, stored as per-left-node sets.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    forward: Vec<FxHashSet<NodeId>>,
+}
+
+impl Relation {
+    /// Creates the full relation `{(u, v) : pred(u, v)}`.
+    pub fn from_predicate(n1: usize, n2: usize, pred: impl Fn(NodeId, NodeId) -> bool) -> Self {
+        let forward = (0..n1 as u32)
+            .map(|u| (0..n2 as u32).filter(|&v| pred(u, v)).collect())
+            .collect();
+        Self { forward }
+    }
+
+    /// An empty relation over `n1` left nodes.
+    pub fn empty(n1: usize) -> Self {
+        Self { forward: vec![FxHashSet::default(); n1] }
+    }
+
+    /// Whether `(u, v) ∈ R`.
+    #[inline]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.forward[u as usize].contains(&v)
+    }
+
+    /// The set `{v : (u, v) ∈ R}` — all nodes simulating `u`.
+    pub fn simulators_of(&self, u: NodeId) -> &FxHashSet<NodeId> {
+        &self.forward[u as usize]
+    }
+
+    /// Removes `(u, v)`; returns whether it was present.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.forward[u as usize].remove(&v)
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.forward.iter().map(FxHashSet::len).sum()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.iter().all(FxHashSet::is_empty)
+    }
+
+    /// Number of left nodes the relation is defined over.
+    pub fn left_size(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Iterates all `(u, v)` pairs (left-major, unordered within a row).
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.forward
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u as u32, v)))
+    }
+
+    /// Whether every left node has at least one simulator.
+    pub fn is_total(&self) -> bool {
+        self.forward.iter().all(|vs| !vs.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_construction() {
+        let r = Relation::from_predicate(2, 3, |u, v| u == v);
+        assert!(r.contains(0, 0));
+        assert!(r.contains(1, 1));
+        assert!(!r.contains(0, 1));
+        assert_eq!(r.len(), 2);
+        assert!(r.is_total());
+        let sparse = Relation::from_predicate(2, 3, |u, v| u == 0 && v == 2);
+        assert!(!sparse.is_total());
+    }
+
+    #[test]
+    fn remove_and_pairs() {
+        let mut r = Relation::from_predicate(2, 2, |_, _| true);
+        assert_eq!(r.len(), 4);
+        assert!(r.remove(0, 1));
+        assert!(!r.remove(0, 1));
+        assert_eq!(r.len(), 3);
+        let mut ps: Vec<_> = r.pairs().collect();
+        ps.sort_unstable();
+        assert_eq!(ps, vec![(0, 0), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(3);
+        assert!(r.is_empty());
+        assert_eq!(r.left_size(), 3);
+        assert_eq!(r.len(), 0);
+    }
+}

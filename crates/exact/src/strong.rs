@@ -1,0 +1,176 @@
+//! Strong simulation (Ma et al., PVLDB 2011 / TODS 2014) for subgraph
+//! pattern matching.
+//!
+//! Strong simulation exists between a query `Q` and a data graph `G` if some
+//! ball `G[v, δ_Q]` (nodes within undirected distance `δ_Q` — the diameter
+//! of `Q` — of a center `v`) admits a simulation relation `R` from `Q` into
+//! the ball such that `R` covers every query node and contains the center.
+//! The paper uses it as the exact-simulation baseline of the
+//! pattern-matching case study (Table 6).
+
+use crate::refinement::{simulation_relation, ExactVariant};
+use fsim_graph::subgraph::induced_subgraph;
+use fsim_graph::traversal::{ball, diameter_undirected};
+use fsim_graph::{Graph, NodeId};
+
+/// A strong-simulation match: the center node and the matched data nodes
+/// (the image of the simulation relation inside the ball).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrongMatch {
+    /// The ball center `v`.
+    pub center: NodeId,
+    /// Data nodes participating in the match, sorted ascending.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Finds all strong-simulation matches of `query` in `data`.
+///
+/// Cost: one ball extraction + simulation fixpoint per candidate center;
+/// candidates are restricted to data nodes carrying a query label, and
+/// balls whose label set cannot cover the query's are rejected before the
+/// fixpoint.
+pub fn strong_simulation_matches(query: &Graph, data: &Graph, variant: ExactVariant) -> Vec<StrongMatch> {
+    strong_simulation_matches_limit(query, data, variant, usize::MAX)
+}
+
+/// [`strong_simulation_matches`] stopping after `limit` matches — pattern
+/// matching only needs the top-1 match, which avoids scanning every center.
+pub fn strong_simulation_matches_limit(
+    query: &Graph,
+    data: &Graph,
+    variant: ExactVariant,
+    limit: usize,
+) -> Vec<StrongMatch> {
+    let delta = diameter_undirected(query).max(1);
+    let query_labels: Vec<std::sync::Arc<str>> =
+        query.nodes().map(|u| query.label_str(u)).collect();
+    let mut matches = Vec::new();
+    for center in data.nodes() {
+        if matches.len() >= limit {
+            break;
+        }
+        let center_label = data.label_str(center);
+        if !query_labels.iter().any(|l| **l == *center_label) {
+            continue;
+        }
+        let ball_nodes = ball(data, center, delta);
+        // Cheap precheck: every query label must occur in the ball.
+        let ball_labels: crate::relation::LabelSet = ball_nodes
+            .iter()
+            .map(|&v| data.label_str(v))
+            .collect();
+        if !query_labels.iter().all(|l| ball_labels.contains(l)) {
+            continue;
+        }
+        let sub = induced_subgraph(data, &ball_nodes);
+        let r = simulation_relation(query, &sub.graph, variant);
+        if !r.is_total() {
+            continue; // some query node has no simulator in this ball
+        }
+        let center_local = sub.child_of(center).expect("center is in its own ball");
+        let center_covered = query.nodes().any(|u| r.contains(u, center_local));
+        if !center_covered {
+            continue;
+        }
+        let mut nodes: Vec<NodeId> = r.pairs().map(|(_, v)| sub.parent_of(v)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        matches.push(StrongMatch { center, nodes });
+    }
+    matches
+}
+
+/// Whether any strong-simulation match exists.
+pub fn has_strong_match(query: &Graph, data: &Graph) -> bool {
+    !strong_simulation_matches(query, data, ExactVariant::Simple).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_graph::{graph_from_parts, GraphBuilder, LabelInterner};
+    use std::sync::Arc;
+
+    /// Query: a -> b; data embeds it exactly plus noise nodes.
+    fn query_and_data() -> (Graph, Graph) {
+        let i = LabelInterner::shared();
+        let mut q = GraphBuilder::with_interner(Arc::clone(&i));
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let mut d = GraphBuilder::with_interner(i);
+        let x = d.add_node("a");
+        let y = d.add_node("b");
+        let z = d.add_node("c");
+        d.add_edge(x, y);
+        d.add_edge(y, z);
+        (q.build(), d.build())
+    }
+
+    #[test]
+    fn finds_exact_embedding() {
+        let (q, d) = query_and_data();
+        let ms = strong_simulation_matches(&q, &d, ExactVariant::Simple);
+        assert!(!ms.is_empty());
+        let m = &ms[0];
+        assert!(m.nodes.contains(&0) && m.nodes.contains(&1));
+    }
+
+    #[test]
+    fn no_match_when_label_missing() {
+        let i = LabelInterner::shared();
+        let mut q = GraphBuilder::with_interner(Arc::clone(&i));
+        let a = q.add_node("a");
+        let z = q.add_node("zz");
+        q.add_edge(a, z);
+        let mut d = GraphBuilder::with_interner(i);
+        let x = d.add_node("a");
+        let y = d.add_node("b");
+        d.add_edge(x, y);
+        assert!(!has_strong_match(&q.build(), &d.build()));
+    }
+
+    #[test]
+    fn no_match_when_edge_missing() {
+        // Query a -> b, data has a and b but no edge.
+        let i = LabelInterner::shared();
+        let mut q = GraphBuilder::with_interner(Arc::clone(&i));
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let mut d = GraphBuilder::with_interner(i);
+        d.add_node("a");
+        d.add_node("b");
+        assert!(!has_strong_match(&q.build(), &d.build()));
+    }
+
+    #[test]
+    fn locality_prunes_distant_structure() {
+        // The ball restriction means the b-node must lie within δ_Q of the
+        // center; here the only 'b' is 3 hops away from the matching 'a',
+        // with δ_Q = 1 → no match centered anywhere.
+        let i = LabelInterner::shared();
+        let mut q = GraphBuilder::with_interner(Arc::clone(&i));
+        let a = q.add_node("a");
+        let b = q.add_node("b");
+        q.add_edge(a, b);
+        let mut d = GraphBuilder::with_interner(i);
+        let n0 = d.add_node("a");
+        let n1 = d.add_node("c");
+        let n2 = d.add_node("c");
+        let n3 = d.add_node("b");
+        d.add_edge(n0, n1);
+        d.add_edge(n1, n2);
+        d.add_edge(n2, n3);
+        assert!(!has_strong_match(&q.build(), &d.build()));
+    }
+
+    #[test]
+    fn self_match_on_query_itself() {
+        let q = graph_from_parts(&["a", "b", "c"], &[(0, 1), (1, 2)]);
+        let ms = strong_simulation_matches(&q, &q, ExactVariant::Simple);
+        assert!(!ms.is_empty());
+        // Some match must cover the whole query.
+        assert!(ms.iter().any(|m| m.nodes == vec![0, 1, 2]));
+    }
+}

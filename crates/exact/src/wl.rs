@@ -1,0 +1,129 @@
+//! The 1-dimensional Weisfeiler–Lehman color refinement (the "WL test"),
+//! on undirected labeled graphs — §4.3's Theorem 5 shows bijective
+//! simulation has exactly its distinguishing power.
+
+use fsim_graph::hash::FxHasher;
+use fsim_graph::transform::undirected;
+use fsim_graph::Graph;
+use std::hash::Hasher;
+
+fn initial_colors(g: &Graph) -> Vec<u64> {
+    g.nodes()
+        .map(|u| {
+            let mut h = FxHasher::default();
+            h.write(g.label_str(u).as_bytes());
+            h.finish()
+        })
+        .collect()
+}
+
+fn round(g: &Graph, colors: &[u64]) -> Vec<u64> {
+    let mut scratch: Vec<u64> = Vec::new();
+    g.nodes()
+        .map(|u| {
+            scratch.clear();
+            scratch.extend(g.out_neighbors(u).iter().map(|&v| colors[v as usize]));
+            scratch.sort_unstable();
+            let mut h = FxHasher::default();
+            h.write_u64(colors[u as usize]);
+            for &c in &scratch {
+                h.write_u64(c);
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+fn joint_class_count(c1: &[u64], c2: &[u64]) -> usize {
+    let mut all: Vec<u64> = c1.iter().chain(c2.iter()).copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    all.len()
+}
+
+/// Jointly refines WL colors of two graphs (symmetrized internally) until
+/// the joint partition stabilizes or `max_rounds` is hit. Colors are
+/// comparable across the two returned vectors.
+pub fn wl_colors(g1: &Graph, g2: &Graph, max_rounds: usize) -> (Vec<u64>, Vec<u64>) {
+    let (u1, u2) = (undirected(g1), undirected(g2));
+    let mut c1 = initial_colors(&u1);
+    let mut c2 = initial_colors(&u2);
+    let mut classes = joint_class_count(&c1, &c2);
+    for _ in 0..max_rounds {
+        let n1 = round(&u1, &c1);
+        let n2 = round(&u2, &c2);
+        let next_classes = joint_class_count(&n1, &n2);
+        c1 = n1;
+        c2 = n2;
+        if next_classes == classes {
+            break;
+        }
+        classes = next_classes;
+    }
+    (c1, c2)
+}
+
+/// The WL isomorphism test verdict for two whole graphs: isomorphic graphs
+/// always pass; passing does not imply isomorphism.
+pub fn wl_test(g1: &Graph, g2: &Graph) -> bool {
+    if g1.node_count() != g2.node_count() || g1.edge_count() != g2.edge_count() {
+        return false;
+    }
+    let rounds = g1.node_count() + g2.node_count();
+    let (c1, c2) = wl_colors(g1, g2, rounds);
+    let mut m1 = c1;
+    let mut m2 = c2;
+    m1.sort_unstable();
+    m2.sort_unstable();
+    m1 == m2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_graph::graph_from_parts;
+
+    #[test]
+    fn isomorphic_paths_pass() {
+        let g1 = graph_from_parts(&["a", "a", "a"], &[(0, 1), (1, 2)]);
+        let g2 = graph_from_parts(&["a", "a", "a"], &[(2, 1), (1, 0)]);
+        assert!(wl_test(&g1, &g2));
+    }
+
+    #[test]
+    fn different_shapes_fail() {
+        let path = graph_from_parts(&["a", "a", "a", "a"], &[(0, 1), (1, 2), (2, 3)]);
+        let star = graph_from_parts(&["a", "a", "a", "a"], &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!wl_test(&path, &star));
+    }
+
+    #[test]
+    fn labels_distinguish() {
+        let g1 = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let g2 = graph_from_parts(&["a", "a"], &[(0, 1)]);
+        assert!(!wl_test(&g1, &g2));
+    }
+
+    #[test]
+    fn classic_wl_blind_spot_passes() {
+        // Two 3-cycles vs one 6-cycle: non-isomorphic but WL-equivalent —
+        // the canonical counterexample to WL completeness.
+        let two_triangles = graph_from_parts(
+            &["x"; 6],
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        );
+        let hexagon = graph_from_parts(
+            &["x"; 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        assert!(wl_test(&two_triangles, &hexagon));
+    }
+
+    #[test]
+    fn colors_separate_center_from_leaves() {
+        let star = graph_from_parts(&["x", "x", "x"], &[(0, 1), (0, 2)]);
+        let (c, _) = wl_colors(&star, &star, 5);
+        assert_eq!(c[1], c[2]);
+        assert_ne!(c[0], c[1]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Compressed sparse row adjacency storage.
+//!
+//! Both adjacency directions of a [`crate::Graph`] are stored as one `Csr`
+//! each. Neighbor lists are sorted, enabling `O(log d)` edge-existence checks
+//! and deterministic iteration order.
+
+/// Compressed sparse row adjacency: `targets[offsets[u]..offsets[u+1]]` are
+/// the (sorted) neighbors of node `u`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list over `n` nodes. Edges are sorted and
+    /// deduplicated; parallel edges collapse to one.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut edges: Vec<(u32, u32)> = edges.into_iter().collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Self::from_sorted_dedup_edges(n, &edges)
+    }
+
+    /// Builds a CSR from an edge list that is already sorted and deduplicated.
+    pub fn from_sorted_dedup_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly sorted");
+        let mut offsets = vec![0u32; n + 1];
+        for &(s, _) in edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = edges.iter().map(|&(_, t)| t).collect();
+        Self { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted neighbor slice of node `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Whether the edge `(u, v)` is stored.
+    #[inline]
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|u| self.degree(u as u32)).max().unwrap_or(0)
+    }
+
+    /// Iterates over all `(source, target)` edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.node_count() as u32)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_edges(4, vec![(0, 1), (0, 2), (2, 3), (0, 1), (3, 0)])
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let c = sample();
+        assert_eq!(c.edge_count(), 4);
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbors(1), &[] as &[u32]);
+        assert_eq!(c.neighbors(2), &[3]);
+        assert_eq!(c.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn degree_and_contains() {
+        let c = sample();
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.degree(1), 0);
+        assert!(c.contains(0, 2));
+        assert!(!c.contains(2, 0));
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn edges_iterates_in_order() {
+        let c = sample();
+        let es: Vec<_> = c.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Csr::from_edges(0, Vec::new());
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let c = Csr::from_edges(5, vec![(4, 0)]);
+        assert_eq!(c.node_count(), 5);
+        for u in 0..4 {
+            assert_eq!(c.degree(u), if u == 4 { 1 } else { 0 });
+        }
+    }
+}

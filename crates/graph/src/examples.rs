@@ -1,0 +1,161 @@
+//! The running examples of the paper, reconstructed as concrete graphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::interner::LabelInterner;
+use std::sync::Arc;
+
+/// The pair of graphs from Figure 1 of the paper.
+///
+/// `pattern` contains the node `u` (label `circle`) with three out-neighbors:
+/// two `hex` nodes and one `pent` node. `data` contains four candidate nodes
+/// `v1..v4` (all `circle`) whose out-neighborhoods realize the ✓/✗ pattern of
+/// Table 2:
+///
+/// | pair      | s | dp | b | bj |
+/// |-----------|---|----|---|----|
+/// | (u, v1)   | ✗ | ✗  | ✗ | ✗  |
+/// | (u, v2)   | ✓ | ✗  | ✓ | ✗  |
+/// | (u, v3)   | ✓ | ✓  | ✗ | ✗  |
+/// | (u, v4)   | ✓ | ✓  | ✓ | ✓  |
+#[derive(Debug)]
+pub struct Figure1 {
+    /// The pattern graph `G1` containing `u`.
+    pub pattern: Graph,
+    /// The data graph `G2` containing `v1..v4`.
+    pub data: Graph,
+    /// Node `u` in `pattern`.
+    pub u: NodeId,
+    /// Nodes `v1..v4` in `data`.
+    pub v: [NodeId; 4],
+}
+
+/// Builds the Figure 1 graphs on a shared interner.
+pub fn figure1() -> Figure1 {
+    let interner = LabelInterner::shared();
+
+    let mut p = GraphBuilder::with_interner(Arc::clone(&interner));
+    let u = p.add_node("circle");
+    let h1 = p.add_node("hex");
+    let h2 = p.add_node("hex");
+    let pe = p.add_node("pent");
+    p.add_edge(u, h1);
+    p.add_edge(u, h2);
+    p.add_edge(u, pe);
+    let pattern = p.build();
+
+    let mut d = GraphBuilder::with_interner(interner);
+    // v1: only a hex out-neighbor — the pent neighbor of u is unmatched.
+    let v1 = d.add_node("circle");
+    let v1h = d.add_node("hex");
+    d.add_edge(v1, v1h);
+    // v2: one hex + one pent — s/b hold, dp/bj fail (two hexes collide).
+    let v2 = d.add_node("circle");
+    let v2h = d.add_node("hex");
+    let v2p = d.add_node("pent");
+    d.add_edge(v2, v2h);
+    d.add_edge(v2, v2p);
+    // v3: two hexes + pent + square — s/dp hold, b/bj fail (square unmatched
+    // in the converse direction).
+    let v3 = d.add_node("circle");
+    let v3h1 = d.add_node("hex");
+    let v3h2 = d.add_node("hex");
+    let v3p = d.add_node("pent");
+    let v3s = d.add_node("square");
+    d.add_edge(v3, v3h1);
+    d.add_edge(v3, v3h2);
+    d.add_edge(v3, v3p);
+    d.add_edge(v3, v3s);
+    // v4: exactly two hexes + pent — everything holds.
+    let v4 = d.add_node("circle");
+    let v4h1 = d.add_node("hex");
+    let v4h2 = d.add_node("hex");
+    let v4p = d.add_node("pent");
+    d.add_edge(v4, v4h1);
+    d.add_edge(v4, v4h2);
+    d.add_edge(v4, v4p);
+    let data = d.build();
+
+    Figure1 { pattern, data, u, v: [v1, v2, v3, v4] }
+}
+
+/// The poster-plagiarism motivating example of Figure 2.
+///
+/// `query` is the candidate poster `P`; `data` contains three existing
+/// posters `P1..P3`. Edges point from a poster node to its design elements.
+/// `P1` differs from `P` only in the font (`Times` vs `Comic`) and style, so
+/// no exact simulation exists between `P` and `P1`, yet they are highly
+/// similar — the fractional score exposes the suspected plagiarism.
+#[derive(Debug)]
+pub struct Figure2 {
+    /// Query graph containing poster `P`.
+    pub query: Graph,
+    /// Data graph containing posters `P1..P3`.
+    pub data: Graph,
+    /// Poster node `P` in `query`.
+    pub p: NodeId,
+    /// Poster nodes `P1..P3` in `data`.
+    pub posters: [NodeId; 3],
+}
+
+/// Builds the Figure 2 graphs on a shared interner.
+pub fn figure2() -> Figure2 {
+    let interner = LabelInterner::shared();
+
+    let mut q = GraphBuilder::with_interner(Arc::clone(&interner));
+    let p = q.add_node("Poster");
+    for elem in ["Person(embed)", "Comic", "Arial", "Brown", "Purple", "Black", "Italic"] {
+        let e = q.add_node(elem);
+        q.add_edge(p, e);
+    }
+    let query = q.build();
+
+    let mut d = GraphBuilder::with_interner(interner);
+    let add_poster = |d: &mut GraphBuilder, elems: &[&str]| {
+        let poster = d.add_node("Poster");
+        for elem in elems {
+            let e = d.add_node(elem);
+            d.add_edge(poster, e);
+        }
+        poster
+    };
+    let p1 = add_poster(
+        &mut d,
+        &["Person(embed)", "Times", "Arial", "Brown", "Purple", "Black"],
+    );
+    let p2 = add_poster(&mut d, &["Person(notembed)", "Bradley", "Blue", "Yellow"]);
+    let p3 = add_poster(&mut d, &["Person(notembed)", "Arial", "White", "Black"]);
+    let data = d.build();
+
+    Figure2 { query, data, p, posters: [p1, p2, p3] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shapes() {
+        let f = figure1();
+        assert_eq!(f.pattern.node_count(), 4);
+        assert_eq!(f.pattern.out_degree(f.u), 3);
+        assert_eq!(f.data.out_degree(f.v[0]), 1);
+        assert_eq!(f.data.out_degree(f.v[1]), 2);
+        assert_eq!(f.data.out_degree(f.v[2]), 4);
+        assert_eq!(f.data.out_degree(f.v[3]), 3);
+        // u and all v share the same label via the shared interner.
+        for &v in &f.v {
+            assert_eq!(f.pattern.label(f.u), f.data.label(v));
+        }
+    }
+
+    #[test]
+    fn figure2_shapes() {
+        let f = figure2();
+        assert_eq!(f.query.out_degree(f.p), 7);
+        assert_eq!(f.data.out_degree(f.posters[0]), 6);
+        // Shared elements resolve to identical label ids.
+        let arial_q = f.query.interner().get("Arial").unwrap();
+        assert!(f.data.nodes().any(|n| f.data.label(n) == arial_q));
+    }
+}

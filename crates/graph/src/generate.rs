@@ -1,0 +1,220 @@
+//! Random graph generators.
+//!
+//! Two families cover the dataset shapes of the paper's evaluation:
+//! uniform `G(n, m)` digraphs and preferential-attachment digraphs whose
+//! in-degree distribution is heavy-tailed (the real datasets in Table 4 have
+//! `D⁻ ≫ D⁺`, e.g. JDK with `D⁻ = 32,507` at `D⁺ = 375`). Label assignment
+//! is Zipf-distributed to mimic skewed real-world label frequencies.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::hash::FxHashSet;
+use crate::interner::LabelInterner;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A Zipf distribution over `0..n` with exponent `s`:
+/// `P(i) ∝ (i + 1)^{-s}`. `s = 0` is uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    dist: WeightedIndex<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
+        Self { dist: WeightedIndex::new(weights).expect("valid Zipf weights") }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.dist.sample(rng)
+    }
+}
+
+/// Configuration for the synthetic generators.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of (distinct) directed edges.
+    pub edges: usize,
+    /// Size of the label alphabet.
+    pub labels: usize,
+    /// Zipf exponent for label frequencies (0 = uniform labels).
+    pub label_skew: f64,
+    /// Prefix for generated label strings (labels are `"{prefix}{i}"`).
+    pub label_prefix: String,
+}
+
+impl GeneratorConfig {
+    /// A config with uniform labels and the default `"L"` prefix.
+    pub fn new(nodes: usize, edges: usize, labels: usize) -> Self {
+        Self { nodes, edges, labels, label_skew: 0.8, label_prefix: "L".to_string() }
+    }
+
+    /// Sets the Zipf label skew.
+    pub fn label_skew(mut self, s: f64) -> Self {
+        self.label_skew = s;
+        self
+    }
+}
+
+fn assign_labels<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    cfg: &GeneratorConfig,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let label_ids: Vec<_> = (0..cfg.labels)
+        .map(|i| b.interner().intern(&format!("{}{}", cfg.label_prefix, i)))
+        .collect();
+    let zipf = Zipf::new(cfg.labels, cfg.label_skew);
+    (0..cfg.nodes).map(|_| b.add_node_with_id(label_ids[zipf.sample(rng)])).collect()
+}
+
+/// Uniform random digraph `G(n, m)`: `m` distinct directed edges drawn
+/// uniformly (no self-loops).
+pub fn gnm<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> Graph {
+    gnm_with_interner(cfg, LabelInterner::shared(), rng)
+}
+
+/// [`gnm`] reusing an existing interner.
+pub fn gnm_with_interner<R: Rng + ?Sized>(
+    cfg: &GeneratorConfig,
+    interner: Arc<LabelInterner>,
+    rng: &mut R,
+) -> Graph {
+    assert!(cfg.nodes >= 2 || cfg.edges == 0, "need >= 2 nodes for edges");
+    let max_edges = cfg.nodes.saturating_mul(cfg.nodes.saturating_sub(1));
+    let m = cfg.edges.min(max_edges);
+    let mut b = GraphBuilder::with_interner(interner);
+    b.reserve(cfg.nodes, m);
+    assign_labels(&mut b, cfg, rng);
+    let n = cfg.nodes as u32;
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    while seen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if seen.insert(crate::hash::pair_key(u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Preferential-attachment digraph: nodes arrive in order; each new node
+/// emits up to `edges/nodes` out-edges whose targets are chosen
+/// proportionally to `in-degree + 1` among earlier nodes. Produces the
+/// heavy-tailed in-degree profile of the paper's datasets.
+pub fn preferential<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> Graph {
+    preferential_with_interner(cfg, LabelInterner::shared(), rng)
+}
+
+/// [`preferential`] reusing an existing interner.
+pub fn preferential_with_interner<R: Rng + ?Sized>(
+    cfg: &GeneratorConfig,
+    interner: Arc<LabelInterner>,
+    rng: &mut R,
+) -> Graph {
+    let mut b = GraphBuilder::with_interner(interner);
+    b.reserve(cfg.nodes, cfg.edges);
+    assign_labels(&mut b, cfg, rng);
+    if cfg.nodes < 2 {
+        return b.build();
+    }
+    let out_per_node = (cfg.edges as f64 / cfg.nodes as f64).ceil() as usize;
+    // Repeated-target pool: sampling uniformly from the pool realizes
+    // "probability proportional to in-degree + 1".
+    let mut pool: Vec<u32> = vec![0];
+    let mut added = 0usize;
+    for u in 1..cfg.nodes as u32 {
+        let mut local: FxHashSet<u32> = FxHashSet::default();
+        for _ in 0..out_per_node {
+            if added >= cfg.edges {
+                break;
+            }
+            let v = pool[rng.gen_range(0..pool.len())];
+            if v == u || !local.insert(v) {
+                continue;
+            }
+            b.add_edge(u, v);
+            pool.push(v);
+            added += 1;
+        }
+        pool.push(u);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gnm_respects_node_and_edge_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = gnm(&GeneratorConfig::new(50, 200, 5), &mut rng);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+        assert!(g.used_labels().len() <= 5);
+    }
+
+    #[test]
+    fn gnm_has_no_self_loops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = gnm(&GeneratorConfig::new(20, 100, 3), &mut rng);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn gnm_caps_edges_at_complete_digraph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = gnm(&GeneratorConfig::new(5, 10_000, 2), &mut rng);
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn preferential_is_heavy_tailed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = preferential(&GeneratorConfig::new(2000, 8000, 10), &mut rng);
+        assert!(g.edge_count() > 0);
+        // Preferential attachment should concentrate in-degree far above the mean.
+        let mean_in = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            g.max_in_degree() as f64 > 8.0 * mean_in,
+            "max in-degree {} not heavy-tailed vs mean {mean_in}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let z = Zipf::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "zipf not skewed: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GeneratorConfig::new(30, 60, 4);
+        let g1 = gnm(&cfg, &mut ChaCha8Rng::seed_from_u64(42));
+        let g2 = gnm(&cfg, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(g1.labels(), g2.labels());
+    }
+}

@@ -1,0 +1,209 @@
+//! The node-labeled directed graph `G = (V, E, ℓ)` of the paper's data model
+//! (§2), stored immutably as dual CSR (out- and in-adjacency).
+
+use crate::csr::Csr;
+use crate::interner::{LabelId, LabelInterner};
+use std::sync::Arc;
+
+/// Node identifier. Nodes of a graph with `n` nodes are `0..n`.
+pub type NodeId = u32;
+
+/// An immutable node-labeled directed graph.
+///
+/// Construct via [`crate::GraphBuilder`]. Both adjacency directions are
+/// materialized so that the `N⁺`/`N⁻` accesses of Definition 1 are `O(1)`
+/// slice borrows.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    labels: Vec<LabelId>,
+    out: Csr,
+    inn: Csr,
+    interner: Arc<LabelInterner>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        labels: Vec<LabelId>,
+        out: Csr,
+        inn: Csr,
+        interner: Arc<LabelInterner>,
+    ) -> Self {
+        debug_assert_eq!(labels.len(), out.node_count());
+        debug_assert_eq!(labels.len(), inn.node_count());
+        Self { labels, out, inn, interner }
+    }
+
+    /// `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `|E|` (directed edges, deduplicated).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out.edge_count()
+    }
+
+    /// The label id of node `u`.
+    #[inline]
+    pub fn label(&self, u: NodeId) -> LabelId {
+        self.labels[u as usize]
+    }
+
+    /// The label string of node `u`.
+    pub fn label_str(&self, u: NodeId) -> Arc<str> {
+        self.interner.resolve(self.label(u))
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// `N⁺(u)`: out-neighbors of `u`, sorted.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.out.neighbors(u)
+    }
+
+    /// `N⁻(u)`: in-neighbors of `u`, sorted.
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.inn.neighbors(u)
+    }
+
+    /// `d⁺(u)`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out.degree(u)
+    }
+
+    /// `d⁻(u)`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.inn.degree(u)
+    }
+
+    /// Whether edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out.contains(u, v)
+    }
+
+    /// Iterator over node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Iterator over all directed edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out.edges()
+    }
+
+    /// The label interner shared by this graph.
+    pub fn interner(&self) -> &Arc<LabelInterner> {
+        &self.interner
+    }
+
+    /// Maximum out-degree `D⁺` of the graph.
+    pub fn max_out_degree(&self) -> usize {
+        self.out.max_degree()
+    }
+
+    /// Maximum in-degree `D⁻` of the graph.
+    pub fn max_in_degree(&self) -> usize {
+        self.inn.max_degree()
+    }
+
+    /// Average degree `d_G = |E| / |V|` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Nodes carrying label `l`, in id order.
+    pub fn nodes_with_label(&self, l: LabelId) -> Vec<NodeId> {
+        self.nodes().filter(|&u| self.label(u) == l).collect()
+    }
+
+    /// Groups node ids by label: `result[label.index()]` lists the nodes with
+    /// that label. The vector is indexed by every label the *interner* knows,
+    /// so labels unused by this graph map to empty buckets.
+    pub fn label_buckets(&self) -> Vec<Vec<NodeId>> {
+        let mut buckets = vec![Vec::new(); self.interner.len()];
+        for u in self.nodes() {
+            buckets[self.label(u).index()].push(u);
+        }
+        buckets
+    }
+
+    /// The set of distinct labels used by this graph, sorted.
+    pub fn used_labels(&self) -> Vec<LabelId> {
+        let mut ls: Vec<LabelId> = self.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn basic_accessors() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let c = b.add_node("B");
+        let d = b.add_node("A");
+        b.add_edge(a, c);
+        b.add_edge(a, d);
+        b.add_edge(c, d);
+        let g = b.build();
+
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_neighbors(a), &[c, d]);
+        assert_eq!(g.in_neighbors(d), &[a, c]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 0);
+        assert!(g.has_edge(a, c));
+        assert!(!g.has_edge(c, a));
+        assert_eq!(&*g.label_str(a), "A");
+        assert_eq!(g.label(a), g.label(d));
+        assert_ne!(g.label(a), g.label(c));
+    }
+
+    #[test]
+    fn degree_stats() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node("x")).collect();
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[0], n[3]);
+        b.add_edge(n[1], n[3]);
+        let g = b.build();
+        assert_eq!(g.max_out_degree(), 3);
+        assert_eq!(g.max_in_degree(), 2);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_buckets_cover_all_nodes() {
+        let mut b = GraphBuilder::new();
+        for i in 0..10 {
+            b.add_node(if i % 2 == 0 { "even" } else { "odd" });
+        }
+        let g = b.build();
+        let buckets = g.label_buckets();
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(g.used_labels().len(), 2);
+        assert_eq!(g.nodes_with_label(g.label(0)), vec![0, 2, 4, 6, 8]);
+    }
+}

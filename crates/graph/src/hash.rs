@@ -1,0 +1,136 @@
+//! A fast, non-cryptographic hasher for the hot per-pair lookups of the
+//! iterative engine.
+//!
+//! This is the Fx hash function used by rustc/Firefox. The default SipHash
+//! is HashDoS-resistant but measurably slower for the small integer keys
+//! (packed node-pair `u64`s, `LabelId`s) that dominate this workspace, and
+//! none of our tables are exposed to untrusted keys. Implemented locally
+//! (~40 lines) instead of adding a dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx hasher state. See module docs for provenance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Packs a node pair `(u, v)` into the `u64` key used by pair-indexed maps.
+#[inline]
+pub fn pair_key(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+/// Inverse of [`pair_key`].
+#[inline]
+pub fn unpack_pair(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_key_roundtrip() {
+        for &(u, v) in &[(0, 0), (1, 2), (u32::MAX, 0), (0, u32::MAX), (7, 7)] {
+            assert_eq!(unpack_pair(pair_key(u, v)), (u, v));
+        }
+    }
+
+    #[test]
+    fn pair_key_is_injective_on_samples() {
+        let mut seen = FxHashSet::default();
+        for u in 0..50u32 {
+            for v in 0..50u32 {
+                assert!(seen.insert(pair_key(u, v)), "collision at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn hasher_differs_on_different_inputs() {
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_ne!(h(1), h(2));
+        assert_ne!(h(0), h(u64::MAX));
+    }
+
+    #[test]
+    fn hasher_handles_byte_remainders() {
+        let h = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefghi"));
+    }
+
+    #[test]
+    fn map_alias_works() {
+        let mut m: FxHashMap<u64, f64> = FxHashMap::default();
+        m.insert(pair_key(3, 4), 0.5);
+        assert_eq!(m.get(&pair_key(3, 4)), Some(&0.5));
+    }
+}

@@ -1,0 +1,166 @@
+//! String-label interning.
+//!
+//! Node labels in the paper's data model are strings (`ℓ : V → Σ`); the hot
+//! paths of every algorithm only need *identity* or a precomputed similarity
+//! between labels, so labels are interned once into dense [`LabelId`]s and
+//! compared as integers afterwards.
+//!
+//! An interner can be shared between the two graphs of an `FSim` computation
+//! (wrap it in [`std::sync::Arc`]), which makes `LabelId` equality equivalent
+//! to string equality across graphs.
+
+use crate::hash::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A dense identifier for an interned label string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The index of this label in the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<Arc<str>, LabelId>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe string-label interner.
+///
+/// Interning the same string twice returns the same [`LabelId`]. The interner
+/// only grows; ids are stable for its lifetime.
+#[derive(Debug, Default)]
+pub struct LabelInterner {
+    inner: RwLock<Inner>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner already wrapped for sharing between graphs.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Interns `label`, returning its id (allocating a new one if unseen).
+    pub fn intern(&self, label: &str) -> LabelId {
+        if let Some(&id) = self.inner.read().map.get(label) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.map.get(label) {
+            return id; // raced with another writer
+        }
+        let id = LabelId(u32::try_from(inner.strings.len()).expect("label table overflow"));
+        let s: Arc<str> = Arc::from(label);
+        inner.strings.push(Arc::clone(&s));
+        inner.map.insert(s, id);
+        id
+    }
+
+    /// Returns the id of `label` if it has been interned.
+    pub fn get(&self, label: &str) -> Option<LabelId> {
+        self.inner.read().map.get(label).copied()
+    }
+
+    /// Resolves `id` back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> Arc<str> {
+        Arc::clone(&self.inner.read().strings[id.index()])
+    }
+
+    /// Number of distinct labels interned so far (`|Σ|`).
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all interned labels in id order.
+    pub fn all(&self) -> Vec<Arc<str>> {
+        self.inner.read().strings.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = LabelInterner::new();
+        let a = i.intern("hex");
+        let b = i.intern("hex");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_get_distinct_ids() {
+        let i = LabelInterner::new();
+        let a = i.intern("hex");
+        let b = i.intern("pent");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let i = LabelInterner::new();
+        let id = i.intern("circle");
+        assert_eq!(&*i.resolve(id), "circle");
+    }
+
+    #[test]
+    fn get_before_and_after_intern() {
+        let i = LabelInterner::new();
+        assert_eq!(i.get("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let i = LabelInterner::shared();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for k in 0..100 {
+                        ids.push(i.intern(&format!("label-{}", k % 10)));
+                    }
+                    (t, ids)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(i.len(), 10);
+    }
+
+    #[test]
+    fn all_returns_in_id_order() {
+        let i = LabelInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let all = i.all();
+        assert_eq!(&*all[a.index()], "a");
+        assert_eq!(&*all[b.index()], "b");
+    }
+}

@@ -1,0 +1,215 @@
+//! Graph serialization: a plain text edge-list format and (behind the
+//! `io-json` feature) a JSON format.
+//!
+//! Text format, line-oriented:
+//! ```text
+//! n <node-id> <label>
+//! e <src> <dst>
+//! ```
+//! Lines starting with `#` are comments. Node lines must precede edge lines
+//! that reference them; node ids must be dense `0..n` in order.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be tokenized as `n`/`e`/comment.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending raw line.
+        content: String,
+    },
+    /// Node ids were not dense and in order.
+    NonDenseNodeId {
+        /// 1-based line number.
+        line: usize,
+        /// The id that should have appeared.
+        expected: u32,
+        /// The token found instead.
+        got: String,
+    },
+    /// An edge referenced a node that was never declared.
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: unparseable: {content:?}")
+            }
+            ParseError::NonDenseNodeId { line, expected, got } => {
+                write!(f, "line {line}: expected node id {expected}, got {got:?}")
+            }
+            ParseError::UnknownNode { line } => write!(f, "line {line}: edge references unknown node"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Writes `g` in the text edge-list format.
+pub fn to_text(g: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# fsim graph: {} nodes, {} edges", g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        let _ = writeln!(s, "n {} {}", u, g.label_str(u));
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(s, "e {u} {v}");
+    }
+    s
+}
+
+/// Parses the text edge-list format.
+pub fn from_text(text: &str) -> Result<Graph, ParseError> {
+    let mut b = GraphBuilder::new();
+    let mut next_node: u32 = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        match parts.next() {
+            Some("n") => {
+                let id = parts.next().unwrap_or("");
+                let label = parts.next().unwrap_or("");
+                if id.parse::<u32>() != Ok(next_node) {
+                    return Err(ParseError::NonDenseNodeId {
+                        line: line_no,
+                        expected: next_node,
+                        got: id.to_string(),
+                    });
+                }
+                b.add_node(label);
+                next_node += 1;
+            }
+            Some("e") => {
+                let u: u32 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadLine { line: line_no, content: raw.to_string() })?;
+                let v: u32 = parts
+                    .next()
+                    .and_then(|t| t.split_whitespace().next())
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadLine { line: line_no, content: raw.to_string() })?;
+                if u >= next_node || v >= next_node {
+                    return Err(ParseError::UnknownNode { line: line_no });
+                }
+                b.add_edge(u, v);
+            }
+            _ => return Err(ParseError::BadLine { line: line_no, content: raw.to_string() }),
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(feature = "io-json")]
+mod json {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    /// Serializable form of a graph.
+    #[derive(Debug, Serialize, Deserialize)]
+    pub struct GraphJson {
+        /// Per-node label strings.
+        pub labels: Vec<String>,
+        /// Directed edges.
+        pub edges: Vec<(u32, u32)>,
+    }
+
+    impl From<&Graph> for GraphJson {
+        fn from(g: &Graph) -> Self {
+            Self {
+                labels: g.nodes().map(|u| g.label_str(u).to_string()).collect(),
+                edges: g.edges().collect(),
+            }
+        }
+    }
+
+    /// Serializes `g` as JSON.
+    pub fn to_json(g: &Graph) -> String {
+        serde_json::to_string(&GraphJson::from(g)).expect("graph serialization is infallible")
+    }
+
+    /// Parses a graph from the JSON produced by [`to_json`].
+    pub fn from_json(s: &str) -> Result<Graph, serde_json::Error> {
+        let gj: GraphJson = serde_json::from_str(s)?;
+        let mut b = GraphBuilder::new();
+        for l in &gj.labels {
+            b.add_node(l);
+        }
+        for (u, v) in gj.edges {
+            b.add_edge(u, v);
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(feature = "io-json")]
+pub use json::{from_json, to_json, GraphJson};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    fn sample() -> Graph {
+        graph_from_parts(&["alpha", "beta", "alpha"], &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let g2 = from_text(&to_text(&g)).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        for u in g.nodes() {
+            assert_eq!(g2.label_str(u), g.label_str(u));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = from_text("# hello\n\nn 0 a\nn 1 b\n\ne 0 1\n").unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn non_dense_ids_error() {
+        let err = from_text("n 1 a\n").unwrap_err();
+        assert!(matches!(err, ParseError::NonDenseNodeId { .. }));
+    }
+
+    #[test]
+    fn edge_to_unknown_node_errors() {
+        let err = from_text("n 0 a\ne 0 3\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn garbage_line_errors() {
+        let err = from_text("x y z\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { .. }));
+    }
+
+    #[cfg(feature = "io-json")]
+    #[test]
+    fn json_roundtrip() {
+        let g = sample();
+        let g2 = from_json(&to_json(&g)).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+}

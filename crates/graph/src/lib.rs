@@ -1,0 +1,42 @@
+//! # fsim-graph
+//!
+//! The graph substrate of the `fsim` workspace: an immutable node-labeled
+//! directed graph (`G = (V, E, ℓ)`, §2 of the paper) stored as dual CSR,
+//! plus everything the evaluation needs around it — builders, label
+//! interning, traversal, induced subgraphs, random generators, noise
+//! injection, I/O, and the paper's running-example graphs.
+//!
+//! ```
+//! use fsim_graph::{GraphBuilder, GraphStats};
+//!
+//! let mut b = GraphBuilder::new();
+//! let u = b.add_node("circle");
+//! let h = b.add_node("hex");
+//! b.add_edge(u, h);
+//! let g = b.build();
+//! assert_eq!(g.out_neighbors(u), &[h]);
+//! assert_eq!(GraphStats::of(&g).edges, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod examples;
+pub mod generate;
+pub mod graph;
+pub mod hash;
+pub mod interner;
+pub mod io;
+pub mod noise;
+pub mod stats;
+pub mod subgraph;
+pub mod transform;
+pub mod traversal;
+
+pub use builder::{graph_from_parts, GraphBuilder};
+pub use graph::{Graph, NodeId};
+pub use hash::{pair_key, unpack_pair, FxHashMap, FxHashSet};
+pub use interner::{LabelId, LabelInterner};
+pub use stats::GraphStats;
+pub use subgraph::{induced_subgraph, Subgraph};

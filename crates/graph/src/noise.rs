@@ -1,0 +1,205 @@
+//! Noise injection for the robustness experiments (§5.2 Figure 5) and the
+//! density scaling experiment (§5.3 Figure 9(b)).
+//!
+//! All functions return a *new* graph; inputs are never mutated.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::hash::{pair_key, FxHashSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+fn rebuild(g: &Graph, labels: Vec<crate::interner::LabelId>, edges: Vec<(NodeId, NodeId)>) -> Graph {
+    let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
+    for l in labels {
+        b.add_node_with_id(l);
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+fn edge_set(g: &Graph) -> FxHashSet<u64> {
+    g.edges().map(|(u, v)| pair_key(u, v)).collect()
+}
+
+/// Structural errors as in Figure 5(a): a `ratio` fraction of `|E|` edits,
+/// split evenly between random edge removals and random edge insertions.
+pub fn structural_errors<R: Rng + ?Sized>(g: &Graph, ratio: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    let m = g.edge_count();
+    let edits = (m as f64 * ratio).round() as usize;
+    let removals = edits / 2;
+    let insertions = edits - removals;
+
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.shuffle(rng);
+    edges.truncate(m.saturating_sub(removals));
+
+    let mut present = edge_set(g);
+    let n = g.node_count() as u32;
+    let mut added = 0;
+    let mut attempts = 0usize;
+    while added < insertions && n >= 2 && attempts < insertions * 50 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if present.insert(pair_key(u, v)) {
+            edges.push((u, v));
+            added += 1;
+        }
+    }
+    rebuild(g, g.labels().to_vec(), edges)
+}
+
+/// Removes a `ratio` fraction of edges uniformly at random.
+pub fn remove_edges<R: Rng + ?Sized>(g: &Graph, ratio: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    let keep = g.edge_count() - (g.edge_count() as f64 * ratio).round() as usize;
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.shuffle(rng);
+    edges.truncate(keep);
+    rebuild(g, g.labels().to_vec(), edges)
+}
+
+/// Label errors as in Figure 5(b): a `ratio` fraction of nodes lose their
+/// label, which is replaced by the sentinel `missing_label` (interned into
+/// the graph's interner).
+pub fn label_errors<R: Rng + ?Sized>(
+    g: &Graph,
+    ratio: f64,
+    missing_label: &str,
+    rng: &mut R,
+) -> Graph {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    let missing = g.interner().intern(missing_label);
+    let k = (g.node_count() as f64 * ratio).round() as usize;
+    let mut ids: Vec<NodeId> = g.nodes().collect();
+    ids.shuffle(rng);
+    let mut labels = g.labels().to_vec();
+    for &u in ids.iter().take(k) {
+        labels[u as usize] = missing;
+    }
+    rebuild(g, labels, g.edges().collect())
+}
+
+/// Relabels a `ratio` fraction of nodes with labels drawn uniformly from the
+/// graph's *used* alphabet (used by the pattern-matching query noise, which
+/// "randomly modifies node labels").
+pub fn relabel_random<R: Rng + ?Sized>(g: &Graph, ratio: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    let alphabet = g.used_labels();
+    let k = (g.node_count() as f64 * ratio).round() as usize;
+    let mut ids: Vec<NodeId> = g.nodes().collect();
+    ids.shuffle(rng);
+    let mut labels = g.labels().to_vec();
+    for &u in ids.iter().take(k) {
+        labels[u as usize] = alphabet[rng.gen_range(0..alphabet.len())];
+    }
+    rebuild(g, labels, g.edges().collect())
+}
+
+/// Density scaling as in Figure 9(b): randomly adds edges until the edge
+/// count reaches `factor × |E|` (or the digraph saturates).
+pub fn densify<R: Rng + ?Sized>(g: &Graph, factor: f64, rng: &mut R) -> Graph {
+    assert!(factor >= 1.0, "densify factor must be >= 1");
+    let n = g.node_count() as u32;
+    let target = ((g.edge_count() as f64) * factor) as usize;
+    let max_edges = (n as usize) * (n as usize - 1);
+    let target = target.min(max_edges);
+    let mut present = edge_set(g);
+    let mut edges: Vec<_> = g.edges().collect();
+    let mut stall = 0usize;
+    while edges.len() < target && n >= 2 && stall < 100 * target {
+        stall += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if present.insert(pair_key(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    rebuild(g, g.labels().to_vec(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{gnm, GeneratorConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn base() -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        gnm(&GeneratorConfig::new(60, 300, 6), &mut rng)
+    }
+
+    #[test]
+    fn structural_errors_preserve_edge_count_roughly() {
+        let g = base();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let noisy = structural_errors(&g, 0.2, &mut rng);
+        let diff = (noisy.edge_count() as i64 - g.edge_count() as i64).abs();
+        assert!(diff <= 1, "edge count should stay ~constant, diff={diff}");
+        assert_eq!(noisy.node_count(), g.node_count());
+        // Some edges must actually have changed.
+        let before = edge_set(&g);
+        let changed = noisy.edges().filter(|&(u, v)| !before.contains(&pair_key(u, v))).count();
+        assert!(changed > 0);
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let g = base();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let same = structural_errors(&g, 0.0, &mut rng);
+        assert_eq!(same.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        let same = label_errors(&g, 0.0, "?", &mut rng);
+        assert_eq!(same.labels(), g.labels());
+    }
+
+    #[test]
+    fn remove_edges_removes_expected_fraction() {
+        let g = base();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let pruned = remove_edges(&g, 0.5, &mut rng);
+        assert_eq!(pruned.edge_count(), g.edge_count() / 2);
+    }
+
+    #[test]
+    fn label_errors_touch_expected_fraction() {
+        let g = base();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let noisy = label_errors(&g, 0.25, "??", &mut rng);
+        let missing = g.interner().get("??").unwrap();
+        let count = noisy.nodes().filter(|&u| noisy.label(u) == missing).count();
+        assert_eq!(count, (g.node_count() as f64 * 0.25).round() as usize);
+    }
+
+    #[test]
+    fn densify_reaches_target() {
+        let g = base();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let dense = densify(&g, 3.0, &mut rng);
+        assert_eq!(dense.edge_count(), g.edge_count() * 3);
+        // Original edges are preserved.
+        let after = edge_set(&dense);
+        assert!(g.edges().all(|(u, v)| after.contains(&pair_key(u, v))));
+    }
+
+    #[test]
+    fn relabel_random_keeps_alphabet() {
+        let g = base();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let noisy = relabel_random(&g, 0.3, &mut rng);
+        let alphabet: FxHashSet<_> = g.used_labels().into_iter().collect();
+        assert!(noisy.nodes().all(|u| alphabet.contains(&noisy.label(u))));
+    }
+}

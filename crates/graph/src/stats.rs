@@ -1,0 +1,70 @@
+//! Descriptive statistics matching the columns of the paper's Table 4.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph, formatted like Table 4 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`
+    pub nodes: usize,
+    /// `|E|`
+    pub edges: usize,
+    /// `|Σ|` — number of distinct labels actually used.
+    pub labels: usize,
+    /// `d_G` — average degree `|E|/|V|`.
+    pub avg_degree: f64,
+    /// `D⁺_G` — maximum out-degree.
+    pub max_out_degree: usize,
+    /// `D⁻_G` — maximum in-degree.
+    pub max_in_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g`.
+    pub fn of(g: &Graph) -> Self {
+        Self {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            labels: g.used_labels().len(),
+            avg_degree: g.avg_degree(),
+            max_out_degree: g.max_out_degree(),
+            max_in_degree: g.max_in_degree(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |Σ|={} d={:.2} D+={} D-={}",
+            self.nodes, self.edges, self.labels, self.avg_degree, self.max_out_degree,
+            self.max_in_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let g = graph_from_parts(&["a", "b", "a"], &[(0, 1), (0, 2), (1, 2)]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.labels, 2);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let g = graph_from_parts(&["a"], &[]);
+        let s = GraphStats::of(&g);
+        assert_eq!(format!("{s}"), "|V|=1 |E|=0 |Σ|=1 d=0.00 D+=0 D-=0");
+    }
+}

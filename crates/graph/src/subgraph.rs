@@ -1,0 +1,108 @@
+//! Induced subgraph extraction (shares the parent's interner, so label ids
+//! remain comparable between parent and subgraph).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::hash::FxHashMap;
+use std::sync::Arc;
+
+/// An induced subgraph together with its node-id correspondence.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph; node ids are `0..nodes.len()`.
+    pub graph: Graph,
+    /// `to_parent[new_id] = old_id` in the parent graph.
+    pub to_parent: Vec<NodeId>,
+    /// `from_parent[old_id] = new_id` for retained nodes.
+    pub from_parent: FxHashMap<NodeId, NodeId>,
+}
+
+impl Subgraph {
+    /// Maps a subgraph node back to its parent id.
+    pub fn parent_of(&self, new_id: NodeId) -> NodeId {
+        self.to_parent[new_id as usize]
+    }
+
+    /// Maps a parent node into the subgraph, if retained.
+    pub fn child_of(&self, old_id: NodeId) -> Option<NodeId> {
+        self.from_parent.get(&old_id).copied()
+    }
+}
+
+/// Extracts the subgraph of `g` induced by `nodes` (duplicates ignored;
+/// order of first occurrence defines the new ids).
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
+    let mut from_parent: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    let mut to_parent: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
+    for &old in nodes {
+        if from_parent.contains_key(&old) {
+            continue;
+        }
+        let new_id = b.add_node_with_id(g.label(old));
+        from_parent.insert(old, new_id);
+        to_parent.push(old);
+    }
+    for (&old, &new_u) in from_parent.iter() {
+        for &w in g.out_neighbors(old) {
+            if let Some(&new_w) = from_parent.get(&w) {
+                b.add_edge(new_u, new_w);
+            }
+        }
+    }
+    Subgraph { graph: b.build(), to_parent, from_parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        graph_from_parts(&["s", "a", "b", "t"], &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn keeps_only_internal_edges() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 2); // 0->1 and 1->3
+        let n0 = sub.child_of(0).unwrap();
+        let n1 = sub.child_of(1).unwrap();
+        let n3 = sub.child_of(3).unwrap();
+        assert!(sub.graph.has_edge(n0, n1));
+        assert!(sub.graph.has_edge(n1, n3));
+        assert!(!sub.graph.has_edge(n0, n3));
+        assert_eq!(sub.child_of(2), None);
+    }
+
+    #[test]
+    fn labels_survive_and_share_interner() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[2, 3]);
+        let n2 = sub.child_of(2).unwrap();
+        assert_eq!(sub.graph.label(n2), g.label(2));
+        assert_eq!(&*sub.graph.label_str(n2), "b");
+        assert!(Arc::ptr_eq(sub.graph.interner(), g.interner()));
+    }
+
+    #[test]
+    fn duplicates_in_node_list_are_ignored() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[1, 1, 3, 3]);
+        assert_eq!(sub.graph.node_count(), 2);
+        assert_eq!(sub.parent_of(0), 1);
+        assert_eq!(sub.parent_of(1), 3);
+    }
+
+    #[test]
+    fn roundtrip_mapping() {
+        let g = diamond();
+        let sub = induced_subgraph(&g, &[3, 0]);
+        for new_id in sub.graph.nodes() {
+            assert_eq!(sub.child_of(sub.parent_of(new_id)), Some(new_id));
+        }
+    }
+}

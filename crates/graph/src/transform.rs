@@ -1,0 +1,196 @@
+//! Whole-graph transformations: symmetrization (for the undirected
+//! algorithms — RoleSim, the WL test) and edge reversal.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::sync::Arc;
+
+/// Returns the symmetrized graph: for every edge `(u, v)` both `(u, v)` and
+/// `(v, u)` are present. Out- and in-neighborhoods coincide afterwards, so
+/// undirected algorithms can read `out_neighbors` only.
+pub fn undirected(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
+    for u in g.nodes() {
+        b.add_node_with_id(g.label(u));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+        b.add_edge(v, u);
+    }
+    b.build()
+}
+
+/// Returns the k-hop closure: an edge `(u, v)` exists iff `v` is reachable
+/// from `u` by a directed path of `1..=k` edges. Bounded simulation (Fan et
+/// al., PVLDB 2010) — listed as future work in §6 of the paper — matches
+/// query edges to bounded-length paths; fractional bounded simulation is
+/// obtained by running the FSim engine on the closure.
+pub fn khop_closure(g: &Graph, k: u32) -> Graph {
+    assert!(k >= 1, "k-hop closure needs k >= 1");
+    let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
+    for u in g.nodes() {
+        b.add_node_with_id(g.label(u));
+    }
+    for u in g.nodes() {
+        let dist = crate::traversal::bfs_directed_bounded(g, u, k);
+        for v in g.nodes() {
+            let d = dist[v as usize];
+            if d >= 1 && d <= k {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Quotient graph of a node partition: one node per class (labeled by the
+/// class's first member — classes are expected to be label-homogeneous, as
+/// bisimulation partitions are), with an edge between two classes iff any
+/// member edge connects them.
+///
+/// With a bisimulation partition this is the *query-preserving graph
+/// compression* of Fan et al. (SIGMOD 2012), one of the simulation
+/// applications listed in the paper's introduction: every node of `g` is
+/// bisimilar to its class node in the quotient.
+///
+/// Returns the quotient and the `node → class` map.
+///
+/// # Panics
+/// Panics if `partition.len() != g.node_count()` or class ids are not
+/// dense `0..k`.
+pub fn quotient(g: &Graph, partition: &[u32]) -> (Graph, Vec<u32>) {
+    assert_eq!(partition.len(), g.node_count(), "partition size mismatch");
+    let classes = partition.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut representative: Vec<Option<u32>> = vec![None; classes];
+    for (u, &c) in partition.iter().enumerate() {
+        assert!((c as usize) < classes, "non-dense class id {c}");
+        representative[c as usize].get_or_insert(u as u32);
+    }
+    let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
+    for c in 0..classes {
+        let rep = representative[c].expect("dense class ids have members");
+        b.add_node_with_id(g.label(rep));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(partition[u as usize], partition[v as usize]);
+    }
+    (b.build(), partition.to_vec())
+}
+
+/// Returns the graph with every edge reversed.
+pub fn reverse(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
+    for u in g.nodes() {
+        b.add_node_with_id(g.label(u));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(v, u);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    #[test]
+    fn undirected_symmetrizes() {
+        let g = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let u = undirected(&g);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(1, 0));
+        assert_eq!(u.out_neighbors(0), u.in_neighbors(0));
+    }
+
+    #[test]
+    fn undirected_is_idempotent() {
+        let g = graph_from_parts(&["a", "b", "c"], &[(0, 1), (2, 1)]);
+        let u1 = undirected(&g);
+        let u2 = undirected(&u1);
+        assert_eq!(u1.edges().collect::<Vec<_>>(), u2.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = graph_from_parts(&["a", "b", "c"], &[(0, 1), (1, 2)]);
+        let r = reverse(&g);
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(2, 1));
+        assert_eq!(r.edge_count(), 2);
+        // Double reversal is the identity.
+        let rr = reverse(&r);
+        assert_eq!(rr.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quotient_merges_classes_and_keeps_labels() {
+        // Star with three identical leaves; partition: {center}, {leaves}.
+        let g = graph_from_parts(&["c", "l", "l", "l"], &[(0, 1), (0, 2), (0, 3)]);
+        let (q, map) = quotient(&g, &[0, 1, 1, 1]);
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(), 1);
+        assert_eq!(&*q.label_str(0), "c");
+        assert_eq!(&*q.label_str(1), "l");
+        assert_eq!(map, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn identity_partition_is_isomorphic() {
+        let g = graph_from_parts(&["a", "b", "c"], &[(0, 1), (1, 2)]);
+        let part: Vec<u32> = (0..3).collect();
+        let (q, _) = quotient(&g, &part);
+        assert_eq!(q.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(q.labels(), g.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition size mismatch")]
+    fn quotient_rejects_wrong_partition_size() {
+        let g = graph_from_parts(&["a"], &[]);
+        let _ = quotient(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn khop_closure_connects_paths() {
+        // 0 -> 1 -> 2 -> 3
+        let g = graph_from_parts(&["a"; 4], &[(0, 1), (1, 2), (2, 3)]);
+        let k2 = khop_closure(&g, 2);
+        assert!(k2.has_edge(0, 1));
+        assert!(k2.has_edge(0, 2));
+        assert!(!k2.has_edge(0, 3), "3 hops exceeds k=2");
+        assert!(k2.has_edge(1, 3));
+        let k1 = khop_closure(&g, 1);
+        assert_eq!(k1.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn khop_closure_enables_bounded_simulation() {
+        // Query edge a -> b; data has a -> x -> b (a 2-hop path). Plain
+        // simulation fails, bounded (k=2) succeeds on the closures.
+        let i = crate::interner::LabelInterner::shared();
+        let mut qb = crate::builder::GraphBuilder::with_interner(Arc::clone(&i));
+        let qa = qb.add_node("a");
+        let qbn = qb.add_node("b");
+        qb.add_edge(qa, qbn);
+        let _q = qb.build();
+        let mut db = crate::builder::GraphBuilder::with_interner(i);
+        let da = db.add_node("a");
+        let dx = db.add_node("x");
+        let dbn = db.add_node("b");
+        db.add_edge(da, dx);
+        db.add_edge(dx, dbn);
+        let d = db.build();
+        // In the closure, a reaches b directly.
+        let d2 = khop_closure(&d, 2);
+        assert!(d2.has_edge(da, dbn));
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let g = graph_from_parts(&["x", "y"], &[(0, 1)]);
+        let u = undirected(&g);
+        assert_eq!(u.label(0), g.label(0));
+        assert_eq!(u.label(1), g.label(1));
+    }
+}

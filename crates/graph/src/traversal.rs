@@ -1,0 +1,166 @@
+//! Breadth-first traversal utilities: directed/undirected distances, balls
+//! (needed by strong simulation's `G[v, δ_Q]`), diameter, and connected
+//! components.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Directed BFS distances from `src` (following out-edges).
+pub fn bfs_directed(g: &Graph, src: NodeId) -> Vec<u32> {
+    bfs_impl(g, src, false, u32::MAX)
+}
+
+/// Directed BFS distances from `src`, cut off at `max_depth`.
+pub fn bfs_directed_bounded(g: &Graph, src: NodeId, max_depth: u32) -> Vec<u32> {
+    bfs_impl(g, src, false, max_depth)
+}
+
+/// Undirected BFS distances from `src` (edges traversed both ways), cut off
+/// at `max_depth`.
+pub fn bfs_undirected(g: &Graph, src: NodeId, max_depth: u32) -> Vec<u32> {
+    bfs_impl(g, src, true, max_depth)
+}
+
+fn bfs_impl(g: &Graph, src: NodeId, undirected: bool, max_depth: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        if d >= max_depth {
+            continue;
+        }
+        let mut visit = |v: NodeId| {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        };
+        for &v in g.out_neighbors(u) {
+            visit(v);
+        }
+        if undirected {
+            for &v in g.in_neighbors(u) {
+                visit(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The ball `G[v, r]`: nodes whose *undirected* shortest distance to `center`
+/// is at most `r`, in id order. This is the locality restriction used by
+/// strong simulation (Ma et al.), where `r` is the query diameter.
+pub fn ball(g: &Graph, center: NodeId, radius: u32) -> Vec<NodeId> {
+    let dist = bfs_undirected(g, center, radius);
+    (0..g.node_count() as u32).filter(|&u| dist[u as usize] <= radius).collect()
+}
+
+/// Exact undirected diameter: the maximum finite pairwise undirected
+/// distance. Intended for small graphs (pattern queries); `O(|V|·|E|)`.
+/// Returns 0 for graphs with fewer than two nodes.
+pub fn diameter_undirected(g: &Graph) -> u32 {
+    let mut best = 0;
+    for u in g.nodes() {
+        let dist = bfs_undirected(g, u, u32::MAX);
+        for &d in &dist {
+            if d != UNREACHABLE && d > best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Weakly connected components; returns `(component id per node, #components)`.
+pub fn weak_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
+    for s in g.nodes() {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s as usize] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+
+    fn path4() -> Graph {
+        // 0 -> 1 -> 2 -> 3
+        graph_from_parts(&["a", "a", "a", "a"], &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn directed_bfs_follows_edge_direction() {
+        let g = path4();
+        let d = bfs_directed(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let d3 = bfs_directed(&g, 3);
+        assert_eq!(d3, vec![UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]);
+    }
+
+    #[test]
+    fn undirected_bfs_ignores_direction() {
+        let g = path4();
+        let d = bfs_undirected(&g, 3, u32::MAX);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bfs_respects_max_depth() {
+        let g = path4();
+        let d = bfs_undirected(&g, 0, 1);
+        assert_eq!(d, vec![0, 1, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn ball_contains_center_and_radius() {
+        let g = path4();
+        assert_eq!(ball(&g, 1, 0), vec![1]);
+        assert_eq!(ball(&g, 1, 1), vec![0, 1, 2]);
+        assert_eq!(ball(&g, 1, 5), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn diameter_of_path_is_len_minus_one() {
+        assert_eq!(diameter_undirected(&path4()), 3);
+    }
+
+    #[test]
+    fn diameter_of_singleton_is_zero() {
+        let g = graph_from_parts(&["a"], &[]);
+        assert_eq!(diameter_undirected(&g), 0);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let g = graph_from_parts(&["a"; 5], &[(0, 1), (2, 3)]);
+        let (comp, n) = weak_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert_ne!(comp[4], comp[2]);
+    }
+}

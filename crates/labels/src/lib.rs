@@ -1,0 +1,14 @@
+//! # fsim-labels
+//!
+//! Label similarity functions `L(·)` for the FSim framework (§3.2 of the
+//! paper): the indicator function, normalized edit distance and
+//! Jaro–Winkler, plus a trait for user-defined similarities and
+//! interner-indexed precomputation for the hot loop.
+
+#![warn(missing_docs)]
+
+pub mod prepared;
+pub mod string_sim;
+
+pub use prepared::{LabelFn, PreparedLabelSim};
+pub use string_sim::{jaro, levenshtein, Indicator, JaroWinkler, LabelSim, NormalizedEditDistance};

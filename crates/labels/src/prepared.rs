@@ -1,0 +1,174 @@
+//! Label-function preparation: the engine compares labels by [`LabelId`] in
+//! its inner loop, so non-trivial string similarities are precomputed into a
+//! dense `|Σ| × |Σ|` table once per run.
+
+use crate::string_sim::{Indicator, JaroWinkler, LabelSim, NormalizedEditDistance};
+use fsim_graph::{LabelId, LabelInterner};
+use std::sync::Arc;
+
+/// The label-function choices of the paper plus an escape hatch.
+#[derive(Clone)]
+pub enum LabelFn {
+    /// `L_I` — 1 iff equal. The framework default for case studies.
+    Indicator,
+    /// `L_E` — normalized Levenshtein similarity.
+    EditDistance,
+    /// `L_J` — Jaro–Winkler similarity (the paper's sensitivity default).
+    JaroWinkler,
+    /// Any user-supplied [`LabelSim`].
+    Custom(Arc<dyn LabelSim>),
+}
+
+impl std::fmt::Debug for LabelFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabelFn::Indicator => write!(f, "LabelFn::Indicator"),
+            LabelFn::EditDistance => write!(f, "LabelFn::EditDistance"),
+            LabelFn::JaroWinkler => write!(f, "LabelFn::JaroWinkler"),
+            LabelFn::Custom(c) => write!(f, "LabelFn::Custom({})", c.name()),
+        }
+    }
+}
+
+impl LabelFn {
+    /// Resolves to a [`LabelSim`] implementation.
+    pub fn as_sim(&self) -> Arc<dyn LabelSim> {
+        match self {
+            LabelFn::Indicator => Arc::new(Indicator),
+            LabelFn::EditDistance => Arc::new(NormalizedEditDistance),
+            LabelFn::JaroWinkler => Arc::new(JaroWinkler::default()),
+            LabelFn::Custom(c) => Arc::clone(c),
+        }
+    }
+
+    /// Prepares this function over all labels of `interner` for id-keyed
+    /// lookup. `Indicator` takes a table-free fast path.
+    pub fn prepare(&self, interner: &LabelInterner) -> PreparedLabelSim {
+        match self {
+            LabelFn::Indicator => PreparedLabelSim { table: None, n: interner.len() },
+            other => {
+                let strings = interner.all();
+                let n = strings.len();
+                let sim = other.as_sim();
+                let mut table = vec![0.0f64; n * n];
+                for i in 0..n {
+                    table[i * n + i] = 1.0;
+                    for j in (i + 1)..n {
+                        let s = sim.sim(&strings[i], &strings[j]);
+                        table[i * n + j] = s;
+                        table[j * n + i] = s;
+                    }
+                }
+                PreparedLabelSim { table: Some(table), n }
+            }
+        }
+    }
+}
+
+/// A label similarity resolved over interned ids. Cheap to query in the hot
+/// loop; build once via [`LabelFn::prepare`].
+#[derive(Debug, Clone)]
+pub struct PreparedLabelSim {
+    table: Option<Vec<f64>>,
+    n: usize,
+}
+
+impl PreparedLabelSim {
+    /// Similarity of two interned labels.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if ids exceed the interner size at
+    /// preparation time.
+    #[inline]
+    pub fn sim(&self, a: LabelId, b: LabelId) -> f64 {
+        match &self.table {
+            None => {
+                if a == b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Some(t) => {
+                debug_assert!(a.index() < self.n && b.index() < self.n, "label id out of range");
+                t[a.index() * self.n + b.index()]
+            }
+        }
+    }
+
+    /// Number of labels covered.
+    pub fn label_count(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interner_with(labels: &[&str]) -> LabelInterner {
+        let i = LabelInterner::new();
+        for l in labels {
+            i.intern(l);
+        }
+        i
+    }
+
+    #[test]
+    fn indicator_fast_path() {
+        let i = interner_with(&["a", "b"]);
+        let p = LabelFn::Indicator.prepare(&i);
+        let (a, b) = (i.get("a").unwrap(), i.get("b").unwrap());
+        assert_eq!(p.sim(a, a), 1.0);
+        assert_eq!(p.sim(a, b), 0.0);
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let i = interner_with(&["kitten", "sitting", "mitten"]);
+        let p = LabelFn::EditDistance.prepare(&i);
+        let sim = LabelFn::EditDistance.as_sim();
+        for x in ["kitten", "sitting", "mitten"] {
+            for y in ["kitten", "sitting", "mitten"] {
+                let expected = sim.sim(x, y);
+                let got = p.sim(i.get(x).unwrap(), i.get(y).unwrap());
+                assert!((expected - got).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_symmetric_with_unit_diagonal() {
+        let i = interner_with(&["alpha", "beta", "gamma", "delta"]);
+        let p = LabelFn::JaroWinkler.prepare(&i);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let (la, lb) = (LabelId(a), LabelId(b));
+                assert!((p.sim(la, lb) - p.sim(lb, la)).abs() < 1e-12);
+                if a == b {
+                    assert_eq!(p.sim(la, lb), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_function_is_used() {
+        struct Half;
+        impl LabelSim for Half {
+            fn sim(&self, a: &str, b: &str) -> f64 {
+                if a == b {
+                    1.0
+                } else {
+                    0.5
+                }
+            }
+            fn name(&self) -> &'static str {
+                "half"
+            }
+        }
+        let i = interner_with(&["x", "y"]);
+        let p = LabelFn::Custom(Arc::new(Half)).prepare(&i);
+        assert_eq!(p.sim(i.get("x").unwrap(), i.get("y").unwrap()), 0.5);
+    }
+}

@@ -1,0 +1,237 @@
+//! String similarity functions used as the label function `L(·)` (§3.2).
+//!
+//! The paper evaluates three instantiations (Table 5): the indicator
+//! function `L_I`, normalized edit distance `L_E`, and Jaro–Winkler `L_J`.
+//! All of them satisfy the well-definiteness requirement of §3.3:
+//! `L(a, b) = 1` **iff** `a = b`.
+
+/// A symmetric string similarity in `[0, 1]` with `sim(a, b) = 1 ⇔ a = b`.
+pub trait LabelSim: Send + Sync {
+    /// Similarity of two label strings.
+    fn sim(&self, a: &str, b: &str) -> f64;
+    /// Short diagnostic name.
+    fn name(&self) -> &'static str;
+}
+
+/// `L_I`: 1 if the labels are equal, 0 otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Indicator;
+
+impl LabelSim for Indicator {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "indicator"
+    }
+}
+
+/// Levenshtein distance (character-level, two-row DP).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// `L_E`: `1 − lev(a, b) / max(|a|, |b|)` (1 for two empty strings).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedEditDistance;
+
+impl LabelSim for NormalizedEditDistance {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        let max = la.max(lb);
+        if max == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein(a, b) as f64 / max as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "edit-distance"
+    }
+}
+
+/// Jaro similarity of two strings.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matched.push((i, j));
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of relative order.
+    let mut b_order: Vec<usize> = a_matched.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0usize;
+    let sorted = {
+        let mut s = b_order.clone();
+        s.sort_unstable();
+        s
+    };
+    for (x, y) in b_order.drain(..).zip(sorted) {
+        if x != y {
+            transpositions += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// `L_J`: Jaro–Winkler similarity with the standard prefix boost
+/// (`p = 0.1`, prefix capped at 4).
+#[derive(Debug, Clone, Copy)]
+pub struct JaroWinkler {
+    /// Prefix scaling factor (standard: 0.1; must satisfy `p · 4 ≤ 1`).
+    pub prefix_weight: f64,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        Self { prefix_weight: 0.1 }
+    }
+}
+
+impl LabelSim for JaroWinkler {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let j = jaro(a, b);
+        let prefix = a
+            .chars()
+            .zip(b.chars())
+            .take(4)
+            .take_while(|(x, y)| x == y)
+            .count() as f64;
+        (j + prefix * self.prefix_weight * (1.0 - j)).min(1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaro-winkler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn indicator_is_binary() {
+        assert_eq!(Indicator.sim("a", "a"), 1.0);
+        assert_eq!(Indicator.sim("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_normalization() {
+        let e = NormalizedEditDistance;
+        assert_eq!(e.sim("abc", "abc"), 1.0);
+        assert_eq!(e.sim("abc", "xyz"), 0.0);
+        assert!((e.sim("abcd", "abce") - 0.75).abs() < 1e-12);
+        assert_eq!(e.sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic reference pairs.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-4);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766_666).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        let jw = JaroWinkler::default();
+        assert!((jw.sim("MARTHA", "MARHTA") - 0.961_111).abs() < 1e-4);
+        assert!((jw.sim("DIXON", "DICKSONX") - 0.813_333).abs() < 1e-4);
+        assert_eq!(jw.sim("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn one_iff_equal_for_all_functions() {
+        let fns: [&dyn LabelSim; 3] = [&Indicator, &NormalizedEditDistance, &JaroWinkler::default()];
+        let samples = ["", "a", "ab", "hex", "pent", "circle", "Person(embed)"];
+        for f in fns {
+            for x in samples {
+                for y in samples {
+                    let s = f.sim(x, y);
+                    assert!((0.0..=1.0).contains(&s), "{} out of range on {x:?},{y:?}", f.name());
+                    if x == y {
+                        assert_eq!(s, 1.0, "{} not 1 on equal {x:?}", f.name());
+                    } else {
+                        assert!(s < 1.0, "{} returned 1 on unequal {x:?},{y:?}", f.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_functions_are_symmetric() {
+        let fns: [&dyn LabelSim; 3] = [&Indicator, &NormalizedEditDistance, &JaroWinkler::default()];
+        let samples = ["kitten", "sitting", "MARTHA", "MARHTA", "", "x"];
+        for f in fns {
+            for x in samples {
+                for y in samples {
+                    assert!(
+                        (f.sim(x, y) - f.sim(y, x)).abs() < 1e-12,
+                        "{} asymmetric on {x:?},{y:?}",
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+}

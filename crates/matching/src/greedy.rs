@@ -1,0 +1,169 @@
+//! Greedy approximate maximum-weight bipartite assignment.
+//!
+//! This is the "popular greedy approximate of Hungarian" the paper uses to
+//! implement the injective mapping operators `M_dp` and `M_bj` (§4.2,
+//! citing Avis' survey [23]): sort candidate pairs by weight, then take each
+//! pair whose endpoints are both still free. It is a 1/2-approximation with
+//! `O(k log k)` cost for `k` candidate pairs, and is exact whenever weights
+//! are "consistent" (e.g. all-equal weights within label classes, the common
+//! case under the indicator label function).
+
+/// Reusable scratch state for greedy assignments.
+///
+/// Uses epoch-stamped "used" marks so repeated calls don't pay a clearing
+/// pass — the engine performs one assignment per node pair per iteration.
+#[derive(Debug, Default)]
+pub struct GreedyMatcher {
+    used_left: Vec<u64>,
+    used_right: Vec<u64>,
+    epoch: u64,
+}
+
+impl GreedyMatcher {
+    /// Creates an empty matcher; capacity grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n_left: usize, n_right: usize) {
+        if self.used_left.len() < n_left {
+            self.used_left.resize(n_left, 0);
+        }
+        if self.used_right.len() < n_right {
+            self.used_right.resize(n_right, 0);
+        }
+        self.epoch += 1;
+    }
+
+    /// Greedily selects a maximal set of non-conflicting `(left, right)`
+    /// pairs maximizing weight greedily; returns the weight sum and the
+    /// number of matched pairs.
+    ///
+    /// `edges` is reordered in place (sorted by descending weight with a
+    /// deterministic `(left, right)` tie-break).
+    pub fn assign(
+        &mut self,
+        n_left: usize,
+        n_right: usize,
+        edges: &mut [(f64, u32, u32)],
+    ) -> (f64, usize) {
+        self.begin(n_left, n_right);
+        edges.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &(w, l, r) in edges.iter() {
+            let (l, r) = (l as usize, r as usize);
+            if self.used_left[l] == self.epoch || self.used_right[r] == self.epoch {
+                continue;
+            }
+            self.used_left[l] = self.epoch;
+            self.used_right[r] = self.epoch;
+            sum += w;
+            count += 1;
+        }
+        (sum, count)
+    }
+
+    /// Like [`GreedyMatcher::assign`] but also returns the selected pairs.
+    pub fn assign_pairs(
+        &mut self,
+        n_left: usize,
+        n_right: usize,
+        edges: &mut [(f64, u32, u32)],
+    ) -> (f64, Vec<(u32, u32)>) {
+        self.begin(n_left, n_right);
+        edges.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        let mut sum = 0.0;
+        let mut pairs = Vec::new();
+        for &(w, l, r) in edges.iter() {
+            if self.used_left[l as usize] == self.epoch || self.used_right[r as usize] == self.epoch
+            {
+                continue;
+            }
+            self.used_left[l as usize] = self.epoch;
+            self.used_right[r as usize] = self.epoch;
+            sum += w;
+            pairs.push((l, r));
+        }
+        (sum, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_heaviest_compatible_pairs() {
+        let mut m = GreedyMatcher::new();
+        let mut edges = vec![(0.9, 0, 0), (0.8, 1, 1), (0.7, 0, 1), (0.1, 1, 0)];
+        let (sum, count) = m.assign(2, 2, &mut edges);
+        assert_eq!(count, 2);
+        assert!((sum - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_by_design() {
+        // Optimal is 0.6 + 0.6 = 1.2; greedy takes 1.0 then only 0.0 left.
+        let mut m = GreedyMatcher::new();
+        let mut edges = vec![(1.0, 0, 0), (0.6, 0, 1), (0.6, 1, 0)];
+        let (sum, count) = m.assign(2, 2, &mut edges);
+        assert_eq!(count, 1);
+        assert!((sum - 1.0).abs() < 1e-12);
+        // …but within the 1/2-approximation bound.
+        assert!(sum >= 1.2 / 2.0);
+    }
+
+    #[test]
+    fn injectivity_holds() {
+        let mut m = GreedyMatcher::new();
+        let mut edges: Vec<(f64, u32, u32)> =
+            (0..5).flat_map(|l| (0..3).map(move |r| (0.5, l, r))).collect();
+        let (_, pairs) = m.assign_pairs(5, 3, &mut edges);
+        assert_eq!(pairs.len(), 3); // limited by the smaller side
+        let mut ls: Vec<_> = pairs.iter().map(|p| p.0).collect();
+        let mut rs: Vec<_> = pairs.iter().map(|p| p.1).collect();
+        ls.sort_unstable();
+        rs.sort_unstable();
+        ls.dedup();
+        rs.dedup();
+        assert_eq!(ls.len(), 3);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn reuse_across_calls_resets_state() {
+        let mut m = GreedyMatcher::new();
+        let mut e1 = vec![(1.0, 0, 0)];
+        assert_eq!(m.assign(1, 1, &mut e1).1, 1);
+        let mut e2 = vec![(1.0, 0, 0)];
+        assert_eq!(m.assign(1, 1, &mut e2).1, 1, "second call must see fresh marks");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut m = GreedyMatcher::new();
+        let mut e1 = vec![(0.5, 1, 1), (0.5, 0, 0), (0.5, 0, 1), (0.5, 1, 0)];
+        let (_, p1) = m.assign_pairs(2, 2, &mut e1);
+        let mut e2 = vec![(0.5, 0, 1), (0.5, 1, 0), (0.5, 1, 1), (0.5, 0, 0)];
+        let (_, p2) = m.assign_pairs(2, 2, &mut e2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut m = GreedyMatcher::new();
+        let (sum, count) = m.assign(0, 0, &mut []);
+        assert_eq!(sum, 0.0);
+        assert_eq!(count, 0);
+    }
+}

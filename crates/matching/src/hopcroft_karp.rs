@@ -1,0 +1,162 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching, `O(E √V)`.
+//!
+//! Used by the exact degree-preserving / bijective simulation checkers: a
+//! pair `(u, v)` survives refinement iff the bipartite graph between `N(u)`
+//! and `N(v)` (edges = pairs still in the relation) admits a matching
+//! saturating `N(u)` (dp) or a perfect matching (bj).
+
+use std::collections::VecDeque;
+
+const NIL: u32 = u32::MAX;
+
+/// Maximum-cardinality matching in a bipartite graph given as left-side
+/// adjacency lists (`adj[l]` = right vertices reachable from left vertex
+/// `l`). Returns `(matching size, match_of_left)` where unmatched left
+/// vertices map to `u32::MAX`.
+pub fn hopcroft_karp(adj: &[Vec<u32>], n_right: usize) -> (usize, Vec<u32>) {
+    let n_left = adj.len();
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; n_right];
+    let mut dist = vec![0u32; n_left];
+    let mut queue = VecDeque::new();
+
+    fn bfs(
+        adj: &[Vec<u32>],
+        match_l: &[u32],
+        match_r: &[u32],
+        dist: &mut [u32],
+        queue: &mut VecDeque<u32>,
+    ) -> bool {
+        queue.clear();
+        for (l, &m) in match_l.iter().enumerate() {
+            if m == NIL {
+                dist[l] = 0;
+                queue.push_back(l as u32);
+            } else {
+                dist[l] = u32::MAX;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l as usize] {
+                let next = match_r[r as usize];
+                if next == NIL {
+                    found = true;
+                } else if dist[next as usize] == u32::MAX {
+                    dist[next as usize] = dist[l as usize] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        found
+    }
+
+    fn dfs(
+        l: u32,
+        adj: &[Vec<u32>],
+        match_l: &mut [u32],
+        match_r: &mut [u32],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..adj[l as usize].len() {
+            let r = adj[l as usize][i];
+            let next = match_r[r as usize];
+            if next == NIL
+                || (dist[next as usize] == dist[l as usize] + 1
+                    && dfs(next, adj, match_l, match_r, dist))
+            {
+                match_l[l as usize] = r;
+                match_r[r as usize] = l;
+                return true;
+            }
+        }
+        dist[l as usize] = u32::MAX;
+        false
+    }
+
+    let mut size = 0usize;
+    while bfs(adj, &match_l, &match_r, &mut dist, &mut queue) {
+        for l in 0..n_left as u32 {
+            if match_l[l as usize] == NIL && dfs(l, adj, &mut match_l, &mut match_r, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+    (size, match_l)
+}
+
+/// Whether a matching saturating the whole left side exists.
+pub fn has_left_saturating_matching(adj: &[Vec<u32>], n_right: usize) -> bool {
+    let n_left = adj.len();
+    if n_left > n_right {
+        return false;
+    }
+    hopcroft_karp(adj, n_right).0 == n_left
+}
+
+/// Whether a perfect matching exists (both sides saturated).
+pub fn has_perfect_matching(adj: &[Vec<u32>], n_right: usize) -> bool {
+    adj.len() == n_right && hopcroft_karp(adj, n_right).0 == adj.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let adj = vec![vec![0], vec![1], vec![2]];
+        let (size, ml) = hopcroft_karp(&adj, 3);
+        assert_eq!(size, 3);
+        assert_eq!(ml, vec![0, 1, 2]);
+        assert!(has_perfect_matching(&adj, 3));
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // l0-{r0,r1}, l1-{r0}: naive greedy could block l1; HK must find both.
+        let adj = vec![vec![0, 1], vec![0]];
+        let (size, _) = hopcroft_karp(&adj, 2);
+        assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn hall_violation_detected() {
+        // Three left vertices all restricted to two right vertices.
+        let adj = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        let (size, _) = hopcroft_karp(&adj, 2);
+        assert_eq!(size, 2);
+        assert!(!has_left_saturating_matching(&adj, 2));
+    }
+
+    #[test]
+    fn saturating_but_not_perfect() {
+        let adj = vec![vec![0], vec![2]];
+        assert!(has_left_saturating_matching(&adj, 3));
+        assert!(!has_perfect_matching(&adj, 3));
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert_eq!(hopcroft_karp(&[], 0).0, 0);
+        assert!(has_perfect_matching(&[], 0));
+        assert!(has_left_saturating_matching(&[], 5));
+        let adj = vec![Vec::new()];
+        assert!(!has_left_saturating_matching(&adj, 5));
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1], vec![3, 0]];
+        let (size, ml) = hopcroft_karp(&adj, 4);
+        assert_eq!(size, 4);
+        // match_l must be injective and respect adjacency.
+        let mut rs: Vec<u32> = ml.iter().copied().filter(|&r| r != u32::MAX).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        assert_eq!(rs.len(), 4);
+        for (l, &r) in ml.iter().enumerate() {
+            assert!(adj[l].contains(&r));
+        }
+    }
+}

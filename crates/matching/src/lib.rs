@@ -1,0 +1,17 @@
+//! # fsim-matching
+//!
+//! Assignment and bipartite matching algorithms backing the FSim mapping
+//! operators and the exact simulation checkers: a greedy approximate
+//! maximum-weight assignment (the paper's production choice), an exact
+//! Hungarian solver (for ablation), and Hopcroft–Karp maximum-cardinality
+//! matching (for exact dp/bj feasibility).
+
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod hopcroft_karp;
+pub mod hungarian;
+
+pub use greedy::GreedyMatcher;
+pub use hopcroft_karp::{has_left_saturating_matching, has_perfect_matching, hopcroft_karp};
+pub use hungarian::hungarian_max_weight;

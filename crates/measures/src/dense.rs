@@ -1,0 +1,102 @@
+//! A dense `n × n` single-graph similarity matrix shared by the native
+//! SimRank/RoleSim implementations.
+
+use fsim_graph::NodeId;
+
+/// Row-major `n × n` score matrix.
+#[derive(Debug, Clone)]
+pub struct DenseSim {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseSim {
+    /// Zero-filled matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix filled by a function of `(u, v)`.
+    pub fn from_fn(n: usize, f: impl Fn(NodeId, NodeId) -> f64) -> Self {
+        let mut m = Self::zeros(n);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                m.set(u, v, f(u, v));
+            }
+        }
+        m
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Score of `(u, v)`.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.data[u as usize * self.n + v as usize]
+    }
+
+    /// Sets the score of `(u, v)`.
+    #[inline]
+    pub fn set(&mut self, u: NodeId, v: NodeId, s: f64) {
+        self.data[u as usize * self.n + v as usize] = s;
+    }
+
+    /// Maximum absolute entrywise difference to `other`.
+    pub fn max_diff(&self, other: &DenseSim) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The `k` highest-scoring partners of `u` (excluding `u` itself when
+    /// `exclude_self`), ties broken by node id.
+    pub fn top_k(&self, u: NodeId, k: usize, exclude_self: bool) -> Vec<(NodeId, f64)> {
+        let mut row: Vec<(NodeId, f64)> = (0..self.n as u32)
+            .filter(|&v| !(exclude_self && v == u))
+            .map(|v| (v, self.get(u, v)))
+            .collect();
+        row.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        row.truncate(k);
+        row
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseSim::zeros(3);
+        m.set(1, 2, 0.5);
+        assert_eq!(m.get(1, 2), 0.5);
+        assert_eq!(m.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn top_k_sorted_and_excludes_self() {
+        let m = DenseSim::from_fn(3, |u, v| if u == v { 1.0 } else { (v as f64) / 10.0 });
+        let top = m.top_k(0, 2, true);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 1);
+        let with_self = m.top_k(0, 1, false);
+        assert_eq!(with_self[0].0, 0);
+    }
+
+    #[test]
+    fn max_diff_is_sup_norm() {
+        let a = DenseSim::from_fn(2, |_, _| 0.5);
+        let b = DenseSim::from_fn(2, |u, v| if u == v { 0.9 } else { 0.5 });
+        assert!((a.max_diff(&b) - 0.4).abs() < 1e-12);
+    }
+}

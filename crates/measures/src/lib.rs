@@ -1,0 +1,20 @@
+//! # fsim-measures
+//!
+//! Node-similarity baselines used in the paper's case studies and the
+//! §4.3 relation checks: native SimRank and RoleSim (validated against the
+//! framework configurations), the meta-path measures PathSim / JoinSim /
+//! PCRW, and a q-gram similarity (nSimGram-like).
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod metapath;
+pub mod qgram;
+pub mod rolesim;
+pub mod simrank;
+
+pub use dense::DenseSim;
+pub use metapath::{joinsim, metapath_counts, pathsim, pcrw, Dir, MetaPath, PathCounts};
+pub use qgram::{qgram_node_similarity, qgram_profiles, qgram_similarity, Profile};
+pub use rolesim::rolesim;
+pub use simrank::simrank;

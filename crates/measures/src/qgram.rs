@@ -1,0 +1,155 @@
+//! q-gram node similarity (nSimGram-like; Conte et al., KDD 2018).
+//!
+//! Each node is described by the multiset of label q-grams realized by
+//! directed paths of `q` nodes starting at it; two nodes are similar if
+//! their q-gram frequency vectors are close (cosine similarity). This is a
+//! faithful simplification of nSimGram, which counts q-grams in
+//! neighborhood trees; the failure/success behaviour relevant to the
+//! paper's case study (sensitivity to labels + local topology) is the same.
+
+use fsim_graph::hash::FxHasher;
+use fsim_graph::{FxHashMap, Graph, NodeId};
+use std::hash::Hasher;
+
+/// q-gram frequency profile of a node.
+pub type Profile = FxHashMap<u64, f64>;
+
+fn gram_hash(labels: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    for &l in labels {
+        h.write_u32(l);
+    }
+    h.finish()
+}
+
+/// Collects the q-gram profile of every node: counts of label sequences
+/// along directed paths with `q` nodes (so `q − 1` edges), capped at
+/// `max_grams` path enumerations per node to bound the cost on dense
+/// graphs.
+pub fn qgram_profiles(g: &Graph, q: usize, max_grams: usize) -> Vec<Profile> {
+    assert!(q >= 1, "q must be >= 1");
+    let mut profiles = vec![Profile::default(); g.node_count()];
+    let mut stack_labels: Vec<u32> = Vec::with_capacity(q);
+    for u in g.nodes() {
+        let mut budget = max_grams;
+        let profile = &mut profiles[u as usize];
+        // Iterative DFS over paths of exactly q nodes.
+        fn dfs(
+            g: &Graph,
+            node: NodeId,
+            q: usize,
+            labels: &mut Vec<u32>,
+            profile: &mut Profile,
+            budget: &mut usize,
+        ) {
+            if *budget == 0 {
+                return;
+            }
+            labels.push(g.label(node).0);
+            if labels.len() == q {
+                *profile.entry(gram_hash(labels)).or_insert(0.0) += 1.0;
+                *budget -= 1;
+            } else {
+                for &m in g.out_neighbors(node) {
+                    dfs(g, m, q, labels, profile, budget);
+                    if *budget == 0 {
+                        break;
+                    }
+                }
+            }
+            labels.pop();
+        }
+        dfs(g, u, q, &mut stack_labels, profile, &mut budget);
+    }
+    profiles
+}
+
+/// Cosine similarity of two q-gram profiles (0 when either is empty).
+pub fn qgram_similarity(a: &Profile, b: &Profile) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, &x)| large.get(k).map(|&y| x * y))
+        .sum();
+    let na: f64 = a.values().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|x| x * x).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+/// Convenience: pairwise q-gram similarity of two nodes.
+pub fn qgram_node_similarity(g: &Graph, q: usize, u: NodeId, v: NodeId) -> f64 {
+    let profiles = qgram_profiles(g, q, 100_000);
+    qgram_similarity(&profiles[u as usize], &profiles[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_graph::graph_from_parts;
+
+    #[test]
+    fn identical_neighborhoods_score_one() {
+        // 0 and 1 both point at a 'b' then 'c' chain of their own.
+        let g = graph_from_parts(
+            &["a", "a", "b", "b", "c", "c"],
+            &[(0, 2), (1, 3), (2, 4), (3, 5)],
+        );
+        let p = qgram_profiles(&g, 3, 1000);
+        assert!((qgram_similarity(&p[0], &p[1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_labels_score_zero() {
+        let g = graph_from_parts(&["a", "a", "b", "z"], &[(0, 2), (1, 3)]);
+        let p = qgram_profiles(&g, 2, 1000);
+        assert_eq!(qgram_similarity(&p[0], &p[1]), 0.0);
+    }
+
+    #[test]
+    fn q1_is_label_identity() {
+        let g = graph_from_parts(&["a", "a", "b"], &[]);
+        let p = qgram_profiles(&g, 1, 1000);
+        assert_eq!(qgram_similarity(&p[0], &p[1]), 1.0);
+        assert_eq!(qgram_similarity(&p[0], &p[2]), 0.0);
+    }
+
+    #[test]
+    fn nodes_without_long_paths_have_empty_profiles() {
+        let g = graph_from_parts(&["a", "b"], &[(0, 1)]);
+        let p = qgram_profiles(&g, 3, 1000);
+        assert!(p[1].is_empty(), "leaf has no 3-node path");
+        assert!(p[0].is_empty(), "path of 2 nodes only");
+    }
+
+    #[test]
+    fn budget_caps_enumeration() {
+        // Complete-ish digraph: budget must stop the DFS.
+        let n = 8;
+        let edges: Vec<(u32, u32)> =
+            (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v))).collect();
+        let labels = vec!["x"; n as usize];
+        let g = graph_from_parts(&labels, &edges);
+        let p = qgram_profiles(&g, 4, 50);
+        let total: f64 = p[0].values().sum();
+        assert!(total <= 50.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let g = graph_from_parts(
+            &["a", "a", "b", "c", "b"],
+            &[(0, 2), (0, 3), (1, 4), (2, 3), (4, 3)],
+        );
+        let p = qgram_profiles(&g, 2, 1000);
+        for u in 0..5usize {
+            for v in 0..5usize {
+                let s = qgram_similarity(&p[u], &p[v]);
+                assert!((0.0..=1.0 + 1e-12).contains(&s));
+                assert!((s - qgram_similarity(&p[v], &p[u])).abs() < 1e-12);
+            }
+        }
+    }
+}

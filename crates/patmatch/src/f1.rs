@@ -1,0 +1,91 @@
+//! The F1 quality metric of the pattern-matching case study.
+//!
+//! Given a query `Q`, its ground-truth embedding and a returned match `φ`
+//! (the paper's top-1 match), `P = |φt| / |φ|` and `R = |φt| / |Q|`, where
+//! `φt ⊆ φ` are the correctly discovered node matches and `|X|` counts
+//! *nodes in the match* — i.e. the metric is **set-based** (a match is a
+//! subgraph, as returned by strong simulation; automorphic permutations of
+//! the true embedding are not penalized). `F1 = 2·P·R / (P + R)`.
+
+use crate::matchers::Match;
+use fsim_graph::{FxHashSet, NodeId};
+
+/// Set-based F1 of a matched node set against the ground-truth node set.
+pub fn f1_sets(matched: &[NodeId], ground_truth: &[NodeId]) -> f64 {
+    if matched.is_empty() || ground_truth.is_empty() {
+        return 0.0;
+    }
+    let phi: FxHashSet<NodeId> = matched.iter().copied().collect();
+    let gt: FxHashSet<NodeId> = ground_truth.iter().copied().collect();
+    let correct = phi.intersection(&gt).count();
+    if correct == 0 {
+        return 0.0;
+    }
+    let p = correct as f64 / phi.len() as f64;
+    let r = correct as f64 / gt.len() as f64;
+    2.0 * p * r / (p + r)
+}
+
+/// F1 of an assignment-style match against the ground truth: the assigned
+/// data nodes form the match set `φ`.
+pub fn f1_score(m: &Match, ground_truth: &[NodeId]) -> f64 {
+    assert_eq!(m.len(), ground_truth.len(), "match / ground-truth length mismatch");
+    let matched: Vec<NodeId> = m.iter().flatten().copied().collect();
+    f1_sets(&matched, ground_truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_one() {
+        let m: Match = vec![Some(5), Some(7), Some(9)];
+        assert_eq!(f1_score(&m, &[5, 7, 9]), 1.0);
+    }
+
+    #[test]
+    fn automorphic_permutation_still_scores_one() {
+        // The two 'hex' nodes of a query are interchangeable; a swapped
+        // assignment covers the same subgraph and must score 1.
+        let m: Match = vec![Some(7), Some(5), Some(9)];
+        assert_eq!(f1_score(&m, &[5, 7, 9]), 1.0);
+    }
+
+    #[test]
+    fn empty_match_is_zero() {
+        let m: Match = vec![None, None];
+        assert_eq!(f1_score(&m, &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        // 2 of 3 assigned, 1 in the true set: P = 1/2, R = 1/3 → F1 = 0.4.
+        let m: Match = vec![Some(5), Some(0), None];
+        let f1 = f1_score(&m, &[5, 7, 9]);
+        assert!((f1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_assignments_hurt_precision() {
+        let all_assigned: Match = vec![Some(5), Some(0), Some(1)];
+        let fewer_but_right: Match = vec![Some(5), None, None];
+        let gt = [5, 7, 9];
+        assert!(f1_score(&fewer_but_right, &gt) > f1_score(&all_assigned, &gt));
+    }
+
+    #[test]
+    fn oversized_set_matches_lose_precision() {
+        // Strong simulation may return more nodes than |Q|.
+        let exact = f1_sets(&[1, 2, 3], &[1, 2, 3]);
+        let bloated = f1_sets(&[1, 2, 3, 4, 5, 6], &[1, 2, 3]);
+        assert_eq!(exact, 1.0);
+        assert!(bloated < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        f1_score(&vec![None], &[1, 2]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # fsim-patmatch
+//!
+//! The subgraph pattern-matching case study of §5.4 (Table 6): query
+//! workload generation with controlled noise, the seed-and-expand match
+//! harness, the FSimχ matcher and the baseline matchers (NAGA-like,
+//! G-Finder-like, TSpan-like, strong simulation), and F1 scoring.
+
+#![warn(missing_docs)]
+
+pub mod chisq;
+pub mod f1;
+pub mod matchers;
+pub mod query;
+
+pub use chisq::{chisq_matrix, chisq_similarity, label_frequencies};
+pub use f1::{f1_score, f1_sets};
+pub use matchers::{
+    fsim_match, gfinder_match, naga_match, seed_expand, strong_sim_match,
+    strong_sim_match_nodes, tspan_match, Match, SimMatrix,
+};
+pub use fsim_graph::LabelId;
+pub use matchers::count_exact_embeddings;
+pub use query::{apply_noise, extract_query, extract_unique_query, QueryCase, Scenario};

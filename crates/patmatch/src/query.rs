@@ -1,0 +1,240 @@
+//! Query workload generation for the pattern-matching case study (§5.4):
+//! queries are random connected subgraphs extracted from the data graph
+//! (which makes the extraction itself the ground truth), optionally
+//! perturbed with structural noise (random edge insertions) and label noise
+//! (random relabelings) — up to 33% as in the paper.
+
+use fsim_graph::subgraph::induced_subgraph;
+use fsim_graph::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A generated query with its ground-truth embedding.
+#[derive(Debug, Clone)]
+pub struct QueryCase {
+    /// The query graph.
+    pub query: Graph,
+    /// `ground_truth[q] = data node` the query node was extracted from.
+    pub ground_truth: Vec<NodeId>,
+}
+
+/// The four query scenarios of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// No noise.
+    Exact,
+    /// Structural noise only (random edge insertions).
+    NoisyE,
+    /// Label noise only (random relabelings).
+    NoisyL,
+    /// Both noise kinds.
+    Combined,
+}
+
+impl Scenario {
+    /// All scenarios in table order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Exact,
+        Scenario::NoisyE,
+        Scenario::NoisyL,
+        Scenario::Combined,
+    ];
+
+    /// Table-6 row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Exact => "Exact",
+            Scenario::NoisyE => "Noisy-E",
+            Scenario::NoisyL => "Noisy-L",
+            Scenario::Combined => "Combined",
+        }
+    }
+}
+
+/// Extracts a connected subgraph of `size` nodes via random BFS-order
+/// expansion from a random start node. Returns `None` if the data graph has
+/// no component of that size reachable from the sampled start after a few
+/// retries.
+pub fn extract_query<R: Rng + ?Sized>(data: &Graph, size: usize, rng: &mut R) -> Option<QueryCase> {
+    assert!(size >= 1);
+    'retry: for _ in 0..50 {
+        let start = rng.gen_range(0..data.node_count() as u32);
+        let mut picked: Vec<NodeId> = vec![start];
+        let mut frontier: Vec<NodeId> = neighborhood(data, start);
+        while picked.len() < size {
+            frontier.retain(|n| !picked.contains(n));
+            if frontier.is_empty() {
+                continue 'retry;
+            }
+            let next = *frontier.choose(rng).expect("non-empty frontier");
+            picked.push(next);
+            frontier.extend(neighborhood(data, next));
+        }
+        let sub = induced_subgraph(data, &picked);
+        let ground_truth = sub.to_parent.clone();
+        return Some(QueryCase { query: sub.graph, ground_truth });
+    }
+    None
+}
+
+/// Like [`extract_query`] but rejects queries whose exact embedding in
+/// `data` is not unique (checked via spanning-tree enumeration). The
+/// paper's F1 treats the extraction as *the* ground truth, which is only
+/// meaningful for uniquely-embeddable queries.
+pub fn extract_unique_query<R: Rng + ?Sized>(
+    data: &Graph,
+    size: usize,
+    tries: usize,
+    rng: &mut R,
+) -> Option<QueryCase> {
+    for _ in 0..tries {
+        let case = extract_query(data, size, rng)?;
+        if crate::matchers::count_exact_embeddings(&case.query, data, 2) == 1 {
+            return Some(case);
+        }
+    }
+    None
+}
+
+fn neighborhood(g: &Graph, u: NodeId) -> Vec<NodeId> {
+    g.out_neighbors(u).iter().chain(g.in_neighbors(u)).copied().collect()
+}
+
+/// Applies the scenario's noise to a query (ground truth is unchanged —
+/// noise is what the matcher must see through).
+///
+/// The paper introduces "up to" 33% noise: the structural edit count is
+/// drawn uniformly from `0..=⌈ratio·|E|⌉` (so some Noisy-E queries stay
+/// clean, which is why exact methods retain partial F1 there), while label
+/// noise always relabels at least one node with a *different* label drawn
+/// from `alphabet` (usually the data graph's full label set).
+pub fn apply_noise<R: Rng + ?Sized>(
+    case: &QueryCase,
+    scenario: Scenario,
+    noise_ratio: f64,
+    alphabet: &[crate::LabelId],
+    rng: &mut R,
+) -> QueryCase {
+    let q = &case.query;
+    let (structural, label) = match scenario {
+        Scenario::Exact => (false, false),
+        Scenario::NoisyE => (true, false),
+        Scenario::NoisyL => (false, true),
+        Scenario::Combined => (true, true),
+    };
+    let mut labels: Vec<_> = q.labels().to_vec();
+    if label {
+        let alphabet = if alphabet.is_empty() { q.used_labels() } else { alphabet.to_vec() };
+        let max_k = (((q.node_count() as f64) * noise_ratio).round() as usize).max(1);
+        let k = rng.gen_range(1..=max_k);
+        let mut ids: Vec<NodeId> = q.nodes().collect();
+        ids.shuffle(rng);
+        for &u in ids.iter().take(k) {
+            // "Randomly modify node labels": always pick a *different* label.
+            let current = labels[u as usize];
+            let choices: Vec<_> = alphabet.iter().filter(|&&l| l != current).collect();
+            if !choices.is_empty() {
+                labels[u as usize] = *choices[rng.gen_range(0..choices.len())];
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_interner(Arc::clone(q.interner()));
+    for l in &labels {
+        b.add_node_with_id(*l);
+    }
+    for (u, v) in q.edges() {
+        b.add_edge(u, v);
+    }
+    if structural {
+        let max_extra = (((q.edge_count() as f64) * noise_ratio).round() as usize).max(1);
+        let extra = rng.gen_range(0..=max_extra);
+        let n = q.node_count() as u32;
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra && attempts < 100 * extra.max(1) {
+            attempts += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && !q.has_edge(u, v) {
+                b.add_edge(u, v);
+                added += 1;
+            }
+        }
+    }
+    QueryCase { query: b.build(), ground_truth: case.ground_truth.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsim_graph::generate::{gnm, GeneratorConfig};
+    use fsim_graph::traversal::weak_components;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn data() -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        gnm(&GeneratorConfig::new(100, 500, 8), &mut rng)
+    }
+
+    #[test]
+    fn extracted_query_is_connected_with_correct_size() {
+        let g = data();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let case = extract_query(&g, 7, &mut rng).unwrap();
+        assert_eq!(case.query.node_count(), 7);
+        assert_eq!(case.ground_truth.len(), 7);
+        let (_, comps) = weak_components(&case.query);
+        assert_eq!(comps, 1, "query must be connected");
+    }
+
+    #[test]
+    fn ground_truth_preserves_labels_and_edges() {
+        let g = data();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let case = extract_query(&g, 6, &mut rng).unwrap();
+        for q in case.query.nodes() {
+            assert_eq!(case.query.label(q), g.label(case.ground_truth[q as usize]));
+        }
+        for (a, b) in case.query.edges() {
+            assert!(g.has_edge(case.ground_truth[a as usize], case.ground_truth[b as usize]));
+        }
+    }
+
+    #[test]
+    fn exact_scenario_is_identity() {
+        let g = data();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let case = extract_query(&g, 5, &mut rng).unwrap();
+        let same = apply_noise(&case, Scenario::Exact, 0.33, &[], &mut rng);
+        assert_eq!(same.query.edges().collect::<Vec<_>>(), case.query.edges().collect::<Vec<_>>());
+        assert_eq!(same.query.labels(), case.query.labels());
+    }
+
+    #[test]
+    fn structural_noise_adds_edges_only() {
+        let g = data();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let case = extract_query(&g, 8, &mut rng).unwrap();
+        let noisy = apply_noise(&case, Scenario::NoisyE, 1.0, &[], &mut rng);
+        assert!(noisy.query.edge_count() > case.query.edge_count());
+        assert_eq!(noisy.query.labels(), case.query.labels());
+        // All original edges survive.
+        for (a, b) in case.query.edges() {
+            assert!(noisy.query.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn label_noise_relabels_but_keeps_structure() {
+        let g = data();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let case = extract_query(&g, 8, &mut rng).unwrap();
+        let noisy = apply_noise(&case, Scenario::NoisyL, 0.33, &g.used_labels(), &mut rng);
+        assert_eq!(
+            noisy.query.edges().collect::<Vec<_>>(),
+            case.query.edges().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Approximate subgraph pattern matching on a co-purchase graph
+//! (the Table-6 scenario): extract uniquely-embeddable queries from the
+//! data graph, corrupt them with structural + label noise, and compare how
+//! exact simulation and the fractional matchers recover the embeddings.
+//!
+//! Run with: `cargo run --release --example pattern_matching`
+
+use fsim::prelude::*;
+use fsim_datasets::copurchase;
+use fsim_patmatch::{
+    apply_noise, extract_unique_query, f1_score, fsim_match, naga_match, strong_sim_match,
+    tspan_match, Scenario,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let data = copurchase(1000, 120, 7);
+    println!("Data graph: {}", GraphStats::of(&data));
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+
+    let mut cases = Vec::new();
+    while cases.len() < 8 {
+        let size = rng.gen_range(5..=10);
+        if let Some(case) = extract_unique_query(&data, size, 5, &mut rng) {
+            cases.push(case);
+        }
+    }
+    println!("{} uniquely-embeddable queries extracted (ground truth known).", cases.len());
+    println!();
+    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "scenario", "StrongSim", "TSpan-3", "NAGA", "FSims");
+
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let alphabet = data.used_labels();
+    for scenario in Scenario::ALL {
+        let mut strong = 0.0;
+        let mut tspan_sum = 0.0;
+        let mut tspan_found = 0usize;
+        let mut naga = 0.0;
+        let mut fsim = 0.0;
+        for case in &cases {
+            let noisy = apply_noise(case, scenario, 0.33, &alphabet, &mut rng);
+            strong += f1_score(&strong_sim_match(&noisy.query, &data), &noisy.ground_truth);
+            if let Some(m) = tspan_match(&noisy.query, &data, 3) {
+                tspan_sum += f1_score(&m, &noisy.ground_truth);
+                tspan_found += 1;
+            }
+            naga += f1_score(&naga_match(&noisy.query, &data), &noisy.ground_truth);
+            fsim += f1_score(&fsim_match(&noisy.query, &data, &cfg), &noisy.ground_truth);
+        }
+        let n = cases.len() as f64;
+        let tspan_cell = if tspan_found == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * tspan_sum / n)
+        };
+        println!(
+            "{:<10} {:>9.0}% {:>10} {:>9.0}% {:>9.0}%",
+            scenario.name(),
+            100.0 * strong / n,
+            tspan_cell,
+            100.0 * naga / n,
+            100.0 * fsim / n,
+        );
+    }
+    println!();
+    println!("Exact simulation collapses once the query is noisy; the fractional");
+    println!("matcher keeps recovering most of the embedding (strength S1).");
+}

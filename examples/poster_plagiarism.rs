@@ -1,0 +1,45 @@
+//! The paper's motivating example (Figure 2): poster plagiarism detection.
+//!
+//! Poster `P` differs from the archived poster `P1` only in font and style,
+//! so *exact* simulation finds nothing — but the fractional score exposes
+//! the near-duplicate immediately.
+//!
+//! Run with: `cargo run --release --example poster_plagiarism`
+
+use fsim::prelude::*;
+use fsim_graph::examples::figure2;
+
+fn main() {
+    let f = figure2();
+    println!("Candidate poster P with {} design elements.", f.query.out_degree(f.p));
+    println!();
+
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let scores = compute(&f.query, &f.data, &cfg).expect("valid configuration");
+    let relation = simulation_relation(&f.query, &f.data, ExactVariant::Simple);
+
+    println!("{:<8} {:>16} {:>14}", "poster", "exact simulation", "FSims score");
+    let mut ranked: Vec<(usize, f64)> = f
+        .posters
+        .iter()
+        .enumerate()
+        .map(|(i, &poster)| (i, scores.get(f.p, poster).expect("maintained")))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    for (i, score) in &ranked {
+        let poster = f.posters[*i];
+        let exact = if relation.contains(f.p, poster) { "yes" } else { "no" };
+        println!("{:<8} {:>16} {:>14.3}", format!("P{}", i + 1), exact, score);
+    }
+
+    let (top, score) = ranked[0];
+    println!();
+    println!(
+        "=> P{} is the prime plagiarism suspect (score {:.3}) even though no \
+         exact simulation exists — the 'yes-or-no' semantics would have missed it.",
+        top + 1,
+        score
+    );
+    assert!(ranked[0].1 > ranked[1].1, "P1 must outrank the unrelated posters");
+}

@@ -1,0 +1,41 @@
+//! Node-similarity case study (Tables 7–8): which venues are most similar
+//! to WWW in a bibliographic network? The DBIS surrogate contains the
+//! duplicate venues WWW1..WWW3 that a good measure must surface.
+//!
+//! Run with: `cargo run --release --example venue_similarity`
+
+use fsim::prelude::*;
+use fsim_datasets::{dbis, DbisConfig};
+
+fn main() {
+    let d = dbis(&DbisConfig::default(), 42);
+    println!("DBIS surrogate: {}", GraphStats::of(&d.graph));
+    println!("{} venues across 15 areas (+{} WWW duplicates)", d.venues.len(), d.www_dups.len());
+    println!();
+
+    for variant in [Variant::Bi, Variant::Bijective] {
+        let cfg = FsimConfig::new(variant)
+            .label_fn(LabelFn::Indicator)
+            .theta(1.0)
+            .threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let result = compute(&d.graph, &d.graph, &cfg).expect("valid configuration");
+
+        let mut scored: Vec<(NodeId, f64)> = d
+            .venues
+            .iter()
+            .copied()
+            .filter(|&v| v != d.www)
+            .map(|v| (v, result.get(d.www, v).unwrap_or(0.0)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+        println!("Top-5 venues most similar to WWW by FSim{variant}:");
+        for (rank, (v, s)) in scored.iter().take(5).enumerate() {
+            let marker = if d.www_dups.contains(v) { "  <- WWW duplicate" } else { "" };
+            println!("  {}. {:<10} {:.4}{marker}", rank + 1, d.name_of(*v), s);
+        }
+        println!();
+    }
+    println!("Exact b-/bj-simulation would score every non-identical venue 'no';");
+    println!("the fractional scores produce a usable fine-grained ranking.");
+}

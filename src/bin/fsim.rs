@@ -1,0 +1,262 @@
+//! `fsim` — command-line front end for fractional χ-simulation.
+//!
+//! ```text
+//! fsim stats <graph>
+//! fsim generate --dataset NELL [--scale F] [--seed S] [-o out.txt]
+//! fsim score <g1> <g2> [--variant s|dp|b|bj] [--theta T] [--threads N]
+//!            [--pair U,V]... [--top K]
+//! fsim exact <g1> <g2> [--variant s|dp|b|bj] [--pair U,V]...
+//! fsim topk <graph> [-k K] [--variant s|dp|b|bj]
+//! fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]
+//! ```
+//!
+//! Graphs are read in the text edge-list format of `fsim_graph::io`
+//! (`n <id> <label>` / `e <src> <dst>` lines).
+
+use fsim::core::{top_k_search, FsimConfig, Variant};
+use fsim::prelude::*;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        exit(2);
+    };
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "score" => cmd_score(rest),
+        "exact" => cmd_exact(rest),
+        "topk" => cmd_topk(rest),
+        "align" => cmd_align(rest),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "fsim — fractional chi-simulation on graph data\n\
+         commands:\n  \
+         stats <graph>                                  print graph statistics\n  \
+         generate --dataset NAME [--scale F] [--seed S] [-o FILE]\n  \
+         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--pair U,V]... [--top K]\n  \
+         exact <g1> <g2> [--variant V] [--pair U,V]...\n  \
+         topk <graph> [-k K] [--variant V]\n  \
+         align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]"
+    );
+}
+
+/// Minimal flag cursor over the argument list.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix('-').map(|s| s.trim_start_matches('-')) {
+                let value = it
+                    .peek()
+                    .filter(|next| !next.starts_with('-'))
+                    .map(|v| v.as_str());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name, value));
+            } else {
+                positional.push(a.as_str());
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| *n == name).and_then(|(_, v)| *v)
+    }
+
+    fn flags_all(&self, name: &str) -> Vec<&str> {
+        self.flags.iter().filter(|(n, _)| *n == name).filter_map(|(_, v)| *v).collect()
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    fsim::graph::io::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads two graphs onto a shared interner so label ids are comparable.
+fn load_graph_pair(p1: &str, p2: &str) -> Result<(Graph, Graph), String> {
+    let t1 = std::fs::read_to_string(p1).map_err(|e| format!("{p1}: {e}"))?;
+    let t2 = std::fs::read_to_string(p2).map_err(|e| format!("{p2}: {e}"))?;
+    let g1 = fsim::graph::io::from_text(&t1).map_err(|e| format!("{p1}: {e}"))?;
+    let g2raw = fsim::graph::io::from_text(&t2).map_err(|e| format!("{p2}: {e}"))?;
+    let mut b = GraphBuilder::with_interner(std::sync::Arc::clone(g1.interner()));
+    for u in g2raw.nodes() {
+        b.add_node(&g2raw.label_str(u));
+    }
+    for (u, v) in g2raw.edges() {
+        b.add_edge(u, v);
+    }
+    Ok((g1, b.build()))
+}
+
+fn parse_variant(s: Option<&str>) -> Result<Variant, String> {
+    match s.unwrap_or("bj") {
+        "s" => Ok(Variant::Simple),
+        "dp" => Ok(Variant::DegreePreserving),
+        "b" => Ok(Variant::Bi),
+        "bj" => Ok(Variant::Bijective),
+        other => Err(format!("unknown variant {other:?} (expected s|dp|b|bj)")),
+    }
+}
+
+fn parse_pair(s: &str) -> Result<(u32, u32), String> {
+    let (a, b) = s.split_once(',').ok_or_else(|| format!("bad pair {s:?} (want U,V)"))?;
+    Ok((
+        a.trim().parse().map_err(|_| format!("bad node id {a:?}"))?,
+        b.trim().parse().map_err(|_| format!("bad node id {b:?}"))?,
+    ))
+}
+
+fn build_config(a: &Args<'_>) -> Result<FsimConfig, String> {
+    let mut cfg = FsimConfig::new(parse_variant(a.flag("variant"))?).label_fn(LabelFn::Indicator);
+    if let Some(t) = a.flag("theta") {
+        cfg.theta = t.parse().map_err(|_| format!("bad theta {t:?}"))?;
+    }
+    if let Some(t) = a.flag("threads") {
+        cfg.threads = t.parse().map_err(|_| format!("bad thread count {t:?}"))?;
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let [path] = a.positional[..] else { return Err("usage: fsim stats <graph>".into()) };
+    let g = load_graph(path)?;
+    println!("{}", GraphStats::of(&g));
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let name = a.flag("dataset").ok_or("--dataset NAME is required")?;
+    let spec = fsim::datasets::DatasetSpec::by_name(name)
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale: f64 = a.flag("scale").unwrap_or("1.0").parse().map_err(|_| "bad --scale")?;
+    let seed: u64 = a.flag("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let g = spec.generate_scaled(scale, seed);
+    let text = fsim::graph::io::to_text(&g);
+    match a.flag("o") {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    eprintln!("generated {name}: {}", GraphStats::of(&g));
+    Ok(())
+}
+
+fn cmd_score(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let [p1, p2] = a.positional[..] else {
+        return Err("usage: fsim score <g1> <g2> [flags]".into());
+    };
+    let (g1, g2) = load_graph_pair(p1, p2)?;
+    let cfg = build_config(&a)?;
+    let result = compute(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "computed {} pairs in {} iterations (converged: {})",
+        result.pair_count(),
+        result.iterations,
+        result.converged
+    );
+    let pairs = a.flags_all("pair");
+    if !pairs.is_empty() {
+        for p in pairs {
+            let (u, v) = parse_pair(p)?;
+            println!("FSim{}({u},{v}) = {:.6}", cfg.variant, result.score(u, v));
+        }
+        return Ok(());
+    }
+    let k: usize = a.flag("top").unwrap_or("10").parse().map_err(|_| "bad --top")?;
+    for (u, v, s) in fsim::core::top_k_pairs(&result, k, false) {
+        println!("({u},{v}) {s:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_exact(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let [p1, p2] = a.positional[..] else {
+        return Err("usage: fsim exact <g1> <g2> [flags]".into());
+    };
+    let (g1, g2) = load_graph_pair(p1, p2)?;
+    let variant = fsim::exact_variant(parse_variant(a.flag("variant"))?);
+    let relation = simulation_relation(&g1, &g2, variant);
+    let pairs = a.flags_all("pair");
+    if pairs.is_empty() {
+        println!("{} simulation pairs", relation.len());
+        for (u, v) in relation.pairs() {
+            println!("{u} {v}");
+        }
+    } else {
+        for p in pairs {
+            let (u, v) = parse_pair(p)?;
+            println!("{u} ~ {v}: {}", relation.contains(u, v));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_topk(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let [path] = a.positional[..] else { return Err("usage: fsim topk <graph> [flags]".into()) };
+    let g = load_graph(path)?;
+    let k: usize = a.flag("k").unwrap_or("10").parse().map_err(|_| "bad -k")?;
+    let cfg = build_config(&a)?;
+    let top = top_k_search(&g, &g, &cfg, k, true);
+    eprintln!("certified: {} ({} passes)", top.certified, top.passes);
+    for (u, v, s) in top.pairs {
+        println!("({u},{v}) {s:.6}  [{} / {}]", g.label_str(u), g.label_str(v));
+    }
+    Ok(())
+}
+
+fn cmd_align(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let [p1, p2] = a.positional[..] else {
+        return Err("usage: fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]".into());
+    };
+    let (g1, g2) = load_graph_pair(p1, p2)?;
+    let method = a.flag("method").unwrap_or("fsim");
+    let alignment = match method {
+        "fsim" => {
+            let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+            fsim::align::fsim_align(&g1, &g2, &cfg)
+        }
+        "kbisim" => fsim::align::kbisim_align(&g1, &g2, 2),
+        "olap" => fsim::align::olap_align(&g1, &g2),
+        "gsa" => fsim::align::gsa_na_align(&g1, &g2),
+        "final" => fsim::align::final_align(&g1, &g2, 0.82, 12),
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    for (u, row) in alignment.iter().enumerate() {
+        if !row.is_empty() {
+            let cells: Vec<String> = row.iter().map(u32::to_string).collect();
+            println!("{u} -> {}", cells.join(","));
+        }
+    }
+    Ok(())
+}

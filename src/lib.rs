@@ -1,0 +1,108 @@
+//! # fsim — fractional χ-simulation on graph data
+//!
+//! A Rust implementation of *"A Framework to Quantify Approximate
+//! Simulation on Graph Data"* (ICDE 2021): the `FSimχ` framework computes,
+//! for every pair of nodes `u ∈ G1`, `v ∈ G2`, the degree in `[0, 1]` to
+//! which `u` is approximately χ-simulated by `v`, for four simulation
+//! variants — simple (`s`), degree-preserving (`dp`), bi- (`b`) and
+//! bijective (`bj`) simulation.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — labeled directed graphs, generators, noise, traversal;
+//! * [`labels`] — label similarity functions `L(·)`;
+//! * [`matching`] — assignment algorithms behind the mapping operators;
+//! * [`core`] — the `FSimχ` iterative framework itself;
+//! * [`exact`] — exact (yes/no) χ-simulation, strong simulation,
+//!   k-bisimulation, the WL test;
+//! * [`measures`] — SimRank, RoleSim, PathSim, JoinSim, PCRW, q-grams;
+//! * [`patmatch`] — the pattern-matching case study;
+//! * [`align`] — the graph-alignment case study;
+//! * [`datasets`] — synthetic surrogates for the paper's datasets;
+//! * [`eval`] — the table/figure experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fsim::prelude::*;
+//!
+//! // Build two graphs over a shared label vocabulary.
+//! let interner = LabelInterner::shared();
+//! let mut b1 = GraphBuilder::with_interner(interner.clone());
+//! let u = b1.add_node("person");
+//! let p = b1.add_node("post");
+//! b1.add_edge(u, p);
+//! let g1 = b1.build();
+//!
+//! let mut b2 = GraphBuilder::with_interner(interner);
+//! let v = b2.add_node("person");
+//! let q1 = b2.add_node("post");
+//! let q2 = b2.add_node("post");
+//! b2.add_edge(v, q1);
+//! b2.add_edge(v, q2);
+//! let g2 = b2.build();
+//!
+//! // How well does v simulate u, per variant?
+//! let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+//! let result = compute(&g1, &g2, &cfg).unwrap();
+//! assert!(result.get(u, v).unwrap() > 0.99); // u ⇝s v exactly
+//! ```
+
+pub use fsim_align as align;
+pub use fsim_core as core;
+pub use fsim_datasets as datasets;
+pub use fsim_eval as eval;
+pub use fsim_exact as exact;
+pub use fsim_graph as graph;
+pub use fsim_labels as labels;
+pub use fsim_matching as matching;
+pub use fsim_measures as measures;
+pub use fsim_patmatch as patmatch;
+
+/// Converts an engine [`core::Variant`] into the equivalent
+/// [`exact::ExactVariant`] checker id.
+pub fn exact_variant(v: fsim_core::Variant) -> fsim_exact::ExactVariant {
+    match v {
+        fsim_core::Variant::Simple => fsim_exact::ExactVariant::Simple,
+        fsim_core::Variant::DegreePreserving => fsim_exact::ExactVariant::DegreePreserving,
+        fsim_core::Variant::Bi => fsim_exact::ExactVariant::Bi,
+        fsim_core::Variant::Bijective => fsim_exact::ExactVariant::Bijective,
+    }
+}
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::exact_variant;
+    pub use fsim_core::{
+        compute, score_on_demand, FsimConfig, FsimResult, InitScheme, LabelTermMode, MatcherKind,
+        Variant,
+    };
+    pub use fsim_exact::{simulates, simulation_relation, ExactVariant};
+    pub use fsim_graph::{Graph, GraphBuilder, GraphStats, LabelId, LabelInterner, NodeId};
+    pub use fsim_labels::LabelFn;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn variant_conversion_is_total() {
+        for v in fsim_core::Variant::ALL {
+            let e = crate::exact_variant(v);
+            assert_eq!(
+                format!("{e:?}").chars().next(),
+                format!("{v:?}").chars().next(),
+                "conversion changed the variant"
+            );
+        }
+    }
+
+    #[test]
+    fn prelude_compiles_and_runs() {
+        let g = fsim_graph::graph_from_parts(&["a"], &[]);
+        let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+        let r = compute(&g, &g, &cfg).unwrap();
+        assert_eq!(r.get(0, 0), Some(1.0));
+    }
+}

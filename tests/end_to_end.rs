@@ -1,0 +1,164 @@
+//! End-to-end integration tests across crates: the full case-study
+//! pipelines at small scale, and cross-validation of the framework
+//! configurations of §4.3 against the native baseline implementations.
+
+use fsim::prelude::*;
+use fsim_align::{alignment_f1, fsim_align, kbisim_align};
+use fsim_datasets::evolving::{evolve, Churn};
+use fsim_datasets::{copurchase, dbis, DbisConfig};
+use fsim_graph::generate::{preferential, GeneratorConfig};
+use fsim_patmatch::{apply_noise, extract_unique_query, f1_score, fsim_match, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn pattern_matching_pipeline_recovers_exact_queries() {
+    let data = copurchase(300, 40, 5);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let mut perfect = 0;
+    let mut total = 0;
+    for _ in 0..6 {
+        let Some(case) = extract_unique_query(&data, 6, 5, &mut rng) else { continue };
+        let m = fsim_match(&case.query, &data, &cfg);
+        if (f1_score(&m, &case.ground_truth) - 1.0).abs() < 1e-9 {
+            perfect += 1;
+        }
+        total += 1;
+    }
+    assert!(total >= 3, "should find unique queries");
+    assert_eq!(perfect, total, "unique exact queries must be fully recovered");
+}
+
+#[test]
+fn noisy_queries_still_mostly_recovered() {
+    let data = copurchase(300, 40, 5);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let mut sum = 0.0;
+    let mut total = 0;
+    let alphabet = data.used_labels();
+    for _ in 0..40 {
+        if total >= 4 {
+            break;
+        }
+        let Some(case) = extract_unique_query(&data, 7, 5, &mut rng) else { continue };
+        let noisy = apply_noise(&case, Scenario::Combined, 0.33, &alphabet, &mut rng);
+        sum += f1_score(&fsim_match(&noisy.query, &data, &cfg), &noisy.ground_truth);
+        total += 1;
+    }
+    assert!(total >= 3);
+    assert!(sum / total as f64 > 0.3, "FSim matching collapsed under noise: {}", sum / total as f64);
+}
+
+#[test]
+fn alignment_pipeline_beats_kbisim_under_churn() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let g1 = preferential(&GeneratorConfig::new(250, 650, 8).label_skew(0.5), &mut rng);
+    let (g2, gt) = evolve(&g1, Churn::default(), &mut rng);
+    let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+    let fsim_f1 = alignment_f1(&fsim_align(&g1, &g2, &cfg), &gt);
+    let kbisim_f1 = alignment_f1(&kbisim_align(&g1, &g2, 2), &gt);
+    assert!(
+        fsim_f1 > kbisim_f1,
+        "FSim alignment ({fsim_f1:.3}) must beat 2-bisimulation ({kbisim_f1:.3})"
+    );
+    assert!(fsim_f1 > 0.5, "FSim alignment too weak: {fsim_f1:.3}");
+}
+
+#[test]
+fn dbis_fsimbj_finds_duplicate_venues() {
+    let d = dbis(
+        &DbisConfig {
+            areas: 6,
+            venues_per_area: 4,
+            authors_per_area: 24,
+            papers_per_author: 5,
+            cross_area_prob: 0.10,
+            www_duplicates: 3,
+            tiers: 3,
+        },
+        3,
+    );
+    let cfg = FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator).theta(1.0);
+    let r = compute(&d.graph, &d.graph, &cfg).unwrap();
+    let mut scored: Vec<(NodeId, f64)> = d
+        .venues
+        .iter()
+        .copied()
+        .filter(|&v| v != d.www)
+        .map(|v| (v, r.get(d.www, v).unwrap_or(0.0)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top5: Vec<NodeId> = scored.iter().take(5).map(|&(v, _)| v).collect();
+    let hits = d.www_dups.iter().filter(|dup| top5.contains(dup)).count();
+    assert!(hits >= 2, "expected WWW duplicates in FSimbj top-5, got {hits}");
+}
+
+#[test]
+fn score_on_demand_matches_engine_for_maintained_pairs() {
+    let g = copurchase(60, 8, 11);
+    let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+    let r = compute(&g, &g, &cfg).unwrap();
+    for (u, v, s) in r.iter_pairs().take(50) {
+        assert_eq!(score_on_demand(&g, &g, &cfg, &r, u, v), s);
+    }
+}
+
+#[test]
+fn simrank_framework_matches_native_on_random_graph() {
+    let g = copurchase(40, 5, 13);
+    let native = fsim_measures::simrank(&g, 0.8, 1e-9, 100);
+    let framework = fsim_core::simrank_via_framework(&g, 0.8, 1e-9);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            let a = native.get(u, v);
+            let b = framework.get(u, v).unwrap();
+            assert!((a - b).abs() < 1e-5, "SimRank mismatch at ({u},{v}): {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn bisimulation_quotient_compression_preserves_bisimilarity() {
+    // Query-preserving compression (Fan et al., cited in the paper's
+    // intro): quotient by the bisimulation partition; every original node
+    // must be bisimilar to its class node in the compressed graph.
+    let g = fsim_graph::graph_from_parts(
+        &["root", "mid", "mid", "leaf", "leaf", "leaf", "leaf"],
+        &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)],
+    );
+    let (part, classes, _) = fsim_exact::bisimulation_partition(&g, true);
+    assert!(classes < g.node_count(), "structure must compress");
+    let (q, map) = fsim_graph::transform::quotient(&g, &part);
+    assert_eq!(q.node_count(), classes);
+    let relation = simulation_relation(&g, &q, ExactVariant::Bi);
+    for u in g.nodes() {
+        assert!(
+            relation.contains(u, map[u as usize]),
+            "node {u} not bisimilar to its quotient class {}",
+            map[u as usize]
+        );
+    }
+    // And the fractional engine agrees: FSimb(u, class(u)) = 1.
+    let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator);
+    let r = compute(&g, &q, &cfg).unwrap();
+    for u in g.nodes() {
+        assert!((r.get(u, map[u as usize]).unwrap() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn figure2_poster_example_behaves_as_motivated() {
+    let f = fsim_graph::examples::figure2();
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let r = compute(&f.query, &f.data, &cfg).unwrap();
+    let relation = simulation_relation(&f.query, &f.data, ExactVariant::Simple);
+    // No exact simulation of P by any poster…
+    for &poster in &f.posters {
+        assert!(!relation.contains(f.p, poster));
+    }
+    // …but P1 has the clearly highest fractional score.
+    let s: Vec<f64> = f.posters.iter().map(|&p| r.get(f.p, p).unwrap()).collect();
+    assert!(s[0] > s[1] && s[0] > s[2], "P1 must be the top suspect: {s:?}");
+}

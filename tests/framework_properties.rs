@@ -1,0 +1,212 @@
+//! Property-based tests of the framework's defining properties
+//! (Definition 4) and the theorems of §3–§4, on randomly generated graphs.
+
+use fsim::prelude::*;
+use fsim_core::{kbisim_via_framework, LabelTermMode};
+use fsim_exact::{kbisim_signatures, wl_colors};
+use fsim_graph::graph_from_parts;
+use proptest::prelude::*;
+
+/// A random small labeled digraph: up to `max_n` nodes over a 3-letter
+/// alphabet with arbitrary edges.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = fsim_graph::Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..3u8, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=(2 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            let names = ["a", "b", "c"];
+            let label_strs: Vec<&str> = labels.iter().map(|&l| names[l as usize]).collect();
+            let edge_list: Vec<(u32, u32)> =
+                edges.into_iter().map(|(u, v)| (u as u32, v as u32)).collect();
+            graph_from_parts(&label_strs, &edge_list)
+        })
+    })
+}
+
+/// Two random graphs over one shared interner.
+fn arb_graph_pair(max_n: usize) -> impl Strategy<Value = (fsim_graph::Graph, fsim_graph::Graph)> {
+    (arb_graph(max_n), arb_graph(max_n)).prop_map(|(g1, g2)| {
+        // graph_from_parts uses private interners; rebuild g2 on g1's.
+        let mut b = GraphBuilder::with_interner(std::sync::Arc::clone(g1.interner()));
+        for u in g2.nodes() {
+            b.add_node(&g2.label_str(u));
+        }
+        for (u, v) in g2.edges() {
+            b.add_edge(u, v);
+        }
+        (g1, b.build())
+    })
+}
+
+fn exact_config(variant: Variant) -> FsimConfig {
+    let mut cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+    cfg.matcher = MatcherKind::Hungarian; // exact maximum mapping → exact P2
+    cfg.epsilon = 1e-12;
+    cfg.max_iters = Some(200);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// P1 (range): every score lies in [0, 1], for every variant.
+    #[test]
+    fn p1_scores_in_unit_range((g1, g2) in arb_graph_pair(7)) {
+        for variant in Variant::ALL {
+            let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+            let r = compute(&g1, &g2, &cfg).unwrap();
+            for (_, _, s) in r.iter_pairs() {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    /// P2 (simulation definiteness): `u ⇝χ v ⇔ FSimχ(u,v) = 1`, checked
+    /// against the independent fixpoint oracle.
+    #[test]
+    fn p2_simulation_definiteness((g1, g2) in arb_graph_pair(6)) {
+        for variant in Variant::ALL {
+            let r = compute(&g1, &g2, &exact_config(variant)).unwrap();
+            let oracle = simulation_relation(&g1, &g2, exact_variant(variant));
+            for u in g1.nodes() {
+                for v in g2.nodes() {
+                    let s = r.get(u, v).unwrap();
+                    if oracle.contains(u, v) {
+                        prop_assert!((s - 1.0).abs() < 1e-9,
+                            "{variant}: simulated ({u},{v}) scored {s}");
+                    } else {
+                        prop_assert!(s < 1.0 - 1e-9,
+                            "{variant}: non-simulated ({u},{v}) scored {s}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// P3 (χ-conditional symmetry): converse-invariant variants produce
+    /// symmetric scores.
+    #[test]
+    fn p3_symmetry_for_converse_invariant_variants((g1, g2) in arb_graph_pair(6)) {
+        for variant in [Variant::Bi, Variant::Bijective] {
+            let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+            let fwd = compute(&g1, &g2, &cfg).unwrap();
+            let bwd = compute(&g2, &g1, &cfg).unwrap();
+            for u in g1.nodes() {
+                for v in g2.nodes() {
+                    let a = fwd.get(u, v).unwrap();
+                    let b = bwd.get(v, u).unwrap();
+                    prop_assert!((a - b).abs() < 1e-9,
+                        "{variant}: FSim({u},{v})={a} but FSim({v},{u})={b}");
+                }
+            }
+        }
+    }
+
+    /// Parallel execution is bitwise identical to sequential.
+    #[test]
+    fn parallel_equals_sequential((g1, g2) in arb_graph_pair(6)) {
+        let seq = compute(&g1, &g2, &FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator)).unwrap();
+        let par = compute(&g1, &g2, &FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator).threads(3)).unwrap();
+        for ((u1, v1, s1), (u2, v2, s2)) in seq.iter_pairs().zip(par.iter_pairs()) {
+            prop_assert_eq!((u1, v1), (u2, v2));
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    /// The static upper bound of §3.4 really bounds the converged score.
+    #[test]
+    fn upper_bound_is_sound((g1, g2) in arb_graph_pair(6)) {
+        use fsim_core::candidates::static_upper_bound;
+        use fsim_core::operators::{LabelEval, OpCtx, VariantOp};
+        for variant in Variant::ALL {
+            let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
+            let r = compute(&g1, &g2, &cfg).unwrap();
+            let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+            let ctx = OpCtx {
+                labels1: g1.labels(),
+                labels2: g2.labels(),
+                label_eval: &eval,
+                theta: 0.0,
+            };
+            let op = VariantOp::new(variant);
+            for (u, v, s) in r.iter_pairs() {
+                let ub = static_upper_bound(&g1, &g2, &ctx, &cfg, &op, u, v);
+                prop_assert!(s <= ub + 1e-9, "{variant}: score {s} > ub {ub} at ({u},{v})");
+            }
+        }
+    }
+
+    /// Theorem 4: `FSimᵏ_b(u,v) = 1 ⇔ u, v are k-bisimilar` (single graph,
+    /// out-neighbors only).
+    #[test]
+    fn theorem4_kbisimulation(g in arb_graph(7), k in 0usize..4) {
+        let r = kbisim_via_framework(&g, k);
+        let sig = kbisim_signatures(&g, k);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let one = (r.get(u, v).unwrap() - 1.0).abs() < 1e-9;
+                let bisimilar = sig[u as usize] == sig[v as usize];
+                prop_assert_eq!(one, bisimilar,
+                    "k={}: FSim^k_b({},{})={:?} vs sig-equal={}",
+                    k, u, v, r.get(u, v), bisimilar);
+            }
+        }
+    }
+
+    /// Theorem 5: on undirected graphs, `FSimbj(u,v) = 1 ⇔ equal WL
+    /// colors` (assuming the WL refinement converged, which it does on
+    /// these small graphs).
+    #[test]
+    fn theorem5_weisfeiler_lehman(g in arb_graph(6)) {
+        let und = fsim_graph::transform::undirected(&g);
+        let mut cfg = exact_config(Variant::Bijective);
+        cfg.label_term = LabelTermMode::Sim;
+        let r = compute(&und, &und, &cfg).unwrap();
+        let (colors, _) = wl_colors(&und, &und, und.node_count() + 2);
+        for u in und.nodes() {
+            for v in und.nodes() {
+                let one = (r.get(u, v).unwrap() - 1.0).abs() < 1e-9;
+                let same_color = colors[u as usize] == colors[v as usize];
+                prop_assert_eq!(one, same_color,
+                    "WL mismatch at ({},{}): score={:?} same_color={}",
+                    u, v, r.get(u, v), same_color);
+            }
+        }
+    }
+
+    /// The exact strictness hierarchy of Figure 3(b): bj ⊆ dp ∩ b and
+    /// dp ∪ b ⊆ s.
+    #[test]
+    fn figure3b_strictness((g1, g2) in arb_graph_pair(6)) {
+        let s = simulation_relation(&g1, &g2, ExactVariant::Simple);
+        let dp = simulation_relation(&g1, &g2, ExactVariant::DegreePreserving);
+        let b = simulation_relation(&g1, &g2, ExactVariant::Bi);
+        let bj = simulation_relation(&g1, &g2, ExactVariant::Bijective);
+        for (u, v) in bj.pairs() {
+            prop_assert!(dp.contains(u, v) && b.contains(u, v));
+        }
+        for (u, v) in dp.pairs() {
+            prop_assert!(s.contains(u, v));
+        }
+        for (u, v) in b.pairs() {
+            prop_assert!(s.contains(u, v));
+        }
+    }
+
+    /// θ-pruning maintains a subset of the pairs and never changes the
+    /// score of an exactly-simulated pair.
+    #[test]
+    fn theta_pruning_subset_and_p2((g1, g2) in arb_graph_pair(6)) {
+        let full = compute(&g1, &g2, &exact_config(Variant::Simple)).unwrap();
+        let mut pruned_cfg = exact_config(Variant::Simple);
+        pruned_cfg.theta = 1.0;
+        let pruned = compute(&g1, &g2, &pruned_cfg).unwrap();
+        prop_assert!(pruned.pair_count() <= full.pair_count());
+        let oracle = simulation_relation(&g1, &g2, ExactVariant::Simple);
+        for (u, v) in oracle.pairs() {
+            // Simulated pairs have equal labels, so they survive θ = 1.
+            let s = pruned.get(u, v).expect("simulated pair must be maintained");
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the graph substrate: serialization round-trips, CSR
+//! consistency, and transform laws.
+
+use fsim_graph::{graph_from_parts, io, transform, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1..10usize).prop_flat_map(|n| {
+        let labels = proptest::collection::vec("[a-z]{1,6}", n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            let edge_list: Vec<(u32, u32)> =
+                edges.into_iter().map(|(u, v)| (u as u32, v as u32)).collect();
+            graph_from_parts(&refs, &edge_list)
+        })
+    })
+}
+
+fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    a.node_count() == b.node_count()
+        && a.edges().collect::<Vec<_>>() == b.edges().collect::<Vec<_>>()
+        && a.nodes().all(|u| a.label_str(u) == b.label_str(u))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_io_roundtrip(g in arb_graph()) {
+        let parsed = io::from_text(&io::to_text(&g)).expect("own output parses");
+        prop_assert!(graphs_equal(&g, &parsed));
+    }
+
+    #[test]
+    fn json_io_roundtrip(g in arb_graph()) {
+        let parsed = io::from_json(&io::to_json(&g)).expect("own output parses");
+        prop_assert!(graphs_equal(&g, &parsed));
+    }
+
+    /// Out- and in-adjacency describe the same edge set.
+    #[test]
+    fn csr_directions_are_consistent(g in arb_graph()) {
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                prop_assert!(g.in_neighbors(v).contains(&u));
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        let via_out: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let via_in: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(via_out, g.edge_count());
+        prop_assert_eq!(via_in, g.edge_count());
+    }
+
+    /// reverse ∘ reverse = id; undirected is idempotent and symmetric.
+    #[test]
+    fn transform_laws(g in arb_graph()) {
+        let rr = transform::reverse(&transform::reverse(&g));
+        prop_assert!(graphs_equal(&g, &rr));
+        let und = transform::undirected(&g);
+        let und2 = transform::undirected(&und);
+        prop_assert!(graphs_equal(&und, &und2));
+        for (u, v) in und.edges() {
+            prop_assert!(und.has_edge(v, u));
+        }
+    }
+
+    /// Subgraph extraction preserves labels and internal edges exactly.
+    #[test]
+    fn induced_subgraph_is_faithful(g in arb_graph(), pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..6)) {
+        let nodes: Vec<u32> = pick.iter().map(|i| i.index(g.node_count()) as u32).collect();
+        let sub = fsim_graph::induced_subgraph(&g, &nodes);
+        for new_id in sub.graph.nodes() {
+            let old = sub.parent_of(new_id);
+            prop_assert_eq!(sub.graph.label_str(new_id), g.label_str(old));
+        }
+        for (a, b) in sub.graph.edges() {
+            prop_assert!(g.has_edge(sub.parent_of(a), sub.parent_of(b)));
+        }
+        // Completeness: every parent edge between retained nodes appears.
+        for (&old_a, &new_a) in sub.from_parent.iter() {
+            for (&old_b, &new_b) in sub.from_parent.iter() {
+                if g.has_edge(old_a, old_b) {
+                    prop_assert!(sub.graph.has_edge(new_a, new_b));
+                }
+            }
+        }
+    }
+}
