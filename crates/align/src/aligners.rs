@@ -6,7 +6,7 @@
 //! (bisimulation partitions), GSA-NA (global structural signatures), FINAL
 //! (iterative attributed similarity) and EWS (seed percolation).
 
-use fsim_core::{compute, FsimConfig};
+use fsim_core::{FsimConfig, FsimEngine};
 use fsim_exact::kbisim::{bisimulation_partition_depth, kbisim_signatures_joint};
 use fsim_graph::hash::FxHasher;
 use fsim_graph::{pair_key, FxHashMap, Graph, GraphBuilder, NodeId};
@@ -19,8 +19,9 @@ pub type Alignment = Vec<Vec<NodeId>>;
 /// FSimχ aligner: `A_u = argmax_v FSimχ(u, v)` (all `v` tied within
 /// `1e-9` of the row maximum).
 pub fn fsim_align(g1: &Graph, g2: &Graph, cfg: &FsimConfig) -> Alignment {
-    let result = compute(g1, g2, cfg).expect("valid config");
-    result.argmax_rows(g1.node_count(), 1e-9)
+    let mut engine = FsimEngine::new(g1, g2, cfg).expect("valid config");
+    engine.run();
+    engine.argmax_rows(g1.node_count(), 1e-9)
 }
 
 /// k-bisimulation aligner: `A_u = {v : sigᵏ(u) = sigᵏ(v)}`.
@@ -30,7 +31,9 @@ pub fn kbisim_align(g1: &Graph, g2: &Graph, k: usize) -> Alignment {
     for (v, &sig) in s2.iter().enumerate() {
         by_sig.entry(sig).or_default().push(v as u32);
     }
-    s1.iter().map(|sig| by_sig.get(sig).cloned().unwrap_or_default()).collect()
+    s1.iter()
+        .map(|sig| by_sig.get(sig).cloned().unwrap_or_default())
+        .collect()
 }
 
 /// Olap-like aligner (Buneman & Staworko): depth-bounded bisimulation
@@ -59,7 +62,10 @@ pub fn olap_align(g1: &Graph, g2: &Graph) -> Alignment {
     let (classes, _, _) = bisimulation_partition_depth(&union, true, 3);
     let mut by_class: FxHashMap<u32, Vec<NodeId>> = FxHashMap::default();
     for v in 0..g2.node_count() as u32 {
-        by_class.entry(classes[(v + offset) as usize]).or_default().push(v);
+        by_class
+            .entry(classes[(v + offset) as usize])
+            .or_default()
+            .push(v);
     }
     (0..g1.node_count())
         .map(|u| by_class.get(&classes[u]).cloned().unwrap_or_default())
@@ -93,10 +99,18 @@ fn structural_signature(g: &Graph, u: NodeId) -> u64 {
 pub fn gsa_na_align(g1: &Graph, g2: &Graph) -> Alignment {
     let mut by_sig: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
     for v in g2.nodes() {
-        by_sig.entry(structural_signature(g2, v)).or_default().push(v);
+        by_sig
+            .entry(structural_signature(g2, v))
+            .or_default()
+            .push(v);
     }
     g1.nodes()
-        .map(|u| by_sig.get(&structural_signature(g1, u)).cloned().unwrap_or_default())
+        .map(|u| {
+            by_sig
+                .get(&structural_signature(g1, u))
+                .cloned()
+                .unwrap_or_default()
+        })
         .collect()
 }
 
@@ -186,10 +200,10 @@ pub fn ews_align(
     let mut marks: FxHashMap<u64, usize> = FxHashMap::default();
 
     let commit = |u: NodeId,
-                      v: NodeId,
-                      matched1: &mut Vec<Option<NodeId>>,
-                      matched2: &mut Vec<bool>,
-                      marks: &mut FxHashMap<u64, usize>| {
+                  v: NodeId,
+                  matched1: &mut Vec<Option<NodeId>>,
+                  matched2: &mut Vec<bool>,
+                  marks: &mut FxHashMap<u64, usize>| {
         matched1[u as usize] = Some(v);
         matched2[v as usize] = true;
         for (s1, s2) in [
@@ -219,7 +233,10 @@ pub fn ews_align(
             if m < min_marks || matched1[a as usize].is_some() || matched2[b as usize] {
                 continue;
             }
-            if best.map(|(bm, bk)| m > bm || (m == bm && key < bk)).unwrap_or(true) {
+            if best
+                .map(|(bm, bk)| m > bm || (m == bm && key < bk))
+                .unwrap_or(true)
+            {
                 best = Some((m, key));
             }
         }
@@ -244,11 +261,17 @@ mod tests {
     fn twin() -> (Graph, Graph) {
         let labels = ["a", "b", "c", "d"];
         let edges = [(0, 1), (1, 2), (2, 3), (0, 3)];
-        (graph_from_parts(&labels, &edges), graph_from_parts(&labels, &edges))
+        (
+            graph_from_parts(&labels, &edges),
+            graph_from_parts(&labels, &edges),
+        )
     }
 
     fn correct(a: &Alignment) -> usize {
-        a.iter().enumerate().filter(|(u, row)| row.contains(&(*u as u32))).count()
+        a.iter()
+            .enumerate()
+            .filter(|(u, row)| row.contains(&(*u as u32)))
+            .count()
     }
 
     #[test]

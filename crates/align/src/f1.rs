@@ -8,7 +8,11 @@ use fsim_graph::NodeId;
 /// Alignment F1. `ground_truth[u] = None` marks nodes with no counterpart
 /// (e.g. deleted during evolution); they can never score.
 pub fn alignment_f1(alignment: &Alignment, ground_truth: &[Option<NodeId>]) -> f64 {
-    assert_eq!(alignment.len(), ground_truth.len(), "alignment / ground-truth length mismatch");
+    assert_eq!(
+        alignment.len(),
+        ground_truth.len(),
+        "alignment / ground-truth length mismatch"
+    );
     if alignment.is_empty() {
         return 0.0;
     }

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fsim_align::fsim_align;
 use fsim_core::{FsimConfig, Variant};
-use fsim_datasets::evolving::{evolve, Churn};
 use fsim_datasets::copurchase;
+use fsim_datasets::evolving::{evolve, Churn};
 use fsim_graph::generate::{preferential, GeneratorConfig};
 use fsim_labels::LabelFn;
 use fsim_patmatch::{extract_query, fsim_match, strong_sim_match, tspan_match};
@@ -32,7 +32,9 @@ fn case_studies(c: &mut Criterion) {
 
     let g1 = preferential(&GeneratorConfig::new(200, 500, 8), &mut rng);
     let (g2, _) = evolve(&g1, Churn::default(), &mut rng);
-    let align_cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+    let align_cfg = FsimConfig::new(Variant::Bi)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0);
     group.bench_function("alignment_fsimb_end_to_end", |b| {
         b.iter(|| fsim_align(&g1, &g2, &align_cfg))
     });

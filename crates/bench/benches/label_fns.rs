@@ -6,7 +6,13 @@ use fsim_graph::LabelInterner;
 use fsim_labels::{Indicator, JaroWinkler, LabelFn, LabelSim, NormalizedEditDistance};
 
 fn label_fns(c: &mut Criterion) {
-    let samples = ["concept:athlete", "concept:coach", "concept:sportsteam", "agent", "person"];
+    let samples = [
+        "concept:athlete",
+        "concept:coach",
+        "concept:sportsteam",
+        "agent",
+        "person",
+    ];
     let mut group = c.benchmark_group("label_fns_raw");
     let fns: [(&str, &dyn LabelSim); 3] = [
         ("indicator", &Indicator),
@@ -33,9 +39,10 @@ fn label_fns(c: &mut Criterion) {
     for i in 0..200 {
         interner.intern(&format!("concept:thing{i}"));
     }
-    for (name, lf) in
-        [("edit-distance", LabelFn::EditDistance), ("jaro-winkler", LabelFn::JaroWinkler)]
-    {
+    for (name, lf) in [
+        ("edit-distance", LabelFn::EditDistance),
+        ("jaro-winkler", LabelFn::JaroWinkler),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &lf, |b, lf| {
             b.iter(|| lf.prepare(&interner))
         });

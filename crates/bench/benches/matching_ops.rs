@@ -7,7 +7,9 @@ use fsim_matching::{hungarian_max_weight, GreedyMatcher};
 
 fn pseudo_weights(n: usize, seed: u64) -> Vec<f64> {
     (0..n * n)
-        .map(|k| ((k as u64 + 1).wrapping_mul(seed.wrapping_mul(2_654_435_761)) % 1000) as f64 / 1e3)
+        .map(|k| {
+            ((k as u64 + 1).wrapping_mul(seed.wrapping_mul(2_654_435_761)) % 1000) as f64 / 1e3
+        })
         .collect()
 }
 

@@ -10,9 +10,14 @@ fn optimizations(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_optimizations");
     group.sample_size(10);
     for name in ["Yeast", "NELL", "GP"] {
-        let g = DatasetSpec::by_name(name).expect("spec").generate_scaled(0.1, 42);
+        let g = DatasetSpec::by_name(name)
+            .expect("spec")
+            .generate_scaled(0.1, 42);
         let configs: [(&str, FsimConfig); 4] = [
-            ("plain", FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator)),
+            (
+                "plain",
+                FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator),
+            ),
             (
                 "ub",
                 FsimConfig::new(Variant::Bijective)
@@ -21,7 +26,9 @@ fn optimizations(c: &mut Criterion) {
             ),
             (
                 "theta1",
-                FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator).theta(1.0),
+                FsimConfig::new(Variant::Bijective)
+                    .label_fn(LabelFn::Indicator)
+                    .theta(1.0),
             ),
             (
                 "ub+theta1",

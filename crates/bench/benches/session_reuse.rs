@@ -1,0 +1,102 @@
+//! Session-reuse bench: the amortization win of the `FsimEngine` session
+//! API. One-shot `compute` rebuilds the prepared Jaro–Winkler table
+//! (`O(|Σ|²)` string similarities) and re-joins the θ-pruned candidate
+//! store on every call; a session builds both once and each `rerun` pays
+//! only initialization + iteration.
+//!
+//! Workload: NELL-like surrogate self-similarity, string labels, θ = 0.9 —
+//! the Table-2-style variant-sweep access pattern over a maintained set of
+//! ≥10k pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsim_core::{compute, FsimConfig, FsimEngine, Variant};
+use fsim_datasets::DatasetSpec;
+use fsim_graph::Graph;
+use fsim_labels::LabelFn;
+
+/// The variant sweep both sides execute (variant changes keep the θ-store
+/// valid — exactly the state a session reuses).
+const SWEEP: [Variant; 3] = [Variant::Bijective, Variant::Simple, Variant::Bi];
+
+fn workload() -> Graph {
+    DatasetSpec::by_name("NELL")
+        .expect("spec")
+        .generate_scaled(0.45, 42)
+}
+
+fn base_cfg() -> FsimConfig {
+    FsimConfig::new(Variant::Bijective)
+        .label_fn(LabelFn::JaroWinkler)
+        .theta(0.9)
+}
+
+fn session_reuse(c: &mut Criterion) {
+    let g = workload();
+    {
+        // The acceptance floor: the maintained candidate set must be big
+        // enough that the comparison measures a real serving workload.
+        let probe = FsimEngine::new(&g, &g, &base_cfg()).expect("valid config");
+        assert!(
+            probe.pair_count() >= 10_000,
+            "workload too small for the reuse bench: {} pairs",
+            probe.pair_count()
+        );
+    }
+
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(10);
+
+    // A single cold compute vs a single warm rerun, same configuration.
+    group.bench_with_input(BenchmarkId::from_parameter("cold_compute"), &g, |b, g| {
+        let mut cfg = base_cfg();
+        cfg.variant = Variant::Simple;
+        b.iter(|| compute(g, g, &cfg).expect("valid config").pair_count())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("warm_rerun"), &g, |b, g| {
+        let mut engine = FsimEngine::new(g, g, &base_cfg()).expect("valid config");
+        engine.run();
+        b.iter(|| {
+            engine
+                .rerun(|c| c.variant = Variant::Simple)
+                .expect("valid config");
+            engine.pair_count()
+        })
+    });
+
+    // The Table-2 access pattern: sweep all variants over one graph pair.
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("one_shot_x{}", SWEEP.len())),
+        &g,
+        |b, g| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for variant in SWEEP {
+                    let mut cfg = base_cfg();
+                    cfg.variant = variant;
+                    total += compute(g, g, &cfg).expect("valid config").pair_count();
+                }
+                total
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("session_plus_{}_reruns", SWEEP.len())),
+        &g,
+        |b, g| {
+            b.iter(|| {
+                let mut engine = FsimEngine::new(g, g, &base_cfg()).expect("valid config");
+                let mut total = 0usize;
+                for variant in SWEEP {
+                    engine.rerun(|c| c.variant = variant).expect("valid config");
+                    total += engine.pair_count();
+                }
+                total
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, session_reuse);
+criterion_main!(benches);

@@ -11,7 +11,9 @@ fn theta_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for variant in Variant::ALL {
         for theta in [0.0, 0.6, 1.0] {
-            let cfg = FsimConfig::new(variant).label_fn(LabelFn::JaroWinkler).theta(theta);
+            let cfg = FsimConfig::new(variant)
+                .label_fn(LabelFn::JaroWinkler)
+                .theta(theta);
             group.bench_with_input(
                 BenchmarkId::new(variant.short_name(), format!("theta={theta}")),
                 &cfg,

@@ -9,7 +9,9 @@ fn threads(c: &mut Criterion) {
     let g = bench_nell(0.25);
     let mut group = c.benchmark_group("fig9a_threads");
     group.sample_size(10);
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     for t in [1usize, 2, 4, 8, 16, 32] {
         if t > max * 2 {
             continue;

@@ -11,10 +11,14 @@ use fsim_graph::Graph;
 /// A small NELL-like graph sized for statistical benching (criterion runs
 /// each measurement many times).
 pub fn bench_nell(extra: f64) -> Graph {
-    DatasetSpec::by_name("NELL").expect("spec").generate_scaled(extra, 42)
+    DatasetSpec::by_name("NELL")
+        .expect("spec")
+        .generate_scaled(extra, 42)
 }
 
 /// A small ACMCit-like graph.
 pub fn bench_acmcit(extra: f64) -> Graph {
-    DatasetSpec::by_name("ACMCit").expect("spec").generate_scaled(extra, 42)
+    DatasetSpec::by_name("ACMCit")
+        .expect("spec")
+        .generate_scaled(extra, 42)
 }

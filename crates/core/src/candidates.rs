@@ -67,7 +67,9 @@ pub fn enumerate_candidates<O: Operator>(
                 pairs.sort_unstable();
                 PairStore {
                     pairs,
-                    index: PairIndex::Dense { n2: g2.node_count() as u32 },
+                    index: PairIndex::Dense {
+                        n2: g2.node_count() as u32,
+                    },
                     fallback: Fallback::Zero,
                 }
             }
@@ -77,30 +79,31 @@ pub fn enumerate_candidates<O: Operator>(
             // candidate pairs; chunk it across the configured workers.
             let threads = cfg.threads.min((base.len() / 4096).max(1));
             let chunk = base.len().div_ceil(threads).max(1);
-            let results: Vec<(Vec<(NodeId, NodeId)>, Vec<(u64, f32)>)> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = base
-                        .chunks(chunk)
-                        .map(|slice| {
-                            scope.spawn(move |_| {
-                                let mut kept = Vec::new();
-                                let mut dropped = Vec::new();
-                                for &(u, v) in slice {
-                                    let ub = static_upper_bound(g1, g2, ctx, cfg, op, u, v);
-                                    if ub > ub_cfg.beta {
-                                        kept.push((u, v));
-                                    } else if ub_cfg.alpha > 0.0 {
-                                        dropped
-                                            .push((pair_key(u, v), (ub_cfg.alpha * ub) as f32));
-                                    }
+            type UbChunk = (Vec<(NodeId, NodeId)>, Vec<(u64, f32)>);
+            let results: Vec<UbChunk> = std::thread::scope(|scope| {
+                let handles: Vec<_> = base
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            let mut kept = Vec::new();
+                            let mut dropped = Vec::new();
+                            for &(u, v) in slice {
+                                let ub = static_upper_bound(g1, g2, ctx, cfg, op, u, v);
+                                if ub > ub_cfg.beta {
+                                    kept.push((u, v));
+                                } else if ub_cfg.alpha > 0.0 {
+                                    dropped.push((pair_key(u, v), (ub_cfg.alpha * ub) as f32));
                                 }
-                                (kept, dropped)
-                            })
+                            }
+                            (kept, dropped)
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("ub worker")).collect()
-                })
-                .expect("ub scope");
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ub worker"))
+                    .collect()
+            });
             let mut kept = Vec::new();
             let mut dropped: FxHashMap<u64, f32> = FxHashMap::default();
             for (k, d) in results {
@@ -114,7 +117,9 @@ pub fn enumerate_candidates<O: Operator>(
                 kept.sort_unstable();
                 return PairStore {
                     pairs: kept,
-                    index: PairIndex::Dense { n2: g2.node_count() as u32 },
+                    index: PairIndex::Dense {
+                        n2: g2.node_count() as u32,
+                    },
                     fallback: Fallback::AlphaUb(dropped),
                 };
             }
@@ -131,18 +136,17 @@ fn sparse_store(mut pairs: Vec<(NodeId, NodeId)>, fallback: Fallback) -> PairSto
     for (i, &(u, v)) in pairs.iter().enumerate() {
         map.insert(pair_key(u, v), i as u32);
     }
-    PairStore { pairs, index: PairIndex::Sparse(map), fallback }
+    PairStore {
+        pairs,
+        index: PairIndex::Sparse(map),
+        fallback,
+    }
 }
 
 /// Pairs with `L(u, v) ≥ θ`, enumerated per label-bucket pair so that the
 /// common indicator/θ=1 case costs `Σ_l |bucket1(l)|·|bucket2(l)|` instead of
 /// `|V1|·|V2|`.
-fn theta_candidates(
-    g1: &Graph,
-    g2: &Graph,
-    ctx: &OpCtx<'_>,
-    theta: f64,
-) -> Vec<(NodeId, NodeId)> {
+fn theta_candidates(g1: &Graph, g2: &Graph, ctx: &OpCtx<'_>, theta: f64) -> Vec<(NodeId, NodeId)> {
     let buckets1 = g1.label_buckets();
     let buckets2 = g2.label_buckets();
     let used1 = g1.used_labels();
@@ -187,7 +191,12 @@ mod tests {
     }
 
     fn ctx<'a>(g1: &'a Graph, g2: &'a Graph, eval: &'a LabelEval, theta: f64) -> OpCtx<'a> {
-        OpCtx { labels1: g1.labels(), labels2: g2.labels(), label_eval: eval, theta }
+        OpCtx {
+            labels1: g1.labels(),
+            labels2: g2.labels(),
+            label_eval: eval,
+            theta,
+        }
     }
 
     #[test]
@@ -239,7 +248,11 @@ mod tests {
         assert!(store.len() < 6, "beta=0.99 should prune something");
         match &store.fallback {
             Fallback::AlphaUb(map) => {
-                assert_eq!(map.len() + store.len(), 6, "alpha>0 stores every dropped pair")
+                assert_eq!(
+                    map.len() + store.len(),
+                    6,
+                    "alpha>0 stores every dropped pair"
+                )
             }
             Fallback::Zero => panic!("expected AlphaUb fallback"),
         }

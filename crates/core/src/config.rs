@@ -56,7 +56,7 @@ impl std::fmt::Display for Variant {
 
 /// How the label term of Equation 1 (and the mapping label-constraint of
 /// Remark 2) evaluates label pairs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LabelTermMode {
     /// Evaluate the configured [`LabelFn`] on the two label strings
     /// (the paper's default).
@@ -210,7 +210,10 @@ impl FsimConfig {
     /// `0 < w⁺ + w⁻ < 1`) plus parameter ranges.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..1.0).contains(&self.w_out) || !(0.0..1.0).contains(&self.w_in) {
-            return Err(ConfigError::WeightRange { w_out: self.w_out, w_in: self.w_in });
+            return Err(ConfigError::WeightRange {
+                w_out: self.w_out,
+                w_in: self.w_in,
+            });
         }
         let w = self.w_out + self.w_in;
         if !(w > 0.0 && w < 1.0) {
@@ -220,14 +223,19 @@ impl FsimConfig {
             return Err(ConfigError::Theta { theta: self.theta });
         }
         if self.epsilon <= 0.0 && self.max_iters.is_none() {
-            return Err(ConfigError::Epsilon { epsilon: self.epsilon });
+            return Err(ConfigError::Epsilon {
+                epsilon: self.epsilon,
+            });
         }
         if self.threads == 0 {
             return Err(ConfigError::Threads);
         }
         if let Some(ub) = self.upper_bound {
             if !(0.0..1.0).contains(&ub.alpha) || !(0.0..=1.0).contains(&ub.beta) {
-                return Err(ConfigError::UpperBound { alpha: ub.alpha, beta: ub.beta });
+                return Err(ConfigError::UpperBound {
+                    alpha: ub.alpha,
+                    beta: ub.beta,
+                });
             }
         }
         Ok(())
@@ -285,7 +293,10 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::Threads => write!(f, "thread count must be >= 1"),
             ConfigError::UpperBound { alpha, beta } => {
-                write!(f, "upper-bound params out of range: alpha={alpha}, beta={beta}")
+                write!(
+                    f,
+                    "upper-bound params out of range: alpha={alpha}, beta={beta}"
+                )
             }
         }
     }
@@ -317,7 +328,7 @@ mod tests {
     #[test]
     fn iteration_bound_matches_corollary1() {
         let c = FsimConfig::new(Variant::Simple); // w = 0.8, eps = 0.01
-        // log_0.8(0.01) ≈ 20.6 → 21
+                                                  // log_0.8(0.01) ≈ 20.6 → 21
         assert_eq!(c.iteration_bound(), 21);
     }
 
@@ -334,7 +345,10 @@ mod tests {
     fn invalid_params_are_rejected() {
         assert!(FsimConfig::new(Variant::Bi).theta(1.5).validate().is_err());
         assert!(FsimConfig::new(Variant::Bi).threads(0).validate().is_err());
-        assert!(FsimConfig::new(Variant::Bi).upper_bound(1.0, 0.5).validate().is_err());
+        assert!(FsimConfig::new(Variant::Bi)
+            .upper_bound(1.0, 0.5)
+            .validate()
+            .is_err());
         let mut c = FsimConfig::new(Variant::Bi);
         c.epsilon = 0.0;
         assert!(c.validate().is_err());

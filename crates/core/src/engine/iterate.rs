@@ -1,0 +1,138 @@
+//! The per-iteration update of Equation 3 and the convergence loop
+//! (Algorithm 1 lines 2–7, Theorem 1 / Corollary 1).
+
+use super::parallel::{run_parallel, IterationOutcome};
+use crate::config::{FsimConfig, InitScheme};
+use crate::operators::{OpCtx, OpScratch, Operator, ScoreLookup};
+use crate::store::PairStore;
+use fsim_graph::{Graph, NodeId};
+
+/// The worker count actually used for a worklist: auto-degraded so each
+/// worker owns at least a few thousand pairs (below that, coordination
+/// overhead dominates). Hoisted out of the iteration loop — the seed
+/// recomputed this, through a full `FsimConfig` clone, on every iteration.
+pub(crate) fn effective_threads(cfg_threads: usize, worklist: usize) -> usize {
+    cfg_threads.min((worklist / 2048).max(1))
+}
+
+/// Writes `FSim⁰` (§3.3) for every maintained pair into `scores`.
+pub(crate) fn initialize(
+    store: &PairStore,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    g1: &Graph,
+    g2: &Graph,
+    scores: &mut Vec<f64>,
+) {
+    scores.clear();
+    scores.extend(store.pairs.iter().map(|&(u, v)| match cfg.init {
+        InitScheme::LabelSim => ctx.label_sim(u, v),
+        InitScheme::Identity => {
+            if u == v {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        InitScheme::OutDegreeRatio => {
+            let (a, b) = (g1.out_degree(u), g2.out_degree(v));
+            let (lo, hi) = (a.min(b), a.max(b));
+            if hi == 0 {
+                1.0
+            } else {
+                lo as f64 / hi as f64
+            }
+        }
+        InitScheme::Constant(c) => c,
+    }));
+}
+
+/// Equation 3 for a single pair.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pair_update<O: Operator, S: ScoreLookup>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    u: NodeId,
+    v: NodeId,
+    prev: &S,
+    scratch: &mut OpScratch,
+) -> f64 {
+    if cfg.pin_identical && u == v {
+        return 1.0;
+    }
+    let out = op.term(ctx, g1.out_neighbors(u), g2.out_neighbors(v), prev, scratch);
+    let inn = op.term(ctx, g1.in_neighbors(u), g2.in_neighbors(v), prev, scratch);
+    let label = ctx.label_sim(u, v);
+    let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
+    // Scores are mathematically confined to [0, 1]; clamp floating drift.
+    score.clamp(0.0, 1.0)
+}
+
+/// Iterates Equation 3 to convergence (or the iteration cap).
+///
+/// `scores` holds `FSim⁰` on entry and the final scores on exit; `cur` is
+/// the reusable double buffer (resized to match). Dispatches to the
+/// sequential loop or to the [`run_parallel`] worker pool — whose results
+/// are bitwise identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_to_convergence<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    store: &PairStore,
+    scores: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+) -> IterationOutcome {
+    debug_assert_eq!(scores.len(), store.len());
+    cur.clear();
+    cur.resize(store.len(), 0.0);
+    let max_iters = cfg.effective_max_iters();
+    let threads = effective_threads(cfg.threads, store.len());
+
+    if threads > 1 {
+        return run_parallel(threads, max_iters, cfg.epsilon, scores, cur, || {
+            let mut scratch = OpScratch::new();
+            move |slot: usize, prev: &[f64]| {
+                let (u, v) = store.pairs[slot];
+                let view = store.view(prev);
+                pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch)
+            }
+        });
+    }
+
+    let mut scratch = OpScratch::new();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    while iterations < max_iters {
+        let mut delta = 0.0f64;
+        {
+            let view = store.view(scores);
+            for (slot, &(u, v)) in store.pairs.iter().enumerate() {
+                let s = pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch);
+                let d = (s - scores[slot]).abs();
+                if d > delta {
+                    delta = d;
+                }
+                cur[slot] = s;
+            }
+        }
+        std::mem::swap(scores, cur);
+        final_delta = delta;
+        iterations += 1;
+        if delta < cfg.epsilon {
+            converged = true;
+            break;
+        }
+    }
+    IterationOutcome {
+        iterations,
+        converged,
+        final_delta,
+    }
+}

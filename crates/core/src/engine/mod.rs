@@ -1,72 +1,64 @@
-//! The iterative `FSimχ` engine (Algorithm 1): initialization, the
-//! per-iteration update of Equation 3, convergence control (Theorem 1 /
-//! Corollary 1), and the multi-threaded execution of §3.4.
+//! The iterative `FSimχ` engine (Algorithm 1), organized as a reusable
+//! session:
+//!
+//! * [`session`] — the [`FsimEngine`] session type: precompute once
+//!   (label alignment, prepared label evaluation, candidate store), then
+//!   [`run`](FsimEngine::run) / [`rerun`](FsimEngine::rerun) /
+//!   [`score`](FsimEngine::score) / [`top_k`](FsimEngine::top_k) many
+//!   times over the same graph pair;
+//! * [`iterate`] — initialization, the per-iteration update of Equation 3
+//!   and convergence control (Theorem 1 / Corollary 1);
+//! * [`parallel`] — the persistent worker pool of §3.4 (spawned once per
+//!   run, atomic-cursor work distribution, bitwise sequential ≡ parallel).
+//!
+//! The historical one-shot entry points [`compute`],
+//! [`compute_with_operator`] and [`score_on_demand`] are thin wrappers
+//! over a session.
 
-use crate::candidates::enumerate_candidates;
-use crate::config::{ConfigError, FsimConfig, InitScheme, LabelTermMode, Variant};
-use crate::operators::{LabelEval, OpCtx, Operator, OpScratch, VariantOp};
+pub(crate) mod iterate;
+pub(crate) mod parallel;
+pub mod session;
+
+pub use session::FsimEngine;
+
+use crate::config::{ConfigError, FsimConfig, Variant};
+use crate::operators::{OpCtx, OpScratch, Operator};
 use crate::result::FsimResult;
-use crate::store::PairStore;
-use fsim_graph::{Graph, LabelId, LabelInterner, NodeId};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use fsim_graph::{Graph, NodeId};
+use session::{build_label_eval, AlignedLabels};
 
 /// Computes `FSimχ` scores between all maintained node pairs of
 /// `(g1, g2)` for the variant selected in `cfg`.
 ///
-/// This is the main entry point of the framework. `g1 == g2` (the same
-/// graph passed twice) is explicitly allowed, matching footnote 2 of the
-/// paper.
+/// This is the one-shot entry point of the framework, equivalent to
+/// building an [`FsimEngine`] session and consuming it after a single run.
+/// `g1 == g2` (the same graph passed twice) is explicitly allowed, matching
+/// footnote 2 of the paper. When the same graph pair will be queried under
+/// several configurations, build a session instead and use
+/// [`FsimEngine::rerun`].
 pub fn compute(g1: &Graph, g2: &Graph, cfg: &FsimConfig) -> Result<FsimResult, ConfigError> {
-    let op = VariantOp { variant: cfg.variant, matcher: cfg.matcher };
-    compute_with_operator(g1, g2, cfg, &op)
+    Ok(FsimEngine::new(g1, g2, cfg)?.into_result())
 }
 
 /// Computes fractional simulation with a custom [`Operator`] — the
 /// "configure the framework" path of §4 (e.g. [`crate::operators::SimRankOp`]
-/// or user-defined variants).
+/// or user-defined variants). One-shot wrapper over
+/// [`FsimEngine::with_operator`].
 pub fn compute_with_operator<O: Operator>(
     g1: &Graph,
     g2: &Graph,
     cfg: &FsimConfig,
     op: &O,
 ) -> Result<FsimResult, ConfigError> {
-    cfg.validate()?;
-    let aligned = AlignedLabels::new(g1, g2);
-    let label_eval = build_label_eval(cfg, &aligned.interner);
-    let ctx = OpCtx {
-        labels1: &aligned.labels1,
-        labels2: &aligned.labels2,
-        label_eval: &label_eval,
-        theta: cfg.theta,
-    };
-
-    let store = enumerate_candidates(g1, g2, &ctx, cfg, op);
-    if store.is_empty() {
-        return Ok(FsimResult::new(store, Vec::new(), 0, true, 0.0));
-    }
-
-    let mut prev = initialize(&store, &ctx, cfg, g1, g2);
-    let mut cur = vec![0.0f64; prev.len()];
-    let max_iters = cfg.effective_max_iters();
-    let mut iterations = 0usize;
-    let mut converged = false;
-    let mut delta = f64::INFINITY;
-    while iterations < max_iters {
-        delta = run_iteration(g1, g2, &ctx, cfg, op, &store, &prev, &mut cur);
-        std::mem::swap(&mut prev, &mut cur);
-        iterations += 1;
-        if delta < cfg.epsilon {
-            converged = true;
-            break;
-        }
-    }
-    Ok(FsimResult::new(store, prev, iterations, converged, delta))
+    Ok(FsimEngine::with_operator(g1, g2, cfg, op)?.into_result())
 }
 
 /// One-shot re-evaluation of Equation 3 for an arbitrary pair against a
 /// finished result — used to query pairs that were pruned from the
 /// maintained set (their converged value is one update step away).
+///
+/// Rebuilds the label alignment on every call; inside a session,
+/// [`FsimEngine::score`] serves the same answer from cache.
 pub fn score_on_demand(
     g1: &Graph,
     g2: &Graph,
@@ -78,7 +70,10 @@ pub fn score_on_demand(
     if let Some(s) = result.get(u, v) {
         return s;
     }
-    let op = VariantOp { variant: cfg.variant, matcher: cfg.matcher };
+    let op = crate::operators::VariantOp {
+        variant: cfg.variant,
+        matcher: cfg.matcher,
+    };
     let aligned = AlignedLabels::new(g1, g2);
     let label_eval = build_label_eval(cfg, &aligned.interner);
     let ctx = OpCtx {
@@ -89,207 +84,35 @@ pub fn score_on_demand(
     };
     let view = result.view();
     let mut scratch = OpScratch::new();
-    pair_update(g1, g2, &ctx, cfg, &op, u, v, &view, &mut scratch)
+    iterate::pair_update(g1, g2, &ctx, cfg, &op, u, v, &view, &mut scratch)
 }
 
-/// Label arrays of both graphs expressed in one shared interner.
-///
-/// When the graphs already share an interner (the recommended construction)
-/// this is a cheap copy; otherwise both label vocabularies are merged.
-struct AlignedLabels {
-    labels1: Vec<LabelId>,
-    labels2: Vec<LabelId>,
-    interner: Arc<LabelInterner>,
-}
-
-impl AlignedLabels {
-    fn new(g1: &Graph, g2: &Graph) -> Self {
-        if Arc::ptr_eq(g1.interner(), g2.interner()) {
-            return Self {
-                labels1: g1.labels().to_vec(),
-                labels2: g2.labels().to_vec(),
-                interner: Arc::clone(g1.interner()),
-            };
-        }
-        let merged = LabelInterner::shared();
-        let remap = |g: &Graph| -> Vec<LabelId> {
-            let table: Vec<LabelId> =
-                g.interner().all().iter().map(|s| merged.intern(s)).collect();
-            g.labels().iter().map(|l| table[l.index()]).collect()
-        };
-        let labels1 = remap(g1);
-        let labels2 = remap(g2);
-        Self { labels1, labels2, interner: merged }
-    }
-}
-
-fn build_label_eval(cfg: &FsimConfig, interner: &LabelInterner) -> LabelEval {
-    match &cfg.label_term {
-        LabelTermMode::Sim => LabelEval::Sim(cfg.label_fn.prepare(interner)),
-        LabelTermMode::Constant(c) => LabelEval::Constant(*c),
-    }
-}
-
-fn initialize(
-    store: &PairStore,
-    ctx: &OpCtx<'_>,
-    cfg: &FsimConfig,
-    g1: &Graph,
-    g2: &Graph,
-) -> Vec<f64> {
-    store
-        .pairs
-        .iter()
-        .map(|&(u, v)| match cfg.init {
-            InitScheme::LabelSim => ctx.label_sim(u, v),
-            InitScheme::Identity => {
-                if u == v {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            InitScheme::OutDegreeRatio => {
-                let (a, b) = (g1.out_degree(u), g2.out_degree(v));
-                let (lo, hi) = (a.min(b), a.max(b));
-                if hi == 0 {
-                    1.0
-                } else {
-                    lo as f64 / hi as f64
-                }
-            }
-            InitScheme::Constant(c) => c,
-        })
-        .collect()
-}
-
-/// Equation 3 for a single pair.
-#[allow(clippy::too_many_arguments)]
-fn pair_update<O: Operator, S: crate::operators::ScoreLookup>(
-    g1: &Graph,
-    g2: &Graph,
-    ctx: &OpCtx<'_>,
-    cfg: &FsimConfig,
-    op: &O,
-    u: NodeId,
-    v: NodeId,
-    prev: &S,
-    scratch: &mut OpScratch,
-) -> f64 {
-    if cfg.pin_identical && u == v {
-        return 1.0;
-    }
-    let out = op.term(ctx, g1.out_neighbors(u), g2.out_neighbors(v), prev, scratch);
-    let inn = op.term(ctx, g1.in_neighbors(u), g2.in_neighbors(v), prev, scratch);
-    let label = ctx.label_sim(u, v);
-    let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
-    // Scores are mathematically confined to [0, 1]; clamp floating drift.
-    score.clamp(0.0, 1.0)
-}
-
-/// Runs one full iteration over the maintained pairs; returns
-/// `Δ = max |FSim^k − FSim^{k−1}|`.
-#[allow(clippy::too_many_arguments)]
-fn run_iteration<O: Operator>(
-    g1: &Graph,
-    g2: &Graph,
-    ctx: &OpCtx<'_>,
-    cfg: &FsimConfig,
-    op: &O,
-    store: &PairStore,
-    prev: &[f64],
-    cur: &mut [f64],
-) -> f64 {
-    let view = store.view(prev);
-    // Auto-degrade the worker count on small worklists: per-iteration
-    // thread spawns would otherwise dominate (each worker should own at
-    // least a few thousand pairs to amortize).
-    let threads = cfg.threads.min((store.len() / 2048).max(1));
-    if threads <= 1 {
-        let mut scratch = OpScratch::new();
-        let mut delta = 0.0f64;
-        for (slot, &(u, v)) in store.pairs.iter().enumerate() {
-            let s = pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch);
-            let d = (s - prev[slot]).abs();
-            if d > delta {
-                delta = d;
-            }
-            cur[slot] = s;
-        }
-        return delta;
-    }
-    let cfg = &{
-        let mut c = cfg.clone();
-        c.threads = threads;
-        c
-    };
-
-    // Parallel path: the current-iteration buffer is split into disjoint
-    // chunks handed out through a work queue, so threads never alias and the
-    // result is bitwise identical to the sequential path (each pair's score
-    // depends only on `prev`).
-    let chunk_size = (store.len() / (cfg.threads * 8)).max(256);
-    let mut work: Vec<(usize, &mut [f64])> = Vec::new();
-    {
-        let mut rest = cur;
-        let mut start = 0usize;
-        while !rest.is_empty() {
-            let take = chunk_size.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            work.push((start, head));
-            start += take;
-            rest = tail;
-        }
-    }
-    let queue = Mutex::new(work);
-    let global_delta = Mutex::new(0.0f64);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..cfg.threads {
-            scope.spawn(|_| {
-                let mut scratch = OpScratch::new();
-                let mut local_delta = 0.0f64;
-                loop {
-                    let item = queue.lock().pop();
-                    let Some((start, chunk)) = item else { break };
-                    for (off, slot_score) in chunk.iter_mut().enumerate() {
-                        let slot = start + off;
-                        let (u, v) = store.pairs[slot];
-                        let s = pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch);
-                        let d = (s - prev[slot]).abs();
-                        if d > local_delta {
-                            local_delta = d;
-                        }
-                        *slot_score = s;
-                    }
-                }
-                let mut g = global_delta.lock();
-                if local_delta > *g {
-                    *g = local_delta;
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    let d = *global_delta.lock();
-    d
-}
-
-/// Convenience: computes all four variants of Table 2 for a pair list.
+/// Convenience: computes all four variants of Table 2 for a pair list,
+/// through one session (label alignment and — for θ = 0, the usual Table-2
+/// setting — the candidate store are built once).
 pub fn all_variants(
     g1: &Graph,
     g2: &Graph,
     base_cfg: &FsimConfig,
 ) -> Result<[(Variant, FsimResult); 4], ConfigError> {
-    let mk = |variant: Variant| -> Result<(Variant, FsimResult), ConfigError> {
-        let mut cfg = base_cfg.clone();
-        cfg.variant = variant;
-        Ok((variant, compute(g1, g2, &cfg)?))
-    };
+    let mut first_cfg = base_cfg.clone();
+    first_cfg.variant = Variant::Simple;
+    let mut engine = FsimEngine::new(g1, g2, &first_cfg)?;
+    engine.run();
+    let simple = engine.snapshot();
+    let mut rest = Vec::with_capacity(3);
+    for variant in [Variant::DegreePreserving, Variant::Bi] {
+        engine.rerun(|c| c.variant = variant)?;
+        rest.push((variant, engine.snapshot()));
+    }
+    engine.rerun(|c| c.variant = Variant::Bijective)?;
+    let bijective = engine.into_result();
+    let [dp, bi] = <[(Variant, FsimResult); 2]>::try_from(rest).expect("two snapshots");
     Ok([
-        mk(Variant::Simple)?,
-        mk(Variant::DegreePreserving)?,
-        mk(Variant::Bi)?,
-        mk(Variant::Bijective)?,
+        (Variant::Simple, simple),
+        dp,
+        bi,
+        (Variant::Bijective, bijective),
     ])
 }
 
@@ -336,7 +159,11 @@ mod tests {
             for (i, &should_be_one) in row.iter().enumerate() {
                 let s = r.get(f.u, f.v[i]).unwrap();
                 if should_be_one {
-                    assert!((s - 1.0).abs() < 1e-9, "{variant}: (u,v{}) = {s}, want 1", i + 1);
+                    assert!(
+                        (s - 1.0).abs() < 1e-9,
+                        "{variant}: (u,v{}) = {s}, want 1",
+                        i + 1
+                    );
                 } else {
                     assert!(s < 1.0 - 1e-9, "{variant}: (u,v{}) = {s}, want < 1", i + 1);
                 }
@@ -379,7 +206,10 @@ mod tests {
                 for v in f.data.nodes() {
                     let a = fwd.get(u, v).unwrap();
                     let b = bwd.get(v, u).unwrap();
-                    assert!((a - b).abs() < 1e-9, "{variant}: asym at ({u},{v}): {a} vs {b}");
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "{variant}: asym at ({u},{v}): {a} vs {b}"
+                    );
                 }
             }
         }
@@ -464,7 +294,24 @@ mod tests {
         assert!((0.0..=1.0).contains(&s));
         // Maintained pairs are returned as stored.
         let direct = r.get(f.u, f.v[3]).unwrap();
-        assert_eq!(score_on_demand(&f.pattern, &f.data, &c, &r, f.u, f.v[3]), direct);
+        assert_eq!(
+            score_on_demand(&f.pattern, &f.data, &c, &r, f.u, f.v[3]),
+            direct
+        );
+    }
+
+    #[test]
+    fn all_variants_matches_per_variant_compute() {
+        let f = figure1();
+        let base = cfg(Variant::Simple);
+        let results = all_variants(&f.pattern, &f.data, &base).unwrap();
+        for (variant, result) in results {
+            let fresh = compute(&f.pattern, &f.data, &cfg(variant)).unwrap();
+            assert_eq!(result.pair_count(), fresh.pair_count(), "{variant}");
+            for (a, b) in result.iter_pairs().zip(fresh.iter_pairs()) {
+                assert_eq!(a, b, "{variant}: session sweep diverged");
+            }
+        }
     }
 
     #[test]

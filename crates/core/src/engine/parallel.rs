@@ -1,0 +1,300 @@
+//! The persistent parallel runtime of §3.4.
+//!
+//! The seed implementation spawned a fresh `crossbeam::scope` with a
+//! `Mutex<Vec>` work queue on **every iteration** of Algorithm 1 — thread
+//! creation and queue locking dominated small and medium worklists. This
+//! module replaces it with a worker pool spawned **once per run**: workers
+//! live across all iterations, pull disjoint slot ranges via a lock-free
+//! atomic cursor, and synchronize with the coordinator through a barrier at
+//! each iteration boundary. Per-worker [`OpScratch`]-style state is created
+//! once and reused for the whole run.
+//!
+//! The bitwise sequential ≡ parallel guarantee is preserved: each slot's
+//! new score is a pure function of the previous iteration's buffer (which
+//! no worker writes), the cursor hands out disjoint write ranges, and the
+//! convergence metric is an order-independent max-reduction.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// What a (sequential or parallel) run of the iteration loop reports.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IterationOutcome {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether `Δ < ε` was reached before the cap.
+    pub converged: bool,
+    /// The final `Δ = max |FSim^k − FSim^{k−1}|` (∞ if no iteration ran).
+    pub final_delta: f64,
+}
+
+/// A score buffer shared with the worker pool.
+///
+/// Workers read the *previous* buffer (never written during an iteration)
+/// and write disjoint slot ranges of the *current* buffer, so no location
+/// is ever accessed mutably by two parties. `UnsafeCell` expresses exactly
+/// that hand-verified aliasing discipline; the barrier at each iteration
+/// boundary publishes the writes.
+struct SharedScores<'a> {
+    cells: &'a [UnsafeCell<f64>],
+}
+
+// SAFETY: all concurrent access follows the disjoint-range discipline
+// documented above; `f64` needs no drop or validity bookkeeping.
+unsafe impl Sync for SharedScores<'_> {}
+
+impl<'a> SharedScores<'a> {
+    fn new(buf: &'a mut [f64]) -> Self {
+        let ptr = buf as *mut [f64] as *const [UnsafeCell<f64>];
+        // SAFETY: `UnsafeCell<f64>` is `repr(transparent)` over `f64`, and
+        // we hold the unique `&mut` borrow for `'a`.
+        Self {
+            cells: unsafe { &*ptr },
+        }
+    }
+
+    /// The buffer as a plain slice.
+    ///
+    /// # Safety
+    /// Caller must guarantee no concurrent writes for the borrow's
+    /// lifetime (true for the read buffer within one iteration).
+    unsafe fn as_read_slice(&self) -> &[f64] {
+        std::slice::from_raw_parts(self.cells.as_ptr() as *const f64, self.cells.len())
+    }
+
+    /// Writes one slot.
+    ///
+    /// # Safety
+    /// Caller must be the only writer of `slot` this iteration.
+    #[inline]
+    unsafe fn write(&self, slot: usize, value: f64) {
+        *self.cells[slot].get() = value;
+    }
+}
+
+/// Runs the iteration loop on a worker pool spawned once for the whole
+/// run.
+///
+/// `prev` holds `FSim⁰` on entry and the final scores on exit; `cur` is
+/// the same-length double buffer. `make_update` is invoked once per worker
+/// to build its stateful update closure `(slot, prev_scores) → new score`
+/// (owning scratch buffers for the run's lifetime).
+pub(crate) fn run_parallel<U, F>(
+    threads: usize,
+    max_iters: usize,
+    epsilon: f64,
+    prev: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    make_update: F,
+) -> IterationOutcome
+where
+    F: Fn() -> U + Sync,
+    U: FnMut(usize, &[f64]) -> f64,
+{
+    let n = prev.len();
+    debug_assert_eq!(n, cur.len());
+    debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
+    // Each cursor pull should own enough pairs to amortize the atomic, but
+    // stay fine-grained enough to balance skewed per-pair costs.
+    let chunk = (n / (threads * 8)).max(256);
+    let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
+    let cursor = AtomicUsize::new(0);
+    let read_index = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let deltas: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    std::thread::scope(|scope| {
+        for worker_delta in &deltas {
+            let buffers = &buffers;
+            let cursor = &cursor;
+            let read_index = &read_index;
+            let stop = &stop;
+            let barrier = &barrier;
+            let make_update = &make_update;
+            scope.spawn(move || {
+                let mut update = make_update();
+                loop {
+                    barrier.wait(); // iteration start (or shutdown)
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let r = read_index.load(Ordering::Relaxed);
+                    // SAFETY: this iteration only writes `buffers[1 - r]`.
+                    let read = unsafe { buffers[r].as_read_slice() };
+                    let write = &buffers[1 - r];
+                    let mut local_delta = 0.0f64;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for slot in start..end {
+                            let score = update(slot, read);
+                            let d = (score - read[slot]).abs();
+                            if d > local_delta {
+                                local_delta = d;
+                            }
+                            // SAFETY: `start..end` ranges from the cursor
+                            // are disjoint across workers.
+                            unsafe { write.write(slot, score) };
+                        }
+                    }
+                    worker_delta.store(local_delta.to_bits(), Ordering::Relaxed);
+                    barrier.wait(); // iteration end
+                }
+            });
+        }
+
+        let mut read = 0usize;
+        while iterations < max_iters {
+            cursor.store(0, Ordering::Relaxed);
+            read_index.store(read, Ordering::Relaxed);
+            barrier.wait(); // release workers into the iteration
+            barrier.wait(); // wait for every slot to be written
+            final_delta = deltas
+                .iter()
+                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+                .fold(0.0, f64::max);
+            iterations += 1;
+            read = 1 - read;
+            if final_delta < epsilon {
+                converged = true;
+                break;
+            }
+        }
+        stop.store(true, Ordering::Release);
+        barrier.wait(); // release workers into shutdown
+    });
+
+    // The last-written buffer alternates; normalize so `prev` holds the
+    // final scores exactly like the sequential path.
+    if iterations % 2 == 1 {
+        std::mem::swap(prev, cur);
+    }
+    IterationOutcome {
+        iterations,
+        converged,
+        final_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_seq(
+        scores: &mut [f64],
+        cur: &mut [f64],
+        max_iters: usize,
+        epsilon: f64,
+        update: impl Fn(usize, &[f64]) -> f64,
+    ) -> IterationOutcome {
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut final_delta = f64::INFINITY;
+        while iterations < max_iters {
+            let mut delta = 0.0f64;
+            for slot in 0..scores.len() {
+                let s = update(slot, scores);
+                delta = delta.max((s - scores[slot]).abs());
+                cur[slot] = s;
+            }
+            scores.copy_from_slice(cur);
+            final_delta = delta;
+            iterations += 1;
+            if delta < epsilon {
+                converged = true;
+                break;
+            }
+        }
+        IterationOutcome {
+            iterations,
+            converged,
+            final_delta,
+        }
+    }
+
+    /// A toy contraction: each slot averages itself with its neighbors,
+    /// decayed — converges geometrically like the engine's update.
+    fn toy_update(slot: usize, prev: &[f64]) -> f64 {
+        let n = prev.len();
+        let left = prev[(slot + n - 1) % n];
+        let right = prev[(slot + 1) % n];
+        0.8 * (left + right + prev[slot]) / 3.0
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise_on_toy_system() {
+        let n = 4096;
+        let init: Vec<f64> = (0..n).map(|i| (i % 97) as f64 / 97.0).collect();
+        let mut seq = init.clone();
+        let mut seq_cur = vec![0.0; n];
+        let seq_out = run_seq(&mut seq, &mut seq_cur, 25, 1e-6, toy_update);
+
+        let mut par = init.clone();
+        let mut par_cur = vec![0.0; n];
+        let par_out = run_parallel(4, 25, 1e-6, &mut par, &mut par_cur, || toy_update);
+
+        assert_eq!(seq_out.iterations, par_out.iterations);
+        assert_eq!(seq_out.converged, par_out.converged);
+        assert_eq!(seq_out.final_delta.to_bits(), par_out.final_delta.to_bits());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits(), "parallel diverged");
+        }
+    }
+
+    #[test]
+    fn zero_max_iters_is_a_no_op() {
+        let mut prev = vec![0.5; 600];
+        let original = prev.clone();
+        let mut cur = vec![0.0; 600];
+        let out = run_parallel(2, 0, 1e-3, &mut prev, &mut cur, || toy_update);
+        assert_eq!(out.iterations, 0);
+        assert!(!out.converged);
+        assert_eq!(prev, original);
+    }
+
+    #[test]
+    fn odd_iteration_counts_land_in_prev() {
+        let n = 1000;
+        let init: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        for cap in 1..=3 {
+            let mut seq = init.clone();
+            let mut seq_cur = vec![0.0; n];
+            run_seq(&mut seq, &mut seq_cur, cap, 0.0, toy_update);
+            let mut par = init.clone();
+            let mut par_cur = vec![0.0; n];
+            let out = run_parallel(3, cap, 0.0, &mut par, &mut par_cur, || toy_update);
+            assert_eq!(out.iterations, cap);
+            assert_eq!(seq, par, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_across_iterations() {
+        use std::sync::atomic::AtomicUsize;
+        let factories = AtomicUsize::new(0);
+        let mut prev = vec![0.9; 2000];
+        let mut cur = vec![0.0; 2000];
+        let threads = 3;
+        let out = run_parallel(threads, 10, 1e-9, &mut prev, &mut cur, || {
+            factories.fetch_add(1, Ordering::Relaxed);
+            |_slot: usize, prev: &[f64]| prev[0] * 0.5
+        });
+        assert!(
+            out.iterations > 1,
+            "toy system should take several iterations"
+        );
+        assert_eq!(
+            factories.load(Ordering::Relaxed),
+            threads,
+            "worker state must be created once per worker, not per iteration"
+        );
+    }
+}

@@ -1,0 +1,618 @@
+//! Reusable engine sessions.
+//!
+//! The paper's workflows — θ sweeps (Fig. 5), variant comparisons
+//! (Table 2), repeated top-k passes — re-run the engine many times over the
+//! *same* graph pair. A [`FsimEngine`] session precomputes everything that
+//! does not depend on the knob being swept: label alignment across the two
+//! graphs, the prepared label-similarity table, and the maintained
+//! candidate-pair store. [`FsimEngine::rerun`] then re-iterates under a
+//! modified configuration, rebuilding only the cached state the change
+//! actually invalidates (e.g. a new ε keeps everything; a new θ rebuilds
+//! the candidate store; a new label function also rebuilds the prepared
+//! table).
+
+use super::iterate::{initialize, pair_update, run_to_convergence};
+use crate::config::{ConfigError, FsimConfig, LabelTermMode};
+use crate::operators::{LabelEval, OpCtx, OpScratch, Operator, VariantOp};
+use crate::result::FsimResult;
+use crate::store::PairStore;
+use crate::topk::top_k_from_iter;
+use fsim_graph::{Graph, LabelId, LabelInterner, NodeId};
+use std::sync::Arc;
+
+/// Label arrays of both graphs expressed in one shared interner.
+///
+/// When the graphs already share an interner (the recommended construction)
+/// this is a cheap copy; otherwise both label vocabularies are merged.
+pub(crate) struct AlignedLabels {
+    pub(crate) labels1: Vec<LabelId>,
+    pub(crate) labels2: Vec<LabelId>,
+    pub(crate) interner: Arc<LabelInterner>,
+}
+
+impl AlignedLabels {
+    pub(crate) fn new(g1: &Graph, g2: &Graph) -> Self {
+        if Arc::ptr_eq(g1.interner(), g2.interner()) {
+            return Self {
+                labels1: g1.labels().to_vec(),
+                labels2: g2.labels().to_vec(),
+                interner: Arc::clone(g1.interner()),
+            };
+        }
+        let merged = LabelInterner::shared();
+        let remap = |g: &Graph| -> Vec<LabelId> {
+            let table: Vec<LabelId> = g
+                .interner()
+                .all()
+                .iter()
+                .map(|s| merged.intern(s))
+                .collect();
+            g.labels().iter().map(|l| table[l.index()]).collect()
+        };
+        let labels1 = remap(g1);
+        let labels2 = remap(g2);
+        Self {
+            labels1,
+            labels2,
+            interner: merged,
+        }
+    }
+}
+
+/// Resolves the label-term evaluation for the hot loop.
+pub(crate) fn build_label_eval(cfg: &FsimConfig, interner: &LabelInterner) -> LabelEval {
+    match &cfg.label_term {
+        LabelTermMode::Sim => LabelEval::Sim(cfg.label_fn.prepare(interner)),
+        LabelTermMode::Constant(c) => LabelEval::Constant(*c),
+    }
+}
+
+/// Does changing `old → new` invalidate the prepared label evaluation?
+fn label_eval_changed(old: &FsimConfig, new: &FsimConfig) -> bool {
+    match (&old.label_term, &new.label_term) {
+        (LabelTermMode::Sim, LabelTermMode::Sim) => !old.label_fn.same_as(&new.label_fn),
+        (a, b) => a != b,
+    }
+}
+
+/// Does changing `old → new` invalidate the candidate-pair store?
+fn store_changed(old: &FsimConfig, new: &FsimConfig, label_changed: bool) -> bool {
+    if old.theta != new.theta || old.upper_bound != new.upper_bound {
+        return true;
+    }
+    // θ-filtering and upper-bound pruning read label similarities; the
+    // default dense cross product does not.
+    let store_reads_labels = new.theta > 0.0 || new.upper_bound.is_some();
+    if label_changed && store_reads_labels {
+        return true;
+    }
+    // The static upper bound (Eq. 6) additionally depends on the operator
+    // shape and the weights.
+    if new.upper_bound.is_some()
+        && (old.variant != new.variant
+            || old.matcher != new.matcher
+            || old.w_out != new.w_out
+            || old.w_in != new.w_in)
+    {
+        return true;
+    }
+    false
+}
+
+/// A reusable `FSimχ` session over one graph pair.
+///
+/// ```
+/// use fsim_core::{FsimConfig, FsimEngine, Variant};
+/// use fsim_graph::examples::figure1;
+/// use fsim_labels::LabelFn;
+///
+/// let f = figure1();
+/// let cfg = FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator);
+/// let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg).unwrap();
+/// engine.run();
+/// let strict = engine.score(f.u, f.v[3]);
+/// // Re-run under simple simulation; alignment and candidates are reused.
+/// engine.rerun(|c| c.variant = Variant::Simple).unwrap();
+/// assert!(engine.score(f.u, f.v[0]) <= 1.0);
+/// assert!(strict > 0.999);
+/// ```
+pub struct FsimEngine<'g, O: Operator = VariantOp> {
+    g1: &'g Graph,
+    g2: &'g Graph,
+    cfg: FsimConfig,
+    op: O,
+    labels1: Vec<LabelId>,
+    labels2: Vec<LabelId>,
+    interner: Arc<LabelInterner>,
+    label_eval: LabelEval,
+    store: PairStore,
+    scores: Vec<f64>,
+    /// Reusable double buffer for the iteration loop.
+    cur: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+    final_delta: f64,
+    has_run: bool,
+}
+
+impl<'g> FsimEngine<'g, VariantOp> {
+    /// Builds a session for the variant selected in `cfg`, precomputing
+    /// label alignment, the prepared label evaluation and the candidate
+    /// store. Call [`run`](Self::run) to iterate to convergence.
+    pub fn new(g1: &'g Graph, g2: &'g Graph, cfg: &FsimConfig) -> Result<Self, ConfigError> {
+        let op = VariantOp {
+            variant: cfg.variant,
+            matcher: cfg.matcher,
+        };
+        Self::with_operator(g1, g2, cfg, op)
+    }
+}
+
+impl<'g, O: Operator> FsimEngine<'g, O> {
+    /// Builds a session with a custom [`Operator`] — the "configure the
+    /// framework" path of §4.
+    pub fn with_operator(
+        g1: &'g Graph,
+        g2: &'g Graph,
+        cfg: &FsimConfig,
+        op: O,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let aligned = AlignedLabels::new(g1, g2);
+        let label_eval = build_label_eval(cfg, &aligned.interner);
+        let mut engine = Self {
+            g1,
+            g2,
+            cfg: cfg.clone(),
+            op,
+            labels1: aligned.labels1,
+            labels2: aligned.labels2,
+            interner: aligned.interner,
+            label_eval,
+            store: PairStore {
+                pairs: Vec::new(),
+                index: crate::store::PairIndex::Dense { n2: 0 },
+                fallback: crate::store::Fallback::Zero,
+            },
+            scores: Vec::new(),
+            cur: Vec::new(),
+            iterations: 0,
+            converged: false,
+            final_delta: 0.0,
+            has_run: false,
+        };
+        engine.rebuild_store();
+        Ok(engine)
+    }
+
+    fn ctx(&self) -> OpCtx<'_> {
+        OpCtx {
+            labels1: &self.labels1,
+            labels2: &self.labels2,
+            label_eval: &self.label_eval,
+            theta: self.cfg.theta,
+        }
+    }
+
+    fn rebuild_store(&mut self) {
+        let store = crate::candidates::enumerate_candidates(
+            self.g1,
+            self.g2,
+            &self.ctx(),
+            &self.cfg,
+            &self.op,
+        );
+        self.store = store;
+        self.has_run = false;
+    }
+
+    /// Iterates Equation 3 to convergence (Algorithm 1) from a fresh
+    /// initialization, reusing every cached precomputation and the score
+    /// buffers of previous runs.
+    pub fn run(&mut self) -> &mut Self {
+        if self.store.is_empty() {
+            self.scores.clear();
+            self.iterations = 0;
+            self.converged = true;
+            self.final_delta = 0.0;
+            self.has_run = true;
+            return self;
+        }
+        // Destructure so the iteration loop can borrow the caches
+        // immutably while writing the score buffers.
+        let Self {
+            g1,
+            g2,
+            cfg,
+            op,
+            labels1,
+            labels2,
+            label_eval,
+            store,
+            scores,
+            cur,
+            ..
+        } = self;
+        let ctx = OpCtx {
+            labels1: labels1.as_slice(),
+            labels2: labels2.as_slice(),
+            label_eval,
+            theta: cfg.theta,
+        };
+        initialize(store, &ctx, cfg, g1, g2, scores);
+        let outcome = run_to_convergence(g1, g2, &ctx, cfg, op, store, scores, cur);
+        self.iterations = outcome.iterations;
+        self.converged = outcome.converged;
+        self.final_delta = outcome.final_delta;
+        self.has_run = true;
+        self
+    }
+
+    /// Reconfigures the session and re-runs it, reusing every cached
+    /// precomputation the change does not invalidate. Returns a
+    /// [`ConfigError`] (leaving the session untouched) if the modified
+    /// configuration is invalid.
+    ///
+    /// Scores after `rerun` are bitwise identical to a fresh one-shot
+    /// [`compute`](crate::engine::compute) under the same configuration.
+    pub fn rerun(
+        &mut self,
+        modify: impl FnOnce(&mut FsimConfig),
+    ) -> Result<&mut Self, ConfigError> {
+        let mut new_cfg = self.cfg.clone();
+        modify(&mut new_cfg);
+        new_cfg.validate()?;
+        let label_changed = label_eval_changed(&self.cfg, &new_cfg);
+        let store_stale = store_changed(&self.cfg, &new_cfg, label_changed);
+        self.cfg = new_cfg;
+        self.op.sync_cfg(&self.cfg);
+        if label_changed {
+            self.label_eval = build_label_eval(&self.cfg, &self.interner);
+        }
+        if store_stale {
+            self.rebuild_store();
+        }
+        Ok(self.run())
+    }
+
+    /// Score of a maintained pair, or `None` if `(u, v)` was pruned.
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run).
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.assert_run();
+        self.store
+            .index
+            .get(u, v)
+            .and_then(|i| self.scores.get(i).copied())
+    }
+
+    /// Score of *any* pair: maintained pairs read their converged value;
+    /// pruned pairs are evaluated on demand with one Equation-3 step
+    /// against the converged scores (their fixpoint value — see
+    /// [`score_on_demand`](crate::engine::score_on_demand)), reusing the
+    /// session's cached label alignment.
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run), or if `u` /
+    /// `v` is not a node of its graph.
+    pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        if let Some(s) = self.get(u, v) {
+            return s;
+        }
+        let ctx = self.ctx();
+        let view = self.store.view(&self.scores);
+        let mut scratch = OpScratch::new();
+        pair_update(
+            self.g1,
+            self.g2,
+            &ctx,
+            &self.cfg,
+            &self.op,
+            u,
+            v,
+            &view,
+            &mut scratch,
+        )
+    }
+
+    /// The `k` best-scoring maintained pairs, descending by score (ties
+    /// broken by `(u, v)`). `exclude_identity` drops `(u, u)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run).
+    pub fn top_k(&self, k: usize, exclude_identity: bool) -> Vec<(NodeId, NodeId, f64)> {
+        self.assert_run();
+        top_k_from_iter(self.iter_pairs(), k, exclude_identity)
+    }
+
+    /// Iterates `(u, v, score)` over maintained pairs in slot order.
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run).
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + Clone + '_ {
+        self.assert_run();
+        self.store
+            .pairs
+            .iter()
+            .zip(&self.scores)
+            .map(|(&(u, v), &s)| (u, v, s))
+    }
+
+    /// For each left node `u`, all `v` within `tie_eps` of the row maximum
+    /// (see [`FsimResult::argmax_rows`]).
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run).
+    pub fn argmax_rows(&self, n_left: usize, tie_eps: f64) -> Vec<Vec<NodeId>> {
+        crate::result::argmax_rows_from_iter(self.iter_pairs(), n_left, tie_eps)
+    }
+
+    /// Number of maintained pairs (`|H|`).
+    pub fn pair_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Iterations executed by the last run (0 before any run).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the last run reached `Δ < ε` before the iteration cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The last run's final `Δ`.
+    pub fn final_delta(&self) -> f64 {
+        self.final_delta
+    }
+
+    /// Whether [`run`](Self::run) has produced scores for the current
+    /// configuration.
+    pub fn has_run(&self) -> bool {
+        self.has_run
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FsimConfig {
+        &self.cfg
+    }
+
+    /// The session's graphs, `(G1, G2)`.
+    pub fn graphs(&self) -> (&'g Graph, &'g Graph) {
+        (self.g1, self.g2)
+    }
+
+    /// An owned [`FsimResult`] snapshot of the current scores (clones the
+    /// candidate store; prefer the accessors above inside loops).
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run).
+    pub fn snapshot(&self) -> FsimResult {
+        self.assert_run();
+        FsimResult::new(
+            self.store.clone(),
+            self.scores.clone(),
+            self.iterations,
+            self.converged,
+            self.final_delta,
+        )
+    }
+
+    /// Consumes the session into an [`FsimResult`] without copying the
+    /// store or scores. Runs first if the session has pending
+    /// (re)configuration.
+    pub fn into_result(mut self) -> FsimResult {
+        if !self.has_run {
+            self.run();
+        }
+        FsimResult::new(
+            self.store,
+            self.scores,
+            self.iterations,
+            self.converged,
+            self.final_delta,
+        )
+    }
+
+    fn assert_run(&self) {
+        assert!(
+            self.has_run,
+            "FsimEngine: call run() (or rerun()) before reading scores"
+        );
+    }
+}
+
+impl<O: Operator> std::fmt::Debug for FsimEngine<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsimEngine")
+            .field("n1", &self.g1.node_count())
+            .field("n2", &self.g2.node_count())
+            .field("pairs", &self.store.len())
+            .field("has_run", &self.has_run)
+            .field("iterations", &self.iterations)
+            .field("converged", &self.converged)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::engine::compute;
+    use fsim_graph::examples::figure1;
+    use fsim_labels::LabelFn;
+
+    fn cfg(variant: Variant) -> FsimConfig {
+        FsimConfig::new(variant).label_fn(LabelFn::Indicator)
+    }
+
+    fn assert_same_scores(engine: &FsimEngine<'_>, fresh: &FsimResult) {
+        assert_eq!(engine.pair_count(), fresh.pair_count());
+        for ((u1, v1, s1), (u2, v2, s2)) in engine.iter_pairs().zip(fresh.iter_pairs()) {
+            assert_eq!((u1, v1), (u2, v2));
+            assert_eq!(s1.to_bits(), s2.to_bits(), "diverged at ({u1},{v1})");
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_compute() {
+        let f = figure1();
+        for variant in Variant::ALL {
+            let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(variant)).unwrap();
+            engine.run();
+            let fresh = compute(&f.pattern, &f.data, &cfg(variant)).unwrap();
+            assert_same_scores(&engine, &fresh);
+            assert_eq!(engine.iterations(), fresh.iterations);
+            assert_eq!(engine.converged(), fresh.converged);
+        }
+    }
+
+    #[test]
+    fn rerun_theta_matches_fresh_compute() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        for theta in [0.3, 1.0, 0.0] {
+            engine.rerun(|c| c.theta = theta).unwrap();
+            let fresh = compute(&f.pattern, &f.data, &cfg(Variant::Simple).theta(theta)).unwrap();
+            assert_same_scores(&engine, &fresh);
+        }
+    }
+
+    #[test]
+    fn rerun_variant_matches_fresh_compute() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        for variant in [Variant::Bijective, Variant::Bi, Variant::DegreePreserving] {
+            engine.rerun(|c| c.variant = variant).unwrap();
+            let fresh = compute(&f.pattern, &f.data, &cfg(variant)).unwrap();
+            assert_same_scores(&engine, &fresh);
+        }
+    }
+
+    #[test]
+    fn rerun_epsilon_reiterates_without_store_rebuild() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        engine.run();
+        let coarse_iters = engine.iterations();
+        engine.rerun(|c| c.epsilon = 1e-6).unwrap();
+        assert!(
+            engine.iterations() > coarse_iters,
+            "tighter ε must iterate further"
+        );
+        let mut strict = cfg(Variant::Bi);
+        strict.epsilon = 1e-6;
+        assert_same_scores(&engine, &compute(&f.pattern, &f.data, &strict).unwrap());
+    }
+
+    #[test]
+    fn invalid_rerun_leaves_session_usable() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        engine.run();
+        let before: Vec<_> = engine.iter_pairs().collect();
+        assert!(engine.rerun(|c| c.theta = 7.0).is_err());
+        assert_eq!(
+            engine.config().theta,
+            0.0,
+            "failed rerun must not change config"
+        );
+        let after: Vec<_> = engine.iter_pairs().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn score_serves_pruned_pairs_like_score_on_demand() {
+        let f = figure1();
+        let c = cfg(Variant::Simple).theta(1.0);
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &c).unwrap();
+        engine.run();
+        let fresh = compute(&f.pattern, &f.data, &c).unwrap();
+        let hex_in_pattern = 1u32;
+        assert_eq!(
+            engine.get(hex_in_pattern, f.v[0]),
+            None,
+            "pair must be pruned"
+        );
+        let on_demand =
+            crate::engine::score_on_demand(&f.pattern, &f.data, &c, &fresh, hex_in_pattern, f.v[0]);
+        assert_eq!(
+            engine.score(hex_in_pattern, f.v[0]).to_bits(),
+            on_demand.to_bits()
+        );
+    }
+
+    #[test]
+    fn top_k_matches_result_top_k() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bijective)).unwrap();
+        engine.run();
+        let via_result = crate::topk::top_k_pairs(&engine.snapshot(), 5, false);
+        assert_eq!(engine.top_k(5, false), via_result);
+    }
+
+    #[test]
+    fn snapshot_equals_into_result() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        engine.run();
+        let snap = engine.snapshot();
+        let owned = engine.into_result();
+        assert_eq!(snap.pair_count(), owned.pair_count());
+        for (a, b) in snap.iter_pairs().zip(owned.iter_pairs()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn label_fn_rerun_rebuilds_prepared_table() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        engine.rerun(|c| c.label_fn = LabelFn::JaroWinkler).unwrap();
+        let fresh = compute(&f.pattern, &f.data, &FsimConfig::new(Variant::Simple)).unwrap();
+        assert_same_scores(&engine, &fresh);
+    }
+
+    #[test]
+    fn parallel_session_matches_sequential_session() {
+        let f = figure1();
+        let mut seq = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bijective)).unwrap();
+        seq.run();
+        let mut par =
+            FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bijective).threads(4)).unwrap();
+        par.run();
+        for (a, b) in seq.iter_pairs().zip(par.iter_pairs()) {
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn get_out_of_range_nodes_is_none() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        let n1 = f.pattern.node_count() as u32;
+        let n2 = f.data.node_count() as u32;
+        // Dense store: out-of-range coordinates must not alias other slots.
+        assert_eq!(engine.get(0, n2), None);
+        assert_eq!(engine.get(0, n2 + 7), None);
+        assert_eq!(engine.get(n1, 0), None);
+        assert_eq!(engine.get(n1 + 3, n2 + 3), None);
+    }
+
+    #[test]
+    fn reading_before_run_panics() {
+        let f = figure1();
+        let engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.get(0, 0);
+        }));
+        assert!(err.is_err());
+    }
+}

@@ -19,6 +19,25 @@
 //! assert!(result.get(f.u, f.v[3]).unwrap() > 0.999);
 //! assert!(result.get(f.u, f.v[0]).unwrap() < 0.999);
 //! ```
+//!
+//! For repeated queries over one graph pair — θ sweeps, variant
+//! comparisons, top-k passes — build a reusable [`FsimEngine`] session
+//! instead of calling [`compute`] in a loop:
+//!
+//! ```
+//! use fsim_core::{FsimConfig, FsimEngine, Variant};
+//! use fsim_graph::examples::figure1;
+//! use fsim_labels::LabelFn;
+//!
+//! let f = figure1();
+//! let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+//! let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg).unwrap();
+//! engine.run();
+//! for theta in [0.0, 0.5, 1.0] {
+//!     engine.rerun(|c| c.theta = theta).unwrap();
+//!     assert!(engine.score(f.u, f.v[3]) > 0.999);
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -34,11 +53,10 @@ pub mod topk;
 pub use config::{
     ConfigError, FsimConfig, InitScheme, LabelTermMode, MatcherKind, UpperBoundPruning, Variant,
 };
-pub use engine::{all_variants, compute, compute_with_operator, score_on_demand};
-pub use operators::{LabelEval, OpCtx, Operator, OpScratch, ScoreLookup, SimRankOp, VariantOp};
+pub use engine::{all_variants, compute, compute_with_operator, score_on_demand, FsimEngine};
+pub use operators::{LabelEval, OpCtx, OpScratch, Operator, ScoreLookup, SimRankOp, VariantOp};
 pub use presets::{
-    bounded_fsim, kbisim_via_framework, milner_config, rolesim_via_framework,
-    simrank_via_framework,
+    bounded_fsim, kbisim_via_framework, milner_config, rolesim_via_framework, simrank_via_framework,
 };
 pub use result::FsimResult;
 pub use topk::{top_k_pairs, top_k_search, TopK};

@@ -52,7 +52,8 @@ impl<'a> OpCtx<'a> {
     /// `L(ℓ1(x), ℓ2(y))`.
     #[inline]
     pub fn label_sim(&self, x: NodeId, y: NodeId) -> f64 {
-        self.label_eval.sim(self.labels1[x as usize], self.labels2[y as usize])
+        self.label_eval
+            .sim(self.labels1[x as usize], self.labels2[y as usize])
     }
 
     /// The Remark-2 constraint: may `x` be mapped to `y`?
@@ -93,6 +94,13 @@ impl OpScratch {
 /// (C3) — exactly for `s`/`b`, greedily (the paper's approximation) for
 /// `dp`/`bj`.
 pub trait Operator: Send + Sync {
+    /// Re-derives any configuration-dependent state after an
+    /// [`FsimEngine::rerun`](crate::engine::FsimEngine::rerun)
+    /// reconfiguration (e.g. [`VariantOp`] picks up a changed variant or
+    /// matcher). Operators without configuration state keep the default
+    /// no-op.
+    fn sync_cfg(&mut self, _cfg: &crate::config::FsimConfig) {}
+
     /// Maximum-mapping sum `Σ_{(x,y)∈Mχ(S1,S2)} prev(x, y)`.
     fn map_sum<S: ScoreLookup>(
         &self,
@@ -183,11 +191,15 @@ fn sum_best_per_right<S: ScoreLookup>(
 }
 
 fn count_left_with_eligible(ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
-    s1.iter().filter(|&&x| s2.iter().any(|&y| ctx.eligible(x, y))).count()
+    s1.iter()
+        .filter(|&&x| s2.iter().any(|&y| ctx.eligible(x, y)))
+        .count()
 }
 
 fn count_right_with_eligible(ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
-    s2.iter().filter(|&&y| s1.iter().any(|&x| ctx.eligible(x, y))).count()
+    s2.iter()
+        .filter(|&&y| s1.iter().any(|&x| ctx.eligible(x, y)))
+        .count()
 }
 
 /// Maximum-weight injective mapping sum between `S1` and `S2`
@@ -216,14 +228,19 @@ fn injective_sum<S: ScoreLookup>(
                     }
                 }
             }
-            let (sum, _) = scratch.matcher.assign(s1.len(), s2.len(), &mut scratch.edges);
+            let (sum, _) = scratch
+                .matcher
+                .assign(s1.len(), s2.len(), &mut scratch.edges);
             sum
         }
         MatcherKind::Hungarian => {
             // Orient so rows are the smaller side; ineligible pairs weigh 0
             // (they may be "assigned" but contribute nothing).
-            let (rows, cols, transposed) =
-                if s1.len() <= s2.len() { (s1, s2, false) } else { (s2, s1, true) };
+            let (rows, cols, transposed) = if s1.len() <= s2.len() {
+                (s1, s2, false)
+            } else {
+                (s2, s1, true)
+            };
             scratch.weights.clear();
             scratch.weights.resize(rows.len() * cols.len(), 0.0);
             for (i, &r) in rows.iter().enumerate() {
@@ -240,6 +257,46 @@ fn injective_sum<S: ScoreLookup>(
     }
 }
 
+/// Borrowed operators delegate; `sync_cfg` stays a no-op (a borrowed
+/// operator cannot be mutated, so variant reconfiguration through a
+/// reference is intentionally inert — used by the one-shot
+/// `compute_with_operator` path).
+impl<O: Operator> Operator for &O {
+    fn map_sum<S: ScoreLookup>(
+        &self,
+        ctx: &OpCtx<'_>,
+        s1: &[NodeId],
+        s2: &[NodeId],
+        prev: &S,
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        (**self).map_sum(ctx, s1, s2, prev, scratch)
+    }
+
+    fn map_size(&self, ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
+        (**self).map_size(ctx, s1, s2)
+    }
+
+    fn omega(&self, len1: usize, len2: usize) -> f64 {
+        (**self).omega(len1, len2)
+    }
+
+    fn vacuous(&self, len1: usize, len2: usize) -> bool {
+        (**self).vacuous(len1, len2)
+    }
+
+    fn term<S: ScoreLookup>(
+        &self,
+        ctx: &OpCtx<'_>,
+        s1: &[NodeId],
+        s2: &[NodeId],
+        prev: &S,
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        (**self).term(ctx, s1, s2, prev, scratch)
+    }
+}
+
 /// The Table-3 operator for a χ variant.
 #[derive(Debug, Clone, Copy)]
 pub struct VariantOp {
@@ -252,11 +309,19 @@ pub struct VariantOp {
 impl VariantOp {
     /// Operator for `variant` with the paper's greedy matcher.
     pub fn new(variant: Variant) -> Self {
-        Self { variant, matcher: MatcherKind::Greedy }
+        Self {
+            variant,
+            matcher: MatcherKind::Greedy,
+        }
     }
 }
 
 impl Operator for VariantOp {
+    fn sync_cfg(&mut self, cfg: &crate::config::FsimConfig) {
+        self.variant = cfg.variant;
+        self.matcher = cfg.matcher;
+    }
+
     fn map_sum<S: ScoreLookup>(
         &self,
         ctx: &OpCtx<'_>,
@@ -301,8 +366,9 @@ impl Operator for VariantOp {
             Variant::Bi => {
                 count_left_with_eligible(ctx, s1, s2) + count_right_with_eligible(ctx, s1, s2)
             }
-            Variant::DegreePreserving | Variant::Bijective => count_left_with_eligible(ctx, s1, s2)
-                .min(count_right_with_eligible(ctx, s1, s2)),
+            Variant::DegreePreserving | Variant::Bijective => {
+                count_left_with_eligible(ctx, s1, s2).min(count_right_with_eligible(ctx, s1, s2))
+            }
         }
     }
 
@@ -382,11 +448,21 @@ mod tests {
         eval: &'a LabelEval,
         theta: f64,
     ) -> OpCtx<'a> {
-        OpCtx { labels1, labels2, label_eval: eval, theta }
+        OpCtx {
+            labels1,
+            labels2,
+            label_eval: eval,
+            theta,
+        }
     }
 
     fn scores(entries: &[((u32, u32), f64)]) -> MapLookup {
-        MapLookup(entries.iter().map(|&((x, y), s)| (pair_key(x, y), s)).collect())
+        MapLookup(
+            entries
+                .iter()
+                .map(|&((x, y), s)| (pair_key(x, y), s))
+                .collect(),
+        )
     }
 
     const A: LabelId = LabelId(0);
@@ -432,8 +508,14 @@ mod tests {
         // Adversarial: greedy takes 1.0 + 0.0, optimal 0.6 + 0.6.
         let prev = scores(&[((0, 0), 1.0), ((0, 1), 0.6), ((1, 0), 0.6), ((1, 1), 0.0)]);
         let mut scratch = OpScratch::new();
-        let greedy = VariantOp { variant: Variant::Bijective, matcher: MatcherKind::Greedy };
-        let exact = VariantOp { variant: Variant::Bijective, matcher: MatcherKind::Hungarian };
+        let greedy = VariantOp {
+            variant: Variant::Bijective,
+            matcher: MatcherKind::Greedy,
+        };
+        let exact = VariantOp {
+            variant: Variant::Bijective,
+            matcher: MatcherKind::Hungarian,
+        };
         let gs = greedy.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
         let hs = exact.map_sum(&ctx, &[0, 1], &[0, 1], &prev, &mut scratch);
         assert!((gs - 1.0).abs() < 1e-12);
@@ -459,15 +541,18 @@ mod tests {
     fn theta_excludes_dissimilar_labels() {
         let l1 = [A, B];
         let l2 = [B, B];
-        let eval = LabelEval::Sim(
-            fsim_labels::LabelFn::Indicator.prepare(&{
-                let i = fsim_graph::LabelInterner::new();
-                i.intern("a");
-                i.intern("b");
-                i
-            }),
-        );
-        let ctx = OpCtx { labels1: &l1, labels2: &l2, label_eval: &eval, theta: 1.0 };
+        let eval = LabelEval::Sim(fsim_labels::LabelFn::Indicator.prepare(&{
+            let i = fsim_graph::LabelInterner::new();
+            i.intern("a");
+            i.intern("b");
+            i
+        }));
+        let ctx = OpCtx {
+            labels1: &l1,
+            labels2: &l2,
+            label_eval: &eval,
+            theta: 1.0,
+        };
         let prev = scores(&[((0, 0), 0.9), ((1, 0), 0.7), ((1, 1), 0.6)]);
         let op = VariantOp::new(Variant::Simple);
         let mut scratch = OpScratch::new();

@@ -2,7 +2,7 @@
 //! as instances of the `FSimχ` framework.
 
 use crate::config::{FsimConfig, InitScheme, LabelTermMode, Variant};
-use crate::engine::{compute, compute_with_operator};
+use crate::engine::{compute, FsimEngine};
 use crate::operators::SimRankOp;
 use crate::result::FsimResult;
 use fsim_graph::transform::undirected;
@@ -30,7 +30,9 @@ pub fn simrank_via_framework(g: &Graph, c: f64, epsilon: f64) -> FsimResult {
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: true,
     };
-    compute_with_operator(g, g, &cfg, &SimRankOp).expect("valid SimRank configuration")
+    FsimEngine::with_operator(g, g, &cfg, SimRankOp)
+        .expect("valid SimRank configuration")
+        .into_result()
 }
 
 /// RoleSim via the framework (§4.3): the graph is symmetrized (RoleSim is
@@ -211,6 +213,9 @@ mod tests {
         let r1 = kbisim_via_framework(&g, 1);
         assert_eq!(r1.get(0, 2), Some(1.0), "1-bisimilar: same-label children");
         let r2 = kbisim_via_framework(&g, 2);
-        assert!(r2.get(0, 2).unwrap() < 1.0, "2-bisimulation must separate them");
+        assert!(
+            r2.get(0, 2).unwrap() < 1.0,
+            "2-bisimulation must separate them"
+        );
     }
 }

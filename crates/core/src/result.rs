@@ -25,12 +25,21 @@ impl FsimResult {
         converged: bool,
         final_delta: f64,
     ) -> Self {
-        Self { store, scores, iterations, converged, final_delta }
+        Self {
+            store,
+            scores,
+            iterations,
+            converged,
+            final_delta,
+        }
     }
 
     /// Score of a maintained pair, or `None` if `(u, v)` was pruned.
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.store.index.get(u, v).map(|i| self.scores[i])
+        self.store
+            .index
+            .get(u, v)
+            .and_then(|i| self.scores.get(i).copied())
     }
 
     /// Score with the engine's fallback semantics for pruned pairs
@@ -47,8 +56,12 @@ impl FsimResult {
 
     /// Iterates `(u, v, score)` over maintained pairs in slot order
     /// (sorted by `(u, v)`).
-    pub fn iter_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.store.pairs.iter().zip(&self.scores).map(|(&(u, v), &s)| (u, v, s))
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + Clone + '_ {
+        self.store
+            .pairs
+            .iter()
+            .zip(&self.scores)
+            .map(|(&(u, v), &s)| (u, v, s))
     }
 
     /// The `k` best-scoring right-nodes for a given left node, sorted by
@@ -69,19 +82,7 @@ impl FsimResult {
     /// Rows with no maintained pair are empty. Used by the graph-alignment
     /// case study.
     pub fn argmax_rows(&self, n_left: usize, tie_eps: f64) -> Vec<Vec<NodeId>> {
-        let mut best = vec![f64::NEG_INFINITY; n_left];
-        for (u, _, s) in self.iter_pairs() {
-            if s > best[u as usize] {
-                best[u as usize] = s;
-            }
-        }
-        let mut rows: Vec<Vec<NodeId>> = vec![Vec::new(); n_left];
-        for (u, v, s) in self.iter_pairs() {
-            if s >= best[u as usize] - tie_eps {
-                rows[u as usize].push(v);
-            }
-        }
-        rows
+        argmax_rows_from_iter(self.iter_pairs(), n_left, tie_eps)
     }
 
     /// Mean score over maintained pairs (0 when empty); a cheap global
@@ -103,6 +104,29 @@ impl FsimResult {
     pub fn to_vecs(&self) -> (Vec<(NodeId, NodeId)>, Vec<f64>) {
         (self.store.pairs.clone(), self.scores.clone())
     }
+}
+
+/// Shared argmax-row extraction over any `(u, v, score)` stream (used by
+/// both [`FsimResult`] and the engine session). The stream may be consumed
+/// twice, so it must be `Clone` (both callers hand in cheap slot
+/// iterators).
+pub(crate) fn argmax_rows_from_iter<I>(pairs: I, n_left: usize, tie_eps: f64) -> Vec<Vec<NodeId>>
+where
+    I: Iterator<Item = (NodeId, NodeId, f64)> + Clone,
+{
+    let mut best = vec![f64::NEG_INFINITY; n_left];
+    for (u, _, s) in pairs.clone() {
+        if s > best[u as usize] {
+            best[u as usize] = s;
+        }
+    }
+    let mut rows: Vec<Vec<NodeId>> = vec![Vec::new(); n_left];
+    for (u, v, s) in pairs {
+        if s >= best[u as usize] - tie_eps {
+            rows[u as usize].push(v);
+        }
+    }
+    rows
 }
 
 #[cfg(test)]

@@ -20,10 +20,20 @@ pub enum PairIndex {
 
 impl PairIndex {
     /// Slot of `(u, v)` if maintained.
+    ///
+    /// A `v ≥ n2` dense lookup is `None` (the row-major formula would
+    /// otherwise alias another row's slot); `u` overruns surface as slots
+    /// past the score buffer, which callers reject via `slice::get`.
     #[inline]
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<usize> {
         match self {
-            PairIndex::Dense { n2 } => Some(u as usize * *n2 as usize + v as usize),
+            PairIndex::Dense { n2 } => {
+                if v < *n2 {
+                    Some(u as usize * *n2 as usize + v as usize)
+                } else {
+                    None
+                }
+            }
             PairIndex::Sparse(map) => map.get(&pair_key(u, v)).map(|&i| i as usize),
         }
     }
@@ -40,7 +50,7 @@ pub enum Fallback {
 }
 
 /// The maintained pairs plus their double-buffered scores.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PairStore {
     /// Maintained pairs in slot order.
     pub pairs: Vec<(NodeId, NodeId)>,
@@ -64,7 +74,11 @@ impl PairStore {
     /// A read view over a score buffer for operator lookups.
     pub fn view<'a>(&'a self, scores: &'a [f64]) -> ScoreView<'a> {
         debug_assert_eq!(scores.len(), self.pairs.len());
-        ScoreView { index: &self.index, fallback: &self.fallback, scores }
+        ScoreView {
+            index: &self.index,
+            fallback: &self.fallback,
+            scores,
+        }
     }
 }
 
@@ -97,7 +111,11 @@ mod tests {
 
     fn dense_store(n1: u32, n2: u32) -> PairStore {
         let pairs: Vec<_> = (0..n1).flat_map(|u| (0..n2).map(move |v| (u, v))).collect();
-        PairStore { pairs, index: PairIndex::Dense { n2 }, fallback: Fallback::Zero }
+        PairStore {
+            pairs,
+            index: PairIndex::Dense { n2 },
+            fallback: Fallback::Zero,
+        }
     }
 
     #[test]
@@ -109,14 +127,25 @@ mod tests {
     }
 
     #[test]
+    fn dense_index_rejects_out_of_range_columns() {
+        let s = dense_store(3, 4);
+        // v ≥ n2 must not alias the next row's slot.
+        assert_eq!(s.index.get(0, 4), None);
+        assert_eq!(s.index.get(1, 100), None);
+    }
+
+    #[test]
     fn sparse_index_misses_return_fallback() {
         let pairs = vec![(0, 1), (2, 3)];
         let mut map = FxHashMap::default();
         for (i, &(u, v)) in pairs.iter().enumerate() {
             map.insert(pair_key(u, v), i as u32);
         }
-        let store =
-            PairStore { pairs, index: PairIndex::Sparse(map), fallback: Fallback::Zero };
+        let store = PairStore {
+            pairs,
+            index: PairIndex::Sparse(map),
+            fallback: Fallback::Zero,
+        };
         let scores = vec![0.5, 0.7];
         let view = store.view(&scores);
         assert_eq!(view.get(0, 1), 0.5);

@@ -8,8 +8,8 @@
 //! iteratively loosened β-pruning until the result is *certified*: the
 //! k-th best maintained score dominates the bound of every pruned pair.
 
-use crate::config::FsimConfig;
-use crate::engine::compute;
+use crate::config::{FsimConfig, UpperBoundPruning};
+use crate::engine::FsimEngine;
 use crate::result::FsimResult;
 use fsim_graph::{Graph, NodeId};
 
@@ -30,13 +30,31 @@ pub struct TopK {
 ///
 /// `exclude_identity` drops `(u, u)` pairs — useful for single-graph
 /// similarity search where self-similarity is trivially 1.
-pub fn top_k_pairs(result: &FsimResult, k: usize, exclude_identity: bool) -> Vec<(NodeId, NodeId, f64)> {
-    let mut pairs: Vec<(NodeId, NodeId, f64)> = result
-        .iter_pairs()
+pub fn top_k_pairs(
+    result: &FsimResult,
+    k: usize,
+    exclude_identity: bool,
+) -> Vec<(NodeId, NodeId, f64)> {
+    top_k_from_iter(result.iter_pairs(), k, exclude_identity)
+}
+
+/// Shared top-k extraction over any `(u, v, score)` stream (used by both
+/// [`top_k_pairs`] and [`FsimEngine::top_k`]).
+pub(crate) fn top_k_from_iter<I>(
+    pairs: I,
+    k: usize,
+    exclude_identity: bool,
+) -> Vec<(NodeId, NodeId, f64)>
+where
+    I: Iterator<Item = (NodeId, NodeId, f64)>,
+{
+    let mut pairs: Vec<(NodeId, NodeId, f64)> = pairs
         .filter(|&(u, v, _)| !(exclude_identity && u == v))
         .collect();
     pairs.sort_by(|a, b| {
-        b.2.partial_cmp(&a.2).unwrap().then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+        b.2.partial_cmp(&a.2)
+            .unwrap()
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
     });
     pairs.truncate(k);
     pairs
@@ -49,6 +67,8 @@ pub fn top_k_pairs(result: &FsimResult, k: usize, exclude_identity: bool) -> Vec
 ///
 /// Keeps the caller's θ / weights / variant; overrides the upper-bound
 /// setting. Cost: usually a single pass over a small maintained set.
+/// Successive passes share one [`FsimEngine`] session, so label alignment
+/// and the prepared label evaluation are built once for the whole search.
 pub fn top_k_search(
     g1: &Graph,
     g2: &Graph,
@@ -58,24 +78,33 @@ pub fn top_k_search(
 ) -> TopK {
     assert!(k > 0, "k must be positive");
     let mut beta = 0.8f64;
-    let mut passes = 0usize;
+    let mut pass_cfg = cfg.clone();
+    pass_cfg.upper_bound = Some(UpperBoundPruning { alpha: 0.0, beta });
+    let mut engine = FsimEngine::new(g1, g2, &pass_cfg).expect("valid top-k configuration");
+    engine.run();
+    let mut passes = 1usize;
     loop {
-        let mut pass_cfg = cfg.clone();
-        pass_cfg.upper_bound = if beta > 0.0 {
-            Some(crate::config::UpperBoundPruning { alpha: 0.0, beta })
-        } else {
-            None
-        };
-        let result = compute(g1, g2, &pass_cfg).expect("valid top-k configuration");
-        passes += 1;
-        let pairs = top_k_pairs(&result, k, exclude_identity);
+        let pairs = engine.top_k(k, exclude_identity);
         let kth = pairs.last().map(|&(_, _, s)| s).unwrap_or(0.0);
         // Certificate: every pruned pair has ub ≤ beta; if the k-th kept
         // score reaches beta, nothing pruned can beat it.
         if beta <= 0.0 || (pairs.len() == k && kth >= beta) {
-            return TopK { pairs, certified: true, passes };
+            return TopK {
+                pairs,
+                certified: true,
+                passes,
+            };
         }
         beta = if beta > 0.1 { beta / 2.0 } else { 0.0 };
+        let next_bound = if beta > 0.0 {
+            Some(UpperBoundPruning { alpha: 0.0, beta })
+        } else {
+            None
+        };
+        engine
+            .rerun(|c| c.upper_bound = next_bound)
+            .expect("valid top-k configuration");
+        passes += 1;
     }
 }
 
@@ -83,6 +112,7 @@ pub fn top_k_search(
 mod tests {
     use super::*;
     use crate::config::Variant;
+    use crate::engine::compute;
     use fsim_graph::graph_from_parts;
     use fsim_labels::LabelFn;
 
@@ -118,7 +148,13 @@ mod tests {
         assert!(got.certified);
         assert_eq!(got.pairs.len(), expected.len());
         for (a, b) in got.pairs.iter().zip(&expected) {
-            assert_eq!((a.0, a.1), (b.0, b.1), "pair mismatch: {:?} vs {:?}", got.pairs, expected);
+            assert_eq!(
+                (a.0, a.1),
+                (b.0, b.1),
+                "pair mismatch: {:?} vs {:?}",
+                got.pairs,
+                expected
+            );
             assert!((a.2 - b.2).abs() < 1e-12);
         }
     }
@@ -143,6 +179,10 @@ mod tests {
     fn pruned_first_pass_is_usually_enough() {
         let g = sample_graph();
         let got = top_k_search(&g, &g, &cfg(), 2, false);
-        assert!(got.passes <= 2, "expected early certification, took {} passes", got.passes);
+        assert!(
+            got.passes <= 2,
+            "expected early certification, took {} passes",
+            got.passes
+        );
     }
 }

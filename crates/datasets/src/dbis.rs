@@ -79,8 +79,16 @@ impl Dbis {
     /// same area *and* same tier (e.g. ICDE vs VLDB); some-relevant (1) =
     /// same area at another tier, or the same tier elsewhere; 0 otherwise.
     pub fn relevance(&self, a: NodeId, b: NodeId) -> u32 {
-        let ia = self.venues.iter().position(|&v| v == a).expect("a is a venue");
-        let ib = self.venues.iter().position(|&v| v == b).expect("b is a venue");
+        let ia = self
+            .venues
+            .iter()
+            .position(|&v| v == a)
+            .expect("a is a venue");
+        let ib = self
+            .venues
+            .iter()
+            .position(|&v| v == b)
+            .expect("b is a venue");
         let same_area = self.venue_area[ia] == self.venue_area[ib];
         let same_tier = self.venue_tier[ia] == self.venue_tier[ib];
         match (same_area, same_tier) {
@@ -92,7 +100,11 @@ impl Dbis {
 
     /// The display name of a venue node.
     pub fn name_of(&self, v: NodeId) -> &str {
-        let i = self.venues.iter().position(|&x| x == v).expect("v is a venue");
+        let i = self
+            .venues
+            .iter()
+            .position(|&x| x == v)
+            .expect("v is a venue");
         &self.venue_names[i]
     }
 }
@@ -157,8 +169,9 @@ pub fn dbis(cfg: &DbisConfig, seed: u64) -> Dbis {
     // Venue picks are tier-weighted: top tiers attract proportionally more
     // papers (weight 2^(tiers - tier)), separating venue sizes by tier as
     // in the real network (VLDB is much larger than a workshop).
-    let tier_weights: Vec<f64> =
-        (0..cfg.venues_per_area).map(|i| (1u32 << (2 * (tiers - tier_of(i)))) as f64).collect();
+    let tier_weights: Vec<f64> = (0..cfg.venues_per_area)
+        .map(|i| (1u32 << (2 * (tiers - tier_of(i)))) as f64)
+        .collect();
     let weight_total: f64 = tier_weights.iter().sum();
     for area in 0..cfg.areas {
         for a in 0..cfg.authors_per_area {
@@ -199,7 +212,16 @@ pub fn dbis(cfg: &DbisConfig, seed: u64) -> Dbis {
             }
         }
     }
-    Dbis { graph: b.build(), venues, venue_area, venue_tier, venue_names, www, www_dups, subjects }
+    Dbis {
+        graph: b.build(),
+        venues,
+        venue_area,
+        venue_tier,
+        venue_names,
+        www,
+        www_dups,
+        subjects,
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +276,10 @@ mod tests {
         // Duplicates are area 0 and publish papers (same community).
         for &dup in &d.www_dups {
             assert_eq!(d.relevance(d.www, dup), 2);
-            assert!(d.graph.in_degree(dup) > 0, "duplicate venue starved of papers");
+            assert!(
+                d.graph.in_degree(dup) > 0,
+                "duplicate venue starved of papers"
+            );
         }
     }
 
@@ -281,7 +306,10 @@ mod tests {
     fn deterministic_per_seed() {
         let a = small();
         let b = small();
-        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -30,13 +30,22 @@ impl Default for Churn {
     /// matching the paper's observation that plain bisimulation scores
     /// 0% F1 across versions.
     fn default() -> Self {
-        Self { node_del: 0.02, node_add: 0.04, edge_del: 0.04, edge_add: 0.05 }
+        Self {
+            node_del: 0.02,
+            node_add: 0.04,
+            edge_del: 0.04,
+            edge_add: 0.05,
+        }
     }
 }
 
 /// One evolution step: returns the evolved graph and the ground-truth map
 /// `old node → new node` (`None` for deleted nodes).
-pub fn evolve<R: Rng + ?Sized>(g: &Graph, churn: Churn, rng: &mut R) -> (Graph, Vec<Option<NodeId>>) {
+pub fn evolve<R: Rng + ?Sized>(
+    g: &Graph,
+    churn: Churn,
+    rng: &mut R,
+) -> (Graph, Vec<Option<NodeId>>) {
     let n = g.node_count();
     let delete_count = ((n as f64) * churn.node_del).round() as usize;
     let add_count = ((n as f64) * churn.node_add).round() as usize;
@@ -149,7 +158,10 @@ mod tests {
         let (g2, map) = evolve(&g, churn, &mut rng);
         let deleted = map.iter().filter(|m| m.is_none()).count();
         assert_eq!(deleted, (200.0 * churn.node_del).round() as usize);
-        assert_eq!(g2.node_count(), 200 - deleted + (200.0 * churn.node_add).round() as usize);
+        assert_eq!(
+            g2.node_count(),
+            200 - deleted + (200.0 * churn.node_add).round() as usize
+        );
         // Labels survive along the mapping.
         for (old, new) in map.iter().enumerate() {
             if let Some(new) = new {
@@ -162,7 +174,12 @@ mod tests {
     fn zero_churn_is_isomorphic_identity() {
         let g = base();
         let mut rng = ChaCha8Rng::seed_from_u64(13);
-        let churn = Churn { node_del: 0.0, node_add: 0.0, edge_del: 0.0, edge_add: 0.0 };
+        let churn = Churn {
+            node_del: 0.0,
+            node_add: 0.0,
+            edge_del: 0.0,
+            edge_add: 0.0,
+        };
         let (g2, map) = evolve(&g, churn, &mut rng);
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.edge_count(), g.edge_count());
@@ -194,9 +211,10 @@ mod tests {
         assert_eq!(r.edge_count(), 2 * g.edge_count());
         // Every original edge is now a 2-hop path through a rel-typed node.
         for (u, v) in g.edges() {
-            let found = r.out_neighbors(u).iter().any(|&m| {
-                r.label_str(m).starts_with("rel-") && r.out_neighbors(m).contains(&v)
-            });
+            let found = r
+                .out_neighbors(u)
+                .iter()
+                .any(|&m| r.label_str(m).starts_with("rel-") && r.out_neighbors(m).contains(&v));
             assert!(found, "edge ({u},{v}) not reified");
         }
         // Relation labels bounded by the requested type count.

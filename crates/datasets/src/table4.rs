@@ -29,14 +29,62 @@ pub struct DatasetSpec {
 
 /// The eight datasets of Table 4 in paper order.
 pub const TABLE4: [DatasetSpec; 8] = [
-    DatasetSpec { name: "Yeast", edges: 7_182, nodes: 2_361, labels: 13, scale: 5 },
-    DatasetSpec { name: "Cora", edges: 91_500, nodes: 23_166, labels: 70, scale: 20 },
-    DatasetSpec { name: "Wiki", edges: 119_882, nodes: 4_592, labels: 120, scale: 10 },
-    DatasetSpec { name: "JDK", edges: 150_985, nodes: 6_434, labels: 41, scale: 10 },
-    DatasetSpec { name: "NELL", edges: 154_213, nodes: 75_492, labels: 269, scale: 50 },
-    DatasetSpec { name: "GP", edges: 298_564, nodes: 144_879, labels: 8, scale: 50 },
-    DatasetSpec { name: "Amazon", edges: 1_788_725, nodes: 554_790, labels: 82, scale: 100 },
-    DatasetSpec { name: "ACMCit", edges: 9_671_895, nodes: 1_462_947, labels: 1_000, scale: 200 },
+    DatasetSpec {
+        name: "Yeast",
+        edges: 7_182,
+        nodes: 2_361,
+        labels: 13,
+        scale: 5,
+    },
+    DatasetSpec {
+        name: "Cora",
+        edges: 91_500,
+        nodes: 23_166,
+        labels: 70,
+        scale: 20,
+    },
+    DatasetSpec {
+        name: "Wiki",
+        edges: 119_882,
+        nodes: 4_592,
+        labels: 120,
+        scale: 10,
+    },
+    DatasetSpec {
+        name: "JDK",
+        edges: 150_985,
+        nodes: 6_434,
+        labels: 41,
+        scale: 10,
+    },
+    DatasetSpec {
+        name: "NELL",
+        edges: 154_213,
+        nodes: 75_492,
+        labels: 269,
+        scale: 50,
+    },
+    DatasetSpec {
+        name: "GP",
+        edges: 298_564,
+        nodes: 144_879,
+        labels: 8,
+        scale: 50,
+    },
+    DatasetSpec {
+        name: "Amazon",
+        edges: 1_788_725,
+        nodes: 554_790,
+        labels: 82,
+        scale: 100,
+    },
+    DatasetSpec {
+        name: "ACMCit",
+        edges: 9_671_895,
+        nodes: 1_462_947,
+        labels: 1_000,
+        scale: 200,
+    },
 ];
 
 impl DatasetSpec {
@@ -66,8 +114,7 @@ impl DatasetSpec {
         let nodes = ((self.scaled_nodes() as f64) * extra) as usize;
         let edges = ((self.scaled_edges() as f64) * extra) as usize;
         let labels = self.labels.min(nodes / 2).max(2);
-        let cfg = GeneratorConfig::new(nodes.max(50), edges.max(100), labels)
-            .label_skew(0.8);
+        let cfg = GeneratorConfig::new(nodes.max(50), edges.max(100), labels).label_skew(0.8);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ fxhash_name(self.name));
         preferential(&cfg, &mut rng)
     }

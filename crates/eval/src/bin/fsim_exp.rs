@@ -74,7 +74,7 @@ fn main() {
         }
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&all_reports).expect("serializable reports"));
+        println!("{}", fsim_eval::report::reports_to_json(&all_reports));
     }
 }
 

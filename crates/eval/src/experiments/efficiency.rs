@@ -28,7 +28,9 @@ pub fn run(opts: &ExpOpts) -> Report {
     let queries: Vec<_> = (0..8)
         .filter_map(|_| extract_query(&data, rng.gen_range(3..=13), &mut rng))
         .collect();
-    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator).threads(opts.threads);
+    let cfg = FsimConfig::new(Variant::Simple)
+        .label_fn(LabelFn::Indicator)
+        .threads(opts.threads);
     let t0 = Instant::now();
     for q in &queries {
         let _ = fsim_match(&q.query, &data, &cfg);
@@ -72,11 +74,16 @@ pub fn run(opts: &ExpOpts) -> Report {
     let n = ((600.0 * opts.scale) as usize).max(60);
     let g1 = preferential(&GeneratorConfig::new(n, n * 5 / 2, 8), &mut rng);
     let (g2, _) = evolve(&g1, Churn::default(), &mut rng);
-    let align_cfg =
-        FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0).threads(opts.threads);
+    let align_cfg = FsimConfig::new(Variant::Bi)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0)
+        .threads(opts.threads);
     let t0 = Instant::now();
     let _ = fsim_align::fsim_align(&g1, &g2, &align_cfg);
-    report.row(vec!["alignment: FSimb end-to-end".into(), fmt_secs(t0.elapsed().as_secs_f64())]);
+    report.row(vec![
+        "alignment: FSimb end-to-end".into(),
+        fmt_secs(t0.elapsed().as_secs_f64()),
+    ]);
 
     report.note("paper: FSim 0.25s/query (matching), 0.0004ms/pair (similarity), 3120s (alignment, full DBIS/RDF scale)");
     report

@@ -4,11 +4,17 @@
 use crate::metrics::result_correlation;
 use crate::opts::ExpOpts;
 use crate::report::{fmt3, Report};
-use fsim_core::{compute, FsimConfig, Variant};
+use fsim_core::{FsimConfig, FsimEngine, Variant};
 use fsim_labels::LabelFn;
+
+const THETAS: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
 
 /// Figure 4(a): Pearson coefficient of FSimχ{θ} against the θ = 0
 /// baseline, θ ∈ {0, 0.2, …, 1.0}, w⁺ = w⁻ = 0.4.
+///
+/// One engine session per variant sweeps every θ; label alignment and the
+/// prepared Jaro–Winkler table are built once per variant instead of once
+/// per (variant, θ) cell.
 pub fn run_theta(opts: &ExpOpts) -> Report {
     let g = opts.nell();
     let mut report = Report::new(
@@ -16,27 +22,26 @@ pub fn run_theta(opts: &ExpOpts) -> Report {
         "Coefficient vs theta (baseline theta=0, w+=w-=0.4, NELL-like)",
         &["theta", "FSims", "FSimdp", "FSimb", "FSimbj"],
     );
-    let baselines: Vec<_> = Variant::ALL
-        .iter()
-        .map(|&v| {
-            let cfg = FsimConfig::new(v).label_fn(LabelFn::JaroWinkler).threads(opts.threads);
-            compute(&g, &g, &cfg).expect("valid config")
-        })
-        .collect();
-    for step in 0..=5 {
-        let theta = step as f64 * 0.2;
+    // columns[variant][theta-step]
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for &v in &Variant::ALL {
+        let cfg = FsimConfig::new(v)
+            .label_fn(LabelFn::JaroWinkler)
+            .threads(opts.threads);
+        let mut engine = FsimEngine::new(&g, &g, &cfg).expect("valid config");
+        engine.run();
+        let baseline = engine.snapshot();
+        let mut column = vec![fmt3(1.0)];
+        for &theta in &THETAS[1..] {
+            engine.rerun(|c| c.theta = theta).expect("valid config");
+            column.push(fmt3(result_correlation(&engine.snapshot(), &baseline)));
+        }
+        columns.push(column);
+    }
+    for (step, &theta) in THETAS.iter().enumerate() {
         let mut cells = vec![format!("{theta:.1}")];
-        for (i, &v) in Variant::ALL.iter().enumerate() {
-            if theta == 0.0 {
-                cells.push(fmt3(1.0));
-                continue;
-            }
-            let cfg = FsimConfig::new(v)
-                .label_fn(LabelFn::JaroWinkler)
-                .theta(theta)
-                .threads(opts.threads);
-            let r = compute(&g, &g, &cfg).expect("valid config");
-            cells.push(fmt3(result_correlation(&r, &baselines[i])));
+        for column in &columns {
+            cells.push(column[step].clone());
         }
         report.row(cells);
     }
@@ -46,6 +51,8 @@ pub fn run_theta(opts: &ExpOpts) -> Report {
 
 /// Figure 4(b): coefficient of FSimχ vs FSimχ{θ=1} while varying
 /// `w* ∈ {0.1, 0.2, 0.4, 0.6, 0.8, 0.95}` (`w⁺ = w⁻ = (1 − w*) / 2`).
+///
+/// One session per variant alternates θ = 0 / θ = 1 across the w* sweep.
 pub fn run_wstar(opts: &ExpOpts) -> Report {
     let g = opts.nell();
     let mut report = Report::new(
@@ -53,17 +60,34 @@ pub fn run_wstar(opts: &ExpOpts) -> Report {
         "Coefficient of FSim vs FSim{theta=1} while varying w* (NELL-like)",
         &["w*", "FSims", "FSimdp", "FSimb", "FSimbj"],
     );
-    for w_star in [0.1, 0.2, 0.4, 0.6, 0.8, 0.95] {
-        let w = (1.0 - w_star) / 2.0;
+    const W_STARS: [f64; 6] = [0.1, 0.2, 0.4, 0.6, 0.8, 0.95];
+    // columns[variant][w*-index]
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for &v in &Variant::ALL {
+        let cfg = FsimConfig::new(v)
+            .label_fn(LabelFn::JaroWinkler)
+            .threads(opts.threads);
+        let mut engine = FsimEngine::new(&g, &g, &cfg).expect("valid config");
+        let mut column = Vec::new();
+        for &w_star in &W_STARS {
+            let w = (1.0 - w_star) / 2.0;
+            engine
+                .rerun(|c| {
+                    c.w_out = w;
+                    c.w_in = w;
+                    c.theta = 0.0;
+                })
+                .expect("valid config");
+            let full = engine.snapshot();
+            engine.rerun(|c| c.theta = 1.0).expect("valid config");
+            column.push(fmt3(result_correlation(&full, &engine.snapshot())));
+        }
+        columns.push(column);
+    }
+    for (i, &w_star) in W_STARS.iter().enumerate() {
         let mut cells = vec![format!("{w_star:.2}")];
-        for &v in &Variant::ALL {
-            let base = FsimConfig::new(v)
-                .label_fn(LabelFn::JaroWinkler)
-                .weights(w, w)
-                .threads(opts.threads);
-            let full = compute(&g, &g, &base).expect("valid config");
-            let pruned = compute(&g, &g, &base.clone().theta(1.0)).expect("valid config");
-            cells.push(fmt3(result_correlation(&full, &pruned)));
+        for column in &columns {
+            cells.push(column[i].clone());
         }
         report.row(cells);
     }

@@ -5,25 +5,29 @@
 use crate::metrics::result_correlation;
 use crate::opts::ExpOpts;
 use crate::report::{fmt3, Report};
-use fsim_core::{compute, FsimConfig, FsimResult, Variant};
+use fsim_core::{FsimConfig, FsimEngine, FsimResult, Variant};
 use fsim_graph::{noise, Graph};
 use fsim_labels::LabelFn;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn self_sim(g: &Graph, theta: f64, opts: &ExpOpts) -> FsimResult {
+/// FSimbj of `g` against itself at θ = 0 and θ = 1, through one engine
+/// session (the θ = 1 pass reuses the label alignment and prepared table).
+fn self_sim_both_thetas(g: &Graph, opts: &ExpOpts) -> (FsimResult, FsimResult) {
     let cfg = FsimConfig::new(Variant::Bijective)
         .label_fn(LabelFn::JaroWinkler)
-        .theta(theta)
         .threads(opts.threads);
-    compute(g, g, &cfg).expect("valid config")
+    let mut engine = FsimEngine::new(g, g, &cfg).expect("valid config");
+    engine.run();
+    let at_zero = engine.snapshot();
+    engine.rerun(|c| c.theta = 1.0).expect("valid config");
+    (at_zero, engine.into_result())
 }
 
 /// Regenerates Figure 5 (both panels).
 pub fn run(opts: &ExpOpts) -> Vec<Report> {
     let g = opts.nell();
-    let base0 = self_sim(&g, 0.0, opts);
-    let base1 = self_sim(&g, 1.0, opts);
+    let (base0, base1) = self_sim_both_thetas(&g, opts);
 
     let mut structural = Report::new(
         "fig5a",
@@ -38,8 +42,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Report> {
     for level in [0.0, 0.05, 0.10, 0.15, 0.20] {
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ (level * 1000.0) as u64);
         let gs = noise::structural_errors(&g, level, &mut rng);
-        let rs0 = self_sim(&gs, 0.0, opts);
-        let rs1 = self_sim(&gs, 1.0, opts);
+        let (rs0, rs1) = self_sim_both_thetas(&gs, opts);
         structural.row(vec![
             format!("{:.0}%", level * 100.0),
             fmt3(result_correlation(&rs0, &base0)),
@@ -47,8 +50,7 @@ pub fn run(opts: &ExpOpts) -> Vec<Report> {
         ]);
 
         let gl = noise::label_errors(&g, level, "??", &mut rng);
-        let rl0 = self_sim(&gl, 0.0, opts);
-        let rl1 = self_sim(&gl, 1.0, opts);
+        let (rl0, rl1) = self_sim_both_thetas(&gl, opts);
         label.row(vec![
             format!("{:.0}%", level * 100.0),
             fmt3(result_correlation(&rl0, &base0)),
@@ -86,7 +88,10 @@ mod tests {
             let first: f64 = r.rows[0][1].parse().unwrap();
             let last: f64 = r.rows.last().unwrap()[1].parse().unwrap_or(0.0);
             assert!(last <= first + 1e-9, "noise must not increase correlation");
-            assert!(last > 0.2, "correlation should degrade gracefully, got {last}");
+            assert!(
+                last > 0.2,
+                "correlation should degrade gracefully, got {last}"
+            );
         }
     }
 }

@@ -23,7 +23,11 @@ fn same_label_pairs(g: &Graph) -> usize {
 }
 
 fn timed_bj(g: &Graph, theta: f64, ub: bool, opts: &ExpOpts) -> String {
-    let estimate = if theta >= 1.0 { same_label_pairs(g) } else { dense_pairs(g) };
+    let estimate = if theta >= 1.0 {
+        same_label_pairs(g)
+    } else {
+        dense_pairs(g)
+    };
     if estimate > PAIR_BUDGET {
         return "skip".to_string();
     }
@@ -44,7 +48,15 @@ pub fn run(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "fig8",
         "FSimbj running time per dataset and optimization",
-        &["dataset", "|V|", "|E|", "plain", "{ub}", "{theta=1}", "{ub,theta=1}"],
+        &[
+            "dataset",
+            "|V|",
+            "|E|",
+            "plain",
+            "{ub}",
+            "{theta=1}",
+            "{ub,theta=1}",
+        ],
     );
     for spec in &TABLE4 {
         let g = spec.generate_scaled(0.5 * opts.scale, opts.seed);
@@ -60,9 +72,11 @@ pub fn run(opts: &ExpOpts) -> Report {
     }
     report.note("'skip' = candidate pairs exceed the pair budget (paper: out-of-memory)");
     report.note("paper: {theta=1} up to 3 orders faster; {ub,theta=1} completes everywhere");
-    report.note("{ub} alone can lose time here: the scaled-down surrogates lack the degree \
+    report.note(
+        "{ub} alone can lose time here: the scaled-down surrogates lack the degree \
                  diversity that gives Eq.-6 its pruning power, so few pairs drop while \
-                 lookups become hashed (see EXPERIMENTS.md)");
+                 lookups become hashed (see EXPERIMENTS.md)",
+    );
     report
 }
 
@@ -78,7 +92,11 @@ mod tests {
         assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
             let combined = row.last().unwrap();
-            assert_ne!(combined, "skip", "{}: ub+theta must always complete", row[0]);
+            assert_ne!(
+                combined, "skip",
+                "{}: ub+theta must always complete",
+                row[0]
+            );
         }
     }
 }

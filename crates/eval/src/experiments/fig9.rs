@@ -44,7 +44,9 @@ pub fn run_threads(opts: &ExpOpts) -> Report {
     }
     report.note(format!(
         "host has {} cores; paper reports 15-17x speedup at 32 threads on 2x20 cores",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     ));
     report
 }

@@ -3,7 +3,7 @@
 
 use crate::opts::ExpOpts;
 use crate::report::Report;
-use fsim_core::{compute, FsimConfig, MatcherKind, Variant};
+use fsim_core::{FsimConfig, FsimEngine, MatcherKind, Variant};
 use fsim_exact::{simulation_relation, ExactVariant};
 use fsim_graph::examples::figure1;
 use fsim_labels::LabelFn;
@@ -25,16 +25,19 @@ pub fn run(opts: &ExpOpts) -> Report {
         "Exact verdict and FSim score for (u, v1..v4) on Figure 1",
         &["variant", "(u,v1)", "(u,v2)", "(u,v3)", "(u,v4)"],
     );
+    // One engine session serves all four variants: the label alignment and
+    // the |V1|×|V2| candidate store are built once and reused per rerun.
+    let mut cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    cfg.matcher = MatcherKind::Hungarian; // exact mapping ⇒ P2 holds exactly
+    cfg.threads = opts.threads.min(4);
+    let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg).expect("valid config");
     for variant in Variant::ALL {
-        let mut cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
-        cfg.matcher = MatcherKind::Hungarian; // exact mapping ⇒ P2 holds exactly
-        cfg.threads = opts.threads.min(4);
-        let scores = compute(&f.pattern, &f.data, &cfg).expect("valid config");
+        engine.rerun(|c| c.variant = variant).expect("valid config");
         let relation = simulation_relation(&f.pattern, &f.data, exact_of(variant));
         let mut cells = vec![format!("{variant}-simulation")];
         for &v in &f.v {
             let mark = if relation.contains(f.u, v) { "Y" } else { "x" };
-            let s = scores.get(f.u, v).expect("maintained pair");
+            let s = engine.get(f.u, v).expect("maintained pair");
             cells.push(format!("{mark} ({s:.2})"));
         }
         report.row(cells);

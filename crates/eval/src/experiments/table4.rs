@@ -11,7 +11,17 @@ pub fn run(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "table4",
         "Dataset statistics: paper original vs generated surrogate",
-        &["dataset", "|V| paper", "|V| ours", "|E| paper", "|E| ours", "|Sigma| ours", "d", "D+", "D-"],
+        &[
+            "dataset",
+            "|V| paper",
+            "|V| ours",
+            "|E| paper",
+            "|E| ours",
+            "|Sigma| ours",
+            "d",
+            "D+",
+            "D-",
+        ],
     );
     for spec in &TABLE4 {
         let g = spec.generate_scaled(0.5 * opts.scale, opts.seed);

@@ -82,12 +82,20 @@ fn venue_author_counts(d: &Dbis, normalize: bool) -> PathCounts {
         let mut frontier: fsim_graph::FxHashMap<NodeId, f64> = fsim_graph::FxHashMap::default();
         frontier.insert(src, 1.0);
         // Steps: In(P), In(any=author), Out(P), Out(V).
-        let steps: [(bool, Option<fsim_graph::LabelId>); 4] =
-            [(false, Some(p_label)), (false, None), (true, Some(p_label)), (true, Some(v_label))];
+        let steps: [(bool, Option<fsim_graph::LabelId>); 4] = [
+            (false, Some(p_label)),
+            (false, None),
+            (true, Some(p_label)),
+            (true, Some(v_label)),
+        ];
         for (out, want) in steps {
             let mut next: fsim_graph::FxHashMap<NodeId, f64> = fsim_graph::FxHashMap::default();
             for (&node, &w) in &frontier {
-                let neigh = if out { g.out_neighbors(node) } else { g.in_neighbors(node) };
+                let neigh = if out {
+                    g.out_neighbors(node)
+                } else {
+                    g.in_neighbors(node)
+                };
                 let eligible: Vec<NodeId> = neigh
                     .iter()
                     .copied()
@@ -96,7 +104,11 @@ fn venue_author_counts(d: &Dbis, normalize: bool) -> PathCounts {
                 if eligible.is_empty() {
                     continue;
                 }
-                let w = if normalize { w / eligible.len() as f64 } else { w };
+                let w = if normalize {
+                    w / eligible.len() as f64
+                } else {
+                    w
+                };
                 for m in eligible {
                     *next.entry(m).or_insert(0.0) += w;
                 }
@@ -131,15 +143,21 @@ pub fn run_table7(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "table7",
         "Top-5 venues most similar to WWW (DBIS surrogate)",
-        &["rank", "PCRW", "PathSim", "JoinSim", "nSimGram", "FSimb", "FSimbj"],
+        &[
+            "rank", "PCRW", "PathSim", "JoinSim", "nSimGram", "FSimb", "FSimbj",
+        ],
     );
-    let tops: Vec<Vec<NodeId>> =
-        scorers.iter().map(|s| ranked_venues(&d, s, d.www, 5)).collect();
+    let tops: Vec<Vec<NodeId>> = scorers
+        .iter()
+        .map(|s| ranked_venues(&d, s, d.www, 5))
+        .collect();
     for rank in 0..5 {
         let mut cells = vec![(rank + 1).to_string()];
         for top in &tops {
             cells.push(
-                top.get(rank).map(|&v| d.name_of(v).to_string()).unwrap_or_else(|| "-".into()),
+                top.get(rank)
+                    .map(|&v| d.name_of(v).to_string())
+                    .unwrap_or_else(|| "-".into()),
             );
         }
         report.row(cells);
@@ -185,7 +203,11 @@ mod tests {
     use super::*;
 
     fn small_dbis() -> (Dbis, ExpOpts) {
-        let opts = ExpOpts { scale: 1.0, threads: 2, seed: 7 };
+        let opts = ExpOpts {
+            scale: 1.0,
+            threads: 2,
+            seed: 7,
+        };
         let d = dbis(
             &DbisConfig {
                 areas: 4,
@@ -207,7 +229,10 @@ mod tests {
         let scorers = build_scorers(&d, &opts);
         let top = ranked_venues(&d, &scorers[5], d.www, 5);
         let hit = d.www_dups.iter().filter(|dup| top.contains(dup)).count();
-        assert!(hit >= 1, "FSimbj should surface WWW duplicates, top = {top:?}");
+        assert!(
+            hit >= 1,
+            "FSimbj should surface WWW duplicates, top = {top:?}"
+        );
     }
 
     #[test]
@@ -236,6 +261,9 @@ mod tests {
         let scorers = build_scorers(&d, &opts);
         let top = ranked_venues(&d, &scorers[1], d.www, 3);
         // At least one same-area venue (relevance 2) in the top 3.
-        assert!(top.iter().any(|&v| d.relevance(d.www, v) == 2), "top = {top:?}");
+        assert!(
+            top.iter().any(|&v| d.relevance(d.www, v) == 2),
+            "top = {top:?}"
+        );
     }
 }

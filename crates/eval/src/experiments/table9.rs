@@ -16,7 +16,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn fsim_cfg(variant: Variant, opts: &ExpOpts) -> FsimConfig {
-    FsimConfig::new(variant).label_fn(LabelFn::Indicator).theta(1.0).threads(opts.threads)
+    FsimConfig::new(variant)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0)
+        .threads(opts.threads)
 }
 
 fn seeds_from_gt(gt: &[Option<NodeId>], count: usize) -> Vec<(NodeId, NodeId)> {
@@ -56,7 +59,9 @@ pub fn run(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "table9",
         "Alignment F1 (%) on evolving-graph surrogate",
-        &["graphs", "2-bisim", "4-bisim", "Olap", "GSA-NA", "FINAL", "EWS", "FSimb", "FSimbj"],
+        &[
+            "graphs", "2-bisim", "4-bisim", "Olap", "GSA-NA", "FINAL", "EWS", "FSimb", "FSimbj",
+        ],
     );
     for (name, ga, gb, gt) in [("G1-G2", &g1, &g2, &gt12), ("G1-G3", &g1, &g3, &gt13)] {
         let scores = score_all(ga, gb, gt, opts);
@@ -64,7 +69,8 @@ pub fn run(opts: &ExpOpts) -> Report {
         cells.extend(scores.iter().map(|s| format!("{:.1}", 100.0 * s)));
         report.row(cells);
     }
-    report.note("entities carry 8 labels; edges reified through 23 relation types (RDF edge labels)");
+    report
+        .note("entities carry 8 labels; edges reified through 23 relation types (RDF edge labels)");
     report.note("plain (exact) bisimulation aligns 0% — no exact relation across versions");
     report.note("EWS receives 20 ground-truth seed pairs (as the seed-based method requires)");
     report.note("paper: FSimb ~97%, FSimbj ~96%, EWS ~70%, FINAL ~55%, others far below");

@@ -38,7 +38,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// 0-fallback for the pruned complement would measure the pruning rate,
 /// not score fidelity).
 pub fn result_correlation(a: &FsimResult, b: &FsimResult) -> f64 {
-    let (small, large) = if a.pair_count() <= b.pair_count() { (a, b) } else { (b, a) };
+    let (small, large) = if a.pair_count() <= b.pair_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let mut xs = Vec::with_capacity(small.pair_count());
     let mut ys = Vec::with_capacity(small.pair_count());
     for (u, v, s) in small.iter_pairs() {

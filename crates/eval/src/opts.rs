@@ -16,7 +16,9 @@ impl Default for ExpOpts {
     fn default() -> Self {
         Self {
             scale: 1.0,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             seed: 42,
         }
     }
@@ -25,7 +27,10 @@ impl Default for ExpOpts {
 impl ExpOpts {
     /// A fast configuration for smoke tests and CI.
     pub fn quick() -> Self {
-        Self { scale: 0.25, ..Self::default() }
+        Self {
+            scale: 0.25,
+            ..Self::default()
+        }
     }
 
     /// The NELL-like sensitivity workhorse graph (§5.2 uses NELL for all

@@ -1,10 +1,10 @@
 //! Textual experiment reports mirroring the paper's tables and figure
 //! series.
 
-use serde::Serialize;
+use fsim_graph::io::escape_json;
 
 /// One regenerated table/figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id (`table2`, `fig4a`, …).
     pub id: String,
@@ -39,6 +39,32 @@ impl Report {
     pub fn note(&mut self, n: impl Into<String>) {
         self.notes.push(n.into());
     }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        fn string_array(items: &[String]) -> String {
+            let quoted: Vec<String> = items
+                .iter()
+                .map(|s| format!("\"{}\"", escape_json(s)))
+                .collect();
+            format!("[{}]", quoted.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| string_array(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            escape_json(&self.id),
+            escape_json(&self.title),
+            string_array(&self.headers),
+            rows.join(","),
+            string_array(&self.notes),
+        )
+    }
+}
+
+/// Serializes a report list as a JSON array (the `fsim-exp --json` output).
+pub fn reports_to_json(reports: &[Report]) -> String {
+    let items: Vec<String> = reports.iter().map(Report::to_json).collect();
+    format!("[{}]", items.join(","))
 }
 
 impl std::fmt::Display for Report {
@@ -121,9 +147,13 @@ mod tests {
 
     #[test]
     fn report_serializes_to_json() {
-        let mut r = Report::new("t", "title", &["a"]);
+        let mut r = Report::new("t", "ti\"tle", &["a"]);
         r.row(["1".to_string()]);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"id\":\"t\""));
+        let json = r.to_json();
+        assert!(json.contains("\"id\":\"t\""), "got: {json}");
+        assert!(json.contains("ti\\\"tle"), "escaping lost: {json}");
+        assert!(json.contains("\"rows\":[[\"1\"]]"), "got: {json}");
+        let list = reports_to_json(&[r.clone(), r]);
+        assert!(list.starts_with('[') && list.ends_with(']'));
     }
 }

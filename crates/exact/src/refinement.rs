@@ -205,10 +205,16 @@ mod tests {
         let fwd = simulation_relation(&g1, &g2, ExactVariant::Bi);
         let bwd = simulation_relation(&g2, &g1, ExactVariant::Bi);
         for (u, v) in fwd.pairs() {
-            assert!(bwd.contains(v, u), "converse invariant violated at ({u},{v})");
+            assert!(
+                bwd.contains(v, u),
+                "converse invariant violated at ({u},{v})"
+            );
         }
         for (v, u) in bwd.pairs() {
-            assert!(fwd.contains(u, v), "converse invariant violated at ({v},{u})");
+            assert!(
+                fwd.contains(u, v),
+                "converse invariant violated at ({v},{u})"
+            );
         }
     }
 

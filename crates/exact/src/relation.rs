@@ -22,7 +22,9 @@ impl Relation {
 
     /// An empty relation over `n1` left nodes.
     pub fn empty(n1: usize) -> Self {
-        Self { forward: vec![FxHashSet::default(); n1] }
+        Self {
+            forward: vec![FxHashSet::default(); n1],
+        }
     }
 
     /// Whether `(u, v) ∈ R`.

@@ -29,7 +29,11 @@ pub struct StrongMatch {
 /// candidates are restricted to data nodes carrying a query label, and
 /// balls whose label set cannot cover the query's are rejected before the
 /// fixpoint.
-pub fn strong_simulation_matches(query: &Graph, data: &Graph, variant: ExactVariant) -> Vec<StrongMatch> {
+pub fn strong_simulation_matches(
+    query: &Graph,
+    data: &Graph,
+    variant: ExactVariant,
+) -> Vec<StrongMatch> {
     strong_simulation_matches_limit(query, data, variant, usize::MAX)
 }
 
@@ -55,10 +59,8 @@ pub fn strong_simulation_matches_limit(
         }
         let ball_nodes = ball(data, center, delta);
         // Cheap precheck: every query label must occur in the ball.
-        let ball_labels: crate::relation::LabelSet = ball_nodes
-            .iter()
-            .map(|&v| data.label_str(v))
-            .collect();
+        let ball_labels: crate::relation::LabelSet =
+            ball_nodes.iter().map(|&v| data.label_str(v)).collect();
         if !query_labels.iter().all(|l| ball_labels.contains(l)) {
             continue;
         }

@@ -108,14 +108,10 @@ mod tests {
     fn classic_wl_blind_spot_passes() {
         // Two 3-cycles vs one 6-cycle: non-isomorphic but WL-equivalent —
         // the canonical counterexample to WL completeness.
-        let two_triangles = graph_from_parts(
-            &["x"; 6],
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        );
-        let hexagon = graph_from_parts(
-            &["x"; 6],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
-        );
+        let two_triangles =
+            graph_from_parts(&["x"; 6], &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let hexagon =
+            graph_from_parts(&["x"; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         assert!(wl_test(&two_triangles, &hexagon));
     }
 

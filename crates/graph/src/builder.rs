@@ -31,7 +31,11 @@ impl GraphBuilder {
 
     /// A builder using (and extending) a shared interner.
     pub fn with_interner(interner: Arc<LabelInterner>) -> Self {
-        Self { interner, labels: Vec::new(), edges: Vec::new() }
+        Self {
+            interner,
+            labels: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-reserves space for `nodes`/`edges` insertions.

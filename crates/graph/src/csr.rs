@@ -24,7 +24,10 @@ impl Csr {
 
     /// Builds a CSR from an edge list that is already sorted and deduplicated.
     pub fn from_sorted_dedup_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly sorted");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly sorted"
+        );
         let mut offsets = vec![0u32; n + 1];
         for &(s, _) in edges {
             offsets[s as usize + 1] += 1;
@@ -70,7 +73,10 @@ impl Csr {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|u| self.degree(u as u32)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|u| self.degree(u as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over all `(source, target)` edges in sorted order.

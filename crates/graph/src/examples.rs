@@ -76,7 +76,12 @@ pub fn figure1() -> Figure1 {
     d.add_edge(v4, v4p);
     let data = d.build();
 
-    Figure1 { pattern, data, u, v: [v1, v2, v3, v4] }
+    Figure1 {
+        pattern,
+        data,
+        u,
+        v: [v1, v2, v3, v4],
+    }
 }
 
 /// The poster-plagiarism motivating example of Figure 2.
@@ -104,7 +109,15 @@ pub fn figure2() -> Figure2 {
 
     let mut q = GraphBuilder::with_interner(Arc::clone(&interner));
     let p = q.add_node("Poster");
-    for elem in ["Person(embed)", "Comic", "Arial", "Brown", "Purple", "Black", "Italic"] {
+    for elem in [
+        "Person(embed)",
+        "Comic",
+        "Arial",
+        "Brown",
+        "Purple",
+        "Black",
+        "Italic",
+    ] {
         let e = q.add_node(elem);
         q.add_edge(p, e);
     }
@@ -121,13 +134,25 @@ pub fn figure2() -> Figure2 {
     };
     let p1 = add_poster(
         &mut d,
-        &["Person(embed)", "Times", "Arial", "Brown", "Purple", "Black"],
+        &[
+            "Person(embed)",
+            "Times",
+            "Arial",
+            "Brown",
+            "Purple",
+            "Black",
+        ],
     );
     let p2 = add_poster(&mut d, &["Person(notembed)", "Bradley", "Blue", "Yellow"]);
     let p3 = add_poster(&mut d, &["Person(notembed)", "Arial", "White", "Black"]);
     let data = d.build();
 
-    Figure2 { query, data, p, posters: [p1, p2, p3] }
+    Figure2 {
+        query,
+        data,
+        p,
+        posters: [p1, p2, p3],
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf over empty domain");
         let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
-        Self { dist: WeightedIndex::new(weights).expect("valid Zipf weights") }
+        Self {
+            dist: WeightedIndex::new(weights).expect("valid Zipf weights"),
+        }
     }
 
     /// Samples a rank in `0..n`.
@@ -56,7 +58,13 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A config with uniform labels and the default `"L"` prefix.
     pub fn new(nodes: usize, edges: usize, labels: usize) -> Self {
-        Self { nodes, edges, labels, label_skew: 0.8, label_prefix: "L".to_string() }
+        Self {
+            nodes,
+            edges,
+            labels,
+            label_skew: 0.8,
+            label_prefix: "L".to_string(),
+        }
     }
 
     /// Sets the Zipf label skew.
@@ -75,7 +83,9 @@ fn assign_labels<R: Rng + ?Sized>(
         .map(|i| b.interner().intern(&format!("{}{}", cfg.label_prefix, i)))
         .collect();
     let zipf = Zipf::new(cfg.labels, cfg.label_skew);
-    (0..cfg.nodes).map(|_| b.add_node_with_id(label_ids[zipf.sample(rng)])).collect()
+    (0..cfg.nodes)
+        .map(|_| b.add_node_with_id(label_ids[zipf.sample(rng)]))
+        .collect()
 }
 
 /// Uniform random digraph `G(n, m)`: `m` distinct directed edges drawn
@@ -90,7 +100,10 @@ pub fn gnm_with_interner<R: Rng + ?Sized>(
     interner: Arc<LabelInterner>,
     rng: &mut R,
 ) -> Graph {
-    assert!(cfg.nodes >= 2 || cfg.edges == 0, "need >= 2 nodes for edges");
+    assert!(
+        cfg.nodes >= 2 || cfg.edges == 0,
+        "need >= 2 nodes for edges"
+    );
     let max_edges = cfg.nodes.saturating_mul(cfg.nodes.saturating_sub(1));
     let m = cfg.edges.min(max_edges);
     let mut b = GraphBuilder::with_interner(interner);
@@ -214,7 +227,10 @@ mod tests {
         let cfg = GeneratorConfig::new(30, 60, 4);
         let g1 = gnm(&cfg, &mut ChaCha8Rng::seed_from_u64(42));
         let g2 = gnm(&cfg, &mut ChaCha8Rng::seed_from_u64(42));
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
         assert_eq!(g1.labels(), g2.labels());
     }
 }

@@ -30,7 +30,12 @@ impl Graph {
     ) -> Self {
         debug_assert_eq!(labels.len(), out.node_count());
         debug_assert_eq!(labels.len(), inn.node_count());
-        Self { labels, out, inn, interner }
+        Self {
+            labels,
+            out,
+            inn,
+            interner,
+        }
     }
 
     /// `|V|`.

@@ -10,8 +10,7 @@
 //! to string equality across graphs.
 
 use crate::hash::FxHashMap;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A dense identifier for an interned label string.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,10 +52,16 @@ impl LabelInterner {
 
     /// Interns `label`, returning its id (allocating a new one if unseen).
     pub fn intern(&self, label: &str) -> LabelId {
-        if let Some(&id) = self.inner.read().map.get(label) {
+        if let Some(&id) = self
+            .inner
+            .read()
+            .expect("interner lock poisoned")
+            .map
+            .get(label)
+        {
             return id;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("interner lock poisoned");
         if let Some(&id) = inner.map.get(label) {
             return id; // raced with another writer
         }
@@ -69,7 +74,12 @@ impl LabelInterner {
 
     /// Returns the id of `label` if it has been interned.
     pub fn get(&self, label: &str) -> Option<LabelId> {
-        self.inner.read().map.get(label).copied()
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .map
+            .get(label)
+            .copied()
     }
 
     /// Resolves `id` back to its string.
@@ -77,12 +87,16 @@ impl LabelInterner {
     /// # Panics
     /// Panics if `id` was not produced by this interner.
     pub fn resolve(&self, id: LabelId) -> Arc<str> {
-        Arc::clone(&self.inner.read().strings[id.index()])
+        Arc::clone(&self.inner.read().expect("interner lock poisoned").strings[id.index()])
     }
 
     /// Number of distinct labels interned so far (`|Σ|`).
     pub fn len(&self) -> usize {
-        self.inner.read().strings.len()
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .strings
+            .len()
     }
 
     /// Whether no labels have been interned.
@@ -92,7 +106,11 @@ impl LabelInterner {
 
     /// Snapshot of all interned labels in id order.
     pub fn all(&self) -> Vec<Arc<str>> {
-        self.inner.read().strings.clone()
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .strings
+            .clone()
     }
 }
 

@@ -10,7 +10,11 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::sync::Arc;
 
-fn rebuild(g: &Graph, labels: Vec<crate::interner::LabelId>, edges: Vec<(NodeId, NodeId)>) -> Graph {
+fn rebuild(
+    g: &Graph,
+    labels: Vec<crate::interner::LabelId>,
+    edges: Vec<(NodeId, NodeId)>,
+) -> Graph {
     let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
     for l in labels {
         b.add_node_with_id(l);
@@ -151,7 +155,10 @@ mod tests {
         assert_eq!(noisy.node_count(), g.node_count());
         // Some edges must actually have changed.
         let before = edge_set(&g);
-        let changed = noisy.edges().filter(|&(u, v)| !before.contains(&pair_key(u, v))).count();
+        let changed = noisy
+            .edges()
+            .filter(|&(u, v)| !before.contains(&pair_key(u, v)))
+            .count();
         assert!(changed > 0);
     }
 
@@ -160,7 +167,10 @@ mod tests {
         let g = base();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let same = structural_errors(&g, 0.0, &mut rng);
-        assert_eq!(same.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            same.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
         let same = label_errors(&g, 0.0, "?", &mut rng);
         assert_eq!(same.labels(), g.labels());
     }

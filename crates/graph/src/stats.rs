@@ -38,7 +38,11 @@ impl std::fmt::Display for GraphStats {
         write!(
             f,
             "|V|={} |E|={} |Σ|={} d={:.2} D+={} D-={}",
-            self.nodes, self.edges, self.labels, self.avg_degree, self.max_out_degree,
+            self.nodes,
+            self.edges,
+            self.labels,
+            self.avg_degree,
+            self.max_out_degree,
             self.max_in_degree
         )
     }

@@ -50,7 +50,11 @@ pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
             }
         }
     }
-    Subgraph { graph: b.build(), to_parent, from_parent }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 #[cfg(test)]

@@ -60,15 +60,20 @@ pub fn khop_closure(g: &Graph, k: u32) -> Graph {
 /// dense `0..k`.
 pub fn quotient(g: &Graph, partition: &[u32]) -> (Graph, Vec<u32>) {
     assert_eq!(partition.len(), g.node_count(), "partition size mismatch");
-    let classes = partition.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let classes = partition
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     let mut representative: Vec<Option<u32>> = vec![None; classes];
     for (u, &c) in partition.iter().enumerate() {
         assert!((c as usize) < classes, "non-dense class id {c}");
         representative[c as usize].get_or_insert(u as u32);
     }
     let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
-    for c in 0..classes {
-        let rep = representative[c].expect("dense class ids have members");
+    for rep in &representative {
+        let rep = rep.expect("dense class ids have members");
         b.add_node_with_id(g.label(rep));
     }
     for (u, v) in g.edges() {
@@ -108,7 +113,10 @@ mod tests {
         let g = graph_from_parts(&["a", "b", "c"], &[(0, 1), (2, 1)]);
         let u1 = undirected(&g);
         let u2 = undirected(&u1);
-        assert_eq!(u1.edges().collect::<Vec<_>>(), u2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            u1.edges().collect::<Vec<_>>(),
+            u2.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -120,7 +128,10 @@ mod tests {
         assert_eq!(r.edge_count(), 2);
         // Double reversal is the identity.
         let rr = reverse(&r);
-        assert_eq!(rr.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            rr.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -161,7 +172,10 @@ mod tests {
         assert!(!k2.has_edge(0, 3), "3 hops exceeds k=2");
         assert!(k2.has_edge(1, 3));
         let k1 = khop_closure(&g, 1);
-        assert_eq!(k1.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert_eq!(
+            k1.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -31,6 +31,21 @@ impl std::fmt::Debug for LabelFn {
 }
 
 impl LabelFn {
+    /// Whether two label functions are observably the same similarity:
+    /// equal built-in variants, or the *same* custom implementation
+    /// (pointer identity — distinct instances may behave differently).
+    /// Used by engine sessions to decide whether a prepared table can be
+    /// reused across a reconfiguration.
+    pub fn same_as(&self, other: &LabelFn) -> bool {
+        match (self, other) {
+            (LabelFn::Indicator, LabelFn::Indicator) => true,
+            (LabelFn::EditDistance, LabelFn::EditDistance) => true,
+            (LabelFn::JaroWinkler, LabelFn::JaroWinkler) => true,
+            (LabelFn::Custom(a), LabelFn::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Resolves to a [`LabelSim`] implementation.
     pub fn as_sim(&self) -> Arc<dyn LabelSim> {
         match self {
@@ -45,7 +60,10 @@ impl LabelFn {
     /// lookup. `Indicator` takes a table-free fast path.
     pub fn prepare(&self, interner: &LabelInterner) -> PreparedLabelSim {
         match self {
-            LabelFn::Indicator => PreparedLabelSim { table: None, n: interner.len() },
+            LabelFn::Indicator => PreparedLabelSim {
+                table: None,
+                n: interner.len(),
+            },
             other => {
                 let strings = interner.all();
                 let n = strings.len();
@@ -59,7 +77,10 @@ impl LabelFn {
                         table[j * n + i] = s;
                     }
                 }
-                PreparedLabelSim { table: Some(table), n }
+                PreparedLabelSim {
+                    table: Some(table),
+                    n,
+                }
             }
         }
     }
@@ -90,7 +111,10 @@ impl PreparedLabelSim {
                 }
             }
             Some(t) => {
-                debug_assert!(a.index() < self.n && b.index() < self.n, "label id out of range");
+                debug_assert!(
+                    a.index() < self.n && b.index() < self.n,
+                    "label id out of range"
+                );
                 t[a.index() * self.n + b.index()]
             }
         }

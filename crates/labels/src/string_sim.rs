@@ -201,13 +201,18 @@ mod tests {
 
     #[test]
     fn one_iff_equal_for_all_functions() {
-        let fns: [&dyn LabelSim; 3] = [&Indicator, &NormalizedEditDistance, &JaroWinkler::default()];
+        let fns: [&dyn LabelSim; 3] =
+            [&Indicator, &NormalizedEditDistance, &JaroWinkler::default()];
         let samples = ["", "a", "ab", "hex", "pent", "circle", "Person(embed)"];
         for f in fns {
             for x in samples {
                 for y in samples {
                     let s = f.sim(x, y);
-                    assert!((0.0..=1.0).contains(&s), "{} out of range on {x:?},{y:?}", f.name());
+                    assert!(
+                        (0.0..=1.0).contains(&s),
+                        "{} out of range on {x:?},{y:?}",
+                        f.name()
+                    );
                     if x == y {
                         assert_eq!(s, 1.0, "{} not 1 on equal {x:?}", f.name());
                     } else {
@@ -220,7 +225,8 @@ mod tests {
 
     #[test]
     fn all_functions_are_symmetric() {
-        let fns: [&dyn LabelSim; 3] = [&Indicator, &NormalizedEditDistance, &JaroWinkler::default()];
+        let fns: [&dyn LabelSim; 3] =
+            [&Indicator, &NormalizedEditDistance, &JaroWinkler::default()];
         let samples = ["kitten", "sitting", "MARTHA", "MARHTA", "", "x"];
         for f in fns {
             for x in samples {

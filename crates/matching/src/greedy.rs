@@ -125,8 +125,9 @@ mod tests {
     #[test]
     fn injectivity_holds() {
         let mut m = GreedyMatcher::new();
-        let mut edges: Vec<(f64, u32, u32)> =
-            (0..5).flat_map(|l| (0..3).map(move |r| (0.5, l, r))).collect();
+        let mut edges: Vec<(f64, u32, u32)> = (0..5)
+            .flat_map(|l| (0..3).map(move |r| (0.5, l, r)))
+            .collect();
         let (_, pairs) = m.assign_pairs(5, 3, &mut edges);
         assert_eq!(pairs.len(), 3); // limited by the smaller side
         let mut ls: Vec<_> = pairs.iter().map(|p| p.0).collect();
@@ -145,7 +146,11 @@ mod tests {
         let mut e1 = vec![(1.0, 0, 0)];
         assert_eq!(m.assign(1, 1, &mut e1).1, 1);
         let mut e2 = vec![(1.0, 0, 0)];
-        assert_eq!(m.assign(1, 1, &mut e2).1, 1, "second call must see fresh marks");
+        assert_eq!(
+            m.assign(1, 1, &mut e2).1,
+            1,
+            "second call must see fresh marks"
+        );
     }
 
     #[test]

@@ -13,13 +13,16 @@
 ///
 /// # Panics
 /// Panics if `n_left > n_right` or the weight slice has the wrong length.
-pub fn hungarian_max_weight(
-    n_left: usize,
-    n_right: usize,
-    weights: &[f64],
-) -> (f64, Vec<u32>) {
-    assert!(n_left <= n_right, "hungarian requires n_left <= n_right (pad or transpose)");
-    assert_eq!(weights.len(), n_left * n_right, "weight matrix shape mismatch");
+pub fn hungarian_max_weight(n_left: usize, n_right: usize, weights: &[f64]) -> (f64, Vec<u32>) {
+    assert!(
+        n_left <= n_right,
+        "hungarian requires n_left <= n_right (pad or transpose)"
+    );
+    assert_eq!(
+        weights.len(),
+        n_left * n_right,
+        "weight matrix shape mismatch"
+    );
     if n_left == 0 {
         return (0.0, Vec::new());
     }
@@ -133,7 +136,9 @@ mod tests {
     #[test]
     fn assignment_is_injective() {
         let n = 6;
-        let weights: Vec<f64> = (0..n * n).map(|k| ((k * 37 % 101) as f64) / 101.0).collect();
+        let weights: Vec<f64> = (0..n * n)
+            .map(|k| ((k * 37 % 101) as f64) / 101.0)
+            .collect();
         let (_, a) = hungarian_max_weight(n, n, &weights);
         let mut cols = a.clone();
         cols.sort_unstable();

@@ -13,7 +13,10 @@ pub struct DenseSim {
 impl DenseSim {
     /// Zero-filled matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Matrix filled by a function of `(u, v)`.

@@ -70,7 +70,9 @@ pub fn metapath_counts(g: &Graph, path: &MetaPath, normalize: bool) -> PathCount
     let n = g.node_count();
     let start_label = g.interner().get(&path.start);
     let mut rows: Vec<FxHashMap<NodeId, f64>> = vec![FxHashMap::default(); n];
-    let Some(start_label) = start_label else { return PathCounts { rows } };
+    let Some(start_label) = start_label else {
+        return PathCounts { rows };
+    };
 
     for src in g.nodes() {
         if g.label(src) != start_label {
@@ -87,12 +89,19 @@ pub fn metapath_counts(g: &Graph, path: &MetaPath, normalize: bool) -> PathCount
                         Dir::Out => g.out_neighbors(node),
                         Dir::In => g.in_neighbors(node),
                     };
-                    let eligible: Vec<NodeId> =
-                        neigh.iter().copied().filter(|&m| g.label(m) == target).collect();
+                    let eligible: Vec<NodeId> = neigh
+                        .iter()
+                        .copied()
+                        .filter(|&m| g.label(m) == target)
+                        .collect();
                     if eligible.is_empty() {
                         continue;
                     }
-                    let w = if normalize { weight / eligible.len() as f64 } else { weight };
+                    let w = if normalize {
+                        weight / eligible.len() as f64
+                    } else {
+                        weight
+                    };
                     for m in eligible {
                         *next.entry(m).or_insert(0.0) += w;
                     }
@@ -173,7 +182,12 @@ mod tests {
     fn vpapv() -> MetaPath {
         MetaPath::new(
             "V",
-            &[(Dir::In, "P"), (Dir::In, "A"), (Dir::Out, "P"), (Dir::Out, "V")],
+            &[
+                (Dir::In, "P"),
+                (Dir::In, "A"),
+                (Dir::Out, "P"),
+                (Dir::Out, "V"),
+            ],
         )
     }
 

@@ -128,8 +128,9 @@ mod tests {
     fn budget_caps_enumeration() {
         // Complete-ish digraph: budget must stop the DFS.
         let n = 8;
-        let edges: Vec<(u32, u32)> =
-            (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
         let labels = vec!["x"; n as usize];
         let g = graph_from_parts(&labels, &edges);
         let p = qgram_profiles(&g, 4, 50);

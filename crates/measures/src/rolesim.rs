@@ -107,7 +107,10 @@ mod tests {
         // Hub (degree 4) vs leaf (degree 1).
         let g = graph_from_parts(&["x"; 6], &[(0, 1), (0, 2), (0, 3), (0, 4), (5, 1)]);
         let r = rolesim(&g, 0.15, 1e-8, 100);
-        assert!(r.get(0, 5) < r.get(1, 2), "hub-vs-spoke must be less similar than leaf pair");
+        assert!(
+            r.get(0, 5) < r.get(1, 2),
+            "hub-vs-spoke must be less similar than leaf pair"
+        );
     }
 
     #[test]
@@ -139,6 +142,9 @@ mod tests {
         let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
         let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
         let r = cov / (vx.sqrt() * vy.sqrt());
-        assert!(r > 0.8, "framework RoleSim should correlate with native, r = {r}");
+        assert!(
+            r > 0.8,
+            "framework RoleSim should correlate with native, r = {r}"
+        );
     }
 }

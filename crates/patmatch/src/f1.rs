@@ -29,7 +29,11 @@ pub fn f1_sets(matched: &[NodeId], ground_truth: &[NodeId]) -> f64 {
 /// F1 of an assignment-style match against the ground truth: the assigned
 /// data nodes form the match set `φ`.
 pub fn f1_score(m: &Match, ground_truth: &[NodeId]) -> f64 {
-    assert_eq!(m.len(), ground_truth.len(), "match / ground-truth length mismatch");
+    assert_eq!(
+        m.len(),
+        ground_truth.len(),
+        "match / ground-truth length mismatch"
+    );
     let matched: Vec<NodeId> = m.iter().flatten().copied().collect();
     f1_sets(&matched, ground_truth)
 }

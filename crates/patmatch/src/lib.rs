@@ -14,10 +14,10 @@ pub mod query;
 
 pub use chisq::{chisq_matrix, chisq_similarity, label_frequencies};
 pub use f1::{f1_score, f1_sets};
-pub use matchers::{
-    fsim_match, gfinder_match, naga_match, seed_expand, strong_sim_match,
-    strong_sim_match_nodes, tspan_match, Match, SimMatrix,
-};
 pub use fsim_graph::LabelId;
 pub use matchers::count_exact_embeddings;
+pub use matchers::{
+    fsim_match, gfinder_match, naga_match, seed_expand, strong_sim_match, strong_sim_match_nodes,
+    tspan_match, Match, SimMatrix,
+};
 pub use query::{apply_noise, extract_query, extract_unique_query, QueryCase, Scenario};

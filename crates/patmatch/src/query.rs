@@ -73,7 +73,10 @@ pub fn extract_query<R: Rng + ?Sized>(data: &Graph, size: usize, rng: &mut R) ->
         }
         let sub = induced_subgraph(data, &picked);
         let ground_truth = sub.to_parent.clone();
-        return Some(QueryCase { query: sub.graph, ground_truth });
+        return Some(QueryCase {
+            query: sub.graph,
+            ground_truth,
+        });
     }
     None
 }
@@ -98,7 +101,11 @@ pub fn extract_unique_query<R: Rng + ?Sized>(
 }
 
 fn neighborhood(g: &Graph, u: NodeId) -> Vec<NodeId> {
-    g.out_neighbors(u).iter().chain(g.in_neighbors(u)).copied().collect()
+    g.out_neighbors(u)
+        .iter()
+        .chain(g.in_neighbors(u))
+        .copied()
+        .collect()
 }
 
 /// Applies the scenario's noise to a query (ground truth is unchanged —
@@ -125,7 +132,11 @@ pub fn apply_noise<R: Rng + ?Sized>(
     };
     let mut labels: Vec<_> = q.labels().to_vec();
     if label {
-        let alphabet = if alphabet.is_empty() { q.used_labels() } else { alphabet.to_vec() };
+        let alphabet = if alphabet.is_empty() {
+            q.used_labels()
+        } else {
+            alphabet.to_vec()
+        };
         let max_k = (((q.node_count() as f64) * noise_ratio).round() as usize).max(1);
         let k = rng.gen_range(1..=max_k);
         let mut ids: Vec<NodeId> = q.nodes().collect();
@@ -162,7 +173,10 @@ pub fn apply_noise<R: Rng + ?Sized>(
             }
         }
     }
-    QueryCase { query: b.build(), ground_truth: case.ground_truth.clone() }
+    QueryCase {
+        query: b.build(),
+        ground_truth: case.ground_truth.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +222,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let case = extract_query(&g, 5, &mut rng).unwrap();
         let same = apply_noise(&case, Scenario::Exact, 0.33, &[], &mut rng);
-        assert_eq!(same.query.edges().collect::<Vec<_>>(), case.query.edges().collect::<Vec<_>>());
+        assert_eq!(
+            same.query.edges().collect::<Vec<_>>(),
+            case.query.edges().collect::<Vec<_>>()
+        );
         assert_eq!(same.query.labels(), case.query.labels());
     }
 

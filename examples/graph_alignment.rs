@@ -13,22 +13,44 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let g1 = preferential(&GeneratorConfig::new(500, 1250, 8).label_skew(0.5), &mut rng);
+    let g1 = preferential(
+        &GeneratorConfig::new(500, 1250, 8).label_skew(0.5),
+        &mut rng,
+    );
     let (g2, ground_truth) = evolve(&g1, Churn::default(), &mut rng);
     println!("G1: {}", GraphStats::of(&g1));
-    println!("G2: {} (evolved: ~2% node churn, ~5% edge churn)", GraphStats::of(&g2));
+    println!(
+        "G2: {} (evolved: ~2% node churn, ~5% edge churn)",
+        GraphStats::of(&g2)
+    );
     println!();
 
     let cfg = FsimConfig::new(Variant::Bi)
         .label_fn(LabelFn::Indicator)
         .theta(1.0)
-        .threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
 
     let rows = [
-        ("FSimb (argmax)", alignment_f1(&fsim_align(&g1, &g2, &cfg), &ground_truth)),
-        ("4-bisimulation", alignment_f1(&kbisim_align(&g1, &g2, 4), &ground_truth)),
-        ("Olap-like (bisim partition)", alignment_f1(&olap_align(&g1, &g2), &ground_truth)),
-        ("GSA-NA-like (signatures)", alignment_f1(&gsa_na_align(&g1, &g2), &ground_truth)),
+        (
+            "FSimb (argmax)",
+            alignment_f1(&fsim_align(&g1, &g2, &cfg), &ground_truth),
+        ),
+        (
+            "4-bisimulation",
+            alignment_f1(&kbisim_align(&g1, &g2, 4), &ground_truth),
+        ),
+        (
+            "Olap-like (bisim partition)",
+            alignment_f1(&olap_align(&g1, &g2), &ground_truth),
+        ),
+        (
+            "GSA-NA-like (signatures)",
+            alignment_f1(&gsa_na_align(&g1, &g2), &ground_truth),
+        ),
     ];
     println!("{:<30} {:>8}", "aligner", "F1");
     for (name, f1) in rows {

@@ -27,9 +27,15 @@ fn main() {
             cases.push(case);
         }
     }
-    println!("{} uniquely-embeddable queries extracted (ground truth known).", cases.len());
+    println!(
+        "{} uniquely-embeddable queries extracted (ground truth known).",
+        cases.len()
+    );
     println!();
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "scenario", "StrongSim", "TSpan-3", "NAGA", "FSims");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "scenario", "StrongSim", "TSpan-3", "NAGA", "FSims"
+    );
 
     let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
     let alphabet = data.used_labels();

@@ -11,14 +11,20 @@ use fsim_graph::examples::figure2;
 
 fn main() {
     let f = figure2();
-    println!("Candidate poster P with {} design elements.", f.query.out_degree(f.p));
+    println!(
+        "Candidate poster P with {} design elements.",
+        f.query.out_degree(f.p)
+    );
     println!();
 
     let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
     let scores = compute(&f.query, &f.data, &cfg).expect("valid configuration");
     let relation = simulation_relation(&f.query, &f.data, ExactVariant::Simple);
 
-    println!("{:<8} {:>16} {:>14}", "poster", "exact simulation", "FSims score");
+    println!(
+        "{:<8} {:>16} {:>14}",
+        "poster", "exact simulation", "FSims score"
+    );
     let mut ranked: Vec<(usize, f64)> = f
         .posters
         .iter()
@@ -29,7 +35,11 @@ fn main() {
 
     for (i, score) in &ranked {
         let poster = f.posters[*i];
-        let exact = if relation.contains(f.p, poster) { "yes" } else { "no" };
+        let exact = if relation.contains(f.p, poster) {
+            "yes"
+        } else {
+            "no"
+        };
         println!("{:<8} {:>16} {:>14.3}", format!("P{}", i + 1), exact, score);
     }
 
@@ -41,5 +51,8 @@ fn main() {
         top + 1,
         score
     );
-    assert!(ranked[0].1 > ranked[1].1, "P1 must outrank the unrelated posters");
+    assert!(
+        ranked[0].1 > ranked[1].1,
+        "P1 must outrank the unrelated posters"
+    );
 }

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use fsim::core::FsimEngine;
 use fsim::prelude::*;
 use fsim_graph::examples::figure1;
 
@@ -14,18 +15,26 @@ fn main() {
     println!("Pattern: {}", GraphStats::of(&f.pattern));
     println!("Data:    {}", GraphStats::of(&f.data));
     println!();
-    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "variant", "(u,v1)", "(u,v2)", "(u,v3)", "(u,v4)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "variant", "(u,v1)", "(u,v2)", "(u,v3)", "(u,v4)"
+    );
 
+    // One engine session serves all four variants: label alignment and the
+    // candidate pairs are precomputed once, each variant is a rerun.
+    let mut cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    cfg.matcher = MatcherKind::Hungarian; // exact injective mapping
+    let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg).expect("valid configuration");
     for variant in Variant::ALL {
-        let mut cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
-        cfg.matcher = MatcherKind::Hungarian; // exact injective mapping
-        let scores = compute(&f.pattern, &f.data, &cfg).expect("valid configuration");
+        engine
+            .rerun(|c| c.variant = variant)
+            .expect("valid configuration");
         let relation = simulation_relation(&f.pattern, &f.data, exact_variant(variant));
 
         let mut row = format!("{:<16}", format!("{variant}-simulation"));
         for &v in &f.v {
             let exact = if relation.contains(f.u, v) { "Y" } else { "x" };
-            let frac = scores.get(f.u, v).expect("pair maintained");
+            let frac = engine.get(f.u, v).expect("pair maintained");
             row.push_str(&format!(" {:>12}", format!("{exact} ({frac:.2})")));
         }
         println!("{row}");

@@ -10,12 +10,18 @@ use fsim::prelude::*;
 use fsim_datasets::DatasetSpec;
 
 fn main() {
-    let g = DatasetSpec::by_name("Yeast").expect("spec").generate_scaled(0.5, 7);
+    let g = DatasetSpec::by_name("Yeast")
+        .expect("spec")
+        .generate_scaled(0.5, 7);
     println!("Graph: {}", GraphStats::of(&g));
 
     let cfg = FsimConfig::new(Variant::Bijective)
         .label_fn(LabelFn::Indicator)
-        .threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
     let k = 10;
     let result = top_k_search(&g, &g, &cfg, k, true);
 

@@ -4,34 +4,52 @@
 //!
 //! Run with: `cargo run --release --example venue_similarity`
 
+use fsim::core::FsimEngine;
 use fsim::prelude::*;
 use fsim_datasets::{dbis, DbisConfig};
 
 fn main() {
     let d = dbis(&DbisConfig::default(), 42);
     println!("DBIS surrogate: {}", GraphStats::of(&d.graph));
-    println!("{} venues across 15 areas (+{} WWW duplicates)", d.venues.len(), d.www_dups.len());
+    println!(
+        "{} venues across 15 areas (+{} WWW duplicates)",
+        d.venues.len(),
+        d.www_dups.len()
+    );
     println!();
 
+    // One session over the DBIS graph; the second variant is a rerun that
+    // reuses the θ-pruned candidate store.
+    let cfg = FsimConfig::new(Variant::Bi)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0)
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
+    let mut engine = FsimEngine::new(&d.graph, &d.graph, &cfg).expect("valid configuration");
     for variant in [Variant::Bi, Variant::Bijective] {
-        let cfg = FsimConfig::new(variant)
-            .label_fn(LabelFn::Indicator)
-            .theta(1.0)
-            .threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-        let result = compute(&d.graph, &d.graph, &cfg).expect("valid configuration");
+        engine
+            .rerun(|c| c.variant = variant)
+            .expect("valid configuration");
 
         let mut scored: Vec<(NodeId, f64)> = d
             .venues
             .iter()
             .copied()
             .filter(|&v| v != d.www)
-            .map(|v| (v, result.get(d.www, v).unwrap_or(0.0)))
+            .map(|v| (v, engine.get(d.www, v).unwrap_or(0.0)))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
         println!("Top-5 venues most similar to WWW by FSim{variant}:");
         for (rank, (v, s)) in scored.iter().take(5).enumerate() {
-            let marker = if d.www_dups.contains(v) { "  <- WWW duplicate" } else { "" };
+            let marker = if d.www_dups.contains(v) {
+                "  <- WWW duplicate"
+            } else {
+                ""
+            };
             println!("  {}. {:<10} {:.4}{marker}", rank + 1, d.name_of(*v), s);
         }
         println!();

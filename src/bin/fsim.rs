@@ -84,11 +84,18 @@ impl<'a> Args<'a> {
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| *n == name).and_then(|(_, v)| *v)
+        self.flags
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
     }
 
     fn flags_all(&self, name: &str) -> Vec<&str> {
-        self.flags.iter().filter(|(n, _)| *n == name).filter_map(|(_, v)| *v).collect()
+        self.flags
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .filter_map(|(_, v)| *v)
+            .collect()
     }
 }
 
@@ -124,7 +131,9 @@ fn parse_variant(s: Option<&str>) -> Result<Variant, String> {
 }
 
 fn parse_pair(s: &str) -> Result<(u32, u32), String> {
-    let (a, b) = s.split_once(',').ok_or_else(|| format!("bad pair {s:?} (want U,V)"))?;
+    let (a, b) = s
+        .split_once(',')
+        .ok_or_else(|| format!("bad pair {s:?} (want U,V)"))?;
     Ok((
         a.trim().parse().map_err(|_| format!("bad node id {a:?}"))?,
         b.trim().parse().map_err(|_| format!("bad node id {b:?}"))?,
@@ -145,7 +154,9 @@ fn build_config(a: &Args<'_>) -> Result<FsimConfig, String> {
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let a = Args::parse(args);
-    let [path] = a.positional[..] else { return Err("usage: fsim stats <graph>".into()) };
+    let [path] = a.positional[..] else {
+        return Err("usage: fsim stats <graph>".into());
+    };
     let g = load_graph(path)?;
     println!("{}", GraphStats::of(&g));
     Ok(())
@@ -156,8 +167,16 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let name = a.flag("dataset").ok_or("--dataset NAME is required")?;
     let spec = fsim::datasets::DatasetSpec::by_name(name)
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
-    let scale: f64 = a.flag("scale").unwrap_or("1.0").parse().map_err(|_| "bad --scale")?;
-    let seed: u64 = a.flag("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let scale: f64 = a
+        .flag("scale")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|_| "bad --scale")?;
+    let seed: u64 = a
+        .flag("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let g = spec.generate_scaled(scale, seed);
     let text = fsim::graph::io::to_text(&g);
     match a.flag("o") {
@@ -175,23 +194,37 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
     };
     let (g1, g2) = load_graph_pair(p1, p2)?;
     let cfg = build_config(&a)?;
-    let result = compute(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
+    // A session: --pair queries against pruned pairs reuse the cached
+    // label alignment instead of rebuilding it per pair.
+    let mut engine = fsim::core::FsimEngine::new(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
+    engine.run();
     eprintln!(
         "computed {} pairs in {} iterations (converged: {})",
-        result.pair_count(),
-        result.iterations,
-        result.converged
+        engine.pair_count(),
+        engine.iterations(),
+        engine.converged()
     );
     let pairs = a.flags_all("pair");
     if !pairs.is_empty() {
         for p in pairs {
             let (u, v) = parse_pair(p)?;
-            println!("FSim{}({u},{v}) = {:.6}", cfg.variant, result.score(u, v));
+            if u as usize >= g1.node_count() || v as usize >= g2.node_count() {
+                return Err(format!(
+                    "pair ({u},{v}) out of range: graphs have {} and {} nodes",
+                    g1.node_count(),
+                    g2.node_count()
+                ));
+            }
+            println!("FSim{}({u},{v}) = {:.6}", cfg.variant, engine.score(u, v));
         }
         return Ok(());
     }
-    let k: usize = a.flag("top").unwrap_or("10").parse().map_err(|_| "bad --top")?;
-    for (u, v, s) in fsim::core::top_k_pairs(&result, k, false) {
+    let k: usize = a
+        .flag("top")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad --top")?;
+    for (u, v, s) in engine.top_k(k, false) {
         println!("({u},{v}) {s:.6}");
     }
     Ok(())
@@ -222,14 +255,20 @@ fn cmd_exact(args: &[String]) -> Result<(), String> {
 
 fn cmd_topk(args: &[String]) -> Result<(), String> {
     let a = Args::parse(args);
-    let [path] = a.positional[..] else { return Err("usage: fsim topk <graph> [flags]".into()) };
+    let [path] = a.positional[..] else {
+        return Err("usage: fsim topk <graph> [flags]".into());
+    };
     let g = load_graph(path)?;
     let k: usize = a.flag("k").unwrap_or("10").parse().map_err(|_| "bad -k")?;
     let cfg = build_config(&a)?;
     let top = top_k_search(&g, &g, &cfg, k, true);
     eprintln!("certified: {} ({} passes)", top.certified, top.passes);
     for (u, v, s) in top.pairs {
-        println!("({u},{v}) {s:.6}  [{} / {}]", g.label_str(u), g.label_str(v));
+        println!(
+            "({u},{v}) {s:.6}  [{} / {}]",
+            g.label_str(u),
+            g.label_str(v)
+        );
     }
     Ok(())
 }
@@ -243,7 +282,9 @@ fn cmd_align(args: &[String]) -> Result<(), String> {
     let method = a.flag("method").unwrap_or("fsim");
     let alignment = match method {
         "fsim" => {
-            let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+            let cfg = FsimConfig::new(Variant::Bi)
+                .label_fn(LabelFn::Indicator)
+                .theta(1.0);
             fsim::align::fsim_align(&g1, &g2, &cfg)
         }
         "kbisim" => fsim::align::kbisim_align(&g1, &g2, 2),

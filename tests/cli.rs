@@ -13,7 +13,10 @@ fn write_sample_graphs(dir: &std::path::Path) -> (String, String) {
     let p2 = dir.join("g2.txt");
     std::fs::write(&p1, g1).unwrap();
     std::fs::write(&p2, g2).unwrap();
-    (p1.to_string_lossy().into_owned(), p2.to_string_lossy().into_owned())
+    (
+        p1.to_string_lossy().into_owned(),
+        p2.to_string_lossy().into_owned(),
+    )
 }
 
 fn tempdir() -> std::path::PathBuf {
@@ -41,7 +44,11 @@ fn score_pair_reports_exact_simulation_as_one() {
         .args(["score", &p1, &p2, "--variant", "s", "--pair", "0,0"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FSims(0,0) = 1.000000"), "got: {stdout}");
 }
@@ -51,7 +58,17 @@ fn exact_checks_pairs() {
     let dir = tempdir();
     let (p1, p2) = write_sample_graphs(&dir);
     let out = fsim_bin()
-        .args(["exact", &p1, &p2, "--variant", "bj", "--pair", "0,0", "--pair", "1,2"])
+        .args([
+            "exact",
+            &p1,
+            &p2,
+            "--variant",
+            "bj",
+            "--pair",
+            "0,0",
+            "--pair",
+            "1,2",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -80,12 +97,19 @@ fn generate_writes_parseable_graph() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&out_path).unwrap();
     let g = fsim::graph::io::from_text(&text).unwrap();
     assert!(g.node_count() > 10);
     // And stats works on the generated file.
-    let out = fsim_bin().args(["stats", out_path.to_str().unwrap()]).output().unwrap();
+    let out = fsim_bin()
+        .args(["stats", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
 }
 
@@ -93,8 +117,15 @@ fn generate_writes_parseable_graph() {
 fn topk_outputs_k_rows() {
     let dir = tempdir();
     let (_, p2) = write_sample_graphs(&dir);
-    let out = fsim_bin().args(["topk", &p2, "-k", "2", "--variant", "b"]).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = fsim_bin()
+        .args(["topk", &p2, "-k", "2", "--variant", "b"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.lines().count(), 2, "got: {stdout}");
 }
@@ -103,7 +134,10 @@ fn topk_outputs_k_rows() {
 fn align_maps_identical_graphs() {
     let dir = tempdir();
     let (p1, _) = write_sample_graphs(&dir);
-    let out = fsim_bin().args(["align", &p1, &p1, "--method", "fsim"]).output().unwrap();
+    let out = fsim_bin()
+        .args(["align", &p1, &p1, "--method", "fsim"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("0 -> 0"), "got: {stdout}");
@@ -121,7 +155,10 @@ fn unknown_command_fails_cleanly() {
 fn bad_variant_is_reported() {
     let dir = tempdir();
     let (p1, p2) = write_sample_graphs(&dir);
-    let out = fsim_bin().args(["score", &p1, &p2, "--variant", "zz"]).output().unwrap();
+    let out = fsim_bin()
+        .args(["score", &p1, &p2, "--variant", "zz"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown variant"));
 }

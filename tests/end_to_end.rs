@@ -19,7 +19,9 @@ fn pattern_matching_pipeline_recovers_exact_queries() {
     let mut perfect = 0;
     let mut total = 0;
     for _ in 0..6 {
-        let Some(case) = extract_unique_query(&data, 6, 5, &mut rng) else { continue };
+        let Some(case) = extract_unique_query(&data, 6, 5, &mut rng) else {
+            continue;
+        };
         let m = fsim_match(&case.query, &data, &cfg);
         if (f1_score(&m, &case.ground_truth) - 1.0).abs() < 1e-9 {
             perfect += 1;
@@ -27,7 +29,10 @@ fn pattern_matching_pipeline_recovers_exact_queries() {
         total += 1;
     }
     assert!(total >= 3, "should find unique queries");
-    assert_eq!(perfect, total, "unique exact queries must be fully recovered");
+    assert_eq!(
+        perfect, total,
+        "unique exact queries must be fully recovered"
+    );
 }
 
 #[test]
@@ -42,13 +47,19 @@ fn noisy_queries_still_mostly_recovered() {
         if total >= 4 {
             break;
         }
-        let Some(case) = extract_unique_query(&data, 7, 5, &mut rng) else { continue };
+        let Some(case) = extract_unique_query(&data, 7, 5, &mut rng) else {
+            continue;
+        };
         let noisy = apply_noise(&case, Scenario::Combined, 0.33, &alphabet, &mut rng);
         sum += f1_score(&fsim_match(&noisy.query, &data, &cfg), &noisy.ground_truth);
         total += 1;
     }
     assert!(total >= 3);
-    assert!(sum / total as f64 > 0.3, "FSim matching collapsed under noise: {}", sum / total as f64);
+    assert!(
+        sum / total as f64 > 0.3,
+        "FSim matching collapsed under noise: {}",
+        sum / total as f64
+    );
 }
 
 #[test]
@@ -56,7 +67,9 @@ fn alignment_pipeline_beats_kbisim_under_churn() {
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     let g1 = preferential(&GeneratorConfig::new(250, 650, 8).label_skew(0.5), &mut rng);
     let (g2, gt) = evolve(&g1, Churn::default(), &mut rng);
-    let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+    let cfg = FsimConfig::new(Variant::Bi)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0);
     let fsim_f1 = alignment_f1(&fsim_align(&g1, &g2, &cfg), &gt);
     let kbisim_f1 = alignment_f1(&kbisim_align(&g1, &g2, 2), &gt);
     assert!(
@@ -80,7 +93,9 @@ fn dbis_fsimbj_finds_duplicate_venues() {
         },
         3,
     );
-    let cfg = FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator).theta(1.0);
+    let cfg = FsimConfig::new(Variant::Bijective)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0);
     let r = compute(&d.graph, &d.graph, &cfg).unwrap();
     let mut scored: Vec<(NodeId, f64)> = d
         .venues
@@ -92,13 +107,18 @@ fn dbis_fsimbj_finds_duplicate_venues() {
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let top5: Vec<NodeId> = scored.iter().take(5).map(|&(v, _)| v).collect();
     let hits = d.www_dups.iter().filter(|dup| top5.contains(dup)).count();
-    assert!(hits >= 2, "expected WWW duplicates in FSimbj top-5, got {hits}");
+    assert!(
+        hits >= 2,
+        "expected WWW duplicates in FSimbj top-5, got {hits}"
+    );
 }
 
 #[test]
 fn score_on_demand_matches_engine_for_maintained_pairs() {
     let g = copurchase(60, 8, 11);
-    let cfg = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator).theta(1.0);
+    let cfg = FsimConfig::new(Variant::Bi)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0);
     let r = compute(&g, &g, &cfg).unwrap();
     for (u, v, s) in r.iter_pairs().take(50) {
         assert_eq!(score_on_demand(&g, &g, &cfg, &r, u, v), s);
@@ -114,7 +134,10 @@ fn simrank_framework_matches_native_on_random_graph() {
         for v in g.nodes() {
             let a = native.get(u, v);
             let b = framework.get(u, v).unwrap();
-            assert!((a - b).abs() < 1e-5, "SimRank mismatch at ({u},{v}): {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-5,
+                "SimRank mismatch at ({u},{v}): {a} vs {b}"
+            );
         }
     }
 }
@@ -160,5 +183,8 @@ fn figure2_poster_example_behaves_as_motivated() {
     }
     // …but P1 has the clearly highest fractional score.
     let s: Vec<f64> = f.posters.iter().map(|&p| r.get(f.p, p).unwrap()).collect();
-    assert!(s[0] > s[1] && s[0] > s[2], "P1 must be the top suspect: {s:?}");
+    assert!(
+        s[0] > s[1] && s[0] > s[2],
+        "P1 must be the top suspect: {s:?}"
+    );
 }

@@ -1,41 +1,43 @@
 //! Property-based tests of the framework's defining properties
 //! (Definition 4) and the theorems of §3–§4, on randomly generated graphs.
+//!
+//! Cases are generated from a seeded ChaCha8 stream (the environment
+//! vendors no property-testing framework); every failure message includes
+//! the case index, and re-running reproduces it deterministically.
 
 use fsim::prelude::*;
 use fsim_core::{kbisim_via_framework, LabelTermMode};
 use fsim_exact::{kbisim_signatures, wl_colors};
 use fsim_graph::graph_from_parts;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// A random small labeled digraph: up to `max_n` nodes over a 3-letter
 /// alphabet with arbitrary edges.
-fn arb_graph(max_n: usize) -> impl Strategy<Value = fsim_graph::Graph> {
-    (1..=max_n).prop_flat_map(move |n| {
-        let labels = proptest::collection::vec(0..3u8, n);
-        let edges = proptest::collection::vec((0..n, 0..n), 0..=(2 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            let names = ["a", "b", "c"];
-            let label_strs: Vec<&str> = labels.iter().map(|&l| names[l as usize]).collect();
-            let edge_list: Vec<(u32, u32)> =
-                edges.into_iter().map(|(u, v)| (u as u32, v as u32)).collect();
-            graph_from_parts(&label_strs, &edge_list)
-        })
-    })
+fn arb_graph(rng: &mut ChaCha8Rng, max_n: usize) -> fsim_graph::Graph {
+    let names = ["a", "b", "c"];
+    let n = rng.gen_range(1..=max_n);
+    let labels: Vec<&str> = (0..n).map(|_| names[rng.gen_range(0..3usize)]).collect();
+    let m = rng.gen_range(0..=(2 * n));
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+        .collect();
+    graph_from_parts(&labels, &edges)
 }
 
 /// Two random graphs over one shared interner.
-fn arb_graph_pair(max_n: usize) -> impl Strategy<Value = (fsim_graph::Graph, fsim_graph::Graph)> {
-    (arb_graph(max_n), arb_graph(max_n)).prop_map(|(g1, g2)| {
-        // graph_from_parts uses private interners; rebuild g2 on g1's.
-        let mut b = GraphBuilder::with_interner(std::sync::Arc::clone(g1.interner()));
-        for u in g2.nodes() {
-            b.add_node(&g2.label_str(u));
-        }
-        for (u, v) in g2.edges() {
-            b.add_edge(u, v);
-        }
-        (g1, b.build())
-    })
+fn arb_graph_pair(rng: &mut ChaCha8Rng, max_n: usize) -> (fsim_graph::Graph, fsim_graph::Graph) {
+    let g1 = arb_graph(rng, max_n);
+    let g2 = arb_graph(rng, max_n);
+    // arb_graph uses private interners; rebuild g2 on g1's.
+    let mut b = GraphBuilder::with_interner(std::sync::Arc::clone(g1.interner()));
+    for u in g2.nodes() {
+        b.add_node(&g2.label_str(u));
+    }
+    for (u, v) in g2.edges() {
+        b.add_edge(u, v);
+    }
+    (g1, b.build())
 }
 
 fn exact_config(variant: Variant) -> FsimConfig {
@@ -46,25 +48,40 @@ fn exact_config(variant: Variant) -> FsimConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+const CASES: usize = 48;
 
-    /// P1 (range): every score lies in [0, 1], for every variant.
-    #[test]
-    fn p1_scores_in_unit_range((g1, g2) in arb_graph_pair(7)) {
+/// Runs `check` on `CASES` seeded random cases.
+fn for_cases(seed: u64, check: impl Fn(usize, &mut ChaCha8Rng)) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for case in 0..CASES {
+        check(case, &mut rng);
+    }
+}
+
+/// P1 (range): every score lies in [0, 1], for every variant.
+#[test]
+fn p1_scores_in_unit_range() {
+    for_cases(101, |case, rng| {
+        let (g1, g2) = arb_graph_pair(rng, 7);
         for variant in Variant::ALL {
             let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
             let r = compute(&g1, &g2, &cfg).unwrap();
-            for (_, _, s) in r.iter_pairs() {
-                prop_assert!((0.0..=1.0).contains(&s));
+            for (u, v, s) in r.iter_pairs() {
+                assert!(
+                    (0.0..=1.0).contains(&s),
+                    "case {case} {variant}: FSim({u},{v}) = {s}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// P2 (simulation definiteness): `u ⇝χ v ⇔ FSimχ(u,v) = 1`, checked
-    /// against the independent fixpoint oracle.
-    #[test]
-    fn p2_simulation_definiteness((g1, g2) in arb_graph_pair(6)) {
+/// P2 (simulation definiteness): `u ⇝χ v ⇔ FSimχ(u,v) = 1`, checked
+/// against the independent fixpoint oracle.
+#[test]
+fn p2_simulation_definiteness() {
+    for_cases(202, |case, rng| {
+        let (g1, g2) = arb_graph_pair(rng, 6);
         for variant in Variant::ALL {
             let r = compute(&g1, &g2, &exact_config(variant)).unwrap();
             let oracle = simulation_relation(&g1, &g2, exact_variant(variant));
@@ -72,21 +89,28 @@ proptest! {
                 for v in g2.nodes() {
                     let s = r.get(u, v).unwrap();
                     if oracle.contains(u, v) {
-                        prop_assert!((s - 1.0).abs() < 1e-9,
-                            "{variant}: simulated ({u},{v}) scored {s}");
+                        assert!(
+                            (s - 1.0).abs() < 1e-9,
+                            "case {case} {variant}: simulated ({u},{v}) scored {s}"
+                        );
                     } else {
-                        prop_assert!(s < 1.0 - 1e-9,
-                            "{variant}: non-simulated ({u},{v}) scored {s}");
+                        assert!(
+                            s < 1.0 - 1e-9,
+                            "case {case} {variant}: non-simulated ({u},{v}) scored {s}"
+                        );
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// P3 (χ-conditional symmetry): converse-invariant variants produce
-    /// symmetric scores.
-    #[test]
-    fn p3_symmetry_for_converse_invariant_variants((g1, g2) in arb_graph_pair(6)) {
+/// P3 (χ-conditional symmetry): converse-invariant variants produce
+/// symmetric scores.
+#[test]
+fn p3_symmetry_for_converse_invariant_variants() {
+    for_cases(303, |case, rng| {
+        let (g1, g2) = arb_graph_pair(rng, 6);
         for variant in [Variant::Bi, Variant::Bijective] {
             let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
             let fwd = compute(&g1, &g2, &cfg).unwrap();
@@ -95,29 +119,42 @@ proptest! {
                 for v in g2.nodes() {
                     let a = fwd.get(u, v).unwrap();
                     let b = bwd.get(v, u).unwrap();
-                    prop_assert!((a - b).abs() < 1e-9,
-                        "{variant}: FSim({u},{v})={a} but FSim({v},{u})={b}");
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "case {case} {variant}: FSim({u},{v})={a} but FSim({v},{u})={b}"
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Parallel execution is bitwise identical to sequential.
-    #[test]
-    fn parallel_equals_sequential((g1, g2) in arb_graph_pair(6)) {
-        let seq = compute(&g1, &g2, &FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator)).unwrap();
-        let par = compute(&g1, &g2, &FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator).threads(3)).unwrap();
+/// Parallel execution is bitwise identical to sequential.
+#[test]
+fn parallel_equals_sequential() {
+    for_cases(404, |case, rng| {
+        let (g1, g2) = arb_graph_pair(rng, 6);
+        let cfg = FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator);
+        let seq = compute(&g1, &g2, &cfg).unwrap();
+        let par = compute(&g1, &g2, &cfg.clone().threads(3)).unwrap();
         for ((u1, v1, s1), (u2, v2, s2)) in seq.iter_pairs().zip(par.iter_pairs()) {
-            prop_assert_eq!((u1, v1), (u2, v2));
-            prop_assert_eq!(s1, s2);
+            assert_eq!((u1, v1), (u2, v2), "case {case}");
+            assert_eq!(
+                s1.to_bits(),
+                s2.to_bits(),
+                "case {case}: diverged at ({u1},{v1})"
+            );
         }
-    }
+    });
+}
 
-    /// The static upper bound of §3.4 really bounds the converged score.
-    #[test]
-    fn upper_bound_is_sound((g1, g2) in arb_graph_pair(6)) {
+/// The static upper bound of §3.4 really bounds the converged score.
+#[test]
+fn upper_bound_is_sound() {
+    for_cases(505, |case, rng| {
         use fsim_core::candidates::static_upper_bound;
         use fsim_core::operators::{LabelEval, OpCtx, VariantOp};
+        let (g1, g2) = arb_graph_pair(rng, 6);
         for variant in Variant::ALL {
             let cfg = FsimConfig::new(variant).label_fn(LabelFn::Indicator);
             let r = compute(&g1, &g2, &cfg).unwrap();
@@ -131,33 +168,46 @@ proptest! {
             let op = VariantOp::new(variant);
             for (u, v, s) in r.iter_pairs() {
                 let ub = static_upper_bound(&g1, &g2, &ctx, &cfg, &op, u, v);
-                prop_assert!(s <= ub + 1e-9, "{variant}: score {s} > ub {ub} at ({u},{v})");
+                assert!(
+                    s <= ub + 1e-9,
+                    "case {case} {variant}: score {s} > ub {ub} at ({u},{v})"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Theorem 4: `FSimᵏ_b(u,v) = 1 ⇔ u, v are k-bisimilar` (single graph,
-    /// out-neighbors only).
-    #[test]
-    fn theorem4_kbisimulation(g in arb_graph(7), k in 0usize..4) {
+/// Theorem 4: `FSimᵏ_b(u,v) = 1 ⇔ u, v are k-bisimilar` (single graph,
+/// out-neighbors only).
+#[test]
+fn theorem4_kbisimulation() {
+    for_cases(606, |case, rng| {
+        let g = arb_graph(rng, 7);
+        let k = rng.gen_range(0..4usize);
         let r = kbisim_via_framework(&g, k);
         let sig = kbisim_signatures(&g, k);
         for u in g.nodes() {
             for v in g.nodes() {
                 let one = (r.get(u, v).unwrap() - 1.0).abs() < 1e-9;
                 let bisimilar = sig[u as usize] == sig[v as usize];
-                prop_assert_eq!(one, bisimilar,
-                    "k={}: FSim^k_b({},{})={:?} vs sig-equal={}",
-                    k, u, v, r.get(u, v), bisimilar);
+                assert_eq!(
+                    one,
+                    bisimilar,
+                    "case {case} k={k}: FSim^k_b({u},{v})={:?} vs sig-equal={bisimilar}",
+                    r.get(u, v)
+                );
             }
         }
-    }
+    });
+}
 
-    /// Theorem 5: on undirected graphs, `FSimbj(u,v) = 1 ⇔ equal WL
-    /// colors` (assuming the WL refinement converged, which it does on
-    /// these small graphs).
-    #[test]
-    fn theorem5_weisfeiler_lehman(g in arb_graph(6)) {
+/// Theorem 5: on undirected graphs, `FSimbj(u,v) = 1 ⇔ equal WL colors`
+/// (assuming the WL refinement converged, which it does on these small
+/// graphs).
+#[test]
+fn theorem5_weisfeiler_lehman() {
+    for_cases(707, |case, rng| {
+        let g = arb_graph(rng, 6);
         let und = fsim_graph::transform::undirected(&g);
         let mut cfg = exact_config(Variant::Bijective);
         cfg.label_term = LabelTermMode::Sim;
@@ -167,46 +217,58 @@ proptest! {
             for v in und.nodes() {
                 let one = (r.get(u, v).unwrap() - 1.0).abs() < 1e-9;
                 let same_color = colors[u as usize] == colors[v as usize];
-                prop_assert_eq!(one, same_color,
-                    "WL mismatch at ({},{}): score={:?} same_color={}",
-                    u, v, r.get(u, v), same_color);
+                assert_eq!(
+                    one,
+                    same_color,
+                    "case {case}: WL mismatch at ({u},{v}): score={:?} same_color={same_color}",
+                    r.get(u, v)
+                );
             }
         }
-    }
+    });
+}
 
-    /// The exact strictness hierarchy of Figure 3(b): bj ⊆ dp ∩ b and
-    /// dp ∪ b ⊆ s.
-    #[test]
-    fn figure3b_strictness((g1, g2) in arb_graph_pair(6)) {
+/// The exact strictness hierarchy of Figure 3(b): bj ⊆ dp ∩ b and
+/// dp ∪ b ⊆ s.
+#[test]
+fn figure3b_strictness() {
+    for_cases(808, |case, rng| {
+        let (g1, g2) = arb_graph_pair(rng, 6);
         let s = simulation_relation(&g1, &g2, ExactVariant::Simple);
         let dp = simulation_relation(&g1, &g2, ExactVariant::DegreePreserving);
         let b = simulation_relation(&g1, &g2, ExactVariant::Bi);
         let bj = simulation_relation(&g1, &g2, ExactVariant::Bijective);
         for (u, v) in bj.pairs() {
-            prop_assert!(dp.contains(u, v) && b.contains(u, v));
+            assert!(
+                dp.contains(u, v) && b.contains(u, v),
+                "case {case}: bj ⊄ dp∩b"
+            );
         }
         for (u, v) in dp.pairs() {
-            prop_assert!(s.contains(u, v));
+            assert!(s.contains(u, v), "case {case}: dp ⊄ s");
         }
         for (u, v) in b.pairs() {
-            prop_assert!(s.contains(u, v));
+            assert!(s.contains(u, v), "case {case}: b ⊄ s");
         }
-    }
+    });
+}
 
-    /// θ-pruning maintains a subset of the pairs and never changes the
-    /// score of an exactly-simulated pair.
-    #[test]
-    fn theta_pruning_subset_and_p2((g1, g2) in arb_graph_pair(6)) {
+/// θ-pruning maintains a subset of the pairs and never changes the score
+/// of an exactly-simulated pair.
+#[test]
+fn theta_pruning_subset_and_p2() {
+    for_cases(909, |case, rng| {
+        let (g1, g2) = arb_graph_pair(rng, 6);
         let full = compute(&g1, &g2, &exact_config(Variant::Simple)).unwrap();
         let mut pruned_cfg = exact_config(Variant::Simple);
         pruned_cfg.theta = 1.0;
         let pruned = compute(&g1, &g2, &pruned_cfg).unwrap();
-        prop_assert!(pruned.pair_count() <= full.pair_count());
+        assert!(pruned.pair_count() <= full.pair_count(), "case {case}");
         let oracle = simulation_relation(&g1, &g2, ExactVariant::Simple);
         for (u, v) in oracle.pairs() {
             // Simulated pairs have equal labels, so they survive θ = 1.
             let s = pruned.get(u, v).expect("simulated pair must be maintained");
-            prop_assert!((s - 1.0).abs() < 1e-9);
+            assert!((s - 1.0).abs() < 1e-9, "case {case}: ({u},{v}) scored {s}");
         }
-    }
+    });
 }

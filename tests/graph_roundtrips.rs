@@ -1,20 +1,27 @@
 //! Property tests of the graph substrate: serialization round-trips, CSR
-//! consistency, and transform laws.
+//! consistency, and transform laws, on seeded random graphs.
 
 use fsim_graph::{graph_from_parts, io, transform, Graph};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1..10usize).prop_flat_map(|n| {
-        let labels = proptest::collection::vec("[a-z]{1,6}", n);
-        let edges = proptest::collection::vec((0..n, 0..n), 0..=(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-            let edge_list: Vec<(u32, u32)> =
-                edges.into_iter().map(|(u, v)| (u as u32, v as u32)).collect();
-            graph_from_parts(&refs, &edge_list)
+fn arb_graph(rng: &mut ChaCha8Rng) -> Graph {
+    let n = rng.gen_range(1..10usize);
+    let alphabet = "abcdefghijklmnopqrstuvwxyz".as_bytes();
+    let labels: Vec<String> = (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=6usize);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..26usize)] as char)
+                .collect()
         })
-    })
+        .collect();
+    let m = rng.gen_range(0..=(3 * n));
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+        .collect();
+    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    graph_from_parts(&refs, &edges)
 }
 
 fn graphs_equal(a: &Graph, b: &Graph) -> bool {
@@ -23,68 +30,93 @@ fn graphs_equal(a: &Graph, b: &Graph) -> bool {
         && a.nodes().all(|u| a.label_str(u) == b.label_str(u))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const CASES: usize = 64;
 
-    #[test]
-    fn text_io_roundtrip(g in arb_graph()) {
+fn for_cases(seed: u64, check: impl Fn(usize, Graph, &mut ChaCha8Rng)) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let g = arb_graph(&mut rng);
+        check(case, g, &mut rng);
+    }
+}
+
+#[test]
+fn text_io_roundtrip() {
+    for_cases(11, |case, g, _| {
         let parsed = io::from_text(&io::to_text(&g)).expect("own output parses");
-        prop_assert!(graphs_equal(&g, &parsed));
-    }
+        assert!(graphs_equal(&g, &parsed), "case {case}");
+    });
+}
 
-    #[test]
-    fn json_io_roundtrip(g in arb_graph()) {
+#[test]
+fn json_io_roundtrip() {
+    for_cases(22, |case, g, _| {
         let parsed = io::from_json(&io::to_json(&g)).expect("own output parses");
-        prop_assert!(graphs_equal(&g, &parsed));
-    }
+        assert!(graphs_equal(&g, &parsed), "case {case}");
+    });
+}
 
-    /// Out- and in-adjacency describe the same edge set.
-    #[test]
-    fn csr_directions_are_consistent(g in arb_graph()) {
+/// Out- and in-adjacency describe the same edge set.
+#[test]
+fn csr_directions_are_consistent() {
+    for_cases(33, |case, g, _| {
         for u in g.nodes() {
             for &v in g.out_neighbors(u) {
-                prop_assert!(g.in_neighbors(v).contains(&u));
-                prop_assert!(g.has_edge(u, v));
+                assert!(g.in_neighbors(v).contains(&u), "case {case}");
+                assert!(g.has_edge(u, v), "case {case}");
             }
         }
         let via_out: usize = g.nodes().map(|u| g.out_degree(u)).sum();
         let via_in: usize = g.nodes().map(|u| g.in_degree(u)).sum();
-        prop_assert_eq!(via_out, g.edge_count());
-        prop_assert_eq!(via_in, g.edge_count());
-    }
+        assert_eq!(via_out, g.edge_count(), "case {case}");
+        assert_eq!(via_in, g.edge_count(), "case {case}");
+    });
+}
 
-    /// reverse ∘ reverse = id; undirected is idempotent and symmetric.
-    #[test]
-    fn transform_laws(g in arb_graph()) {
+/// reverse ∘ reverse = id; undirected is idempotent and symmetric.
+#[test]
+fn transform_laws() {
+    for_cases(44, |case, g, _| {
         let rr = transform::reverse(&transform::reverse(&g));
-        prop_assert!(graphs_equal(&g, &rr));
+        assert!(graphs_equal(&g, &rr), "case {case}: reverse∘reverse ≠ id");
         let und = transform::undirected(&g);
         let und2 = transform::undirected(&und);
-        prop_assert!(graphs_equal(&und, &und2));
+        assert!(
+            graphs_equal(&und, &und2),
+            "case {case}: undirected not idempotent"
+        );
         for (u, v) in und.edges() {
-            prop_assert!(und.has_edge(v, u));
+            assert!(und.has_edge(v, u), "case {case}: undirected not symmetric");
         }
-    }
+    });
+}
 
-    /// Subgraph extraction preserves labels and internal edges exactly.
-    #[test]
-    fn induced_subgraph_is_faithful(g in arb_graph(), pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..6)) {
-        let nodes: Vec<u32> = pick.iter().map(|i| i.index(g.node_count()) as u32).collect();
+/// Subgraph extraction preserves labels and internal edges exactly.
+#[test]
+fn induced_subgraph_is_faithful() {
+    for_cases(55, |case, g, rng| {
+        let picks = rng.gen_range(1..6usize);
+        let nodes: Vec<u32> = (0..picks)
+            .map(|_| rng.gen_range(0..g.node_count()) as u32)
+            .collect();
         let sub = fsim_graph::induced_subgraph(&g, &nodes);
         for new_id in sub.graph.nodes() {
             let old = sub.parent_of(new_id);
-            prop_assert_eq!(sub.graph.label_str(new_id), g.label_str(old));
+            assert_eq!(sub.graph.label_str(new_id), g.label_str(old), "case {case}");
         }
         for (a, b) in sub.graph.edges() {
-            prop_assert!(g.has_edge(sub.parent_of(a), sub.parent_of(b)));
+            assert!(
+                g.has_edge(sub.parent_of(a), sub.parent_of(b)),
+                "case {case}"
+            );
         }
         // Completeness: every parent edge between retained nodes appears.
         for (&old_a, &new_a) in sub.from_parent.iter() {
             for (&old_b, &new_b) in sub.from_parent.iter() {
                 if g.has_edge(old_a, old_b) {
-                    prop_assert!(sub.graph.has_edge(new_a, new_b));
+                    assert!(sub.graph.has_edge(new_a, new_b), "case {case}");
                 }
             }
         }
-    }
+    });
 }

@@ -1,0 +1,346 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this crate provides the
+//! Criterion API surface the `fsim-bench` targets use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, the `criterion_group!`
+//! / `criterion_main!` macros and `black_box` — backed by a simple but
+//! honest wall-clock sampler: per benchmark it runs one warm-up batch, then
+//! `sample_size` timed batches, and reports min / median / mean per-
+//! iteration times. Under `cargo test` (the harness passes `--test`) each
+//! benchmark executes a single iteration as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measurement batch; fast closures are looped
+/// enough times to reach it so timer resolution doesn't dominate.
+const BATCH_TARGET: Duration = Duration::from_millis(25);
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times it.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, recording per-iteration seconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up + batch sizing: grow the batch until it fills the target.
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET || batch >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8.0
+            } else {
+                (BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 8.0)
+            };
+            batch = ((batch as f64 * grow).ceil() as usize).max(batch + 1);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_size,
+        test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {label} ... ok (test mode, 1 iteration)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("bench {label} ... no samples recorded");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "bench {label:<48} median {:>10}   (min {}, mean {}, {} samples)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(mean),
+        samples.len()
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` enables smoke
+    /// mode; a bare string filters benchmarks by substring; Criterion
+    /// flags are accepted and ignored).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "--noplot" | "--ignored"
+                | "--exact" | "--include-ignored" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        c.sample_size = v;
+                    }
+                }
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--color" | "--output-format" => {
+                    args.next();
+                }
+                other if !other.starts_with('-') => c.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Chainable no-op kept for Criterion API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn enabled(&self, label: &str) -> bool {
+        self.filter
+            .as_deref()
+            .map(|f| label.contains(f))
+            .unwrap_or(true)
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.enabled(id) {
+            run_one(id, self.sample_size, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing line (called by `criterion_main!`).
+    pub fn final_summary(&mut self) {
+        if !self.test_mode {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.c.sample_size)
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        if self.c.enabled(&label) {
+            run_one(
+                &label,
+                self.effective_sample_size(),
+                self.c.test_mode,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// Benchmarks a closure that receives `input`, under `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        if self.c.enabled(&label) {
+            run_one(
+                &label,
+                self.effective_sample_size(),
+                self.c.test_mode,
+                &mut |b| f(b, input),
+            );
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_in_test_mode() {
+        let mut samples = Vec::new();
+        let mut count = 0;
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: 5,
+            test_mode: true,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1, "test mode runs exactly one iteration");
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: 3,
+            test_mode: false,
+        };
+        b.iter(|| std::hint::black_box(7u64.pow(3)));
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("bj").id, "bj");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("us"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+}

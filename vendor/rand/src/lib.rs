@@ -1,0 +1,336 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the `rand` 0.8 API it actually
+//! uses: [`RngCore`] / [`Rng`] / [`SeedableRng`], uniform range sampling,
+//! [`seq::SliceRandom`] and [`distributions::WeightedIndex`]. Semantics
+//! follow the upstream crate; exact output streams are NOT guaranteed to
+//! match upstream bit-for-bit (nothing in this workspace depends on that —
+//! only on seeded determinism, which this crate provides).
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in chunks.by_ref() {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanded with SplitMix64
+    /// (the same expansion upstream `rand` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A uniform `[0, 1)` double from 53 random bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Widening-multiply bounded sampling (Lemire); the tiny
+                // modulo bias is irrelevant for synthetic-data generation.
+                let r = rng.next_u64() as u128;
+                self.start + ((r * span) >> 64) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range in gen_range");
+                let span = (end as u128) - (start as u128) + 1;
+                let r = rng.next_u64() as u128;
+                start + ((r * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty float range in gen_range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self) < p
+    }
+
+    /// Samples from a [`distributions::Distribution`].
+    #[inline]
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! The distribution slice of `rand::distributions` used here:
+    //! [`Distribution`] and [`WeightedIndex`].
+
+    use super::RngCore;
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error from an invalid weight set.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("invalid weights for WeightedIndex")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// A weighted index distribution: samples `i ∈ 0..n` with probability
+    /// proportional to `weights[i]`.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex<X> {
+        cumulative: Vec<f64>,
+        total: f64,
+        _weights: std::marker::PhantomData<X>,
+    }
+
+    impl<X: Copy + Into<f64>> WeightedIndex<X> {
+        /// Builds the distribution; weights must be non-negative, finite,
+        /// and sum to a positive value.
+        pub fn new<I: IntoIterator<Item = X>>(weights: I) -> Result<Self, WeightedError> {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w: f64 = w.into();
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(Self {
+                cumulative,
+                total,
+                _weights: std::marker::PhantomData,
+            })
+        }
+    }
+
+    impl<X> Distribution<usize> for WeightedIndex<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = super::unit_f64(rng) * self.total;
+            // First index whose cumulative weight exceeds x.
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+            {
+                Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+                Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers (`rand::seq::SliceRandom`).
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* — enough quality for the statistical assertions.
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StepRng(42);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(7);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StepRng(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StepRng(3);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StepRng(11);
+        let w = WeightedIndex::new(vec![0.0f64, 1.0, 9.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero weight must never be drawn");
+        assert!(
+            counts[2] > counts[1] * 4,
+            "9:1 skew expected, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(Vec::<f64>::new()).is_err());
+        assert!(WeightedIndex::new(vec![0.0f64, 0.0]).is_err());
+        assert!(WeightedIndex::new(vec![-1.0f64]).is_err());
+        assert!(WeightedIndex::new(vec![f64::NAN]).is_err());
+    }
+}
