@@ -1,0 +1,188 @@
+//! Convergence-scheduling bench: full sweep vs delta-driven iteration on
+//! multi-iteration workloads, tracking pairs evaluated per iteration and
+//! wall-clock, warm vs cold. Unlike the Criterion targets this bench also
+//! **emits `BENCH_convergence.json` at the repository root** so the perf
+//! trajectory is recorded across PRs (the CI bench smoke runs it with
+//! `--test`, which shrinks the workload but still writes the file).
+
+use fsim_core::{compute, ConvergenceMode, FsimConfig, FsimEngine, Variant};
+use fsim_datasets::DatasetSpec;
+use fsim_graph::Graph;
+use fsim_labels::LabelFn;
+use std::time::Instant;
+
+/// One workload's measurements.
+struct Row {
+    name: String,
+    pairs: usize,
+    iterations: usize,
+    dep_entries: usize,
+    sweep_pairs_evaluated: usize,
+    delta_pairs_evaluated: usize,
+    delta_per_iteration: Vec<usize>,
+    cold_sweep_s: f64,
+    cold_delta_s: f64,
+    warm_sweep_s: f64,
+    warm_delta_s: f64,
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) -> Row {
+    let sweep_cfg = cfg.clone().convergence(ConvergenceMode::FullSweep);
+    let delta_cfg = cfg.clone().convergence(ConvergenceMode::DeltaDriven);
+
+    // Cold: session construction (store + CSR for delta) plus one run.
+    let cold_sweep_s = best_of(reps, || {
+        FsimEngine::new(g1, g2, &sweep_cfg)
+            .expect("valid config")
+            .run();
+    });
+    let cold_delta_s = best_of(reps, || {
+        FsimEngine::new(g1, g2, &delta_cfg)
+            .expect("valid config")
+            .run();
+    });
+
+    // Warm: everything prepared, re-iterate only (the serving pattern).
+    let mut sweep = FsimEngine::new(g1, g2, &sweep_cfg).expect("valid config");
+    sweep.run();
+    let warm_sweep_s = best_of(reps, || {
+        sweep.run();
+    });
+    let mut delta = FsimEngine::new(g1, g2, &delta_cfg).expect("valid config");
+    delta.run();
+    let warm_delta_s = best_of(reps, || {
+        delta.run();
+    });
+
+    // Sanity: the two schedules must agree bitwise — a bench that measures
+    // a wrong answer measures nothing.
+    for ((u1, v1, s1), (u2, v2, s2)) in sweep.iter_pairs().zip(delta.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2), "{name}: pair order diverged");
+        assert_eq!(
+            s1.to_bits(),
+            s2.to_bits(),
+            "{name}: diverged at ({u1},{v1})"
+        );
+    }
+    assert_eq!(sweep.iterations(), delta.iterations(), "{name}: iterations");
+
+    Row {
+        name: name.to_string(),
+        pairs: delta.pair_count(),
+        iterations: delta.iterations(),
+        dep_entries: delta.dep_entry_count().unwrap_or(0),
+        sweep_pairs_evaluated: sweep.pairs_evaluated().iter().sum(),
+        delta_pairs_evaluated: delta.pairs_evaluated().iter().sum(),
+        delta_per_iteration: delta.pairs_evaluated().to_vec(),
+        cold_sweep_s,
+        cold_delta_s,
+        warm_sweep_s,
+        warm_delta_s,
+    }
+}
+
+fn json_usize_array(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn row_to_json(r: &Row) -> String {
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"pairs\":{},\"iterations\":{},",
+            "\"dep_entries\":{},\"pairs_evaluated\":{{\"sweep\":{},\"delta\":{},",
+            "\"delta_per_iteration\":{}}},",
+            "\"wall_clock_s\":{{\"cold_sweep\":{:.6},\"cold_delta\":{:.6},",
+            "\"warm_sweep\":{:.6},\"warm_delta\":{:.6}}}}}"
+        ),
+        r.name,
+        r.pairs,
+        r.iterations,
+        r.dep_entries,
+        r.sweep_pairs_evaluated,
+        r.delta_pairs_evaluated,
+        json_usize_array(&r.delta_per_iteration),
+        r.cold_sweep_s,
+        r.cold_delta_s,
+        r.warm_sweep_s,
+        r.warm_delta_s,
+    )
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (scale, reps, epsilon) = if test_mode {
+        (0.05, 1, 1e-3)
+    } else {
+        (0.45, 5, 1e-4)
+    };
+    let g = DatasetSpec::by_name("NELL")
+        .expect("spec")
+        .generate_scaled(scale, 42);
+
+    // The session-reuse workload: θ-pruned self-similarity, string labels —
+    // the variant-sweep serving pattern. Tight ε forces a multi-iteration
+    // run so late-iteration sparsity has room to pay off.
+    let mut theta_cfg = FsimConfig::new(Variant::Bijective)
+        .label_fn(LabelFn::JaroWinkler)
+        .theta(0.9);
+    theta_cfg.epsilon = epsilon;
+
+    // The theta-sweep (Fig. 7) shape at θ = 0.6 under simple simulation.
+    let mut fig7_cfg = FsimConfig::new(Variant::Simple)
+        .label_fn(LabelFn::JaroWinkler)
+        .theta(0.6);
+    fig7_cfg.epsilon = epsilon;
+
+    let rows = vec![
+        measure("session_reuse_theta0.9_bj", &g, &g, &theta_cfg, reps),
+        measure("theta_sweep_theta0.6_s", &g, &g, &fig7_cfg, reps),
+    ];
+
+    for r in &rows {
+        let saved =
+            100.0 * (1.0 - r.delta_pairs_evaluated as f64 / r.sweep_pairs_evaluated.max(1) as f64);
+        println!(
+            "bench convergence/{:<28} pairs {:>8}  iters {:>3}  evaluated {:>10} vs {:>10} ({saved:.1}% saved)  warm {:.3}ms vs {:.3}ms",
+            r.name,
+            r.pairs,
+            r.iterations,
+            r.delta_pairs_evaluated,
+            r.sweep_pairs_evaluated,
+            r.warm_delta_s * 1e3,
+            r.warm_sweep_s * 1e3,
+        );
+    }
+
+    let body: Vec<String> = rows.iter().map(row_to_json).collect();
+    let json = format!(
+        "{{\"bench\":\"convergence\",\"test_mode\":{},\"workloads\":[{}]}}\n",
+        test_mode,
+        body.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_convergence.json");
+    std::fs::write(path, &json).expect("write BENCH_convergence.json");
+    println!("wrote {path}");
+
+    // Keep the one-shot path honest too: `compute` under Auto must match
+    // the explicit delta session (cheap smoke in either mode).
+    let auto = compute(&g, &g, &theta_cfg).expect("valid config");
+    let mut delta = FsimEngine::new(
+        &g,
+        &g,
+        &theta_cfg.clone().convergence(ConvergenceMode::DeltaDriven),
+    )
+    .expect("valid config");
+    delta.run();
+    assert_eq!(auto.pair_count(), delta.pair_count());
+}

@@ -128,6 +128,21 @@ pub fn enumerate_candidates<O: Operator>(
     }
 }
 
+/// Upper bound on the number of pair-dependency entries the candidate set
+/// would materialize (`Σ_{(u,v)∈H} d⁺(u)·d⁺(v) + d⁻(u)·d⁻(v)`, i.e. every
+/// neighbor pair before θ-prefiltering). One `O(|H|)` pass over degree
+/// arrays — used to decide whether the dependency CSR fits the configured
+/// memory budget *without* paying the build.
+pub fn estimated_dep_entries(g1: &Graph, g2: &Graph, store: &PairStore) -> u128 {
+    let mut total: u128 = 0;
+    for &(u, v) in &store.pairs {
+        let out = g1.out_degree(u) as u128 * g2.out_degree(v) as u128;
+        let inn = g1.in_degree(u) as u128 * g2.in_degree(v) as u128;
+        total += out + inn;
+    }
+    total
+}
+
 fn sparse_store(mut pairs: Vec<(NodeId, NodeId)>, fallback: Fallback) -> PairStore {
     pairs.sort_unstable();
     pairs.dedup();

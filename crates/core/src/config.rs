@@ -90,6 +90,26 @@ pub struct UpperBoundPruning {
     pub beta: f64,
 }
 
+/// How the engine iterates Equation 3 to convergence (Algorithm 1).
+///
+/// Both modes produce **bitwise identical** scores, iteration counts and
+/// deltas; they differ only in how much work each iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceMode {
+    /// Delta-driven when the operator supports slot evaluation and the
+    /// estimated dependency-CSR memory fits [`FsimConfig::csr_budget`];
+    /// full sweep otherwise. The default.
+    Auto,
+    /// Re-evaluate every maintained pair on every iteration (the paper's
+    /// Algorithm 1 as written). Never builds the dependency CSR.
+    FullSweep,
+    /// Always build the pair-dependency CSR and re-evaluate only pairs
+    /// whose dependencies changed in the previous iteration. Ignores the
+    /// memory budget (an explicit opt-in); falls back to the sweep only
+    /// for operators without a slot-based evaluation path.
+    DeltaDriven,
+}
+
 /// Which assignment algorithm implements the injective mapping operators
 /// `M_dp` / `M_bj`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,9 +151,19 @@ pub struct FsimConfig {
     /// Pin `FSim(u, u) = 1` for equal ids (SimRank's fixed diagonal;
     /// meaningful only when both graphs are the same graph).
     pub pin_identical: bool,
+    /// How the convergence loop schedules pair re-evaluation.
+    pub convergence: ConvergenceMode,
+    /// Memory budget (bytes) for the pair-dependency CSR under
+    /// [`ConvergenceMode::Auto`]; when the estimated CSR size exceeds it,
+    /// the engine keeps the on-the-fly full sweep. Applied when the CSR is
+    /// (re)built. Default 256 MiB.
+    pub csr_budget: usize,
 }
 
 impl FsimConfig {
+    /// Default [`csr_budget`](Self::csr_budget): 256 MiB.
+    pub const DEFAULT_CSR_BUDGET: usize = 256 << 20;
+
     /// The paper's default experimental setting for a variant:
     /// `w⁺ = w⁻ = 0.4` (`w* = 0.2`), `θ = 0`, `ε = 0.01`, Jaro–Winkler
     /// initialization, greedy matcher, single thread.
@@ -152,6 +182,8 @@ impl FsimConfig {
             threads: 1,
             matcher: MatcherKind::Greedy,
             pin_identical: false,
+            convergence: ConvergenceMode::Auto,
+            csr_budget: Self::DEFAULT_CSR_BUDGET,
         }
     }
 
@@ -183,6 +215,19 @@ impl FsimConfig {
     /// Sets the thread count.
     pub fn threads(mut self, t: usize) -> Self {
         self.threads = t;
+        self
+    }
+
+    /// Sets the convergence scheduling mode.
+    pub fn convergence(mut self, mode: ConvergenceMode) -> Self {
+        self.convergence = mode;
+        self
+    }
+
+    /// Sets the dependency-CSR memory budget (bytes) consulted by
+    /// [`ConvergenceMode::Auto`].
+    pub fn csr_budget(mut self, bytes: usize) -> Self {
+        self.csr_budget = bytes;
         self
     }
 

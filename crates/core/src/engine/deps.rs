@@ -1,0 +1,316 @@
+//! The pair-dependency CSR: the iteration-invariant structure of
+//! Equation 3, materialized once per candidate store.
+//!
+//! The inputs a pair `(u, v)`'s update reads — which neighbor pairs
+//! `(x, y)` with `L(x, y) ≥ θ` its mapping operators consult, which score
+//! slot (or pruning-fallback constant) each of those resolves to, and the
+//! pair's own label term — are fixed across iterations. [`PairDepCsr`]
+//! flattens all of it into contiguous arrays at session-prepare time, so
+//! the hot loop is pure index arithmetic: no `PairIndex` lookups, no
+//! `ctx.eligible` re-filtering, no hashed fallback probes.
+//!
+//! The reverse CSR (for each slot, the slots whose update reads it) drives
+//! **dirty-pair scheduling**: iteration `k` re-evaluates a slot only if one
+//! of its dependencies changed in iteration `k−1`. Because the Jacobi
+//! update is a pure function of its inputs, a slot with unchanged inputs
+//! reproduces its previous score bit for bit — so sparse iteration is
+//! bitwise identical to the full sweep (`tests/delta_convergence.rs`
+//! property-checks this across variants, θ, pruning and thread counts).
+
+use crate::config::FsimConfig;
+use crate::operators::{DepEntry, OpCtx, OpScratch, Operator};
+use crate::store::{PairRef, PairStore};
+use fsim_graph::Graph;
+
+/// Rough per-entry footprint in bytes (one [`DepEntry`] plus its reverse
+/// edge), used with [`crate::candidates::estimated_dep_entries`] to check
+/// the CSR against the configured memory budget before building.
+pub(crate) const BYTES_PER_ENTRY: u128 = (std::mem::size_of::<DepEntry>() + 4) as u128;
+
+/// Rough per-slot footprint in bytes: offsets into three entry arrays plus
+/// the stored neighborhood dimensions.
+pub(crate) const BYTES_PER_SLOT: u128 = 48;
+
+/// The flattened, θ-prefiltered dependency structure of a candidate store
+/// (see the module docs). Valid exactly as long as the store it was built
+/// from: the entries depend on the candidate set, the eligibility
+/// constraint and the pruning fallback — all of which change only when the
+/// store is rebuilt.
+#[derive(Debug)]
+pub(crate) struct PairDepCsr {
+    /// Slot → range of `out_entries` (length `n + 1`).
+    out_offsets: Vec<usize>,
+    /// Slot → range of `in_entries` (length `n + 1`).
+    in_offsets: Vec<usize>,
+    /// Out-neighbor-pair dependencies, `(i, j)`-sorted per slot.
+    out_entries: Vec<DepEntry>,
+    /// In-neighbor-pair dependencies, `(i, j)`-sorted per slot.
+    in_entries: Vec<DepEntry>,
+    /// Slot → `[|N⁺(u)|, |N⁺(v)|, |N⁻(u)|, |N⁻(v)|]` (drive `Ω` / vacuity).
+    dims: Vec<[u32; 4]>,
+    /// Slot → range of `rdeps` (length `n + 1`).
+    rdep_offsets: Vec<usize>,
+    /// Reverse CSR: for each slot, the slots whose update reads it. May
+    /// contain duplicates (a source feeding both directions of one pair);
+    /// the scheduler's epoch marks deduplicate for free.
+    rdeps: Vec<u32>,
+}
+
+impl PairDepCsr {
+    /// Materializes the dependency structure of `store` under the session's
+    /// evaluation context.
+    pub(crate) fn build<O: Operator>(
+        g1: &Graph,
+        g2: &Graph,
+        ctx: &OpCtx<'_>,
+        store: &PairStore,
+        op: &O,
+    ) -> Self {
+        let n = store.len();
+        let all_pairs = op.reads_ineligible_pairs();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut out_entries = Vec::new();
+        let mut in_entries = Vec::new();
+        let mut dims = Vec::with_capacity(n);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for &(u, v) in &store.pairs {
+            let (s1, s2) = (g1.out_neighbors(u), g2.out_neighbors(v));
+            push_direction(&mut out_entries, s1, s2, ctx, store, all_pairs);
+            out_offsets.push(out_entries.len());
+            let (t1, t2) = (g1.in_neighbors(u), g2.in_neighbors(v));
+            push_direction(&mut in_entries, t1, t2, ctx, store, all_pairs);
+            in_offsets.push(in_entries.len());
+            dims.push([
+                s1.len() as u32,
+                s2.len() as u32,
+                t1.len() as u32,
+                t2.len() as u32,
+            ]);
+        }
+
+        // Reverse CSR by counting sort: dependents of each source slot, in
+        // ascending dependent order (deterministic — the scheduler's
+        // worklists are order-insensitive, but determinism keeps debugging
+        // sane).
+        let mut counts = vec![0usize; n + 1];
+        for e in out_entries.iter().chain(&in_entries) {
+            if e.slot != DepEntry::CONST {
+                counts[e.slot as usize + 1] += 1;
+            }
+        }
+        for k in 1..=n {
+            counts[k] += counts[k - 1];
+        }
+        let rdep_offsets = counts.clone();
+        let mut cursor = counts;
+        cursor.pop();
+        let mut rdeps = vec![0u32; *rdep_offsets.last().unwrap_or(&0)];
+        for slot in 0..n {
+            let slot_entries = out_entries[out_offsets[slot]..out_offsets[slot + 1]]
+                .iter()
+                .chain(&in_entries[in_offsets[slot]..in_offsets[slot + 1]]);
+            for e in slot_entries {
+                if e.slot != DepEntry::CONST {
+                    let src = e.slot as usize;
+                    rdeps[cursor[src]] = slot as u32;
+                    cursor[src] += 1;
+                }
+            }
+        }
+
+        Self {
+            out_offsets,
+            in_offsets,
+            out_entries,
+            in_entries,
+            dims,
+            rdep_offsets,
+            rdeps,
+        }
+    }
+
+    /// Total dependency entries across both directions (diagnostics).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.out_entries.len() + self.in_entries.len()
+    }
+
+    /// Slot → dependents offsets (for the dirty scheduler).
+    pub(crate) fn rdep_offsets(&self) -> &[usize] {
+        &self.rdep_offsets
+    }
+
+    /// Concatenated dependents (for the dirty scheduler).
+    pub(crate) fn rdeps(&self) -> &[u32] {
+        &self.rdeps
+    }
+
+    /// Equation 3 for one slot, evaluated from the prepared dependency
+    /// lists and the cached label term — bitwise identical to
+    /// [`pair_update`](super::iterate::pair_update) on the same inputs.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_slot<O: Operator>(
+        &self,
+        cfg: &FsimConfig,
+        op: &O,
+        store: &PairStore,
+        slot: usize,
+        prev: &[f64],
+        scratch: &mut OpScratch,
+        label: f64,
+    ) -> f64 {
+        let (u, v) = store.pairs[slot];
+        if cfg.pin_identical && u == v {
+            return 1.0;
+        }
+        let [o1, o2, i1, i2] = self.dims[slot];
+        let out = op.term_slots(
+            &self.out_entries[self.out_offsets[slot]..self.out_offsets[slot + 1]],
+            o1 as usize,
+            o2 as usize,
+            prev,
+            scratch,
+        );
+        let inn = op.term_slots(
+            &self.in_entries[self.in_offsets[slot]..self.in_offsets[slot + 1]],
+            i1 as usize,
+            i2 as usize,
+            prev,
+            scratch,
+        );
+        let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
+        // Scores are mathematically confined to [0, 1]; clamp floating
+        // drift (identically to `pair_update`).
+        score.clamp(0.0, 1.0)
+    }
+}
+
+/// Appends one direction's dependency list for a pair: eligible neighbor
+/// pairs in `(i, j)` order, resolved to slots or fallback constants.
+/// Zero-valued constants are omitted (they cannot influence any operator).
+fn push_direction(
+    entries: &mut Vec<DepEntry>,
+    s1: &[fsim_graph::NodeId],
+    s2: &[fsim_graph::NodeId],
+    ctx: &OpCtx<'_>,
+    store: &PairStore,
+    all_pairs: bool,
+) {
+    for (i, &x) in s1.iter().enumerate() {
+        for (j, &y) in s2.iter().enumerate() {
+            if !all_pairs && !ctx.eligible(x, y) {
+                continue;
+            }
+            match store.resolve(x, y) {
+                PairRef::Slot(s) => entries.push(DepEntry {
+                    i: i as u32,
+                    j: j as u32,
+                    slot: s as u32,
+                    cval: 0.0,
+                }),
+                PairRef::Absent(c) => {
+                    if c != 0.0 {
+                        entries.push(DepEntry {
+                            i: i as u32,
+                            j: j as u32,
+                            slot: DepEntry::CONST,
+                            cval: c as f32,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FsimConfig, Variant};
+    use crate::operators::VariantOp;
+    use fsim_graph::graph_from_parts;
+    use fsim_labels::LabelFn;
+
+    fn setup() -> (Graph, Graph, FsimConfig) {
+        let g1 = graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2), (2, 0)]);
+        let g2 = graph_from_parts(&["a", "b", "b", "a"], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+        (g1, g2, cfg)
+    }
+
+    #[test]
+    fn eval_slot_matches_pair_update_bitwise() {
+        let (g1raw, g2raw, base) = setup();
+        for theta in [0.0, 1.0] {
+            let cfg = base.clone().theta(theta);
+            let aligned = super::super::session::AlignedLabels::new(&g1raw, &g2raw);
+            let eval = super::super::session::build_label_eval(&cfg, &aligned.interner);
+            let ctx = OpCtx {
+                labels1: &aligned.labels1,
+                labels2: &aligned.labels2,
+                label_eval: &eval,
+                theta: cfg.theta,
+            };
+            let op = VariantOp::new(cfg.variant);
+            let store = crate::candidates::enumerate_candidates(&g1raw, &g2raw, &ctx, &cfg, &op);
+            let csr = PairDepCsr::build(&g1raw, &g2raw, &ctx, &store, &op);
+            // Arbitrary (deterministic) score buffer.
+            let scores: Vec<f64> = (0..store.len()).map(|i| (i % 13) as f64 / 13.0).collect();
+            let view = store.view(&scores);
+            let mut scratch = OpScratch::new();
+            for (slot, &(u, v)) in store.pairs.iter().enumerate() {
+                let direct = super::super::iterate::pair_update(
+                    &g1raw,
+                    &g2raw,
+                    &ctx,
+                    &cfg,
+                    &op,
+                    u,
+                    v,
+                    &view,
+                    &mut scratch,
+                );
+                let label = ctx.label_sim(u, v);
+                let via_csr = csr.eval_slot(&cfg, &op, &store, slot, &scores, &mut scratch, label);
+                assert_eq!(
+                    direct.to_bits(),
+                    via_csr.to_bits(),
+                    "theta={theta} slot {slot} ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_csr_covers_every_slot_dependency() {
+        let (g1, g2, cfg) = setup();
+        let aligned = super::super::session::AlignedLabels::new(&g1, &g2);
+        let eval = super::super::session::build_label_eval(&cfg, &aligned.interner);
+        let ctx = OpCtx {
+            labels1: &aligned.labels1,
+            labels2: &aligned.labels2,
+            label_eval: &eval,
+            theta: cfg.theta,
+        };
+        let op = VariantOp::new(cfg.variant);
+        let store = crate::candidates::enumerate_candidates(&g1, &g2, &ctx, &cfg, &op);
+        let csr = PairDepCsr::build(&g1, &g2, &ctx, &store, &op);
+        for slot in 0..store.len() {
+            let entries = csr.out_entries[csr.out_offsets[slot]..csr.out_offsets[slot + 1]]
+                .iter()
+                .chain(&csr.in_entries[csr.in_offsets[slot]..csr.in_offsets[slot + 1]]);
+            for e in entries {
+                if e.slot != DepEntry::CONST {
+                    let src = e.slot as usize;
+                    let deps = &csr.rdeps[csr.rdep_offsets[src]..csr.rdep_offsets[src + 1]];
+                    assert!(
+                        deps.contains(&(slot as u32)),
+                        "slot {slot} missing from dependents of {src}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,16 @@
 //! The per-iteration update of Equation 3 and the convergence loop
 //! (Algorithm 1 lines 2–7, Theorem 1 / Corollary 1).
+//!
+//! Two scheduling regimes share the same update function and produce
+//! bitwise-identical results:
+//! * the **full sweep** re-evaluates every maintained pair each iteration
+//!   (Algorithm 1 as written);
+//! * the **delta-driven** loop walks the prepared
+//!   [`PairDepCsr`](super::deps::PairDepCsr) and re-evaluates a pair only
+//!   if one of its dependencies changed in the previous iteration.
 
-use super::parallel::{run_parallel, IterationOutcome};
+use super::deps::PairDepCsr;
+use super::parallel::{run_parallel, run_parallel_delta, IterationOutcome};
 use crate::config::{FsimConfig, InitScheme};
 use crate::operators::{OpCtx, OpScratch, Operator, ScoreLookup};
 use crate::store::PairStore;
@@ -16,38 +25,73 @@ pub(crate) fn effective_threads(cfg_threads: usize, worklist: usize) -> usize {
 }
 
 /// Writes `FSim⁰` (§3.3) for every maintained pair into `scores`.
+/// `label_terms` is the per-slot cache of `L(ℓ1(u), ℓ2(v))`.
 pub(crate) fn initialize(
     store: &PairStore,
-    ctx: &OpCtx<'_>,
     cfg: &FsimConfig,
     g1: &Graph,
     g2: &Graph,
+    label_terms: &[f64],
     scores: &mut Vec<f64>,
 ) {
+    debug_assert_eq!(label_terms.len(), store.len());
     scores.clear();
-    scores.extend(store.pairs.iter().map(|&(u, v)| match cfg.init {
-        InitScheme::LabelSim => ctx.label_sim(u, v),
-        InitScheme::Identity => {
-            if u == v {
-                1.0
-            } else {
-                0.0
-            }
-        }
-        InitScheme::OutDegreeRatio => {
-            let (a, b) = (g1.out_degree(u), g2.out_degree(v));
-            let (lo, hi) = (a.min(b), a.max(b));
-            if hi == 0 {
-                1.0
-            } else {
-                lo as f64 / hi as f64
-            }
-        }
-        InitScheme::Constant(c) => c,
-    }));
+    scores.extend(
+        store
+            .pairs
+            .iter()
+            .enumerate()
+            .map(|(slot, &(u, v))| match cfg.init {
+                InitScheme::LabelSim => label_terms[slot],
+                InitScheme::Identity => {
+                    if u == v {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                InitScheme::OutDegreeRatio => {
+                    let (a, b) = (g1.out_degree(u), g2.out_degree(v));
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if hi == 0 {
+                        1.0
+                    } else {
+                        lo as f64 / hi as f64
+                    }
+                }
+                InitScheme::Constant(c) => c,
+            }),
+    );
 }
 
-/// Equation 3 for a single pair.
+/// Equation 3 for a single pair, with the (iteration-constant) label term
+/// supplied by the caller — from the per-slot cache inside the convergence
+/// loops, or computed on the fly for one-off queries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pair_update_with_label<O: Operator, S: ScoreLookup>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    u: NodeId,
+    v: NodeId,
+    prev: &S,
+    scratch: &mut OpScratch,
+    label: f64,
+) -> f64 {
+    if cfg.pin_identical && u == v {
+        return 1.0;
+    }
+    let out = op.term(ctx, g1.out_neighbors(u), g2.out_neighbors(v), prev, scratch);
+    let inn = op.term(ctx, g1.in_neighbors(u), g2.in_neighbors(v), prev, scratch);
+    let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
+    // Scores are mathematically confined to [0, 1]; clamp floating drift.
+    score.clamp(0.0, 1.0)
+}
+
+/// Equation 3 for a single pair (label term evaluated on the fly — the
+/// one-off query path; the convergence loops use the per-slot cache).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn pair_update<O: Operator, S: ScoreLookup>(
     g1: &Graph,
@@ -60,18 +104,12 @@ pub(crate) fn pair_update<O: Operator, S: ScoreLookup>(
     prev: &S,
     scratch: &mut OpScratch,
 ) -> f64 {
-    if cfg.pin_identical && u == v {
-        return 1.0;
-    }
-    let out = op.term(ctx, g1.out_neighbors(u), g2.out_neighbors(v), prev, scratch);
-    let inn = op.term(ctx, g1.in_neighbors(u), g2.in_neighbors(v), prev, scratch);
     let label = ctx.label_sim(u, v);
-    let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
-    // Scores are mathematically confined to [0, 1]; clamp floating drift.
-    score.clamp(0.0, 1.0)
+    pair_update_with_label(g1, g2, ctx, cfg, op, u, v, prev, scratch, label)
 }
 
-/// Iterates Equation 3 to convergence (or the iteration cap).
+/// Iterates Equation 3 to convergence (or the iteration cap) by **full
+/// sweep**: every maintained pair is re-evaluated each iteration.
 ///
 /// `scores` holds `FSim⁰` on entry and the final scores on exit; `cur` is
 /// the reusable double buffer (resized to match). Dispatches to the
@@ -85,6 +123,7 @@ pub(crate) fn run_to_convergence<O: Operator>(
     cfg: &FsimConfig,
     op: &O,
     store: &PairStore,
+    label_terms: &[f64],
     scores: &mut Vec<f64>,
     cur: &mut Vec<f64>,
 ) -> IterationOutcome {
@@ -100,7 +139,18 @@ pub(crate) fn run_to_convergence<O: Operator>(
             move |slot: usize, prev: &[f64]| {
                 let (u, v) = store.pairs[slot];
                 let view = store.view(prev);
-                pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch)
+                pair_update_with_label(
+                    g1,
+                    g2,
+                    ctx,
+                    cfg,
+                    op,
+                    u,
+                    v,
+                    &view,
+                    &mut scratch,
+                    label_terms[slot],
+                )
             }
         });
     }
@@ -114,7 +164,18 @@ pub(crate) fn run_to_convergence<O: Operator>(
         {
             let view = store.view(scores);
             for (slot, &(u, v)) in store.pairs.iter().enumerate() {
-                let s = pair_update(g1, g2, ctx, cfg, op, u, v, &view, &mut scratch);
+                let s = pair_update_with_label(
+                    g1,
+                    g2,
+                    ctx,
+                    cfg,
+                    op,
+                    u,
+                    v,
+                    &view,
+                    &mut scratch,
+                    label_terms[slot],
+                );
                 let d = (s - scores[slot]).abs();
                 if d > delta {
                     delta = d;
@@ -134,5 +195,121 @@ pub(crate) fn run_to_convergence<O: Operator>(
         iterations,
         converged,
         final_delta,
+        pairs_evaluated: vec![store.len(); iterations],
+    }
+}
+
+/// Iterates Equation 3 to convergence with **dirty-pair scheduling** over
+/// a prepared [`PairDepCsr`]: iteration 1 evaluates every slot; iteration
+/// `k > 1` evaluates only the dependents of slots whose score changed
+/// (bitwise) in iteration `k−1`. Clean slots keep their previous score
+/// exactly — the update is a pure function of inputs that did not change —
+/// so the outcome is bitwise identical to [`run_to_convergence`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_delta<O: Operator>(
+    cfg: &FsimConfig,
+    op: &O,
+    store: &PairStore,
+    csr: &PairDepCsr,
+    label_terms: &[f64],
+    scores: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+) -> IterationOutcome {
+    debug_assert_eq!(scores.len(), store.len());
+    let n = store.len();
+    cur.clear();
+    cur.resize(n, 0.0);
+    let max_iters = cfg.effective_max_iters();
+    let threads = effective_threads(cfg.threads, n);
+
+    if threads > 1 {
+        return run_parallel_delta(
+            threads,
+            max_iters,
+            cfg.epsilon,
+            scores,
+            cur,
+            csr.rdep_offsets(),
+            csr.rdeps(),
+            || {
+                let mut scratch = OpScratch::new();
+                move |slot: usize, prev: &[f64]| {
+                    csr.eval_slot(cfg, op, store, slot, prev, &mut scratch, label_terms[slot])
+                }
+            },
+        );
+    }
+
+    let mut scratch = OpScratch::new();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    let mut pairs_evaluated = Vec::new();
+    // D_k: slots to evaluate this iteration (all of them at first).
+    let mut worklist: Vec<u32> = (0..n as u32).collect();
+    // C_{k−1}: slots whose score changed last iteration.
+    let mut changed: Vec<u32> = Vec::new();
+    // Worklist-membership marks: mark[s] == epoch ⇔ s ∈ current worklist.
+    let mut mark: Vec<u64> = vec![0; n];
+    let mut epoch = 0u64;
+    while iterations < max_iters {
+        // Repair C_{k−1} \ D_k: a slot that changed last iteration but is
+        // not re-evaluated now still holds its two-iterations-old value in
+        // `cur`; copy the current value forward so `cur` ends the
+        // iteration complete.
+        for &s in &changed {
+            if mark[s as usize] != epoch {
+                cur[s as usize] = scores[s as usize];
+            }
+        }
+        changed.clear();
+        let mut delta = 0.0f64;
+        for &slot_id in &worklist {
+            let slot = slot_id as usize;
+            let s = csr.eval_slot(
+                cfg,
+                op,
+                store,
+                slot,
+                scores,
+                &mut scratch,
+                label_terms[slot],
+            );
+            let d = (s - scores[slot]).abs();
+            if d > delta {
+                delta = d;
+            }
+            if s.to_bits() != scores[slot].to_bits() {
+                changed.push(slot_id);
+            }
+            cur[slot] = s;
+        }
+        pairs_evaluated.push(worklist.len());
+        std::mem::swap(scores, cur);
+        final_delta = delta;
+        iterations += 1;
+        if delta < cfg.epsilon {
+            converged = true;
+            break;
+        }
+        // Next worklist: the dependents of every changed slot.
+        epoch += 1;
+        worklist.clear();
+        for &c in &changed {
+            let offsets = csr.rdep_offsets();
+            let (a, b) = (offsets[c as usize], offsets[c as usize + 1]);
+            for &dep in &csr.rdeps()[a..b] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
+                }
+            }
+        }
+    }
+    IterationOutcome {
+        iterations,
+        converged,
+        final_delta,
+        pairs_evaluated,
     }
 }

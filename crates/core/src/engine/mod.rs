@@ -7,14 +7,21 @@
 //!   [`score`](FsimEngine::score) / [`top_k`](FsimEngine::top_k) many
 //!   times over the same graph pair;
 //! * [`iterate`] — initialization, the per-iteration update of Equation 3
-//!   and convergence control (Theorem 1 / Corollary 1);
+//!   and convergence control (Theorem 1 / Corollary 1), in two
+//!   bitwise-identical scheduling regimes (full sweep and delta-driven);
+//! * [`deps`] — the pair-dependency CSR: the iteration-invariant structure
+//!   of Equation 3 (θ-prefiltered neighbor-pair slot lists, fallback
+//!   constants, the reverse dependents CSR) materialized once per store,
+//!   driving dirty-pair scheduling;
 //! * [`parallel`] — the persistent worker pool of §3.4 (spawned once per
-//!   run, atomic-cursor work distribution, bitwise sequential ≡ parallel).
+//!   run, atomic-cursor work distribution, bitwise sequential ≡ parallel),
+//!   for both the full sweep and the dirty worklist.
 //!
 //! The historical one-shot entry points [`compute`],
 //! [`compute_with_operator`] and [`score_on_demand`] are thin wrappers
 //! over a session.
 
+pub(crate) mod deps;
 pub(crate) mod iterate;
 pub(crate) mod parallel;
 pub mod session;

@@ -16,10 +16,10 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
 /// What a (sequential or parallel) run of the iteration loop reports.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct IterationOutcome {
     /// Iterations executed.
     pub iterations: usize,
@@ -27,6 +27,9 @@ pub(crate) struct IterationOutcome {
     pub converged: bool,
     /// The final `Δ = max |FSim^k − FSim^{k−1}|` (∞ if no iteration ran).
     pub final_delta: f64,
+    /// Pairs re-evaluated per iteration (`|H|` every iteration for the
+    /// full sweep; the dirty-worklist length under delta scheduling).
+    pub pairs_evaluated: Vec<usize>,
 }
 
 /// A score buffer shared with the worker pool.
@@ -181,6 +184,228 @@ where
         iterations,
         converged,
         final_delta,
+        pairs_evaluated: vec![n; iterations],
+    }
+}
+
+/// The dirty-pair worklist shared between the coordinator (which rebuilds
+/// it between iterations) and the workers (which only read it while an
+/// iteration is in flight). The barriers at each iteration boundary order
+/// the two phases, so no access is ever concurrent with a mutation.
+struct SharedWorklist {
+    cell: UnsafeCell<Vec<u32>>,
+}
+
+// SAFETY: mutation (coordinator) and reads (workers) are separated by the
+// iteration barriers as documented above.
+unsafe impl Sync for SharedWorklist {}
+
+impl SharedWorklist {
+    /// Shared view of the worklist.
+    ///
+    /// # Safety
+    /// Caller must guarantee no concurrent mutation (true for workers
+    /// between the start and end barriers, and for the coordinator outside
+    /// them).
+    unsafe fn read(&self) -> &Vec<u32> {
+        &*self.cell.get()
+    }
+
+    /// Mutable view of the worklist.
+    ///
+    /// # Safety
+    /// Caller must be the coordinator, outside the barrier window (no
+    /// worker holds a view).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn write(&self) -> &mut Vec<u32> {
+        &mut *self.cell.get()
+    }
+}
+
+/// Runs the **delta-driven** iteration loop on a worker pool spawned once
+/// for the whole run.
+///
+/// Iteration 1 evaluates every slot; iteration `k > 1` evaluates only the
+/// dependents (per `rdep_offsets` / `rdeps`) of slots whose score changed
+/// bitwise in iteration `k−1`. Slots outside the worklist keep their
+/// previous score exactly (the update is a pure function of inputs that
+/// did not change), so results are bitwise identical to [`run_parallel`]
+/// and to the sequential loops.
+///
+/// Buffer discipline: workers write worklist slots of the current buffer;
+/// the coordinator concurrently repairs the disjoint set of slots that
+/// changed last iteration but are *not* on the worklist (copying their
+/// previous score forward), so after each iteration the write buffer is
+/// complete.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_parallel_delta<U, F>(
+    threads: usize,
+    max_iters: usize,
+    epsilon: f64,
+    prev: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    rdep_offsets: &[usize],
+    rdeps: &[u32],
+    make_update: F,
+) -> IterationOutcome
+where
+    F: Fn() -> U + Sync,
+    U: FnMut(usize, &[f64]) -> f64,
+{
+    let n = prev.len();
+    debug_assert_eq!(n, cur.len());
+    debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
+    let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
+    let worklist = SharedWorklist {
+        cell: UnsafeCell::new((0..n as u32).collect()),
+    };
+    let cursor = AtomicUsize::new(0);
+    let chunk = AtomicUsize::new(1);
+    let read_index = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let deltas: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let changed_sink: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    let mut pairs_evaluated = Vec::new();
+    std::thread::scope(|scope| {
+        for worker_delta in &deltas {
+            let buffers = &buffers;
+            let worklist = &worklist;
+            let cursor = &cursor;
+            let chunk = &chunk;
+            let read_index = &read_index;
+            let stop = &stop;
+            let barrier = &barrier;
+            let changed_sink = &changed_sink;
+            let make_update = &make_update;
+            scope.spawn(move || {
+                let mut update = make_update();
+                let mut local_changed: Vec<u32> = Vec::new();
+                loop {
+                    barrier.wait(); // iteration start (or shutdown)
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let r = read_index.load(Ordering::Relaxed);
+                    // SAFETY: this iteration only writes `buffers[1 - r]`.
+                    let read = unsafe { buffers[r].as_read_slice() };
+                    let write = &buffers[1 - r];
+                    // SAFETY: the coordinator mutates the worklist only
+                    // outside the barrier window.
+                    let wl: &[u32] = unsafe { worklist.read() };
+                    let step = chunk.load(Ordering::Relaxed);
+                    let mut local_delta = 0.0f64;
+                    local_changed.clear();
+                    loop {
+                        let start = cursor.fetch_add(step, Ordering::Relaxed);
+                        if start >= wl.len() {
+                            break;
+                        }
+                        let end = (start + step).min(wl.len());
+                        for &slot_id in &wl[start..end] {
+                            let slot = slot_id as usize;
+                            let score = update(slot, read);
+                            let d = (score - read[slot]).abs();
+                            if d > local_delta {
+                                local_delta = d;
+                            }
+                            if score.to_bits() != read[slot].to_bits() {
+                                local_changed.push(slot_id);
+                            }
+                            // SAFETY: worklist slots are handed out
+                            // disjointly by the cursor; the coordinator
+                            // writes only non-worklist slots.
+                            unsafe { write.write(slot, score) };
+                        }
+                    }
+                    worker_delta.store(local_delta.to_bits(), Ordering::Relaxed);
+                    if !local_changed.is_empty() {
+                        changed_sink
+                            .lock()
+                            .expect("changed sink")
+                            .extend_from_slice(&local_changed);
+                    }
+                    barrier.wait(); // iteration end
+                }
+            });
+        }
+
+        let mut read = 0usize;
+        // Slots whose score changed in the previous iteration (C_{k−1}).
+        let mut prev_changed: Vec<u32> = Vec::new();
+        // Worklist-membership marks: mark[s] == epoch ⇔ s ∈ current D_k.
+        let mut mark: Vec<u64> = vec![0; n];
+        let mut epoch = 0u64;
+        while iterations < max_iters {
+            // SAFETY: workers are parked at the start barrier.
+            let wl_len = unsafe { worklist.read() }.len();
+            cursor.store(0, Ordering::Relaxed);
+            chunk.store((wl_len / (threads * 8)).max(64), Ordering::Relaxed);
+            read_index.store(read, Ordering::Relaxed);
+            barrier.wait(); // release workers into the iteration
+            {
+                // Repair C_{k−1} \ D_k concurrently with the workers: copy
+                // last iteration's value forward for changed slots that are
+                // not being re-evaluated (their two-iterations-old copy in
+                // the write buffer is stale). Disjoint from worker writes.
+                // SAFETY: workers never write the read buffer, and only
+                // write worklist slots of the write buffer.
+                let read_buf = unsafe { buffers[read].as_read_slice() };
+                let write = &buffers[1 - read];
+                for &s in &prev_changed {
+                    if mark[s as usize] != epoch {
+                        unsafe { write.write(s as usize, read_buf[s as usize]) };
+                    }
+                }
+            }
+            barrier.wait(); // wait for every worklist slot to be written
+            final_delta = deltas
+                .iter()
+                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+                .fold(0.0, f64::max);
+            pairs_evaluated.push(wl_len);
+            iterations += 1;
+            read = 1 - read;
+            if final_delta < epsilon {
+                converged = true;
+                break;
+            }
+            prev_changed.clear();
+            std::mem::swap(
+                &mut prev_changed,
+                &mut *changed_sink.lock().expect("changed sink"),
+            );
+            // Next worklist: the dependents of every changed slot.
+            epoch += 1;
+            // SAFETY: workers are parked at the start barrier again.
+            let wl = unsafe { worklist.write() };
+            wl.clear();
+            for &c in &prev_changed {
+                let (a, b) = (rdep_offsets[c as usize], rdep_offsets[c as usize + 1]);
+                for &dep in &rdeps[a..b] {
+                    if mark[dep as usize] != epoch {
+                        mark[dep as usize] = epoch;
+                        wl.push(dep);
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        barrier.wait(); // release workers into shutdown
+    });
+
+    if iterations % 2 == 1 {
+        std::mem::swap(prev, cur);
+    }
+    IterationOutcome {
+        iterations,
+        converged,
+        final_delta,
+        pairs_evaluated,
     }
 }
 
@@ -217,6 +442,7 @@ mod tests {
             iterations,
             converged,
             final_delta,
+            pairs_evaluated: vec![scores.len(); iterations],
         }
     }
 
@@ -273,6 +499,61 @@ mod tests {
             let out = run_parallel(3, cap, 0.0, &mut par, &mut par_cur, || toy_update);
             assert_eq!(out.iterations, cap);
             assert_eq!(seq, par, "cap={cap}");
+        }
+    }
+
+    /// Ring dependency structure of [`toy_update`]: slot `s` is read by
+    /// `s − 1`, `s` and `s + 1` (mod n).
+    fn toy_rdeps(n: usize) -> (Vec<usize>, Vec<u32>) {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut rdeps = Vec::with_capacity(3 * n);
+        offsets.push(0);
+        for s in 0..n {
+            for d in [(s + n - 1) % n, s, (s + 1) % n] {
+                rdeps.push(d as u32);
+            }
+            offsets.push(rdeps.len());
+        }
+        (offsets, rdeps)
+    }
+
+    #[test]
+    fn parallel_delta_matches_sequential_bitwise_on_toy_system() {
+        let n = 4096;
+        // A locally-perturbed start: most slots begin at the fixpoint-ish
+        // plateau so the dirty worklist actually shrinks.
+        let init: Vec<f64> = (0..n)
+            .map(|i| if i % 511 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let mut seq = init.clone();
+        let mut seq_cur = vec![0.0; n];
+        let seq_out = run_seq(&mut seq, &mut seq_cur, 30, 1e-9, toy_update);
+
+        let (offsets, rdeps) = toy_rdeps(n);
+        let mut par = init.clone();
+        let mut par_cur = vec![0.0; n];
+        let par_out = run_parallel_delta(
+            4,
+            30,
+            1e-9,
+            &mut par,
+            &mut par_cur,
+            &offsets,
+            &rdeps,
+            || toy_update,
+        );
+
+        assert_eq!(seq_out.iterations, par_out.iterations);
+        assert_eq!(seq_out.converged, par_out.converged);
+        assert_eq!(seq_out.final_delta.to_bits(), par_out.final_delta.to_bits());
+        assert_eq!(par_out.pairs_evaluated.len(), par_out.iterations);
+        assert_eq!(par_out.pairs_evaluated[0], n, "first iteration is full");
+        assert!(
+            par_out.pairs_evaluated.iter().sum::<usize>() < n * par_out.iterations,
+            "dirty scheduling must skip clean slots on this workload"
+        );
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits(), "delta runner diverged");
         }
     }
 

@@ -11,8 +11,10 @@
 //! the candidate store; a new label function also rebuilds the prepared
 //! table).
 
-use super::iterate::{initialize, pair_update, run_to_convergence};
-use crate::config::{ConfigError, FsimConfig, LabelTermMode};
+use super::deps::{PairDepCsr, BYTES_PER_ENTRY, BYTES_PER_SLOT};
+use super::iterate::{initialize, pair_update, run_delta, run_to_convergence};
+use crate::candidates::estimated_dep_entries;
+use crate::config::{ConfigError, ConvergenceMode, FsimConfig, LabelTermMode};
 use crate::operators::{LabelEval, OpCtx, OpScratch, Operator, VariantOp};
 use crate::result::FsimResult;
 use crate::store::PairStore;
@@ -126,12 +128,23 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     interner: Arc<LabelInterner>,
     label_eval: LabelEval,
     store: PairStore,
+    /// Per-slot cache of the (iteration-constant) label term
+    /// `L(ℓ1(u), ℓ2(v))`; rebuilt with the store or the label evaluation.
+    label_terms: Vec<f64>,
+    /// The pair-dependency CSR for delta-driven convergence, built lazily
+    /// on [`run`](Self::run) when the configured [`ConvergenceMode`]
+    /// wants it. Lives exactly as long as the store it indexes.
+    deps: Option<PairDepCsr>,
     scores: Vec<f64>,
     /// Reusable double buffer for the iteration loop.
     cur: Vec<f64>,
     iterations: usize,
     converged: bool,
     final_delta: f64,
+    /// Pairs re-evaluated per iteration by the last run.
+    pairs_evaluated: Vec<usize>,
+    /// Whether the last run used delta-driven scheduling.
+    delta_scheduled: bool,
     has_run: bool,
 }
 
@@ -174,11 +187,15 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 index: crate::store::PairIndex::Dense { n2: 0 },
                 fallback: crate::store::Fallback::Zero,
             },
+            label_terms: Vec::new(),
+            deps: None,
             scores: Vec::new(),
             cur: Vec::new(),
             iterations: 0,
             converged: false,
             final_delta: 0.0,
+            pairs_evaluated: Vec::new(),
+            delta_scheduled: false,
             has_run: false,
         };
         engine.rebuild_store();
@@ -203,7 +220,50 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             &self.op,
         );
         self.store = store;
+        // The dependency CSR indexes the old store's slots; drop it.
+        self.deps = None;
+        self.refresh_label_terms();
         self.has_run = false;
+    }
+
+    /// Recomputes the per-slot label-term cache (store or label evaluation
+    /// changed).
+    fn refresh_label_terms(&mut self) {
+        let ctx = self.ctx();
+        let terms: Vec<f64> = self
+            .store
+            .pairs
+            .iter()
+            .map(|&(u, v)| ctx.label_sim(u, v))
+            .collect();
+        self.label_terms = terms;
+    }
+
+    /// Builds or drops the dependency CSR according to the configured
+    /// [`ConvergenceMode`]. Under `Auto`, an already-built CSR is kept and
+    /// a missing one is built only when the degree-product estimate fits
+    /// the memory budget; `DeltaDriven` builds unconditionally (for
+    /// operators with a slot path); `FullSweep` drops any cached CSR.
+    fn ensure_deps(&mut self) {
+        let want = self.op.supports_slots()
+            && match self.cfg.convergence {
+                ConvergenceMode::FullSweep => false,
+                ConvergenceMode::DeltaDriven => true,
+                ConvergenceMode::Auto => {
+                    self.deps.is_some() || {
+                        let entries = estimated_dep_entries(self.g1, self.g2, &self.store);
+                        let bytes = entries * BYTES_PER_ENTRY
+                            + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
+                        bytes <= self.cfg.csr_budget as u128
+                    }
+                }
+            };
+        if !want {
+            self.deps = None;
+        } else if self.deps.is_none() {
+            let csr = PairDepCsr::build(self.g1, self.g2, &self.ctx(), &self.store, &self.op);
+            self.deps = Some(csr);
+        }
     }
 
     /// Iterates Equation 3 to convergence (Algorithm 1) from a fresh
@@ -215,9 +275,13 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.iterations = 0;
             self.converged = true;
             self.final_delta = 0.0;
+            self.pairs_evaluated.clear();
+            self.delta_scheduled = false;
             self.has_run = true;
             return self;
         }
+        self.ensure_deps();
+        self.delta_scheduled = self.deps.is_some();
         // Destructure so the iteration loop can borrow the caches
         // immutably while writing the score buffers.
         let Self {
@@ -229,21 +293,29 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             labels2,
             label_eval,
             store,
+            label_terms,
+            deps,
             scores,
             cur,
             ..
         } = self;
-        let ctx = OpCtx {
-            labels1: labels1.as_slice(),
-            labels2: labels2.as_slice(),
-            label_eval,
-            theta: cfg.theta,
+        initialize(store, cfg, g1, g2, label_terms, scores);
+        let outcome = match deps {
+            Some(csr) => run_delta(cfg, op, store, csr, label_terms, scores, cur),
+            None => {
+                let ctx = OpCtx {
+                    labels1: labels1.as_slice(),
+                    labels2: labels2.as_slice(),
+                    label_eval,
+                    theta: cfg.theta,
+                };
+                run_to_convergence(g1, g2, &ctx, cfg, op, store, label_terms, scores, cur)
+            }
         };
-        initialize(store, &ctx, cfg, g1, g2, scores);
-        let outcome = run_to_convergence(g1, g2, &ctx, cfg, op, store, scores, cur);
         self.iterations = outcome.iterations;
         self.converged = outcome.converged;
         self.final_delta = outcome.final_delta;
+        self.pairs_evaluated = outcome.pairs_evaluated;
         self.has_run = true;
         self
     }
@@ -270,7 +342,15 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.label_eval = build_label_eval(&self.cfg, &self.interner);
         }
         if store_stale {
+            // Also drops the dependency CSR and refreshes the label-term
+            // cache — both live exactly as long as the store.
             self.rebuild_store();
+        } else if label_changed {
+            // Store survives a label change only when nothing θ- or
+            // pruning-related reads labels; eligibility is then vacuous
+            // (θ = 0), so the CSR stays valid — but the cached label
+            // terms do not.
+            self.refresh_label_terms();
         }
         Ok(self.run())
     }
@@ -368,6 +448,25 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         self.final_delta
     }
 
+    /// Pairs re-evaluated per iteration by the last run: `|H|` every
+    /// iteration under the full sweep, the dirty-worklist length under
+    /// delta-driven scheduling (empty before any run).
+    pub fn pairs_evaluated(&self) -> &[usize] {
+        &self.pairs_evaluated
+    }
+
+    /// Whether the last run used delta-driven (dirty-pair) scheduling.
+    pub fn delta_scheduled(&self) -> bool {
+        self.delta_scheduled
+    }
+
+    /// Number of entries in the cached pair-dependency CSR, or `None`
+    /// when no CSR is held (full-sweep mode, over-budget estimate, or an
+    /// operator without a slot path).
+    pub fn dep_entry_count(&self) -> Option<usize> {
+        self.deps.as_ref().map(|d| d.entry_count())
+    }
+
     /// Whether [`run`](Self::run) has produced scores for the current
     /// configuration.
     pub fn has_run(&self) -> bool {
@@ -397,6 +496,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.iterations,
             self.converged,
             self.final_delta,
+            self.pairs_evaluated.clone(),
         )
     }
 
@@ -413,6 +513,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.iterations,
             self.converged,
             self.final_delta,
+            self.pairs_evaluated,
         )
     }
 

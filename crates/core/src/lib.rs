@@ -51,10 +51,13 @@ pub mod store;
 pub mod topk;
 
 pub use config::{
-    ConfigError, FsimConfig, InitScheme, LabelTermMode, MatcherKind, UpperBoundPruning, Variant,
+    ConfigError, ConvergenceMode, FsimConfig, InitScheme, LabelTermMode, MatcherKind,
+    UpperBoundPruning, Variant,
 };
 pub use engine::{all_variants, compute, compute_with_operator, score_on_demand, FsimEngine};
-pub use operators::{LabelEval, OpCtx, OpScratch, Operator, ScoreLookup, SimRankOp, VariantOp};
+pub use operators::{
+    DepEntry, LabelEval, OpCtx, OpScratch, Operator, ScoreLookup, SimRankOp, VariantOp,
+};
 pub use presets::{
     bounded_fsim, kbisim_via_framework, milner_config, rolesim_via_framework, simrank_via_framework,
 };

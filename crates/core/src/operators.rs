@@ -71,11 +71,49 @@ pub trait ScoreLookup {
     fn get(&self, x: NodeId, y: NodeId) -> f64;
 }
 
+/// One prepared dependency of a pair's Equation-3 update: neighbor pair
+/// `(x, y)` with `x` at position `i` of `S1` and `y` at position `j` of
+/// `S2`, resolved at session-prepare time to either the slot holding its
+/// score or (for pairs pruned from the maintained set) the constant the
+/// fallback serves. Lists are θ-eligibility prefiltered and sorted by
+/// `(i, j)`, so the slot-based operator paths are pure index arithmetic —
+/// no `PairIndex` lookups or `L(x, y) ≥ θ` re-checks per iteration.
+///
+/// Pairs whose fallback constant is `0` are omitted entirely: a zero can
+/// neither win a max, enter a positive-weight matching, nor change a sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepEntry {
+    /// Position of `x` within `S1`.
+    pub i: u32,
+    /// Position of `y` within `S2`.
+    pub j: u32,
+    /// Score-buffer slot of `(x, y)`, or [`DepEntry::CONST`].
+    pub slot: u32,
+    /// The fallback constant, read when `slot == CONST`.
+    pub cval: f32,
+}
+
+impl DepEntry {
+    /// Sentinel slot marking a constant (non-maintained) dependency.
+    pub const CONST: u32 = u32::MAX;
+
+    /// The dependency's value under the previous iteration's scores.
+    #[inline]
+    pub fn value(&self, prev: &[f64]) -> f64 {
+        if self.slot == Self::CONST {
+            self.cval as f64
+        } else {
+            prev[self.slot as usize]
+        }
+    }
+}
+
 /// Reusable per-worker scratch buffers for the injective operators.
 #[derive(Debug, Default)]
 pub struct OpScratch {
     edges: Vec<(f64, u32, u32)>,
     weights: Vec<f64>,
+    best_right: Vec<f64>,
     matcher: GreedyMatcher,
 }
 
@@ -110,6 +148,59 @@ pub trait Operator: Send + Sync {
         prev: &S,
         scratch: &mut OpScratch,
     ) -> f64;
+
+    /// Whether the operator implements [`map_sum_slots`](Self::map_sum_slots)
+    /// over prepared dependency lists. Operators answering `false` keep the
+    /// engine on the on-the-fly [`map_sum`](Self::map_sum) sweep.
+    fn supports_slots(&self) -> bool {
+        false
+    }
+
+    /// Whether the prepared dependency lists must also contain pairs that
+    /// fail the Remark-2 eligibility constraint `L(x, y) ≥ θ`
+    /// ([`SimRankOp`] reads *every* neighbor pair, eligible or not).
+    fn reads_ineligible_pairs(&self) -> bool {
+        false
+    }
+
+    /// [`map_sum`](Self::map_sum) evaluated from a prepared dependency
+    /// list (θ-prefiltered, `(i, j)`-sorted — see [`DepEntry`]) instead of
+    /// raw neighbor sets. Must produce bitwise-identical results to
+    /// `map_sum` under the same previous scores; the engine property-tests
+    /// this equivalence. Only called when
+    /// [`supports_slots`](Self::supports_slots) is `true`.
+    fn map_sum_slots(
+        &self,
+        _entries: &[DepEntry],
+        _len1: usize,
+        _len2: usize,
+        _prev: &[f64],
+        _scratch: &mut OpScratch,
+    ) -> f64 {
+        unimplemented!("operator does not support slot-based evaluation")
+    }
+
+    /// The neighbor term of Equation 2 over a prepared dependency list —
+    /// [`term`](Self::term) with `map_sum` replaced by
+    /// [`map_sum_slots`](Self::map_sum_slots); `len1` / `len2` are the
+    /// original neighbor-set sizes (they drive `Ωχ` and vacuity).
+    fn term_slots(
+        &self,
+        entries: &[DepEntry],
+        len1: usize,
+        len2: usize,
+        prev: &[f64],
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        if self.vacuous(len1, len2) {
+            return 1.0;
+        }
+        let omega = self.omega(len1, len2);
+        if omega <= 0.0 {
+            return 0.0;
+        }
+        self.map_sum_slots(entries, len1, len2, prev, scratch) / omega
+    }
 
     /// Score-independent upper bound on `|Mχ(S1, S2)|` (exact for `s`/`b`).
     fn map_size(&self, ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize;
@@ -257,6 +348,99 @@ fn injective_sum<S: ScoreLookup>(
     }
 }
 
+/// `Σ_x max_{eligible y} prev(x, y)` over a prepared dependency list.
+///
+/// Entries are `(i, j)`-sorted, so each left node's eligible targets are
+/// consecutive; left nodes with no eligible target contribute exactly the
+/// `0.0` the on-the-fly path adds for them, so they are simply absent.
+fn slots_sum_best_per_left(entries: &[DepEntry], prev: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut idx = 0;
+    while idx < entries.len() {
+        let row = entries[idx].i;
+        let mut best = 0.0f64;
+        while idx < entries.len() && entries[idx].i == row {
+            let s = entries[idx].value(prev);
+            if s > best {
+                best = s;
+            }
+            idx += 1;
+        }
+        total += best;
+    }
+    total
+}
+
+/// `Σ_y max_{eligible x} prev(x, y)` over a prepared dependency list (the
+/// converse direction of the `fb` mapping). Accumulates per-column maxima
+/// in scratch and sums columns in `j` order, reproducing the on-the-fly
+/// path's iteration order bitwise (empty columns contribute `+0.0`).
+fn slots_sum_best_per_right(
+    entries: &[DepEntry],
+    len2: usize,
+    prev: &[f64],
+    scratch: &mut OpScratch,
+) -> f64 {
+    let best = &mut scratch.best_right;
+    best.clear();
+    best.resize(len2, 0.0);
+    for e in entries {
+        let s = e.value(prev);
+        if s > best[e.j as usize] {
+            best[e.j as usize] = s;
+        }
+    }
+    let mut total = 0.0;
+    for &b in best.iter() {
+        total += b;
+    }
+    total
+}
+
+/// Maximum-weight injective mapping sum over a prepared dependency list
+/// (mirrors [`injective_sum`]; entry order equals the on-the-fly edge
+/// enumeration order, so the greedy matcher sees an identical edge list).
+fn slots_injective_sum(
+    entries: &[DepEntry],
+    len1: usize,
+    len2: usize,
+    prev: &[f64],
+    scratch: &mut OpScratch,
+    matcher: MatcherKind,
+) -> f64 {
+    if len1 == 0 || len2 == 0 {
+        return 0.0;
+    }
+    match matcher {
+        MatcherKind::Greedy => {
+            scratch.edges.clear();
+            for e in entries {
+                let w = e.value(prev);
+                if w > 0.0 {
+                    scratch.edges.push((w, e.i, e.j));
+                }
+            }
+            let (sum, _) = scratch.matcher.assign(len1, len2, &mut scratch.edges);
+            sum
+        }
+        MatcherKind::Hungarian => {
+            let (rows, cols, transposed) = if len1 <= len2 {
+                (len1, len2, false)
+            } else {
+                (len2, len1, true)
+            };
+            scratch.weights.clear();
+            scratch.weights.resize(rows * cols, 0.0);
+            for e in entries {
+                let (r, c) = if transposed { (e.j, e.i) } else { (e.i, e.j) };
+                scratch.weights[r as usize * cols + c as usize] = e.value(prev);
+            }
+            let (sum, _) = hungarian_max_weight(rows, cols, &scratch.weights);
+            sum
+        }
+    }
+}
+
 /// Borrowed operators delegate; `sync_cfg` stays a no-op (a borrowed
 /// operator cannot be mutated, so variant reconfiguration through a
 /// reference is intentionally inert — used by the one-shot
@@ -275,6 +459,36 @@ impl<O: Operator> Operator for &O {
 
     fn map_size(&self, ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
         (**self).map_size(ctx, s1, s2)
+    }
+
+    fn supports_slots(&self) -> bool {
+        (**self).supports_slots()
+    }
+
+    fn reads_ineligible_pairs(&self) -> bool {
+        (**self).reads_ineligible_pairs()
+    }
+
+    fn map_sum_slots(
+        &self,
+        entries: &[DepEntry],
+        len1: usize,
+        len2: usize,
+        prev: &[f64],
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        (**self).map_sum_slots(entries, len1, len2, prev, scratch)
+    }
+
+    fn term_slots(
+        &self,
+        entries: &[DepEntry],
+        len1: usize,
+        len2: usize,
+        prev: &[f64],
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        (**self).term_slots(entries, len1, len2, prev, scratch)
     }
 
     fn omega(&self, len1: usize, len2: usize) -> f64 {
@@ -337,6 +551,30 @@ impl Operator for VariantOp {
             }
             Variant::DegreePreserving | Variant::Bijective => {
                 injective_sum(ctx, s1, s2, prev, scratch, self.matcher)
+            }
+        }
+    }
+
+    fn supports_slots(&self) -> bool {
+        true
+    }
+
+    fn map_sum_slots(
+        &self,
+        entries: &[DepEntry],
+        len1: usize,
+        len2: usize,
+        prev: &[f64],
+        scratch: &mut OpScratch,
+    ) -> f64 {
+        match self.variant {
+            Variant::Simple => slots_sum_best_per_left(entries, prev),
+            Variant::Bi => {
+                slots_sum_best_per_left(entries, prev)
+                    + slots_sum_best_per_right(entries, len2, prev, scratch)
+            }
+            Variant::DegreePreserving | Variant::Bijective => {
+                slots_injective_sum(entries, len1, len2, prev, scratch, self.matcher)
             }
         }
     }
@@ -410,6 +648,29 @@ impl Operator for SimRankOp {
             for &y in s2 {
                 total += prev.get(x, y);
             }
+        }
+        total
+    }
+
+    fn supports_slots(&self) -> bool {
+        true
+    }
+
+    fn reads_ineligible_pairs(&self) -> bool {
+        true
+    }
+
+    fn map_sum_slots(
+        &self,
+        entries: &[DepEntry],
+        _len1: usize,
+        _len2: usize,
+        prev: &[f64],
+        _scratch: &mut OpScratch,
+    ) -> f64 {
+        let mut total = 0.0;
+        for e in entries {
+            total += e.value(prev);
         }
         total
     }

@@ -29,6 +29,8 @@ pub fn simrank_via_framework(g: &Graph, c: f64, epsilon: f64) -> FsimResult {
         threads: 1,
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: true,
+        convergence: crate::config::ConvergenceMode::Auto,
+        csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
     };
     FsimEngine::with_operator(g, g, &cfg, SimRankOp)
         .expect("valid SimRank configuration")
@@ -57,6 +59,8 @@ pub fn rolesim_via_framework(g: &Graph, beta: f64, epsilon: f64) -> FsimResult {
         threads: 1,
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: false,
+        convergence: crate::config::ConvergenceMode::Auto,
+        csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
     };
     compute(&und, &und, &cfg).expect("valid RoleSim configuration")
 }
@@ -111,6 +115,8 @@ pub fn kbisim_config(k: usize) -> FsimConfig {
         threads: 1,
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: false,
+        convergence: crate::config::ConvergenceMode::Auto,
+        csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
     }
 }
 

@@ -15,6 +15,9 @@ pub struct FsimResult {
     pub converged: bool,
     /// The last iteration's `Δ = max |FSim^k − FSim^{k−1}|`.
     pub final_delta: f64,
+    /// Pairs re-evaluated per iteration (see
+    /// [`pairs_evaluated`](Self::pairs_evaluated)).
+    pairs_evaluated: Vec<usize>,
 }
 
 impl FsimResult {
@@ -24,6 +27,7 @@ impl FsimResult {
         iterations: usize,
         converged: bool,
         final_delta: f64,
+        pairs_evaluated: Vec<usize>,
     ) -> Self {
         Self {
             store,
@@ -31,7 +35,21 @@ impl FsimResult {
             iterations,
             converged,
             final_delta,
+            pairs_evaluated,
         }
+    }
+
+    /// Pairs re-evaluated per iteration: `|H|` every iteration under the
+    /// full sweep, the dirty-worklist length under delta-driven
+    /// scheduling — the work saved by dirty scheduling is
+    /// `|H| · iterations − total_pairs_evaluated()`.
+    pub fn pairs_evaluated(&self) -> &[usize] {
+        &self.pairs_evaluated
+    }
+
+    /// Total Equation-3 evaluations across all iterations.
+    pub fn total_pairs_evaluated(&self) -> usize {
+        self.pairs_evaluated.iter().sum()
     }
 
     /// Score of a maintained pair, or `None` if `(u, v)` was pruned.

@@ -49,6 +49,18 @@ pub enum Fallback {
     AlphaUb(FxHashMap<u64, f32>),
 }
 
+/// How a pair's previous-iteration score is obtained: from a maintained
+/// slot, or as the pruning fallback constant. Resolved once per pair at
+/// session-prepare time by the dependency-CSR builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PairRef {
+    /// The pair is maintained at this score-buffer slot.
+    Slot(usize),
+    /// The pair is pruned; every lookup serves this constant
+    /// (`0` under θ-pruning, `α·ub` under upper-bound pruning).
+    Absent(f64),
+}
+
 /// The maintained pairs plus their double-buffered scores.
 #[derive(Debug, Clone)]
 pub struct PairStore {
@@ -61,6 +73,20 @@ pub struct PairStore {
 }
 
 impl PairStore {
+    /// Resolves `(x, y)` to its slot or its constant fallback value —
+    /// exactly the semantics of a [`ScoreView`] lookup, factored out so
+    /// iteration-invariant structure can be materialized once.
+    pub fn resolve(&self, x: NodeId, y: NodeId) -> PairRef {
+        match self.index.get(x, y) {
+            Some(i) => PairRef::Slot(i),
+            None => PairRef::Absent(match &self.fallback {
+                Fallback::Zero => 0.0,
+                Fallback::AlphaUb(map) => {
+                    map.get(&pair_key(x, y)).map(|&v| v as f64).unwrap_or(0.0)
+                }
+            }),
+        }
+    }
     /// Number of maintained pairs (`|H|` in the cost analysis).
     pub fn len(&self) -> usize {
         self.pairs.len()
@@ -151,6 +177,30 @@ mod tests {
         assert_eq!(view.get(0, 1), 0.5);
         assert_eq!(view.get(2, 3), 0.7);
         assert_eq!(view.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn resolve_matches_view_semantics() {
+        let mut ub = FxHashMap::default();
+        ub.insert(pair_key(5, 5), 0.25f32);
+        let store = PairStore {
+            pairs: vec![(0, 0)],
+            index: PairIndex::Sparse({
+                let mut m = FxHashMap::default();
+                m.insert(pair_key(0, 0), 0);
+                m
+            }),
+            fallback: Fallback::AlphaUb(ub),
+        };
+        let scores = vec![0.75];
+        let view = store.view(&scores);
+        for (x, y) in [(0, 0), (5, 5), (9, 9)] {
+            let via_resolve = match store.resolve(x, y) {
+                PairRef::Slot(i) => scores[i],
+                PairRef::Absent(c) => c,
+            };
+            assert_eq!(via_resolve.to_bits(), view.get(x, y).to_bits());
+        }
     }
 
     #[test]

@@ -38,8 +38,40 @@ pub fn top_k_pairs(
     top_k_from_iter(result.iter_pairs(), k, exclude_identity)
 }
 
+/// A pair ranked for top-k selection: greater = better. Total order via
+/// `total_cmp` (no NaN panic path), descending score with ties broken by
+/// ascending `(u, v)`.
+struct Ranked {
+    u: NodeId,
+    v: NodeId,
+    score: f64,
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| (other.u, other.v).cmp(&(self.u, self.v)))
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
 /// Shared top-k extraction over any `(u, v, score)` stream (used by both
-/// [`top_k_pairs`] and [`FsimEngine::top_k`]).
+/// [`top_k_pairs`] and [`FsimEngine::top_k`]): a bounded min-heap of the
+/// current k best — `O(P log k)` instead of sorting all `P` pairs.
 pub(crate) fn top_k_from_iter<I>(
     pairs: I,
     k: usize,
@@ -48,16 +80,30 @@ pub(crate) fn top_k_from_iter<I>(
 where
     I: Iterator<Item = (NodeId, NodeId, f64)>,
 {
-    let mut pairs: Vec<(NodeId, NodeId, f64)> = pairs
-        .filter(|&(u, v, _)| !(exclude_identity && u == v))
-        .collect();
-    pairs.sort_by(|a, b| {
-        b.2.partial_cmp(&a.2)
-            .unwrap()
-            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
-    });
-    pairs.truncate(k);
-    pairs
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    if k == 0 {
+        return Vec::new();
+    }
+    // `Reverse` turns the max-heap into a min-heap: the worst kept pair
+    // sits at the top, ready to be displaced.
+    let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+    for (u, v, score) in pairs {
+        if exclude_identity && u == v {
+            continue;
+        }
+        let cand = Ranked { u, v, score };
+        if heap.len() < k {
+            heap.push(Reverse(cand));
+        } else if cand > heap.peek().expect("non-empty heap").0 {
+            heap.pop();
+            heap.push(Reverse(cand));
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|Reverse(r)| (r.u, r.v, r.score))
+        .collect()
 }
 
 /// Certified top-k search: runs the engine with upper-bound pruning,

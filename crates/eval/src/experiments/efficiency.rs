@@ -69,6 +69,21 @@ pub fn run(opts: &ExpOpts) -> Report {
         format!("similarity: FSimbj per pair ({} pairs)", r.pair_count()),
         fmt_secs(per_pair),
     ]);
+    // Work saved by dirty-pair scheduling: evaluations actually performed
+    // vs the |H| × iterations a full Algorithm-1 sweep would pay.
+    let full_sweep = r.pair_count() * r.iterations;
+    report.row(vec![
+        format!(
+            "similarity: pairs evaluated over {} iterations",
+            r.iterations
+        ),
+        format!(
+            "{} of {} ({:.1}% saved)",
+            r.total_pairs_evaluated(),
+            full_sweep,
+            100.0 * (1.0 - r.total_pairs_evaluated() as f64 / full_sweep.max(1) as f64)
+        ),
+    ]);
 
     // Alignment: end-to-end FSimb.
     let n = ((600.0 * opts.scale) as usize).max(60);
@@ -98,7 +113,7 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.12;
         let r = run(&opts);
-        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows.len(), 6);
         for row in &r.rows {
             assert!(!row[1].is_empty());
         }

@@ -4,7 +4,7 @@
 //! fsim stats <graph>
 //! fsim generate --dataset NELL [--scale F] [--seed S] [-o out.txt]
 //! fsim score <g1> <g2> [--variant s|dp|b|bj] [--theta T] [--threads N]
-//!            [--pair U,V]... [--top K]
+//!            [--convergence auto|sweep|delta] [--pair U,V]... [--top K]
 //! fsim exact <g1> <g2> [--variant s|dp|b|bj] [--pair U,V]...
 //! fsim topk <graph> [-k K] [--variant s|dp|b|bj]
 //! fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]
@@ -13,7 +13,7 @@
 //! Graphs are read in the text edge-list format of `fsim_graph::io`
 //! (`n <id> <label>` / `e <src> <dst>` lines).
 
-use fsim::core::{top_k_search, FsimConfig, Variant};
+use fsim::core::{top_k_search, ConvergenceMode, FsimConfig, Variant};
 use fsim::prelude::*;
 use std::process::exit;
 
@@ -48,7 +48,7 @@ fn usage() {
          commands:\n  \
          stats <graph>                                  print graph statistics\n  \
          generate --dataset NAME [--scale F] [--seed S] [-o FILE]\n  \
-         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--pair U,V]... [--top K]\n  \
+         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--convergence auto|sweep|delta] [--pair U,V]... [--top K]\n  \
          exact <g1> <g2> [--variant V] [--pair U,V]...\n  \
          topk <graph> [-k K] [--variant V]\n  \
          align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]"
@@ -148,6 +148,18 @@ fn build_config(a: &Args<'_>) -> Result<FsimConfig, String> {
     if let Some(t) = a.flag("threads") {
         cfg.threads = t.parse().map_err(|_| format!("bad thread count {t:?}"))?;
     }
+    if let Some(m) = a.flag("convergence") {
+        cfg.convergence = match m {
+            "auto" => ConvergenceMode::Auto,
+            "sweep" => ConvergenceMode::FullSweep,
+            "delta" => ConvergenceMode::DeltaDriven,
+            other => {
+                return Err(format!(
+                    "unknown convergence mode {other:?} (expected auto|sweep|delta)"
+                ))
+            }
+        };
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -199,10 +211,16 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
     let mut engine = fsim::core::FsimEngine::new(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
     engine.run();
     eprintln!(
-        "computed {} pairs in {} iterations (converged: {})",
+        "computed {} pairs in {} iterations (converged: {}, {}: {} evaluations)",
         engine.pair_count(),
         engine.iterations(),
-        engine.converged()
+        engine.converged(),
+        if engine.delta_scheduled() {
+            "delta-driven"
+        } else {
+            "full sweep"
+        },
+        engine.pairs_evaluated().iter().sum::<usize>(),
     );
     let pairs = a.flags_all("pair");
     if !pairs.is_empty() {
