@@ -143,6 +143,204 @@ pub fn estimated_dep_entries(g1: &Graph, g2: &Graph, store: &PairStore) -> u128 
     total
 }
 
+/// Sentinel slot value in [`StoreRepair`] remap tables: removed / added.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// The outcome of an incremental candidate-store repair: the repaired
+/// store plus the slot remapping that lets store-lifetime caches (the
+/// dependency CSR, label terms, score trajectories) carry surviving slots
+/// over instead of being rebuilt.
+#[derive(Debug)]
+pub(crate) struct StoreRepair {
+    /// The repaired store.
+    pub store: PairStore,
+    /// Old slot → new slot ([`NO_SLOT`] for removed pairs). Length = old
+    /// pair count.
+    pub old_to_new: Vec<u32>,
+    /// New slot → old slot ([`NO_SLOT`] for added pairs). Length = new
+    /// pair count.
+    pub new_to_old: Vec<u32>,
+    /// Pairs that left the maintained set.
+    pub removed_pairs: Vec<(NodeId, NodeId)>,
+    /// Pairs that entered the maintained set.
+    pub added_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl StoreRepair {
+    /// Whether the maintained pair set (and hence the slot numbering)
+    /// survived the repair unchanged.
+    pub fn membership_unchanged(&self) -> bool {
+        self.removed_pairs.is_empty() && self.added_pairs.is_empty()
+    }
+}
+
+/// Incrementally repairs a candidate store after a graph edit:
+/// re-enumerates membership only for the *dirty region* — pairs `(u, v)`
+/// with `u ∈ dirty_left` or `v ∈ dirty_right` — and carries every other
+/// slot over unchanged. Under α-substituted pruning the fallback constants
+/// of the dirty region are refreshed in place.
+///
+/// `g1` / `g2` / `ctx` must already reflect the edited graphs. The
+/// resulting store resolves every pair exactly like a fresh
+/// [`enumerate_candidates`] on the edited graphs (the index representation
+/// may differ — e.g. a dense store that loses pairs becomes sparse — but
+/// pair order, scores and fallback semantics are identical).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn repair_candidates<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    old: PairStore,
+    dirty_left: &fsim_graph::FxHashSet<NodeId>,
+    dirty_right: &fsim_graph::FxHashSet<NodeId>,
+) -> StoreRepair {
+    let old_len = old.len();
+    if dirty_left.is_empty() && dirty_right.is_empty() {
+        return StoreRepair {
+            old_to_new: (0..old_len as u32).collect(),
+            new_to_old: (0..old_len as u32).collect(),
+            removed_pairs: Vec::new(),
+            added_pairs: Vec::new(),
+            store: old,
+        };
+    }
+    let (n1, n2) = (g1.node_count() as u32, g2.node_count() as u32);
+    // Re-enumerate the dirty region with exactly the predicate of
+    // `enumerate_candidates`: the θ base filter, then the upper bound.
+    let mut desired: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut dropped_new: Vec<(u64, f32)> = Vec::new();
+    {
+        let mut eval = |u: NodeId, v: NodeId| {
+            if cfg.theta > 0.0 && ctx.label_sim(u, v) < cfg.theta {
+                return;
+            }
+            match cfg.upper_bound {
+                None => desired.push((u, v)),
+                Some(ub_cfg) => {
+                    let ub = static_upper_bound(g1, g2, ctx, cfg, op, u, v);
+                    if ub > ub_cfg.beta {
+                        desired.push((u, v));
+                    } else if ub_cfg.alpha > 0.0 {
+                        dropped_new.push((pair_key(u, v), (ub_cfg.alpha * ub) as f32));
+                    }
+                }
+            }
+        };
+        for &u in dirty_left {
+            for v in 0..n2 {
+                eval(u, v);
+            }
+        }
+        for &v in dirty_right {
+            for u in 0..n1 {
+                if !dirty_left.contains(&u) {
+                    eval(u, v);
+                }
+            }
+        }
+    }
+    desired.sort_unstable();
+
+    // Merge: surviving clean pairs (ordered, with their old slots) with the
+    // re-enumerated dirty region (old slot recovered via the old index).
+    let in_region =
+        |&(u, v): &(NodeId, NodeId)| dirty_left.contains(&u) || dirty_right.contains(&v);
+    let mut new_pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(old_len);
+    let mut new_to_old: Vec<u32> = Vec::with_capacity(old_len);
+    let mut old_to_new: Vec<u32> = vec![NO_SLOT; old_len];
+    let mut removed_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut added_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    {
+        let mut clean = old
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !in_region(p))
+            .map(|(i, &p)| (p, i as u32))
+            .peekable();
+        let mut dirty = desired.iter().copied().peekable();
+        loop {
+            let take_clean = match (clean.peek(), dirty.peek()) {
+                (Some(&(cp, _)), Some(&dp)) => cp < dp,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_clean {
+                let (p, old_slot) = clean.next().unwrap();
+                old_to_new[old_slot as usize] = new_pairs.len() as u32;
+                new_to_old.push(old_slot);
+                new_pairs.push(p);
+            } else {
+                let (u, v) = dirty.next().unwrap();
+                match old.index.get(u, v) {
+                    Some(old_slot) if old_slot < old_len => {
+                        old_to_new[old_slot] = new_pairs.len() as u32;
+                        new_to_old.push(old_slot as u32);
+                    }
+                    _ => {
+                        added_pairs.push((u, v));
+                        new_to_old.push(NO_SLOT);
+                    }
+                }
+                new_pairs.push((u, v));
+            }
+        }
+    }
+    for (old_slot, &mapped) in old_to_new.iter().enumerate() {
+        if mapped == NO_SLOT {
+            removed_pairs.push(old.pairs[old_slot]);
+        }
+    }
+
+    // Refresh the α·ub constants of the dirty region (the bound values of
+    // clean pairs are untouched by construction of the dirty sets).
+    let fallback = match old.fallback {
+        Fallback::Zero => Fallback::Zero,
+        Fallback::AlphaUb(mut map) => {
+            for &u in dirty_left {
+                for v in 0..n2 {
+                    map.remove(&pair_key(u, v));
+                }
+            }
+            for &v in dirty_right {
+                for u in 0..n1 {
+                    if !dirty_left.contains(&u) {
+                        map.remove(&pair_key(u, v));
+                    }
+                }
+            }
+            map.extend(dropped_new);
+            Fallback::AlphaUb(map)
+        }
+    };
+
+    let index = if removed_pairs.is_empty() && added_pairs.is_empty() {
+        old.index // slot numbering survived
+    } else {
+        let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+        map.reserve(new_pairs.len());
+        for (i, &(u, v)) in new_pairs.iter().enumerate() {
+            map.insert(pair_key(u, v), i as u32);
+        }
+        PairIndex::Sparse(map)
+    };
+
+    StoreRepair {
+        store: PairStore {
+            pairs: new_pairs,
+            index,
+            fallback,
+        },
+        old_to_new,
+        new_to_old,
+        removed_pairs,
+        added_pairs,
+    }
+}
+
 fn sparse_store(mut pairs: Vec<(NodeId, NodeId)>, fallback: Fallback) -> PairStore {
     pairs.sort_unstable();
     pairs.dedup();
@@ -271,6 +469,71 @@ mod tests {
             }
             Fallback::Zero => panic!("expected AlphaUb fallback"),
         }
+    }
+
+    #[test]
+    fn repair_matches_fresh_enumeration_after_relabel() {
+        use fsim_graph::FxHashSet;
+        let (g1, g2) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple).theta(1.0);
+        let c = ctx(&g1, &g2, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        let old = enumerate_candidates(&g1, &g2, &c, &cfg, &op);
+        // Relabel node 2 of g2 from "C" to "A": row membership of column 2
+        // changes (pairs (u, 2) with label A become eligible).
+        let a_id = g2.interner().get("A").unwrap();
+        let g2_new = g2.with_edits(&[], &[], &[(2, a_id)]);
+        let c_new = ctx(&g1, &g2_new, &eval, cfg.theta);
+        let dirty_right: FxHashSet<u32> = [2u32].into_iter().collect();
+        let repair = repair_candidates(
+            &g1,
+            &g2_new,
+            &c_new,
+            &cfg,
+            &op,
+            old,
+            &FxHashSet::default(),
+            &dirty_right,
+        );
+        let fresh = enumerate_candidates(&g1, &g2_new, &c_new, &cfg, &op);
+        assert_eq!(repair.store.pairs, fresh.pairs);
+        assert_eq!(repair.added_pairs, vec![(0, 2)]);
+        assert!(repair.removed_pairs.is_empty());
+        // Surviving slots map consistently.
+        for (old_slot, &new_slot) in repair.old_to_new.iter().enumerate() {
+            assert_ne!(new_slot, NO_SLOT);
+            assert_eq!(repair.new_to_old[new_slot as usize] as usize, old_slot);
+        }
+    }
+
+    #[test]
+    fn empty_dirty_sets_are_identity() {
+        use fsim_graph::FxHashSet;
+        let (g1, g2) = two_graphs();
+        let eval = LabelEval::Sim(LabelFn::Indicator.prepare(g1.interner()));
+        let cfg = FsimConfig::new(Variant::Simple);
+        let c = ctx(&g1, &g2, &eval, cfg.theta);
+        let op = VariantOp::new(Variant::Simple);
+        let old = enumerate_candidates(&g1, &g2, &c, &cfg, &op);
+        let pairs_before = old.pairs.clone();
+        let repair = repair_candidates(
+            &g1,
+            &g2,
+            &c,
+            &cfg,
+            &op,
+            old,
+            &FxHashSet::default(),
+            &FxHashSet::default(),
+        );
+        assert!(repair.membership_unchanged());
+        assert_eq!(repair.store.pairs, pairs_before);
+        assert!(repair
+            .old_to_new
+            .iter()
+            .enumerate()
+            .all(|(i, &m)| m == i as u32));
     }
 
     #[test]

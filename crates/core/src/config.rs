@@ -94,6 +94,20 @@ pub struct UpperBoundPruning {
 ///
 /// Both modes produce **bitwise identical** scores, iteration counts and
 /// deltas; they differ only in how much work each iteration performs.
+///
+/// ```
+/// use fsim_core::{compute, ConvergenceMode, FsimConfig, Variant};
+/// use fsim_graph::graph_from_parts;
+///
+/// let g = graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2)]);
+/// let base = FsimConfig::new(Variant::Simple);
+/// let sweep = compute(&g, &g, &base.clone().convergence(ConvergenceMode::FullSweep)).unwrap();
+/// let delta = compute(&g, &g, &base.convergence(ConvergenceMode::DeltaDriven)).unwrap();
+/// assert_eq!(sweep.iterations, delta.iterations);
+/// for (a, b) in sweep.iter_pairs().zip(delta.iter_pairs()) {
+///     assert_eq!(a, b);
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConvergenceMode {
     /// Delta-driven when the operator supports slot evaluation and the
@@ -121,6 +135,21 @@ pub enum MatcherKind {
 }
 
 /// Full configuration of an `FSimχ` computation.
+///
+/// Construct with [`FsimConfig::new`] (the paper's default experimental
+/// setting) and adjust via the builder methods or the public fields:
+///
+/// ```
+/// use fsim_core::{ConvergenceMode, FsimConfig, Variant};
+///
+/// let mut cfg = FsimConfig::new(Variant::Bijective)
+///     .theta(0.8)
+///     .threads(4)
+///     .convergence(ConvergenceMode::DeltaDriven);
+/// cfg.epsilon = 1e-6;
+/// assert!(cfg.validate().is_ok());
+/// assert_eq!(cfg.effective_max_iters(), cfg.iteration_bound());
+/// ```
 #[derive(Debug, Clone)]
 pub struct FsimConfig {
     /// Simulation variant χ.
@@ -158,11 +187,24 @@ pub struct FsimConfig {
     /// the engine keeps the on-the-fly full sweep. Applied when the CSR is
     /// (re)built. Default 256 MiB.
     pub csr_budget: usize,
+    /// Memory budget (bytes) for the recorded iterate **trajectory** that
+    /// lets [`FsimEngine::apply_edits`](crate::FsimEngine::apply_edits)
+    /// replay convergence incrementally after a graph edit. A run under
+    /// delta scheduling snapshots each iterate (an `O(|H|)` copy per
+    /// iteration) until the accumulated size exceeds the budget, at which
+    /// point the recording is discarded and edits fall back to a cold
+    /// re-iteration (still with incrementally repaired structures). Set
+    /// `0` to disable recording — and its per-iteration copy — for
+    /// sessions that never edit their graphs. Default 256 MiB.
+    pub trajectory_budget: usize,
 }
 
 impl FsimConfig {
     /// Default [`csr_budget`](Self::csr_budget): 256 MiB.
     pub const DEFAULT_CSR_BUDGET: usize = 256 << 20;
+
+    /// Default [`trajectory_budget`](Self::trajectory_budget): 256 MiB.
+    pub const DEFAULT_TRAJECTORY_BUDGET: usize = 256 << 20;
 
     /// The paper's default experimental setting for a variant:
     /// `w⁺ = w⁻ = 0.4` (`w* = 0.2`), `θ = 0`, `ε = 0.01`, Jaro–Winkler
@@ -184,6 +226,7 @@ impl FsimConfig {
             pin_identical: false,
             convergence: ConvergenceMode::Auto,
             csr_budget: Self::DEFAULT_CSR_BUDGET,
+            trajectory_budget: Self::DEFAULT_TRAJECTORY_BUDGET,
         }
     }
 
@@ -228,6 +271,13 @@ impl FsimConfig {
     /// [`ConvergenceMode::Auto`].
     pub fn csr_budget(mut self, bytes: usize) -> Self {
         self.csr_budget = bytes;
+        self
+    }
+
+    /// Sets the iterate-trajectory memory budget (bytes) that gates
+    /// incremental edit replay (`0` disables recording).
+    pub fn trajectory_budget(mut self, bytes: usize) -> Self {
+        self.trajectory_budget = bytes;
         self
     }
 

@@ -36,7 +36,7 @@ pub(crate) const BYTES_PER_SLOT: u128 = 48;
 /// from: the entries depend on the candidate set, the eligibility
 /// constraint and the pruning fallback — all of which change only when the
 /// store is rebuilt.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub(crate) struct PairDepCsr {
     /// Slot → range of `out_entries` (length `n + 1`).
     out_offsets: Vec<usize>,
@@ -90,36 +90,101 @@ impl PairDepCsr {
             ]);
         }
 
-        // Reverse CSR by counting sort: dependents of each source slot, in
-        // ascending dependent order (deterministic — the scheduler's
-        // worklists are order-insensitive, but determinism keeps debugging
-        // sane).
-        let mut counts = vec![0usize; n + 1];
-        for e in out_entries.iter().chain(&in_entries) {
-            if e.slot != DepEntry::CONST {
-                counts[e.slot as usize + 1] += 1;
-            }
-        }
-        for k in 1..=n {
-            counts[k] += counts[k - 1];
-        }
-        let rdep_offsets = counts.clone();
-        let mut cursor = counts;
-        cursor.pop();
-        let mut rdeps = vec![0u32; *rdep_offsets.last().unwrap_or(&0)];
-        for slot in 0..n {
-            let slot_entries = out_entries[out_offsets[slot]..out_offsets[slot + 1]]
-                .iter()
-                .chain(&in_entries[in_offsets[slot]..in_offsets[slot + 1]]);
-            for e in slot_entries {
-                if e.slot != DepEntry::CONST {
-                    let src = e.slot as usize;
-                    rdeps[cursor[src]] = slot as u32;
-                    cursor[src] += 1;
-                }
-            }
-        }
+        let (rdep_offsets, rdeps) =
+            build_reverse(n, &out_offsets, &out_entries, &in_offsets, &in_entries);
 
+        Self {
+            out_offsets,
+            in_offsets,
+            out_entries,
+            in_entries,
+            dims,
+            rdep_offsets,
+            rdeps,
+        }
+    }
+
+    /// Incrementally repairs the CSR after a graph edit: slots outside
+    /// `entry_dirty` copy their old dependency lists verbatim (with slots
+    /// renumbered through `old_to_new`); dirty slots — and pairs that just
+    /// entered the store — re-derive theirs from the edited graphs. The
+    /// expensive per-entry work (eligibility filtering, pair resolution,
+    /// fallback probing) is therefore proportional to the edit's dirty
+    /// frontier, not to the store; only the reverse-CSR counting sort and
+    /// the entry copy remain `O(total entries)` — branch-free linear
+    /// passes.
+    ///
+    /// `store` is the repaired store; `old_to_new` / `new_to_old` come
+    /// from [`crate::candidates::repair_candidates`]; `entry_dirty` is
+    /// indexed by *new* slot and must cover every slot whose dependency
+    /// list could have changed (a superset is safe).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn repaired<O: Operator>(
+        &self,
+        g1: &Graph,
+        g2: &Graph,
+        ctx: &OpCtx<'_>,
+        store: &PairStore,
+        op: &O,
+        old_to_new: &[u32],
+        new_to_old: &[u32],
+        entry_dirty: &[bool],
+    ) -> Self {
+        use crate::candidates::NO_SLOT;
+        let n = store.len();
+        debug_assert_eq!(entry_dirty.len(), n);
+        let all_pairs = op.reads_ineligible_pairs();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut out_entries = Vec::with_capacity(self.out_entries.len());
+        let mut in_entries = Vec::with_capacity(self.in_entries.len());
+        let mut dims = Vec::with_capacity(n);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        let copy_range = |dst: &mut Vec<DepEntry>, src: &[DepEntry]| {
+            for e in src {
+                let mut e = *e;
+                if e.slot != DepEntry::CONST {
+                    let mapped = old_to_new[e.slot as usize];
+                    debug_assert_ne!(
+                        mapped, NO_SLOT,
+                        "clean slot depends on a removed pair — dirty set too small"
+                    );
+                    e.slot = mapped;
+                }
+                dst.push(e);
+            }
+        };
+        for (slot, &(u, v)) in store.pairs.iter().enumerate() {
+            let old_slot = new_to_old[slot];
+            if old_slot != NO_SLOT && !entry_dirty[slot] {
+                let o = old_slot as usize;
+                copy_range(
+                    &mut out_entries,
+                    &self.out_entries[self.out_offsets[o]..self.out_offsets[o + 1]],
+                );
+                copy_range(
+                    &mut in_entries,
+                    &self.in_entries[self.in_offsets[o]..self.in_offsets[o + 1]],
+                );
+                dims.push(self.dims[o]);
+            } else {
+                let (s1, s2) = (g1.out_neighbors(u), g2.out_neighbors(v));
+                push_direction(&mut out_entries, s1, s2, ctx, store, all_pairs);
+                let (t1, t2) = (g1.in_neighbors(u), g2.in_neighbors(v));
+                push_direction(&mut in_entries, t1, t2, ctx, store, all_pairs);
+                dims.push([
+                    s1.len() as u32,
+                    s2.len() as u32,
+                    t1.len() as u32,
+                    t2.len() as u32,
+                ]);
+            }
+            out_offsets.push(out_entries.len());
+            in_offsets.push(in_entries.len());
+        }
+        let (rdep_offsets, rdeps) =
+            build_reverse(n, &out_offsets, &out_entries, &in_offsets, &in_entries);
         Self {
             out_offsets,
             in_offsets,
@@ -185,6 +250,44 @@ impl PairDepCsr {
         // drift (identically to `pair_update`).
         score.clamp(0.0, 1.0)
     }
+}
+
+/// Reverse CSR by counting sort: dependents of each source slot, in
+/// ascending dependent order (deterministic — the scheduler's worklists
+/// are order-insensitive, but determinism keeps debugging sane).
+fn build_reverse(
+    n: usize,
+    out_offsets: &[usize],
+    out_entries: &[DepEntry],
+    in_offsets: &[usize],
+    in_entries: &[DepEntry],
+) -> (Vec<usize>, Vec<u32>) {
+    let mut counts = vec![0usize; n + 1];
+    for e in out_entries.iter().chain(in_entries) {
+        if e.slot != DepEntry::CONST {
+            counts[e.slot as usize + 1] += 1;
+        }
+    }
+    for k in 1..=n {
+        counts[k] += counts[k - 1];
+    }
+    let rdep_offsets = counts.clone();
+    let mut cursor = counts;
+    cursor.pop();
+    let mut rdeps = vec![0u32; *rdep_offsets.last().unwrap_or(&0)];
+    for slot in 0..n {
+        let slot_entries = out_entries[out_offsets[slot]..out_offsets[slot + 1]]
+            .iter()
+            .chain(&in_entries[in_offsets[slot]..in_offsets[slot + 1]]);
+        for e in slot_entries {
+            if e.slot != DepEntry::CONST {
+                let src = e.slot as usize;
+                rdeps[cursor[src]] = slot as u32;
+                cursor[src] += 1;
+            }
+        }
+    }
+    (rdep_offsets, rdeps)
 }
 
 /// Appends one direction's dependency list for a pair: eligible neighbor
@@ -281,6 +384,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repaired_with_identity_remap_matches_fresh_build() {
+        let (g1, g2, cfg) = setup();
+        let aligned = super::super::session::AlignedLabels::new(&g1, &g2);
+        let eval = super::super::session::build_label_eval(&cfg, &aligned.interner);
+        let ctx = OpCtx {
+            labels1: &aligned.labels1,
+            labels2: &aligned.labels2,
+            label_eval: &eval,
+            theta: cfg.theta,
+        };
+        let op = VariantOp::new(cfg.variant);
+        let store = crate::candidates::enumerate_candidates(&g1, &g2, &ctx, &cfg, &op);
+        let csr = PairDepCsr::build(&g1, &g2, &ctx, &store, &op);
+        let identity: Vec<u32> = (0..store.len() as u32).collect();
+        // Edit the graph (add an edge), mark the touched rows dirty, and
+        // check the repair equals a fresh build on the edited graph.
+        let g1b = g1.with_edits(&[(0, 2)], &[], &[]);
+        let dirty: Vec<bool> = store.pairs.iter().map(|&(u, _)| u == 0 || u == 2).collect();
+        let repaired = csr.repaired(&g1b, &g2, &ctx, &store, &op, &identity, &identity, &dirty);
+        let fresh = PairDepCsr::build(&g1b, &g2, &ctx, &store, &op);
+        assert_eq!(repaired, fresh);
+        // All-clean repair reproduces the original bit for bit.
+        let clean = vec![false; store.len()];
+        let same = csr.repaired(&g1, &g2, &ctx, &store, &op, &identity, &identity, &clean);
+        assert_eq!(same, csr);
     }
 
     #[test]

@@ -24,6 +24,46 @@ pub(crate) fn effective_threads(cfg_threads: usize, worklist: usize) -> usize {
     cfg_threads.min((worklist / 2048).max(1))
 }
 
+/// Budget-gated trajectory recorder: snapshots every iterate of a run
+/// until the accumulated size would exceed the byte budget, then abandons
+/// (and frees) the recording — the engine then falls back to a cold
+/// re-iteration on the next edit instead of a replay. Gating on actual
+/// bytes rather than the worst-case Corollary-1 iteration bound keeps
+/// recording alive for runs that converge far earlier than the bound.
+pub(crate) struct Recorder<'a> {
+    history: &'a mut Vec<Vec<f64>>,
+    budget: usize,
+    bytes: usize,
+    abandoned: bool,
+}
+
+impl<'a> Recorder<'a> {
+    pub(crate) fn new(history: &'a mut Vec<Vec<f64>>, budget: usize) -> Self {
+        history.clear();
+        Self {
+            history,
+            budget,
+            bytes: 0,
+            abandoned: false,
+        }
+    }
+
+    /// Records one iterate (or gives up for the rest of the run).
+    pub(crate) fn push(&mut self, iterate: &[f64]) {
+        if self.abandoned {
+            return;
+        }
+        self.bytes += std::mem::size_of_val(iterate);
+        if self.bytes > self.budget {
+            self.history.clear();
+            self.history.shrink_to_fit();
+            self.abandoned = true;
+            return;
+        }
+        self.history.push(iterate.to_vec());
+    }
+}
+
 /// Writes `FSim⁰` (§3.3) for every maintained pair into `scores`.
 /// `label_terms` is the per-slot cache of `L(ℓ1(u), ℓ2(v))`.
 pub(crate) fn initialize(
@@ -214,6 +254,7 @@ pub(crate) fn run_delta<O: Operator>(
     label_terms: &[f64],
     scores: &mut Vec<f64>,
     cur: &mut Vec<f64>,
+    mut record: Option<&mut Recorder<'_>>,
 ) -> IterationOutcome {
     debug_assert_eq!(scores.len(), store.len());
     let n = store.len();
@@ -231,6 +272,7 @@ pub(crate) fn run_delta<O: Operator>(
             cur,
             csr.rdep_offsets(),
             csr.rdeps(),
+            record,
             || {
                 let mut scratch = OpScratch::new();
                 move |slot: usize, prev: &[f64]| {
@@ -240,6 +282,9 @@ pub(crate) fn run_delta<O: Operator>(
         );
     }
 
+    if let Some(h) = record.as_deref_mut() {
+        h.push(scores);
+    }
     let mut scratch = OpScratch::new();
     let mut iterations = 0usize;
     let mut converged = false;
@@ -286,6 +331,9 @@ pub(crate) fn run_delta<O: Operator>(
         }
         pairs_evaluated.push(worklist.len());
         std::mem::swap(scores, cur);
+        if let Some(h) = record.as_deref_mut() {
+            h.push(scores);
+        }
         final_delta = delta;
         iterations += 1;
         if delta < cfg.epsilon {
@@ -302,6 +350,218 @@ pub(crate) fn run_delta<O: Operator>(
                 if mark[dep as usize] != epoch {
                     mark[dep as usize] = epoch;
                     worklist.push(dep);
+                }
+            }
+        }
+    }
+    IterationOutcome {
+        iterations,
+        converged,
+        final_delta,
+        pairs_evaluated,
+    }
+}
+
+/// **Trajectory replay**: converges on an *edited* graph by replaying the
+/// previous run's iterate history, bitwise identical to a cold run on the
+/// edited graph while re-evaluating only the slots the edit can reach.
+///
+/// Invariant: at the end of replay iteration `k`, the score buffer equals
+/// iterate `k` of a cold run on the edited graph. A slot is copied from
+/// `old_traj[k]` — the matching iterate of the *pre-edit* run — whenever
+/// (a) its dependency structure and label term survived the edit
+/// (`s ∉ always_dirty`) and (b) none of its inputs diverged from the old
+/// trajectory at `k − 1`; the Jacobi update is a pure function of those
+/// inputs, so the copied value is exactly what re-evaluation would
+/// produce. Divergence is tracked against the old trajectory (not between
+/// consecutive iterates), and the next worklist is the dependents of the
+/// diverged slots plus `always_dirty`.
+///
+/// When the old trajectory is exhausted before `Δ < ε` (the edited system
+/// needs more iterations than the previous run), the loop degrades to the
+/// standard dirty-worklist iteration of [`run_delta`], seeded from the
+/// last two iterates.
+///
+/// `scores` holds the edited run's `FSim⁰` on entry; `record` receives
+/// the edited run's full trajectory (enabling the *next* edit batch to
+/// replay again), budget-gated like any other run's recording.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_replay<O: Operator>(
+    cfg: &FsimConfig,
+    op: &O,
+    store: &PairStore,
+    csr: &PairDepCsr,
+    label_terms: &[f64],
+    old_traj: &[Vec<f64>],
+    always_dirty: &[u32],
+    scores: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    mut record: Option<&mut Recorder<'_>>,
+) -> IterationOutcome {
+    let n = store.len();
+    debug_assert_eq!(scores.len(), n);
+    debug_assert!(old_traj.len() >= 2, "replay needs at least one iterate");
+    debug_assert!(old_traj.iter().all(|it| it.len() == n));
+    cur.clear();
+    cur.resize(n, 0.0);
+    let max_iters = cfg.effective_max_iters();
+    let rdo = csr.rdep_offsets();
+    let rd = csr.rdeps();
+    let mut scratch = OpScratch::new();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    let mut pairs_evaluated = Vec::new();
+    if let Some(h) = record.as_deref_mut() {
+        h.push(scores);
+    }
+
+    let mut mark: Vec<u64> = vec![0; n];
+    let mut epoch = 1u64;
+    let mut worklist: Vec<u32> = Vec::new();
+    let seed = |worklist: &mut Vec<u32>, mark: &mut Vec<u64>, epoch: u64| {
+        for &s in always_dirty {
+            if mark[s as usize] != epoch {
+                mark[s as usize] = epoch;
+                worklist.push(s);
+            }
+        }
+    };
+    // W_1: dependents of every slot whose FSim⁰ diverged, plus the
+    // structurally dirty slots.
+    seed(&mut worklist, &mut mark, epoch);
+    for s in 0..n {
+        if scores[s].to_bits() != old_traj[0][s].to_bits() {
+            for &dep in &rd[rdo[s]..rdo[s + 1]] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
+                }
+            }
+        }
+    }
+
+    // Phase A: replay along the recorded trajectory.
+    let hist_iters = old_traj.len() - 1;
+    let mut changed: Vec<u32> = Vec::new();
+    let mut k = 1usize;
+    while iterations < max_iters && k <= hist_iters {
+        let hist = &old_traj[k];
+        cur.copy_from_slice(hist);
+        for &slot_id in &worklist {
+            let slot = slot_id as usize;
+            cur[slot] = csr.eval_slot(
+                cfg,
+                op,
+                store,
+                slot,
+                scores,
+                &mut scratch,
+                label_terms[slot],
+            );
+        }
+        pairs_evaluated.push(worklist.len());
+        let mut delta = 0.0f64;
+        changed.clear();
+        for s in 0..n {
+            let d = (cur[s] - scores[s]).abs();
+            if d > delta {
+                delta = d;
+            }
+            if cur[s].to_bits() != hist[s].to_bits() {
+                changed.push(s as u32);
+            }
+        }
+        std::mem::swap(scores, cur);
+        if let Some(h) = record.as_deref_mut() {
+            h.push(scores);
+        }
+        final_delta = delta;
+        iterations += 1;
+        k += 1;
+        if delta < cfg.epsilon {
+            converged = true;
+            break;
+        }
+        epoch += 1;
+        worklist.clear();
+        seed(&mut worklist, &mut mark, epoch);
+        for &c in &changed {
+            for &dep in &rd[rdo[c as usize]..rdo[c as usize + 1]] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
+                }
+            }
+        }
+    }
+
+    // Phase B: history exhausted — continue with the standard dirty
+    // worklist (structure is now self-consistent; no always-dirty seed).
+    if !converged && iterations < max_iters {
+        changed.clear();
+        for s in 0..n {
+            if scores[s].to_bits() != cur[s].to_bits() {
+                changed.push(s as u32);
+            }
+        }
+        epoch += 1;
+        worklist.clear();
+        for &c in &changed {
+            for &dep in &rd[rdo[c as usize]..rdo[c as usize + 1]] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
+                }
+            }
+        }
+        while iterations < max_iters {
+            for &s in &changed {
+                if mark[s as usize] != epoch {
+                    cur[s as usize] = scores[s as usize];
+                }
+            }
+            changed.clear();
+            let mut delta = 0.0f64;
+            for &slot_id in &worklist {
+                let slot = slot_id as usize;
+                let s = csr.eval_slot(
+                    cfg,
+                    op,
+                    store,
+                    slot,
+                    scores,
+                    &mut scratch,
+                    label_terms[slot],
+                );
+                let d = (s - scores[slot]).abs();
+                if d > delta {
+                    delta = d;
+                }
+                if s.to_bits() != scores[slot].to_bits() {
+                    changed.push(slot_id);
+                }
+                cur[slot] = s;
+            }
+            pairs_evaluated.push(worklist.len());
+            std::mem::swap(scores, cur);
+            if let Some(h) = record.as_deref_mut() {
+                h.push(scores);
+            }
+            final_delta = delta;
+            iterations += 1;
+            if delta < cfg.epsilon {
+                converged = true;
+                break;
+            }
+            epoch += 1;
+            worklist.clear();
+            for &c in &changed {
+                for &dep in &rd[rdo[c as usize]..rdo[c as usize + 1]] {
+                    if mark[dep as usize] != epoch {
+                        mark[dep as usize] = epoch;
+                        worklist.push(dep);
+                    }
                 }
             }
         }

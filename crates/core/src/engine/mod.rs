@@ -6,26 +6,33 @@
 //!   [`run`](FsimEngine::run) / [`rerun`](FsimEngine::rerun) /
 //!   [`score`](FsimEngine::score) / [`top_k`](FsimEngine::top_k) many
 //!   times over the same graph pair;
-//! * [`iterate`] — initialization, the per-iteration update of Equation 3
-//!   and convergence control (Theorem 1 / Corollary 1), in two
-//!   bitwise-identical scheduling regimes (full sweep and delta-driven);
-//! * [`deps`] — the pair-dependency CSR: the iteration-invariant structure
-//!   of Equation 3 (θ-prefiltered neighbor-pair slot lists, fallback
-//!   constants, the reverse dependents CSR) materialized once per store,
-//!   driving dirty-pair scheduling;
-//! * [`parallel`] — the persistent worker pool of §3.4 (spawned once per
-//!   run, atomic-cursor work distribution, bitwise sequential ≡ parallel),
-//!   for both the full sweep and the dirty worklist.
+//! * `iterate` (private) — initialization, the per-iteration update of
+//!   Equation 3 and convergence control (Theorem 1 / Corollary 1), in
+//!   bitwise-identical scheduling regimes (full sweep, delta-driven and
+//!   edit replay);
+//! * `deps` (private) — the pair-dependency CSR: the iteration-invariant
+//!   structure of Equation 3 (θ-prefiltered neighbor-pair slot lists,
+//!   fallback constants, the reverse dependents CSR) materialized once per
+//!   store, driving dirty-pair scheduling;
+//! * `parallel` (private) — the persistent worker pool of §3.4 (spawned
+//!   once per run, atomic-cursor work distribution, bitwise sequential ≡
+//!   parallel), for the full sweep, the dirty worklist and the edit
+//!   replay;
+//! * [`edits`] — the [`GraphEdit`] vocabulary and the dirty-set planning
+//!   behind [`FsimEngine::apply_edits`]: incremental rescoring after graph
+//!   edits, bitwise identical to a cold recompute on the edited graphs.
 //!
 //! The historical one-shot entry points [`compute`],
 //! [`compute_with_operator`] and [`score_on_demand`] are thin wrappers
 //! over a session.
 
 pub(crate) mod deps;
+pub mod edits;
 pub(crate) mod iterate;
 pub(crate) mod parallel;
 pub mod session;
 
+pub use edits::{EditError, GraphEdit, GraphSide};
 pub use session::FsimEngine;
 
 use crate::config::{ConfigError, FsimConfig, Variant};
@@ -44,7 +51,11 @@ use session::{build_label_eval, AlignedLabels};
 /// several configurations, build a session instead and use
 /// [`FsimEngine::rerun`].
 pub fn compute(g1: &Graph, g2: &Graph, cfg: &FsimConfig) -> Result<FsimResult, ConfigError> {
-    Ok(FsimEngine::new(g1, g2, cfg)?.into_result())
+    // A one-shot engine is consumed immediately: recording an edit-replay
+    // trajectory would be pure overhead.
+    let mut cfg = cfg.clone();
+    cfg.trajectory_budget = 0;
+    Ok(FsimEngine::new(g1, g2, &cfg)?.into_result())
 }
 
 /// Computes fractional simulation with a custom [`Operator`] — the
@@ -57,7 +68,9 @@ pub fn compute_with_operator<O: Operator>(
     cfg: &FsimConfig,
     op: &O,
 ) -> Result<FsimResult, ConfigError> {
-    Ok(FsimEngine::with_operator(g1, g2, cfg, op)?.into_result())
+    let mut cfg = cfg.clone();
+    cfg.trajectory_budget = 0;
+    Ok(FsimEngine::with_operator(g1, g2, &cfg, op)?.into_result())
 }
 
 /// One-shot re-evaluation of Equation 3 for an arbitrary pair against a

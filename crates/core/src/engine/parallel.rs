@@ -74,6 +74,17 @@ impl<'a> SharedScores<'a> {
     unsafe fn write(&self, slot: usize, value: f64) {
         *self.cells[slot].get() = value;
     }
+
+    /// Overwrites the whole buffer from `src`.
+    ///
+    /// # Safety
+    /// Caller must guarantee no concurrent access at all (true for the
+    /// coordinator while the workers are parked at a barrier).
+    unsafe fn copy_from(&self, src: &[f64]) {
+        debug_assert_eq!(src.len(), self.cells.len());
+        let dst = std::slice::from_raw_parts_mut(self.cells.as_ptr() as *mut f64, self.cells.len());
+        dst.copy_from_slice(src);
+    }
 }
 
 /// Runs the iteration loop on a worker pool spawned once for the whole
@@ -246,6 +257,7 @@ pub(crate) fn run_parallel_delta<U, F>(
     cur: &mut Vec<f64>,
     rdep_offsets: &[usize],
     rdeps: &[u32],
+    mut record: Option<&mut super::iterate::Recorder<'_>>,
     make_update: F,
 ) -> IterationOutcome
 where
@@ -255,6 +267,9 @@ where
     let n = prev.len();
     debug_assert_eq!(n, cur.len());
     debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
+    if let Some(h) = record.as_deref_mut() {
+        h.push(prev);
+    }
     let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
     let worklist = SharedWorklist {
         cell: UnsafeCell::new((0..n as u32).collect()),
@@ -370,6 +385,11 @@ where
             pairs_evaluated.push(wl_len);
             iterations += 1;
             read = 1 - read;
+            if let Some(h) = record.as_deref_mut() {
+                // SAFETY: workers are parked at the start barrier; the
+                // freshly written buffer is stable.
+                h.push(unsafe { buffers[read].as_read_slice() });
+            }
             if final_delta < epsilon {
                 converged = true;
                 break;
@@ -390,6 +410,307 @@ where
                     if mark[dep as usize] != epoch {
                         mark[dep as usize] = epoch;
                         wl.push(dep);
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        barrier.wait(); // release workers into shutdown
+    });
+
+    if iterations % 2 == 1 {
+        std::mem::swap(prev, cur);
+    }
+    IterationOutcome {
+        iterations,
+        converged,
+        final_delta,
+        pairs_evaluated,
+    }
+}
+
+/// Parallel **trajectory replay** (see
+/// [`run_replay`](super::iterate::run_replay) for the algorithm and the
+/// bitwise-identity argument). The worker pool evaluates the per-iteration
+/// worklists; the coordinator pre-fills each iteration's write buffer from
+/// the recorded trajectory before releasing the workers (ordered by the
+/// start barrier), then scans the completed buffer for the convergence
+/// delta and the divergence set while the workers are parked.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_parallel_replay<U, F>(
+    threads: usize,
+    max_iters: usize,
+    epsilon: f64,
+    old_traj: &[Vec<f64>],
+    always_dirty: &[u32],
+    rdep_offsets: &[usize],
+    rdeps: &[u32],
+    prev: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    mut record: Option<&mut super::iterate::Recorder<'_>>,
+    make_update: F,
+) -> IterationOutcome
+where
+    F: Fn() -> U + Sync,
+    U: FnMut(usize, &[f64]) -> f64,
+{
+    let n = prev.len();
+    debug_assert_eq!(n, cur.len());
+    debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
+    debug_assert!(old_traj.len() >= 2, "replay needs at least one iterate");
+    if let Some(h) = record.as_deref_mut() {
+        h.push(prev);
+    }
+
+    let mut mark: Vec<u64> = vec![0; n];
+    let mut epoch = 1u64;
+    let mut initial_worklist: Vec<u32> = Vec::new();
+    for &s in always_dirty {
+        if mark[s as usize] != epoch {
+            mark[s as usize] = epoch;
+            initial_worklist.push(s);
+        }
+    }
+    for s in 0..n {
+        if prev[s].to_bits() != old_traj[0][s].to_bits() {
+            for &dep in &rdeps[rdep_offsets[s]..rdep_offsets[s + 1]] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    initial_worklist.push(dep);
+                }
+            }
+        }
+    }
+
+    let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
+    let worklist = SharedWorklist {
+        cell: UnsafeCell::new(initial_worklist),
+    };
+    let cursor = AtomicUsize::new(0);
+    let chunk = AtomicUsize::new(1);
+    let read_index = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let deltas: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let changed_sink: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    let mut pairs_evaluated = Vec::new();
+    std::thread::scope(|scope| {
+        for worker_delta in &deltas {
+            let buffers = &buffers;
+            let worklist = &worklist;
+            let cursor = &cursor;
+            let chunk = &chunk;
+            let read_index = &read_index;
+            let stop = &stop;
+            let barrier = &barrier;
+            let changed_sink = &changed_sink;
+            let make_update = &make_update;
+            scope.spawn(move || {
+                let mut update = make_update();
+                let mut local_changed: Vec<u32> = Vec::new();
+                loop {
+                    barrier.wait(); // iteration start (or shutdown)
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let r = read_index.load(Ordering::Relaxed);
+                    // SAFETY: this iteration only writes `buffers[1 - r]`.
+                    let read = unsafe { buffers[r].as_read_slice() };
+                    let write = &buffers[1 - r];
+                    // SAFETY: the coordinator mutates the worklist only
+                    // outside the barrier window.
+                    let wl: &[u32] = unsafe { worklist.read() };
+                    let step = chunk.load(Ordering::Relaxed);
+                    let mut local_delta = 0.0f64;
+                    local_changed.clear();
+                    loop {
+                        let start = cursor.fetch_add(step, Ordering::Relaxed);
+                        if start >= wl.len() {
+                            break;
+                        }
+                        let end = (start + step).min(wl.len());
+                        for &slot_id in &wl[start..end] {
+                            let slot = slot_id as usize;
+                            let score = update(slot, read);
+                            let d = (score - read[slot]).abs();
+                            if d > local_delta {
+                                local_delta = d;
+                            }
+                            if score.to_bits() != read[slot].to_bits() {
+                                local_changed.push(slot_id);
+                            }
+                            // SAFETY: worklist slots are handed out
+                            // disjointly by the cursor; the coordinator
+                            // writes nothing while an iteration runs.
+                            unsafe { write.write(slot, score) };
+                        }
+                    }
+                    worker_delta.store(local_delta.to_bits(), Ordering::Relaxed);
+                    if !local_changed.is_empty() {
+                        changed_sink
+                            .lock()
+                            .expect("changed sink")
+                            .extend_from_slice(&local_changed);
+                    }
+                    barrier.wait(); // iteration end
+                }
+            });
+        }
+
+        let mut read = 0usize;
+        let hist_iters = old_traj.len() - 1;
+        let mut changed: Vec<u32> = Vec::new();
+
+        // Phase A: replay along the recorded trajectory. The coordinator
+        // pre-fills the write buffer from history while the workers are
+        // parked; worker writes of worklist slots land on top.
+        let mut k = 1usize;
+        while iterations < max_iters && k <= hist_iters {
+            let hist = &old_traj[k];
+            // SAFETY: workers are parked at the start barrier.
+            let wl_len = unsafe { worklist.read() }.len();
+            unsafe { buffers[1 - read].copy_from(hist) };
+            cursor.store(0, Ordering::Relaxed);
+            chunk.store((wl_len / (threads * 8)).max(64), Ordering::Relaxed);
+            read_index.store(read, Ordering::Relaxed);
+            barrier.wait(); // release workers into the iteration
+            barrier.wait(); // wait for every worklist slot to be written
+            pairs_evaluated.push(wl_len);
+            // Full scan while the workers are parked: the convergence
+            // delta over all slots, and divergence from the old
+            // trajectory for worklist propagation. Worker-local deltas
+            // and changed sets are ignored in this phase (they compare
+            // against the previous iterate, not the trajectory).
+            changed_sink.lock().expect("changed sink").clear();
+            // SAFETY: workers are parked; both buffers are stable.
+            let prev_buf = unsafe { buffers[read].as_read_slice() };
+            let cur_buf = unsafe { buffers[1 - read].as_read_slice() };
+            let mut delta = 0.0f64;
+            changed.clear();
+            for s in 0..n {
+                let d = (cur_buf[s] - prev_buf[s]).abs();
+                if d > delta {
+                    delta = d;
+                }
+                if cur_buf[s].to_bits() != hist[s].to_bits() {
+                    changed.push(s as u32);
+                }
+            }
+            if let Some(h) = record.as_deref_mut() {
+                h.push(cur_buf);
+            }
+            final_delta = delta;
+            iterations += 1;
+            k += 1;
+            read = 1 - read;
+            if delta < epsilon {
+                converged = true;
+                break;
+            }
+            epoch += 1;
+            // SAFETY: workers are parked at the start barrier again.
+            let wl = unsafe { worklist.write() };
+            wl.clear();
+            for &s in always_dirty {
+                if mark[s as usize] != epoch {
+                    mark[s as usize] = epoch;
+                    wl.push(s);
+                }
+            }
+            for &c in &changed {
+                for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
+                    if mark[dep as usize] != epoch {
+                        mark[dep as usize] = epoch;
+                        wl.push(dep);
+                    }
+                }
+            }
+        }
+
+        // Phase B: history exhausted — standard dirty-worklist iteration
+        // (the mechanics of `run_parallel_delta`), seeded from the last
+        // two iterates.
+        if !converged && iterations < max_iters {
+            // SAFETY: workers are parked; both buffers are stable.
+            let prev_buf = unsafe { buffers[1 - read].as_read_slice() };
+            let cur_buf = unsafe { buffers[read].as_read_slice() };
+            let mut prev_changed: Vec<u32> = Vec::new();
+            for s in 0..n {
+                if cur_buf[s].to_bits() != prev_buf[s].to_bits() {
+                    prev_changed.push(s as u32);
+                }
+            }
+            epoch += 1;
+            {
+                // SAFETY: workers are parked at the start barrier.
+                let wl = unsafe { worklist.write() };
+                wl.clear();
+                for &c in &prev_changed {
+                    for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
+                        if mark[dep as usize] != epoch {
+                            mark[dep as usize] = epoch;
+                            wl.push(dep);
+                        }
+                    }
+                }
+            }
+            changed_sink.lock().expect("changed sink").clear();
+            while iterations < max_iters {
+                // SAFETY: workers are parked at the start barrier.
+                let wl_len = unsafe { worklist.read() }.len();
+                cursor.store(0, Ordering::Relaxed);
+                chunk.store((wl_len / (threads * 8)).max(64), Ordering::Relaxed);
+                read_index.store(read, Ordering::Relaxed);
+                barrier.wait(); // release workers into the iteration
+                {
+                    // Repair C_{k−1} \ D_k concurrently with the workers
+                    // (disjoint slots — see `run_parallel_delta`).
+                    // SAFETY: workers never write the read buffer, and
+                    // only write worklist slots of the write buffer.
+                    let read_buf = unsafe { buffers[read].as_read_slice() };
+                    let write = &buffers[1 - read];
+                    for &s in &prev_changed {
+                        if mark[s as usize] != epoch {
+                            unsafe { write.write(s as usize, read_buf[s as usize]) };
+                        }
+                    }
+                }
+                barrier.wait(); // wait for every worklist slot to be written
+                final_delta = deltas
+                    .iter()
+                    .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+                    .fold(0.0, f64::max);
+                pairs_evaluated.push(wl_len);
+                iterations += 1;
+                read = 1 - read;
+                if let Some(h) = record.as_deref_mut() {
+                    // SAFETY: workers are parked; the written buffer is
+                    // stable.
+                    h.push(unsafe { buffers[read].as_read_slice() });
+                }
+                if final_delta < epsilon {
+                    converged = true;
+                    break;
+                }
+                prev_changed.clear();
+                std::mem::swap(
+                    &mut prev_changed,
+                    &mut *changed_sink.lock().expect("changed sink"),
+                );
+                epoch += 1;
+                // SAFETY: workers are parked at the start barrier again.
+                let wl = unsafe { worklist.write() };
+                wl.clear();
+                for &c in &prev_changed {
+                    for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
+                        if mark[dep as usize] != epoch {
+                            mark[dep as usize] = epoch;
+                            wl.push(dep);
+                        }
                     }
                 }
             }
@@ -532,6 +853,8 @@ mod tests {
         let (offsets, rdeps) = toy_rdeps(n);
         let mut par = init.clone();
         let mut par_cur = vec![0.0; n];
+        let mut history: Vec<Vec<f64>> = Vec::new();
+        let mut recorder = super::super::iterate::Recorder::new(&mut history, usize::MAX);
         let par_out = run_parallel_delta(
             4,
             30,
@@ -540,8 +863,10 @@ mod tests {
             &mut par_cur,
             &offsets,
             &rdeps,
+            Some(&mut recorder),
             || toy_update,
         );
+        let _ = recorder;
 
         assert_eq!(seq_out.iterations, par_out.iterations);
         assert_eq!(seq_out.converged, par_out.converged);
@@ -555,6 +880,82 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.to_bits(), b.to_bits(), "delta runner diverged");
         }
+        // The recorded trajectory covers init plus every iterate.
+        assert_eq!(history.len(), par_out.iterations + 1);
+        assert_eq!(history[0], init);
+        assert_eq!(history.last().unwrap(), &par);
+    }
+
+    #[test]
+    fn parallel_replay_matches_cold_run_on_edited_system() {
+        let n = 4096;
+        let init: Vec<f64> = (0..n).map(|i| (i % 193) as f64 / 193.0).collect();
+        // Record the original system's trajectory.
+        let mut base = init.clone();
+        let mut base_cur = vec![0.0; n];
+        let (offsets, rdeps) = toy_rdeps(n);
+        let mut history: Vec<Vec<f64>> = Vec::new();
+        let mut recorder = super::super::iterate::Recorder::new(&mut history, usize::MAX);
+        run_parallel_delta(
+            4,
+            40,
+            1e-9,
+            &mut base,
+            &mut base_cur,
+            &offsets,
+            &rdeps,
+            Some(&mut recorder),
+            || toy_update,
+        );
+        let _ = recorder;
+        // "Edit": slot 777's update function changes.
+        let edited_update = |slot: usize, prev: &[f64]| {
+            if slot == 777 {
+                0.5 * toy_update(slot, prev)
+            } else {
+                toy_update(slot, prev)
+            }
+        };
+        let mut cold = init.clone();
+        let mut cold_cur = vec![0.0; n];
+        let cold_out = run_seq(&mut cold, &mut cold_cur, 40, 1e-9, edited_update);
+
+        let mut warm = init.clone();
+        let mut warm_cur = vec![0.0; n];
+        let mut new_traj: Vec<Vec<f64>> = Vec::new();
+        let mut new_rec = super::super::iterate::Recorder::new(&mut new_traj, usize::MAX);
+        let warm_out = run_parallel_replay(
+            4,
+            40,
+            1e-9,
+            &history,
+            &[777],
+            &offsets,
+            &rdeps,
+            &mut warm,
+            &mut warm_cur,
+            Some(&mut new_rec),
+            || edited_update,
+        );
+        let _ = new_rec;
+        assert_eq!(warm_out.iterations, cold_out.iterations);
+        assert_eq!(warm_out.converged, cold_out.converged);
+        assert_eq!(
+            warm_out.final_delta.to_bits(),
+            cold_out.final_delta.to_bits()
+        );
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.to_bits(), b.to_bits(), "replay diverged from cold run");
+        }
+        // The replay evaluates far fewer slots than the cold run.
+        assert!(
+            warm_out.pairs_evaluated.iter().sum::<usize>()
+                < cold_out.pairs_evaluated.iter().sum::<usize>() / 2,
+            "replay must skip most of the work"
+        );
+        // The new trajectory chains: it matches the edited system's run.
+        assert_eq!(new_traj.len(), warm_out.iterations + 1);
+        assert_eq!(new_traj.last().unwrap(), &warm);
     }
 
     #[test]

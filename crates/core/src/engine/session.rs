@@ -12,14 +12,21 @@
 //! table).
 
 use super::deps::{PairDepCsr, BYTES_PER_ENTRY, BYTES_PER_SLOT};
-use super::iterate::{initialize, pair_update, run_delta, run_to_convergence};
-use crate::candidates::estimated_dep_entries;
+use super::edits::{
+    net_side_delta, validate_side, DirtyNodes, EditError, GraphEdit, GraphSide, SideDelta,
+};
+use super::iterate::{
+    effective_threads, initialize, pair_update, run_delta, run_replay, run_to_convergence, Recorder,
+};
+use super::parallel::run_parallel_replay;
+use crate::candidates::{estimated_dep_entries, repair_candidates, StoreRepair, NO_SLOT};
 use crate::config::{ConfigError, ConvergenceMode, FsimConfig, LabelTermMode};
 use crate::operators::{LabelEval, OpCtx, OpScratch, Operator, VariantOp};
 use crate::result::FsimResult;
 use crate::store::PairStore;
 use crate::topk::top_k_from_iter;
 use fsim_graph::{Graph, LabelId, LabelInterner, NodeId};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// Label arrays of both graphs expressed in one shared interner.
@@ -119,8 +126,11 @@ fn store_changed(old: &FsimConfig, new: &FsimConfig, label_changed: bool) -> boo
 /// assert!(strict > 0.999);
 /// ```
 pub struct FsimEngine<'g, O: Operator = VariantOp> {
-    g1: &'g Graph,
-    g2: &'g Graph,
+    /// The session's graphs. Borrowed until the first
+    /// [`apply_edits`](Self::apply_edits) batch touches a side; edited
+    /// sides become session-owned patched copies (clone-on-write).
+    g1: Cow<'g, Graph>,
+    g2: Cow<'g, Graph>,
     cfg: FsimConfig,
     op: O,
     labels1: Vec<LabelId>,
@@ -138,6 +148,12 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     scores: Vec<f64>,
     /// Reusable double buffer for the iteration loop.
     cur: Vec<f64>,
+    /// The last run's full iterate trajectory (`iterates[0]` = `FSim⁰`),
+    /// recorded when delta scheduling is active and the estimated size
+    /// fits [`FsimConfig::trajectory_budget`]. Enables
+    /// [`apply_edits`](Self::apply_edits) to *replay* the iteration after
+    /// a graph edit instead of recomputing from scratch.
+    trajectory: Option<Vec<Vec<f64>>>,
     iterations: usize,
     converged: bool,
     final_delta: f64,
@@ -174,8 +190,8 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         let aligned = AlignedLabels::new(g1, g2);
         let label_eval = build_label_eval(cfg, &aligned.interner);
         let mut engine = Self {
-            g1,
-            g2,
+            g1: Cow::Borrowed(g1),
+            g2: Cow::Borrowed(g2),
             cfg: cfg.clone(),
             op,
             labels1: aligned.labels1,
@@ -191,6 +207,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             deps: None,
             scores: Vec::new(),
             cur: Vec::new(),
+            trajectory: None,
             iterations: 0,
             converged: false,
             final_delta: 0.0,
@@ -213,15 +230,17 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
 
     fn rebuild_store(&mut self) {
         let store = crate::candidates::enumerate_candidates(
-            self.g1,
-            self.g2,
+            &self.g1,
+            &self.g2,
             &self.ctx(),
             &self.cfg,
             &self.op,
         );
         self.store = store;
-        // The dependency CSR indexes the old store's slots; drop it.
+        // The dependency CSR and the recorded trajectory index the old
+        // store's slots; drop both.
         self.deps = None;
+        self.trajectory = None;
         self.refresh_label_terms();
         self.has_run = false;
     }
@@ -251,7 +270,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 ConvergenceMode::DeltaDriven => true,
                 ConvergenceMode::Auto => {
                     self.deps.is_some() || {
-                        let entries = estimated_dep_entries(self.g1, self.g2, &self.store);
+                        let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
                         let bytes = entries * BYTES_PER_ENTRY
                             + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
                         bytes <= self.cfg.csr_budget as u128
@@ -261,9 +280,20 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         if !want {
             self.deps = None;
         } else if self.deps.is_none() {
-            let csr = PairDepCsr::build(self.g1, self.g2, &self.ctx(), &self.store, &self.op);
+            let csr = PairDepCsr::build(&self.g1, &self.g2, &self.ctx(), &self.store, &self.op);
             self.deps = Some(csr);
         }
+    }
+
+    /// Whether a run should attempt to record its trajectory at all:
+    /// recording is optimistic — the [`Recorder`] abandons mid-run on
+    /// budget overrun — but a store where even two iterates blow the
+    /// budget is not worth the copies.
+    fn should_record(&self) -> bool {
+        let two_iterates = 2u128 * self.store.len() as u128 * 8;
+        self.deps.is_some()
+            && self.cfg.trajectory_budget > 0
+            && two_iterates <= self.cfg.trajectory_budget as u128
     }
 
     /// Iterates Equation 3 to convergence (Algorithm 1) from a fresh
@@ -277,11 +307,13 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.final_delta = 0.0;
             self.pairs_evaluated.clear();
             self.delta_scheduled = false;
+            self.trajectory = None;
             self.has_run = true;
             return self;
         }
         self.ensure_deps();
         self.delta_scheduled = self.deps.is_some();
+        let mut recorded: Option<Vec<Vec<f64>>> = self.should_record().then(Vec::new);
         // Destructure so the iteration loop can borrow the caches
         // immutably while writing the score buffers.
         let Self {
@@ -299,9 +331,24 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             cur,
             ..
         } = self;
+        let (g1, g2): (&Graph, &Graph) = (g1, g2);
         initialize(store, cfg, g1, g2, label_terms, scores);
         let outcome = match deps {
-            Some(csr) => run_delta(cfg, op, store, csr, label_terms, scores, cur),
+            Some(csr) => {
+                let mut recorder = recorded
+                    .as_mut()
+                    .map(|h| Recorder::new(h, cfg.trajectory_budget));
+                run_delta(
+                    cfg,
+                    op,
+                    store,
+                    csr,
+                    label_terms,
+                    scores,
+                    cur,
+                    recorder.as_mut(),
+                )
+            }
             None => {
                 let ctx = OpCtx {
                     labels1: labels1.as_slice(),
@@ -312,6 +359,8 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 run_to_convergence(g1, g2, &ctx, cfg, op, store, label_terms, scores, cur)
             }
         };
+        // An abandoned (over-budget) recording comes back empty.
+        self.trajectory = recorded.filter(|h| h.len() >= 2);
         self.iterations = outcome.iterations;
         self.converged = outcome.converged;
         self.final_delta = outcome.final_delta;
@@ -355,6 +404,406 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         Ok(self.run())
     }
 
+    /// Applies a batch of [`GraphEdit`]s to the session's graphs and
+    /// re-converges, returning the updated scores.
+    ///
+    /// The whole write path is incremental: the adjacency CSRs are
+    /// patched in place of a rebuild, candidate membership is
+    /// re-enumerated only for the edit's dirty rows, the pair-dependency
+    /// CSR re-derives entries only for the affected slots, and the
+    /// convergence loop **replays** the previous run's recorded iterate
+    /// trajectory — re-evaluating only the slots the edit can reach
+    /// through the reverse dependency CSR. The result is **bitwise
+    /// identical** to tearing the session down and recomputing from
+    /// scratch on the edited graphs (`tests/incremental_edits.rs`
+    /// property-checks this across variants × θ × pruning × threads),
+    /// while warm single-edge edits re-evaluate a small fraction of the
+    /// pairs (the `incremental` bench records the ratio in
+    /// `BENCH_incremental.json`).
+    ///
+    /// Without a recorded trajectory (full-sweep scheduling, an operator
+    /// with no slot path, or a trajectory over
+    /// [`FsimConfig::trajectory_budget`]) the structures are still
+    /// repaired incrementally, but the iteration restarts cold.
+    ///
+    /// On error the session is left untouched. An all-no-op batch (edits
+    /// that cancel or already hold) returns the current scores.
+    ///
+    /// ```
+    /// use fsim_core::{compute, FsimConfig, FsimEngine, GraphEdit, GraphSide, Variant};
+    /// use fsim_graph::graph_from_parts;
+    /// use fsim_labels::LabelFn;
+    ///
+    /// let g1 = graph_from_parts(&["a", "b"], &[(0, 1)]);
+    /// let g2 = graph_from_parts(&["a", "b", "b"], &[(0, 1)]);
+    /// let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    /// let mut engine = FsimEngine::new(&g1, &g2, &cfg).unwrap();
+    /// engine.run();
+    ///
+    /// let warm = engine
+    ///     .apply_edits(&[GraphEdit::add_edge(GraphSide::Right, 0, 2)])
+    ///     .unwrap();
+    /// // Bitwise identical to a cold computation on the edited graph.
+    /// let g2_edited = g2.with_edits(&[(0, 2)], &[], &[]);
+    /// let cold = compute(&g1, &g2_edited, &cfg).unwrap();
+    /// for (a, b) in warm.iter_pairs().zip(cold.iter_pairs()) {
+    ///     assert_eq!(a, b);
+    /// }
+    /// ```
+    pub fn apply_edits(&mut self, edits: &[GraphEdit]) -> Result<FsimResult, EditError> {
+        // Validate the whole batch for both sides before touching any
+        // state — including the shared label interner, which `net`
+        // grows for unseen relabel targets.
+        validate_side(&self.g1, GraphSide::Left, edits)?;
+        validate_side(&self.g2, GraphSide::Right, edits)?;
+        let d1 = net_side_delta(&self.g1, GraphSide::Left, edits);
+        let d2 = net_side_delta(&self.g2, GraphSide::Right, edits);
+        if d1.is_empty() && d2.is_empty() {
+            if !self.has_run {
+                self.run();
+            }
+            return Ok(self.snapshot());
+        }
+
+        // Patch the graphs (CSR splice, not a rebuild) and derive the
+        // node-level dirty sets from old + new adjacency.
+        let apply_side = |g: &Graph, d: &SideDelta| -> Option<Graph> {
+            (!d.is_empty()).then(|| g.with_edits(&d.adds, &d.removes, &d.relabels))
+        };
+        let g1_new = apply_side(&self.g1, &d1);
+        let g2_new = apply_side(&self.g2, &d2);
+        let dirty1 = DirtyNodes::of(
+            &d1,
+            &self.g1,
+            g1_new.as_ref().unwrap_or(&self.g1),
+            &self.cfg,
+        );
+        let dirty2 = DirtyNodes::of(
+            &d2,
+            &self.g2,
+            g2_new.as_ref().unwrap_or(&self.g2),
+            &self.cfg,
+        );
+
+        // Pre-edit adjacency of the edge endpoints (the only nodes whose
+        // neighbor lists change) — needed to find the dependents of pairs
+        // that leave the maintained set.
+        let snapshot = |g: &Graph,
+                        d: &SideDelta|
+         -> fsim_graph::FxHashMap<NodeId, (Vec<NodeId>, Vec<NodeId>)> {
+            let mut snap = fsim_graph::FxHashMap::default();
+            for &(a, b) in d.adds.iter().chain(&d.removes) {
+                for node in [a, b] {
+                    snap.entry(node).or_insert_with(|| {
+                        (
+                            g.out_neighbors(node).to_vec(),
+                            g.in_neighbors(node).to_vec(),
+                        )
+                    });
+                }
+            }
+            snap
+        };
+        let snap1 = snapshot(&self.g1, &d1);
+        let snap2 = snapshot(&self.g2, &d2);
+
+        // Update the aligned label arrays (and the prepared label table if
+        // the vocabulary grew).
+        for (d, labels, graph) in [
+            (&d1, &mut self.labels1, &self.g1),
+            (&d2, &mut self.labels2, &self.g2),
+        ] {
+            for &(w, gid) in &d.relabels {
+                let eid = if Arc::ptr_eq(&self.interner, graph.interner()) {
+                    gid
+                } else {
+                    self.interner.intern(&graph.interner().resolve(gid))
+                };
+                labels[w as usize] = eid;
+            }
+        }
+        if let LabelEval::Sim(prepared) = &self.label_eval {
+            if self.interner.len() > prepared.label_count() {
+                self.label_eval = build_label_eval(&self.cfg, &self.interner);
+            }
+        }
+        if let Some(g) = g1_new {
+            self.g1 = Cow::Owned(g);
+        }
+        if let Some(g) = g2_new {
+            self.g2 = Cow::Owned(g);
+        }
+
+        // Repair the candidate store for the dirty rows only.
+        let old_store = std::mem::replace(
+            &mut self.store,
+            PairStore {
+                pairs: Vec::new(),
+                index: crate::store::PairIndex::Dense { n2: 0 },
+                fallback: crate::store::Fallback::Zero,
+            },
+        );
+        let ctx = OpCtx {
+            labels1: &self.labels1,
+            labels2: &self.labels2,
+            label_eval: &self.label_eval,
+            theta: self.cfg.theta,
+        };
+        let repair: StoreRepair = repair_candidates(
+            &self.g1,
+            &self.g2,
+            &ctx,
+            &self.cfg,
+            &self.op,
+            old_store,
+            &dirty1.membership,
+            &dirty2.membership,
+        );
+        let n_new = repair.store.len();
+
+        // Entry-dirty slots: pairs whose dependency lists must be
+        // re-derived — structurally dirty rows, pairs entering the store,
+        // and the dependents of every membership change.
+        let mut entry_dirty = vec![false; n_new];
+        let mut any_entry_dirty = false;
+        {
+            let pairs = &repair.store.pairs;
+            for &u in &dirty1.structural {
+                let lo = pairs.partition_point(|&(x, _)| x < u);
+                let hi = pairs.partition_point(|&(x, _)| x <= u);
+                for flag in &mut entry_dirty[lo..hi] {
+                    *flag = true;
+                    any_entry_dirty = true;
+                }
+            }
+            if !dirty2.structural.is_empty() {
+                for (slot, &(_, v)) in pairs.iter().enumerate() {
+                    if dirty2.structural.contains(&v) {
+                        entry_dirty[slot] = true;
+                        any_entry_dirty = true;
+                    }
+                }
+            }
+            for (slot, &old) in repair.new_to_old.iter().enumerate() {
+                if old == NO_SLOT {
+                    entry_dirty[slot] = true;
+                    any_entry_dirty = true;
+                }
+            }
+            // Dependents of pairs that entered or left the store: slots
+            // reading (u, v) as a neighbor pair live on the (pre- or
+            // post-edit) in/out neighborhoods of u and v.
+            let mut mark = |a: NodeId, b: NodeId| {
+                if let Some(s) = repair.store.index.get(a, b) {
+                    if s < n_new {
+                        entry_dirty[s] = true;
+                        any_entry_dirty = true;
+                    }
+                }
+            };
+            let hood = |g: &Graph,
+                        snap: &fsim_graph::FxHashMap<NodeId, (Vec<NodeId>, Vec<NodeId>)>,
+                        node: NodeId,
+                        out: bool|
+             -> Vec<NodeId> {
+                let mut ns: Vec<NodeId> = if out {
+                    g.out_neighbors(node).to_vec()
+                } else {
+                    g.in_neighbors(node).to_vec()
+                };
+                if let Some((o, i)) = snap.get(&node) {
+                    ns.extend_from_slice(if out { o } else { i });
+                    ns.sort_unstable();
+                    ns.dedup();
+                }
+                ns
+            };
+            for &(u, v) in repair.removed_pairs.iter().chain(&repair.added_pairs) {
+                for out in [false, true] {
+                    // `out == false`: dependents via their out-neighbor
+                    // term (they are in-neighbors of u/v); `out == true`:
+                    // via their in-neighbor term.
+                    for &a in &hood(&self.g1, &snap1, u, out) {
+                        for &b in &hood(&self.g2, &snap2, v, out) {
+                            mark(a, b);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Repair the dependency CSR and the cached label terms, and
+        // collect the always-dirty seed (entry-dirty ∪ relabeled rows)
+        // for the replay.
+        let mut label_terms = Vec::with_capacity(n_new);
+        let mut always_dirty: Vec<u32> = Vec::new();
+        for (slot, &(u, v)) in repair.store.pairs.iter().enumerate() {
+            let old = repair.new_to_old[slot];
+            let label_dirty = dirty1.relabeled.contains(&u) || dirty2.relabeled.contains(&v);
+            if old != NO_SLOT && !label_dirty {
+                label_terms.push(self.label_terms[old as usize]);
+            } else {
+                label_terms.push(ctx.label_sim(u, v));
+            }
+            if entry_dirty[slot] || label_dirty {
+                always_dirty.push(slot as u32);
+            }
+        }
+        let deps = self.deps.take().map(|old_deps| {
+            if repair.membership_unchanged() && !any_entry_dirty {
+                old_deps
+            } else {
+                old_deps.repaired(
+                    &self.g1,
+                    &self.g2,
+                    &ctx,
+                    &repair.store,
+                    &self.op,
+                    &repair.old_to_new,
+                    &repair.new_to_old,
+                    &entry_dirty,
+                )
+            }
+        });
+
+        // Carry the recorded trajectory into the new slot numbering
+        // (added slots are always-dirty, so their filler is never read).
+        let trajectory = self.trajectory.take().map(|traj| {
+            if repair.membership_unchanged() {
+                traj
+            } else {
+                traj.into_iter()
+                    .map(|iterate| {
+                        repair
+                            .new_to_old
+                            .iter()
+                            .map(|&old| {
+                                if old == NO_SLOT {
+                                    0.0
+                                } else {
+                                    iterate[old as usize]
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            }
+        });
+
+        self.store = repair.store;
+        self.label_terms = label_terms;
+        self.deps = deps;
+        self.trajectory = trajectory;
+        // Re-check the Auto-mode CSR budget against the edited store: a
+        // session that keeps densifying its graphs would otherwise grow
+        // the carried CSR past the configured cap. (`DeltaDriven` is an
+        // explicit opt-out of the budget, matching `ensure_deps`.)
+        if self.deps.is_some() && self.cfg.convergence == ConvergenceMode::Auto {
+            let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
+            let bytes = entries * BYTES_PER_ENTRY + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
+            if bytes > self.cfg.csr_budget as u128 {
+                self.deps = None; // next run falls back to the full sweep
+            }
+        }
+        self.has_run = false;
+        self.run_after_edits(always_dirty);
+        Ok(self.snapshot())
+    }
+
+    /// Re-converges after [`apply_edits`](Self::apply_edits): replays the
+    /// recorded trajectory when one is available, falls back to a cold
+    /// run otherwise.
+    fn run_after_edits(&mut self, always_dirty: Vec<u32>) {
+        if self.store.is_empty() {
+            self.run();
+            return;
+        }
+        self.ensure_deps();
+        let old_traj = match (&self.deps, self.trajectory.take()) {
+            (Some(_), Some(t)) if t.len() >= 2 && t[0].len() == self.store.len() => t,
+            _ => {
+                self.run();
+                return;
+            }
+        };
+        self.delta_scheduled = true;
+        let mut recorded: Option<Vec<Vec<f64>>> = self.should_record().then(Vec::new);
+        let outcome = {
+            let Self {
+                g1,
+                g2,
+                cfg,
+                op,
+                store,
+                label_terms,
+                deps,
+                scores,
+                cur,
+                ..
+            } = self;
+            let (g1, g2): (&Graph, &Graph) = (g1, g2);
+            let csr = deps.as_ref().expect("checked above");
+            let (cfg, op): (&FsimConfig, &O) = (cfg, op);
+            let (store, label_terms): (&PairStore, &[f64]) = (store, label_terms);
+            initialize(store, cfg, g1, g2, label_terms, scores);
+            let mut recorder = recorded
+                .as_mut()
+                .map(|h| Recorder::new(h, cfg.trajectory_budget));
+            let n = store.len();
+            let threads = effective_threads(cfg.threads, n);
+            if threads > 1 {
+                cur.clear();
+                cur.resize(n, 0.0);
+                run_parallel_replay(
+                    threads,
+                    cfg.effective_max_iters(),
+                    cfg.epsilon,
+                    &old_traj,
+                    &always_dirty,
+                    csr.rdep_offsets(),
+                    csr.rdeps(),
+                    scores,
+                    cur,
+                    recorder.as_mut(),
+                    || {
+                        let mut scratch = OpScratch::new();
+                        move |slot: usize, prev: &[f64]| {
+                            csr.eval_slot(
+                                cfg,
+                                op,
+                                store,
+                                slot,
+                                prev,
+                                &mut scratch,
+                                label_terms[slot],
+                            )
+                        }
+                    },
+                )
+            } else {
+                run_replay(
+                    cfg,
+                    op,
+                    store,
+                    csr,
+                    label_terms,
+                    &old_traj,
+                    &always_dirty,
+                    scores,
+                    cur,
+                    recorder.as_mut(),
+                )
+            }
+        };
+        // An abandoned (over-budget) recording comes back empty.
+        self.trajectory = recorded.filter(|h| h.len() >= 2);
+        self.iterations = outcome.iterations;
+        self.converged = outcome.converged;
+        self.final_delta = outcome.final_delta;
+        self.pairs_evaluated = outcome.pairs_evaluated;
+        self.has_run = true;
+    }
+
     /// Score of a maintained pair, or `None` if `(u, v)` was pruned.
     ///
     /// # Panics
@@ -384,8 +833,8 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         let view = self.store.view(&self.scores);
         let mut scratch = OpScratch::new();
         pair_update(
-            self.g1,
-            self.g2,
+            &self.g1,
+            &self.g2,
             &ctx,
             &self.cfg,
             &self.op,
@@ -478,9 +927,18 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         &self.cfg
     }
 
-    /// The session's graphs, `(G1, G2)`.
-    pub fn graphs(&self) -> (&'g Graph, &'g Graph) {
-        (self.g1, self.g2)
+    /// The session's graphs, `(G1, G2)` — the *edited* versions once
+    /// [`apply_edits`](Self::apply_edits) has been used.
+    pub fn graphs(&self) -> (&Graph, &Graph) {
+        (&self.g1, &self.g2)
+    }
+
+    /// Whether the engine currently holds a recorded iterate trajectory —
+    /// the prerequisite for [`apply_edits`](Self::apply_edits) to replay
+    /// incrementally instead of recomputing cold (see
+    /// [`FsimConfig::trajectory_budget`]).
+    pub fn can_replay_edits(&self) -> bool {
+        self.deps.is_some() && self.trajectory.as_ref().is_some_and(|t| t.len() >= 2)
     }
 
     /// An owned [`FsimResult`] snapshot of the current scores (clones the
@@ -705,6 +1163,168 @@ mod tests {
         assert_eq!(engine.get(0, n2 + 7), None);
         assert_eq!(engine.get(n1, 0), None);
         assert_eq!(engine.get(n1 + 3, n2 + 3), None);
+    }
+
+    #[test]
+    fn apply_edits_matches_cold_recompute() {
+        let f = figure1();
+        for variant in Variant::ALL {
+            let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(variant)).unwrap();
+            engine.run();
+            assert!(engine.can_replay_edits(), "trajectory must be recorded");
+            let edits = [
+                GraphEdit::add_edge(GraphSide::Right, f.v[0], f.v[1]),
+                GraphEdit::relabel(GraphSide::Left, 1, "pent"),
+            ];
+            engine.apply_edits(&edits).unwrap();
+            let g1_edited =
+                f.pattern
+                    .with_edits(&[], &[], &[(1, f.pattern.interner().intern("pent"))]);
+            let g2_edited = f.data.with_edits(&[(f.v[0], f.v[1])], &[], &[]);
+            let fresh = compute(&g1_edited, &g2_edited, &cfg(variant)).unwrap();
+            assert_same_scores(&engine, &fresh);
+            assert_eq!(engine.iterations(), fresh.iterations, "{variant}");
+            assert_eq!(engine.converged(), fresh.converged, "{variant}");
+            assert_eq!(
+                engine.final_delta().to_bits(),
+                fresh.final_delta.to_bits(),
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_edits_chains_across_batches() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        engine.run();
+        engine
+            .apply_edits(&[GraphEdit::add_edge(GraphSide::Right, f.v[2], f.v[0])])
+            .unwrap();
+        assert!(engine.can_replay_edits(), "trajectory must chain");
+        engine
+            .apply_edits(&[GraphEdit::remove_edge(GraphSide::Right, f.v[2], f.v[0])])
+            .unwrap();
+        // Net effect of both batches: the original graph.
+        let fresh = compute(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        assert_same_scores(&engine, &fresh);
+    }
+
+    #[test]
+    fn noop_edit_batch_keeps_scores() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        let before: Vec<_> = engine.iter_pairs().collect();
+        let existing_label = f.data.label_str(f.v[0]).to_string();
+        let out = engine
+            .apply_edits(&[
+                GraphEdit::remove_edge(GraphSide::Right, f.v[0], f.v[1]), // absent
+                GraphEdit::relabel(GraphSide::Right, f.v[0], existing_label), // same
+            ])
+            .unwrap();
+        let after: Vec<_> = engine.iter_pairs().collect();
+        assert_eq!(before, after);
+        assert_eq!(out.pair_count(), before.len());
+    }
+
+    #[test]
+    fn invalid_edit_leaves_session_untouched() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        let before: Vec<_> = engine.iter_pairs().collect();
+        let vocab_before = f.pattern.interner().len();
+        let err = engine
+            .apply_edits(&[
+                GraphEdit::relabel(GraphSide::Left, 0, "never-interned"),
+                GraphEdit::add_edge(GraphSide::Left, 0, 999),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EditError::NodeOutOfRange { node: 999, .. }));
+        let after: Vec<_> = engine.iter_pairs().collect();
+        assert_eq!(before, after);
+        // The rejected batch must not have grown the shared vocabulary.
+        assert_eq!(f.pattern.interner().len(), vocab_before);
+        assert_eq!(f.pattern.interner().get("never-interned"), None);
+    }
+
+    #[test]
+    fn edits_replay_evaluates_fewer_pairs_than_cold() {
+        let f = figure1();
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Simple)).unwrap();
+        engine.run();
+        let cold_first_iteration = engine.pairs_evaluated()[0];
+        assert_eq!(cold_first_iteration, engine.pair_count());
+        engine
+            .apply_edits(&[GraphEdit::add_edge(GraphSide::Right, f.v[0], f.v[1])])
+            .unwrap();
+        assert!(
+            engine.pairs_evaluated()[0] < cold_first_iteration,
+            "warm first iteration must skip clean pairs: {:?}",
+            engine.pairs_evaluated()
+        );
+    }
+
+    #[test]
+    fn edits_without_trajectory_still_match_cold() {
+        let f = figure1();
+        // A zero budget disables recording; apply_edits repairs the
+        // structures but re-iterates cold — results must still match.
+        let c = cfg(Variant::Bijective).trajectory_budget(0);
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &c).unwrap();
+        engine.run();
+        assert!(!engine.can_replay_edits());
+        engine
+            .apply_edits(&[GraphEdit::add_edge(GraphSide::Right, f.v[1], f.v[0])])
+            .unwrap();
+        let g2_edited = f.data.with_edits(&[(f.v[1], f.v[0])], &[], &[]);
+        let fresh = compute(&f.pattern, &g2_edited, &c).unwrap();
+        assert_same_scores(&engine, &fresh);
+    }
+
+    #[test]
+    fn over_budget_recording_is_abandoned_mid_run_and_edits_still_match() {
+        let f = figure1();
+        let mut probe = FsimEngine::new(&f.pattern, &f.data, &cfg(Variant::Bi)).unwrap();
+        probe.run();
+        assert!(probe.iterations() > 3, "needs a multi-iteration run");
+        // Room for three iterates only: recording starts, then abandons.
+        let budget = 3 * probe.pair_count() * 8;
+        let c = cfg(Variant::Bi).trajectory_budget(budget);
+        let mut engine = FsimEngine::new(&f.pattern, &f.data, &c).unwrap();
+        engine.run();
+        assert!(
+            !engine.can_replay_edits(),
+            "over-budget recording must be dropped"
+        );
+        engine
+            .apply_edits(&[GraphEdit::add_edge(GraphSide::Right, f.v[0], f.v[2])])
+            .unwrap();
+        let g2_edited = f.data.with_edits(&[(f.v[0], f.v[2])], &[], &[]);
+        let fresh = compute(&f.pattern, &g2_edited, &c).unwrap();
+        assert_same_scores(&engine, &fresh);
+    }
+
+    #[test]
+    fn edits_under_pruning_match_cold() {
+        let f = figure1();
+        for theta in [0.0, 1.0] {
+            let c = cfg(Variant::Bijective).theta(theta).upper_bound(0.3, 0.4);
+            let mut engine = FsimEngine::new(&f.pattern, &f.data, &c).unwrap();
+            engine.run();
+            engine
+                .apply_edits(&[
+                    GraphEdit::add_edge(GraphSide::Right, f.v[3], f.v[0]),
+                    GraphEdit::remove_edge(GraphSide::Right, f.v[2], 0),
+                ])
+                .unwrap();
+            // Candidate membership may shift under the upper bound; the
+            // result must match a cold engine on the edited graph.
+            let (_, g2_now) = engine.graphs();
+            let fresh = compute(&f.pattern, g2_now, &c).unwrap();
+            assert_same_scores(&engine, &fresh);
+        }
     }
 
     #[test]

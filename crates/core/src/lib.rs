@@ -54,12 +54,16 @@ pub use config::{
     ConfigError, ConvergenceMode, FsimConfig, InitScheme, LabelTermMode, MatcherKind,
     UpperBoundPruning, Variant,
 };
-pub use engine::{all_variants, compute, compute_with_operator, score_on_demand, FsimEngine};
+pub use engine::{
+    all_variants, compute, compute_with_operator, score_on_demand, EditError, FsimEngine,
+    GraphEdit, GraphSide,
+};
 pub use operators::{
     DepEntry, LabelEval, OpCtx, OpScratch, Operator, ScoreLookup, SimRankOp, VariantOp,
 };
 pub use presets::{
-    bounded_fsim, kbisim_via_framework, milner_config, rolesim_via_framework, simrank_via_framework,
+    bounded_fsim, kbisim_via_framework, milner_config, rolesim_via_framework, simrank_config,
+    simrank_via_framework,
 };
 pub use result::FsimResult;
 pub use topk::{top_k_pairs, top_k_search, TopK};

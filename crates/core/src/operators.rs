@@ -131,6 +131,21 @@ impl OpScratch {
 /// whenever not vacuous (C2), and `map_sum` realizes the *maximum* mapping
 /// (C3) — exactly for `s`/`b`, greedily (the paper's approximation) for
 /// `dp`/`bj`.
+///
+/// Built-in operators: [`VariantOp`] (the paper's four variants) and
+/// [`SimRankOp`] (the §4.3 SimRank configuration). Custom operators plug
+/// into the one-shot and session entry points:
+///
+/// ```
+/// use fsim_core::{compute_with_operator, simrank_via_framework, SimRankOp};
+/// use fsim_core::presets::simrank_config;
+/// use fsim_graph::graph_from_parts;
+///
+/// let g = graph_from_parts(&["x", "y", "x"], &[(1, 0), (1, 2)]);
+/// let result = compute_with_operator(&g, &g, &simrank_config(0.6, 1e-4), &SimRankOp).unwrap();
+/// // Nodes 0 and 2 share their only in-neighbor: SimRank(0,2) = C.
+/// assert!((result.get(0, 2).unwrap() - 0.6).abs() < 1e-9);
+/// ```
 pub trait Operator: Send + Sync {
     /// Re-derives any configuration-dependent state after an
     /// [`FsimEngine::rerun`](crate::engine::FsimEngine::rerun)

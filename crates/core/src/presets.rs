@@ -8,15 +8,13 @@ use crate::result::FsimResult;
 use fsim_graph::transform::undirected;
 use fsim_graph::Graph;
 
-/// SimRank via the framework (§4.3): single label-free graph,
-/// `w⁺ = 0`, `w⁻ = C` (the SimRank decay), `M = S1 × S2`,
-/// `Ω = |S1|·|S2|`, `L ≡ 0`, identity initialization and a pinned diagonal.
-///
-/// Returns scores for all node pairs of `g` against itself.
-pub fn simrank_via_framework(g: &Graph, c: f64, epsilon: f64) -> FsimResult {
+/// The SimRank configuration of §4.3: `w⁺ = 0`, `w⁻ = C` (the SimRank
+/// decay), `L ≡ 0`, identity initialization and a pinned diagonal. Pair
+/// with [`SimRankOp`] (`M = S1 × S2`, `Ω = |S1|·|S2|`).
+pub fn simrank_config(c: f64, epsilon: f64) -> FsimConfig {
     assert!((0.0..1.0).contains(&c), "SimRank decay must be in [0,1)");
-    let cfg = FsimConfig {
-        variant: Variant::Simple, // unused: custom operator below
+    FsimConfig {
+        variant: Variant::Simple, // unused: custom operator
         w_out: 0.0,
         w_in: c,
         theta: 0.0,
@@ -31,7 +29,16 @@ pub fn simrank_via_framework(g: &Graph, c: f64, epsilon: f64) -> FsimResult {
         pin_identical: true,
         convergence: crate::config::ConvergenceMode::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
-    };
+        trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
+    }
+}
+
+/// SimRank via the framework (§4.3): single label-free graph,
+/// [`simrank_config`] + [`SimRankOp`].
+///
+/// Returns scores for all node pairs of `g` against itself.
+pub fn simrank_via_framework(g: &Graph, c: f64, epsilon: f64) -> FsimResult {
+    let cfg = simrank_config(c, epsilon);
     FsimEngine::with_operator(g, g, &cfg, SimRankOp)
         .expect("valid SimRank configuration")
         .into_result()
@@ -61,6 +68,7 @@ pub fn rolesim_via_framework(g: &Graph, beta: f64, epsilon: f64) -> FsimResult {
         pin_identical: false,
         convergence: crate::config::ConvergenceMode::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
+        trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
     };
     compute(&und, &und, &cfg).expect("valid RoleSim configuration")
 }
@@ -117,6 +125,7 @@ pub fn kbisim_config(k: usize) -> FsimConfig {
         pin_identical: false,
         convergence: crate::config::ConvergenceMode::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
+        trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
     }
 }
 

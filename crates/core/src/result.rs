@@ -5,6 +5,26 @@ use fsim_graph::NodeId;
 
 /// Converged (or iteration-capped) fractional simulation scores over the
 /// maintained candidate pairs.
+///
+/// Produced by [`compute`](crate::compute), by consuming an engine
+/// session ([`FsimEngine::into_result`](crate::FsimEngine::into_result) /
+/// [`snapshot`](crate::FsimEngine::snapshot)), and by every
+/// [`apply_edits`](crate::FsimEngine::apply_edits) batch.
+///
+/// ```
+/// use fsim_core::{compute, FsimConfig, Variant};
+/// use fsim_graph::graph_from_parts;
+/// use fsim_labels::LabelFn;
+///
+/// let g = graph_from_parts(&["a", "b"], &[(0, 1)]);
+/// let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+/// let result = compute(&g, &g, &cfg).unwrap();
+/// assert!(result.converged);
+/// assert_eq!(result.get(0, 0), Some(1.0));
+/// assert_eq!(result.pairs_evaluated().len(), result.iterations);
+/// // Total Equation-3 evaluations: the scheduling work of the run.
+/// assert!(result.total_pairs_evaluated() >= result.pair_count());
+/// ```
 #[derive(Debug)]
 pub struct FsimResult {
     store: PairStore,

@@ -17,12 +17,13 @@ pub fn run(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "fig7",
         "Running time and #candidate pairs vs theta (NELL-like)",
-        &["theta", "s", "dp", "b", "bj", "#pairs"],
+        &["theta", "s", "dp", "b", "bj", "#pairs", "evals (bj)"],
     );
     let thetas: Vec<f64> = (0..=5).map(|step| step as f64 * 0.2).collect();
-    // times[variant][theta-step], pairs[theta-step]
+    // times[variant][theta-step], pairs/evals[theta-step]
     let mut times: Vec<Vec<String>> = Vec::new();
     let mut pairs = vec![0usize; thetas.len()];
+    let mut evals = vec![0usize; thetas.len()];
     for &v in &Variant::ALL {
         // Build the session at θ = 1 (cheapest store) so that *every*
         // timed cell below — including θ = 0 — changes θ and therefore
@@ -39,6 +40,9 @@ pub fn run(opts: &ExpOpts) -> Report {
             engine.rerun(|c| c.theta = theta).expect("valid config");
             column.push(fmt_secs(t0.elapsed().as_secs_f64()));
             pairs[step] = engine.pair_count();
+            if v == Variant::Bijective {
+                evals[step] = engine.pairs_evaluated().iter().sum();
+            }
         }
         times.push(column);
     }
@@ -48,6 +52,7 @@ pub fn run(opts: &ExpOpts) -> Report {
             cells.push(column[step].clone());
         }
         cells.push(pairs[step].to_string());
+        cells.push(evals[step].to_string());
         report.row(cells);
     }
     report.note("paper: time and #pairs decrease as theta grows; dp/bj slowest (matching cost)");
@@ -55,6 +60,7 @@ pub fn run(opts: &ExpOpts) -> Report {
         "threads = {}; cells time a session rerun at the given theta",
         opts.threads
     ));
+    report.note("evals: total Equation-3 evaluations across iterations (bj column) — the scheduling work behind the timing");
     report
 }
 
@@ -67,11 +73,26 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.1;
         let r = run(&opts);
-        let first: usize = r.rows[0].last().unwrap().parse().unwrap();
-        let last: usize = r.rows.last().unwrap().last().unwrap().parse().unwrap();
+        let first: usize = r.rows[0][5].parse().unwrap();
+        let last: usize = r.rows.last().unwrap()[5].parse().unwrap();
         assert!(
             last < first,
             "theta=1 must maintain fewer pairs ({last} !< {first})"
         );
+    }
+
+    #[test]
+    fn evaluation_counts_are_reported() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.1;
+        let r = run(&opts);
+        for row in &r.rows {
+            let pairs: usize = row[5].parse().unwrap();
+            let evals: usize = row[6].parse().unwrap();
+            assert!(
+                pairs == 0 || evals >= pairs,
+                "every maintained pair is evaluated at least once ({pairs} pairs, {evals} evals)"
+            );
+        }
     }
 }

@@ -12,15 +12,17 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
-fn timed(g: &Graph, threads: usize) -> f64 {
+/// Wall-clock and total Equation-3 evaluations (the scheduling work) of
+/// one cold FSimbj{ub, θ=1} computation.
+fn timed(g: &Graph, threads: usize) -> (f64, usize) {
     let cfg = FsimConfig::new(Variant::Bijective)
         .label_fn(LabelFn::Indicator)
         .theta(1.0)
         .upper_bound(0.0, 0.5)
         .threads(threads);
     let t0 = Instant::now();
-    let _ = compute(g, g, &cfg).expect("valid config");
-    t0.elapsed().as_secs_f64()
+    let result = compute(g, g, &cfg).expect("valid config");
+    (t0.elapsed().as_secs_f64(), result.total_pairs_evaluated())
 }
 
 /// Figure 9(a): thread sweep. The surrogates are densified (×8) so the
@@ -33,13 +35,23 @@ pub fn run_threads(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "fig9a",
         "FSimbj{ub,theta=1} running time vs #threads",
-        &["threads", "NELL-like", "ACMCit-like"],
+        &[
+            "threads",
+            "NELL-like",
+            "ACMCit-like",
+            "evals NELL",
+            "evals ACM",
+        ],
     );
     for threads in [1usize, 2, 4, 8, 16, 24, 32] {
+        let (nell_s, nell_evals) = timed(&nell, threads);
+        let (acm_s, acm_evals) = timed(&acm, threads);
         report.row(vec![
             threads.to_string(),
-            fmt_secs(timed(&nell, threads)),
-            fmt_secs(timed(&acm, threads)),
+            fmt_secs(nell_s),
+            fmt_secs(acm_s),
+            nell_evals.to_string(),
+            acm_evals.to_string(),
         ]);
     }
     report.note(format!(
@@ -48,6 +60,7 @@ pub fn run_threads(opts: &ExpOpts) -> Report {
             .map(|n| n.get())
             .unwrap_or(1)
     ));
+    report.note("evals: total Equation-3 evaluations — identical across thread counts (the schedule is thread-invariant)");
     report
 }
 
@@ -62,19 +75,30 @@ pub fn run_density(opts: &ExpOpts) -> Report {
     let mut report = Report::new(
         "fig9b",
         "FSimbj{ub,theta=1} running time vs density multiplier",
-        &["density", "NELL-like", "ACMCit-like"],
+        &[
+            "density",
+            "NELL-like",
+            "ACMCit-like",
+            "evals NELL",
+            "evals ACM",
+        ],
     );
     for factor in [1.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ factor as u64);
         let dn = noise::densify(&nell, factor, &mut rng);
         let da = noise::densify(&acm, factor, &mut rng);
+        let (nell_s, nell_evals) = timed(&dn, opts.threads);
+        let (acm_s, acm_evals) = timed(&da, opts.threads);
         report.row(vec![
             format!("x{factor:.0}"),
-            fmt_secs(timed(&dn, opts.threads)),
-            fmt_secs(timed(&da, opts.threads)),
+            fmt_secs(nell_s),
+            fmt_secs(acm_s),
+            nell_evals.to_string(),
+            acm_evals.to_string(),
         ]);
     }
     report.note("paper: time grows with density; ub pruning partially offsets the growth");
+    report.note("evals: total Equation-3 evaluations — the scheduling work behind the timing");
     report
 }
 

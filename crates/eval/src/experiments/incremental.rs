@@ -1,0 +1,114 @@
+//! Beyond-the-paper experiment: incremental rescoring after graph edits.
+//! Warm `FsimEngine::apply_edits` (trajectory replay over incrementally
+//! repaired structures) vs a cold session rebuild, across edit-batch
+//! sizes on the NELL-like surrogate — the serve-side pattern the ROADMAP
+//! targets (cf. Fig. 7/9, which report the cold paper-shape costs).
+
+use crate::opts::ExpOpts;
+use crate::report::{fmt_secs, Report};
+use fsim_core::{FsimConfig, FsimEngine, GraphEdit, GraphSide, Variant};
+use fsim_graph::Graph;
+use fsim_labels::LabelFn;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// A random edit on the session's right graph: mostly edge flips, with an
+/// occasional relabel drawn from the existing vocabulary.
+fn random_edit(rng: &mut ChaCha8Rng, g2: &Graph) -> GraphEdit {
+    let n = g2.node_count() as u32;
+    if rng.gen_bool(0.15) {
+        let w = rng.gen_range(0..n);
+        let donor = rng.gen_range(0..n);
+        return GraphEdit::relabel(GraphSide::Right, w, &*g2.label_str(donor));
+    }
+    let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+    if g2.has_edge(u, v) {
+        GraphEdit::remove_edge(GraphSide::Right, u, v)
+    } else {
+        GraphEdit::add_edge(GraphSide::Right, u, v)
+    }
+}
+
+/// Warm-edit speedup vs cold recompute per edit-batch size.
+pub fn run(opts: &ExpOpts) -> Report {
+    let g = opts.nell();
+    // The paper's NELL efficiency configuration (Fig. 9): FSimbj{ub, θ=1}.
+    let mut cfg = FsimConfig::new(Variant::Bijective)
+        .label_fn(LabelFn::Indicator)
+        .theta(1.0)
+        .upper_bound(0.0, 0.5)
+        .threads(opts.threads);
+    cfg.epsilon = 1e-4;
+    let mut report = Report::new(
+        "incremental",
+        "Warm apply_edits vs cold recompute per edit-batch size (NELL-like)",
+        &[
+            "batch",
+            "warm",
+            "cold",
+            "speedup",
+            "warm evals",
+            "cold evals",
+            "evals %",
+        ],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x1C4);
+    let mut engine = FsimEngine::new(&g, &g, &cfg).expect("valid config");
+    engine.run();
+    let reps = 4usize;
+    for batch in [1usize, 4, 16, 64] {
+        let (mut warm_s, mut cold_s) = (0.0, 0.0);
+        let (mut warm_evals, mut cold_evals) = (0usize, 0usize);
+        for _ in 0..reps {
+            let edits: Vec<GraphEdit> = {
+                let g2 = engine.graphs().1;
+                (0..batch).map(|_| random_edit(&mut rng, g2)).collect()
+            };
+            let t0 = Instant::now();
+            engine.apply_edits(&edits).expect("in-range edits");
+            warm_s += t0.elapsed().as_secs_f64();
+            warm_evals += engine.pairs_evaluated().iter().sum::<usize>();
+            let g2_now = engine.graphs().1.clone();
+            let t1 = Instant::now();
+            let mut cold = FsimEngine::new(&g, &g2_now, &cfg).expect("valid config");
+            cold.run();
+            cold_s += t1.elapsed().as_secs_f64();
+            cold_evals += cold.pairs_evaluated().iter().sum::<usize>();
+        }
+        let r = reps as f64;
+        report.row(vec![
+            batch.to_string(),
+            fmt_secs(warm_s / r),
+            fmt_secs(cold_s / r),
+            format!("{:.1}x", cold_s / warm_s.max(1e-12)),
+            format!("{:.0}", warm_evals as f64 / r),
+            format!("{:.0}", cold_evals as f64 / r),
+            format!(
+                "{:.1}",
+                100.0 * warm_evals as f64 / (cold_evals as f64).max(1.0)
+            ),
+        ]);
+    }
+    report.note("warm batches replay the recorded trajectory; cold rebuilds store + CSR + iterates from FSim0");
+    report.note(format!(
+        "threads = {}; scores are bitwise identical in both columns (property-tested)",
+        opts.threads
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_batch_sizes() {
+        let mut opts = ExpOpts::quick();
+        opts.scale = 0.1;
+        let r = run(&opts);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0][0], "1");
+        assert_eq!(r.rows.last().unwrap()[0], "64");
+    }
+}

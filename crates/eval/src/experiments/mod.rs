@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod incremental;
 pub mod table2;
 pub mod table4;
 pub mod table5;
@@ -18,10 +19,26 @@ pub mod table9;
 use crate::opts::ExpOpts;
 use crate::report::Report;
 
-/// All experiment ids in paper order.
-pub const ALL_IDS: [&str; 16] = [
-    "table2", "table4", "table5", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9a",
-    "fig9b", "table6", "table7", "table8", "table9", "eff",
+/// All experiment ids: the paper's tables/figures in paper order, then
+/// the beyond-the-paper serve-side experiments.
+pub const ALL_IDS: [&str; 17] = [
+    "table2",
+    "table4",
+    "table5",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "eff",
+    "incremental",
 ];
 
 /// Runs one experiment by id; returns its reports (some ids produce two
@@ -46,6 +63,7 @@ pub fn run(id: &str, opts: &ExpOpts) -> Option<Vec<Report>> {
         "table8" => vec![table7_8::run_table8(opts)],
         "table9" => vec![table9::run(opts)],
         "eff" => vec![efficiency::run(opts)],
+        "incremental" => vec![incremental::run(opts)],
         _ => return None,
     };
     Some(reports)

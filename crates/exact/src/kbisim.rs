@@ -1,4 +1,4 @@
-//! k-bisimulation via signature hashing (Luo et al. [21]; §4.3 of the
+//! k-bisimulation via signature hashing (Luo et al. \[21\]; §4.3 of the
 //! paper) and full bisimulation partitioning to a fixpoint.
 //!
 //! `sig⁰(u)` hashes the node label; `sigᵏ(u)` hashes

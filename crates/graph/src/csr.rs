@@ -84,6 +84,78 @@ impl Csr {
         (0..self.node_count() as u32)
             .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
+
+    /// Builds a patched copy with `adds` spliced in and `removes` taken out
+    /// — one merge pass over the rows instead of a full sort-and-rebuild,
+    /// so the cost is `O(|E| + |Δ|)` copying with per-row merge work only
+    /// on touched rows.
+    ///
+    /// Both edit lists must be sorted by `(source, target)` and
+    /// deduplicated, and must be disjoint from each other. Adding an edge
+    /// that already exists or removing one that does not is a per-edge
+    /// no-op.
+    pub fn patched(&self, adds: &[(u32, u32)], removes: &[(u32, u32)]) -> Csr {
+        debug_assert!(adds.windows(2).all(|w| w[0] < w[1]), "adds must be sorted");
+        debug_assert!(
+            removes.windows(2).all(|w| w[0] < w[1]),
+            "removes must be sorted"
+        );
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len() + adds.len());
+        offsets.push(0u32);
+        let (mut ai, mut ri) = (0usize, 0usize);
+        for u in 0..n as u32 {
+            let old = self.neighbors(u);
+            let a_start = ai;
+            while ai < adds.len() && adds[ai].0 == u {
+                ai += 1;
+            }
+            let r_start = ri;
+            while ri < removes.len() && removes[ri].0 == u {
+                ri += 1;
+            }
+            let row_adds = &adds[a_start..ai];
+            let row_rems = &removes[r_start..ri];
+            if row_adds.is_empty() && row_rems.is_empty() {
+                targets.extend_from_slice(old);
+            } else {
+                let (mut oi, mut aj, mut rj) = (0usize, 0usize, 0usize);
+                loop {
+                    let next_old = old.get(oi).copied();
+                    let next_add = row_adds.get(aj).map(|&(_, v)| v);
+                    match (next_old, next_add) {
+                        (Some(o), Some(a)) if a < o => {
+                            targets.push(a);
+                            aj += 1;
+                        }
+                        (Some(o), add) => {
+                            if add == Some(o) {
+                                aj += 1; // tolerated: edge already present
+                            }
+                            while rj < row_rems.len() && row_rems[rj].1 < o {
+                                rj += 1;
+                            }
+                            if row_rems.get(rj).map(|&(_, v)| v) == Some(o) {
+                                rj += 1; // removed
+                            } else {
+                                targets.push(o);
+                            }
+                            oi += 1;
+                        }
+                        (None, Some(a)) => {
+                            targets.push(a);
+                            aj += 1;
+                        }
+                        (None, None) => break,
+                    }
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        debug_assert_eq!(ai, adds.len(), "add edge source out of range");
+        Csr { offsets, targets }
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +198,33 @@ mod tests {
         let c = Csr::from_edges(0, Vec::new());
         assert_eq!(c.node_count(), 0);
         assert_eq!(c.edge_count(), 0);
+    }
+
+    #[test]
+    fn patched_matches_full_rebuild() {
+        let c = Csr::from_edges(6, vec![(0, 1), (0, 3), (2, 3), (2, 5), (4, 0), (5, 5)]);
+        let adds = [(0u32, 2u32), (0, 4), (1, 0), (2, 4), (5, 0)];
+        let removes = [(0u32, 3u32), (2, 3), (5, 5)];
+        let patched = c.patched(&adds, &removes);
+        let mut edges: Vec<(u32, u32)> = c.edges().collect();
+        edges.retain(|e| !removes.contains(e));
+        edges.extend_from_slice(&adds);
+        let rebuilt = Csr::from_edges(6, edges);
+        assert_eq!(patched, rebuilt);
+    }
+
+    #[test]
+    fn patched_tolerates_redundant_edits() {
+        let c = sample();
+        // Adding an existing edge and removing a missing one are no-ops.
+        let patched = c.patched(&[(0, 1)], &[(1, 3)]);
+        assert_eq!(patched, c);
+    }
+
+    #[test]
+    fn patched_with_empty_edits_is_identity() {
+        let c = sample();
+        assert_eq!(c.patched(&[], &[]), c);
     }
 
     #[test]

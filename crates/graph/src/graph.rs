@@ -154,6 +154,62 @@ impl Graph {
         ls.dedup();
         ls
     }
+
+    /// Builds an edited copy of this graph: `add_edges` inserted,
+    /// `remove_edges` deleted, and `relabels` (`node → new label id`)
+    /// applied. The node set is unchanged; both adjacency CSRs are patched
+    /// with one merge pass ([`Csr::patched`]) instead of a full
+    /// sort-and-rebuild, and the label interner is shared with `self`.
+    ///
+    /// Edit lists need not be sorted; duplicates, already-present adds and
+    /// already-absent removes collapse to no-ops. `add_edges` and
+    /// `remove_edges` must not both contain the same edge.
+    ///
+    /// ```
+    /// use fsim_graph::graph_from_parts;
+    /// let g = graph_from_parts(&["a", "b", "c"], &[(0, 1), (1, 2)]);
+    /// let h = g.with_edits(&[(0, 2)], &[(1, 2)], &[(2, g.label(0))]);
+    /// assert!(h.has_edge(0, 2) && !h.has_edge(1, 2));
+    /// assert_eq!(h.label(2), h.label(0));
+    /// assert_eq!(h.node_count(), g.node_count());
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any referenced node is out of range.
+    pub fn with_edits(
+        &self,
+        add_edges: &[(NodeId, NodeId)],
+        remove_edges: &[(NodeId, NodeId)],
+        relabels: &[(NodeId, LabelId)],
+    ) -> Graph {
+        let n = self.node_count();
+        let in_range = |&(u, v): &(NodeId, NodeId)| (u as usize) < n && (v as usize) < n;
+        assert!(add_edges.iter().all(in_range), "add edge out of range");
+        assert!(
+            remove_edges.iter().all(in_range),
+            "remove edge out of range"
+        );
+        let normalize = |edges: &[(NodeId, NodeId)]| -> Vec<(NodeId, NodeId)> {
+            let mut es = edges.to_vec();
+            es.sort_unstable();
+            es.dedup();
+            es
+        };
+        let adds = normalize(add_edges);
+        let removes = normalize(remove_edges);
+        let flip = |edges: &[(NodeId, NodeId)]| -> Vec<(NodeId, NodeId)> {
+            let mut es: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+            es.sort_unstable();
+            es
+        };
+        let out = self.out.patched(&adds, &removes);
+        let inn = self.inn.patched(&flip(&adds), &flip(&removes));
+        let mut labels = self.labels.clone();
+        for &(u, l) in relabels {
+            labels[u as usize] = l;
+        }
+        Graph::from_parts(labels, out, inn, Arc::clone(&self.interner))
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +252,42 @@ mod tests {
         assert_eq!(g.max_out_degree(), 3);
         assert_eq!(g.max_in_degree(), 2);
         assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_edits_matches_rebuild() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(if i % 2 == 0 { "x" } else { "y" });
+        }
+        for e in [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)] {
+            b.add_edge(e.0, e.1);
+        }
+        let g = b.build();
+        let new_label = g.label(1);
+        let h = g.with_edits(
+            &[(5, 0), (0, 2), (0, 1)],
+            &[(2, 3), (1, 5)],
+            &[(0, new_label)],
+        );
+
+        // Oracle: rebuild from scratch on the same interner.
+        let mut b2 = GraphBuilder::with_interner(std::sync::Arc::clone(g.interner()));
+        for u in g.nodes() {
+            b2.add_node_with_id(if u == 0 { new_label } else { g.label(u) });
+        }
+        for e in [(0, 1), (1, 2), (3, 0), (4, 5), (5, 0), (0, 2)] {
+            b2.add_edge(e.0, e.1);
+        }
+        let oracle = b2.build();
+        assert_eq!(h.labels(), oracle.labels());
+        assert_eq!(
+            h.edges().collect::<Vec<_>>(),
+            oracle.edges().collect::<Vec<_>>()
+        );
+        for u in h.nodes() {
+            assert_eq!(h.in_neighbors(u), oracle.in_neighbors(u), "in-row {u}");
+        }
     }
 
     #[test]

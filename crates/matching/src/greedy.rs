@@ -2,7 +2,7 @@
 //!
 //! This is the "popular greedy approximate of Hungarian" the paper uses to
 //! implement the injective mapping operators `M_dp` and `M_bj` (§4.2,
-//! citing Avis' survey [23]): sort candidate pairs by weight, then take each
+//! citing Avis' survey \[23\]): sort candidate pairs by weight, then take each
 //! pair whose endpoints are both still free. It is a 1/2-approximation with
 //! `O(k log k)` cost for `k` candidate pairs, and is exact whenever weights
 //! are "consistent" (e.g. all-equal weights within label classes, the common

@@ -4,7 +4,7 @@
 //! `s(u, u) = 1`; `s(u, v) = C / (|I(u)||I(v)|) · Σ_{a∈I(u), b∈I(v)} s(a, b)`
 //! with `s(u, v) = 0` when either in-neighborhood is empty. This is the
 //! reference against which the framework configuration of §4.3
-//! ([`fsim_core::simrank_via_framework`]) is validated.
+//! (`fsim_core::simrank_via_framework`) is validated.
 
 use crate::dense::DenseSim;
 use fsim_graph::Graph;

@@ -5,17 +5,23 @@
 //! fsim generate --dataset NELL [--scale F] [--seed S] [-o out.txt]
 //! fsim score <g1> <g2> [--variant s|dp|b|bj] [--theta T] [--threads N]
 //!            [--convergence auto|sweep|delta] [--pair U,V]... [--top K]
+//! fsim update <g1> [g2] --script FILE [--variant V] [--theta T]
+//!             [--threads N] [--verify] [--top K]
 //! fsim exact <g1> <g2> [--variant s|dp|b|bj] [--pair U,V]...
 //! fsim topk <graph> [-k K] [--variant s|dp|b|bj]
 //! fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]
 //! ```
 //!
 //! Graphs are read in the text edge-list format of `fsim_graph::io`
-//! (`n <id> <label>` / `e <src> <dst>` lines).
+//! (`n <id> <label>` / `e <src> <dst>` lines). Edit scripts for `update`
+//! hold one edit per line — `add SIDE SRC DST`, `del SIDE SRC DST`,
+//! `relabel SIDE NODE LABEL` (SIDE is `1` or `2`), with `flush` applying
+//! the batch accumulated so far; a trailing batch is flushed implicitly.
 
 use fsim::core::{top_k_search, ConvergenceMode, FsimConfig, Variant};
 use fsim::prelude::*;
 use std::process::exit;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +33,7 @@ fn main() {
         "stats" => cmd_stats(rest),
         "generate" => cmd_generate(rest),
         "score" => cmd_score(rest),
+        "update" => cmd_update(rest),
         "exact" => cmd_exact(rest),
         "topk" => cmd_topk(rest),
         "align" => cmd_align(rest),
@@ -49,6 +56,7 @@ fn usage() {
          stats <graph>                                  print graph statistics\n  \
          generate --dataset NAME [--scale F] [--seed S] [-o FILE]\n  \
          score <g1> <g2> [--variant V] [--theta T] [--threads N] [--convergence auto|sweep|delta] [--pair U,V]... [--top K]\n  \
+         update <g1> [g2] --script FILE [--variant V] [--theta T] [--threads N] [--verify] [--top K]\n  \
          exact <g1> <g2> [--variant V] [--pair U,V]...\n  \
          topk <graph> [-k K] [--variant V]\n  \
          align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]"
@@ -244,6 +252,153 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
         .map_err(|_| "bad --top")?;
     for (u, v, s) in engine.top_k(k, false) {
         println!("({u},{v}) {s:.6}");
+    }
+    Ok(())
+}
+
+/// Parses one edit-script line into session edits. In single-graph mode
+/// (`mirror == true`) every edit is applied to both sides so the
+/// self-similarity session stays consistent.
+fn parse_edit_line(
+    line: &str,
+    mirror: bool,
+    out: &mut Vec<fsim::core::GraphEdit>,
+) -> Result<bool, String> {
+    use fsim::core::{GraphEdit, GraphSide};
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.is_empty() || tokens[0].starts_with('#') {
+        return Ok(false);
+    }
+    if tokens[0] == "flush" {
+        return Ok(true);
+    }
+    let parse_side = |s: &str| -> Result<GraphSide, String> {
+        match s {
+            "1" | "l" | "left" => Ok(GraphSide::Left),
+            "2" | "r" | "right" => Ok(GraphSide::Right),
+            other => Err(format!("bad side {other:?} (want 1|2)")),
+        }
+    };
+    let parse_node =
+        |s: &str| -> Result<u32, String> { s.parse().map_err(|_| format!("bad node id {s:?}")) };
+    let sides = |side: GraphSide| -> Vec<GraphSide> {
+        if mirror {
+            vec![GraphSide::Left, GraphSide::Right]
+        } else {
+            vec![side]
+        }
+    };
+    match tokens.as_slice() {
+        ["add", side, src, dst] => {
+            let (src, dst) = (parse_node(src)?, parse_node(dst)?);
+            for s in sides(parse_side(side)?) {
+                out.push(GraphEdit::add_edge(s, src, dst));
+            }
+        }
+        ["del", side, src, dst] => {
+            let (src, dst) = (parse_node(src)?, parse_node(dst)?);
+            for s in sides(parse_side(side)?) {
+                out.push(GraphEdit::remove_edge(s, src, dst));
+            }
+        }
+        ["relabel", side, node, label] => {
+            let node = parse_node(node)?;
+            for s in sides(parse_side(side)?) {
+                out.push(GraphEdit::relabel(s, node, *label));
+            }
+        }
+        _ => return Err(format!("bad edit line {line:?}")),
+    }
+    Ok(false)
+}
+
+/// Replays an edit script against a live engine session, reporting the
+/// incremental work per batch (`fsim update`).
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let script_path = a.flag("script").ok_or("--script FILE is required")?;
+    let script = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
+    let (g1, g2, mirror) = match a.positional[..] {
+        [p] => {
+            let g = load_graph(p)?;
+            (g.clone(), g, true)
+        }
+        [p1, p2] => {
+            let (g1, g2) = load_graph_pair(p1, p2)?;
+            (g1, g2, false)
+        }
+        _ => return Err("usage: fsim update <g1> [g2] --script FILE [flags]".into()),
+    };
+    let cfg = build_config(&a)?;
+    let verify = a.flags.iter().any(|(n, _)| *n == "verify");
+
+    let t0 = Instant::now();
+    let mut engine = fsim::core::FsimEngine::new(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
+    engine.run();
+    eprintln!(
+        "cold start: {} pairs, {} iterations, {} evaluations, {:.1} ms{}",
+        engine.pair_count(),
+        engine.iterations(),
+        engine.pairs_evaluated().iter().sum::<usize>(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        if engine.can_replay_edits() {
+            ""
+        } else {
+            " (no trajectory: edits will re-iterate cold)"
+        },
+    );
+
+    let mut batch: Vec<fsim::core::GraphEdit> = Vec::new();
+    let mut batch_no = 0usize;
+    let mut flush = |batch: &mut Vec<fsim::core::GraphEdit>,
+                     engine: &mut fsim::core::FsimEngine<'_>|
+     -> Result<(), String> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        batch_no += 1;
+        let edits = std::mem::take(batch);
+        let t = Instant::now();
+        engine.apply_edits(&edits).map_err(|e| e.to_string())?;
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "batch {batch_no}: {} edits, {} pairs, {} iterations, {} evaluations, {warm_ms:.1} ms",
+            edits.len(),
+            engine.pair_count(),
+            engine.iterations(),
+            engine.pairs_evaluated().iter().sum::<usize>(),
+        );
+        if verify {
+            let (e1, e2) = engine.graphs();
+            let fresh = fsim::core::compute(e1, e2, engine.config()).map_err(|e| e.to_string())?;
+            let identical = engine.pair_count() == fresh.pair_count()
+                && engine
+                    .iter_pairs()
+                    .zip(fresh.iter_pairs())
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1 && a.2.to_bits() == b.2.to_bits());
+            if !identical {
+                return Err(format!(
+                    "batch {batch_no}: warm scores diverged from cold recompute"
+                ));
+            }
+            eprintln!("batch {batch_no}: verified bitwise against cold recompute");
+        }
+        Ok(())
+    };
+    for (lineno, line) in script.lines().enumerate() {
+        let flush_now = parse_edit_line(line, mirror, &mut batch)
+            .map_err(|e| format!("{script_path}:{}: {e}", lineno + 1))?;
+        if flush_now {
+            flush(&mut batch, &mut engine)?;
+        }
+    }
+    flush(&mut batch, &mut engine)?;
+
+    if let Some(k) = a.flag("top") {
+        let k: usize = k.parse().map_err(|_| "bad --top")?;
+        for (u, v, s) in engine.top_k(k, mirror) {
+            println!("({u},{v}) {s:.6}");
+        }
     }
     Ok(())
 }

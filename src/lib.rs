@@ -74,8 +74,8 @@ pub fn exact_variant(v: fsim_core::Variant) -> fsim_exact::ExactVariant {
 pub mod prelude {
     pub use crate::exact_variant;
     pub use fsim_core::{
-        compute, score_on_demand, ConvergenceMode, FsimConfig, FsimResult, InitScheme,
-        LabelTermMode, MatcherKind, Variant,
+        compute, score_on_demand, ConvergenceMode, EditError, FsimConfig, FsimResult, GraphEdit,
+        GraphSide, InitScheme, LabelTermMode, MatcherKind, Variant,
     };
     pub use fsim_exact::{simulates, simulation_relation, ExactVariant};
     pub use fsim_graph::{Graph, GraphBuilder, GraphStats, LabelId, LabelInterner, NodeId};

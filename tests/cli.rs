@@ -145,6 +145,95 @@ fn align_maps_identical_graphs() {
 }
 
 #[test]
+fn update_replays_edit_script_with_verification() {
+    let dir = tempdir();
+    let (p1, p2) = write_sample_graphs(&dir);
+    let script = dir.join("edits.txt");
+    std::fs::write(
+        &script,
+        "# first batch: densify g2\n\
+         add 2 1 2\n\
+         flush\n\
+         # second batch: relabel + retract on g2, edit g1\n\
+         relabel 2 2 a\n\
+         del 2 0 2\n\
+         add 1 1 0\n",
+    )
+    .unwrap();
+    let out = fsim_bin()
+        .args([
+            "update",
+            &p1,
+            &p2,
+            "--script",
+            script.to_str().unwrap(),
+            "--variant",
+            "b",
+            "--verify",
+            "--top",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("batch 1:"), "got: {stderr}");
+    assert!(
+        stderr.contains("batch 2: verified bitwise against cold recompute"),
+        "got: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 3, "got: {stdout}");
+}
+
+#[test]
+fn update_single_graph_mirrors_edits() {
+    let dir = tempdir();
+    let (_, p2) = write_sample_graphs(&dir);
+    let script = dir.join("self-edits.txt");
+    std::fs::write(&script, "add 1 2 0\nrelabel 1 1 a\n").unwrap();
+    let out = fsim_bin()
+        .args([
+            "update",
+            &p2,
+            "--script",
+            script.to_str().unwrap(),
+            "--verify",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("verified bitwise"), "got: {stderr}");
+}
+
+#[test]
+fn update_rejects_out_of_range_edits() {
+    let dir = tempdir();
+    let (p1, p2) = write_sample_graphs(&dir);
+    let script = dir.join("bad.txt");
+    std::fs::write(&script, "add 1 0 99\n").unwrap();
+    let out = fsim_bin()
+        .args(["update", &p1, &p2, "--script", script.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("node 99"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn unknown_command_fails_cleanly() {
     let out = fsim_bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,328 @@
+//! Incremental-rescoring properties: `FsimEngine::apply_edits` — random
+//! scripts of edge insertions/deletions and relabels, interleaved with
+//! configuration reruns — must be indistinguishable **bitwise** (scores,
+//! iteration counts, convergence flags, deltas) from tearing the session
+//! down and recomputing from scratch on the edited graphs, across
+//! variants × θ × upper-bound pruning × thread counts.
+//!
+//! The test maintains its own shadow model of both graphs (label strings +
+//! edge sets) and rebuilds the cold-reference graphs from that model with
+//! `GraphBuilder`, so the incremental path (`Graph::with_edits`, store and
+//! CSR repair, trajectory replay) shares no code with the oracle.
+
+use fsim::prelude::*;
+use fsim_core::FsimEngine;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Shadow model of one graph: rebuildable from scratch at any point.
+#[derive(Clone)]
+struct Shadow {
+    labels: Vec<String>,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl Shadow {
+    fn random(rng: &mut ChaCha8Rng, names: &[&str], max_n: usize) -> Shadow {
+        let n = rng.gen_range(3..=max_n);
+        let labels = (0..n)
+            .map(|_| names[rng.gen_range(0..names.len())].to_string())
+            .collect();
+        let mut edges = BTreeSet::new();
+        for _ in 0..rng.gen_range(0..=(2 * n)) {
+            edges.insert((rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32));
+        }
+        Shadow { labels, edges }
+    }
+
+    fn build(&self, interner: &Arc<LabelInterner>) -> Graph {
+        let mut b = GraphBuilder::with_interner(Arc::clone(interner));
+        for l in &self.labels {
+            b.add_node(l);
+        }
+        for &(u, v) in &self.edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// One random edit, mirrored into the shadow model.
+fn random_edit(
+    rng: &mut ChaCha8Rng,
+    side: GraphSide,
+    shadow: &mut Shadow,
+    names: &[&str],
+) -> GraphEdit {
+    let n = shadow.node_count() as u32;
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // Add a (possibly already existing) edge.
+            let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            shadow.edges.insert((u, v));
+            GraphEdit::add_edge(side, u, v)
+        }
+        1 => {
+            // Remove an existing edge when possible, else a random one.
+            let (u, v) = if shadow.edges.is_empty() || rng.gen_bool(0.2) {
+                (rng.gen_range(0..n), rng.gen_range(0..n))
+            } else {
+                let k = rng.gen_range(0..shadow.edges.len());
+                *shadow.edges.iter().nth(k).unwrap()
+            };
+            shadow.edges.remove(&(u, v));
+            GraphEdit::remove_edge(side, u, v)
+        }
+        _ => {
+            let w = rng.gen_range(0..n);
+            let label = names[rng.gen_range(0..names.len())];
+            shadow.labels[w as usize] = label.to_string();
+            GraphEdit::relabel(side, w, label)
+        }
+    }
+}
+
+/// Asserts that the warm engine is bitwise indistinguishable from a fresh
+/// cold engine on the oracle-rebuilt graphs.
+fn assert_matches_cold(
+    engine: &FsimEngine<'_>,
+    s1: &Shadow,
+    s2: &Shadow,
+    interner: &Arc<LabelInterner>,
+    cfg: &FsimConfig,
+    what: &str,
+) {
+    let g1 = s1.build(interner);
+    let g2 = s2.build(interner);
+    let mut cold = FsimEngine::new(&g1, &g2, cfg).expect("valid config");
+    cold.run();
+    assert_eq!(engine.pair_count(), cold.pair_count(), "{what}: pair count");
+    for ((u1, v1, a), (u2, v2, b)) in engine.iter_pairs().zip(cold.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2), "{what}: pair order");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: score differs at ({u1},{v1}): {a} vs {b}"
+        );
+    }
+    assert_eq!(engine.iterations(), cold.iterations(), "{what}: iterations");
+    assert_eq!(engine.converged(), cold.converged(), "{what}: convergence");
+    assert_eq!(
+        engine.final_delta().to_bits(),
+        cold.final_delta().to_bits(),
+        "{what}: final delta"
+    );
+}
+
+/// Runs a random edit script against one configuration.
+fn check_script(seed: u64, cfg: &FsimConfig, names: &[&str], batches: usize, what: &str) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let interner = LabelInterner::shared();
+    let mut s1 = Shadow::random(&mut rng, names, 7);
+    let mut s2 = Shadow::random(&mut rng, names, 8);
+    let g1 = s1.build(&interner);
+    let g2 = s2.build(&interner);
+    let mut engine = FsimEngine::new(&g1, &g2, cfg).expect("valid config");
+    engine.run();
+    for batch in 0..batches {
+        let batch_len = rng.gen_range(1..=4);
+        let mut edits = Vec::with_capacity(batch_len);
+        for _ in 0..batch_len {
+            let side = if rng.gen_bool(0.5) {
+                GraphSide::Left
+            } else {
+                GraphSide::Right
+            };
+            let shadow = match side {
+                GraphSide::Left => &mut s1,
+                GraphSide::Right => &mut s2,
+            };
+            edits.push(random_edit(&mut rng, side, shadow, names));
+        }
+        engine.apply_edits(&edits).expect("in-range edits");
+        assert_matches_cold(
+            &engine,
+            &s1,
+            &s2,
+            &interner,
+            engine.config(),
+            &format!("{what} batch {batch}"),
+        );
+    }
+}
+
+#[test]
+fn edit_scripts_match_cold_recompute_across_variants_and_theta() {
+    let names = ["a", "b", "c"];
+    let mut seed = 31_000;
+    for case in 0..3 {
+        for variant in Variant::ALL {
+            for theta in [0.0, 1.0] {
+                seed += 1;
+                let cfg = FsimConfig::new(variant)
+                    .label_fn(LabelFn::Indicator)
+                    .theta(theta);
+                check_script(
+                    seed,
+                    &cfg,
+                    &names,
+                    5,
+                    &format!("case {case} {variant} θ={theta}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn edit_scripts_match_cold_recompute_with_string_similarity() {
+    // Jaro–Winkler: fractional label similarities, a mid-range θ, and
+    // relabels that *grow the label vocabulary* (forcing a prepared-table
+    // rebuild mid-session).
+    let names = ["alpha", "alpine", "beta", "betamax", "gamma"];
+    for (i, theta) in [0.0, 0.6].into_iter().enumerate() {
+        let cfg = FsimConfig::new(Variant::Bi)
+            .label_fn(LabelFn::JaroWinkler)
+            .theta(theta);
+        check_script(32_000 + i as u64, &cfg, &names, 4, &format!("jw θ={theta}"));
+    }
+}
+
+#[test]
+fn edit_scripts_match_cold_recompute_under_upper_bound_pruning() {
+    let names = ["a", "b", "c"];
+    let mut seed = 33_000;
+    for (alpha, beta) in [(0.0, 0.5), (0.4, 0.6)] {
+        for theta in [0.0, 1.0] {
+            seed += 1;
+            let cfg = FsimConfig::new(Variant::Bijective)
+                .label_fn(LabelFn::Indicator)
+                .theta(theta)
+                .upper_bound(alpha, beta);
+            check_script(
+                seed,
+                &cfg,
+                &names,
+                3,
+                &format!("ub α={alpha} β={beta} θ={theta}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn edit_scripts_match_cold_recompute_with_threads() {
+    let names = ["a", "b"];
+    for threads in [2usize, 4] {
+        let cfg = FsimConfig::new(Variant::Simple)
+            .label_fn(LabelFn::Indicator)
+            .threads(threads);
+        check_script(
+            34_000 + threads as u64,
+            &cfg,
+            &names,
+            3,
+            &format!("t={threads}"),
+        );
+    }
+}
+
+/// A large dense store pushes the replay onto the parallel worker pool
+/// (the auto-degrade keeps small worklists sequential).
+#[test]
+fn parallel_replay_is_exercised_and_bitwise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(35_001);
+    let interner = LabelInterner::shared();
+    let names = ["a", "b"];
+    let n = 72;
+    let mut s1 = Shadow {
+        labels: (0..n).map(|i| names[i % 2].to_string()).collect(),
+        edges: BTreeSet::new(),
+    };
+    let mut s2 = s1.clone();
+    for _ in 0..(3 * n) {
+        s1.edges
+            .insert((rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32));
+        s2.edges
+            .insert((rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32));
+    }
+    let g1 = s1.build(&interner);
+    let g2 = s2.build(&interner);
+    let cfg = FsimConfig::new(Variant::Simple)
+        .label_fn(LabelFn::Indicator)
+        .threads(4);
+    let mut engine = FsimEngine::new(&g1, &g2, &cfg).expect("valid config");
+    engine.run();
+    assert!(
+        engine.pair_count() >= 4096,
+        "store too small to go parallel"
+    );
+    let (u, v) = (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32);
+    s2.edges.insert((u, v));
+    engine
+        .apply_edits(&[GraphEdit::add_edge(GraphSide::Right, u, v)])
+        .expect("in-range edit");
+    assert_matches_cold(&engine, &s1, &s2, &interner, &cfg, "parallel replay");
+}
+
+/// Edits interleaved with `rerun` reconfigurations: a rerun refreshes the
+/// trajectory under the new configuration, and subsequent edits must
+/// still match a cold engine under that configuration.
+#[test]
+fn edits_interleaved_with_reruns_match_cold() {
+    let names = ["a", "b", "c"];
+    let mut rng = ChaCha8Rng::seed_from_u64(36_001);
+    let interner = LabelInterner::shared();
+    let mut s1 = Shadow::random(&mut rng, &names, 6);
+    let mut s2 = Shadow::random(&mut rng, &names, 7);
+    let g1 = s1.build(&interner);
+    let g2 = s2.build(&interner);
+    let base = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let mut engine = FsimEngine::new(&g1, &g2, &base).expect("valid config");
+    engine.run();
+    let reconfigs: [fn(&mut FsimConfig); 4] = [
+        |c| c.variant = Variant::Bi,
+        |c| c.theta = 1.0,
+        |c| c.epsilon = 1e-5,
+        |c| {
+            c.variant = Variant::Bijective;
+            c.theta = 0.0;
+        },
+    ];
+    for (step, reconfig) in reconfigs.into_iter().enumerate() {
+        let side = if step % 2 == 0 {
+            GraphSide::Left
+        } else {
+            GraphSide::Right
+        };
+        let shadow = match side {
+            GraphSide::Left => &mut s1,
+            GraphSide::Right => &mut s2,
+        };
+        let edit = random_edit(&mut rng, side, shadow, &names);
+        engine.apply_edits(&[edit]).expect("in-range edit");
+        assert_matches_cold(
+            &engine,
+            &s1,
+            &s2,
+            &interner,
+            engine.config(),
+            &format!("step {step} post-edit"),
+        );
+        engine.rerun(reconfig).expect("valid reconfiguration");
+        assert_matches_cold(
+            &engine,
+            &s1,
+            &s2,
+            &interner,
+            engine.config(),
+            &format!("step {step} post-rerun"),
+        );
+    }
+}
