@@ -1,9 +1,12 @@
-//! Convergence-scheduling bench: full sweep vs delta-driven iteration on
-//! multi-iteration workloads, tracking pairs evaluated per iteration and
-//! wall-clock, warm vs cold. Unlike the Criterion targets this bench also
-//! **emits `BENCH_convergence.json` at the repository root** so the perf
-//! trajectory is recorded across PRs (the CI bench smoke runs it with
-//! `--test`, which shrinks the workload but still writes the file).
+//! Convergence-scheduling bench: full sweep vs delta-driven vs ε-aware
+//! **approximate** iteration on multi-iteration workloads, tracking pairs
+//! evaluated per iteration, wall-clock (warm vs cold), and — for the
+//! approximate mode — the observed max score error against the exact
+//! scheduler next to the certified bound the run reports. The process
+//! **fails** if the observed error ever exceeds the reported bound (the
+//! CI bench smoke runs this with `--test`). Unlike the Criterion targets
+//! this bench also **emits `BENCH_convergence.json` at the repository
+//! root** so the perf trajectory is recorded across PRs.
 
 use fsim_core::{compute, ConvergenceMode, FsimConfig, FsimEngine, Variant};
 use fsim_datasets::DatasetSpec;
@@ -24,6 +27,18 @@ struct Row {
     cold_delta_s: f64,
     warm_sweep_s: f64,
     warm_delta_s: f64,
+    approx: ApproxRow,
+}
+
+/// The approximate-mode measurements of one workload.
+struct ApproxRow {
+    tolerance: f64,
+    iterations: usize,
+    pairs_evaluated: usize,
+    per_iteration: Vec<usize>,
+    max_error: f64,
+    error_bound: f64,
+    warm_s: f64,
 }
 
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -76,6 +91,34 @@ fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) ->
     }
     assert_eq!(sweep.iterations(), delta.iterations(), "{name}: iterations");
 
+    // The approximate variant: pairs evaluated vs the exact delta
+    // scheduler, with the observed error checked against the certified
+    // bound — a recorded error above the bound fails the bench (and CI).
+    // Tolerance 1/(1−(w⁺+w⁻)) = 5: the exact mode already accepts a
+    // fixpoint distance of ε·(w⁺+w⁻)/(1−(w⁺+w⁻)) at termination, so this
+    // setting adds suppression error of the same order the ε-convergence
+    // criterion tolerates anyway.
+    let tolerance = 1.0 / (1.0 - cfg.w_out - cfg.w_in);
+    let approx_cfg = cfg
+        .clone()
+        .convergence(ConvergenceMode::Approximate { tolerance });
+    let mut approx = FsimEngine::new(g1, g2, &approx_cfg).expect("valid config");
+    approx.run();
+    let warm_approx_s = best_of(reps, || {
+        approx.run();
+    });
+    let mut max_error = 0.0f64;
+    for ((u1, v1, s1), (u2, v2, s2)) in delta.iter_pairs().zip(approx.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2), "{name}: approx pair order diverged");
+        max_error = max_error.max((s1 - s2).abs());
+    }
+    assert!(
+        max_error <= approx.error_bound(),
+        "{name}: observed approximate error {max_error:.3e} exceeds the \
+         certified bound {:.3e}",
+        approx.error_bound()
+    );
+
     Row {
         name: name.to_string(),
         pairs: delta.pair_count(),
@@ -88,6 +131,15 @@ fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) ->
         cold_delta_s,
         warm_sweep_s,
         warm_delta_s,
+        approx: ApproxRow {
+            tolerance,
+            iterations: approx.iterations(),
+            pairs_evaluated: approx.pairs_evaluated().iter().sum(),
+            per_iteration: approx.pairs_evaluated().to_vec(),
+            max_error,
+            error_bound: approx.error_bound(),
+            warm_s: warm_approx_s,
+        },
     }
 }
 
@@ -103,7 +155,11 @@ fn row_to_json(r: &Row) -> String {
             "\"dep_entries\":{},\"pairs_evaluated\":{{\"sweep\":{},\"delta\":{},",
             "\"delta_per_iteration\":{}}},",
             "\"wall_clock_s\":{{\"cold_sweep\":{:.6},\"cold_delta\":{:.6},",
-            "\"warm_sweep\":{:.6},\"warm_delta\":{:.6}}}}}"
+            "\"warm_sweep\":{:.6},\"warm_delta\":{:.6}}},",
+            "\"approx\":{{\"tolerance\":{},\"iterations\":{},",
+            "\"pairs_evaluated\":{},\"per_iteration\":{},",
+            "\"max_observed_error\":{:.3e},\"error_bound\":{:.3e},",
+            "\"warm_s\":{:.6}}}}}"
         ),
         r.name,
         r.pairs,
@@ -116,6 +172,13 @@ fn row_to_json(r: &Row) -> String {
         r.cold_delta_s,
         r.warm_sweep_s,
         r.warm_delta_s,
+        r.approx.tolerance,
+        r.approx.iterations,
+        r.approx.pairs_evaluated,
+        json_usize_array(&r.approx.per_iteration),
+        r.approx.max_error,
+        r.approx.error_bound,
+        r.approx.warm_s,
     )
 }
 
@@ -162,6 +225,17 @@ fn main() {
             r.warm_delta_s * 1e3,
             r.warm_sweep_s * 1e3,
         );
+        let approx_saved =
+            100.0 * (1.0 - r.approx.pairs_evaluated as f64 / r.delta_pairs_evaluated.max(1) as f64);
+        println!(
+            "bench convergence/{:<28} approx(tol={}) evaluated {:>10} vs delta ({approx_saved:.1}% saved)  max err {:.3e} <= bound {:.3e}  warm {:.3}ms",
+            r.name,
+            r.approx.tolerance,
+            r.approx.pairs_evaluated,
+            r.approx.max_error,
+            r.approx.error_bound,
+            r.approx.warm_s * 1e3,
+        );
     }
 
     let body: Vec<String> = rows.iter().map(row_to_json).collect();
@@ -173,6 +247,26 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_convergence.json");
     std::fs::write(path, &json).expect("write BENCH_convergence.json");
     println!("wrote {path}");
+
+    // Acceptance gate (full workload only — the --test workload is too
+    // small for the plateau to form), checked after the JSON is on disk
+    // so a failing record is still inspectable: the approximate mode must
+    // evaluate ≥ 30% fewer pairs than the exact delta scheduler on the
+    // θ=0.6 sweep, the workload whose dirty-pair plateau motivated it.
+    if !test_mode {
+        let plateau = rows
+            .iter()
+            .find(|r| r.name.starts_with("theta_sweep"))
+            .expect("theta sweep workload");
+        let ratio =
+            plateau.approx.pairs_evaluated as f64 / plateau.delta_pairs_evaluated.max(1) as f64;
+        assert!(
+            ratio <= 0.7,
+            "approximate mode must break the dirty-pair plateau: evaluated \
+             {:.1}% of the exact delta schedule (need <= 70%)",
+            ratio * 100.0
+        );
+    }
 
     // Keep the one-shot path honest too: `compute` under Auto must match
     // the explicit delta session (cheap smoke in either mode).

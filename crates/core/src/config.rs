@@ -92,8 +92,13 @@ pub struct UpperBoundPruning {
 
 /// How the engine iterates Equation 3 to convergence (Algorithm 1).
 ///
-/// Both modes produce **bitwise identical** scores, iteration counts and
-/// deltas; they differ only in how much work each iteration performs.
+/// The exact modes (`Auto`, `FullSweep`, `DeltaDriven`) produce **bitwise
+/// identical** scores, iteration counts and deltas; they differ only in
+/// how much work each iteration performs. `Approximate` trades bitwise
+/// equality for work: it skips pairs whose accumulated incoming-delta
+/// bound cannot move the ε-converged result, and reports a certified
+/// per-score error bound in
+/// [`FsimResult::error_bound`](crate::FsimResult::error_bound).
 ///
 /// ```
 /// use fsim_core::{compute, ConvergenceMode, FsimConfig, Variant};
@@ -108,7 +113,7 @@ pub struct UpperBoundPruning {
 ///     assert_eq!(a, b);
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConvergenceMode {
     /// Delta-driven when the operator supports slot evaluation and the
     /// estimated dependency-CSR memory fits [`FsimConfig::csr_budget`];
@@ -122,6 +127,48 @@ pub enum ConvergenceMode {
     /// memory budget (an explicit opt-in); falls back to the sweep only
     /// for operators without a slot-based evaluation path.
     DeltaDriven,
+    /// ε-aware **approximate** delta scheduling: like [`DeltaDriven`],
+    /// but a pair is re-evaluated only once the accumulated bound on its
+    /// suppressed incoming deltas exceeds `tolerance·ε/(w⁺+w⁻)` —
+    /// Theorem 2 bounds the influence of inputs that drifted by at most
+    /// `b` on the pair's next value by `(w⁺+w⁻)·b`, so skipped pairs are
+    /// certified to sit within `tolerance·ε` of their exact re-evaluation.
+    /// Suppressed deltas **accumulate** (they are never reset without a
+    /// re-evaluation), so the run carries a certified per-score error
+    /// bound, reported via
+    /// [`FsimResult::error_bound`](crate::FsimResult::error_bound).
+    ///
+    /// The stopping criterion is `Δ < ε·(1 + tolerance)` rather than the
+    /// exact modes' `Δ < ε`: a slot woken by a threshold crossing jumps
+    /// by up to `tolerance·ε`, so the exact criterion would chase the
+    /// suppression noise to the iteration cap without improving the
+    /// certified bound (which holds at any stopping point).
+    ///
+    /// Results are **not** bitwise identical to the exact modes. The
+    /// bound is exact for the row-max and Hungarian mapping operators
+    /// (both 1-Lipschitz in the sup norm); the greedy ½-approximate
+    /// matcher can violate Lipschitz continuity at sort ties, where the
+    /// bound becomes the paper's model rather than a hard guarantee.
+    /// Falls back to the exact full sweep (error bound 0) for operators
+    /// without a slot-based evaluation path.
+    ///
+    /// [`DeltaDriven`]: ConvergenceMode::DeltaDriven
+    Approximate {
+        /// Skip-threshold scale factor (> 0, finite). `1.0` skips pairs
+        /// whose pending value change is certified below ε itself;
+        /// smaller values trade work for tighter error bounds.
+        tolerance: f64,
+    },
+}
+
+impl ConvergenceMode {
+    /// The tolerance when this is the approximate mode, `None` otherwise.
+    pub fn approximate_tolerance(self) -> Option<f64> {
+        match self {
+            ConvergenceMode::Approximate { tolerance } => Some(tolerance),
+            _ => None,
+        }
+    }
 }
 
 /// Which assignment algorithm implements the injective mapping operators
@@ -302,8 +349,13 @@ impl FsimConfig {
     }
 
     /// Validates the constraints of §3.2 (`0 ≤ w⁺ < 1`, `0 ≤ w⁻ < 1`,
-    /// `0 < w⁺ + w⁻ < 1`) plus parameter ranges.
+    /// `0 < w⁺ + w⁻ < 1`) plus parameter ranges. NaN and ±∞ are rejected
+    /// everywhere: a non-finite ε would silently degrade the Corollary-1
+    /// iteration bound ([`iteration_bound`](Self::iteration_bound)) to 1,
+    /// and NaN weights/θ would corrupt every comparison downstream.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        // `contains` rejects NaN/±∞ for free: NaN compares false, and the
+        // half-open upper end excludes +∞.
         if !(0.0..1.0).contains(&self.w_out) || !(0.0..1.0).contains(&self.w_in) {
             return Err(ConfigError::WeightRange {
                 w_out: self.w_out,
@@ -317,10 +369,21 @@ impl FsimConfig {
         if !(0.0..=1.0).contains(&self.theta) {
             return Err(ConfigError::Theta { theta: self.theta });
         }
-        if self.epsilon <= 0.0 && self.max_iters.is_none() {
+        // ε must always be finite (NaN never converges; ±∞ converges
+        // vacuously). Without an explicit iteration cap it must also lie
+        // in (0, 1) so the Corollary-1 bound is well-defined; with a cap,
+        // ε ≤ 0 is the documented "run exactly max_iters" idiom.
+        if !self.epsilon.is_finite()
+            || (self.max_iters.is_none() && !(self.epsilon > 0.0 && self.epsilon < 1.0))
+        {
             return Err(ConfigError::Epsilon {
                 epsilon: self.epsilon,
             });
+        }
+        if let ConvergenceMode::Approximate { tolerance } = self.convergence {
+            if !(tolerance.is_finite() && tolerance > 0.0) {
+                return Err(ConfigError::Tolerance { tolerance });
+            }
         }
         if self.threads == 0 {
             return Err(ConfigError::Threads);
@@ -357,10 +420,16 @@ pub enum ConfigError {
         /// The offending θ.
         theta: f64,
     },
-    /// ε must be positive unless an explicit iteration cap is given.
+    /// ε must be finite, and in `(0, 1)` unless an explicit iteration cap
+    /// is given.
     Epsilon {
         /// The offending ε.
         epsilon: f64,
+    },
+    /// The approximate-mode tolerance must be finite and positive.
+    Tolerance {
+        /// The offending tolerance.
+        tolerance: f64,
     },
     /// Thread count must be ≥ 1.
     Threads,
@@ -384,7 +453,16 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::Theta { theta } => write!(f, "theta must be in [0,1], got {theta}"),
             ConfigError::Epsilon { epsilon } => {
-                write!(f, "epsilon must be > 0 (or set max_iters), got {epsilon}")
+                write!(
+                    f,
+                    "epsilon must be finite and in (0,1) (or set max_iters), got {epsilon}"
+                )
+            }
+            ConfigError::Tolerance { tolerance } => {
+                write!(
+                    f,
+                    "approximate-mode tolerance must be finite and > 0, got {tolerance}"
+                )
             }
             ConfigError::Threads => write!(f, "thread count must be >= 1"),
             ConfigError::UpperBound { alpha, beta } => {
@@ -449,6 +527,73 @@ mod tests {
         assert!(c.validate().is_err());
         c.max_iters = Some(5);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn non_finite_params_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let c = FsimConfig::new(Variant::Simple).weights(bad, 0.4);
+            assert!(
+                matches!(c.validate(), Err(ConfigError::WeightRange { .. })),
+                "w_out={bad}"
+            );
+            let c = FsimConfig::new(Variant::Simple).weights(0.4, bad);
+            assert!(
+                matches!(c.validate(), Err(ConfigError::WeightRange { .. })),
+                "w_in={bad}"
+            );
+            let c = FsimConfig::new(Variant::Simple).theta(bad);
+            assert!(
+                matches!(c.validate(), Err(ConfigError::Theta { .. })),
+                "theta={bad}"
+            );
+            let mut c = FsimConfig::new(Variant::Simple);
+            c.epsilon = bad;
+            assert!(
+                matches!(c.validate(), Err(ConfigError::Epsilon { .. })),
+                "eps={bad}"
+            );
+            // A non-finite ε is rejected even with an explicit cap: NaN
+            // never converges and ±∞ converges vacuously.
+            c.max_iters = Some(3);
+            assert!(
+                matches!(c.validate(), Err(ConfigError::Epsilon { .. })),
+                "capped eps={bad}"
+            );
+            let c = FsimConfig::new(Variant::Simple).upper_bound(bad, 0.5);
+            assert!(
+                matches!(c.validate(), Err(ConfigError::UpperBound { .. })),
+                "alpha={bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_must_leave_iteration_bound_meaningful() {
+        // ε ≥ 1 silently degraded the Corollary-1 bound to a single
+        // iteration; it is now rejected unless an explicit cap is given.
+        let mut c = FsimConfig::new(Variant::Simple);
+        c.epsilon = 1.0;
+        assert!(matches!(c.validate(), Err(ConfigError::Epsilon { .. })));
+        c.max_iters = Some(4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn approximate_tolerance_is_validated() {
+        let approx = |tolerance: f64| {
+            FsimConfig::new(Variant::Simple).convergence(ConvergenceMode::Approximate { tolerance })
+        };
+        assert!(approx(1.0).validate().is_ok());
+        assert!(approx(0.25).validate().is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(approx(bad).validate(), Err(ConfigError::Tolerance { .. })),
+                "tolerance={bad}"
+            );
+        }
+        assert_eq!(approx(0.5).convergence.approximate_tolerance(), Some(0.5));
+        assert_eq!(ConvergenceMode::Auto.approximate_tolerance(), None);
     }
 
     #[test]

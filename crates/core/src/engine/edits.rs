@@ -9,6 +9,15 @@
 //! candidate-store rows, dependency-CSR slots and label terms the edit can
 //! possibly touch. Everything outside those sets is provably unchanged and
 //! is reused verbatim by the repair passes.
+//!
+//! The same dirty sets drive both re-convergence strategies: the exact
+//! modes **replay** the recorded trajectory (bitwise identical to a cold
+//! recompute, re-evaluating the edit's full influence ball), while
+//! [`ConvergenceMode::Approximate`](crate::config::ConvergenceMode)
+//! sessions **warm-restart** from the converged scores — the dirty slots
+//! seed `∞` into the carried error accumulators, and everything whose
+//! certified residual stays under the skip threshold is left alone,
+//! which is what lifts the replay's influence-ball floor.
 
 use crate::config::{FsimConfig, LabelTermMode};
 use fsim_graph::{pair_key, FxHashMap, FxHashSet, Graph, LabelId, NodeId};

@@ -1,13 +1,18 @@
 //! The per-iteration update of Equation 3 and the convergence loop
 //! (Algorithm 1 lines 2–7, Theorem 1 / Corollary 1).
 //!
-//! Two scheduling regimes share the same update function and produce
-//! bitwise-identical results:
+//! Three scheduling regimes share the same update function:
 //! * the **full sweep** re-evaluates every maintained pair each iteration
 //!   (Algorithm 1 as written);
 //! * the **delta-driven** loop walks the prepared
 //!   [`PairDepCsr`](super::deps::PairDepCsr) and re-evaluates a pair only
-//!   if one of its dependencies changed in the previous iteration.
+//!   if one of its dependencies changed in the previous iteration —
+//!   bitwise identical to the sweep;
+//! * the **approximate** (ε-aware) loop additionally suppresses pairs
+//!   whose accumulated incoming-delta bound ([`ApproxState`]) stays below
+//!   `tolerance·ε/(w⁺+w⁻)` — not bitwise, but certified: suppressed
+//!   deltas accumulate until a re-evaluation, so the final accumulators
+//!   bound the distance to the exact result (Theorem 2's contraction).
 
 use super::deps::PairDepCsr;
 use super::parallel::{run_parallel, run_parallel_delta, IterationOutcome};
@@ -64,6 +69,156 @@ impl<'a> Recorder<'a> {
     }
 }
 
+/// Per-slot error accounting for **ε-aware approximate scheduling**
+/// ([`ConvergenceMode::Approximate`](crate::config::ConvergenceMode)).
+///
+/// `acc[s]` is an upper bound on how far slot `s`'s inputs have drifted
+/// (sup norm) since `s` was last evaluated: each iteration adds, per
+/// slot, the **maximum** delta among its changed dependencies (per-slot
+/// max within an iteration, summed across iterations — exactly the
+/// triangle inequality over the drift path). Because Equation 3 is
+/// `(w⁺+w⁻)`-Lipschitz in its score inputs (Theorem 2; exact for the
+/// row-max and Hungarian mapping operators), a slot whose `acc` stays
+/// at or below `threshold = tolerance·ε/(w⁺+w⁻)` is certified to sit
+/// within `tolerance·ε` of what re-evaluating it would produce — so the
+/// scheduler may skip it. Accumulators are **reset only on evaluation**;
+/// at termination `max(acc)` therefore certifies the whole run:
+///
+/// `max |score − exact| ≤ (w⁺+w⁻)·(max(acc) + ε) / (1 − (w⁺+w⁻))`.
+///
+/// The state survives a run (the engine keeps it) so graph edits can
+/// **warm-restart**: carried accumulators stay valid for every slot
+/// whose update function and dependencies the edit did not touch.
+pub(crate) struct ApproxState {
+    /// Skip threshold `τ = tolerance·ε/(w⁺+w⁻)`.
+    pub(crate) threshold: f64,
+    /// Approximate stopping delta `ε·(1 + tolerance)`: a slot woken by a
+    /// threshold crossing jumps by up to `(w⁺+w⁻)·τ = tolerance·ε`, so
+    /// under the exact criterion (`Δ < ε`) the run would chase its own
+    /// suppression noise — each wake re-raises the delta above ε — all
+    /// the way to the iteration cap, evaluating a long trickle tail that
+    /// does not improve the certified bound. An iteration whose max delta
+    /// sits below the suppression noise floor plus ε is declared
+    /// converged; the accumulators certify the result at *any* stopping
+    /// point. Reduces to the exact criterion as `tolerance → 0`.
+    pub(crate) stop_delta: f64,
+    /// Per-slot accumulated incoming-delta bound.
+    pub(crate) acc: Vec<f64>,
+    /// This-iteration max incoming delta per slot (epoch-stamped).
+    pend: Vec<f64>,
+    pend_mark: Vec<u64>,
+    epoch: u64,
+    /// Slots with a pending contribution this iteration.
+    touched: Vec<u32>,
+}
+
+impl ApproxState {
+    /// Fresh state for a cold run of `cfg` (first iteration evaluates
+    /// every slot, after which zero accumulators are exact).
+    pub(crate) fn cold(n: usize, cfg: &FsimConfig, tolerance: f64) -> Self {
+        Self::warm(vec![0.0; n], cfg, tolerance)
+    }
+
+    /// State carrying accumulators from a previous run (edit warm
+    /// restart). Slots whose update function changed must carry
+    /// `f64::INFINITY` *and* sit on the initial worklist.
+    ///
+    /// The skip threshold is `τ = tolerance·ε/(w⁺+w⁻)`, never negative —
+    /// a non-positive ε disables skipping, degrading to the exact delta
+    /// schedule.
+    pub(crate) fn warm(acc: Vec<f64>, cfg: &FsimConfig, tolerance: f64) -> Self {
+        let n = acc.len();
+        Self {
+            threshold: (tolerance * cfg.epsilon / (cfg.w_out + cfg.w_in)).max(0.0),
+            stop_delta: cfg.epsilon * (1.0 + tolerance),
+            acc,
+            pend: vec![0.0; n],
+            pend_mark: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts an iteration's propagation pass.
+    pub(crate) fn begin(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Records that dependency of `dep` changed by `delta` this iteration
+    /// (kept as a per-slot max).
+    #[inline]
+    pub(crate) fn bump(&mut self, dep: u32, delta: f64) {
+        let d = dep as usize;
+        if self.pend_mark[d] != self.epoch {
+            self.pend_mark[d] = self.epoch;
+            self.pend[d] = delta;
+            self.touched.push(dep);
+        } else if delta > self.pend[d] {
+            self.pend[d] = delta;
+        }
+    }
+
+    /// Folds the iteration's pending contributions into the accumulators,
+    /// invoking `on_cross` for every slot whose accumulator now exceeds
+    /// the threshold (each touched slot is reported at most once).
+    pub(crate) fn commit(&mut self, mut on_cross: impl FnMut(u32)) {
+        for &t in &self.touched {
+            let i = t as usize;
+            self.acc[i] += self.pend[i];
+            if self.acc[i] > self.threshold {
+                on_cross(t);
+            }
+        }
+    }
+
+    /// The largest accumulator — the residual term of the certified
+    /// error bound at termination.
+    pub(crate) fn max_acc(&self) -> f64 {
+        self.acc.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// The certified error bound vs an exact run of the same
+    /// configuration (see the type docs; `0` when the state never
+    /// suppressed anything *and* ε-slack is excluded — callers report
+    /// this only for approximate runs).
+    pub(crate) fn error_bound(&self, cfg: &FsimConfig) -> f64 {
+        let c = cfg.w_out + cfg.w_in;
+        c * (self.max_acc() + cfg.epsilon.max(0.0)) / (1.0 - c)
+    }
+}
+
+/// `FSim⁰(u, v)` (§3.3) for one pair, with the pair's cached label term.
+pub(crate) fn init_score(
+    cfg: &FsimConfig,
+    g1: &Graph,
+    g2: &Graph,
+    u: NodeId,
+    v: NodeId,
+    label: f64,
+) -> f64 {
+    match cfg.init {
+        InitScheme::LabelSim => label,
+        InitScheme::Identity => {
+            if u == v {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        InitScheme::OutDegreeRatio => {
+            let (a, b) = (g1.out_degree(u), g2.out_degree(v));
+            let (lo, hi) = (a.min(b), a.max(b));
+            if hi == 0 {
+                1.0
+            } else {
+                lo as f64 / hi as f64
+            }
+        }
+        InitScheme::Constant(c) => c,
+    }
+}
+
 /// Writes `FSim⁰` (§3.3) for every maintained pair into `scores`.
 /// `label_terms` is the per-slot cache of `L(ℓ1(u), ℓ2(v))`.
 pub(crate) fn initialize(
@@ -81,26 +236,7 @@ pub(crate) fn initialize(
             .pairs
             .iter()
             .enumerate()
-            .map(|(slot, &(u, v))| match cfg.init {
-                InitScheme::LabelSim => label_terms[slot],
-                InitScheme::Identity => {
-                    if u == v {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                InitScheme::OutDegreeRatio => {
-                    let (a, b) = (g1.out_degree(u), g2.out_degree(v));
-                    let (lo, hi) = (a.min(b), a.max(b));
-                    if hi == 0 {
-                        1.0
-                    } else {
-                        lo as f64 / hi as f64
-                    }
-                }
-                InitScheme::Constant(c) => c,
-            }),
+            .map(|(slot, &(u, v))| init_score(cfg, g1, g2, u, v, label_terms[slot])),
     );
 }
 
@@ -245,6 +381,16 @@ pub(crate) fn run_to_convergence<O: Operator>(
 /// (bitwise) in iteration `k−1`. Clean slots keep their previous score
 /// exactly — the update is a pure function of inputs that did not change —
 /// so the outcome is bitwise identical to [`run_to_convergence`].
+///
+/// Two optional refinements:
+/// * `initial_worklist` replaces the evaluate-everything first iteration
+///   (a **warm start** from a score buffer that already holds a valid
+///   iterate — the approximate edit path). Slots outside it keep their
+///   incoming scores.
+/// * `approx` switches on ε-aware scheduling: iteration `k+1` evaluates
+///   only dependents whose accumulated incoming-delta bound crossed the
+///   [`ApproxState`] threshold. No longer bitwise; the state's final
+///   accumulators certify the error.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_delta<O: Operator>(
     cfg: &FsimConfig,
@@ -255,6 +401,8 @@ pub(crate) fn run_delta<O: Operator>(
     scores: &mut Vec<f64>,
     cur: &mut Vec<f64>,
     mut record: Option<&mut Recorder<'_>>,
+    initial_worklist: Option<Vec<u32>>,
+    mut approx: Option<&mut ApproxState>,
 ) -> IterationOutcome {
     debug_assert_eq!(scores.len(), store.len());
     let n = store.len();
@@ -264,6 +412,7 @@ pub(crate) fn run_delta<O: Operator>(
     let threads = effective_threads(cfg.threads, n);
 
     if threads > 1 {
+        // `run_parallel_delta` does its own warm-start pre-fill of `cur`.
         return run_parallel_delta(
             threads,
             max_iters,
@@ -273,6 +422,8 @@ pub(crate) fn run_delta<O: Operator>(
             csr.rdep_offsets(),
             csr.rdeps(),
             record,
+            initial_worklist,
+            approx,
             || {
                 let mut scratch = OpScratch::new();
                 move |slot: usize, prev: &[f64]| {
@@ -282,16 +433,24 @@ pub(crate) fn run_delta<O: Operator>(
         );
     }
 
+    if initial_worklist.is_some() {
+        // Warm start: slots outside the worklist must read through the
+        // double buffer as-is.
+        cur.copy_from_slice(scores);
+    }
     if let Some(h) = record.as_deref_mut() {
         h.push(scores);
     }
+    let rdo = csr.rdep_offsets();
+    let rd = csr.rdeps();
     let mut scratch = OpScratch::new();
     let mut iterations = 0usize;
     let mut converged = false;
     let mut final_delta = f64::INFINITY;
     let mut pairs_evaluated = Vec::new();
-    // D_k: slots to evaluate this iteration (all of them at first).
-    let mut worklist: Vec<u32> = (0..n as u32).collect();
+    // D_k: slots to evaluate this iteration (all of them at first, unless
+    // warm-started).
+    let mut worklist: Vec<u32> = initial_worklist.unwrap_or_else(|| (0..n as u32).collect());
     // C_{k−1}: slots whose score changed last iteration.
     let mut changed: Vec<u32> = Vec::new();
     // Worklist-membership marks: mark[s] == epoch ⇔ s ∈ current worklist.
@@ -336,6 +495,36 @@ pub(crate) fn run_delta<O: Operator>(
         }
         final_delta = delta;
         iterations += 1;
+        if let Some(ap) = approx.as_deref_mut() {
+            // Evaluated slots are exact w.r.t. the iterate they read;
+            // reset their drift *before* folding in this iteration's
+            // changes (which postdate the reads). Propagation must run
+            // even on the converging iteration so the final accumulators
+            // certify the returned scores.
+            for &s in &worklist {
+                ap.acc[s as usize] = 0.0;
+            }
+            epoch += 1;
+            worklist.clear();
+            ap.begin();
+            for &c in &changed {
+                let d = (scores[c as usize] - cur[c as usize]).abs();
+                for &dep in &rd[rdo[c as usize]..rdo[c as usize + 1]] {
+                    ap.bump(dep, d);
+                }
+            }
+            ap.commit(|t| {
+                if mark[t as usize] != epoch {
+                    mark[t as usize] = epoch;
+                    worklist.push(t);
+                }
+            });
+            if delta < ap.stop_delta {
+                converged = true;
+                break;
+            }
+            continue;
+        }
         if delta < cfg.epsilon {
             converged = true;
             break;
@@ -344,9 +533,8 @@ pub(crate) fn run_delta<O: Operator>(
         epoch += 1;
         worklist.clear();
         for &c in &changed {
-            let offsets = csr.rdep_offsets();
-            let (a, b) = (offsets[c as usize], offsets[c as usize + 1]);
-            for &dep in &csr.rdeps()[a..b] {
+            let (a, b) = (rdo[c as usize], rdo[c as usize + 1]);
+            for &dep in &rd[a..b] {
                 if mark[dep as usize] != epoch {
                     mark[dep as usize] = epoch;
                     worklist.push(dep);

@@ -248,6 +248,13 @@ impl SharedWorklist {
 /// changed last iteration but are *not* on the worklist (copying their
 /// previous score forward), so after each iteration the write buffer is
 /// complete.
+///
+/// `initial_worklist` and `approx` mirror
+/// [`run_delta`](super::iterate::run_delta): a warm-start worklist and
+/// ε-aware approximate gating. All scheduling decisions (accumulator
+/// arithmetic, threshold crossings) are made by the coordinator between
+/// barriers from order-independent reductions, so the approximate mode is
+/// bitwise identical to its sequential counterpart too.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel_delta<U, F>(
     threads: usize,
@@ -258,6 +265,8 @@ pub(crate) fn run_parallel_delta<U, F>(
     rdep_offsets: &[usize],
     rdeps: &[u32],
     mut record: Option<&mut super::iterate::Recorder<'_>>,
+    initial_worklist: Option<Vec<u32>>,
+    mut approx: Option<&mut super::iterate::ApproxState>,
     make_update: F,
 ) -> IterationOutcome
 where
@@ -270,9 +279,14 @@ where
     if let Some(h) = record.as_deref_mut() {
         h.push(prev);
     }
+    if initial_worklist.is_some() {
+        // Warm start: slots outside the worklist must read through the
+        // double buffer as-is.
+        cur.copy_from_slice(prev);
+    }
     let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
     let worklist = SharedWorklist {
-        cell: UnsafeCell::new((0..n as u32).collect()),
+        cell: UnsafeCell::new(initial_worklist.unwrap_or_else(|| (0..n as u32).collect())),
     };
     let cursor = AtomicUsize::new(0);
     let chunk = AtomicUsize::new(1);
@@ -389,6 +403,53 @@ where
                 // SAFETY: workers are parked at the start barrier; the
                 // freshly written buffer is stable.
                 h.push(unsafe { buffers[read].as_read_slice() });
+            }
+            if let Some(ap) = approx.as_deref_mut() {
+                // Approximate error accounting, mirroring the sequential
+                // loop: reset evaluated slots, fold this iteration's
+                // changes into their dependents' accumulators (per-slot
+                // max — order-independent, so bitwise equal to the
+                // sequential schedule), then gate the next worklist on
+                // the threshold. Runs before the convergence check so the
+                // final accumulators certify the returned scores.
+                {
+                    // SAFETY: workers are parked at the start barrier.
+                    let wl = unsafe { worklist.read() };
+                    for &s in wl {
+                        ap.acc[s as usize] = 0.0;
+                    }
+                }
+                prev_changed.clear();
+                std::mem::swap(
+                    &mut prev_changed,
+                    &mut *changed_sink.lock().expect("changed sink"),
+                );
+                // SAFETY: workers are parked; both buffers are stable.
+                let new_buf = unsafe { buffers[read].as_read_slice() };
+                let old_buf = unsafe { buffers[1 - read].as_read_slice() };
+                ap.begin();
+                for &c in &prev_changed {
+                    let d = (new_buf[c as usize] - old_buf[c as usize]).abs();
+                    let (a, b) = (rdep_offsets[c as usize], rdep_offsets[c as usize + 1]);
+                    for &dep in &rdeps[a..b] {
+                        ap.bump(dep, d);
+                    }
+                }
+                epoch += 1;
+                // SAFETY: workers are parked at the start barrier again.
+                let wl = unsafe { worklist.write() };
+                wl.clear();
+                ap.commit(|t| {
+                    if mark[t as usize] != epoch {
+                        mark[t as usize] = epoch;
+                        wl.push(t);
+                    }
+                });
+                if final_delta < ap.stop_delta {
+                    converged = true;
+                    break;
+                }
+                continue;
             }
             if final_delta < epsilon {
                 converged = true;
@@ -864,6 +925,8 @@ mod tests {
             &offsets,
             &rdeps,
             Some(&mut recorder),
+            None,
+            None,
             || toy_update,
         );
         let _ = recorder;
@@ -905,6 +968,8 @@ mod tests {
             &offsets,
             &rdeps,
             Some(&mut recorder),
+            None,
+            None,
             || toy_update,
         );
         let _ = recorder;

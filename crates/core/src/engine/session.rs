@@ -16,7 +16,8 @@ use super::edits::{
     net_side_delta, validate_side, DirtyNodes, EditError, GraphEdit, GraphSide, SideDelta,
 };
 use super::iterate::{
-    effective_threads, initialize, pair_update, run_delta, run_replay, run_to_convergence, Recorder,
+    effective_threads, init_score, initialize, pair_update, run_delta, run_replay,
+    run_to_convergence, ApproxState, Recorder,
 };
 use super::parallel::run_parallel_replay;
 use crate::candidates::{estimated_dep_entries, repair_candidates, StoreRepair, NO_SLOT};
@@ -154,14 +155,32 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     /// [`apply_edits`](Self::apply_edits) to *replay* the iteration after
     /// a graph edit instead of recomputing from scratch.
     trajectory: Option<Vec<Vec<f64>>>,
+    /// The final per-slot accumulators of the last **approximate** run
+    /// (`None` after exact runs). Carried into
+    /// [`apply_edits`](Self::apply_edits) so approximate sessions can
+    /// warm-restart from the converged scores instead of replaying — the
+    /// accumulators remain valid residual bounds for every slot the edit
+    /// did not touch.
+    approx_acc: Option<Vec<f64>>,
     iterations: usize,
     converged: bool,
     final_delta: f64,
+    /// Certified error bound of the last run (0 for exact modes).
+    error_bound: f64,
     /// Pairs re-evaluated per iteration by the last run.
     pairs_evaluated: Vec<usize>,
     /// Whether the last run used delta-driven scheduling.
     delta_scheduled: bool,
     has_run: bool,
+}
+
+/// Warm-start state for the approximate edit path: the pre-edit scores
+/// and error accumulators remapped to the repaired store's slots (added
+/// and structurally dirty slots carry `f64::INFINITY`, forcing their
+/// evaluation).
+struct WarmStart {
+    scores: Vec<f64>,
+    acc: Vec<f64>,
 }
 
 impl<'g> FsimEngine<'g, VariantOp> {
@@ -208,9 +227,11 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             scores: Vec::new(),
             cur: Vec::new(),
             trajectory: None,
+            approx_acc: None,
             iterations: 0,
             converged: false,
             final_delta: 0.0,
+            error_bound: 0.0,
             pairs_evaluated: Vec::new(),
             delta_scheduled: false,
             has_run: false,
@@ -237,10 +258,11 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             &self.op,
         );
         self.store = store;
-        // The dependency CSR and the recorded trajectory index the old
-        // store's slots; drop both.
+        // The dependency CSR, the recorded trajectory and the approximate
+        // accumulators all index the old store's slots; drop them.
         self.deps = None;
         self.trajectory = None;
+        self.approx_acc = None;
         self.refresh_label_terms();
         self.has_run = false;
     }
@@ -267,7 +289,10 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         let want = self.op.supports_slots()
             && match self.cfg.convergence {
                 ConvergenceMode::FullSweep => false,
-                ConvergenceMode::DeltaDriven => true,
+                // Approximate scheduling needs the reverse CSR for its
+                // error accounting; like DeltaDriven it is an explicit
+                // opt-in that ignores the memory budget.
+                ConvergenceMode::DeltaDriven | ConvergenceMode::Approximate { .. } => true,
                 ConvergenceMode::Auto => {
                     self.deps.is_some() || {
                         let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
@@ -288,10 +313,13 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
     /// Whether a run should attempt to record its trajectory at all:
     /// recording is optimistic — the [`Recorder`] abandons mid-run on
     /// budget overrun — but a store where even two iterates blow the
-    /// budget is not worth the copies.
+    /// budget is not worth the copies. Approximate runs never record:
+    /// their edit path warm-restarts from the carried accumulators, which
+    /// is strictly cheaper than a per-iteration replay.
     fn should_record(&self) -> bool {
         let two_iterates = 2u128 * self.store.len() as u128 * 8;
         self.deps.is_some()
+            && self.cfg.convergence.approximate_tolerance().is_none()
             && self.cfg.trajectory_budget > 0
             && two_iterates <= self.cfg.trajectory_budget as u128
     }
@@ -305,15 +333,26 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.iterations = 0;
             self.converged = true;
             self.final_delta = 0.0;
+            self.error_bound = 0.0;
             self.pairs_evaluated.clear();
             self.delta_scheduled = false;
             self.trajectory = None;
+            self.approx_acc = None;
             self.has_run = true;
             return self;
         }
         self.ensure_deps();
         self.delta_scheduled = self.deps.is_some();
         let mut recorded: Option<Vec<Vec<f64>>> = self.should_record().then(Vec::new);
+        // ε-aware approximate scheduling is active only when the CSR is
+        // available (operators without a slot path fall back to the exact
+        // full sweep, error bound 0).
+        let mut approx_state = self
+            .cfg
+            .convergence
+            .approximate_tolerance()
+            .filter(|_| self.deps.is_some())
+            .map(|tol| ApproxState::cold(self.store.len(), &self.cfg, tol));
         // Destructure so the iteration loop can borrow the caches
         // immutably while writing the score buffers.
         let Self {
@@ -347,6 +386,8 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                     scores,
                     cur,
                     recorder.as_mut(),
+                    None,
+                    approx_state.as_mut(),
                 )
             }
             None => {
@@ -361,6 +402,16 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         };
         // An abandoned (over-budget) recording comes back empty.
         self.trajectory = recorded.filter(|h| h.len() >= 2);
+        match approx_state {
+            Some(state) => {
+                self.error_bound = state.error_bound(&self.cfg);
+                self.approx_acc = Some(state.acc);
+            }
+            None => {
+                self.error_bound = 0.0;
+                self.approx_acc = None;
+            }
+        }
         self.iterations = outcome.iterations;
         self.converged = outcome.converged;
         self.final_delta = outcome.final_delta;
@@ -690,6 +741,54 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             }
         });
 
+        // Approximate sessions warm-restart instead of replaying: remap
+        // the converged scores and the carried error accumulators to the
+        // repaired store's slots. Slots the edit touched — and pairs that
+        // just entered the store — get `∞` accumulators, forcing their
+        // re-evaluation; every other slot stays certified by its carried
+        // bound (its update function and dependencies survived the edit).
+        // A previous *exact* converged run carries `final_delta` for every
+        // slot (a valid residual bound at its termination); without
+        // either, the approximate run restarts cold.
+        let warm = if self.cfg.convergence.approximate_tolerance().is_some()
+            && self.has_run
+            && self.scores.len() == repair.old_to_new.len()
+        {
+            let carried = match self.approx_acc.take() {
+                Some(acc) => Some(acc),
+                None if self.converged => Some(vec![self.final_delta.max(0.0); self.scores.len()]),
+                None => None,
+            };
+            carried.map(|old_acc| {
+                let mut scores = Vec::with_capacity(n_new);
+                let mut acc = Vec::with_capacity(n_new);
+                for (slot, &(u, v)) in repair.store.pairs.iter().enumerate() {
+                    let old = repair.new_to_old[slot];
+                    if old != NO_SLOT {
+                        scores.push(self.scores[old as usize]);
+                        acc.push(old_acc[old as usize]);
+                    } else {
+                        scores.push(init_score(
+                            &self.cfg,
+                            &self.g1,
+                            &self.g2,
+                            u,
+                            v,
+                            label_terms[slot],
+                        ));
+                        acc.push(f64::INFINITY);
+                    }
+                }
+                for &s in &always_dirty {
+                    acc[s as usize] = f64::INFINITY;
+                }
+                WarmStart { scores, acc }
+            })
+        } else {
+            self.approx_acc = None;
+            None
+        };
+
         self.store = repair.store;
         self.label_terms = label_terms;
         self.deps = deps;
@@ -706,19 +805,85 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             }
         }
         self.has_run = false;
-        self.run_after_edits(always_dirty);
+        self.run_after_edits(always_dirty, warm);
         Ok(self.snapshot())
     }
 
-    /// Re-converges after [`apply_edits`](Self::apply_edits): replays the
-    /// recorded trajectory when one is available, falls back to a cold
-    /// run otherwise.
-    fn run_after_edits(&mut self, always_dirty: Vec<u32>) {
+    /// Re-converges after [`apply_edits`](Self::apply_edits): under
+    /// approximate scheduling it **warm-restarts** from the carried
+    /// scores and accumulators (evaluating only slots whose certified
+    /// residual exceeds the skip threshold — this is what breaks the
+    /// bitwise replay's influence-ball floor); under the exact modes it
+    /// replays the recorded trajectory when one is available. Falls back
+    /// to a cold run otherwise.
+    fn run_after_edits(&mut self, always_dirty: Vec<u32>, warm: Option<WarmStart>) {
         if self.store.is_empty() {
             self.run();
             return;
         }
         self.ensure_deps();
+        if let Some(tol) = self.cfg.convergence.approximate_tolerance() {
+            let (
+                Some(_),
+                Some(WarmStart {
+                    scores: warm_scores,
+                    acc,
+                }),
+            ) = (&self.deps, warm)
+            else {
+                // No CSR (operator without a slot path) or no carried
+                // state: cold approximate run.
+                self.run();
+                return;
+            };
+            let mut state = ApproxState::warm(acc, &self.cfg, tol);
+            // Initial worklist: every slot whose residual bound exceeds
+            // the threshold — the ∞-seeded edit frontier plus carried
+            // accumulators an earlier run left just under its limit.
+            let worklist: Vec<u32> = state
+                .acc
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a > state.threshold)
+                .map(|(s, _)| s as u32)
+                .collect();
+            self.scores = warm_scores;
+            self.delta_scheduled = true;
+            self.trajectory = None;
+            let outcome = {
+                let Self {
+                    cfg,
+                    op,
+                    store,
+                    label_terms,
+                    deps,
+                    scores,
+                    cur,
+                    ..
+                } = self;
+                let csr = deps.as_ref().expect("checked above");
+                run_delta(
+                    cfg,
+                    op,
+                    store,
+                    csr,
+                    label_terms,
+                    scores,
+                    cur,
+                    None,
+                    Some(worklist),
+                    Some(&mut state),
+                )
+            };
+            self.error_bound = state.error_bound(&self.cfg);
+            self.approx_acc = Some(state.acc);
+            self.iterations = outcome.iterations;
+            self.converged = outcome.converged;
+            self.final_delta = outcome.final_delta;
+            self.pairs_evaluated = outcome.pairs_evaluated;
+            self.has_run = true;
+            return;
+        }
         let old_traj = match (&self.deps, self.trajectory.take()) {
             (Some(_), Some(t)) if t.len() >= 2 && t[0].len() == self.store.len() => t,
             _ => {
@@ -797,6 +962,9 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         };
         // An abandoned (over-budget) recording comes back empty.
         self.trajectory = recorded.filter(|h| h.len() >= 2);
+        // Trajectory replay is an exact (bitwise) schedule.
+        self.error_bound = 0.0;
+        self.approx_acc = None;
         self.iterations = outcome.iterations;
         self.converged = outcome.converged;
         self.final_delta = outcome.final_delta;
@@ -897,6 +1065,15 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         self.final_delta
     }
 
+    /// Certified per-score error bound of the last run: `0` for the
+    /// bitwise-exact convergence modes; under
+    /// [`ConvergenceMode::Approximate`] the bound on the sup-norm
+    /// distance to an exact run of the same configuration (see
+    /// [`FsimResult::error_bound`]).
+    pub fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+
     /// Pairs re-evaluated per iteration by the last run: `|H|` every
     /// iteration under the full sweep, the dirty-worklist length under
     /// delta-driven scheduling (empty before any run).
@@ -955,6 +1132,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.converged,
             self.final_delta,
             self.pairs_evaluated.clone(),
+            self.error_bound,
         )
     }
 
@@ -972,6 +1150,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.converged,
             self.final_delta,
             self.pairs_evaluated,
+            self.error_bound,
         )
     }
 

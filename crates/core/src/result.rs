@@ -38,9 +38,13 @@ pub struct FsimResult {
     /// Pairs re-evaluated per iteration (see
     /// [`pairs_evaluated`](Self::pairs_evaluated)).
     pairs_evaluated: Vec<usize>,
+    /// Certified per-score error bound (see
+    /// [`error_bound`](Self::error_bound)).
+    error_bound: f64,
 }
 
 impl FsimResult {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         store: PairStore,
         scores: Vec<f64>,
@@ -48,6 +52,7 @@ impl FsimResult {
         converged: bool,
         final_delta: f64,
         pairs_evaluated: Vec<usize>,
+        error_bound: f64,
     ) -> Self {
         Self {
             store,
@@ -56,7 +61,22 @@ impl FsimResult {
             converged,
             final_delta,
             pairs_evaluated,
+            error_bound,
         }
+    }
+
+    /// Certified upper bound on the sup-norm distance between these
+    /// scores and the scores an **exact** scheduler returns under the
+    /// same configuration: `0` for the bitwise-exact convergence modes;
+    /// under [`ConvergenceMode::Approximate`](crate::ConvergenceMode)
+    /// it is `(w⁺+w⁻)·(max accumulated suppressed delta + ε)/(1−(w⁺+w⁻))`
+    /// — the Theorem-2 contraction applied to the residual the suppressed
+    /// deltas can still carry, plus the ε-convergence slack both runs
+    /// share. The bound is certified for 1-Lipschitz mapping operators
+    /// (row-max, Hungarian); the greedy matcher can step outside it at
+    /// sort ties.
+    pub fn error_bound(&self) -> f64 {
+        self.error_bound
     }
 
     /// Pairs re-evaluated per iteration: `|H|` every iteration under the
@@ -110,7 +130,10 @@ impl FsimResult {
             .filter(|&(x, _, _)| x == u)
             .map(|(_, v, s)| (v, s))
             .collect();
-        row.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        // `total_cmp`: scores are NaN-free today, but a NaN must never
+        // panic the sort or corrupt its order (+NaN ranks first in this
+        // descending total order).
+        row.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         row.truncate(k);
         row
     }
@@ -214,5 +237,31 @@ mod tests {
     fn mean_score_in_unit_interval() {
         let r = result();
         assert!((0.0..=1.0).contains(&r.mean_score()));
+    }
+
+    #[test]
+    fn top_k_for_left_with_nan_score_does_not_panic() {
+        // Scores are NaN-free in normal operation, but the ranking helper
+        // must stay total: rebuild a result with a NaN slot and rank it.
+        let r = result();
+        let (pairs, mut scores) = r.to_vecs();
+        scores[0] = f64::NAN;
+        let n = pairs.len();
+        let poisoned = super::FsimResult::new(
+            crate::store::PairStore {
+                pairs,
+                index: crate::store::PairIndex::Dense { n2: 3 },
+                fallback: crate::store::Fallback::Zero,
+            },
+            scores,
+            r.iterations,
+            r.converged,
+            r.final_delta,
+            vec![],
+            0.0,
+        );
+        let row = poisoned.top_k_for_left(0, n);
+        assert!(!row.is_empty());
+        assert!(row[0].1.is_nan(), "+NaN ranks first, deterministically");
     }
 }

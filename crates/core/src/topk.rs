@@ -186,6 +186,28 @@ mod tests {
     }
 
     #[test]
+    fn top_k_from_iter_with_nan_scores_is_deterministic() {
+        // NaN-bearing streams must not panic and must order the same way
+        // regardless of input order (+NaN ranks above every finite score
+        // in the total order).
+        let a = [
+            (0u32, 0u32, 0.5),
+            (0, 1, f64::NAN),
+            (1, 0, 0.9),
+            (1, 1, 0.1),
+        ];
+        let mut b = a;
+        b.reverse();
+        let ta = top_k_from_iter(a.iter().copied(), 3, false);
+        let tb = top_k_from_iter(b.iter().copied(), 3, false);
+        let keys_a: Vec<_> = ta.iter().map(|&(u, v, _)| (u, v)).collect();
+        let keys_b: Vec<_> = tb.iter().map(|&(u, v, _)| (u, v)).collect();
+        assert_eq!(keys_a, keys_b);
+        assert_eq!(keys_a, vec![(0, 1), (1, 0), (0, 0)]);
+        assert!(ta[0].2.is_nan());
+    }
+
+    #[test]
     fn search_matches_exhaustive_answer() {
         let g = sample_graph();
         let full = compute(&g, &g, &cfg()).unwrap();

@@ -3,7 +3,7 @@
 
 use crate::opts::ExpOpts;
 use crate::report::{fmt_secs, Report};
-use fsim_core::{compute, FsimConfig, Variant};
+use fsim_core::{compute, ConvergenceMode, FsimConfig, Variant};
 use fsim_datasets::evolving::{evolve, Churn};
 use fsim_datasets::{copurchase, dbis, DbisConfig};
 use fsim_graph::generate::{preferential, GeneratorConfig};
@@ -85,6 +85,32 @@ pub fn run(opts: &ExpOpts) -> Report {
         ),
     ]);
 
+    // ε-aware approximate scheduling on the same workload: evaluations
+    // skipped vs the exact schedule, and the observed error against the
+    // certified bound the run reports.
+    let approx_cfg = sim_cfg
+        .clone()
+        .convergence(ConvergenceMode::Approximate { tolerance: 1.0 });
+    let a = compute(&d.graph, &d.graph, &approx_cfg).expect("valid config");
+    let max_err = r
+        .iter_pairs()
+        .zip(a.iter_pairs())
+        .map(|(x, y)| (x.2 - y.2).abs())
+        .fold(0.0f64, f64::max);
+    report.row(vec![
+        "similarity: approximate mode (tol=1.0)".into(),
+        format!(
+            "{} of {} evaluations ({:.1}% saved), max err {:.2e} <= bound {:.2e}",
+            a.total_pairs_evaluated(),
+            r.total_pairs_evaluated(),
+            100.0
+                * (1.0
+                    - a.total_pairs_evaluated() as f64 / r.total_pairs_evaluated().max(1) as f64),
+            max_err,
+            a.error_bound()
+        ),
+    ]);
+
     // Alignment: end-to-end FSimb.
     let n = ((600.0 * opts.scale) as usize).max(60);
     let g1 = preferential(&GeneratorConfig::new(n, n * 5 / 2, 8), &mut rng);
@@ -113,9 +139,15 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.12;
         let r = run(&opts);
-        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.rows.len(), 7);
         for row in &r.rows {
             assert!(!row[1].is_empty());
         }
+        let approx = r
+            .rows
+            .iter()
+            .find(|row| row[0].contains("approximate"))
+            .expect("approximate row");
+        assert!(approx[1].contains("<= bound"), "got: {}", approx[1]);
     }
 }

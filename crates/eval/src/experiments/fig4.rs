@@ -112,10 +112,10 @@ mod tests {
         for cell in &r.rows[0][1..] {
             assert_eq!(cell, "1.000");
         }
-        for row in &r.rows[1..] {
-            for cell in &row[1..] {
+        for (ri, row) in r.rows.iter().enumerate().skip(1) {
+            for (ci, cell) in row.iter().enumerate().skip(1) {
                 if cell != "-" {
-                    let v: f64 = cell.parse().unwrap();
+                    let v: f64 = r.parse_cell(ri, ci).unwrap_or_else(|e| panic!("{e}"));
                     assert!(v > 0.0, "theta pruning should stay correlated, got {v}");
                 }
             }

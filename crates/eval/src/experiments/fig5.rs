@@ -85,7 +85,7 @@ mod tests {
         opts.scale = 0.1;
         let reports = run(&opts);
         for r in &reports {
-            let first: f64 = r.rows[0][1].parse().unwrap();
+            let first: f64 = r.parse_cell(0, 1).unwrap_or_else(|e| panic!("{e}"));
             let last: f64 = r.rows.last().unwrap()[1].parse().unwrap_or(0.0);
             assert!(last <= first + 1e-9, "noise must not increase correlation");
             assert!(

@@ -71,7 +71,7 @@ mod tests {
         opts.scale = 0.1;
         let reports = run(&opts);
         let by_beta = &reports[0];
-        let v: f64 = by_beta.rows[0][1].parse().unwrap();
+        let v: f64 = by_beta.parse_cell(0, 1).unwrap_or_else(|e| panic!("{e}"));
         assert!(v > 0.95, "beta=0 prunes almost nothing, got {v}");
     }
 
@@ -80,10 +80,10 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.1;
         for report in run(&opts) {
-            for row in &report.rows {
-                for cell in &row[1..] {
+            for (ri, row) in report.rows.iter().enumerate() {
+                for (ci, cell) in row.iter().enumerate().skip(1) {
                     if cell != "-" {
-                        let v: f64 = cell.parse().unwrap();
+                        let v: f64 = report.parse_cell(ri, ci).unwrap_or_else(|e| panic!("{e}"));
                         assert!(v > 0.3, "{}: coefficient collapsed: {v}", report.id);
                     }
                 }

@@ -73,8 +73,10 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.1;
         let r = run(&opts);
-        let first: usize = r.rows[0][5].parse().unwrap();
-        let last: usize = r.rows.last().unwrap()[5].parse().unwrap();
+        let first: usize = r.parse_cell(0, 5).unwrap_or_else(|e| panic!("{e}"));
+        let last: usize = r
+            .parse_cell(r.rows.len() - 1, 5)
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             last < first,
             "theta=1 must maintain fewer pairs ({last} !< {first})"
@@ -86,9 +88,9 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.1;
         let r = run(&opts);
-        for row in &r.rows {
-            let pairs: usize = row[5].parse().unwrap();
-            let evals: usize = row[6].parse().unwrap();
+        for ri in 0..r.rows.len() {
+            let pairs: usize = r.parse_cell(ri, 5).unwrap_or_else(|e| panic!("{e}"));
+            let evals: usize = r.parse_cell(ri, 6).unwrap_or_else(|e| panic!("{e}"));
             assert!(
                 pairs == 0 || evals >= pairs,
                 "every maintained pair is evaluated at least once ({pairs} pairs, {evals} evals)"

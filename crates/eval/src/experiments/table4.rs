@@ -52,9 +52,9 @@ mod tests {
         opts.scale = 0.1;
         let r = run(&opts);
         assert_eq!(r.rows.len(), 8);
-        for row in &r.rows {
-            let ours: usize = row[2].parse().unwrap();
-            let paper: usize = row[1].parse().unwrap();
+        for (ri, row) in r.rows.iter().enumerate() {
+            let ours: usize = r.parse_cell(ri, 2).unwrap_or_else(|e| panic!("{e}"));
+            let paper: usize = r.parse_cell(ri, 1).unwrap_or_else(|e| panic!("{e}"));
             assert!(ours <= paper, "{}: surrogate bigger than original?", row[0]);
         }
     }

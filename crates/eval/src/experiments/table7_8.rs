@@ -131,7 +131,8 @@ fn ranked_venues(d: &Dbis, scorer: &Scorer, subject: NodeId, k: usize) -> Vec<No
         .filter(|&v| v != subject)
         .map(|v| (v, scorer.score(subject, v)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    // `total_cmp`: a NaN similarity must not panic the ranking.
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     scored.truncate(k);
     scored.into_iter().map(|(v, _)| v).collect()
 }

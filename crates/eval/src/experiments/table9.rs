@@ -87,8 +87,8 @@ mod tests {
         opts.scale = 0.2;
         let r = run(&opts);
         assert_eq!(r.rows.len(), 2);
-        for row in &r.rows {
-            let parse = |i: usize| -> f64 { row[i].parse().unwrap() };
+        for (ri, row) in r.rows.iter().enumerate() {
+            let parse = |i: usize| -> f64 { r.parse_cell(ri, i).unwrap_or_else(|e| panic!("{e}")) };
             let bisim2 = parse(1);
             let fsimb = parse(7);
             let fsimbj = parse(8);

@@ -14,4 +14,4 @@ pub mod report;
 
 pub use metrics::{dcg, ndcg, pearson, result_correlation};
 pub use opts::ExpOpts;
-pub use report::{fmt3, fmt_secs, Report};
+pub use report::{fmt3, fmt_secs, CellParseError, Report};

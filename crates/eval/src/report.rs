@@ -40,6 +40,44 @@ impl Report {
         self.notes.push(n.into());
     }
 
+    /// Parses the cell at `(row, col)` with full context on failure:
+    /// a bare `cell.parse().unwrap()` panics with nothing but the
+    /// `FromStr` error, leaving no clue *which* experiment, row or column
+    /// produced the unparseable cell. Out-of-range coordinates are
+    /// reported the same way. (Boxed so the happy path stays one word
+    /// wide.)
+    pub fn parse_cell<T: std::str::FromStr>(
+        &self,
+        row: usize,
+        col: usize,
+    ) -> Result<T, Box<CellParseError>> {
+        let err = |cell: &str, reason: &str| {
+            Box::new(CellParseError {
+                experiment: self.id.clone(),
+                row,
+                row_label: self
+                    .rows
+                    .get(row)
+                    .and_then(|r| r.first())
+                    .cloned()
+                    .unwrap_or_default(),
+                column: self.headers.get(col).cloned().unwrap_or_default(),
+                col,
+                cell: cell.to_string(),
+                reason: reason.to_string(),
+            })
+        };
+        let cells = self
+            .rows
+            .get(row)
+            .ok_or_else(|| err("", "row out of range"))?;
+        let cell = cells
+            .get(col)
+            .ok_or_else(|| err("", "column out of range"))?;
+        cell.parse()
+            .map_err(|_| err(cell, std::any::type_name::<T>()))
+    }
+
     /// Serializes the report as a JSON object.
     pub fn to_json(&self) -> String {
         fn string_array(items: &[String]) -> String {
@@ -60,6 +98,45 @@ impl Report {
         )
     }
 }
+
+/// A table cell that failed to parse, with enough context to find it:
+/// experiment id, row index and label, column index and header, and the
+/// raw cell text.
+#[derive(Debug, Clone)]
+pub struct CellParseError {
+    /// Experiment id (`table2`, `fig4a`, …).
+    pub experiment: String,
+    /// Row index into [`Report::rows`].
+    pub row: usize,
+    /// The row's first cell (usually its label), if any.
+    pub row_label: String,
+    /// Column header, if any.
+    pub column: String,
+    /// Column index.
+    pub col: usize,
+    /// The raw cell text (empty when the coordinates were out of range).
+    pub cell: String,
+    /// What went wrong (the target type, or an out-of-range note).
+    pub reason: String,
+}
+
+impl std::fmt::Display for CellParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "experiment {:?}: cannot parse cell {:?} at row {} ({:?}), column {} ({:?}): {}",
+            self.experiment,
+            self.cell,
+            self.row,
+            self.row_label,
+            self.col,
+            self.column,
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for CellParseError {}
 
 /// Serializes a report list as a JSON array (the `fsim-exp --json` output).
 pub fn reports_to_json(reports: &[Report]) -> String {
@@ -143,6 +220,23 @@ mod tests {
         assert_eq!(fmt_secs(0.0000005), "0.5us");
         assert_eq!(fmt_secs(0.5), "500.0ms");
         assert_eq!(fmt_secs(2.0), "2.00s");
+    }
+
+    #[test]
+    fn parse_cell_carries_full_context() {
+        let mut r = Report::new("fig6", "β sweep", &["beta", "pearson"]);
+        r.row(["0.2".to_string(), "not-a-number".to_string()]);
+        let ok: f64 = r.parse_cell(0, 0).unwrap();
+        assert_eq!(ok, 0.2);
+        let err = r.parse_cell::<f64>(0, 1).unwrap_err();
+        let msg = err.to_string();
+        for needle in ["fig6", "not-a-number", "row 0", "\"0.2\"", "pearson"] {
+            assert!(msg.contains(needle), "missing {needle}: {msg}");
+        }
+        let oob = r.parse_cell::<f64>(3, 0).unwrap_err();
+        assert!(oob.to_string().contains("row out of range"), "{oob}");
+        let oob = r.parse_cell::<f64>(0, 9).unwrap_err();
+        assert!(oob.to_string().contains("column out of range"), "{oob}");
     }
 
     #[test]

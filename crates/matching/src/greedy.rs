@@ -48,9 +48,15 @@ impl GreedyMatcher {
         edges: &mut [(f64, u32, u32)],
     ) -> (f64, usize) {
         self.begin(n_left, n_right);
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: treating
+        // NaN as equal to *everything* makes the comparator intransitive,
+        // which silently corrupts the sort order (and with it the greedy
+        // selection) for every weight, not just the NaN ones. Under
+        // `total_cmp` NaN weights sort deterministically (+NaN first in
+        // this descending order) and all finite weights keep their exact
+        // relative order.
         edges.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.0.total_cmp(&a.0)
                 .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
         });
         let mut sum = 0.0;
@@ -76,9 +82,9 @@ impl GreedyMatcher {
         edges: &mut [(f64, u32, u32)],
     ) -> (f64, Vec<(u32, u32)>) {
         self.begin(n_left, n_right);
+        // NaN-sound ordering — see `assign`.
         edges.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.0.total_cmp(&a.0)
                 .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
         });
         let mut sum = 0.0;
@@ -162,6 +168,23 @@ mod tests {
         let (_, p2) = m.assign_pairs(2, 2, &mut e2);
         assert_eq!(p1, p2);
         assert_eq!(p1, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn nan_weights_do_not_panic_and_order_deterministically() {
+        let mut m = GreedyMatcher::new();
+        // +NaN sorts first under the descending total order; the finite
+        // weights must keep their exact relative order around it.
+        let mut e1 = vec![(0.9, 0, 0), (f64::NAN, 1, 1), (0.8, 0, 1), (0.7, 1, 0)];
+        let (_, p1) = m.assign_pairs(2, 2, &mut e1);
+        let mut e2 = vec![(0.7, 1, 0), (0.8, 0, 1), (f64::NAN, 1, 1), (0.9, 0, 0)];
+        let (_, p2) = m.assign_pairs(2, 2, &mut e2);
+        assert_eq!(p1, p2, "NaN input must not break determinism");
+        assert_eq!(p1, vec![(1, 1), (0, 0)]);
+        let mut e3 = vec![(f64::NAN, 0, 0)];
+        let (sum, count) = m.assign(1, 1, &mut e3);
+        assert_eq!(count, 1);
+        assert!(sum.is_nan());
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl DenseSim {
             .filter(|&v| !(exclude_self && v == u))
             .map(|v| (v, self.get(u, v)))
             .collect();
-        row.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        // `total_cmp`: a NaN score must neither panic the sort (the old
+        // `partial_cmp(..).unwrap()`) nor corrupt it — it sorts
+        // deterministically (+NaN first in this descending order) and
+        // finite scores keep their exact relative order.
+        row.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         row.truncate(k);
         row
     }
@@ -94,6 +98,19 @@ mod tests {
         assert_eq!(top[1].0, 1);
         let with_self = m.top_k(0, 1, false);
         assert_eq!(with_self[0].0, 0);
+    }
+
+    #[test]
+    fn top_k_with_nan_does_not_panic_and_is_deterministic() {
+        let mut m = DenseSim::zeros(3);
+        m.set(0, 1, f64::NAN);
+        m.set(0, 2, 0.4);
+        let top = m.top_k(0, 3, false);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 1, "+NaN sorts first in the descending order");
+        assert!(top[0].1.is_nan());
+        assert_eq!(top[1], (2, 0.4));
+        assert_eq!(top[2], (0, 0.0));
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! fsim stats <graph>
 //! fsim generate --dataset NELL [--scale F] [--seed S] [-o out.txt]
 //! fsim score <g1> <g2> [--variant s|dp|b|bj] [--theta T] [--threads N]
-//!            [--convergence auto|sweep|delta] [--pair U,V]... [--top K]
+//!            [--convergence auto|sweep|delta|approx] [--tolerance T]
+//!            [--pair U,V]... [--top K]
 //! fsim update <g1> [g2] --script FILE [--variant V] [--theta T]
-//!             [--threads N] [--verify] [--top K]
+//!             [--threads N] [--convergence MODE] [--tolerance T]
+//!             [--verify] [--top K]
 //! fsim exact <g1> <g2> [--variant s|dp|b|bj] [--pair U,V]...
 //! fsim topk <graph> [-k K] [--variant s|dp|b|bj]
 //! fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]
@@ -55,8 +57,8 @@ fn usage() {
          commands:\n  \
          stats <graph>                                  print graph statistics\n  \
          generate --dataset NAME [--scale F] [--seed S] [-o FILE]\n  \
-         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--convergence auto|sweep|delta] [--pair U,V]... [--top K]\n  \
-         update <g1> [g2] --script FILE [--variant V] [--theta T] [--threads N] [--verify] [--top K]\n  \
+         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--convergence auto|sweep|delta|approx] [--tolerance T] [--pair U,V]... [--top K]\n  \
+         update <g1> [g2] --script FILE [--variant V] [--theta T] [--threads N] [--convergence MODE] [--tolerance T] [--verify] [--top K]\n  \
          exact <g1> <g2> [--variant V] [--pair U,V]...\n  \
          topk <graph> [-k K] [--variant V]\n  \
          align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]"
@@ -161,12 +163,22 @@ fn build_config(a: &Args<'_>) -> Result<FsimConfig, String> {
             "auto" => ConvergenceMode::Auto,
             "sweep" => ConvergenceMode::FullSweep,
             "delta" => ConvergenceMode::DeltaDriven,
+            "approx" => {
+                let tolerance = match a.flag("tolerance") {
+                    Some(t) => t.parse().map_err(|_| format!("bad tolerance {t:?}"))?,
+                    None => 1.0,
+                };
+                ConvergenceMode::Approximate { tolerance }
+            }
             other => {
                 return Err(format!(
-                    "unknown convergence mode {other:?} (expected auto|sweep|delta)"
+                    "unknown convergence mode {other:?} (expected auto|sweep|delta|approx)"
                 ))
             }
         };
+    }
+    if a.flag("tolerance").is_some() && cfg.convergence.approximate_tolerance().is_none() {
+        return Err("--tolerance requires --convergence approx".into());
     }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
@@ -230,6 +242,12 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
         },
         engine.pairs_evaluated().iter().sum::<usize>(),
     );
+    if cfg.convergence.approximate_tolerance().is_some() {
+        eprintln!(
+            "approximate mode: certified max score error {:.3e}",
+            engine.error_bound()
+        );
+    }
     let pairs = a.flags_all("pair");
     if !pairs.is_empty() {
         for p in pairs {
@@ -343,6 +361,13 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         t0.elapsed().as_secs_f64() * 1e3,
         if engine.can_replay_edits() {
             ""
+        } else if engine
+            .config()
+            .convergence
+            .approximate_tolerance()
+            .is_some()
+        {
+            " (approximate: edits warm-restart from carried error bounds)"
         } else {
             " (no trajectory: edits will re-iterate cold)"
         },
@@ -361,27 +386,64 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         let t = Instant::now();
         engine.apply_edits(&edits).map_err(|e| e.to_string())?;
         let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        let approximate = engine
+            .config()
+            .convergence
+            .approximate_tolerance()
+            .is_some();
         eprintln!(
-            "batch {batch_no}: {} edits, {} pairs, {} iterations, {} evaluations, {warm_ms:.1} ms",
+            "batch {batch_no}: {} edits, {} pairs, {} iterations, {} evaluations, {warm_ms:.1} ms{}",
             edits.len(),
             engine.pair_count(),
             engine.iterations(),
             engine.pairs_evaluated().iter().sum::<usize>(),
+            if approximate {
+                format!(", certified max error {:.3e}", engine.error_bound())
+            } else {
+                String::new()
+            },
         );
         if verify {
             let (e1, e2) = engine.graphs();
-            let fresh = fsim::core::compute(e1, e2, engine.config()).map_err(|e| e.to_string())?;
-            let identical = engine.pair_count() == fresh.pair_count()
-                && engine
+            if approximate {
+                // Approximate sessions are not bitwise; verify the
+                // certified bound against an exact cold recompute.
+                let mut exact_cfg = engine.config().clone();
+                exact_cfg.convergence = fsim::core::ConvergenceMode::DeltaDriven;
+                let fresh = fsim::core::compute(e1, e2, &exact_cfg).map_err(|e| e.to_string())?;
+                if engine.pair_count() != fresh.pair_count() {
+                    return Err(format!("batch {batch_no}: pair sets diverged"));
+                }
+                let max_err = engine
                     .iter_pairs()
                     .zip(fresh.iter_pairs())
-                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1 && a.2.to_bits() == b.2.to_bits());
-            if !identical {
-                return Err(format!(
-                    "batch {batch_no}: warm scores diverged from cold recompute"
-                ));
+                    .map(|(a, b)| (a.2 - b.2).abs())
+                    .fold(0.0f64, f64::max);
+                if max_err > engine.error_bound() {
+                    return Err(format!(
+                        "batch {batch_no}: observed error {max_err:.3e} exceeds certified bound {:.3e}",
+                        engine.error_bound()
+                    ));
+                }
+                eprintln!(
+                    "batch {batch_no}: verified within bound (observed {max_err:.3e} <= {:.3e})",
+                    engine.error_bound()
+                );
+            } else {
+                let fresh =
+                    fsim::core::compute(e1, e2, engine.config()).map_err(|e| e.to_string())?;
+                let identical = engine.pair_count() == fresh.pair_count()
+                    && engine
+                        .iter_pairs()
+                        .zip(fresh.iter_pairs())
+                        .all(|(a, b)| a.0 == b.0 && a.1 == b.1 && a.2.to_bits() == b.2.to_bits());
+                if !identical {
+                    return Err(format!(
+                        "batch {batch_no}: warm scores diverged from cold recompute"
+                    ));
+                }
+                eprintln!("batch {batch_no}: verified bitwise against cold recompute");
             }
-            eprintln!("batch {batch_no}: verified bitwise against cold recompute");
         }
         Ok(())
     };

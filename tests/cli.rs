@@ -54,6 +54,93 @@ fn score_pair_reports_exact_simulation_as_one() {
 }
 
 #[test]
+fn score_approximate_reports_certified_bound() {
+    let dir = tempdir();
+    let (p1, p2) = write_sample_graphs(&dir);
+    let out = fsim_bin()
+        .args([
+            "score",
+            &p1,
+            &p2,
+            "--variant",
+            "s",
+            "--convergence",
+            "approx",
+            "--tolerance",
+            "0.5",
+            "--pair",
+            "0,0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("certified max score error"),
+        "got: {stderr}"
+    );
+    // Tolerance without the approximate mode is an error.
+    let out = fsim_bin()
+        .args(["score", &p1, &p2, "--tolerance", "0.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // An invalid (zero) tolerance surfaces the ConfigError.
+    let out = fsim_bin()
+        .args([
+            "score",
+            &p1,
+            &p2,
+            "--convergence",
+            "approx",
+            "--tolerance",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tolerance"), "got: {stderr}");
+}
+
+#[test]
+fn update_approximate_verifies_within_bound() {
+    let dir = tempdir();
+    let (p1, p2) = write_sample_graphs(&dir);
+    let script = dir.join("edits.txt");
+    std::fs::write(&script, "add 2 1 2\nflush\ndel 2 1 2\n").unwrap();
+    let out = fsim_bin()
+        .args([
+            "update",
+            &p1,
+            &p2,
+            "--script",
+            script.to_str().unwrap(),
+            "--variant",
+            "s",
+            "--convergence",
+            "approx",
+            "--verify",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("batch 2: verified within bound"),
+        "got: {stderr}"
+    );
+}
+
+#[test]
 fn exact_checks_pairs() {
     let dir = tempdir();
     let (p1, p2) = write_sample_graphs(&dir);

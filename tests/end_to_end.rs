@@ -104,7 +104,7 @@ fn dbis_fsimbj_finds_duplicate_venues() {
         .filter(|&v| v != d.www)
         .map(|v| (v, r.get(d.www, v).unwrap_or(0.0)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     let top5: Vec<NodeId> = scored.iter().take(5).map(|&(v, _)| v).collect();
     let hits = d.www_dups.iter().filter(|dup| top5.contains(dup)).count();
     assert!(

@@ -1,0 +1,71 @@
+//! NaN-bearing score inputs, end to end: every public ranking/matching
+//! surface that sorts `f64` scores must neither panic nor depend on input
+//! order when a NaN slips in (a poisoned label function, a downstream
+//! 0/0). The ordering contract is `total_cmp`: +NaN ranks above +∞, and
+//! all finite scores keep their exact relative order.
+
+use fsim::matching::GreedyMatcher;
+use fsim::measures::DenseSim;
+
+#[test]
+fn greedy_matching_with_nan_weights_is_total_and_deterministic() {
+    let mut m = GreedyMatcher::new();
+    // Three left, three right; one NaN edge buried mid-list.
+    let edges = [
+        (0.6, 0u32, 0u32),
+        (f64::NAN, 1, 1),
+        (0.9, 0, 1),
+        (0.2, 2, 2),
+        (0.8, 1, 0),
+        (0.4, 2, 0),
+    ];
+    let mut permutations: Vec<Vec<(f64, u32, u32)>> =
+        vec![edges.to_vec(), edges.iter().rev().copied().collect(), {
+            let mut v = edges.to_vec();
+            v.swap(0, 3);
+            v.swap(1, 4);
+            v
+        }];
+    let mut outcomes = Vec::new();
+    for edges in &mut permutations {
+        let (_, pairs) = m.assign_pairs(3, 3, edges);
+        outcomes.push(pairs);
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[0], outcomes[2]);
+    // The NaN edge sorts first and is taken (consuming right node 1);
+    // the finite weights follow in exact descending order.
+    assert_eq!(outcomes[0], vec![(1, 1), (0, 0), (2, 2)]);
+}
+
+#[test]
+fn dense_top_k_with_nan_is_total_and_deterministic() {
+    let m = DenseSim::from_fn(4, |u, v| {
+        if (u, v) == (0, 2) {
+            f64::NAN
+        } else {
+            (v as f64) / 10.0
+        }
+    });
+    let top = m.top_k(0, 4, true);
+    assert_eq!(top.len(), 3);
+    assert_eq!(top[0].0, 2, "+NaN ranks first");
+    assert!(top[0].1.is_nan());
+    // Finite scores keep their exact descending order behind it.
+    assert_eq!(top[1], (3, 0.3));
+    assert_eq!(top[2], (1, 0.1));
+}
+
+#[test]
+fn engine_top_k_stays_total_on_real_scores() {
+    // The engine never produces NaN itself (scores are clamped to
+    // [0, 1]); this guards the public top-k path against regressions in
+    // its comparator — it must run entirely on `total_cmp` ordering.
+    use fsim::prelude::*;
+    let g = fsim::graph::graph_from_parts(&["a", "b", "a", "b"], &[(0, 1), (2, 3), (1, 2)]);
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    let r = compute(&g, &g, &cfg).unwrap();
+    let top = fsim::core::top_k_pairs(&r, 5, true);
+    assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
+    assert!(top.iter().all(|&(_, _, s)| !s.is_nan()));
+}
