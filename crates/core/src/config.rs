@@ -152,6 +152,26 @@ pub enum ConvergenceMode {
     /// Falls back to the exact full sweep (error bound 0) for operators
     /// without a slot-based evaluation path.
     ///
+    /// ```
+    /// use fsim_core::{compute, ConvergenceMode, FsimConfig, Variant};
+    /// use fsim_graph::graph_from_parts;
+    /// use fsim_labels::LabelFn;
+    ///
+    /// let g = graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2), (2, 0)]);
+    /// let base = FsimConfig::new(Variant::Bi).label_fn(LabelFn::Indicator);
+    /// let exact = compute(&g, &g, &base).unwrap();
+    /// let approx = compute(
+    ///     &g,
+    ///     &g,
+    ///     &base.convergence(ConvergenceMode::Approximate { tolerance: 1.0 }),
+    /// )
+    /// .unwrap();
+    /// // Every score sits within the certified bound of the exact run.
+    /// for (a, b) in exact.iter_pairs().zip(approx.iter_pairs()) {
+    ///     assert!((a.2 - b.2).abs() <= approx.error_bound());
+    /// }
+    /// ```
+    ///
     /// [`DeltaDriven`]: ConvergenceMode::DeltaDriven
     Approximate {
         /// Skip-threshold scale factor (> 0, finite). `1.0` skips pairs
@@ -169,6 +189,64 @@ impl ConvergenceMode {
             _ => None,
         }
     }
+}
+
+/// How the maintained set is partitioned into **u-row shards** for
+/// memory-bounded execution (orthogonal to [`ConvergenceMode`]).
+///
+/// Under sharded execution the engine never materializes the full
+/// pair-dependency CSR. It partitions the candidate store into `K`
+/// contiguous `u`-row ranges (balanced by the same degree-product
+/// estimate [`ConvergenceMode::Auto`] uses for its budget check), and
+/// each iteration sweeps the shards one at a time: a shard's dependency
+/// CSR is built, its dirty slots are evaluated against the global
+/// previous-iteration score buffer, and the CSR is dropped before the
+/// next shard is touched. Cross-shard dependencies flow through a
+/// **boundary-exchange table** — per-slot masks of the shards that read
+/// each slot plus the previous iteration's changed-score frontier — so
+/// dirty-pair scheduling keeps working across shard boundaries. Peak
+/// resident CSR memory is one shard's CSR instead of the whole store's;
+/// the price is rebuilding each visited shard's CSR every sweep (the
+/// `sharding` bench records the trade-off in `BENCH_sharding.json`).
+///
+/// Sharded execution of the **exact** modes is bitwise identical to
+/// unsharded execution — scores, iteration counts, deltas and
+/// per-iteration evaluation counts (`tests/sharded_convergence.rs`
+/// property-checks this across variants × θ × pruning × threads × K).
+/// Sharded approximate runs carry the same certified error bound as
+/// unsharded ones. [`ConvergenceMode::FullSweep`] ignores the setting:
+/// the sweep never builds a CSR, so it is already memory-minimal.
+///
+/// ```
+/// use fsim_core::{compute, ConvergenceMode, FsimConfig, ShardSpec, Variant};
+/// use fsim_graph::graph_from_parts;
+///
+/// let g = graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2)]);
+/// let base = FsimConfig::new(Variant::Simple);
+/// let whole = compute(&g, &g, &base).unwrap();
+/// let sharded = compute(&g, &g, &base.clone().shards(ShardSpec::Fixed(2))).unwrap();
+/// assert_eq!(whole.iterations, sharded.iterations);
+/// for (a, b) in whole.iter_pairs().zip(sharded.iter_pairs()) {
+///     assert_eq!(a, b); // bitwise identical
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// Shard only when needed: under [`ConvergenceMode::Auto`], a
+    /// workload whose estimated CSR exceeds [`FsimConfig::csr_budget`]
+    /// is sharded with the smallest `K` whose per-shard estimate fits
+    /// the budget (clamped to [`FsimConfig::MAX_SHARDS`]) instead of
+    /// degrading to the full sweep. Workloads that fit stay unsharded.
+    /// The default.
+    Auto,
+    /// Never shard (the pre-sharding behavior: over-budget `Auto`
+    /// workloads fall back to the full sweep).
+    Off,
+    /// Always execute with exactly this many u-row shards (1 ≤ K ≤
+    /// [`FsimConfig::MAX_SHARDS`]; capped by the number of distinct
+    /// `u`-rows). `Fixed(1)` exercises the sharded driver with a single
+    /// shard — useful for isolating its per-sweep rebuild overhead.
+    Fixed(usize),
 }
 
 /// Which assignment algorithm implements the injective mapping operators
@@ -229,6 +307,11 @@ pub struct FsimConfig {
     pub pin_identical: bool,
     /// How the convergence loop schedules pair re-evaluation.
     pub convergence: ConvergenceMode,
+    /// How the maintained set is partitioned into u-row shards for
+    /// memory-bounded execution (see [`ShardSpec`]). Orthogonal to
+    /// [`convergence`](Self::convergence): exact sharded execution stays
+    /// bitwise identical to unsharded.
+    pub shards: ShardSpec,
     /// Memory budget (bytes) for the pair-dependency CSR under
     /// [`ConvergenceMode::Auto`]; when the estimated CSR size exceeds it,
     /// the engine keeps the on-the-fly full sweep. Applied when the CSR is
@@ -253,6 +336,11 @@ impl FsimConfig {
     /// Default [`trajectory_budget`](Self::trajectory_budget): 256 MiB.
     pub const DEFAULT_TRAJECTORY_BUDGET: usize = 256 << 20;
 
+    /// Upper limit on [`ShardSpec::Fixed`] shard counts (the
+    /// boundary-exchange table stores which shards read each slot as one
+    /// 64-bit mask per slot).
+    pub const MAX_SHARDS: usize = 64;
+
     /// The paper's default experimental setting for a variant:
     /// `w⁺ = w⁻ = 0.4` (`w* = 0.2`), `θ = 0`, `ε = 0.01`, Jaro–Winkler
     /// initialization, greedy matcher, single thread.
@@ -272,6 +360,7 @@ impl FsimConfig {
             matcher: MatcherKind::Greedy,
             pin_identical: false,
             convergence: ConvergenceMode::Auto,
+            shards: ShardSpec::Auto,
             csr_budget: Self::DEFAULT_CSR_BUDGET,
             trajectory_budget: Self::DEFAULT_TRAJECTORY_BUDGET,
         }
@@ -314,6 +403,12 @@ impl FsimConfig {
         self
     }
 
+    /// Sets the u-row sharding policy (see [`ShardSpec`]).
+    pub fn shards(mut self, spec: ShardSpec) -> Self {
+        self.shards = spec;
+        self
+    }
+
     /// Sets the dependency-CSR memory budget (bytes) consulted by
     /// [`ConvergenceMode::Auto`].
     pub fn csr_budget(mut self, bytes: usize) -> Self {
@@ -323,6 +418,22 @@ impl FsimConfig {
 
     /// Sets the iterate-trajectory memory budget (bytes) that gates
     /// incremental edit replay (`0` disables recording).
+    ///
+    /// ```
+    /// use fsim_core::{FsimConfig, FsimEngine, Variant};
+    /// use fsim_graph::graph_from_parts;
+    /// use fsim_labels::LabelFn;
+    ///
+    /// let g = graph_from_parts(&["a", "b"], &[(0, 1)]);
+    /// // Serving sessions that never edit their graphs can skip the
+    /// // per-iteration recording copy entirely.
+    /// let cfg = FsimConfig::new(Variant::Simple)
+    ///     .label_fn(LabelFn::Indicator)
+    ///     .trajectory_budget(0);
+    /// let mut engine = FsimEngine::new(&g, &g, &cfg).unwrap();
+    /// engine.run();
+    /// assert!(!engine.can_replay_edits()); // edits re-iterate cold, still bitwise
+    /// ```
     pub fn trajectory_budget(mut self, bytes: usize) -> Self {
         self.trajectory_budget = bytes;
         self
@@ -385,6 +496,11 @@ impl FsimConfig {
                 return Err(ConfigError::Tolerance { tolerance });
             }
         }
+        if let ShardSpec::Fixed(k) = self.shards {
+            if k == 0 || k > Self::MAX_SHARDS {
+                return Err(ConfigError::Shards { shards: k });
+            }
+        }
         if self.threads == 0 {
             return Err(ConfigError::Threads);
         }
@@ -431,6 +547,11 @@ pub enum ConfigError {
         /// The offending tolerance.
         tolerance: f64,
     },
+    /// A fixed shard count outside `1..=MAX_SHARDS`.
+    Shards {
+        /// The offending shard count.
+        shards: usize,
+    },
     /// Thread count must be ≥ 1.
     Threads,
     /// Upper-bound parameters out of range (`α ∈ [0,1)`, `β ∈ [0,1]`).
@@ -462,6 +583,13 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "approximate-mode tolerance must be finite and > 0, got {tolerance}"
+                )
+            }
+            ConfigError::Shards { shards } => {
+                write!(
+                    f,
+                    "fixed shard count must lie in 1..={}, got {shards}",
+                    FsimConfig::MAX_SHARDS
                 )
             }
             ConfigError::Threads => write!(f, "thread count must be >= 1"),
@@ -594,6 +722,26 @@ mod tests {
         }
         assert_eq!(approx(0.5).convergence.approximate_tolerance(), Some(0.5));
         assert_eq!(ConvergenceMode::Auto.approximate_tolerance(), None);
+    }
+
+    #[test]
+    fn shard_spec_is_validated() {
+        let with = |spec: ShardSpec| FsimConfig::new(Variant::Simple).shards(spec);
+        assert!(with(ShardSpec::Auto).validate().is_ok());
+        assert!(with(ShardSpec::Off).validate().is_ok());
+        assert!(with(ShardSpec::Fixed(1)).validate().is_ok());
+        assert!(with(ShardSpec::Fixed(FsimConfig::MAX_SHARDS))
+            .validate()
+            .is_ok());
+        for bad in [0, FsimConfig::MAX_SHARDS + 1, usize::MAX] {
+            assert!(
+                matches!(
+                    with(ShardSpec::Fixed(bad)).validate(),
+                    Err(ConfigError::Shards { .. })
+                ),
+                "shards={bad}"
+            );
+        }
     }
 
     #[test]

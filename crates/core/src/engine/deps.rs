@@ -201,6 +201,17 @@ impl PairDepCsr {
         self.out_entries.len() + self.in_entries.len()
     }
 
+    /// Resident heap footprint in bytes (entries, reverse CSR, offsets,
+    /// dims) — the "peak CSR memory" the sharded driver is bounded
+    /// against.
+    pub(crate) fn bytes(&self) -> usize {
+        self.entry_count() * std::mem::size_of::<DepEntry>()
+            + self.rdeps.len() * std::mem::size_of::<u32>()
+            + (self.out_offsets.len() + self.in_offsets.len() + self.rdep_offsets.len())
+                * std::mem::size_of::<usize>()
+            + self.dims.len() * std::mem::size_of::<[u32; 4]>()
+    }
+
     /// Slot → dependents offsets (for the dirty scheduler).
     pub(crate) fn rdep_offsets(&self) -> &[usize] {
         &self.rdep_offsets
@@ -248,6 +259,135 @@ impl PairDepCsr {
         let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
         // Scores are mathematically confined to [0, 1]; clamp floating
         // drift (identically to `pair_update`).
+        score.clamp(0.0, 1.0)
+    }
+}
+
+/// The dependency lists of one **u-row shard** of the candidate store —
+/// the slots `base..base + len` — built transiently for a single sweep of
+/// the sharded driver ([`super::shards`]) and dropped before the next
+/// shard is touched, so peak resident CSR memory is one shard's worth.
+///
+/// Entries are produced by the same [`push_direction`] pass as
+/// [`PairDepCsr::build`], and [`eval_slot`](Self::eval_slot) is the same
+/// arithmetic as [`PairDepCsr::eval_slot`], so evaluating a slot through a
+/// `ShardCsr` is bitwise identical to evaluating it through the full CSR.
+/// No reverse CSR is materialized: the sharded driver schedules by
+/// scanning each slot's forward entries against the previous iteration's
+/// changed-slot frontier instead (the boundary exchange).
+pub(crate) struct ShardCsr {
+    /// First global slot of the shard.
+    base: usize,
+    /// Local slot → range of `out_entries` (length `len + 1`).
+    out_offsets: Vec<usize>,
+    /// Local slot → range of `in_entries` (length `len + 1`).
+    in_offsets: Vec<usize>,
+    out_entries: Vec<DepEntry>,
+    in_entries: Vec<DepEntry>,
+    /// Local slot → `[|N⁺(u)|, |N⁺(v)|, |N⁻(u)|, |N⁻(v)|]`.
+    dims: Vec<[u32; 4]>,
+}
+
+impl ShardCsr {
+    /// Materializes the dependency structure of slots `lo..hi` of `store`
+    /// under the session's evaluation context.
+    pub(crate) fn build<O: Operator>(
+        g1: &Graph,
+        g2: &Graph,
+        ctx: &OpCtx<'_>,
+        store: &PairStore,
+        op: &O,
+        lo: usize,
+        hi: usize,
+    ) -> Self {
+        debug_assert!(lo <= hi && hi <= store.len());
+        let all_pairs = op.reads_ineligible_pairs();
+        let len = hi - lo;
+        let mut out_offsets = Vec::with_capacity(len + 1);
+        let mut in_offsets = Vec::with_capacity(len + 1);
+        let mut out_entries = Vec::new();
+        let mut in_entries = Vec::new();
+        let mut dims = Vec::with_capacity(len);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for &(u, v) in &store.pairs[lo..hi] {
+            let (s1, s2) = (g1.out_neighbors(u), g2.out_neighbors(v));
+            push_direction(&mut out_entries, s1, s2, ctx, store, all_pairs);
+            out_offsets.push(out_entries.len());
+            let (t1, t2) = (g1.in_neighbors(u), g2.in_neighbors(v));
+            push_direction(&mut in_entries, t1, t2, ctx, store, all_pairs);
+            in_offsets.push(in_entries.len());
+            dims.push([
+                s1.len() as u32,
+                s2.len() as u32,
+                t1.len() as u32,
+                t2.len() as u32,
+            ]);
+        }
+        Self {
+            base: lo,
+            out_offsets,
+            in_offsets,
+            out_entries,
+            in_entries,
+            dims,
+        }
+    }
+
+    /// Both directions' dependency entries of a **global** slot.
+    #[inline]
+    pub(crate) fn deps_of(&self, slot: usize) -> impl Iterator<Item = &DepEntry> {
+        let local = slot - self.base;
+        self.out_entries[self.out_offsets[local]..self.out_offsets[local + 1]]
+            .iter()
+            .chain(&self.in_entries[self.in_offsets[local]..self.in_offsets[local + 1]])
+    }
+
+    /// Resident heap footprint in bytes.
+    pub(crate) fn bytes(&self) -> usize {
+        (self.out_entries.len() + self.in_entries.len()) * std::mem::size_of::<DepEntry>()
+            + (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
+            + self.dims.len() * std::mem::size_of::<[u32; 4]>()
+    }
+
+    /// Equation 3 for one **global** slot of the shard — bitwise identical
+    /// to [`PairDepCsr::eval_slot`] on the same inputs (same entries, same
+    /// arithmetic).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_slot<O: Operator>(
+        &self,
+        cfg: &FsimConfig,
+        op: &O,
+        store: &PairStore,
+        slot: usize,
+        prev: &[f64],
+        scratch: &mut OpScratch,
+        label: f64,
+    ) -> f64 {
+        let (u, v) = store.pairs[slot];
+        if cfg.pin_identical && u == v {
+            return 1.0;
+        }
+        let local = slot - self.base;
+        let [o1, o2, i1, i2] = self.dims[local];
+        let out = op.term_slots(
+            &self.out_entries[self.out_offsets[local]..self.out_offsets[local + 1]],
+            o1 as usize,
+            o2 as usize,
+            prev,
+            scratch,
+        );
+        let inn = op.term_slots(
+            &self.in_entries[self.in_offsets[local]..self.in_offsets[local + 1]],
+            i1 as usize,
+            i2 as usize,
+            prev,
+            scratch,
+        );
+        let score = cfg.w_out * out + cfg.w_in * inn + cfg.w_label() * label;
+        // Scores are mathematically confined to [0, 1]; clamp floating
+        // drift (identically to `pair_update` / `PairDepCsr::eval_slot`).
         score.clamp(0.0, 1.0)
     }
 }
@@ -382,6 +522,57 @@ mod tests {
                     via_csr.to_bits(),
                     "theta={theta} slot {slot} ({u},{v})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_csr_matches_full_csr_bitwise() {
+        let (g1, g2, base) = setup();
+        for theta in [0.0, 1.0] {
+            let cfg = base.clone().theta(theta);
+            let aligned = super::super::session::AlignedLabels::new(&g1, &g2);
+            let eval = super::super::session::build_label_eval(&cfg, &aligned.interner);
+            let ctx = OpCtx {
+                labels1: &aligned.labels1,
+                labels2: &aligned.labels2,
+                label_eval: &eval,
+                theta: cfg.theta,
+            };
+            let op = VariantOp::new(cfg.variant);
+            let store = crate::candidates::enumerate_candidates(&g1, &g2, &ctx, &cfg, &op);
+            let csr = PairDepCsr::build(&g1, &g2, &ctx, &store, &op);
+            let scores: Vec<f64> = (0..store.len()).map(|i| (i % 7) as f64 / 7.0).collect();
+            let mut scratch = OpScratch::new();
+            // Split the store anywhere (including degenerate empty shards)
+            // and check every slot evaluates identically through its shard.
+            for cut in [0, store.len() / 2, store.len()] {
+                for (lo, hi) in [(0, cut), (cut, store.len())] {
+                    let shard = ShardCsr::build(&g1, &g2, &ctx, &store, &op, lo, hi);
+                    assert!(shard.bytes() <= csr.bytes());
+                    for slot in lo..hi {
+                        let label = ctx.label_sim(store.pairs[slot].0, store.pairs[slot].1);
+                        let full =
+                            csr.eval_slot(&cfg, &op, &store, slot, &scores, &mut scratch, label);
+                        let via_shard =
+                            shard.eval_slot(&cfg, &op, &store, slot, &scores, &mut scratch, label);
+                        assert_eq!(
+                            full.to_bits(),
+                            via_shard.to_bits(),
+                            "theta={theta} slot {slot}"
+                        );
+                        // The shard's forward entries name exactly the
+                        // dependencies the full CSR holds for the slot.
+                        let full_deps: Vec<DepEntry> = csr.out_entries
+                            [csr.out_offsets[slot]..csr.out_offsets[slot + 1]]
+                            .iter()
+                            .chain(&csr.in_entries[csr.in_offsets[slot]..csr.in_offsets[slot + 1]])
+                            .copied()
+                            .collect();
+                        let shard_deps: Vec<DepEntry> = shard.deps_of(slot).copied().collect();
+                        assert_eq!(full_deps, shard_deps, "theta={theta} slot {slot}");
+                    }
+                }
             }
         }
     }

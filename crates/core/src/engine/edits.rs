@@ -18,6 +18,14 @@
 //! seed `∞` into the carried error accumulators, and everything whose
 //! certified residual stays under the skip threshold is left alone,
 //! which is what lifts the replay's influence-ball floor.
+//!
+//! Sharded sessions (`engine/shards.rs`) consume the same dirty sets at
+//! shard granularity: an edit that keeps pair membership resets only the
+//! boundary-exchange masks (dirty dependency entries may add reader
+//! bits), while a membership change — which renumbers slots — drops the
+//! slot-keyed shard plan for rebuild. Their exact edit path re-iterates
+//! cold over the repaired structures (sharded runs record no trajectory);
+//! the approximate warm restart works unchanged.
 
 use crate::config::{FsimConfig, LabelTermMode};
 use fsim_graph::{pair_key, FxHashMap, FxHashSet, Graph, LabelId, NodeId};

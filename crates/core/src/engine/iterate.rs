@@ -1,18 +1,22 @@
 //! The per-iteration update of Equation 3 and the convergence loop
 //! (Algorithm 1 lines 2–7, Theorem 1 / Corollary 1).
 //!
-//! Three scheduling regimes share the same update function:
+//! Four scheduling regimes share the same update function:
 //! * the **full sweep** re-evaluates every maintained pair each iteration
 //!   (Algorithm 1 as written);
 //! * the **delta-driven** loop walks the prepared
 //!   [`PairDepCsr`](super::deps::PairDepCsr) and re-evaluates a pair only
 //!   if one of its dependencies changed in the previous iteration —
 //!   bitwise identical to the sweep;
+//! * the **sharded** loop ([`super::shards`]) applies the same dirty rule
+//!   over transient per-u-row-shard CSRs with boundary exchange — still
+//!   bitwise identical, with peak CSR memory bounded to one shard;
 //! * the **approximate** (ε-aware) loop additionally suppresses pairs
 //!   whose accumulated incoming-delta bound ([`ApproxState`]) stays below
 //!   `tolerance·ε/(w⁺+w⁻)` — not bitwise, but certified: suppressed
 //!   deltas accumulate until a re-evaluation, so the final accumulators
 //!   bound the distance to the exact result (Theorem 2's contraction).
+//!   It composes with both the unsharded and the sharded dirty loops.
 
 use super::deps::PairDepCsr;
 use super::parallel::{run_parallel, run_parallel_delta, IterationOutcome};

@@ -18,6 +18,12 @@
 //!   once per run, atomic-cursor work distribution, bitwise sequential ≡
 //!   parallel), for the full sweep, the dirty worklist and the edit
 //!   replay;
+//! * `shards` (private) — sharded execution for maintained sets whose
+//!   dependency CSR exceeds one memory budget: the store is partitioned
+//!   into u-row shards, per-shard CSRs are built transiently per sweep
+//!   (peak resident CSR memory = one shard), and cross-shard dirty
+//!   scheduling flows through a boundary-exchange table — bitwise
+//!   identical to unsharded execution for the exact modes;
 //! * [`edits`] — the [`GraphEdit`] vocabulary and the dirty-set planning
 //!   behind [`FsimEngine::apply_edits`]: incremental rescoring after graph
 //!   edits, bitwise identical to a cold recompute on the edited graphs.
@@ -31,6 +37,7 @@ pub mod edits;
 pub(crate) mod iterate;
 pub(crate) mod parallel;
 pub mod session;
+pub(crate) mod shards;
 
 pub use edits::{EditError, GraphEdit, GraphSide};
 pub use session::FsimEngine;

@@ -199,6 +199,40 @@ where
     }
 }
 
+/// Evaluates an explicit worklist against a read-only previous-iteration
+/// buffer, writing `out[i]` for `worklist[i]`. Used by the sharded driver
+/// ([`super::shards`]): shard-local worklists live for a single shard
+/// visit, too short to amortize the persistent pool's barriers, so plain
+/// scoped threads over disjoint chunks suffice. Each slot's value is a
+/// pure function of `prev` (Jacobi) and the caller folds the results back
+/// in worklist order, so the outcome is bitwise identical to a sequential
+/// evaluation regardless of the thread count.
+pub(crate) fn eval_worklist_parallel<U, F>(
+    threads: usize,
+    worklist: &[u32],
+    prev: &[f64],
+    out: &mut [f64],
+    make_update: F,
+) where
+    F: Fn() -> U + Sync,
+    U: FnMut(usize, &[f64]) -> f64,
+{
+    debug_assert_eq!(worklist.len(), out.len());
+    debug_assert!(threads >= 2, "parallel evaluation needs two workers");
+    let chunk = worklist.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (wl_chunk, out_chunk) in worklist.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let make_update = &make_update;
+            scope.spawn(move || {
+                let mut update = make_update();
+                for (&slot, o) in wl_chunk.iter().zip(out_chunk) {
+                    *o = update(slot as usize, prev);
+                }
+            });
+        }
+    });
+}
+
 /// The dirty-pair worklist shared between the coordinator (which rebuilds
 /// it between iterations) and the workers (which only read it while an
 /// iteration is in flight). The barriers at each iteration boundary order
@@ -1021,6 +1055,24 @@ mod tests {
         // The new trajectory chains: it matches the edited system's run.
         assert_eq!(new_traj.len(), warm_out.iterations + 1);
         assert_eq!(new_traj.last().unwrap(), &warm);
+    }
+
+    #[test]
+    fn eval_worklist_parallel_matches_sequential_order() {
+        let n = 5000;
+        let prev: Vec<f64> = (0..n).map(|i| (i % 31) as f64 / 31.0).collect();
+        let worklist: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let mut seq = vec![0.0; worklist.len()];
+        for (i, &s) in worklist.iter().enumerate() {
+            seq[i] = toy_update(s as usize, &prev);
+        }
+        for threads in [2, 3, 7] {
+            let mut par = vec![0.0; worklist.len()];
+            eval_worklist_parallel(threads, &worklist, &prev, &mut par, || toy_update);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -20,8 +20,9 @@ use super::iterate::{
     run_to_convergence, ApproxState, Recorder,
 };
 use super::parallel::run_parallel_replay;
+use super::shards::{auto_shard_count, forced_shards, run_sharded, ShardState};
 use crate::candidates::{estimated_dep_entries, repair_candidates, StoreRepair, NO_SLOT};
-use crate::config::{ConfigError, ConvergenceMode, FsimConfig, LabelTermMode};
+use crate::config::{ConfigError, ConvergenceMode, FsimConfig, LabelTermMode, ShardSpec};
 use crate::operators::{LabelEval, OpCtx, OpScratch, Operator, VariantOp};
 use crate::result::FsimResult;
 use crate::store::PairStore;
@@ -144,8 +145,14 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     label_terms: Vec<f64>,
     /// The pair-dependency CSR for delta-driven convergence, built lazily
     /// on [`run`](Self::run) when the configured [`ConvergenceMode`]
-    /// wants it. Lives exactly as long as the store it indexes.
+    /// wants it. Lives exactly as long as the store it indexes. Mutually
+    /// exclusive with `shards`.
     deps: Option<PairDepCsr>,
+    /// Sharded-execution state (the u-row [`ShardSpec`] plan plus the
+    /// boundary-exchange masks), held when the session executes sharded —
+    /// per-shard CSRs are then built transiently per sweep and this full
+    /// CSR cache stays empty. Invalidated with the store, like `deps`.
+    shards: Option<ShardState>,
     scores: Vec<f64>,
     /// Reusable double buffer for the iteration loop.
     cur: Vec<f64>,
@@ -171,6 +178,12 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     pairs_evaluated: Vec<usize>,
     /// Whether the last run used delta-driven scheduling.
     delta_scheduled: bool,
+    /// Shards the last run executed with (0 = unsharded).
+    shard_count: usize,
+    /// Peak resident dependency-CSR bytes during the last run (the full
+    /// CSR for unsharded delta runs, the largest single shard CSR for
+    /// sharded runs, 0 for full sweeps).
+    peak_csr_bytes: usize,
     has_run: bool,
 }
 
@@ -224,6 +237,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             },
             label_terms: Vec::new(),
             deps: None,
+            shards: None,
             scores: Vec::new(),
             cur: Vec::new(),
             trajectory: None,
@@ -234,6 +248,8 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             error_bound: 0.0,
             pairs_evaluated: Vec::new(),
             delta_scheduled: false,
+            shard_count: 0,
+            peak_csr_bytes: 0,
             has_run: false,
         };
         engine.rebuild_store();
@@ -258,9 +274,11 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             &self.op,
         );
         self.store = store;
-        // The dependency CSR, the recorded trajectory and the approximate
-        // accumulators all index the old store's slots; drop them.
+        // The dependency CSR, the shard plan, the recorded trajectory and
+        // the approximate accumulators all index the old store's slots;
+        // drop them.
         self.deps = None;
+        self.shards = None;
         self.trajectory = None;
         self.approx_acc = None;
         self.refresh_label_terms();
@@ -280,33 +298,78 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         self.label_terms = terms;
     }
 
-    /// Builds or drops the dependency CSR according to the configured
-    /// [`ConvergenceMode`]. Under `Auto`, an already-built CSR is kept and
-    /// a missing one is built only when the degree-product estimate fits
-    /// the memory budget; `DeltaDriven` builds unconditionally (for
-    /// operators with a slot path); `FullSweep` drops any cached CSR.
-    fn ensure_deps(&mut self) {
-        let want = self.op.supports_slots()
-            && match self.cfg.convergence {
-                ConvergenceMode::FullSweep => false,
-                // Approximate scheduling needs the reverse CSR for its
-                // error accounting; like DeltaDriven it is an explicit
-                // opt-in that ignores the memory budget.
-                ConvergenceMode::DeltaDriven | ConvergenceMode::Approximate { .. } => true,
-                ConvergenceMode::Auto => {
-                    self.deps.is_some() || {
-                        let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
-                        let bytes = entries * BYTES_PER_ENTRY
-                            + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
-                        bytes <= self.cfg.csr_budget as u128
-                    }
-                }
-            };
-        if !want {
+    /// Decides the run's scheduling substrate from the configured
+    /// [`ConvergenceMode`] × [`ShardSpec`]: the full dependency CSR
+    /// (`deps`), the sharded plan (`shards`, mutually exclusive), or
+    /// neither (full sweep).
+    ///
+    /// * `FullSweep` (or an operator without a slot path) holds neither.
+    /// * `ShardSpec::Fixed(k)` always shards (rebuilding the plan when
+    ///   the requested `k` changes).
+    /// * `DeltaDriven` / `Approximate` without a fixed shard count build
+    ///   the full CSR unconditionally (the explicit opt-ins that ignore
+    ///   the memory budget).
+    /// * `Auto` convergence keeps an already-built CSR (it lives as long
+    ///   as the store); otherwise it builds the CSR when the
+    ///   degree-product estimate fits [`FsimConfig::csr_budget`],
+    ///   **degrades to sharded execution** when it does not and the
+    ///   shard spec is `Auto` (picking the smallest `K` whose per-shard
+    ///   share fits; a cached same-`K` plan and its boundary masks are
+    ///   reused), and falls back to the full sweep only under
+    ///   `ShardSpec::Off`.
+    fn ensure_scheduling(&mut self) {
+        if !self.op.supports_slots() || self.cfg.convergence == ConvergenceMode::FullSweep {
             self.deps = None;
-        } else if self.deps.is_none() {
-            let csr = PairDepCsr::build(&self.g1, &self.g2, &self.ctx(), &self.store, &self.op);
-            self.deps = Some(csr);
+            self.shards = None;
+            return;
+        }
+        if let Some(k) = forced_shards(&self.cfg) {
+            self.deps = None;
+            if self.shards.as_ref().map(|s| s.requested) != Some(k) {
+                self.shards = Some(ShardState::new(&self.g1, &self.g2, &self.store, k));
+            }
+            return;
+        }
+        match self.cfg.convergence {
+            ConvergenceMode::DeltaDriven | ConvergenceMode::Approximate { .. } => {
+                self.shards = None;
+                if self.deps.is_none() {
+                    let csr =
+                        PairDepCsr::build(&self.g1, &self.g2, &self.ctx(), &self.store, &self.op);
+                    self.deps = Some(csr);
+                }
+            }
+            ConvergenceMode::Auto => {
+                if self.deps.is_some() {
+                    self.shards = None;
+                    return;
+                }
+                // No CSR cached: re-derive the decision from the current
+                // spec and estimate every run (an O(|H|) degree scan) —
+                // a cached shard state must not outlive a rerun that
+                // switched the spec to `Off` or shrank the workload back
+                // under the budget. A still-valid auto-chosen plan (same
+                // K) is kept, preserving its boundary masks.
+                let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
+                let bytes =
+                    entries * BYTES_PER_ENTRY + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
+                if bytes <= self.cfg.csr_budget as u128 {
+                    self.shards = None;
+                    let csr =
+                        PairDepCsr::build(&self.g1, &self.g2, &self.ctx(), &self.store, &self.op);
+                    self.deps = Some(csr);
+                } else if self.cfg.shards == ShardSpec::Auto {
+                    let k = auto_shard_count(bytes, self.cfg.csr_budget);
+                    if self.shards.as_ref().map(|s| s.requested) != Some(k) {
+                        self.shards = Some(ShardState::new(&self.g1, &self.g2, &self.store, k));
+                    }
+                } else {
+                    // ShardSpec::Off: neither — the run uses the full
+                    // sweep.
+                    self.shards = None;
+                }
+            }
+            ConvergenceMode::FullSweep => unreachable!("handled above"),
         }
     }
 
@@ -336,22 +399,24 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.error_bound = 0.0;
             self.pairs_evaluated.clear();
             self.delta_scheduled = false;
+            self.shard_count = 0;
+            self.peak_csr_bytes = 0;
             self.trajectory = None;
             self.approx_acc = None;
             self.has_run = true;
             return self;
         }
-        self.ensure_deps();
-        self.delta_scheduled = self.deps.is_some();
+        self.ensure_scheduling();
+        self.delta_scheduled = self.deps.is_some() || self.shards.is_some();
         let mut recorded: Option<Vec<Vec<f64>>> = self.should_record().then(Vec::new);
-        // ε-aware approximate scheduling is active only when the CSR is
-        // available (operators without a slot path fall back to the exact
-        // full sweep, error bound 0).
+        // ε-aware approximate scheduling is active only when a slot-based
+        // substrate is available (operators without a slot path fall back
+        // to the exact full sweep, error bound 0).
         let mut approx_state = self
             .cfg
             .convergence
             .approximate_tolerance()
-            .filter(|_| self.deps.is_some())
+            .filter(|_| self.deps.is_some() || self.shards.is_some())
             .map(|tol| ApproxState::cold(self.store.len(), &self.cfg, tol));
         // Destructure so the iteration loop can borrow the caches
         // immutably while writing the score buffers.
@@ -366,39 +431,72 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             store,
             label_terms,
             deps,
+            shards,
             scores,
             cur,
             ..
         } = self;
         let (g1, g2): (&Graph, &Graph) = (g1, g2);
         initialize(store, cfg, g1, g2, label_terms, scores);
-        let outcome = match deps {
-            Some(csr) => {
-                let mut recorder = recorded
-                    .as_mut()
-                    .map(|h| Recorder::new(h, cfg.trajectory_budget));
-                run_delta(
-                    cfg,
-                    op,
-                    store,
-                    csr,
-                    label_terms,
-                    scores,
-                    cur,
-                    recorder.as_mut(),
-                    None,
-                    approx_state.as_mut(),
-                )
+        let mut shard_peak = 0usize;
+        let outcome = if let Some(state) = shards.as_mut() {
+            let ctx = OpCtx {
+                labels1: labels1.as_slice(),
+                labels2: labels2.as_slice(),
+                label_eval,
+                theta: cfg.theta,
+            };
+            let (outcome, peak) = run_sharded(
+                g1,
+                g2,
+                &ctx,
+                cfg,
+                op,
+                store,
+                label_terms,
+                state,
+                scores,
+                cur,
+                None,
+                approx_state.as_mut(),
+            );
+            shard_peak = peak;
+            outcome
+        } else {
+            match deps {
+                Some(csr) => {
+                    let mut recorder = recorded
+                        .as_mut()
+                        .map(|h| Recorder::new(h, cfg.trajectory_budget));
+                    run_delta(
+                        cfg,
+                        op,
+                        store,
+                        csr,
+                        label_terms,
+                        scores,
+                        cur,
+                        recorder.as_mut(),
+                        None,
+                        approx_state.as_mut(),
+                    )
+                }
+                None => {
+                    let ctx = OpCtx {
+                        labels1: labels1.as_slice(),
+                        labels2: labels2.as_slice(),
+                        label_eval,
+                        theta: cfg.theta,
+                    };
+                    run_to_convergence(g1, g2, &ctx, cfg, op, store, label_terms, scores, cur)
+                }
             }
-            None => {
-                let ctx = OpCtx {
-                    labels1: labels1.as_slice(),
-                    labels2: labels2.as_slice(),
-                    label_eval,
-                    theta: cfg.theta,
-                };
-                run_to_convergence(g1, g2, &ctx, cfg, op, store, label_terms, scores, cur)
-            }
+        };
+        self.shard_count = self.shards.as_ref().map_or(0, |s| s.plan.k());
+        self.peak_csr_bytes = if self.shards.is_some() {
+            shard_peak
+        } else {
+            self.deps.as_ref().map_or(0, |d| d.bytes())
         };
         // An abandoned (over-budget) recording comes back empty.
         self.trajectory = recorded.filter(|h| h.len() >= 2);
@@ -789,6 +887,22 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             None
         };
 
+        // Sharded sessions: the plan's u-row ranges are keyed by the
+        // store's slot numbering and the boundary masks by its dependency
+        // lists. A membership change renumbers slots — drop the state and
+        // let the next run's scheduling decision rebuild it (the plan is
+        // an O(|H|) degree scan, nothing like a CSR build). Otherwise the
+        // plan survives; if any dependency entries were re-derived the
+        // masks are reset — a missing reader bit would silently skip a
+        // dirty shard — and the next run's first sweep rebuilds them
+        // while it visits the dirty shards anyway.
+        if self.shards.is_some() && !repair.membership_unchanged() {
+            self.shards = None;
+        } else if any_entry_dirty {
+            if let Some(state) = self.shards.as_mut() {
+                state.boundary.reset();
+            }
+        }
         self.store = repair.store;
         self.label_terms = label_terms;
         self.deps = deps;
@@ -801,7 +915,9 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
             let bytes = entries * BYTES_PER_ENTRY + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
             if bytes > self.cfg.csr_budget as u128 {
-                self.deps = None; // next run falls back to the full sweep
+                // Next run's scheduling decision degrades to sharded
+                // delta (or, under ShardSpec::Off, to the full sweep).
+                self.deps = None;
             }
         }
         self.has_run = false;
@@ -821,18 +937,19 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.run();
             return;
         }
-        self.ensure_deps();
+        self.ensure_scheduling();
         if let Some(tol) = self.cfg.convergence.approximate_tolerance() {
+            let has_substrate = self.deps.is_some() || self.shards.is_some();
             let (
-                Some(_),
+                true,
                 Some(WarmStart {
                     scores: warm_scores,
                     acc,
                 }),
-            ) = (&self.deps, warm)
+            ) = (has_substrate, warm)
             else {
-                // No CSR (operator without a slot path) or no carried
-                // state: cold approximate run.
+                // No CSR or shard plan (operator without a slot path) or
+                // no carried state: cold approximate run.
                 self.run();
                 return;
             };
@@ -850,30 +967,68 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.scores = warm_scores;
             self.delta_scheduled = true;
             self.trajectory = None;
+            let mut shard_peak = 0usize;
             let outcome = {
                 let Self {
+                    g1,
+                    g2,
                     cfg,
                     op,
+                    labels1,
+                    labels2,
+                    label_eval,
                     store,
                     label_terms,
                     deps,
+                    shards,
                     scores,
                     cur,
                     ..
                 } = self;
-                let csr = deps.as_ref().expect("checked above");
-                run_delta(
-                    cfg,
-                    op,
-                    store,
-                    csr,
-                    label_terms,
-                    scores,
-                    cur,
-                    None,
-                    Some(worklist),
-                    Some(&mut state),
-                )
+                if let Some(shard_state) = shards.as_mut() {
+                    let ctx = OpCtx {
+                        labels1: labels1.as_slice(),
+                        labels2: labels2.as_slice(),
+                        label_eval,
+                        theta: cfg.theta,
+                    };
+                    let (outcome, peak) = run_sharded(
+                        g1,
+                        g2,
+                        &ctx,
+                        cfg,
+                        op,
+                        store,
+                        label_terms,
+                        shard_state,
+                        scores,
+                        cur,
+                        Some(&worklist),
+                        Some(&mut state),
+                    );
+                    shard_peak = peak;
+                    outcome
+                } else {
+                    let csr = deps.as_ref().expect("substrate checked above");
+                    run_delta(
+                        cfg,
+                        op,
+                        store,
+                        csr,
+                        label_terms,
+                        scores,
+                        cur,
+                        None,
+                        Some(worklist),
+                        Some(&mut state),
+                    )
+                }
+            };
+            self.shard_count = self.shards.as_ref().map_or(0, |s| s.plan.k());
+            self.peak_csr_bytes = if self.shards.is_some() {
+                shard_peak
+            } else {
+                self.deps.as_ref().map_or(0, |d| d.bytes())
             };
             self.error_bound = state.error_bound(&self.cfg);
             self.approx_acc = Some(state.acc);
@@ -962,7 +1117,10 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         };
         // An abandoned (over-budget) recording comes back empty.
         self.trajectory = recorded.filter(|h| h.len() >= 2);
-        // Trajectory replay is an exact (bitwise) schedule.
+        // Trajectory replay is an exact (bitwise) schedule over the full
+        // CSR (sharded sessions never record, so they never get here).
+        self.shard_count = 0;
+        self.peak_csr_bytes = self.deps.as_ref().map_or(0, |d| d.bytes());
         self.error_bound = 0.0;
         self.approx_acc = None;
         self.iterations = outcome.iterations;
@@ -1087,10 +1245,39 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
     }
 
     /// Number of entries in the cached pair-dependency CSR, or `None`
-    /// when no CSR is held (full-sweep mode, over-budget estimate, or an
+    /// when no full CSR is held (full-sweep mode, over-budget estimate,
+    /// sharded execution — whose per-shard CSRs are transient — or an
     /// operator without a slot path).
     pub fn dep_entry_count(&self) -> Option<usize> {
         self.deps.as_ref().map(|d| d.entry_count())
+    }
+
+    /// Number of u-row shards the last run executed with, `0` when it ran
+    /// unsharded (see [`ShardSpec`]).
+    ///
+    /// ```
+    /// use fsim_core::{FsimConfig, FsimEngine, ShardSpec, Variant};
+    /// use fsim_graph::graph_from_parts;
+    ///
+    /// let g = graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2)]);
+    /// let cfg = FsimConfig::new(Variant::Simple).shards(ShardSpec::Fixed(2));
+    /// let mut engine = FsimEngine::new(&g, &g, &cfg).unwrap();
+    /// engine.run();
+    /// assert_eq!(engine.shard_count(), 2);
+    /// assert!(engine.peak_csr_bytes() > 0);
+    /// ```
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Peak resident bytes of dependency-CSR structures during the last
+    /// run: the full CSR's footprint for unsharded delta/approximate
+    /// runs, the **largest single shard CSR** built during a sharded run
+    /// (only one is ever resident at a time), `0` for full sweeps. This
+    /// is the quantity the `sharding` bench records to
+    /// `BENCH_sharding.json`.
+    pub fn peak_csr_bytes(&self) -> usize {
+        self.peak_csr_bytes
     }
 
     /// Whether [`run`](Self::run) has produced scores for the current

@@ -1,0 +1,593 @@
+//! Sharded execution: the fixpoint of Equation 3 over **u-row shards**
+//! with boundary exchange, for maintained sets whose pair-dependency CSR
+//! exceeds one memory budget ([`crate::config::ShardSpec`]).
+//!
+//! The candidate store is partitioned into `K` contiguous `u`-row ranges
+//! ([`ShardPlan`]), balanced by the same degree-product entry estimate
+//! `ConvergenceMode::Auto` uses for its budget check. Each iteration of
+//! Algorithm 1 then sweeps the shards one at a time: a shard's dependency
+//! CSR ([`super::deps::ShardCsr`]) is built, its dirty slots are evaluated
+//! against the *global* previous-iteration score buffer, and the CSR is
+//! dropped before the next shard is touched — peak resident CSR memory is
+//! one shard's worth, not the store's (`BENCH_sharding.json` records the
+//! curve). The price is rebuilding each visited shard's entry lists every
+//! sweep instead of once per store.
+//!
+//! **Boundary exchange.** Cross-shard dependencies are not materialized as
+//! a reverse CSR (that alone would be `O(total entries)` resident — the
+//! memory the mode exists to avoid). Instead the [`BoundaryTable`] keeps,
+//! per slot, a `u64` mask of the shards whose dependency lists read it
+//! (filled as a byproduct of the first full sweep's shard builds), and the
+//! driver carries the previous iteration's **frontier** — the changed
+//! slots and their score deltas — across shard visits. A sweep visits a
+//! shard only if some changed slot's mask names it; within a visited
+//! shard, a slot is re-evaluated exactly when one of its forward entries
+//! references a changed slot. That is the same "dependents of the changed
+//! set" rule the unsharded dirty scheduler applies through its reverse
+//! CSR, so **sharded exact execution is bitwise identical to unsharded**
+//! — scores, iteration counts, deltas and per-iteration evaluation counts
+//! (`tests/sharded_convergence.rs` property-checks this across variants ×
+//! θ × pruning × threads × K).
+//!
+//! **Approximate scheduling** works within shards through the same
+//! frontier: instead of pushing suppressed deltas through a reverse CSR
+//! ([`ApproxState::bump`]), the driver *pulls* them — when a shard is
+//! visited, each slot folds the maximum delta among its changed
+//! dependencies into its accumulator and is woken once the accumulator
+//! crosses the threshold. The fold happens exactly one iteration after
+//! the delta was produced, the accumulator resets only on evaluation, and
+//! a final fold pass covers the terminating iteration's deltas — the same
+//! invariants as the unsharded accounting, so the certified error bound
+//! of [`ApproxState::error_bound`] holds unchanged.
+
+use super::deps::ShardCsr;
+use super::iterate::{effective_threads, ApproxState};
+use super::parallel::{eval_worklist_parallel, IterationOutcome};
+use crate::config::{FsimConfig, ShardSpec};
+use crate::operators::{DepEntry, OpCtx, OpScratch, Operator};
+use crate::store::PairStore;
+use fsim_graph::Graph;
+
+/// Partition of the candidate store's slots into contiguous u-row ranges,
+/// balanced by the per-row degree-product entry estimate. Rows are never
+/// split: a shard boundary always coincides with a change of `u`, so "the
+/// shards containing a dirty row" is a well-defined repair unit.
+///
+/// Valid exactly as long as the store's slot numbering (it is dropped
+/// with the store, and on any edit that changes pair membership).
+pub(crate) struct ShardPlan {
+    /// Shard `s` owns global slots `bounds[s]..bounds[s + 1]`
+    /// (length `k + 1`).
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Builds a plan with at most `k` shards (fewer when the store has
+    /// fewer distinct `u`-rows than `k`), cutting at row boundaries so
+    /// each shard's estimated dependency entries approach an equal share.
+    ///
+    /// The cut rule is adaptive: at every row boundary the target is
+    /// `remaining weight / remaining shards`, and the boundary is taken
+    /// as soon as adding half of the next row would overshoot it — so a
+    /// single heavy row early in the store cannot drag every later cut
+    /// off its mark, and the heaviest shard stays close to the heaviest
+    /// single row (rows are never split).
+    pub(crate) fn build(g1: &Graph, g2: &Graph, store: &PairStore, k: usize) -> Self {
+        let n = store.len();
+        let k = k.clamp(1, FsimConfig::MAX_SHARDS);
+        let mut total: u128 = 0;
+        let weights: Vec<u64> = store
+            .pairs
+            .iter()
+            .map(|&(u, v)| {
+                // The slot's estimated entry count (cf.
+                // `candidates::estimated_dep_entries`), plus one so
+                // isolated pairs still carry weight.
+                let w = g1.out_degree(u) as u64 * g2.out_degree(v) as u64
+                    + g1.in_degree(u) as u64 * g2.in_degree(v) as u64
+                    + 1;
+                total += w as u128;
+                w
+            })
+            .collect();
+        // Per-row prefix: (first slot, row weight).
+        let mut rows: Vec<(usize, u128)> = Vec::new();
+        for (slot, &w) in weights.iter().enumerate() {
+            if slot == 0 || store.pairs[slot].0 != store.pairs[slot - 1].0 {
+                rows.push((slot, 0));
+            }
+            rows.last_mut().expect("pushed above").1 += w as u128;
+        }
+        let mut bounds = vec![0usize];
+        let mut remaining = total;
+        let mut shards_left = k as u128;
+        let mut acc: u128 = 0;
+        for &(first_slot, row_w) in &rows {
+            if shards_left > 1 && acc > 0 {
+                let target = remaining / shards_left;
+                if acc + row_w / 2 > target {
+                    bounds.push(first_slot);
+                    remaining -= acc;
+                    shards_left -= 1;
+                    acc = 0;
+                }
+            }
+            acc += row_w;
+        }
+        bounds.push(n);
+        Self { bounds }
+    }
+
+    /// Number of shards.
+    pub(crate) fn k(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Global slot range of shard `s`.
+    pub(crate) fn range(&self, s: usize) -> (usize, usize) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// The shard owning a global slot.
+    pub(crate) fn shard_of(&self, slot: usize) -> usize {
+        self.bounds.partition_point(|&b| b <= slot) - 1
+    }
+}
+
+/// The boundary-exchange table: for each slot, the set of shards whose
+/// dependency lists read it, as a `u64` bitmask (hence
+/// [`FsimConfig::MAX_SHARDS`] = 64). Together with the per-iteration
+/// changed-slot frontier this is the cross-shard half of dirty
+/// scheduling: a changed slot's mask names exactly the shards that must
+/// be visited next sweep.
+///
+/// Masks are filled as a byproduct of shard-CSR builds during a sweep
+/// that visits *every* shard (the first sweep of a run, or the first
+/// after [`reset`](Self::reset)); until then `complete` is `false` and
+/// the driver conservatively visits all shards. Masks may safely be a
+/// *superset* of the true reader sets — extra bits cost an unnecessary
+/// shard visit that evaluates nothing, missing bits would break bitwise
+/// identity — which is why any edit that re-derives dependency entries
+/// resets the table.
+pub(crate) struct BoundaryTable {
+    read_by: Vec<u64>,
+    complete: bool,
+}
+
+impl BoundaryTable {
+    fn new(n: usize) -> Self {
+        Self {
+            read_by: vec![0; n],
+            complete: false,
+        }
+    }
+
+    /// Invalidates the masks (dependency entries changed under the same
+    /// slot numbering); the next run's first sweep rebuilds them.
+    pub(crate) fn reset(&mut self) {
+        self.read_by.iter_mut().for_each(|m| *m = 0);
+        self.complete = false;
+    }
+}
+
+/// The session-cached sharded-execution state: the u-row plan plus the
+/// boundary-exchange table. Mutually exclusive with the full
+/// `PairDepCsr` cache and invalidated with the store, like it.
+pub(crate) struct ShardState {
+    pub(crate) plan: ShardPlan,
+    pub(crate) boundary: BoundaryTable,
+    /// The shard count this state was requested with (the `Fixed(k)` /
+    /// auto-chosen `k` before row clamping) — the session's cache key.
+    pub(crate) requested: usize,
+}
+
+impl ShardState {
+    pub(crate) fn new(g1: &Graph, g2: &Graph, store: &PairStore, requested: usize) -> Self {
+        let plan = ShardPlan::build(g1, g2, store, requested);
+        let boundary = BoundaryTable::new(store.len());
+        Self {
+            plan,
+            boundary,
+            requested,
+        }
+    }
+}
+
+/// A bitmask selecting all `k` shards.
+fn full_mask(k: usize) -> u64 {
+    debug_assert!((1..=64).contains(&k));
+    u64::MAX >> (64 - k)
+}
+
+/// Iterates Equation 3 to convergence shard-by-shard (see the module
+/// docs). `scores` holds `FSim⁰` (or, warm-started, a carried iterate) on
+/// entry and the final scores on exit; `cur` is the reusable double
+/// buffer. `initial_worklist` replaces the evaluate-everything first
+/// sweep (the approximate edit warm restart); `approx` switches on
+/// ε-aware scheduling exactly as in
+/// [`run_delta`](super::iterate::run_delta).
+///
+/// Returns the outcome plus the **peak resident shard-CSR bytes** — the
+/// largest single shard structure held at any point of the run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    store: &PairStore,
+    label_terms: &[f64],
+    state: &mut ShardState,
+    scores: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    initial_worklist: Option<&[u32]>,
+    mut approx: Option<&mut ApproxState>,
+) -> (IterationOutcome, usize) {
+    let n = store.len();
+    debug_assert_eq!(scores.len(), n);
+    cur.clear();
+    cur.resize(n, 0.0);
+    let k = state.plan.k();
+    let max_iters = cfg.effective_max_iters();
+    if initial_worklist.is_some() {
+        // Warm start: slots outside the worklist must read through the
+        // double buffer as-is.
+        cur.copy_from_slice(scores);
+    }
+    let warm_on: Option<Vec<bool>> = initial_worklist.map(|wl| {
+        let mut on = vec![false; n];
+        for &s in wl {
+            on[s as usize] = true;
+        }
+        on
+    });
+
+    // The boundary frontier: C_{k−1} as a list + epoch marks, and each
+    // changed slot's last score delta (read by the approximate pull).
+    let mut changed: Vec<u32> = Vec::new();
+    let mut next_changed: Vec<u32> = Vec::new();
+    let mut mark: Vec<u64> = vec![0; n];
+    let mut epoch = 0u64;
+    let mut delta_of: Vec<f64> = vec![0.0; n];
+
+    let mut local_wl: Vec<u32> = Vec::new();
+    let mut eval_out: Vec<f64> = Vec::new();
+    let mut scratch = OpScratch::new();
+    let mut peak_bytes = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut final_delta = f64::INFINITY;
+    let mut pairs_evaluated = Vec::new();
+
+    while iterations < max_iters {
+        let first = iterations == 0;
+        let filling_masks = !state.boundary.complete;
+        // Shards to visit: all of them while the masks are incomplete or
+        // on a cold first sweep; the union of the changed frontier's
+        // reader masks afterwards. A warm first sweep visits only the
+        // shards owning worklist slots.
+        let visit: u64 = if filling_masks {
+            full_mask(k)
+        } else if first {
+            match initial_worklist {
+                Some(wl) => {
+                    let mut m = 0u64;
+                    for &s in wl {
+                        m |= 1u64 << state.plan.shard_of(s as usize);
+                    }
+                    m
+                }
+                None => full_mask(k),
+            }
+        } else {
+            let mut m = 0u64;
+            for &c in &changed {
+                m |= state.boundary.read_by[c as usize];
+            }
+            m
+        };
+
+        // Publish C_{k−1} membership and repair the double buffer: a slot
+        // that changed last iteration but is not re-evaluated now still
+        // holds its two-iterations-old value in `cur` (evaluated slots
+        // overwrite their copy below) — exactly `run_delta`'s repair.
+        epoch += 1;
+        for &c in &changed {
+            mark[c as usize] = epoch;
+            cur[c as usize] = scores[c as usize];
+        }
+
+        let mut delta = 0.0f64;
+        let mut evaluated = 0usize;
+        next_changed.clear();
+        for shard in 0..k {
+            if visit & (1u64 << shard) == 0 {
+                continue;
+            }
+            let (lo, hi) = state.plan.range(shard);
+            if lo == hi {
+                continue;
+            }
+            let csr = ShardCsr::build(g1, g2, ctx, store, op, lo, hi);
+            peak_bytes = peak_bytes.max(csr.bytes());
+            if filling_masks {
+                for slot in lo..hi {
+                    for e in csr.deps_of(slot) {
+                        if e.slot != DepEntry::CONST {
+                            state.boundary.read_by[e.slot as usize] |= 1u64 << shard;
+                        }
+                    }
+                }
+            }
+
+            // The shard's local worklist for this sweep.
+            local_wl.clear();
+            if first {
+                match &warm_on {
+                    Some(on) => {
+                        local_wl.extend((lo..hi).filter(|&s| on[s]).map(|s| s as u32));
+                    }
+                    None => local_wl.extend(lo as u32..hi as u32),
+                }
+            } else if let Some(ap) = approx.as_deref_mut() {
+                // ε-aware pull: fold the frontier's deltas into each
+                // slot's accumulator; wake it on a threshold crossing
+                // (the accumulator resets on evaluation below).
+                for slot in lo..hi {
+                    let mut m = 0.0f64;
+                    for e in csr.deps_of(slot) {
+                        if e.slot != DepEntry::CONST && mark[e.slot as usize] == epoch {
+                            let d = delta_of[e.slot as usize];
+                            if d > m {
+                                m = d;
+                            }
+                        }
+                    }
+                    let pending = ap.acc[slot] + m;
+                    if pending > ap.threshold {
+                        local_wl.push(slot as u32);
+                    } else {
+                        ap.acc[slot] = pending;
+                    }
+                }
+            } else {
+                // Exact: re-evaluate exactly the dependents of C_{k−1}.
+                for slot in lo..hi {
+                    let dirty = csr
+                        .deps_of(slot)
+                        .any(|e| e.slot != DepEntry::CONST && mark[e.slot as usize] == epoch);
+                    if dirty {
+                        local_wl.push(slot as u32);
+                    }
+                }
+            }
+
+            // Evaluate the worklist (Jacobi: pure reads of `scores`,
+            // disjoint writes of `cur` — thread count cannot change any
+            // bit).
+            let threads = effective_threads(cfg.threads, local_wl.len());
+            if threads > 1 {
+                eval_out.clear();
+                eval_out.resize(local_wl.len(), 0.0);
+                eval_worklist_parallel(threads, &local_wl, scores, &mut eval_out, || {
+                    let csr = &csr;
+                    let mut scratch = OpScratch::new();
+                    move |slot: usize, prev: &[f64]| {
+                        csr.eval_slot(cfg, op, store, slot, prev, &mut scratch, label_terms[slot])
+                    }
+                });
+                for (i, &slot_id) in local_wl.iter().enumerate() {
+                    let slot = slot_id as usize;
+                    let s = eval_out[i];
+                    let d = (s - scores[slot]).abs();
+                    if d > delta {
+                        delta = d;
+                    }
+                    if s.to_bits() != scores[slot].to_bits() {
+                        next_changed.push(slot_id);
+                        delta_of[slot] = d;
+                    }
+                    cur[slot] = s;
+                    if let Some(ap) = approx.as_deref_mut() {
+                        ap.acc[slot] = 0.0;
+                    }
+                }
+            } else {
+                for &slot_id in &local_wl {
+                    let slot = slot_id as usize;
+                    let s = csr.eval_slot(
+                        cfg,
+                        op,
+                        store,
+                        slot,
+                        scores,
+                        &mut scratch,
+                        label_terms[slot],
+                    );
+                    let d = (s - scores[slot]).abs();
+                    if d > delta {
+                        delta = d;
+                    }
+                    if s.to_bits() != scores[slot].to_bits() {
+                        next_changed.push(slot_id);
+                        delta_of[slot] = d;
+                    }
+                    cur[slot] = s;
+                    if let Some(ap) = approx.as_deref_mut() {
+                        ap.acc[slot] = 0.0;
+                    }
+                }
+            }
+            evaluated += local_wl.len();
+            // `csr` drops here: only one shard's CSR is ever resident.
+        }
+        if filling_masks {
+            // Every shard was visited, so every dependency contributed
+            // its reader bit.
+            state.boundary.complete = true;
+        }
+
+        pairs_evaluated.push(evaluated);
+        std::mem::swap(scores, cur);
+        std::mem::swap(&mut changed, &mut next_changed);
+        final_delta = delta;
+        iterations += 1;
+        let stop = match approx.as_deref() {
+            Some(ap) => ap.stop_delta,
+            None => cfg.epsilon,
+        };
+        if delta < stop {
+            converged = true;
+            break;
+        }
+    }
+
+    // Approximate runs: the terminating iteration's deltas have not been
+    // folded yet (the pull happens one sweep later, which never runs).
+    // One scan pass — builds, no evaluations, no resets — charges them to
+    // the accumulators so the reported bound certifies the returned
+    // scores, mirroring the unsharded rule that propagation runs even on
+    // the converging iteration.
+    if let Some(ap) = approx {
+        if !changed.is_empty() {
+            epoch += 1;
+            for &c in &changed {
+                mark[c as usize] = epoch;
+            }
+            let visit = if state.boundary.complete {
+                let mut m = 0u64;
+                for &c in &changed {
+                    m |= state.boundary.read_by[c as usize];
+                }
+                m
+            } else {
+                full_mask(k)
+            };
+            for shard in 0..k {
+                if visit & (1u64 << shard) == 0 {
+                    continue;
+                }
+                let (lo, hi) = state.plan.range(shard);
+                if lo == hi {
+                    continue;
+                }
+                let csr = ShardCsr::build(g1, g2, ctx, store, op, lo, hi);
+                peak_bytes = peak_bytes.max(csr.bytes());
+                for slot in lo..hi {
+                    let mut m = 0.0f64;
+                    for e in csr.deps_of(slot) {
+                        if e.slot != DepEntry::CONST && mark[e.slot as usize] == epoch {
+                            let d = delta_of[e.slot as usize];
+                            if d > m {
+                                m = d;
+                            }
+                        }
+                    }
+                    ap.acc[slot] += m;
+                }
+            }
+        }
+    }
+
+    (
+        IterationOutcome {
+            iterations,
+            converged,
+            final_delta,
+            pairs_evaluated,
+        },
+        peak_bytes,
+    )
+}
+
+/// Resolves the shard count an auto-sharded session should use for an
+/// estimated CSR footprint: the smallest `K` whose per-shard share fits
+/// the budget, clamped to `2..=MAX_SHARDS` (a zero budget degrades to the
+/// maximum — best effort rather than refusal).
+pub(crate) fn auto_shard_count(estimated_bytes: u128, budget: usize) -> usize {
+    if budget == 0 {
+        return FsimConfig::MAX_SHARDS;
+    }
+    estimated_bytes
+        .div_ceil(budget as u128)
+        .clamp(2, FsimConfig::MAX_SHARDS as u128) as usize
+}
+
+/// Whether a configuration *forces* sharded execution regardless of the
+/// budget (the `Fixed(k)` opt-in).
+pub(crate) fn forced_shards(cfg: &FsimConfig) -> Option<usize> {
+    match cfg.shards {
+        ShardSpec::Fixed(k) => Some(k),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::operators::VariantOp;
+    use fsim_graph::graph_from_parts;
+    use fsim_labels::LabelFn;
+
+    fn setup() -> (Graph, Graph, FsimConfig) {
+        let g1 = graph_from_parts(&["a", "b", "a", "b"], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g2 = graph_from_parts(&["a", "b", "b"], &[(0, 1), (1, 2), (2, 0)]);
+        let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+        (g1, g2, cfg)
+    }
+
+    #[test]
+    fn plan_cuts_at_row_boundaries_and_covers_every_slot() {
+        let (g1, g2, cfg) = setup();
+        let aligned = super::super::session::AlignedLabels::new(&g1, &g2);
+        let eval = super::super::session::build_label_eval(&cfg, &aligned.interner);
+        let ctx = OpCtx {
+            labels1: &aligned.labels1,
+            labels2: &aligned.labels2,
+            label_eval: &eval,
+            theta: cfg.theta,
+        };
+        let op = VariantOp::new(cfg.variant);
+        let store = crate::candidates::enumerate_candidates(&g1, &g2, &ctx, &cfg, &op);
+        for k in [1, 2, 3, 64] {
+            let plan = ShardPlan::build(&g1, &g2, &store, k);
+            assert!(plan.k() >= 1 && plan.k() <= k);
+            let mut covered = 0;
+            for s in 0..plan.k() {
+                let (lo, hi) = plan.range(s);
+                assert!(lo <= hi);
+                covered += hi - lo;
+                // Row-boundary invariant: a shard never splits a u-row.
+                if lo > 0 && lo < store.len() {
+                    assert_ne!(
+                        store.pairs[lo - 1].0,
+                        store.pairs[lo].0,
+                        "k={k} shard {s} splits a row"
+                    );
+                }
+                for slot in lo..hi {
+                    assert_eq!(plan.shard_of(slot), s, "k={k}");
+                }
+            }
+            assert_eq!(covered, store.len(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn auto_shard_count_fits_the_budget() {
+        assert_eq!(auto_shard_count(100, 100), 2, "oversized callers shard");
+        assert_eq!(auto_shard_count(1000, 100), 10);
+        assert_eq!(auto_shard_count(1001, 100), 11);
+        assert_eq!(auto_shard_count(u128::MAX, 100), FsimConfig::MAX_SHARDS);
+        assert_eq!(auto_shard_count(1000, 0), FsimConfig::MAX_SHARDS);
+    }
+
+    #[test]
+    fn full_mask_selects_exactly_k_shards() {
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+}

@@ -51,7 +51,7 @@ pub mod store;
 pub mod topk;
 
 pub use config::{
-    ConfigError, ConvergenceMode, FsimConfig, InitScheme, LabelTermMode, MatcherKind,
+    ConfigError, ConvergenceMode, FsimConfig, InitScheme, LabelTermMode, MatcherKind, ShardSpec,
     UpperBoundPruning, Variant,
 };
 pub use engine::{

@@ -28,6 +28,7 @@ pub fn simrank_config(c: f64, epsilon: f64) -> FsimConfig {
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: true,
         convergence: crate::config::ConvergenceMode::Auto,
+        shards: crate::config::ShardSpec::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
         trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
     }
@@ -67,6 +68,7 @@ pub fn rolesim_via_framework(g: &Graph, beta: f64, epsilon: f64) -> FsimResult {
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: false,
         convergence: crate::config::ConvergenceMode::Auto,
+        shards: crate::config::ShardSpec::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
         trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
     };
@@ -124,6 +126,7 @@ pub fn kbisim_config(k: usize) -> FsimConfig {
         matcher: crate::config::MatcherKind::Greedy,
         pin_identical: false,
         convergence: crate::config::ConvergenceMode::Auto,
+        shards: crate::config::ShardSpec::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
         trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
     }

@@ -75,6 +75,30 @@ impl FsimResult {
     /// share. The bound is certified for 1-Lipschitz mapping operators
     /// (row-max, Hungarian); the greedy matcher can step outside it at
     /// sort ties.
+    ///
+    /// ```
+    /// use fsim_core::{compute, ConvergenceMode, FsimConfig, Variant};
+    /// use fsim_graph::graph_from_parts;
+    /// use fsim_labels::LabelFn;
+    ///
+    /// let g = graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2), (2, 0)]);
+    /// let base = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    /// let exact = compute(&g, &g, &base).unwrap();
+    /// assert_eq!(exact.error_bound(), 0.0); // exact modes certify zero
+    ///
+    /// let approx = compute(
+    ///     &g,
+    ///     &g,
+    ///     &base.convergence(ConvergenceMode::Approximate { tolerance: 1.0 }),
+    /// )
+    /// .unwrap();
+    /// let bound = approx.error_bound();
+    /// assert!(bound.is_finite() && bound > 0.0);
+    /// // The observed deviation from the exact scores stays within it.
+    /// for (a, b) in exact.iter_pairs().zip(approx.iter_pairs()) {
+    ///     assert!((a.2 - b.2).abs() <= bound);
+    /// }
+    /// ```
     pub fn error_bound(&self) -> f64 {
         self.error_bound
     }
@@ -83,6 +107,21 @@ impl FsimResult {
     /// full sweep, the dirty-worklist length under delta-driven
     /// scheduling — the work saved by dirty scheduling is
     /// `|H| · iterations − total_pairs_evaluated()`.
+    ///
+    /// ```
+    /// use fsim_core::{compute, ConvergenceMode, FsimConfig, Variant};
+    /// use fsim_graph::graph_from_parts;
+    /// use fsim_labels::LabelFn;
+    ///
+    /// let g = graph_from_parts(&["a", "b", "b"], &[(0, 1), (1, 2), (2, 0)]);
+    /// let cfg = FsimConfig::new(Variant::Simple)
+    ///     .label_fn(LabelFn::Indicator)
+    ///     .convergence(ConvergenceMode::DeltaDriven);
+    /// let r = compute(&g, &g, &cfg).unwrap();
+    /// assert_eq!(r.pairs_evaluated().len(), r.iterations);
+    /// assert_eq!(r.pairs_evaluated()[0], r.pair_count()); // iteration 1 is full
+    /// assert!(r.pairs_evaluated().iter().all(|&w| w <= r.pair_count()));
+    /// ```
     pub fn pairs_evaluated(&self) -> &[usize] {
         &self.pairs_evaluated
     }

@@ -5,10 +5,10 @@
 //! fsim generate --dataset NELL [--scale F] [--seed S] [-o out.txt]
 //! fsim score <g1> <g2> [--variant s|dp|b|bj] [--theta T] [--threads N]
 //!            [--convergence auto|sweep|delta|approx] [--tolerance T]
-//!            [--pair U,V]... [--top K]
+//!            [--shards N|auto|off] [--pair U,V]... [--top K]
 //! fsim update <g1> [g2] --script FILE [--variant V] [--theta T]
 //!             [--threads N] [--convergence MODE] [--tolerance T]
-//!             [--verify] [--top K]
+//!             [--shards N|auto|off] [--verify] [--top K]
 //! fsim exact <g1> <g2> [--variant s|dp|b|bj] [--pair U,V]...
 //! fsim topk <graph> [-k K] [--variant s|dp|b|bj]
 //! fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]
@@ -20,7 +20,7 @@
 //! `relabel SIDE NODE LABEL` (SIDE is `1` or `2`), with `flush` applying
 //! the batch accumulated so far; a trailing batch is flushed implicitly.
 
-use fsim::core::{top_k_search, ConvergenceMode, FsimConfig, Variant};
+use fsim::core::{top_k_search, ConvergenceMode, FsimConfig, ShardSpec, Variant};
 use fsim::prelude::*;
 use std::process::exit;
 use std::time::Instant;
@@ -57,8 +57,8 @@ fn usage() {
          commands:\n  \
          stats <graph>                                  print graph statistics\n  \
          generate --dataset NAME [--scale F] [--seed S] [-o FILE]\n  \
-         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--convergence auto|sweep|delta|approx] [--tolerance T] [--pair U,V]... [--top K]\n  \
-         update <g1> [g2] --script FILE [--variant V] [--theta T] [--threads N] [--convergence MODE] [--tolerance T] [--verify] [--top K]\n  \
+         score <g1> <g2> [--variant V] [--theta T] [--threads N] [--convergence auto|sweep|delta|approx] [--tolerance T] [--shards N|auto|off] [--pair U,V]... [--top K]\n  \
+         update <g1> [g2] --script FILE [--variant V] [--theta T] [--threads N] [--convergence MODE] [--tolerance T] [--shards N|auto|off] [--verify] [--top K]\n  \
          exact <g1> <g2> [--variant V] [--pair U,V]...\n  \
          topk <graph> [-k K] [--variant V]\n  \
          align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]"
@@ -180,6 +180,16 @@ fn build_config(a: &Args<'_>) -> Result<FsimConfig, String> {
     if a.flag("tolerance").is_some() && cfg.convergence.approximate_tolerance().is_none() {
         return Err("--tolerance requires --convergence approx".into());
     }
+    if let Some(s) = a.flag("shards") {
+        cfg.shards = match s {
+            "auto" => ShardSpec::Auto,
+            "off" => ShardSpec::Off,
+            n => ShardSpec::Fixed(
+                n.parse()
+                    .map_err(|_| format!("bad --shards {n:?} (want N|auto|off)"))?,
+            ),
+        };
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -242,6 +252,13 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
         },
         engine.pairs_evaluated().iter().sum::<usize>(),
     );
+    if engine.shard_count() > 0 {
+        eprintln!(
+            "sharded: {} u-row shards, peak resident CSR {} bytes",
+            engine.shard_count(),
+            engine.peak_csr_bytes(),
+        );
+    }
     if cfg.convergence.approximate_tolerance().is_some() {
         eprintln!(
             "approximate mode: certified max score error {:.3e}",
@@ -372,6 +389,13 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
             " (no trajectory: edits will re-iterate cold)"
         },
     );
+    if engine.shard_count() > 0 {
+        eprintln!(
+            "sharded: {} u-row shards, peak resident CSR {} bytes",
+            engine.shard_count(),
+            engine.peak_csr_bytes(),
+        );
+    }
 
     let mut batch: Vec<fsim::core::GraphEdit> = Vec::new();
     let mut batch_no = 0usize;

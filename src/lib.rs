@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::exact_variant;
     pub use fsim_core::{
         compute, score_on_demand, ConvergenceMode, EditError, FsimConfig, FsimResult, GraphEdit,
-        GraphSide, InitScheme, LabelTermMode, MatcherKind, Variant,
+        GraphSide, InitScheme, LabelTermMode, MatcherKind, ShardSpec, Variant,
     };
     pub use fsim_exact::{simulates, simulation_relation, ExactVariant};
     pub use fsim_graph::{Graph, GraphBuilder, GraphStats, LabelId, LabelInterner, NodeId};

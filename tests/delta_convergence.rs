@@ -212,10 +212,14 @@ fn delta_saves_work_on_multi_iteration_runs() {
     );
 }
 
-/// `Auto` with a zero budget falls back to the sweep; with the default
-/// budget it schedules delta — and both land on identical scores.
+/// `Auto` convergence with an over-budget estimate degrades to **sharded**
+/// delta execution (peak resident CSR = one shard) rather than the full
+/// sweep; `ShardSpec::Off` restores the pre-sharding sweep fallback; the
+/// default budget stays unsharded — and all three land on identical
+/// scores.
 #[test]
 fn auto_mode_respects_the_memory_budget() {
+    use fsim_core::ShardSpec;
     let mut rng = ChaCha8Rng::seed_from_u64(8505);
     let (g1, g2) = arb_graph_pair(&mut rng, 7);
     let base = FsimConfig::new(Variant::Bijective).label_fn(LabelFn::Indicator);
@@ -223,10 +227,28 @@ fn auto_mode_respects_the_memory_budget() {
     let mut starved = FsimEngine::new(&g1, &g2, &base.clone().csr_budget(0)).unwrap();
     starved.run();
     assert!(
-        !starved.delta_scheduled(),
-        "zero budget must fall back to the sweep"
+        starved.delta_scheduled(),
+        "zero budget must degrade to sharded delta scheduling"
     );
-    assert_eq!(starved.dep_entry_count(), None);
+    assert!(
+        starved.shard_count() > 0,
+        "zero budget under ShardSpec::Auto must shard"
+    );
+    assert_eq!(
+        starved.dep_entry_count(),
+        None,
+        "sharded execution must not hold the full CSR"
+    );
+
+    let mut opted_out =
+        FsimEngine::new(&g1, &g2, &base.clone().csr_budget(0).shards(ShardSpec::Off)).unwrap();
+    opted_out.run();
+    assert!(
+        !opted_out.delta_scheduled(),
+        "zero budget with sharding off must fall back to the sweep"
+    );
+    assert_eq!(opted_out.dep_entry_count(), None);
+    assert_eq!(opted_out.shard_count(), 0);
 
     let mut roomy = FsimEngine::new(&g1, &g2, &base).unwrap();
     roomy.run();
@@ -234,10 +256,18 @@ fn auto_mode_respects_the_memory_budget() {
         roomy.delta_scheduled(),
         "default budget must fit a toy graph's CSR"
     );
+    assert_eq!(roomy.shard_count(), 0, "a fitting workload stays unsharded");
+
     for ((u1, v1, s1), (u2, v2, s2)) in starved.iter_pairs().zip(roomy.iter_pairs()) {
         assert_eq!((u1, v1), (u2, v2));
-        assert_eq!(s1.to_bits(), s2.to_bits(), "budget fallback diverged");
+        assert_eq!(s1.to_bits(), s2.to_bits(), "sharded degrade diverged");
     }
+    for ((u1, v1, s1), (u2, v2, s2)) in opted_out.iter_pairs().zip(roomy.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2));
+        assert_eq!(s1.to_bits(), s2.to_bits(), "sweep fallback diverged");
+    }
+    assert_eq!(starved.iterations(), roomy.iterations());
+    assert_eq!(starved.pairs_evaluated(), roomy.pairs_evaluated());
 }
 
 /// Reruns that keep the store keep the CSR; reruns that rebuild the store

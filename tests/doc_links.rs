@@ -1,0 +1,117 @@
+//! Intra-repository documentation link checker: every relative Markdown
+//! link in `README.md` and `docs/*.md` must point at a file (or
+//! directory) that exists, so doc links cannot rot as the tree moves.
+//! CI runs this as a dedicated step (`cargo test --test doc_links`) next
+//! to the test suite.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts `[label](target)` link targets from Markdown text, skipping
+/// fenced code blocks and inline code spans (Rust code full of `[i](x)`
+/// indexing would otherwise false-positive).
+fn extract_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Strip inline code spans, then scan for "](target)".
+        let mut stripped = String::with_capacity(line.len());
+        let mut in_code = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                stripped.push(ch);
+            }
+        }
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(end) = stripped[i + 2..].find(')') {
+                    links.push(stripped[i + 2..i + 2 + end].to_string());
+                    i += 2 + end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// Whether a link target is an intra-repository path (as opposed to an
+/// external URL, a pure fragment, or a mail address).
+fn is_relative(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty())
+}
+
+fn check_file(doc: &Path, broken: &mut Vec<String>) {
+    let text = std::fs::read_to_string(doc).unwrap_or_else(|e| panic!("{doc:?}: {e}"));
+    let base = doc.parent().expect("doc has a parent directory");
+    for target in extract_links(&text) {
+        if !is_relative(&target) {
+            continue;
+        }
+        // Drop any #fragment; resolve relative to the doc's directory.
+        let path_part = target.split('#').next().expect("split is non-empty");
+        if path_part.is_empty() {
+            continue;
+        }
+        let resolved = base.join(path_part);
+        if !resolved.exists() {
+            broken.push(format!("{}: broken link -> {target}", doc.display()));
+        }
+    }
+}
+
+#[test]
+fn intra_repo_doc_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![root.join("README.md")];
+    let docs_dir = root.join("docs");
+    let entries = std::fs::read_dir(&docs_dir).expect("docs/ directory exists");
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push(path);
+        }
+    }
+    assert!(
+        docs.len() >= 4,
+        "expected README + at least 3 docs/*.md files, found {docs:?}"
+    );
+    let mut broken = Vec::new();
+    for doc in &docs {
+        check_file(doc, &mut broken);
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo doc links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_handles_code_and_fragments() {
+    let md = "see [a](docs/A.md) and [b](https://x.y)\n\
+              ```rust\nlet v = arr[i](j);\n```\n\
+              inline `[c](d)` is skipped, [frag](#sec) too, [e](B.md#top) kept";
+    let links = extract_links(md);
+    assert_eq!(links, vec!["docs/A.md", "https://x.y", "#sec", "B.md#top"]);
+    assert!(is_relative("docs/A.md"));
+    assert!(is_relative("B.md#top"));
+    assert!(!is_relative("https://x.y"));
+    assert!(!is_relative("#sec"));
+}
