@@ -8,7 +8,7 @@
 //! this bench also **emits `BENCH_convergence.json` at the repository
 //! root** so the perf trajectory is recorded across PRs.
 
-use fsim_core::{compute, ConvergenceMode, FsimConfig, FsimEngine, Variant};
+use fsim_core::{compute, force_scalar_kernel, ConvergenceMode, FsimConfig, FsimEngine, Variant};
 use fsim_datasets::DatasetSpec;
 use fsim_graph::Graph;
 use fsim_labels::LabelFn;
@@ -27,7 +27,33 @@ struct Row {
     cold_delta_s: f64,
     warm_sweep_s: f64,
     warm_delta_s: f64,
+    /// Warm delta rerun on the persistent 4-worker runtime: dominated by
+    /// the late tiny worklists, i.e. by dispatch overhead and chunking
+    /// (the worklist-scaled cursor chunk; see `docs/BENCHMARKS.md`).
+    warm_delta_par4_s: f64,
+    /// Aggregate pair evaluations per second of the warm runs.
+    warm_sweep_pps: f64,
+    warm_delta_pps: f64,
+    warm_delta_par4_pps: f64,
+    /// Per-iteration throughput of the warm delta run (evaluations that
+    /// iteration / that iteration's wall clock).
+    delta_pps_per_iteration: Vec<f64>,
+    /// FNV-1a hash of the exact scores (slots + bits) — compared across
+    /// builds (e.g. `simd` feature on vs off) by the CI smoke.
+    score_hash: u64,
+    kernel: KernelRow,
     approx: ApproxRow,
+}
+
+/// Scalar-reference vs vectorized engine strategy on the full-sweep
+/// workload (same config, same thread count — only the process-wide
+/// [`force_scalar_kernel`] toggle differs).
+struct KernelRow {
+    scalar_warm_s: f64,
+    vectorized_warm_s: f64,
+    speedup: f64,
+    scalar_pps: f64,
+    vectorized_pps: f64,
 }
 
 /// The approximate-mode measurements of one workload.
@@ -39,6 +65,7 @@ struct ApproxRow {
     max_error: f64,
     error_bound: f64,
     warm_s: f64,
+    pps: f64,
 }
 
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -79,6 +106,26 @@ fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) ->
         delta.run();
     });
 
+    // The same delta rerun on the persistent runtime: late iterations
+    // shrink the worklist to a few thousand slots, so this measures the
+    // dispatch + chunking overhead more than the arithmetic.
+    let par_cfg = delta_cfg.clone().threads(4);
+    let mut delta_par = FsimEngine::new(g1, g2, &par_cfg).expect("valid config");
+    delta_par.run();
+    let warm_delta_par4_s = best_of(reps, || {
+        delta_par.run();
+    });
+    let warm_delta_par4_pps = delta_par.pairs_per_second().unwrap_or(0.0);
+    for ((u1, v1, s1), (u2, v2, s2)) in delta_par.iter_pairs().zip(delta.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2), "{name}: parallel pair order diverged");
+        assert_eq!(
+            s1.to_bits(),
+            s2.to_bits(),
+            "{name}: parallel delta diverged at ({u1},{v1})"
+        );
+    }
+    drop(delta_par);
+
     // Sanity: the two schedules must agree bitwise — a bench that measures
     // a wrong answer measures nothing.
     for ((u1, v1, s1), (u2, v2, s2)) in sweep.iter_pairs().zip(delta.iter_pairs()) {
@@ -90,6 +137,51 @@ fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) ->
         );
     }
     assert_eq!(sweep.iterations(), delta.iterations(), "{name}: iterations");
+
+    // Kernel A/B: the scalar reference strategy (pre-vectorization
+    // on-the-fly sweep) against the default vectorized strategy
+    // (CSR-routed sweep), same config and thread count. The two must
+    // agree bitwise — the whole point of the vectorized path is being a
+    // free speedup.
+    force_scalar_kernel(true);
+    let mut scalar_sweep = FsimEngine::new(g1, g2, &sweep_cfg).expect("valid config");
+    scalar_sweep.run();
+    let scalar_warm_s = best_of(reps, || {
+        scalar_sweep.run();
+    });
+    let scalar_pps = scalar_sweep.pairs_per_second().unwrap_or(0.0);
+    force_scalar_kernel(false);
+    for ((u1, v1, s1), (u2, v2, s2)) in scalar_sweep.iter_pairs().zip(sweep.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2), "{name}: kernel pair order diverged");
+        assert_eq!(
+            s1.to_bits(),
+            s2.to_bits(),
+            "{name}: scalar and vectorized kernels diverged at ({u1},{v1})"
+        );
+    }
+    let kernel = KernelRow {
+        scalar_warm_s,
+        vectorized_warm_s: warm_sweep_s,
+        speedup: scalar_warm_s / warm_sweep_s.max(1e-12),
+        scalar_pps,
+        vectorized_pps: sweep.pairs_per_second().unwrap_or(0.0),
+    };
+
+    // Exact-score hash (FNV-1a over slot order + bits): the cross-build
+    // bitwise gate for the CI `simd` on/off comparison.
+    let mut score_hash = 0xcbf29ce484222325u64;
+    for (u, v, s) in delta.iter_pairs() {
+        for chunk in [
+            u as u64,
+            v as u64,
+            u64::from_le_bytes(s.to_bits().to_le_bytes()),
+        ] {
+            for b in chunk.to_le_bytes() {
+                score_hash ^= b as u64;
+                score_hash = score_hash.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
 
     // The approximate variant: pairs evaluated vs the exact delta
     // scheduler, with the observed error checked against the certified
@@ -131,6 +223,18 @@ fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) ->
         cold_delta_s,
         warm_sweep_s,
         warm_delta_s,
+        warm_delta_par4_s,
+        warm_sweep_pps: sweep.pairs_per_second().unwrap_or(0.0),
+        warm_delta_pps: delta.pairs_per_second().unwrap_or(0.0),
+        warm_delta_par4_pps,
+        delta_pps_per_iteration: delta
+            .pairs_evaluated()
+            .iter()
+            .zip(delta.iteration_seconds())
+            .map(|(&p, &s)| if s > 0.0 { p as f64 / s } else { 0.0 })
+            .collect(),
+        score_hash,
+        kernel,
         approx: ApproxRow {
             tolerance,
             iterations: approx.iterations(),
@@ -139,12 +243,18 @@ fn measure(name: &str, g1: &Graph, g2: &Graph, cfg: &FsimConfig, reps: usize) ->
             max_error,
             error_bound: approx.error_bound(),
             warm_s: warm_approx_s,
+            pps: approx.pairs_per_second().unwrap_or(0.0),
         },
     }
 }
 
 fn json_usize_array(xs: &[usize]) -> String {
     let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_f64_array(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
     format!("[{}]", items.join(","))
 }
 
@@ -155,7 +265,14 @@ fn row_to_json(r: &Row) -> String {
             "\"dep_entries\":{},\"pairs_evaluated\":{{\"sweep\":{},\"delta\":{},",
             "\"delta_per_iteration\":{}}},",
             "\"wall_clock_s\":{{\"cold_sweep\":{:.6},\"cold_delta\":{:.6},",
-            "\"warm_sweep\":{:.6},\"warm_delta\":{:.6}}},",
+            "\"warm_sweep\":{:.6},\"warm_delta\":{:.6},",
+            "\"warm_delta_par4\":{:.6}}},",
+            "\"pairs_per_second\":{{\"warm_sweep\":{:.1},\"warm_delta\":{:.1},",
+            "\"warm_delta_par4\":{:.1},",
+            "\"approx\":{:.1},\"delta_per_iteration\":{}}},",
+            "\"score_hash\":\"{:#018x}\",",
+            "\"kernel\":{{\"scalar_warm_s\":{:.6},\"vectorized_warm_s\":{:.6},",
+            "\"speedup\":{:.3},\"scalar_pps\":{:.1},\"vectorized_pps\":{:.1}}},",
             "\"approx\":{{\"tolerance\":{},\"iterations\":{},",
             "\"pairs_evaluated\":{},\"per_iteration\":{},",
             "\"max_observed_error\":{:.3e},\"error_bound\":{:.3e},",
@@ -172,6 +289,18 @@ fn row_to_json(r: &Row) -> String {
         r.cold_delta_s,
         r.warm_sweep_s,
         r.warm_delta_s,
+        r.warm_delta_par4_s,
+        r.warm_sweep_pps,
+        r.warm_delta_pps,
+        r.warm_delta_par4_pps,
+        r.approx.pps,
+        json_f64_array(&r.delta_pps_per_iteration),
+        r.score_hash,
+        r.kernel.scalar_warm_s,
+        r.kernel.vectorized_warm_s,
+        r.kernel.speedup,
+        r.kernel.scalar_pps,
+        r.kernel.vectorized_pps,
         r.approx.tolerance,
         r.approx.iterations,
         r.approx.pairs_evaluated,
@@ -236,6 +365,16 @@ fn main() {
             r.approx.error_bound,
             r.approx.warm_s * 1e3,
         );
+        println!(
+            "bench convergence/{:<28} throughput: sweep {:.3e} pairs/s, delta {:.3e} pairs/s, delta-par4 {:.3e} pairs/s | kernel scalar {:.3}ms vs vectorized {:.3}ms ({:.2}x)",
+            r.name,
+            r.warm_sweep_pps,
+            r.warm_delta_pps,
+            r.warm_delta_par4_pps,
+            r.kernel.scalar_warm_s * 1e3,
+            r.kernel.vectorized_warm_s * 1e3,
+            r.kernel.speedup,
+        );
     }
 
     let body: Vec<String> = rows.iter().map(row_to_json).collect();
@@ -265,6 +404,16 @@ fn main() {
             "approximate mode must break the dirty-pair plateau: evaluated \
              {:.1}% of the exact delta schedule (need <= 70%)",
             ratio * 100.0
+        );
+        // The vectorized strategy must beat the scalar reference by at
+        // least 1.3x pairs/s on the θ-sweep workload (measured ~10x: the
+        // CSR-routed sweep replaces on-the-fly neighbor enumeration and
+        // hashed score lookups with streaming slot loads).
+        assert!(
+            plateau.kernel.speedup >= 1.3,
+            "vectorized sweep must be >= 1.3x the scalar reference \
+             (measured {:.2}x)",
+            plateau.kernel.speedup
         );
     }
 

@@ -8,9 +8,15 @@
 //!   remembering `α·ub` for dropped pairs when `α > 0`.
 
 use crate::config::FsimConfig;
+use crate::engine::parallel::Runtime;
 use crate::operators::{OpCtx, Operator};
 use crate::store::{Fallback, PairIndex, PairStore};
 use fsim_graph::{pair_key, FxHashMap, Graph, NodeId};
+use std::sync::Mutex;
+
+/// Minimum candidate pairs per worker before bound evaluation parallelizes
+/// (below this, dispatch overhead dominates the `O(1)` bound arithmetic).
+const UB_PAR_GRAIN: usize = 4096;
 
 /// The static upper bound of Equation 6:
 /// `ub(u,v) = λ⁺ + λ⁻ + (1 − w⁺ − w⁻)·L(u,v)` with
@@ -39,13 +45,29 @@ pub fn static_upper_bound<O: Operator>(
     out + inn + cfg.w_label() * ctx.label_sim(u, v)
 }
 
-/// Enumerates the maintained candidate pairs for `cfg`.
+/// Enumerates the maintained candidate pairs for `cfg`, sequentially.
 pub fn enumerate_candidates<O: Operator>(
     g1: &Graph,
     g2: &Graph,
     ctx: &OpCtx<'_>,
     cfg: &FsimConfig,
     op: &O,
+) -> PairStore {
+    enumerate_candidates_with(g1, g2, ctx, cfg, op, None)
+}
+
+/// [`enumerate_candidates`] with an optional session [`Runtime`]: when a
+/// pool is supplied and the candidate base is large enough, the §3.4 bound
+/// evaluation is chunked across its workers (bitwise identical to the
+/// sequential path — chunks are merged in worker order and the α·ub map is
+/// keyed, so chunking cannot reorder an observable).
+pub(crate) fn enumerate_candidates_with<O: Operator>(
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    cfg: &FsimConfig,
+    op: &O,
+    rt: Option<&Runtime>,
 ) -> PairStore {
     let base: Vec<(NodeId, NodeId)> = if cfg.theta > 0.0 {
         theta_candidates(g1, g2, ctx, cfg.theta)
@@ -76,34 +98,48 @@ pub fn enumerate_candidates<O: Operator>(
         }
         Some(ub_cfg) => {
             // The bound evaluation is embarrassingly parallel over the
-            // candidate pairs; chunk it across the configured workers.
-            let threads = cfg.threads.min((base.len() / 4096).max(1));
-            let chunk = base.len().div_ceil(threads).max(1);
+            // candidate pairs; chunk it across the session's worker pool
+            // when one is available and the base is big enough to pay for
+            // the dispatch.
             type UbChunk = (Vec<(NodeId, NodeId)>, Vec<(u64, f32)>);
-            let results: Vec<UbChunk> = std::thread::scope(|scope| {
-                let handles: Vec<_> = base
+            let eval_slice = |slice: &[(NodeId, NodeId)]| -> UbChunk {
+                let mut kept = Vec::new();
+                let mut dropped = Vec::new();
+                for &(u, v) in slice {
+                    let ub = static_upper_bound(g1, g2, ctx, cfg, op, u, v);
+                    if ub > ub_cfg.beta {
+                        kept.push((u, v));
+                    } else if ub_cfg.alpha > 0.0 {
+                        dropped.push((pair_key(u, v), (ub_cfg.alpha * ub) as f32));
+                    }
+                }
+                (kept, dropped)
+            };
+            let workers = rt
+                .map(|r| r.threads())
+                .unwrap_or(1)
+                .min((base.len() / UB_PAR_GRAIN).max(1));
+            let results: Vec<UbChunk> = if workers > 1 {
+                let rt = rt.expect("workers > 1 implies a runtime");
+                let chunk = base.len().div_ceil(workers).max(1);
+                let slots: Vec<Mutex<UbChunk>> = base
                     .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            let mut kept = Vec::new();
-                            let mut dropped = Vec::new();
-                            for &(u, v) in slice {
-                                let ub = static_upper_bound(g1, g2, ctx, cfg, op, u, v);
-                                if ub > ub_cfg.beta {
-                                    kept.push((u, v));
-                                } else if ub_cfg.alpha > 0.0 {
-                                    dropped.push((pair_key(u, v), (ub_cfg.alpha * ub) as f32));
-                                }
-                            }
-                            (kept, dropped)
-                        })
-                    })
+                    .map(|_| Mutex::new((Vec::new(), Vec::new())))
                     .collect();
-                handles
+                rt.run(&|wid, _state| {
+                    let start = wid * chunk;
+                    if start < base.len() {
+                        let slice = &base[start..(start + chunk).min(base.len())];
+                        *slots[wid].lock().expect("ub slot") = eval_slice(slice);
+                    }
+                });
+                slots
                     .into_iter()
-                    .map(|h| h.join().expect("ub worker"))
+                    .map(|s| s.into_inner().expect("ub slot"))
                     .collect()
-            });
+            } else {
+                vec![eval_slice(&base)]
+            };
             let mut kept = Vec::new();
             let mut dropped: FxHashMap<u64, f32> = FxHashMap::default();
             for (k, d) in results {

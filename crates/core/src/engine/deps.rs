@@ -68,6 +68,7 @@ impl PairDepCsr {
     ) -> Self {
         let n = store.len();
         let all_pairs = op.reads_ineligible_pairs();
+        let fold_consts = !all_pairs && op.fold_const_rows();
         let mut out_offsets = Vec::with_capacity(n + 1);
         let mut in_offsets = Vec::with_capacity(n + 1);
         let mut out_entries = Vec::new();
@@ -75,12 +76,31 @@ impl PairDepCsr {
         let mut dims = Vec::with_capacity(n);
         out_offsets.push(0);
         in_offsets.push(0);
+        let mut const_buf = Vec::new();
         for &(u, v) in &store.pairs {
             let (s1, s2) = (g1.out_neighbors(u), g2.out_neighbors(v));
-            push_direction(&mut out_entries, s1, s2, ctx, store, all_pairs);
+            push_direction(
+                &mut out_entries,
+                s1,
+                s2,
+                ctx,
+                store,
+                all_pairs,
+                fold_consts,
+                &mut const_buf,
+            );
             out_offsets.push(out_entries.len());
             let (t1, t2) = (g1.in_neighbors(u), g2.in_neighbors(v));
-            push_direction(&mut in_entries, t1, t2, ctx, store, all_pairs);
+            push_direction(
+                &mut in_entries,
+                t1,
+                t2,
+                ctx,
+                store,
+                all_pairs,
+                fold_consts,
+                &mut const_buf,
+            );
             in_offsets.push(in_entries.len());
             dims.push([
                 s1.len() as u32,
@@ -134,6 +154,7 @@ impl PairDepCsr {
         let n = store.len();
         debug_assert_eq!(entry_dirty.len(), n);
         let all_pairs = op.reads_ineligible_pairs();
+        let fold_consts = !all_pairs && op.fold_const_rows();
         let mut out_offsets = Vec::with_capacity(n + 1);
         let mut in_offsets = Vec::with_capacity(n + 1);
         let mut out_entries = Vec::with_capacity(self.out_entries.len());
@@ -155,6 +176,7 @@ impl PairDepCsr {
                 dst.push(e);
             }
         };
+        let mut const_buf = Vec::new();
         for (slot, &(u, v)) in store.pairs.iter().enumerate() {
             let old_slot = new_to_old[slot];
             if old_slot != NO_SLOT && !entry_dirty[slot] {
@@ -170,9 +192,27 @@ impl PairDepCsr {
                 dims.push(self.dims[o]);
             } else {
                 let (s1, s2) = (g1.out_neighbors(u), g2.out_neighbors(v));
-                push_direction(&mut out_entries, s1, s2, ctx, store, all_pairs);
+                push_direction(
+                    &mut out_entries,
+                    s1,
+                    s2,
+                    ctx,
+                    store,
+                    all_pairs,
+                    fold_consts,
+                    &mut const_buf,
+                );
                 let (t1, t2) = (g1.in_neighbors(u), g2.in_neighbors(v));
-                push_direction(&mut in_entries, t1, t2, ctx, store, all_pairs);
+                push_direction(
+                    &mut in_entries,
+                    t1,
+                    t2,
+                    ctx,
+                    store,
+                    all_pairs,
+                    fold_consts,
+                    &mut const_buf,
+                );
                 dims.push([
                     s1.len() as u32,
                     s2.len() as u32,
@@ -302,6 +342,7 @@ impl ShardCsr {
     ) -> Self {
         debug_assert!(lo <= hi && hi <= store.len());
         let all_pairs = op.reads_ineligible_pairs();
+        let fold_consts = !all_pairs && op.fold_const_rows();
         let len = hi - lo;
         let mut out_offsets = Vec::with_capacity(len + 1);
         let mut in_offsets = Vec::with_capacity(len + 1);
@@ -310,12 +351,31 @@ impl ShardCsr {
         let mut dims = Vec::with_capacity(len);
         out_offsets.push(0);
         in_offsets.push(0);
+        let mut const_buf = Vec::new();
         for &(u, v) in &store.pairs[lo..hi] {
             let (s1, s2) = (g1.out_neighbors(u), g2.out_neighbors(v));
-            push_direction(&mut out_entries, s1, s2, ctx, store, all_pairs);
+            push_direction(
+                &mut out_entries,
+                s1,
+                s2,
+                ctx,
+                store,
+                all_pairs,
+                fold_consts,
+                &mut const_buf,
+            );
             out_offsets.push(out_entries.len());
             let (t1, t2) = (g1.in_neighbors(u), g2.in_neighbors(v));
-            push_direction(&mut in_entries, t1, t2, ctx, store, all_pairs);
+            push_direction(
+                &mut in_entries,
+                t1,
+                t2,
+                ctx,
+                store,
+                all_pairs,
+                fold_consts,
+                &mut const_buf,
+            );
             in_offsets.push(in_entries.len());
             dims.push([
                 s1.len() as u32,
@@ -433,6 +493,29 @@ fn build_reverse(
 /// Appends one direction's dependency list for a pair: eligible neighbor
 /// pairs in `(i, j)` order, resolved to slots or fallback constants.
 /// Zero-valued constants are omitted (they cannot influence any operator).
+///
+/// For operators that only read eligible pairs (the variant operators),
+/// each row group is **partitioned**: slot-backed entries first (still in
+/// `j` order, hence ascending slot — store rows are `v`-sorted), fallback
+/// constants after, buffered through `const_buf`. The kernels' row
+/// reductions are order-independent within a row (max / deterministic
+/// matcher sort), so the partition cannot change any bit; what it buys is
+/// a branch-free vectorizable prefix of pure score-buffer loads per row.
+/// Operators that read ineligible pairs ([`SimRankOp`] — an
+/// order-sensitive *sum* keyed by logical position) keep the raw
+/// interleaved `(i, j)` order.
+///
+/// When `fold_consts` is set ([`Operator::fold_const_rows`]), the
+/// buffered constant run of each row is collapsed to the single entry
+/// attaining the maximum constant (first winner on ties — deterministic,
+/// so repaired and fresh builds agree entry for entry). The fold is
+/// pre-computing the only thing a per-row max can ever extract from the
+/// run; `f32` maxima are order-insensitive and exact under the `f64`
+/// widening, so evaluation stays bitwise identical while the row shrinks
+/// to its slot-backed prefix plus one bias entry.
+///
+/// [`SimRankOp`]: crate::operators::SimRankOp
+#[allow(clippy::too_many_arguments)]
 fn push_direction(
     entries: &mut Vec<DepEntry>,
     s1: &[fsim_graph::NodeId],
@@ -440,8 +523,11 @@ fn push_direction(
     ctx: &OpCtx<'_>,
     store: &PairStore,
     all_pairs: bool,
+    fold_consts: bool,
+    const_buf: &mut Vec<DepEntry>,
 ) {
     for (i, &x) in s1.iter().enumerate() {
+        const_buf.clear();
         for (j, &y) in s2.iter().enumerate() {
             if !all_pairs && !ctx.eligible(x, y) {
                 continue;
@@ -455,15 +541,32 @@ fn push_direction(
                 }),
                 PairRef::Absent(c) => {
                     if c != 0.0 {
-                        entries.push(DepEntry {
+                        let e = DepEntry {
                             i: i as u32,
                             j: j as u32,
                             slot: DepEntry::CONST,
                             cval: c as f32,
-                        });
+                        };
+                        if all_pairs {
+                            entries.push(e);
+                        } else {
+                            const_buf.push(e);
+                        }
                     }
                 }
             }
+        }
+        if fold_consts && const_buf.len() > 1 {
+            let mut best = const_buf[0];
+            for e in &const_buf[1..] {
+                if e.cval > best.cval {
+                    best = *e;
+                }
+            }
+            entries.push(best);
+            const_buf.clear();
+        } else {
+            entries.append(const_buf);
         }
     }
 }

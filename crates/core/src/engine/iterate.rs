@@ -19,11 +19,12 @@
 //!   It composes with both the unsharded and the sharded dirty loops.
 
 use super::deps::PairDepCsr;
-use super::parallel::{run_parallel, run_parallel_delta, IterationOutcome};
+use super::parallel::{run_parallel, run_parallel_delta, IterationOutcome, Runtime};
 use crate::config::{FsimConfig, InitScheme};
 use crate::operators::{OpCtx, OpScratch, Operator, ScoreLookup};
 use crate::store::PairStore;
 use fsim_graph::{Graph, NodeId};
+use std::time::Instant;
 
 /// The worker count actually used for a worklist: auto-degraded so each
 /// worker owns at least a few thousand pairs (below that, coordination
@@ -293,8 +294,8 @@ pub(crate) fn pair_update<O: Operator, S: ScoreLookup>(
 ///
 /// `scores` holds `FSim⁰` on entry and the final scores on exit; `cur` is
 /// the reusable double buffer (resized to match). Dispatches to the
-/// sequential loop or to the [`run_parallel`] worker pool — whose results
-/// are bitwise identical.
+/// sequential loop or to the session's [`Runtime`] — whose results are
+/// bitwise identical.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_to_convergence<O: Operator>(
     g1: &Graph,
@@ -306,17 +307,21 @@ pub(crate) fn run_to_convergence<O: Operator>(
     label_terms: &[f64],
     scores: &mut Vec<f64>,
     cur: &mut Vec<f64>,
+    rt: Option<&Runtime>,
 ) -> IterationOutcome {
     debug_assert_eq!(scores.len(), store.len());
     cur.clear();
     cur.resize(store.len(), 0.0);
     let max_iters = cfg.effective_max_iters();
-    let threads = effective_threads(cfg.threads, store.len());
 
-    if threads > 1 {
-        return run_parallel(threads, max_iters, cfg.epsilon, scores, cur, || {
-            let mut scratch = OpScratch::new();
-            move |slot: usize, prev: &[f64]| {
+    if let Some(rt) = rt {
+        return run_parallel(
+            rt,
+            max_iters,
+            cfg.epsilon,
+            scores,
+            cur,
+            |slot: usize, prev: &[f64], scratch: &mut OpScratch| {
                 let (u, v) = store.pairs[slot];
                 let view = store.view(prev);
                 pair_update_with_label(
@@ -328,18 +333,17 @@ pub(crate) fn run_to_convergence<O: Operator>(
                     u,
                     v,
                     &view,
-                    &mut scratch,
+                    scratch,
                     label_terms[slot],
                 )
-            }
-        });
+            },
+        );
     }
 
     let mut scratch = OpScratch::new();
-    let mut iterations = 0usize;
-    let mut converged = false;
-    let mut final_delta = f64::INFINITY;
-    while iterations < max_iters {
+    let mut out = IterationOutcome::empty();
+    while out.iterations < max_iters {
+        let t0 = Instant::now();
         let mut delta = 0.0f64;
         {
             let view = store.view(scores);
@@ -364,19 +368,92 @@ pub(crate) fn run_to_convergence<O: Operator>(
             }
         }
         std::mem::swap(scores, cur);
-        final_delta = delta;
-        iterations += 1;
+        out.final_delta = delta;
+        out.pairs_evaluated.push(store.len());
+        out.iter_seconds.push(t0.elapsed().as_secs_f64());
+        out.iterations += 1;
         if delta < cfg.epsilon {
-            converged = true;
+            out.converged = true;
             break;
         }
     }
-    IterationOutcome {
-        iterations,
-        converged,
-        final_delta,
-        pairs_evaluated: vec![store.len(); iterations],
+    out
+}
+
+/// Iterates Equation 3 to convergence by **full sweep over the slot CSR**:
+/// every maintained pair is re-evaluated each iteration — identical
+/// scheduling semantics (and `pairs_evaluated` accounting) to
+/// [`run_to_convergence`] — but each evaluation runs through
+/// [`PairDepCsr::eval_slot`]'s contiguous slot-indexed buffers instead of
+/// on-the-fly neighbor enumeration and hash-map score lookups. This is the
+/// *vectorized* sweep path: scores live in a flat SoA `f64` buffer indexed
+/// by dependency entries prepared at CSR build time, so the inner loop is
+/// pure index/f64 work. Bitwise identical to the on-the-fly sweep — the
+/// CSR materializes exactly the terms `map_sum` would enumerate, in the
+/// same fold order (the delta ≡ sweep goldens in
+/// `tests/kernel_equivalence.rs` pin this).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sweep_slots<O: Operator>(
+    cfg: &FsimConfig,
+    op: &O,
+    store: &PairStore,
+    csr: &PairDepCsr,
+    label_terms: &[f64],
+    scores: &mut Vec<f64>,
+    cur: &mut Vec<f64>,
+    rt: Option<&Runtime>,
+) -> IterationOutcome {
+    debug_assert_eq!(scores.len(), store.len());
+    let n = store.len();
+    cur.clear();
+    cur.resize(n, 0.0);
+    let max_iters = cfg.effective_max_iters();
+
+    if let Some(rt) = rt {
+        return run_parallel(
+            rt,
+            max_iters,
+            cfg.epsilon,
+            scores,
+            cur,
+            |slot: usize, prev: &[f64], scratch: &mut OpScratch| {
+                csr.eval_slot(cfg, op, store, slot, prev, scratch, label_terms[slot])
+            },
+        );
     }
+
+    let mut scratch = OpScratch::new();
+    let mut out = IterationOutcome::empty();
+    while out.iterations < max_iters {
+        let t0 = Instant::now();
+        let mut delta = 0.0f64;
+        for slot in 0..n {
+            let s = csr.eval_slot(
+                cfg,
+                op,
+                store,
+                slot,
+                scores,
+                &mut scratch,
+                label_terms[slot],
+            );
+            let d = (s - scores[slot]).abs();
+            if d > delta {
+                delta = d;
+            }
+            cur[slot] = s;
+        }
+        std::mem::swap(scores, cur);
+        out.final_delta = delta;
+        out.pairs_evaluated.push(n);
+        out.iter_seconds.push(t0.elapsed().as_secs_f64());
+        out.iterations += 1;
+        if delta < cfg.epsilon {
+            out.converged = true;
+            break;
+        }
+    }
+    out
 }
 
 /// Iterates Equation 3 to convergence with **dirty-pair scheduling** over
@@ -407,18 +484,18 @@ pub(crate) fn run_delta<O: Operator>(
     mut record: Option<&mut Recorder<'_>>,
     initial_worklist: Option<Vec<u32>>,
     mut approx: Option<&mut ApproxState>,
+    rt: Option<&Runtime>,
 ) -> IterationOutcome {
     debug_assert_eq!(scores.len(), store.len());
     let n = store.len();
     cur.clear();
     cur.resize(n, 0.0);
     let max_iters = cfg.effective_max_iters();
-    let threads = effective_threads(cfg.threads, n);
 
-    if threads > 1 {
+    if let Some(rt) = rt {
         // `run_parallel_delta` does its own warm-start pre-fill of `cur`.
         return run_parallel_delta(
-            threads,
+            rt,
             max_iters,
             cfg.epsilon,
             scores,
@@ -428,11 +505,8 @@ pub(crate) fn run_delta<O: Operator>(
             record,
             initial_worklist,
             approx,
-            || {
-                let mut scratch = OpScratch::new();
-                move |slot: usize, prev: &[f64]| {
-                    csr.eval_slot(cfg, op, store, slot, prev, &mut scratch, label_terms[slot])
-                }
+            |slot: usize, prev: &[f64], scratch: &mut OpScratch| {
+                csr.eval_slot(cfg, op, store, slot, prev, scratch, label_terms[slot])
             },
         );
     }
@@ -452,6 +526,7 @@ pub(crate) fn run_delta<O: Operator>(
     let mut converged = false;
     let mut final_delta = f64::INFINITY;
     let mut pairs_evaluated = Vec::new();
+    let mut iter_seconds = Vec::new();
     // D_k: slots to evaluate this iteration (all of them at first, unless
     // warm-started).
     let mut worklist: Vec<u32> = initial_worklist.unwrap_or_else(|| (0..n as u32).collect());
@@ -461,6 +536,7 @@ pub(crate) fn run_delta<O: Operator>(
     let mut mark: Vec<u64> = vec![0; n];
     let mut epoch = 0u64;
     while iterations < max_iters {
+        let t0 = Instant::now();
         // Repair C_{k−1} \ D_k: a slot that changed last iteration but is
         // not re-evaluated now still holds its two-iterations-old value in
         // `cur`; copy the current value forward so `cur` ends the
@@ -499,6 +575,7 @@ pub(crate) fn run_delta<O: Operator>(
         }
         final_delta = delta;
         iterations += 1;
+        iter_seconds.push(t0.elapsed().as_secs_f64());
         if let Some(ap) = approx.as_deref_mut() {
             // Evaluated slots are exact w.r.t. the iterate they read;
             // reset their drift *before* folding in this iteration's
@@ -551,6 +628,7 @@ pub(crate) fn run_delta<O: Operator>(
         converged,
         final_delta,
         pairs_evaluated,
+        iter_seconds,
     }
 }
 
@@ -604,6 +682,7 @@ pub(crate) fn run_replay<O: Operator>(
     let mut converged = false;
     let mut final_delta = f64::INFINITY;
     let mut pairs_evaluated = Vec::new();
+    let mut iter_seconds = Vec::new();
     if let Some(h) = record.as_deref_mut() {
         h.push(scores);
     }
@@ -638,6 +717,7 @@ pub(crate) fn run_replay<O: Operator>(
     let mut changed: Vec<u32> = Vec::new();
     let mut k = 1usize;
     while iterations < max_iters && k <= hist_iters {
+        let t0 = Instant::now();
         let hist = &old_traj[k];
         cur.copy_from_slice(hist);
         for &slot_id in &worklist {
@@ -671,6 +751,7 @@ pub(crate) fn run_replay<O: Operator>(
         final_delta = delta;
         iterations += 1;
         k += 1;
+        iter_seconds.push(t0.elapsed().as_secs_f64());
         if delta < cfg.epsilon {
             converged = true;
             break;
@@ -708,6 +789,7 @@ pub(crate) fn run_replay<O: Operator>(
             }
         }
         while iterations < max_iters {
+            let t0 = Instant::now();
             for &s in &changed {
                 if mark[s as usize] != epoch {
                     cur[s as usize] = scores[s as usize];
@@ -742,6 +824,7 @@ pub(crate) fn run_replay<O: Operator>(
             }
             final_delta = delta;
             iterations += 1;
+            iter_seconds.push(t0.elapsed().as_secs_f64());
             if delta < cfg.epsilon {
                 converged = true;
                 break;
@@ -763,5 +846,6 @@ pub(crate) fn run_replay<O: Operator>(
         converged,
         final_delta,
         pairs_evaluated,
+        iter_seconds,
     }
 }

@@ -40,6 +40,7 @@ pub mod session;
 pub(crate) mod shards;
 
 pub use edits::{EditError, GraphEdit, GraphSide};
+pub use parallel::live_runtime_workers;
 pub use session::FsimEngine;
 
 use crate::config::{ConfigError, FsimConfig, Variant};

@@ -1,13 +1,25 @@
 //! The persistent parallel runtime of §3.4.
 //!
 //! The seed implementation spawned a fresh `crossbeam::scope` with a
-//! `Mutex<Vec>` work queue on **every iteration** of Algorithm 1 — thread
-//! creation and queue locking dominated small and medium worklists. This
-//! module replaces it with a worker pool spawned **once per run**: workers
-//! live across all iterations, pull disjoint slot ranges via a lock-free
-//! atomic cursor, and synchronize with the coordinator through a barrier at
-//! each iteration boundary. Per-worker [`OpScratch`]-style state is created
-//! once and reused for the whole run.
+//! `Mutex<Vec>` work queue on **every iteration** of Algorithm 1, and its
+//! first replacement still spawned a `std::thread::scope` pool on every
+//! *run* — four separate spawn sites across the sweep, delta, replay and
+//! shard drivers. This module replaces all of them with a single
+//! [`Runtime`]: a worker pool spawned **once per engine session** (the
+//! only `thread::spawn` call in the crate — `tests/spawn_sites.rs` pins
+//! that). Workers park on a condition variable between dispatches and
+//! live until the engine is dropped, so per-worker state — the
+//! [`OpScratch`] buffers and the dirty-set staging vector in
+//! [`WorkerState`] — survives across iterations, runs, reruns and shard
+//! visits instead of being reallocated per run.
+//!
+//! The iteration drivers below are plain sequential coordinators that
+//! dispatch one job per iteration: workers pull disjoint slot ranges via
+//! a lock-free atomic cursor (chunk size scaled to the worklist length by
+//! [`chunk_size`]), and [`Runtime::run`] blocks until every worker has
+//! finished, which both publishes the workers' writes and keeps the
+//! borrows captured by the job alive for exactly as long as they are
+//! used.
 //!
 //! The bitwise sequential ≡ parallel guarantee is preserved: each slot's
 //! new score is a pure function of the previous iteration's buffer (which
@@ -15,8 +27,11 @@
 //! convergence metric is an order-independent max-reduction.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::operators::OpScratch;
 
 /// What a (sequential or parallel) run of the iteration loop reports.
 #[derive(Debug, Clone)]
@@ -30,6 +45,225 @@ pub(crate) struct IterationOutcome {
     /// Pairs re-evaluated per iteration (`|H|` every iteration for the
     /// full sweep; the dirty-worklist length under delta scheduling).
     pub pairs_evaluated: Vec<usize>,
+    /// Wall-clock seconds per iteration, aligned with `pairs_evaluated`
+    /// (the per-iteration pairs-per-second metric is their ratio).
+    pub iter_seconds: Vec<f64>,
+}
+
+impl IterationOutcome {
+    /// An outcome for a run that executed no iterations.
+    pub(crate) fn empty() -> Self {
+        Self {
+            iterations: 0,
+            converged: false,
+            final_delta: f64::INFINITY,
+            pairs_evaluated: Vec::new(),
+            iter_seconds: Vec::new(),
+        }
+    }
+}
+
+/// The cursor chunk for a worklist of `len` slots split over `threads`
+/// workers: each pull should own enough pairs to amortize the atomic, but
+/// stay fine-grained enough to balance skewed per-pair costs. Scales with
+/// the worklist instead of a fixed constant so the late, short iterations
+/// of a delta run are not handed out in one oversized piece (the
+/// before/after numbers are recorded in `docs/BENCHMARKS.md`).
+pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
+    (len / (threads.max(1) * 8)).max(64)
+}
+
+/// Live worker threads across all [`Runtime`]s in the process. Spawn
+/// increments before the worker parks, exit decrements after shutdown;
+/// [`Runtime`]'s `Drop` joins its workers, so after an engine drop the
+/// counter observably returns to its prior value
+/// (`tests/runtime_shutdown.rs`).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of parked-or-running runtime worker threads currently alive
+/// in the process (diagnostic; see [`FsimEngine`](crate::FsimEngine) for
+/// the runtime's lifecycle).
+pub fn live_runtime_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// State a worker owns for its whole lifetime — created when the
+/// [`Runtime`] spawns it and reused across every iteration, run and shard
+/// visit the session dispatches.
+pub(crate) struct WorkerState {
+    /// Operator scratch buffers (matcher state, gather values, …).
+    pub scratch: OpScratch,
+    /// Staging buffer for the slots this worker changed in the current
+    /// iteration (drained into the coordinator's sink once per dispatch).
+    pub changed: Vec<u32>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        Self {
+            scratch: OpScratch::new(),
+            changed: Vec::new(),
+        }
+    }
+}
+
+/// A job dispatched to the pool: invoked once per worker with the
+/// worker's index and its persistent state.
+type Job<'a> = dyn Fn(usize, &mut WorkerState) + Sync + 'a;
+
+/// Type-erased pointer to the current dispatch's job. The coordinator
+/// blocks in [`Runtime::run`] until every worker has finished, so the
+/// pointee outlives every dereference despite the `'static` cast.
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job<'static>);
+
+// SAFETY: the pointer is only dereferenced by workers while the
+// dispatching thread is blocked keeping the pointee alive (see
+// `Runtime::run`).
+unsafe impl Send for JobPtr {}
+
+/// Dispatch gate shared between the coordinator and the workers.
+struct Gate {
+    /// Bumped once per dispatch; a worker runs the job iff it has not
+    /// seen the current generation yet.
+    generation: u64,
+    /// The current dispatch's job (valid while `running > 0`).
+    job: Option<JobPtr>,
+    /// Workers still executing the current generation.
+    running: usize,
+    /// First panic payload out of the current generation's workers.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once by `Drop`; workers exit at the next wake-up.
+    shutdown: bool,
+}
+
+struct Shared {
+    gate: Mutex<Gate>,
+    /// Workers park here between dispatches.
+    go: Condvar,
+    /// The coordinator parks here until `running` returns to zero.
+    done: Condvar,
+}
+
+/// The session-persistent worker pool. Spawned once (lazily, at the first
+/// parallel run) and owned by the engine; the configured thread count is
+/// a session property — reconfiguring it replaces the runtime.
+pub(crate) struct Runtime {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Spawns `threads` parked workers (the crate's only spawn site).
+    pub(crate) fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a runtime below two workers is pointless");
+        let shared = Arc::new(Shared {
+            gate: Mutex::new(Gate {
+                generation: 0,
+                job: None,
+                running: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared, wid))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// The pool's worker count.
+    pub(crate) fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job` once on every worker and blocks until all of them have
+    /// finished. The blocking is what makes the borrow-erasure sound: the
+    /// job (and everything it captures) outlives every worker's use of
+    /// it. A panic inside any worker is re-raised here after the
+    /// remaining workers finish the dispatch.
+    pub(crate) fn run(&self, job: &Job<'_>) {
+        // SAFETY (cast): fat-pointer lifetime erasure only; the pointee
+        // is kept alive by this frame until `running == 0` below.
+        let ptr =
+            JobPtr(unsafe { std::mem::transmute::<*const Job<'_>, *const Job<'static>>(job) });
+        {
+            let mut g = self.shared.gate.lock().expect("runtime gate");
+            debug_assert_eq!(g.running, 0, "overlapping dispatch");
+            g.generation += 1;
+            g.job = Some(ptr);
+            g.running = self.handles.len();
+        }
+        self.shared.go.notify_all();
+        let mut g = self.shared.gate.lock().expect("runtime gate");
+        while g.running > 0 {
+            g = self.shared.done.wait(g).expect("runtime gate");
+        }
+        g.job = None;
+        if let Some(payload) = g.panic.take() {
+            drop(g);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.gate.lock().expect("runtime gate");
+            g.shutdown = true;
+        }
+        self.shared.go.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, wid: usize) {
+    LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+    let mut state = WorkerState::new();
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut g = shared.gate.lock().expect("runtime gate");
+            loop {
+                if g.shutdown {
+                    drop(g);
+                    LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                if g.generation != seen {
+                    seen = g.generation;
+                    break g.job.expect("job set for generation");
+                }
+                g = shared.go.wait(g).expect("runtime gate");
+            }
+        };
+        // SAFETY: the dispatching thread blocks in `Runtime::run` until
+        // `running` returns to zero, keeping the pointee alive.
+        let job_ref: &Job<'static> = unsafe { &*job.0 };
+        // A panicking job must still complete the dispatch or the
+        // coordinator deadlocks; the payload is carried back and
+        // re-raised there.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job_ref(wid, &mut state)));
+        let mut g = shared.gate.lock().expect("runtime gate");
+        if let Err(payload) = result {
+            if g.panic.is_none() {
+                g.panic = Some(payload);
+            }
+        }
+        g.running -= 1;
+        if g.running == 0 {
+            shared.done.notify_all();
+        }
+    }
 }
 
 /// A score buffer shared with the worker pool.
@@ -37,8 +271,8 @@ pub(crate) struct IterationOutcome {
 /// Workers read the *previous* buffer (never written during an iteration)
 /// and write disjoint slot ranges of the *current* buffer, so no location
 /// is ever accessed mutably by two parties. `UnsafeCell` expresses exactly
-/// that hand-verified aliasing discipline; the barrier at each iteration
-/// boundary publishes the writes.
+/// that hand-verified aliasing discipline; the dispatch gate's mutex at
+/// each iteration boundary publishes the writes.
 struct SharedScores<'a> {
     cells: &'a [UnsafeCell<f64>],
 }
@@ -79,7 +313,7 @@ impl<'a> SharedScores<'a> {
     ///
     /// # Safety
     /// Caller must guarantee no concurrent access at all (true for the
-    /// coordinator while the workers are parked at a barrier).
+    /// coordinator between dispatches).
     unsafe fn copy_from(&self, src: &[f64]) {
         debug_assert_eq!(src.len(), self.cells.len());
         let dst = std::slice::from_raw_parts_mut(self.cells.as_ptr() as *mut f64, self.cells.len());
@@ -87,188 +321,119 @@ impl<'a> SharedScores<'a> {
     }
 }
 
-/// Runs the iteration loop on a worker pool spawned once for the whole
-/// run.
+/// Runs the full-sweep iteration loop on the session's [`Runtime`].
 ///
 /// `prev` holds `FSim⁰` on entry and the final scores on exit; `cur` is
-/// the same-length double buffer. `make_update` is invoked once per worker
-/// to build its stateful update closure `(slot, prev_scores) → new score`
-/// (owning scratch buffers for the run's lifetime).
-pub(crate) fn run_parallel<U, F>(
-    threads: usize,
+/// the same-length double buffer. `update` maps `(slot, prev_scores,
+/// scratch) → new score` and must be a pure function of its inputs
+/// (scratch is worker-persistent reusable buffer space, not state).
+pub(crate) fn run_parallel<U>(
+    rt: &Runtime,
     max_iters: usize,
     epsilon: f64,
     prev: &mut Vec<f64>,
     cur: &mut Vec<f64>,
-    make_update: F,
+    update: U,
 ) -> IterationOutcome
 where
-    F: Fn() -> U + Sync,
-    U: FnMut(usize, &[f64]) -> f64,
+    U: Fn(usize, &[f64], &mut OpScratch) -> f64 + Sync,
 {
     let n = prev.len();
     debug_assert_eq!(n, cur.len());
-    debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
-    // Each cursor pull should own enough pairs to amortize the atomic, but
-    // stay fine-grained enough to balance skewed per-pair costs.
-    let chunk = (n / (threads * 8)).max(256);
+    let chunk = chunk_size(n, rt.threads());
     let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
     let cursor = AtomicUsize::new(0);
-    let read_index = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
-    let barrier = Barrier::new(threads + 1);
-    let deltas: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let deltas: Vec<AtomicU64> = (0..rt.threads()).map(|_| AtomicU64::new(0)).collect();
 
-    let mut iterations = 0usize;
-    let mut converged = false;
-    let mut final_delta = f64::INFINITY;
-    std::thread::scope(|scope| {
-        for worker_delta in &deltas {
-            let buffers = &buffers;
-            let cursor = &cursor;
-            let read_index = &read_index;
-            let stop = &stop;
-            let barrier = &barrier;
-            let make_update = &make_update;
-            scope.spawn(move || {
-                let mut update = make_update();
-                loop {
-                    barrier.wait(); // iteration start (or shutdown)
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let r = read_index.load(Ordering::Relaxed);
-                    // SAFETY: this iteration only writes `buffers[1 - r]`.
-                    let read = unsafe { buffers[r].as_read_slice() };
-                    let write = &buffers[1 - r];
-                    let mut local_delta = 0.0f64;
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        for slot in start..end {
-                            let score = update(slot, read);
-                            let d = (score - read[slot]).abs();
-                            if d > local_delta {
-                                local_delta = d;
-                            }
-                            // SAFETY: `start..end` ranges from the cursor
-                            // are disjoint across workers.
-                            unsafe { write.write(slot, score) };
-                        }
-                    }
-                    worker_delta.store(local_delta.to_bits(), Ordering::Relaxed);
-                    barrier.wait(); // iteration end
+    let mut out = IterationOutcome::empty();
+    let mut read = 0usize;
+    while out.iterations < max_iters {
+        let t0 = Instant::now();
+        cursor.store(0, Ordering::Relaxed);
+        rt.run(&|wid, ws| {
+            // SAFETY: this iteration only reads `buffers[read]` and
+            // writes disjoint cursor ranges of `buffers[1 - read]`.
+            let read_buf = unsafe { buffers[read].as_read_slice() };
+            let write = &buffers[1 - read];
+            let mut local_delta = 0.0f64;
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
                 }
-            });
-        }
-
-        let mut read = 0usize;
-        while iterations < max_iters {
-            cursor.store(0, Ordering::Relaxed);
-            read_index.store(read, Ordering::Relaxed);
-            barrier.wait(); // release workers into the iteration
-            barrier.wait(); // wait for every slot to be written
-            final_delta = deltas
-                .iter()
-                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
-                .fold(0.0, f64::max);
-            iterations += 1;
-            read = 1 - read;
-            if final_delta < epsilon {
-                converged = true;
-                break;
+                let end = (start + chunk).min(n);
+                for slot in start..end {
+                    let score = update(slot, read_buf, &mut ws.scratch);
+                    let d = (score - read_buf[slot]).abs();
+                    if d > local_delta {
+                        local_delta = d;
+                    }
+                    // SAFETY: `start..end` ranges from the cursor are
+                    // disjoint across workers.
+                    unsafe { write.write(slot, score) };
+                }
             }
+            deltas[wid].store(local_delta.to_bits(), Ordering::Relaxed);
+        });
+        out.final_delta = deltas
+            .iter()
+            .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+            .fold(0.0, f64::max);
+        out.pairs_evaluated.push(n);
+        out.iter_seconds.push(t0.elapsed().as_secs_f64());
+        out.iterations += 1;
+        read = 1 - read;
+        if out.final_delta < epsilon {
+            out.converged = true;
+            break;
         }
-        stop.store(true, Ordering::Release);
-        barrier.wait(); // release workers into shutdown
-    });
+    }
 
     // The last-written buffer alternates; normalize so `prev` holds the
     // final scores exactly like the sequential path.
-    if iterations % 2 == 1 {
+    if out.iterations % 2 == 1 {
         std::mem::swap(prev, cur);
     }
-    IterationOutcome {
-        iterations,
-        converged,
-        final_delta,
-        pairs_evaluated: vec![n; iterations],
-    }
+    out
 }
 
 /// Evaluates an explicit worklist against a read-only previous-iteration
 /// buffer, writing `out[i]` for `worklist[i]`. Used by the sharded driver
-/// ([`super::shards`]): shard-local worklists live for a single shard
-/// visit, too short to amortize the persistent pool's barriers, so plain
-/// scoped threads over disjoint chunks suffice. Each slot's value is a
-/// pure function of `prev` (Jacobi) and the caller folds the results back
-/// in worklist order, so the outcome is bitwise identical to a sequential
-/// evaluation regardless of the thread count.
-pub(crate) fn eval_worklist_parallel<U, F>(
-    threads: usize,
+/// ([`super::shards`]): each slot's value is a pure function of `prev`
+/// (Jacobi) and the caller folds the results back in worklist order, so
+/// the outcome is bitwise identical to a sequential evaluation regardless
+/// of the worker count.
+pub(crate) fn eval_worklist_parallel<U>(
+    rt: &Runtime,
     worklist: &[u32],
     prev: &[f64],
     out: &mut [f64],
-    make_update: F,
+    update: U,
 ) where
-    F: Fn() -> U + Sync,
-    U: FnMut(usize, &[f64]) -> f64,
+    U: Fn(usize, &[f64], &mut OpScratch) -> f64 + Sync,
 {
     debug_assert_eq!(worklist.len(), out.len());
-    debug_assert!(threads >= 2, "parallel evaluation needs two workers");
-    let chunk = worklist.len().div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for (wl_chunk, out_chunk) in worklist.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let make_update = &make_update;
-            scope.spawn(move || {
-                let mut update = make_update();
-                for (&slot, o) in wl_chunk.iter().zip(out_chunk) {
-                    *o = update(slot as usize, prev);
-                }
-            });
+    let n = worklist.len();
+    let chunk = chunk_size(n, rt.threads());
+    let shared_out = SharedScores::new(out);
+    let cursor = AtomicUsize::new(0);
+    rt.run(&|_wid, ws| {
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for (i, &slot) in worklist.iter().enumerate().take(end).skip(start) {
+                let v = update(slot as usize, prev, &mut ws.scratch);
+                // SAFETY: cursor ranges are disjoint across workers.
+                unsafe { shared_out.write(i, v) };
+            }
         }
     });
 }
 
-/// The dirty-pair worklist shared between the coordinator (which rebuilds
-/// it between iterations) and the workers (which only read it while an
-/// iteration is in flight). The barriers at each iteration boundary order
-/// the two phases, so no access is ever concurrent with a mutation.
-struct SharedWorklist {
-    cell: UnsafeCell<Vec<u32>>,
-}
-
-// SAFETY: mutation (coordinator) and reads (workers) are separated by the
-// iteration barriers as documented above.
-unsafe impl Sync for SharedWorklist {}
-
-impl SharedWorklist {
-    /// Shared view of the worklist.
-    ///
-    /// # Safety
-    /// Caller must guarantee no concurrent mutation (true for workers
-    /// between the start and end barriers, and for the coordinator outside
-    /// them).
-    unsafe fn read(&self) -> &Vec<u32> {
-        &*self.cell.get()
-    }
-
-    /// Mutable view of the worklist.
-    ///
-    /// # Safety
-    /// Caller must be the coordinator, outside the barrier window (no
-    /// worker holds a view).
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn write(&self) -> &mut Vec<u32> {
-        &mut *self.cell.get()
-    }
-}
-
-/// Runs the **delta-driven** iteration loop on a worker pool spawned once
-/// for the whole run.
+/// Runs the **delta-driven** iteration loop on the session's [`Runtime`].
 ///
 /// Iteration 1 evaluates every slot; iteration `k > 1` evaluates only the
 /// dependents (per `rdep_offsets` / `rdeps`) of slots whose score changed
@@ -277,21 +442,15 @@ impl SharedWorklist {
 /// did not change), so results are bitwise identical to [`run_parallel`]
 /// and to the sequential loops.
 ///
-/// Buffer discipline: workers write worklist slots of the current buffer;
-/// the coordinator concurrently repairs the disjoint set of slots that
-/// changed last iteration but are *not* on the worklist (copying their
-/// previous score forward), so after each iteration the write buffer is
-/// complete.
-///
 /// `initial_worklist` and `approx` mirror
 /// [`run_delta`](super::iterate::run_delta): a warm-start worklist and
 /// ε-aware approximate gating. All scheduling decisions (accumulator
 /// arithmetic, threshold crossings) are made by the coordinator between
-/// barriers from order-independent reductions, so the approximate mode is
-/// bitwise identical to its sequential counterpart too.
+/// dispatches from order-independent reductions, so the approximate mode
+/// is bitwise identical to its sequential counterpart too.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_parallel_delta<U, F>(
-    threads: usize,
+pub(crate) fn run_parallel_delta<U>(
+    rt: &Runtime,
     max_iters: usize,
     epsilon: f64,
     prev: &mut Vec<f64>,
@@ -301,15 +460,13 @@ pub(crate) fn run_parallel_delta<U, F>(
     mut record: Option<&mut super::iterate::Recorder<'_>>,
     initial_worklist: Option<Vec<u32>>,
     mut approx: Option<&mut super::iterate::ApproxState>,
-    make_update: F,
+    update: U,
 ) -> IterationOutcome
 where
-    F: Fn() -> U + Sync,
-    U: FnMut(usize, &[f64]) -> f64,
+    U: Fn(usize, &[f64], &mut OpScratch) -> f64 + Sync,
 {
     let n = prev.len();
     debug_assert_eq!(n, cur.len());
-    debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
     if let Some(h) = record.as_deref_mut() {
         h.push(prev);
     }
@@ -318,222 +475,169 @@ where
         // double buffer as-is.
         cur.copy_from_slice(prev);
     }
+    let mut worklist = initial_worklist.unwrap_or_else(|| (0..n as u32).collect());
     let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
-    let worklist = SharedWorklist {
-        cell: UnsafeCell::new(initial_worklist.unwrap_or_else(|| (0..n as u32).collect())),
-    };
     let cursor = AtomicUsize::new(0);
-    let chunk = AtomicUsize::new(1);
-    let read_index = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
-    let barrier = Barrier::new(threads + 1);
-    let deltas: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let deltas: Vec<AtomicU64> = (0..rt.threads()).map(|_| AtomicU64::new(0)).collect();
     let changed_sink: Mutex<Vec<u32>> = Mutex::new(Vec::new());
 
-    let mut iterations = 0usize;
-    let mut converged = false;
-    let mut final_delta = f64::INFINITY;
-    let mut pairs_evaluated = Vec::new();
-    std::thread::scope(|scope| {
-        for worker_delta in &deltas {
-            let buffers = &buffers;
-            let worklist = &worklist;
-            let cursor = &cursor;
-            let chunk = &chunk;
-            let read_index = &read_index;
-            let stop = &stop;
-            let barrier = &barrier;
-            let changed_sink = &changed_sink;
-            let make_update = &make_update;
-            scope.spawn(move || {
-                let mut update = make_update();
-                let mut local_changed: Vec<u32> = Vec::new();
-                loop {
-                    barrier.wait(); // iteration start (or shutdown)
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let r = read_index.load(Ordering::Relaxed);
-                    // SAFETY: this iteration only writes `buffers[1 - r]`.
-                    let read = unsafe { buffers[r].as_read_slice() };
-                    let write = &buffers[1 - r];
-                    // SAFETY: the coordinator mutates the worklist only
-                    // outside the barrier window.
-                    let wl: &[u32] = unsafe { worklist.read() };
-                    let step = chunk.load(Ordering::Relaxed);
-                    let mut local_delta = 0.0f64;
-                    local_changed.clear();
-                    loop {
-                        let start = cursor.fetch_add(step, Ordering::Relaxed);
-                        if start >= wl.len() {
-                            break;
-                        }
-                        let end = (start + step).min(wl.len());
-                        for &slot_id in &wl[start..end] {
-                            let slot = slot_id as usize;
-                            let score = update(slot, read);
-                            let d = (score - read[slot]).abs();
-                            if d > local_delta {
-                                local_delta = d;
-                            }
-                            if score.to_bits() != read[slot].to_bits() {
-                                local_changed.push(slot_id);
-                            }
-                            // SAFETY: worklist slots are handed out
-                            // disjointly by the cursor; the coordinator
-                            // writes only non-worklist slots.
-                            unsafe { write.write(slot, score) };
-                        }
-                    }
-                    worker_delta.store(local_delta.to_bits(), Ordering::Relaxed);
-                    if !local_changed.is_empty() {
-                        changed_sink
-                            .lock()
-                            .expect("changed sink")
-                            .extend_from_slice(&local_changed);
-                    }
-                    barrier.wait(); // iteration end
+    let mut out = IterationOutcome::empty();
+    let mut read = 0usize;
+    // Slots whose score changed in the previous iteration (C_{k−1}).
+    let mut prev_changed: Vec<u32> = Vec::new();
+    // Worklist-membership marks: mark[s] == epoch ⇔ s ∈ current D_k.
+    let mut mark: Vec<u64> = vec![0; n];
+    let mut epoch = 0u64;
+    while out.iterations < max_iters {
+        let t0 = Instant::now();
+        {
+            // Repair C_{k−1} \ D_k before the dispatch: copy last
+            // iteration's value forward for changed slots that are not
+            // being re-evaluated (their two-iterations-old copy in the
+            // write buffer is stale).
+            // SAFETY: no dispatch is in flight; the coordinator has
+            // exclusive access to both buffers.
+            let read_buf = unsafe { buffers[read].as_read_slice() };
+            let write = &buffers[1 - read];
+            for &s in &prev_changed {
+                if mark[s as usize] != epoch {
+                    unsafe { write.write(s as usize, read_buf[s as usize]) };
                 }
-            });
+            }
         }
-
-        let mut read = 0usize;
-        // Slots whose score changed in the previous iteration (C_{k−1}).
-        let mut prev_changed: Vec<u32> = Vec::new();
-        // Worklist-membership marks: mark[s] == epoch ⇔ s ∈ current D_k.
-        let mut mark: Vec<u64> = vec![0; n];
-        let mut epoch = 0u64;
-        while iterations < max_iters {
-            // SAFETY: workers are parked at the start barrier.
-            let wl_len = unsafe { worklist.read() }.len();
-            cursor.store(0, Ordering::Relaxed);
-            chunk.store((wl_len / (threads * 8)).max(64), Ordering::Relaxed);
-            read_index.store(read, Ordering::Relaxed);
-            barrier.wait(); // release workers into the iteration
-            {
-                // Repair C_{k−1} \ D_k concurrently with the workers: copy
-                // last iteration's value forward for changed slots that are
-                // not being re-evaluated (their two-iterations-old copy in
-                // the write buffer is stale). Disjoint from worker writes.
-                // SAFETY: workers never write the read buffer, and only
-                // write worklist slots of the write buffer.
-                let read_buf = unsafe { buffers[read].as_read_slice() };
-                let write = &buffers[1 - read];
-                for &s in &prev_changed {
-                    if mark[s as usize] != epoch {
-                        unsafe { write.write(s as usize, read_buf[s as usize]) };
-                    }
-                }
-            }
-            barrier.wait(); // wait for every worklist slot to be written
-            final_delta = deltas
-                .iter()
-                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
-                .fold(0.0, f64::max);
-            pairs_evaluated.push(wl_len);
-            iterations += 1;
-            read = 1 - read;
-            if let Some(h) = record.as_deref_mut() {
-                // SAFETY: workers are parked at the start barrier; the
-                // freshly written buffer is stable.
-                h.push(unsafe { buffers[read].as_read_slice() });
-            }
-            if let Some(ap) = approx.as_deref_mut() {
-                // Approximate error accounting, mirroring the sequential
-                // loop: reset evaluated slots, fold this iteration's
-                // changes into their dependents' accumulators (per-slot
-                // max — order-independent, so bitwise equal to the
-                // sequential schedule), then gate the next worklist on
-                // the threshold. Runs before the convergence check so the
-                // final accumulators certify the returned scores.
-                {
-                    // SAFETY: workers are parked at the start barrier.
-                    let wl = unsafe { worklist.read() };
-                    for &s in wl {
-                        ap.acc[s as usize] = 0.0;
-                    }
-                }
-                prev_changed.clear();
-                std::mem::swap(
-                    &mut prev_changed,
-                    &mut *changed_sink.lock().expect("changed sink"),
-                );
-                // SAFETY: workers are parked; both buffers are stable.
-                let new_buf = unsafe { buffers[read].as_read_slice() };
-                let old_buf = unsafe { buffers[1 - read].as_read_slice() };
-                ap.begin();
-                for &c in &prev_changed {
-                    let d = (new_buf[c as usize] - old_buf[c as usize]).abs();
-                    let (a, b) = (rdep_offsets[c as usize], rdep_offsets[c as usize + 1]);
-                    for &dep in &rdeps[a..b] {
-                        ap.bump(dep, d);
-                    }
-                }
-                epoch += 1;
-                // SAFETY: workers are parked at the start barrier again.
-                let wl = unsafe { worklist.write() };
-                wl.clear();
-                ap.commit(|t| {
-                    if mark[t as usize] != epoch {
-                        mark[t as usize] = epoch;
-                        wl.push(t);
-                    }
-                });
-                if final_delta < ap.stop_delta {
-                    converged = true;
+        cursor.store(0, Ordering::Relaxed);
+        let chunk = chunk_size(worklist.len(), rt.threads());
+        let wl = &worklist;
+        rt.run(&|wid, ws| {
+            // SAFETY: this iteration only reads `buffers[read]` and
+            // writes disjoint worklist slots of `buffers[1 - read]`.
+            let read_buf = unsafe { buffers[read].as_read_slice() };
+            let write = &buffers[1 - read];
+            let mut local_delta = 0.0f64;
+            ws.changed.clear();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= wl.len() {
                     break;
                 }
-                continue;
+                let end = (start + chunk).min(wl.len());
+                for &slot_id in &wl[start..end] {
+                    let slot = slot_id as usize;
+                    let score = update(slot, read_buf, &mut ws.scratch);
+                    let d = (score - read_buf[slot]).abs();
+                    if d > local_delta {
+                        local_delta = d;
+                    }
+                    if score.to_bits() != read_buf[slot].to_bits() {
+                        ws.changed.push(slot_id);
+                    }
+                    // SAFETY: worklist slots are handed out disjointly by
+                    // the cursor; the coordinator wrote only non-worklist
+                    // slots, before the dispatch.
+                    unsafe { write.write(slot, score) };
+                }
             }
-            if final_delta < epsilon {
-                converged = true;
-                break;
+            deltas[wid].store(local_delta.to_bits(), Ordering::Relaxed);
+            if !ws.changed.is_empty() {
+                changed_sink
+                    .lock()
+                    .expect("changed sink")
+                    .extend_from_slice(&ws.changed);
+            }
+        });
+        out.final_delta = deltas
+            .iter()
+            .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+            .fold(0.0, f64::max);
+        out.pairs_evaluated.push(worklist.len());
+        out.iter_seconds.push(t0.elapsed().as_secs_f64());
+        out.iterations += 1;
+        read = 1 - read;
+        if let Some(h) = record.as_deref_mut() {
+            // SAFETY: no dispatch is in flight; the freshly written
+            // buffer is stable.
+            h.push(unsafe { buffers[read].as_read_slice() });
+        }
+        if let Some(ap) = approx.as_deref_mut() {
+            // Approximate error accounting, mirroring the sequential
+            // loop: reset evaluated slots, fold this iteration's changes
+            // into their dependents' accumulators (per-slot max —
+            // order-independent, so bitwise equal to the sequential
+            // schedule), then gate the next worklist on the threshold.
+            // Runs before the convergence check so the final accumulators
+            // certify the returned scores.
+            for &s in &worklist {
+                ap.acc[s as usize] = 0.0;
             }
             prev_changed.clear();
             std::mem::swap(
                 &mut prev_changed,
                 &mut *changed_sink.lock().expect("changed sink"),
             );
-            // Next worklist: the dependents of every changed slot.
-            epoch += 1;
-            // SAFETY: workers are parked at the start barrier again.
-            let wl = unsafe { worklist.write() };
-            wl.clear();
+            // SAFETY: no dispatch is in flight; both buffers are stable.
+            let new_buf = unsafe { buffers[read].as_read_slice() };
+            let old_buf = unsafe { buffers[1 - read].as_read_slice() };
+            ap.begin();
             for &c in &prev_changed {
+                let d = (new_buf[c as usize] - old_buf[c as usize]).abs();
                 let (a, b) = (rdep_offsets[c as usize], rdep_offsets[c as usize + 1]);
                 for &dep in &rdeps[a..b] {
-                    if mark[dep as usize] != epoch {
-                        mark[dep as usize] = epoch;
-                        wl.push(dep);
-                    }
+                    ap.bump(dep, d);
+                }
+            }
+            epoch += 1;
+            worklist.clear();
+            ap.commit(|t| {
+                if mark[t as usize] != epoch {
+                    mark[t as usize] = epoch;
+                    worklist.push(t);
+                }
+            });
+            if out.final_delta < ap.stop_delta {
+                out.converged = true;
+                break;
+            }
+            continue;
+        }
+        if out.final_delta < epsilon {
+            out.converged = true;
+            break;
+        }
+        prev_changed.clear();
+        std::mem::swap(
+            &mut prev_changed,
+            &mut *changed_sink.lock().expect("changed sink"),
+        );
+        // Next worklist: the dependents of every changed slot.
+        epoch += 1;
+        worklist.clear();
+        for &c in &prev_changed {
+            let (a, b) = (rdep_offsets[c as usize], rdep_offsets[c as usize + 1]);
+            for &dep in &rdeps[a..b] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
                 }
             }
         }
-        stop.store(true, Ordering::Release);
-        barrier.wait(); // release workers into shutdown
-    });
+    }
 
-    if iterations % 2 == 1 {
+    if out.iterations % 2 == 1 {
         std::mem::swap(prev, cur);
     }
-    IterationOutcome {
-        iterations,
-        converged,
-        final_delta,
-        pairs_evaluated,
-    }
+    out
 }
 
 /// Parallel **trajectory replay** (see
 /// [`run_replay`](super::iterate::run_replay) for the algorithm and the
 /// bitwise-identity argument). The worker pool evaluates the per-iteration
 /// worklists; the coordinator pre-fills each iteration's write buffer from
-/// the recorded trajectory before releasing the workers (ordered by the
-/// start barrier), then scans the completed buffer for the convergence
-/// delta and the divergence set while the workers are parked.
+/// the recorded trajectory before the dispatch, then scans the completed
+/// buffer for the convergence delta and the divergence set between
+/// dispatches.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_parallel_replay<U, F>(
-    threads: usize,
+pub(crate) fn run_parallel_replay<U>(
+    rt: &Runtime,
     max_iters: usize,
     epsilon: f64,
     old_traj: &[Vec<f64>],
@@ -543,15 +647,13 @@ pub(crate) fn run_parallel_replay<U, F>(
     prev: &mut Vec<f64>,
     cur: &mut Vec<f64>,
     mut record: Option<&mut super::iterate::Recorder<'_>>,
-    make_update: F,
+    update: U,
 ) -> IterationOutcome
 where
-    F: Fn() -> U + Sync,
-    U: FnMut(usize, &[f64]) -> f64,
+    U: Fn(usize, &[f64], &mut OpScratch) -> f64 + Sync,
 {
     let n = prev.len();
     debug_assert_eq!(n, cur.len());
-    debug_assert!(threads >= 2, "parallel runtime needs at least two workers");
     debug_assert!(old_traj.len() >= 2, "replay needs at least one iterate");
     if let Some(h) = record.as_deref_mut() {
         h.push(prev);
@@ -559,11 +661,11 @@ where
 
     let mut mark: Vec<u64> = vec![0; n];
     let mut epoch = 1u64;
-    let mut initial_worklist: Vec<u32> = Vec::new();
+    let mut worklist: Vec<u32> = Vec::new();
     for &s in always_dirty {
         if mark[s as usize] != epoch {
             mark[s as usize] = epoch;
-            initial_worklist.push(s);
+            worklist.push(s);
         }
     }
     for s in 0..n {
@@ -571,258 +673,206 @@ where
             for &dep in &rdeps[rdep_offsets[s]..rdep_offsets[s + 1]] {
                 if mark[dep as usize] != epoch {
                     mark[dep as usize] = epoch;
-                    initial_worklist.push(dep);
+                    worklist.push(dep);
                 }
             }
         }
     }
 
     let buffers = [SharedScores::new(prev), SharedScores::new(cur)];
-    let worklist = SharedWorklist {
-        cell: UnsafeCell::new(initial_worklist),
-    };
     let cursor = AtomicUsize::new(0);
-    let chunk = AtomicUsize::new(1);
-    let read_index = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
-    let barrier = Barrier::new(threads + 1);
-    let deltas: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let deltas: Vec<AtomicU64> = (0..rt.threads()).map(|_| AtomicU64::new(0)).collect();
     let changed_sink: Mutex<Vec<u32>> = Mutex::new(Vec::new());
 
-    let mut iterations = 0usize;
-    let mut converged = false;
-    let mut final_delta = f64::INFINITY;
-    let mut pairs_evaluated = Vec::new();
-    std::thread::scope(|scope| {
-        for worker_delta in &deltas {
-            let buffers = &buffers;
-            let worklist = &worklist;
-            let cursor = &cursor;
-            let chunk = &chunk;
-            let read_index = &read_index;
-            let stop = &stop;
-            let barrier = &barrier;
-            let changed_sink = &changed_sink;
-            let make_update = &make_update;
-            scope.spawn(move || {
-                let mut update = make_update();
-                let mut local_changed: Vec<u32> = Vec::new();
-                loop {
-                    barrier.wait(); // iteration start (or shutdown)
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let r = read_index.load(Ordering::Relaxed);
-                    // SAFETY: this iteration only writes `buffers[1 - r]`.
-                    let read = unsafe { buffers[r].as_read_slice() };
-                    let write = &buffers[1 - r];
-                    // SAFETY: the coordinator mutates the worklist only
-                    // outside the barrier window.
-                    let wl: &[u32] = unsafe { worklist.read() };
-                    let step = chunk.load(Ordering::Relaxed);
-                    let mut local_delta = 0.0f64;
-                    local_changed.clear();
-                    loop {
-                        let start = cursor.fetch_add(step, Ordering::Relaxed);
-                        if start >= wl.len() {
-                            break;
-                        }
-                        let end = (start + step).min(wl.len());
-                        for &slot_id in &wl[start..end] {
-                            let slot = slot_id as usize;
-                            let score = update(slot, read);
-                            let d = (score - read[slot]).abs();
-                            if d > local_delta {
-                                local_delta = d;
-                            }
-                            if score.to_bits() != read[slot].to_bits() {
-                                local_changed.push(slot_id);
-                            }
-                            // SAFETY: worklist slots are handed out
-                            // disjointly by the cursor; the coordinator
-                            // writes nothing while an iteration runs.
-                            unsafe { write.write(slot, score) };
-                        }
-                    }
-                    worker_delta.store(local_delta.to_bits(), Ordering::Relaxed);
-                    if !local_changed.is_empty() {
-                        changed_sink
-                            .lock()
-                            .expect("changed sink")
-                            .extend_from_slice(&local_changed);
-                    }
-                    barrier.wait(); // iteration end
+    // One dispatch: evaluate the current worklist against `buffers[read]`,
+    // writing into `buffers[1 - read]`.
+    let eval_worklist = |read: usize, wl: &[u32]| {
+        cursor.store(0, Ordering::Relaxed);
+        let chunk = chunk_size(wl.len(), rt.threads());
+        rt.run(&|wid, ws| {
+            // SAFETY: this iteration only reads `buffers[read]` and
+            // writes disjoint worklist slots of `buffers[1 - read]`.
+            let read_buf = unsafe { buffers[read].as_read_slice() };
+            let write = &buffers[1 - read];
+            let mut local_delta = 0.0f64;
+            ws.changed.clear();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= wl.len() {
+                    break;
                 }
-            });
+                let end = (start + chunk).min(wl.len());
+                for &slot_id in &wl[start..end] {
+                    let slot = slot_id as usize;
+                    let score = update(slot, read_buf, &mut ws.scratch);
+                    let d = (score - read_buf[slot]).abs();
+                    if d > local_delta {
+                        local_delta = d;
+                    }
+                    if score.to_bits() != read_buf[slot].to_bits() {
+                        ws.changed.push(slot_id);
+                    }
+                    // SAFETY: worklist slots are handed out disjointly by
+                    // the cursor.
+                    unsafe { write.write(slot, score) };
+                }
+            }
+            deltas[wid].store(local_delta.to_bits(), Ordering::Relaxed);
+            if !ws.changed.is_empty() {
+                changed_sink
+                    .lock()
+                    .expect("changed sink")
+                    .extend_from_slice(&ws.changed);
+            }
+        });
+    };
+
+    let mut out = IterationOutcome::empty();
+    let mut read = 0usize;
+    let hist_iters = old_traj.len() - 1;
+    let mut changed: Vec<u32> = Vec::new();
+
+    // Phase A: replay along the recorded trajectory. The coordinator
+    // pre-fills the write buffer from history between dispatches; worker
+    // writes of worklist slots land on top.
+    let mut k = 1usize;
+    while out.iterations < max_iters && k <= hist_iters {
+        let t0 = Instant::now();
+        let hist = &old_traj[k];
+        // SAFETY: no dispatch is in flight.
+        unsafe { buffers[1 - read].copy_from(hist) };
+        let wl_len = worklist.len();
+        eval_worklist(read, &worklist);
+        out.pairs_evaluated.push(wl_len);
+        // Full scan between dispatches: the convergence delta over all
+        // slots, and divergence from the old trajectory for worklist
+        // propagation. Worker-local deltas and changed sets are ignored
+        // in this phase (they compare against the previous iterate, not
+        // the trajectory).
+        changed_sink.lock().expect("changed sink").clear();
+        // SAFETY: no dispatch is in flight; both buffers are stable.
+        let prev_buf = unsafe { buffers[read].as_read_slice() };
+        let cur_buf = unsafe { buffers[1 - read].as_read_slice() };
+        let mut delta = 0.0f64;
+        changed.clear();
+        for s in 0..n {
+            let d = (cur_buf[s] - prev_buf[s]).abs();
+            if d > delta {
+                delta = d;
+            }
+            if cur_buf[s].to_bits() != hist[s].to_bits() {
+                changed.push(s as u32);
+            }
         }
-
-        let mut read = 0usize;
-        let hist_iters = old_traj.len() - 1;
-        let mut changed: Vec<u32> = Vec::new();
-
-        // Phase A: replay along the recorded trajectory. The coordinator
-        // pre-fills the write buffer from history while the workers are
-        // parked; worker writes of worklist slots land on top.
-        let mut k = 1usize;
-        while iterations < max_iters && k <= hist_iters {
-            let hist = &old_traj[k];
-            // SAFETY: workers are parked at the start barrier.
-            let wl_len = unsafe { worklist.read() }.len();
-            unsafe { buffers[1 - read].copy_from(hist) };
-            cursor.store(0, Ordering::Relaxed);
-            chunk.store((wl_len / (threads * 8)).max(64), Ordering::Relaxed);
-            read_index.store(read, Ordering::Relaxed);
-            barrier.wait(); // release workers into the iteration
-            barrier.wait(); // wait for every worklist slot to be written
-            pairs_evaluated.push(wl_len);
-            // Full scan while the workers are parked: the convergence
-            // delta over all slots, and divergence from the old
-            // trajectory for worklist propagation. Worker-local deltas
-            // and changed sets are ignored in this phase (they compare
-            // against the previous iterate, not the trajectory).
-            changed_sink.lock().expect("changed sink").clear();
-            // SAFETY: workers are parked; both buffers are stable.
-            let prev_buf = unsafe { buffers[read].as_read_slice() };
-            let cur_buf = unsafe { buffers[1 - read].as_read_slice() };
-            let mut delta = 0.0f64;
-            changed.clear();
-            for s in 0..n {
-                let d = (cur_buf[s] - prev_buf[s]).abs();
-                if d > delta {
-                    delta = d;
-                }
-                if cur_buf[s].to_bits() != hist[s].to_bits() {
-                    changed.push(s as u32);
+        if let Some(h) = record.as_deref_mut() {
+            h.push(cur_buf);
+        }
+        out.final_delta = delta;
+        out.iter_seconds.push(t0.elapsed().as_secs_f64());
+        out.iterations += 1;
+        k += 1;
+        read = 1 - read;
+        if delta < epsilon {
+            out.converged = true;
+            break;
+        }
+        epoch += 1;
+        worklist.clear();
+        for &s in always_dirty {
+            if mark[s as usize] != epoch {
+                mark[s as usize] = epoch;
+                worklist.push(s);
+            }
+        }
+        for &c in &changed {
+            for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
                 }
             }
-            if let Some(h) = record.as_deref_mut() {
-                h.push(cur_buf);
+        }
+    }
+
+    // Phase B: history exhausted — standard dirty-worklist iteration
+    // (the mechanics of `run_parallel_delta`), seeded from the last
+    // two iterates.
+    if !out.converged && out.iterations < max_iters {
+        // SAFETY: no dispatch is in flight; both buffers are stable.
+        let prev_buf = unsafe { buffers[1 - read].as_read_slice() };
+        let cur_buf = unsafe { buffers[read].as_read_slice() };
+        let mut prev_changed: Vec<u32> = Vec::new();
+        for s in 0..n {
+            if cur_buf[s].to_bits() != prev_buf[s].to_bits() {
+                prev_changed.push(s as u32);
             }
-            final_delta = delta;
-            iterations += 1;
-            k += 1;
+        }
+        epoch += 1;
+        worklist.clear();
+        for &c in &prev_changed {
+            for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
+                if mark[dep as usize] != epoch {
+                    mark[dep as usize] = epoch;
+                    worklist.push(dep);
+                }
+            }
+        }
+        changed_sink.lock().expect("changed sink").clear();
+        while out.iterations < max_iters {
+            let t0 = Instant::now();
+            {
+                // Repair C_{k−1} \ D_k before the dispatch (disjoint
+                // slots — see `run_parallel_delta`).
+                // SAFETY: no dispatch is in flight.
+                let read_buf = unsafe { buffers[read].as_read_slice() };
+                let write = &buffers[1 - read];
+                for &s in &prev_changed {
+                    if mark[s as usize] != epoch {
+                        unsafe { write.write(s as usize, read_buf[s as usize]) };
+                    }
+                }
+            }
+            let wl_len = worklist.len();
+            eval_worklist(read, &worklist);
+            out.final_delta = deltas
+                .iter()
+                .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+                .fold(0.0, f64::max);
+            out.pairs_evaluated.push(wl_len);
+            out.iter_seconds.push(t0.elapsed().as_secs_f64());
+            out.iterations += 1;
             read = 1 - read;
-            if delta < epsilon {
-                converged = true;
+            if let Some(h) = record.as_deref_mut() {
+                // SAFETY: no dispatch is in flight; the written buffer is
+                // stable.
+                h.push(unsafe { buffers[read].as_read_slice() });
+            }
+            if out.final_delta < epsilon {
+                out.converged = true;
                 break;
             }
+            prev_changed.clear();
+            std::mem::swap(
+                &mut prev_changed,
+                &mut *changed_sink.lock().expect("changed sink"),
+            );
             epoch += 1;
-            // SAFETY: workers are parked at the start barrier again.
-            let wl = unsafe { worklist.write() };
-            wl.clear();
-            for &s in always_dirty {
-                if mark[s as usize] != epoch {
-                    mark[s as usize] = epoch;
-                    wl.push(s);
-                }
-            }
-            for &c in &changed {
+            worklist.clear();
+            for &c in &prev_changed {
                 for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
                     if mark[dep as usize] != epoch {
                         mark[dep as usize] = epoch;
-                        wl.push(dep);
+                        worklist.push(dep);
                     }
                 }
             }
         }
+    }
 
-        // Phase B: history exhausted — standard dirty-worklist iteration
-        // (the mechanics of `run_parallel_delta`), seeded from the last
-        // two iterates.
-        if !converged && iterations < max_iters {
-            // SAFETY: workers are parked; both buffers are stable.
-            let prev_buf = unsafe { buffers[1 - read].as_read_slice() };
-            let cur_buf = unsafe { buffers[read].as_read_slice() };
-            let mut prev_changed: Vec<u32> = Vec::new();
-            for s in 0..n {
-                if cur_buf[s].to_bits() != prev_buf[s].to_bits() {
-                    prev_changed.push(s as u32);
-                }
-            }
-            epoch += 1;
-            {
-                // SAFETY: workers are parked at the start barrier.
-                let wl = unsafe { worklist.write() };
-                wl.clear();
-                for &c in &prev_changed {
-                    for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
-                        if mark[dep as usize] != epoch {
-                            mark[dep as usize] = epoch;
-                            wl.push(dep);
-                        }
-                    }
-                }
-            }
-            changed_sink.lock().expect("changed sink").clear();
-            while iterations < max_iters {
-                // SAFETY: workers are parked at the start barrier.
-                let wl_len = unsafe { worklist.read() }.len();
-                cursor.store(0, Ordering::Relaxed);
-                chunk.store((wl_len / (threads * 8)).max(64), Ordering::Relaxed);
-                read_index.store(read, Ordering::Relaxed);
-                barrier.wait(); // release workers into the iteration
-                {
-                    // Repair C_{k−1} \ D_k concurrently with the workers
-                    // (disjoint slots — see `run_parallel_delta`).
-                    // SAFETY: workers never write the read buffer, and
-                    // only write worklist slots of the write buffer.
-                    let read_buf = unsafe { buffers[read].as_read_slice() };
-                    let write = &buffers[1 - read];
-                    for &s in &prev_changed {
-                        if mark[s as usize] != epoch {
-                            unsafe { write.write(s as usize, read_buf[s as usize]) };
-                        }
-                    }
-                }
-                barrier.wait(); // wait for every worklist slot to be written
-                final_delta = deltas
-                    .iter()
-                    .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
-                    .fold(0.0, f64::max);
-                pairs_evaluated.push(wl_len);
-                iterations += 1;
-                read = 1 - read;
-                if let Some(h) = record.as_deref_mut() {
-                    // SAFETY: workers are parked; the written buffer is
-                    // stable.
-                    h.push(unsafe { buffers[read].as_read_slice() });
-                }
-                if final_delta < epsilon {
-                    converged = true;
-                    break;
-                }
-                prev_changed.clear();
-                std::mem::swap(
-                    &mut prev_changed,
-                    &mut *changed_sink.lock().expect("changed sink"),
-                );
-                epoch += 1;
-                // SAFETY: workers are parked at the start barrier again.
-                let wl = unsafe { worklist.write() };
-                wl.clear();
-                for &c in &prev_changed {
-                    for &dep in &rdeps[rdep_offsets[c as usize]..rdep_offsets[c as usize + 1]] {
-                        if mark[dep as usize] != epoch {
-                            mark[dep as usize] = epoch;
-                            wl.push(dep);
-                        }
-                    }
-                }
-            }
-        }
-        stop.store(true, Ordering::Release);
-        barrier.wait(); // release workers into shutdown
-    });
-
-    if iterations % 2 == 1 {
+    if out.iterations % 2 == 1 {
         std::mem::swap(prev, cur);
     }
-    IterationOutcome {
-        iterations,
-        converged,
-        final_delta,
-        pairs_evaluated,
-    }
+    out
 }
 
 #[cfg(test)]
@@ -836,10 +886,8 @@ mod tests {
         epsilon: f64,
         update: impl Fn(usize, &[f64]) -> f64,
     ) -> IterationOutcome {
-        let mut iterations = 0;
-        let mut converged = false;
-        let mut final_delta = f64::INFINITY;
-        while iterations < max_iters {
+        let mut out = IterationOutcome::empty();
+        while out.iterations < max_iters {
             let mut delta = 0.0f64;
             for slot in 0..scores.len() {
                 let s = update(slot, scores);
@@ -847,19 +895,16 @@ mod tests {
                 cur[slot] = s;
             }
             scores.copy_from_slice(cur);
-            final_delta = delta;
-            iterations += 1;
+            out.final_delta = delta;
+            out.pairs_evaluated.push(scores.len());
+            out.iter_seconds.push(0.0);
+            out.iterations += 1;
             if delta < epsilon {
-                converged = true;
+                out.converged = true;
                 break;
             }
         }
-        IterationOutcome {
-            iterations,
-            converged,
-            final_delta,
-            pairs_evaluated: vec![scores.len(); iterations],
-        }
+        out
     }
 
     /// A toy contraction: each slot averages itself with its neighbors,
@@ -871,6 +916,10 @@ mod tests {
         0.8 * (left + right + prev[slot]) / 3.0
     }
 
+    fn toy(slot: usize, prev: &[f64], _scratch: &mut OpScratch) -> f64 {
+        toy_update(slot, prev)
+    }
+
     #[test]
     fn parallel_matches_sequential_bitwise_on_toy_system() {
         let n = 4096;
@@ -879,13 +928,15 @@ mod tests {
         let mut seq_cur = vec![0.0; n];
         let seq_out = run_seq(&mut seq, &mut seq_cur, 25, 1e-6, toy_update);
 
+        let rt = Runtime::new(4);
         let mut par = init.clone();
         let mut par_cur = vec![0.0; n];
-        let par_out = run_parallel(4, 25, 1e-6, &mut par, &mut par_cur, || toy_update);
+        let par_out = run_parallel(&rt, 25, 1e-6, &mut par, &mut par_cur, toy);
 
         assert_eq!(seq_out.iterations, par_out.iterations);
         assert_eq!(seq_out.converged, par_out.converged);
         assert_eq!(seq_out.final_delta.to_bits(), par_out.final_delta.to_bits());
+        assert_eq!(par_out.iter_seconds.len(), par_out.iterations);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.to_bits(), b.to_bits(), "parallel diverged");
         }
@@ -893,10 +944,11 @@ mod tests {
 
     #[test]
     fn zero_max_iters_is_a_no_op() {
+        let rt = Runtime::new(2);
         let mut prev = vec![0.5; 600];
         let original = prev.clone();
         let mut cur = vec![0.0; 600];
-        let out = run_parallel(2, 0, 1e-3, &mut prev, &mut cur, || toy_update);
+        let out = run_parallel(&rt, 0, 1e-3, &mut prev, &mut cur, toy);
         assert_eq!(out.iterations, 0);
         assert!(!out.converged);
         assert_eq!(prev, original);
@@ -906,13 +958,14 @@ mod tests {
     fn odd_iteration_counts_land_in_prev() {
         let n = 1000;
         let init: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let rt = Runtime::new(3);
         for cap in 1..=3 {
             let mut seq = init.clone();
             let mut seq_cur = vec![0.0; n];
             run_seq(&mut seq, &mut seq_cur, cap, 0.0, toy_update);
             let mut par = init.clone();
             let mut par_cur = vec![0.0; n];
-            let out = run_parallel(3, cap, 0.0, &mut par, &mut par_cur, || toy_update);
+            let out = run_parallel(&rt, cap, 0.0, &mut par, &mut par_cur, toy);
             assert_eq!(out.iterations, cap);
             assert_eq!(seq, par, "cap={cap}");
         }
@@ -946,12 +999,13 @@ mod tests {
         let seq_out = run_seq(&mut seq, &mut seq_cur, 30, 1e-9, toy_update);
 
         let (offsets, rdeps) = toy_rdeps(n);
+        let rt = Runtime::new(4);
         let mut par = init.clone();
         let mut par_cur = vec![0.0; n];
         let mut history: Vec<Vec<f64>> = Vec::new();
         let mut recorder = super::super::iterate::Recorder::new(&mut history, usize::MAX);
         let par_out = run_parallel_delta(
-            4,
+            &rt,
             30,
             1e-9,
             &mut par,
@@ -961,7 +1015,7 @@ mod tests {
             Some(&mut recorder),
             None,
             None,
-            || toy_update,
+            toy,
         );
         let _ = recorder;
 
@@ -969,6 +1023,7 @@ mod tests {
         assert_eq!(seq_out.converged, par_out.converged);
         assert_eq!(seq_out.final_delta.to_bits(), par_out.final_delta.to_bits());
         assert_eq!(par_out.pairs_evaluated.len(), par_out.iterations);
+        assert_eq!(par_out.iter_seconds.len(), par_out.iterations);
         assert_eq!(par_out.pairs_evaluated[0], n, "first iteration is full");
         assert!(
             par_out.pairs_evaluated.iter().sum::<usize>() < n * par_out.iterations,
@@ -991,10 +1046,11 @@ mod tests {
         let mut base = init.clone();
         let mut base_cur = vec![0.0; n];
         let (offsets, rdeps) = toy_rdeps(n);
+        let rt = Runtime::new(4);
         let mut history: Vec<Vec<f64>> = Vec::new();
         let mut recorder = super::super::iterate::Recorder::new(&mut history, usize::MAX);
         run_parallel_delta(
-            4,
+            &rt,
             40,
             1e-9,
             &mut base,
@@ -1004,7 +1060,7 @@ mod tests {
             Some(&mut recorder),
             None,
             None,
-            || toy_update,
+            toy,
         );
         let _ = recorder;
         // "Edit": slot 777's update function changes.
@@ -1024,7 +1080,7 @@ mod tests {
         let mut new_traj: Vec<Vec<f64>> = Vec::new();
         let mut new_rec = super::super::iterate::Recorder::new(&mut new_traj, usize::MAX);
         let warm_out = run_parallel_replay(
-            4,
+            &rt,
             40,
             1e-9,
             &history,
@@ -1034,7 +1090,7 @@ mod tests {
             &mut warm,
             &mut warm_cur,
             Some(&mut new_rec),
-            || edited_update,
+            |slot, prev, _s| edited_update(slot, prev),
         );
         let _ = new_rec;
         assert_eq!(warm_out.iterations, cold_out.iterations);
@@ -1067,8 +1123,9 @@ mod tests {
             seq[i] = toy_update(s as usize, &prev);
         }
         for threads in [2, 3, 7] {
+            let rt = Runtime::new(threads);
             let mut par = vec![0.0; worklist.len()];
-            eval_worklist_parallel(threads, &worklist, &prev, &mut par, || toy_update);
+            eval_worklist_parallel(&rt, &worklist, &prev, &mut par, toy);
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
             }
@@ -1076,24 +1133,58 @@ mod tests {
     }
 
     #[test]
-    fn per_worker_state_is_reused_across_iterations() {
-        use std::sync::atomic::AtomicUsize;
-        let factories = AtomicUsize::new(0);
+    fn worker_state_persists_across_dispatches_and_runs() {
+        let rt = Runtime::new(3);
+        // First dispatch stamps each worker's persistent staging buffer…
+        rt.run(&|wid, ws| {
+            ws.changed.clear();
+            ws.changed.push(wid as u32);
+        });
+        // …a full iteration run happens in between (its workers clear and
+        // refill `changed`, proving it is the same buffer)…
         let mut prev = vec![0.9; 2000];
         let mut cur = vec![0.0; 2000];
-        let threads = 3;
-        let out = run_parallel(threads, 10, 1e-9, &mut prev, &mut cur, || {
-            factories.fetch_add(1, Ordering::Relaxed);
-            |_slot: usize, prev: &[f64]| prev[0] * 0.5
+        let out = run_parallel(&rt, 10, 1e-9, &mut prev, &mut cur, |_, p, _| p[0] * 0.5);
+        assert!(out.iterations > 1, "toy system should iterate");
+        // …and the scratch allocations observed afterwards are the ones
+        // from before: no per-run reallocation means capacity is retained.
+        let retained = AtomicUsize::new(0);
+        rt.run(&|_wid, ws| {
+            if ws.changed.capacity() > 0 || !ws.changed.is_empty() {
+                retained.fetch_add(1, Ordering::Relaxed);
+            }
         });
         assert!(
-            out.iterations > 1,
-            "toy system should take several iterations"
+            retained.load(Ordering::Relaxed) >= 1,
+            "per-worker state must survive across dispatches"
         );
-        assert_eq!(
-            factories.load(Ordering::Relaxed),
-            threads,
-            "worker state must be created once per worker, not per iteration"
-        );
+    }
+
+    #[test]
+    fn runtime_repanics_worker_panics() {
+        let rt = Runtime::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(&|wid, _ws| {
+                if wid == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must surface on dispatch");
+        // The pool survives a panicking job: later dispatches still work.
+        let count = AtomicUsize::new(0);
+        rt.run(&|_wid, _ws| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn chunk_size_scales_with_worklist() {
+        assert_eq!(chunk_size(100, 4), 64, "short worklists keep the floor");
+        assert!(chunk_size(1_000_000, 4) > chunk_size(10_000, 4));
+        // Every slot is covered: threads × chunk ≥ len is not required
+        // (workers loop on the cursor), but chunk must never be zero.
+        assert!(chunk_size(0, 8) > 0);
     }
 }

@@ -16,14 +16,14 @@ use super::edits::{
     net_side_delta, validate_side, DirtyNodes, EditError, GraphEdit, GraphSide, SideDelta,
 };
 use super::iterate::{
-    effective_threads, init_score, initialize, pair_update, run_delta, run_replay,
+    effective_threads, init_score, initialize, pair_update, run_delta, run_replay, run_sweep_slots,
     run_to_convergence, ApproxState, Recorder,
 };
-use super::parallel::run_parallel_replay;
+use super::parallel::{run_parallel_replay, Runtime};
 use super::shards::{auto_shard_count, forced_shards, run_sharded, ShardState};
 use crate::candidates::{estimated_dep_entries, repair_candidates, StoreRepair, NO_SLOT};
 use crate::config::{ConfigError, ConvergenceMode, FsimConfig, LabelTermMode, ShardSpec};
-use crate::operators::{LabelEval, OpCtx, OpScratch, Operator, VariantOp};
+use crate::operators::{scalar_kernel_forced, LabelEval, OpCtx, OpScratch, Operator, VariantOp};
 use crate::result::FsimResult;
 use crate::store::PairStore;
 use crate::topk::top_k_from_iter;
@@ -176,14 +176,23 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     error_bound: f64,
     /// Pairs re-evaluated per iteration by the last run.
     pairs_evaluated: Vec<usize>,
+    /// Wall-clock seconds per iteration of the last run, aligned with
+    /// `pairs_evaluated` (their ratio is the pairs-per-second throughput
+    /// metric).
+    iter_seconds: Vec<f64>,
     /// Whether the last run used delta-driven scheduling.
     delta_scheduled: bool,
     /// Shards the last run executed with (0 = unsharded).
     shard_count: usize,
     /// Peak resident dependency-CSR bytes during the last run (the full
-    /// CSR for unsharded delta runs, the largest single shard CSR for
-    /// sharded runs, 0 for full sweeps).
+    /// CSR for unsharded delta and CSR-routed sweep runs, the largest
+    /// single shard CSR for sharded runs, 0 for on-the-fly sweeps).
     peak_csr_bytes: usize,
+    /// The session's persistent worker pool, spawned lazily at the first
+    /// run whose workload warrants parallelism and reused by every
+    /// subsequent run, rerun and edit replay. The configured thread count
+    /// is a session property: changing `cfg.threads` replaces the pool.
+    runtime: Option<Runtime>,
     has_run: bool,
 }
 
@@ -247,9 +256,11 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             final_delta: 0.0,
             error_bound: 0.0,
             pairs_evaluated: Vec::new(),
+            iter_seconds: Vec::new(),
             delta_scheduled: false,
             shard_count: 0,
             peak_csr_bytes: 0,
+            runtime: None,
             has_run: false,
         };
         engine.rebuild_store();
@@ -266,12 +277,24 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
     }
 
     fn rebuild_store(&mut self) {
-        let store = crate::candidates::enumerate_candidates(
+        // Upper-bound evaluation parallelizes over the pre-prune base set;
+        // spin the session pool up front when that base can plausibly use
+        // it (the pool then persists into the iteration drivers anyway).
+        if self.cfg.upper_bound.is_some() && self.cfg.threads > 1 {
+            let full = self.g1.node_count().saturating_mul(self.g2.node_count());
+            if full >= 2 * 4096
+                && self.runtime.as_ref().map(|r| r.threads()) != Some(self.cfg.threads)
+            {
+                self.runtime = Some(Runtime::new(self.cfg.threads));
+            }
+        }
+        let store = crate::candidates::enumerate_candidates_with(
             &self.g1,
             &self.g2,
             &self.ctx(),
             &self.cfg,
             &self.op,
+            self.runtime.as_ref(),
         );
         self.store = store;
         // The dependency CSR, the shard plan, the recorded trajectory and
@@ -301,9 +324,15 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
     /// Decides the run's scheduling substrate from the configured
     /// [`ConvergenceMode`] × [`ShardSpec`]: the full dependency CSR
     /// (`deps`), the sharded plan (`shards`, mutually exclusive), or
-    /// neither (full sweep).
+    /// neither (on-the-fly full sweep).
     ///
-    /// * `FullSweep` (or an operator without a slot path) holds neither.
+    /// * An operator without a slot path holds neither.
+    /// * `FullSweep` keeps sweep *scheduling* (every pair, every
+    ///   iteration) but routes each evaluation through the CSR's
+    ///   contiguous slot-indexed buffers when the estimate fits the
+    ///   budget — the vectorized kernel path, bitwise identical to the
+    ///   on-the-fly sweep. [`crate::force_scalar_kernel`] opts back into
+    ///   the on-the-fly path (no CSR).
     /// * `ShardSpec::Fixed(k)` always shards (rebuilding the plan when
     ///   the requested `k` changes).
     /// * `DeltaDriven` / `Approximate` without a fixed shard count build
@@ -318,9 +347,27 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
     ///   reused), and falls back to the full sweep only under
     ///   `ShardSpec::Off`.
     fn ensure_scheduling(&mut self) {
-        if !self.op.supports_slots() || self.cfg.convergence == ConvergenceMode::FullSweep {
+        if !self.op.supports_slots() {
             self.deps = None;
             self.shards = None;
+            return;
+        }
+        if self.cfg.convergence == ConvergenceMode::FullSweep {
+            self.shards = None;
+            if scalar_kernel_forced() {
+                // Pre-vectorization strategy: on-the-fly evaluation, no
+                // CSR (the A/B baseline of `tests/kernel_equivalence.rs`).
+                self.deps = None;
+            } else if self.deps.is_none() {
+                let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
+                let bytes =
+                    entries * BYTES_PER_ENTRY + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
+                if bytes <= self.cfg.csr_budget as u128 {
+                    let csr =
+                        PairDepCsr::build(&self.g1, &self.g2, &self.ctx(), &self.store, &self.op);
+                    self.deps = Some(csr);
+                }
+            }
             return;
         }
         if let Some(k) = forced_shards(&self.cfg) {
@@ -382,9 +429,40 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
     fn should_record(&self) -> bool {
         let two_iterates = 2u128 * self.store.len() as u128 * 8;
         self.deps.is_some()
+            // Sweep runs hold a CSR for the vectorized kernel but keep
+            // the sweep's semantics — which never included recording.
+            && self.cfg.convergence != ConvergenceMode::FullSweep
             && self.cfg.convergence.approximate_tolerance().is_none()
             && self.cfg.trajectory_budget > 0
             && two_iterates <= self.cfg.trajectory_budget as u128
+    }
+
+    /// Lazily spawns (or replaces) the session's persistent [`Runtime`]
+    /// when the configured thread count and the current workload warrant
+    /// parallel execution. An existing pool with the right worker count is
+    /// kept — the whole point is that workers and their scratch state
+    /// survive across runs. A pool is never torn down just because the
+    /// workload shrank (a later rerun may grow it back); only a `threads`
+    /// reconfiguration replaces it.
+    fn ensure_runtime(&mut self) {
+        if effective_threads(self.cfg.threads, self.store.len()) > 1
+            && self.runtime.as_ref().map(|r| r.threads()) != Some(self.cfg.threads)
+        {
+            self.runtime = Some(Runtime::new(self.cfg.threads));
+        }
+    }
+
+    /// The runtime to hand the iteration drivers for a worklist of
+    /// (at most) `worklist` slots — `None` degrades to the sequential
+    /// path when coordination overhead would dominate.
+    fn active_runtime<'a>(
+        runtime: &'a Option<Runtime>,
+        cfg: &FsimConfig,
+        worklist: usize,
+    ) -> Option<&'a Runtime> {
+        runtime
+            .as_ref()
+            .filter(|_| effective_threads(cfg.threads, worklist) > 1)
     }
 
     /// Iterates Equation 3 to convergence (Algorithm 1) from a fresh
@@ -398,6 +476,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.final_delta = 0.0;
             self.error_bound = 0.0;
             self.pairs_evaluated.clear();
+            self.iter_seconds.clear();
             self.delta_scheduled = false;
             self.shard_count = 0;
             self.peak_csr_bytes = 0;
@@ -407,7 +486,12 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             return self;
         }
         self.ensure_scheduling();
-        self.delta_scheduled = self.deps.is_some() || self.shards.is_some();
+        // A sweep run holds a CSR purely as the vectorized kernel's
+        // substrate — its scheduling is still the full sweep.
+        self.delta_scheduled = (self.deps.is_some()
+            && self.cfg.convergence != ConvergenceMode::FullSweep)
+            || self.shards.is_some();
+        self.ensure_runtime();
         let mut recorded: Option<Vec<Vec<f64>>> = self.should_record().then(Vec::new);
         // ε-aware approximate scheduling is active only when a slot-based
         // substrate is available (operators without a slot path fall back
@@ -434,10 +518,12 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             shards,
             scores,
             cur,
+            runtime,
             ..
         } = self;
         let (g1, g2): (&Graph, &Graph) = (g1, g2);
         initialize(store, cfg, g1, g2, label_terms, scores);
+        let rt = Self::active_runtime(runtime, cfg, store.len());
         let mut shard_peak = 0usize;
         let outcome = if let Some(state) = shards.as_mut() {
             let ctx = OpCtx {
@@ -459,11 +545,15 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 cur,
                 None,
                 approx_state.as_mut(),
+                rt,
             );
             shard_peak = peak;
             outcome
         } else {
             match deps {
+                Some(csr) if cfg.convergence == ConvergenceMode::FullSweep => {
+                    run_sweep_slots(cfg, op, store, csr, label_terms, scores, cur, rt)
+                }
                 Some(csr) => {
                     let mut recorder = recorded
                         .as_mut()
@@ -479,6 +569,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                         recorder.as_mut(),
                         None,
                         approx_state.as_mut(),
+                        rt,
                     )
                 }
                 None => {
@@ -488,7 +579,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                         label_eval,
                         theta: cfg.theta,
                     };
-                    run_to_convergence(g1, g2, &ctx, cfg, op, store, label_terms, scores, cur)
+                    run_to_convergence(g1, g2, &ctx, cfg, op, store, label_terms, scores, cur, rt)
                 }
             }
         };
@@ -514,6 +605,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         self.converged = outcome.converged;
         self.final_delta = outcome.final_delta;
         self.pairs_evaluated = outcome.pairs_evaluated;
+        self.iter_seconds = outcome.iter_seconds;
         self.has_run = true;
         self
     }
@@ -907,11 +999,18 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         self.label_terms = label_terms;
         self.deps = deps;
         self.trajectory = trajectory;
-        // Re-check the Auto-mode CSR budget against the edited store: a
-        // session that keeps densifying its graphs would otherwise grow
-        // the carried CSR past the configured cap. (`DeltaDriven` is an
-        // explicit opt-out of the budget, matching `ensure_deps`.)
-        if self.deps.is_some() && self.cfg.convergence == ConvergenceMode::Auto {
+        // Re-check the CSR budget against the edited store for the
+        // budget-gated modes (`Auto`, and `FullSweep`'s vectorized-kernel
+        // CSR): a session that keeps densifying its graphs would
+        // otherwise grow the carried CSR past the configured cap.
+        // (`DeltaDriven` is an explicit opt-out of the budget, matching
+        // `ensure_scheduling`.)
+        if self.deps.is_some()
+            && matches!(
+                self.cfg.convergence,
+                ConvergenceMode::Auto | ConvergenceMode::FullSweep
+            )
+        {
             let entries = estimated_dep_entries(&self.g1, &self.g2, &self.store);
             let bytes = entries * BYTES_PER_ENTRY + (self.store.len() as u128 + 1) * BYTES_PER_SLOT;
             if bytes > self.cfg.csr_budget as u128 {
@@ -938,6 +1037,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             return;
         }
         self.ensure_scheduling();
+        self.ensure_runtime();
         if let Some(tol) = self.cfg.convergence.approximate_tolerance() {
             let has_substrate = self.deps.is_some() || self.shards.is_some();
             let (
@@ -983,8 +1083,10 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                     shards,
                     scores,
                     cur,
+                    runtime,
                     ..
                 } = self;
+                let rt = Self::active_runtime(runtime, cfg, store.len());
                 if let Some(shard_state) = shards.as_mut() {
                     let ctx = OpCtx {
                         labels1: labels1.as_slice(),
@@ -1005,6 +1107,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                         cur,
                         Some(&worklist),
                         Some(&mut state),
+                        rt,
                     );
                     shard_peak = peak;
                     outcome
@@ -1021,6 +1124,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                         None,
                         Some(worklist),
                         Some(&mut state),
+                        rt,
                     )
                 }
             };
@@ -1036,6 +1140,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.converged = outcome.converged;
             self.final_delta = outcome.final_delta;
             self.pairs_evaluated = outcome.pairs_evaluated;
+            self.iter_seconds = outcome.iter_seconds;
             self.has_run = true;
             return;
         }
@@ -1059,6 +1164,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 deps,
                 scores,
                 cur,
+                runtime,
                 ..
             } = self;
             let (g1, g2): (&Graph, &Graph) = (g1, g2);
@@ -1070,12 +1176,11 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 .as_mut()
                 .map(|h| Recorder::new(h, cfg.trajectory_budget));
             let n = store.len();
-            let threads = effective_threads(cfg.threads, n);
-            if threads > 1 {
+            if let Some(rt) = Self::active_runtime(runtime, cfg, n) {
                 cur.clear();
                 cur.resize(n, 0.0);
                 run_parallel_replay(
-                    threads,
+                    rt,
                     cfg.effective_max_iters(),
                     cfg.epsilon,
                     &old_traj,
@@ -1085,19 +1190,8 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                     scores,
                     cur,
                     recorder.as_mut(),
-                    || {
-                        let mut scratch = OpScratch::new();
-                        move |slot: usize, prev: &[f64]| {
-                            csr.eval_slot(
-                                cfg,
-                                op,
-                                store,
-                                slot,
-                                prev,
-                                &mut scratch,
-                                label_terms[slot],
-                            )
-                        }
+                    |slot: usize, prev: &[f64], scratch: &mut OpScratch| {
+                        csr.eval_slot(cfg, op, store, slot, prev, scratch, label_terms[slot])
                     },
                 )
             } else {
@@ -1127,6 +1221,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         self.converged = outcome.converged;
         self.final_delta = outcome.final_delta;
         self.pairs_evaluated = outcome.pairs_evaluated;
+        self.iter_seconds = outcome.iter_seconds;
         self.has_run = true;
     }
 
@@ -1239,15 +1334,32 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         &self.pairs_evaluated
     }
 
+    /// Wall-clock seconds per iteration of the last run, aligned with
+    /// [`pairs_evaluated`](Self::pairs_evaluated) (empty before any run).
+    pub fn iteration_seconds(&self) -> &[f64] {
+        &self.iter_seconds
+    }
+
+    /// Aggregate evaluation throughput of the last run in **pairs per
+    /// second** — total pairs evaluated divided by total in-loop
+    /// wall-clock time, `None` before any run or when the run was too
+    /// fast for the clock to resolve.
+    pub fn pairs_per_second(&self) -> Option<f64> {
+        let secs: f64 = self.iter_seconds.iter().sum();
+        let pairs: usize = self.pairs_evaluated.iter().sum();
+        (secs > 0.0 && pairs > 0).then(|| pairs as f64 / secs)
+    }
+
     /// Whether the last run used delta-driven (dirty-pair) scheduling.
     pub fn delta_scheduled(&self) -> bool {
         self.delta_scheduled
     }
 
     /// Number of entries in the cached pair-dependency CSR, or `None`
-    /// when no full CSR is held (full-sweep mode, over-budget estimate,
-    /// sharded execution — whose per-shard CSRs are transient — or an
-    /// operator without a slot path).
+    /// when no full CSR is held (an over-budget estimate, sharded
+    /// execution — whose per-shard CSRs are transient — an operator
+    /// without a slot path, or a full sweep forced onto the on-the-fly
+    /// scalar path via [`crate::force_scalar_kernel`]).
     pub fn dep_entry_count(&self) -> Option<usize> {
         self.deps.as_ref().map(|d| d.entry_count())
     }
@@ -1272,10 +1384,10 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
 
     /// Peak resident bytes of dependency-CSR structures during the last
     /// run: the full CSR's footprint for unsharded delta/approximate
-    /// runs, the **largest single shard CSR** built during a sharded run
-    /// (only one is ever resident at a time), `0` for full sweeps. This
-    /// is the quantity the `sharding` bench records to
-    /// `BENCH_sharding.json`.
+    /// runs and CSR-routed full sweeps, the **largest single shard CSR**
+    /// built during a sharded run (only one is ever resident at a time),
+    /// `0` for on-the-fly sweeps. This is the quantity the `sharding`
+    /// bench records to `BENCH_sharding.json`.
     pub fn peak_csr_bytes(&self) -> usize {
         self.peak_csr_bytes
     }
@@ -1319,6 +1431,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.converged,
             self.final_delta,
             self.pairs_evaluated.clone(),
+            self.iter_seconds.clone(),
             self.error_bound,
         )
     }
@@ -1337,6 +1450,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.converged,
             self.final_delta,
             self.pairs_evaluated,
+            self.iter_seconds,
             self.error_bound,
         )
     }

@@ -42,11 +42,12 @@
 
 use super::deps::ShardCsr;
 use super::iterate::{effective_threads, ApproxState};
-use super::parallel::{eval_worklist_parallel, IterationOutcome};
+use super::parallel::{eval_worklist_parallel, IterationOutcome, Runtime};
 use crate::config::{FsimConfig, ShardSpec};
 use crate::operators::{DepEntry, OpCtx, OpScratch, Operator};
 use crate::store::PairStore;
 use fsim_graph::Graph;
+use std::time::Instant;
 
 /// Partition of the candidate store's slots into contiguous u-row ranges,
 /// balanced by the per-row degree-product entry estimate. Rows are never
@@ -223,6 +224,7 @@ pub(crate) fn run_sharded<O: Operator>(
     cur: &mut Vec<f64>,
     initial_worklist: Option<&[u32]>,
     mut approx: Option<&mut ApproxState>,
+    rt: Option<&Runtime>,
 ) -> (IterationOutcome, usize) {
     let n = store.len();
     debug_assert_eq!(scores.len(), n);
@@ -259,8 +261,10 @@ pub(crate) fn run_sharded<O: Operator>(
     let mut converged = false;
     let mut final_delta = f64::INFINITY;
     let mut pairs_evaluated = Vec::new();
+    let mut iter_seconds = Vec::new();
 
     while iterations < max_iters {
+        let t0 = Instant::now();
         let first = iterations == 0;
         let filling_masks = !state.boundary.complete;
         // Shards to visit: all of them while the masks are incomplete or
@@ -365,18 +369,21 @@ pub(crate) fn run_sharded<O: Operator>(
 
             // Evaluate the worklist (Jacobi: pure reads of `scores`,
             // disjoint writes of `cur` — thread count cannot change any
-            // bit).
-            let threads = effective_threads(cfg.threads, local_wl.len());
-            if threads > 1 {
+            // bit). The session runtime is used only when the worklist is
+            // long enough to amortize a dispatch.
+            let use_rt = rt.filter(|_| effective_threads(cfg.threads, local_wl.len()) > 1);
+            if let Some(rt) = use_rt {
                 eval_out.clear();
                 eval_out.resize(local_wl.len(), 0.0);
-                eval_worklist_parallel(threads, &local_wl, scores, &mut eval_out, || {
-                    let csr = &csr;
-                    let mut scratch = OpScratch::new();
-                    move |slot: usize, prev: &[f64]| {
-                        csr.eval_slot(cfg, op, store, slot, prev, &mut scratch, label_terms[slot])
-                    }
-                });
+                eval_worklist_parallel(
+                    rt,
+                    &local_wl,
+                    scores,
+                    &mut eval_out,
+                    |slot, prev, scratch| {
+                        csr.eval_slot(cfg, op, store, slot, prev, scratch, label_terms[slot])
+                    },
+                );
                 for (i, &slot_id) in local_wl.iter().enumerate() {
                     let slot = slot_id as usize;
                     let s = eval_out[i];
@@ -429,6 +436,7 @@ pub(crate) fn run_sharded<O: Operator>(
         }
 
         pairs_evaluated.push(evaluated);
+        iter_seconds.push(t0.elapsed().as_secs_f64());
         std::mem::swap(scores, cur);
         std::mem::swap(&mut changed, &mut next_changed);
         final_delta = delta;
@@ -496,6 +504,7 @@ pub(crate) fn run_sharded<O: Operator>(
             converged,
             final_delta,
             pairs_evaluated,
+            iter_seconds,
         },
         peak_bytes,
     )

@@ -55,11 +55,12 @@ pub use config::{
     UpperBoundPruning, Variant,
 };
 pub use engine::{
-    all_variants, compute, compute_with_operator, score_on_demand, EditError, FsimEngine,
-    GraphEdit, GraphSide,
+    all_variants, compute, compute_with_operator, live_runtime_workers, score_on_demand, EditError,
+    FsimEngine, GraphEdit, GraphSide,
 };
 pub use operators::{
-    DepEntry, LabelEval, OpCtx, OpScratch, Operator, ScoreLookup, SimRankOp, VariantOp,
+    force_scalar_kernel, scalar_kernel_forced, DepEntry, LabelEval, OpCtx, OpScratch, Operator,
+    ScoreLookup, SimRankOp, VariantOp,
 };
 pub use presets::{
     bounded_fsim, kbisim_via_framework, milner_config, rolesim_via_framework, simrank_config,

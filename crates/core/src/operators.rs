@@ -75,9 +75,13 @@ pub trait ScoreLookup {
 /// `(x, y)` with `x` at position `i` of `S1` and `y` at position `j` of
 /// `S2`, resolved at session-prepare time to either the slot holding its
 /// score or (for pairs pruned from the maintained set) the constant the
-/// fallback serves. Lists are θ-eligibility prefiltered and sorted by
-/// `(i, j)`, so the slot-based operator paths are pure index arithmetic —
-/// no `PairIndex` lookups or `L(x, y) ≥ θ` re-checks per iteration.
+/// fallback serves. Lists are θ-eligibility prefiltered and grouped by
+/// `i` in ascending order; within each `i` group, slot-backed entries come
+/// first in `j` order with constant entries appended at the group's tail
+/// (for `all_pairs` operators the group keeps plain `(i, j)` order — see
+/// `deps.rs`). The slot-based operator paths are therefore pure index
+/// arithmetic — no `PairIndex` lookups or `L(x, y) ≥ θ` re-checks per
+/// iteration.
 ///
 /// Pairs whose fallback constant is `0` are omitted entirely: a zero can
 /// neither win a max, enter a positive-weight matching, nor change a sum.
@@ -108,12 +112,18 @@ impl DepEntry {
     }
 }
 
-/// Reusable per-worker scratch buffers for the injective operators.
+/// Reusable per-worker scratch buffers for the slot kernels and the
+/// injective operators. Owned by the session runtime's workers (one per
+/// worker thread, surviving across iterations, runs and shard visits —
+/// see `engine/parallel.rs`) and by every sequential evaluation loop.
 #[derive(Debug, Default)]
 pub struct OpScratch {
     edges: Vec<(f64, u32, u32)>,
     weights: Vec<f64>,
     best_right: Vec<f64>,
+    /// Gathered dependency values (the vectorized kernels' SoA staging
+    /// buffer: one `f64` per [`DepEntry`], materialized branch-free).
+    vals: Vec<f64>,
     matcher: GreedyMatcher,
 }
 
@@ -123,6 +133,33 @@ impl OpScratch {
         Self::default()
     }
 }
+
+/// Forces the engine onto the scalar reference strategy — the exact
+/// pre-vectorization code paths — process-wide.
+///
+/// Under the toggle, full sweeps evaluate on the fly (neighbor
+/// enumeration + hash-map score lookups, no dependency CSR for
+/// `ConvergenceMode::FullSweep`) and [`SimRankOp`] uses its ungathered
+/// serial lane loop instead of the gather + packed-lane-add kernel. The
+/// variant operators' per-slot scalar loops are unaffected: they *are*
+/// the fastest kernels measured for their access pattern and run
+/// unconditionally (see the kernel commentary below).
+///
+/// The toggle exists for the equivalence property tests
+/// (`tests/kernel_equivalence.rs`) and the `convergence` bench, which
+/// measure both strategies on one build and pin their bitwise
+/// equality. It is **not** a tuning knob.
+pub fn force_scalar_kernel(on: bool) {
+    FORCE_SCALAR_KERNEL.store(on, std::sync::atomic::Ordering::Release);
+}
+
+/// Whether [`force_scalar_kernel`] is currently set.
+pub fn scalar_kernel_forced() -> bool {
+    FORCE_SCALAR_KERNEL.load(std::sync::atomic::Ordering::Acquire)
+}
+
+static FORCE_SCALAR_KERNEL: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// A χ-simulation operator pair `(Mχ, Ωχ)`.
 ///
@@ -175,6 +212,18 @@ pub trait Operator: Send + Sync {
     /// fail the Remark-2 eligibility constraint `L(x, y) ≥ θ`
     /// ([`SimRankOp`] reads *every* neighbor pair, eligible or not).
     fn reads_ineligible_pairs(&self) -> bool {
+        false
+    }
+
+    /// Whether a run of constant entries inside one `i` group of a
+    /// prepared dependency list may be folded into a single entry holding
+    /// their maximum at CSR build time. Only sound for operators whose
+    /// per-group reduction is a plain max (a max over an `f32`-exact
+    /// constant run is order-insensitive and loses nothing) — answer
+    /// `false` (the default) whenever individual constants carry weight,
+    /// e.g. for sums, column-wise reductions, or injective matchings
+    /// where each entry is a candidate edge.
+    fn fold_const_rows(&self) -> bool {
         false
     }
 
@@ -456,6 +505,174 @@ fn slots_injective_sum(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized SimRank kernel
+//
+// The variant operators' per-slot scalar loops above *are* the fastest
+// kernels we measured for their access pattern — row-segmented maxima over
+// short dependency runs are latency-bound on the scattered score loads, and
+// every gather-then-reduce restructuring we benchmarked (4-wide unrolled
+// gather staging into an SoA buffer, two-pass reduce, interleaved
+// multi-stream accumulation, software prefetch) came out 4–40% *slower* on
+// the real delta workload. The vectorization that pays for the variant
+// operators lives one level up: the engine routes full sweeps through the
+// CSR's contiguous slot-indexed buffers (`run_sweep_slots`) instead of
+// on-the-fly neighbor enumeration with hash-map score lookups, and the CSR
+// build reorders each slot's entries and folds constant runs
+// (`Operator::fold_const_rows`) so those loops stream forward.
+//
+// SimRank is the exception: its reduction is a plain sum over *every*
+// neighbor pair — long, dense, branch-free — which is exactly the shape a
+// 4-wide gather + packed lane adds wins on. The kernels below implement
+// that pass; bitwise identity with the scalar reference holds because both
+// commit to the same deterministic lane order (see
+// [`simrank_lane_sum_slots`]), pinned by `tests/kernel_equivalence.rs`.
+// ---------------------------------------------------------------------------
+
+/// Materializes `entries[k].value(prev)` into `vals` (the gather pass),
+/// 4-wide unrolled and branch-free — the min-clamp trick makes the slot
+/// load unconditionally in-bounds, so the CONST select compiles to a cmov
+/// and the four scattered score loads per step stay in flight together
+/// instead of serializing behind per-entry bounds checks and CONST
+/// branches.
+#[inline]
+fn gather_values(entries: &[DepEntry], prev: &[f64], vals: &mut Vec<f64>) {
+    vals.clear();
+    let Some(last) = prev.len().checked_sub(1) else {
+        // Degenerate empty score buffer: keep the checked read, which
+        // panics on a slot-backed entry exactly like the scalar path.
+        vals.extend(entries.iter().map(|e| e.value(prev)));
+        return;
+    };
+    vals.reserve(entries.len());
+    let mut chunks = entries.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut out = [0.0f64; 4];
+        for (o, e) in out.iter_mut().zip(chunk) {
+            debug_assert!(e.slot == DepEntry::CONST || (e.slot as usize) <= last);
+            // `min(last)` keeps the index in bounds for CONST entries (and
+            // elides the bounds check); the select then overrides with the
+            // constant. Branch-free on both counts.
+            let from_slot = prev[(e.slot as usize).min(last)];
+            *o = if e.slot == DepEntry::CONST {
+                e.cval as f64
+            } else {
+                from_slot
+            };
+        }
+        vals.extend_from_slice(&out);
+    }
+    for e in chunks.remainder() {
+        debug_assert!(e.slot == DepEntry::CONST || (e.slot as usize) <= last);
+        let from_slot = prev[(e.slot as usize).min(last)];
+        vals.push(if e.slot == DepEntry::CONST {
+            e.cval as f64
+        } else {
+            from_slot
+        });
+    }
+}
+
+/// 4-lane sum over a gathered value buffer whose position `m` feeds lane
+/// `m & 3`: lane `k` accumulates `vals[k], vals[k+4], …` in stream order,
+/// and the lanes combine as `(l0 + l1) + (l2 + l3)` — exactly the
+/// deterministic tree order of [`simrank_lane_sum_slots`] when logical
+/// positions are contiguous from 0.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn dense_lane_sum(vals: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = vals.chunks_exact(4);
+    for c in &mut chunks {
+        for k in 0..4 {
+            lanes[k] += c[k];
+        }
+    }
+    for (k, &v) in chunks.remainder().iter().enumerate() {
+        lanes[k] += v;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// SSE2 variant of [`dense_lane_sum`] (the `simd` feature). SSE2 is
+/// baseline on `x86_64`, so no runtime detection is needed. Each packed
+/// `_mm_add_pd` performs the same per-lane addition, on the same addends
+/// in the same order, as the portable loop — IEEE-754 addition is
+/// deterministic, so the two paths are bitwise interchangeable; CI runs
+/// the convergence bench smoke with the feature on and off and fails on
+/// any divergence.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn dense_lane_sum(vals: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    // SAFETY: SSE2 is part of the x86_64 baseline; the loads are unaligned
+    // loads from in-bounds slice positions.
+    unsafe {
+        let mut acc0 = _mm_setzero_pd(); // lanes 0, 1
+        let mut acc1 = _mm_setzero_pd(); // lanes 2, 3
+        let mut chunks = vals.chunks_exact(4);
+        for c in &mut chunks {
+            acc0 = _mm_add_pd(acc0, _mm_loadu_pd(c.as_ptr()));
+            acc1 = _mm_add_pd(acc1, _mm_loadu_pd(c.as_ptr().add(2)));
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm_storeu_pd(lanes.as_mut_ptr(), acc0);
+        _mm_storeu_pd(lanes.as_mut_ptr().add(2), acc1);
+        for (k, &v) in chunks.remainder().iter().enumerate() {
+            lanes[k] += v;
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+}
+
+/// SimRank's deterministic 4-lane sum over a prepared dependency list.
+///
+/// Sums are order-*sensitive* in floating point, so SimRank cannot reuse
+/// the scalar serial order and still vectorize. Instead both the scalar
+/// and vectorized paths commit to one deterministic tree order: entry
+/// `(i, j)` accumulates into lane `(i·len2 + j) mod 4` and the lanes
+/// combine as `(l0 + l1) + (l2 + l3)`. Keying the lane on the *logical*
+/// position (not the stream position) makes the order robust to omitted
+/// zero-constant entries — `+0.0` on a non-negative accumulator is a
+/// bitwise no-op — so the slot path and the on-the-fly [`map_sum`] sweep
+/// agree bitwise, as do all shard layouts.
+fn simrank_lane_sum_slots(entries: &[DepEntry], len2: usize, prev: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    for e in entries {
+        lanes[(e.i as usize * len2 + e.j as usize) & 3] += e.value(prev);
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// Vectorized [`simrank_lane_sum_slots`]: gather pass, then the identical
+/// per-lane accumulation sequence (entries stay in stream order, so each
+/// lane sees the same addends in the same order — bitwise equal).
+///
+/// When the list is *dense* (`len1·len2` entries — no zero-constant pair
+/// was omitted, the common SimRank case), logical position equals stream
+/// position and the lane sum collapses to [`dense_lane_sum`] over the
+/// contiguous gathered buffer, which is where the packed adds pay off.
+fn simrank_lane_sum_slots_vec(
+    entries: &[DepEntry],
+    len1: usize,
+    len2: usize,
+    prev: &[f64],
+    scratch: &mut OpScratch,
+) -> f64 {
+    let vals = &mut scratch.vals;
+    gather_values(entries, prev, vals);
+    if entries.len() == len1 * len2 {
+        // Entries are distinct `(i, j)` pairs in sorted order, so a full
+        // count means logical position `i·len2 + j` ≡ stream position.
+        return dense_lane_sum(vals);
+    }
+    let mut lanes = [0.0f64; 4];
+    for (e, &v) in entries.iter().zip(vals.iter()) {
+        lanes[(e.i as usize * len2 + e.j as usize) & 3] += v;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
 /// Borrowed operators delegate; `sync_cfg` stays a no-op (a borrowed
 /// operator cannot be mutated, so variant reconfiguration through a
 /// reference is intentionally inert — used by the one-shot
@@ -482,6 +699,10 @@ impl<O: Operator> Operator for &O {
 
     fn reads_ineligible_pairs(&self) -> bool {
         (**self).reads_ineligible_pairs()
+    }
+
+    fn fold_const_rows(&self) -> bool {
+        (**self).fold_const_rows()
     }
 
     fn map_sum_slots(
@@ -594,6 +815,15 @@ impl Operator for VariantOp {
         }
     }
 
+    fn fold_const_rows(&self) -> bool {
+        // Only `s` reduces each `i` group by a plain max, where a run of
+        // constants collapses losslessly into its maximum. `b` also needs
+        // per-`j` column maxima (folding would erase column attribution),
+        // and the injective variants treat every entry as a distinct
+        // matching edge.
+        matches!(self.variant, Variant::Simple)
+    }
+
     fn map_size(&self, ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {
         if ctx.theta <= 0.0 {
             // Every pair is eligible (L ≥ 0 always holds), so the counts
@@ -658,13 +888,19 @@ impl Operator for SimRankOp {
         prev: &S,
         _scratch: &mut OpScratch,
     ) -> f64 {
-        let mut total = 0.0;
-        for &x in s1 {
+        // Same deterministic lane order as the slot paths (see
+        // [`simrank_lane_sum_slots`]), so on-the-fly and slot-based
+        // evaluation stay bitwise interchangeable.
+        let len2 = s2.len();
+        let mut lanes = [0.0f64; 4];
+        for (i, &x) in s1.iter().enumerate() {
+            let mut lane = (i * len2) & 3;
             for &y in s2 {
-                total += prev.get(x, y);
+                lanes[lane] += prev.get(x, y);
+                lane = (lane + 1) & 3;
             }
         }
-        total
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
     }
 
     fn supports_slots(&self) -> bool {
@@ -678,16 +914,16 @@ impl Operator for SimRankOp {
     fn map_sum_slots(
         &self,
         entries: &[DepEntry],
-        _len1: usize,
-        _len2: usize,
+        len1: usize,
+        len2: usize,
         prev: &[f64],
-        _scratch: &mut OpScratch,
+        scratch: &mut OpScratch,
     ) -> f64 {
-        let mut total = 0.0;
-        for e in entries {
-            total += e.value(prev);
+        if scalar_kernel_forced() {
+            simrank_lane_sum_slots(entries, len2, prev)
+        } else {
+            simrank_lane_sum_slots_vec(entries, len1, len2, prev, scratch)
         }
-        total
     }
 
     fn map_size(&self, _ctx: &OpCtx<'_>, s1: &[NodeId], s2: &[NodeId]) -> usize {

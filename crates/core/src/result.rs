@@ -38,6 +38,8 @@ pub struct FsimResult {
     /// Pairs re-evaluated per iteration (see
     /// [`pairs_evaluated`](Self::pairs_evaluated)).
     pairs_evaluated: Vec<usize>,
+    /// Wall-clock seconds per iteration, aligned with `pairs_evaluated`.
+    iter_seconds: Vec<f64>,
     /// Certified per-score error bound (see
     /// [`error_bound`](Self::error_bound)).
     error_bound: f64,
@@ -52,6 +54,7 @@ impl FsimResult {
         converged: bool,
         final_delta: f64,
         pairs_evaluated: Vec<usize>,
+        iter_seconds: Vec<f64>,
         error_bound: f64,
     ) -> Self {
         Self {
@@ -61,6 +64,7 @@ impl FsimResult {
             converged,
             final_delta,
             pairs_evaluated,
+            iter_seconds,
             error_bound,
         }
     }
@@ -129,6 +133,21 @@ impl FsimResult {
     /// Total Equation-3 evaluations across all iterations.
     pub fn total_pairs_evaluated(&self) -> usize {
         self.pairs_evaluated.iter().sum()
+    }
+
+    /// Wall-clock seconds per iteration of the producing run, aligned
+    /// with [`pairs_evaluated`](Self::pairs_evaluated).
+    pub fn iteration_seconds(&self) -> &[f64] {
+        &self.iter_seconds
+    }
+
+    /// Aggregate Equation-3 evaluation throughput of the producing run
+    /// (pair evaluations per second), or `None` when no timed work was
+    /// recorded (empty store, zero-duration clock resolution).
+    pub fn pairs_per_second(&self) -> Option<f64> {
+        let secs: f64 = self.iter_seconds.iter().sum();
+        let pairs = self.total_pairs_evaluated();
+        (secs > 0.0 && pairs > 0).then(|| pairs as f64 / secs)
     }
 
     /// Score of a maintained pair, or `None` if `(u, v)` was pruned.
@@ -296,6 +315,7 @@ mod tests {
             r.iterations,
             r.converged,
             r.final_delta,
+            vec![],
             vec![],
             0.0,
         );

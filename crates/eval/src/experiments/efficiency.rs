@@ -85,6 +85,16 @@ pub fn run(opts: &ExpOpts) -> Report {
         ),
     ]);
 
+    // Kernel throughput: Equation-3 evaluations per second across the
+    // run's iterations (the per-iteration wall clock the engine records).
+    report.row(vec![
+        "similarity: pair evaluations per second".into(),
+        match r.pairs_per_second() {
+            Some(pps) => format!("{pps:.3e}"),
+            None => "n/a".into(),
+        },
+    ]);
+
     // ε-aware approximate scheduling on the same workload: evaluations
     // skipped vs the exact schedule, and the observed error against the
     // certified bound the run reports.
@@ -139,7 +149,7 @@ mod tests {
         let mut opts = ExpOpts::quick();
         opts.scale = 0.12;
         let r = run(&opts);
-        assert_eq!(r.rows.len(), 7);
+        assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
             assert!(!row[1].is_empty());
         }

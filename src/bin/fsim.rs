@@ -252,6 +252,9 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
         },
         engine.pairs_evaluated().iter().sum::<usize>(),
     );
+    if let Some(pps) = engine.pairs_per_second() {
+        eprintln!("throughput: {:.3e} pair evaluations/s", pps);
+    }
     if engine.shard_count() > 0 {
         eprintln!(
             "sharded: {} u-row shards, peak resident CSR {} bytes",

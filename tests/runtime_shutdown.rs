@@ -1,0 +1,115 @@
+//! Runtime lifecycle: dropping an engine must join its parked workers
+//! (no leaked threads), and repeated create/drop cycles must neither
+//! accumulate workers nor wedge on the dispatch gate.
+
+use fsim::prelude::*;
+use fsim_core::{live_runtime_workers, FsimEngine};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The live-worker counter is process-global; tests in this binary run
+/// concurrently by default, so each takes this lock first.
+fn counter_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn dense_pair() -> (Graph, Graph) {
+    // Big enough that `effective_threads` keeps the pool (the worklist
+    // gate is 2048 slots per extra worker): 80 × 80 = 6400 pairs.
+    let interner = LabelInterner::shared();
+    let mk = |interner| {
+        let mut b = GraphBuilder::with_interner(interner);
+        for i in 0..80u32 {
+            b.add_node(["a", "b"][i as usize % 2]);
+            if i > 0 {
+                b.add_edge(i - 1, i);
+            }
+        }
+        b.build()
+    };
+    let g1 = mk(std::sync::Arc::clone(&interner));
+    let g2 = mk(interner);
+    (g1, g2)
+}
+
+/// Waits out the short window between a worker decrementing the live
+/// counter and its `JoinHandle` returning on another thread's clock.
+fn settles_to(baseline: usize) -> bool {
+    for _ in 0..50 {
+        if live_runtime_workers() == baseline {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    live_runtime_workers() == baseline
+}
+
+#[test]
+fn drop_joins_all_workers() {
+    let _guard = counter_lock();
+    let baseline = live_runtime_workers();
+    let (g1, g2) = dense_pair();
+    let cfg = FsimConfig::new(Variant::Bi)
+        .label_fn(LabelFn::Indicator)
+        .threads(4);
+    {
+        let mut engine = FsimEngine::new(&g1, &g2, &cfg).expect("valid config");
+        engine.run();
+        assert_eq!(
+            live_runtime_workers(),
+            baseline + 4,
+            "a parallel run must have spun up the session pool"
+        );
+        // Parked between runs, not respawned: a rerun reuses the pool.
+        engine.run();
+        assert_eq!(live_runtime_workers(), baseline + 4);
+    }
+    assert!(
+        settles_to(baseline),
+        "engine drop leaked workers: {} live, expected {baseline}",
+        live_runtime_workers()
+    );
+}
+
+#[test]
+fn repeated_create_drop_cycles_do_not_accumulate_threads() {
+    let _guard = counter_lock();
+    let baseline = live_runtime_workers();
+    let (g1, g2) = dense_pair();
+    let cfg = FsimConfig::new(Variant::Simple)
+        .label_fn(LabelFn::Indicator)
+        .threads(3);
+    for cycle in 0..8 {
+        let mut engine = FsimEngine::new(&g1, &g2, &cfg).expect("valid config");
+        engine.run();
+        assert!(
+            live_runtime_workers() <= baseline + 3,
+            "cycle {cycle}: pool grew beyond one engine's workers"
+        );
+        drop(engine);
+        assert!(
+            settles_to(baseline),
+            "cycle {cycle}: leaked workers ({} live)",
+            live_runtime_workers()
+        );
+    }
+}
+
+#[test]
+fn sequential_runs_never_spawn() {
+    let _guard = counter_lock();
+    let baseline = live_runtime_workers();
+    let (g1, g2) = dense_pair();
+    let cfg = FsimConfig::new(Variant::Simple)
+        .label_fn(LabelFn::Indicator)
+        .threads(1);
+    let mut engine = FsimEngine::new(&g1, &g2, &cfg).expect("valid config");
+    engine.run();
+    assert_eq!(
+        live_runtime_workers(),
+        baseline,
+        "threads=1 must stay on the sequential path"
+    );
+}

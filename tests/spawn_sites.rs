@@ -1,0 +1,68 @@
+//! Structural guarantee behind the persistent runtime: exactly one thread
+//! spawn site exists in `fsim-core` (the `Runtime` constructor), and no
+//! scoped per-run pools remain. Guards against a future code path quietly
+//! reintroducing spawn-per-run.
+
+use std::path::{Path, PathBuf};
+
+fn core_src() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src")
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Counts occurrences of `needle` in non-comment code lines of every
+/// `.rs` file under `crates/core/src`, returning `(file, line)` hits.
+fn code_hits(needle: &str) -> Vec<(PathBuf, usize)> {
+    let mut files = Vec::new();
+    rust_files(&core_src(), &mut files);
+    assert!(!files.is_empty(), "found no core sources — wrong cwd?");
+    let mut hits = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file).expect("readable source");
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue; // doc prose may mention the names
+            }
+            if trimmed.contains(needle) {
+                hits.push((file.clone(), lineno + 1));
+            }
+        }
+    }
+    hits
+}
+
+#[test]
+fn exactly_one_thread_spawn_site() {
+    let hits = code_hits("thread::spawn");
+    assert_eq!(
+        hits.len(),
+        1,
+        "fsim-core must spawn threads in exactly one place (the Runtime \
+         constructor); found: {hits:?}"
+    );
+    assert!(
+        hits[0].0.ends_with("engine/parallel.rs"),
+        "the spawn site moved out of the runtime module: {hits:?}"
+    );
+}
+
+#[test]
+fn no_scoped_thread_pools_remain() {
+    let hits = code_hits("thread::scope");
+    assert!(
+        hits.is_empty(),
+        "per-run scoped pools were removed in favor of the persistent \
+         runtime; found: {hits:?}"
+    );
+}
