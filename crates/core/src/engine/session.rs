@@ -25,6 +25,7 @@ use crate::candidates::{estimated_dep_entries, repair_candidates, StoreRepair, N
 use crate::config::{ConfigError, ConvergenceMode, FsimConfig, LabelTermMode, ShardSpec};
 use crate::operators::{scalar_kernel_forced, LabelEval, OpCtx, OpScratch, Operator, VariantOp};
 use crate::result::FsimResult;
+use crate::snapshot::ScoreSnapshot;
 use crate::store::PairStore;
 use crate::topk::top_k_from_iter;
 use fsim_graph::{Graph, LabelId, LabelInterner, NodeId};
@@ -218,6 +219,21 @@ impl<'g> FsimEngine<'g, VariantOp> {
     }
 }
 
+impl FsimEngine<'static, VariantOp> {
+    /// Builds a session that **owns** its graphs, so its lifetime is not
+    /// tied to a caller's borrow — the handoff constructor for long-lived
+    /// holders like the `fsimd` serving daemon, whose writer thread owns
+    /// one engine per namespace and must outlive the scope that loaded
+    /// the graphs.
+    pub fn new_owned(g1: Graph, g2: Graph, cfg: &FsimConfig) -> Result<Self, ConfigError> {
+        let op = VariantOp {
+            variant: cfg.variant,
+            matcher: cfg.matcher,
+        };
+        Self::from_cows(Cow::Owned(g1), Cow::Owned(g2), cfg, op)
+    }
+}
+
 impl<'g, O: Operator> FsimEngine<'g, O> {
     /// Builds a session with a custom [`Operator`] — the "configure the
     /// framework" path of §4.
@@ -227,12 +243,21 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         cfg: &FsimConfig,
         op: O,
     ) -> Result<Self, ConfigError> {
+        Self::from_cows(Cow::Borrowed(g1), Cow::Borrowed(g2), cfg, op)
+    }
+
+    fn from_cows(
+        g1: Cow<'g, Graph>,
+        g2: Cow<'g, Graph>,
+        cfg: &FsimConfig,
+        op: O,
+    ) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let aligned = AlignedLabels::new(g1, g2);
+        let aligned = AlignedLabels::new(&g1, &g2);
         let label_eval = build_label_eval(cfg, &aligned.interner);
         let mut engine = Self {
-            g1: Cow::Borrowed(g1),
-            g2: Cow::Borrowed(g2),
+            g1,
+            g2,
             cfg: cfg.clone(),
             op,
             labels1: aligned.labels1,
@@ -1432,6 +1457,27 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.final_delta,
             self.pairs_evaluated.clone(),
             self.iter_seconds.clone(),
+            self.error_bound,
+        )
+    }
+
+    /// An `Arc`-shared [`ScoreSnapshot`] of the current scores — the
+    /// epoch a serving layer publishes. One `O(|H|)` copy of the store
+    /// and score buffer; the per-iteration diagnostics and any recorded
+    /// replay trajectory stay behind in the session, so the snapshot's
+    /// footprint is independent of the run length (see the regression
+    /// test in `snapshot.rs`). Cloning the returned snapshot is `O(1)`.
+    ///
+    /// # Panics
+    /// Panics if the session has not been [`run`](Self::run).
+    pub fn snapshot_shared(&self) -> ScoreSnapshot {
+        self.assert_run();
+        ScoreSnapshot::from_parts(
+            Arc::new(self.store.clone()),
+            self.scores.as_slice().into(),
+            self.iterations,
+            self.converged,
+            self.final_delta,
             self.error_bound,
         )
     }

@@ -47,6 +47,7 @@ pub mod engine;
 pub mod operators;
 pub mod presets;
 pub mod result;
+pub mod snapshot;
 pub mod store;
 pub mod topk;
 
@@ -67,4 +68,5 @@ pub use presets::{
     simrank_via_framework,
 };
 pub use result::FsimResult;
+pub use snapshot::{score_hash, ScoreSnapshot};
 pub use topk::{top_k_pairs, top_k_search, TopK};

@@ -223,6 +223,19 @@ impl FsimResult {
     pub fn to_vecs(&self) -> (Vec<(NodeId, NodeId)>, Vec<f64>) {
         (self.store.pairs.clone(), self.scores.clone())
     }
+
+    /// Decomposes into the parts a [`ScoreSnapshot`](crate::ScoreSnapshot)
+    /// keeps, dropping the per-iteration diagnostics.
+    pub(crate) fn into_parts(self) -> (PairStore, Vec<f64>, usize, bool, f64, f64) {
+        (
+            self.store,
+            self.scores,
+            self.iterations,
+            self.converged,
+            self.final_delta,
+            self.error_bound,
+        )
+    }
 }
 
 /// Shared argmax-row extraction over any `(u, v, score)` stream (used by

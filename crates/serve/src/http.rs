@@ -1,0 +1,376 @@
+//! Hand-rolled HTTP/1.1 framing: enough of RFC 9112 for the daemon's
+//! JSON API — request-line + headers + `Content-Length` bodies, with
+//! keep-alive and hard caps on header and body size. Anything outside
+//! that subset is rejected with a structured error response *without*
+//! panicking the connection thread (the protocol test battery drives
+//! exactly these paths).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, percent-decoded.
+    pub path: String,
+    /// Decoded query parameters in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of one read attempt on a connection.
+#[derive(Debug)]
+pub enum Recv {
+    /// A complete request.
+    Ready(Request),
+    /// Nothing (or only a partial head) arrived before the socket's read
+    /// timeout — poll the stop flag and try again.
+    Idle,
+    /// The peer closed the connection cleanly.
+    Closed,
+    /// The bytes are not an acceptable request; respond with this status
+    /// and close.
+    Bad {
+        /// `400` or `413`.
+        status: u16,
+        /// Human-readable reason, echoed into the error body.
+        reason: String,
+    },
+}
+
+/// One server-side connection: a stream plus its partial-read buffer.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream (read timeout should already be set by
+    /// the caller — it is the `Idle` poll interval).
+    pub fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Attempts to read one full request.
+    pub fn read_request(&mut self, max_body_bytes: usize) -> Recv {
+        // Grow the buffer until the head terminator is in view.
+        let head_end = loop {
+            if let Some(pos) = find_subslice(&self.buf, b"\r\n\r\n") {
+                break pos + 4;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Recv::Bad {
+                    status: 400,
+                    reason: "request head too large".into(),
+                };
+            }
+            match self.fill() {
+                Fill::Data => {}
+                Fill::Timeout => return Recv::Idle,
+                Fill::Eof => {
+                    return if self.buf.is_empty() {
+                        Recv::Closed
+                    } else {
+                        Recv::Bad {
+                            status: 400,
+                            reason: "connection closed mid-request".into(),
+                        }
+                    }
+                }
+                Fill::Error => return Recv::Closed,
+            }
+        };
+
+        let head = match std::str::from_utf8(&self.buf[..head_end - 4]) {
+            Ok(h) => h.to_string(),
+            Err(_) => {
+                return Recv::Bad {
+                    status: 400,
+                    reason: "request head is not utf-8".into(),
+                }
+            }
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Recv::Bad {
+                status: 400,
+                reason: format!("malformed request line {request_line:?}"),
+            };
+        };
+        if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+            return Recv::Bad {
+                status: 400,
+                reason: format!("malformed request line {request_line:?}"),
+            };
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Recv::Bad {
+                    status: 400,
+                    reason: format!("malformed header line {line:?}"),
+                };
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0usize,
+            Some((_, v)) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Recv::Bad {
+                        status: 400,
+                        reason: format!("bad content-length {v:?}"),
+                    }
+                }
+            },
+        };
+        if content_length > max_body_bytes {
+            // Reject before reading the payload — an oversized body must
+            // not be buffered just to be thrown away.
+            return Recv::Bad {
+                status: 413,
+                reason: format!(
+                    "body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+                ),
+            };
+        }
+
+        // Read the body (may already be partially buffered).
+        while self.buf.len() < head_end + content_length {
+            match self.fill() {
+                Fill::Data => {}
+                Fill::Timeout => {} // mid-request: keep waiting for the body
+                Fill::Eof | Fill::Error => {
+                    return Recv::Bad {
+                        status: 400,
+                        reason: "connection closed mid-body".into(),
+                    }
+                }
+            }
+        }
+        let body = self.buf[head_end..head_end + content_length].to_vec();
+        self.buf.drain(..head_end + content_length);
+
+        let (path_raw, query_raw) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let mut query = Vec::new();
+        for pair in query_raw.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k), percent_decode(v)));
+        }
+        let keep_alive = !headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+        Recv::Ready(Request {
+            method: method.to_string(),
+            path: percent_decode(path_raw),
+            query,
+            headers,
+            body,
+            keep_alive,
+        })
+    }
+
+    /// Writes a response; returns `false` when the peer is gone.
+    pub fn write_response(&mut self, resp: &Response, keep_alive: bool) -> bool {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            resp.status,
+            status_text(resp.status),
+            resp.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &resp.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&resp.body);
+        self.stream.write_all(out.as_bytes()).is_ok()
+    }
+
+    fn fill(&mut self) -> Fill {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Fill::Eof,
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Fill::Data
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Fill::Timeout
+            }
+            Err(_) => Fill::Error,
+        }
+    }
+}
+
+enum Fill {
+    Data,
+    Timeout,
+    Eof,
+    Error,
+}
+
+/// A response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (content-type/length/connection are added by the
+    /// writer).
+    pub headers: Vec<(String, String)>,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// The structured error shape every failure path uses:
+    /// `{"error": "<kind>", "detail": "<message>"}`.
+    pub fn error(status: u16, kind: &str, detail: &str) -> Self {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+                crate::json::escape_json(kind),
+                crate::json::escape_json(detail)
+            ),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("%41"), "A");
+    }
+
+    #[test]
+    fn subslice_search() {
+        assert_eq!(find_subslice(b"abcd", b"cd"), Some(2));
+        assert_eq!(find_subslice(b"abcd", b"xy"), None);
+        assert_eq!(find_subslice(b"", b"x"), None);
+    }
+}

@@ -19,7 +19,8 @@
 //! * [`patmatch`] — the pattern-matching case study;
 //! * [`align`] — the graph-alignment case study;
 //! * [`datasets`] — synthetic surrogates for the paper's datasets;
-//! * [`eval`] — the table/figure experiment harness.
+//! * [`eval`] — the table/figure experiment harness;
+//! * [`serve`] — `fsimd`, the epoch-swapped similarity-serving daemon.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use fsim_labels as labels;
 pub use fsim_matching as matching;
 pub use fsim_measures as measures;
 pub use fsim_patmatch as patmatch;
+pub use fsim_serve as serve;
 
 /// Converts an engine [`core::Variant`] into the equivalent
 /// [`exact::ExactVariant`] checker id.

@@ -1,0 +1,238 @@
+//! Freshness property: every served response carries a certified
+//! `error_bound` that is **at least** the true sup-norm gap between the
+//! served scores and a cold exact oracle converged on the same edit
+//! prefix. `batches_applied` in the response identifies the prefix, so
+//! the oracle is reconstructable from the outside: rebuild the right
+//! graph after that many batches and run [`compute`] from scratch.
+//!
+//! Exercised across exact/approximate convergence modes × unsharded/
+//! sharded execution. Exact modes must additionally serve **bitwise**
+//! oracle scores with a zero bound.
+
+use fsim::prelude::*;
+use fsim::serve::client::HttpClient;
+use fsim::serve::json::Json;
+use fsim::serve::{Daemon, ServerConfig};
+use fsim_core::FsimEngine;
+use std::sync::Arc;
+
+const N1: u32 = 8;
+const N2: u32 = 14;
+const BATCHES: usize = 4;
+
+fn labels(n: u32) -> Vec<&'static str> {
+    (0..n).map(|i| ["a", "b", "c"][i as usize % 3]).collect()
+}
+
+fn chain_edges(n: u32) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = (1..n).map(|i| (i - 1, i)).collect();
+    edges.push((n - 1, 0));
+    edges
+}
+
+fn build(interner: &Arc<LabelInterner>, labels: &[&str], edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::with_interner(Arc::clone(interner));
+    for l in labels {
+        b.add_node(l);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+type EdgeMutation = Box<dyn Fn(&mut Vec<(u32, u32)>)>;
+
+/// The i-th edit batch, as (HTTP body, local mutation). All batches are
+/// valid right-side edge edits so `batches_applied` counts them 1:1.
+fn edit_batch(i: usize) -> (String, EdgeMutation) {
+    let (src, dst) = ((3 * i as u32 + 1) % N2, (5 * i as u32 + 7) % N2);
+    if i % 2 == 0 {
+        (
+            format!(
+                "{{\"edits\":[{{\"op\":\"add_edge\",\"side\":\"right\",\"src\":{src},\"dst\":{dst}}}]}}"
+            ),
+            Box::new(move |edges| {
+                if !edges.contains(&(src, dst)) {
+                    edges.push((src, dst));
+                }
+            }),
+        )
+    } else {
+        let (src, dst) = ((3 * (i - 1) as u32 + 1) % N2, (5 * (i - 1) as u32 + 7) % N2);
+        (
+            format!(
+                "{{\"edits\":[{{\"op\":\"remove_edge\",\"side\":\"right\",\"src\":{src},\"dst\":{dst}}}]}}"
+            ),
+            Box::new(move |edges| edges.retain(|e| *e != (src, dst))),
+        )
+    }
+}
+
+struct Served {
+    pairs: Vec<(NodeId, NodeId, f64)>,
+    error_bound: f64,
+    batches_applied: u64,
+}
+
+fn dump(client: &mut HttpClient, ns: &str) -> Served {
+    let resp = client.get(&format!("/dump?ns={ns}")).expect("dump");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = Json::parse(&resp.text()).expect("dump body is JSON");
+    let pairs = doc
+        .get("pairs")
+        .and_then(Json::as_array)
+        .expect("pairs")
+        .iter()
+        .map(|p| {
+            let p = p.as_array().expect("triple");
+            (
+                p[0].as_u64().unwrap() as NodeId,
+                p[1].as_u64().unwrap() as NodeId,
+                p[2].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    Served {
+        pairs,
+        error_bound: doc
+            .get("error_bound")
+            .and_then(Json::as_f64)
+            .expect("bound"),
+        batches_applied: doc
+            .get("batches_applied")
+            .and_then(Json::as_u64)
+            .expect("batches_applied"),
+    }
+}
+
+fn wait_for_prefix(client: &mut HttpClient, ns: &str, prefix: u64) -> Served {
+    for _ in 0..500 {
+        let served = dump(client, ns);
+        if served.batches_applied >= prefix {
+            assert_eq!(
+                served.batches_applied, prefix,
+                "writer applied batches the test never sent"
+            );
+            return served;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("namespace {ns} never reached edit prefix {prefix}");
+}
+
+/// Checks one namespace configuration through the whole edit sequence.
+fn check_mode(name: &str, variant: Variant, convergence: ConvergenceMode, shards: ShardSpec) {
+    let interner = LabelInterner::shared();
+    let l1 = labels(N1);
+    let l2 = labels(N2);
+    let g1 = build(&interner, &l1, &chain_edges(N1));
+    let mut edges2 = chain_edges(N2);
+
+    let cfg = FsimConfig::new(variant)
+        .label_fn(LabelFn::Indicator)
+        .convergence(convergence)
+        .shards(shards);
+    // The oracle: same operator configuration, but always exact and
+    // cold-started on the post-edit graph.
+    let oracle_cfg = FsimConfig::new(variant)
+        .label_fn(LabelFn::Indicator)
+        .convergence(ConvergenceMode::Auto)
+        .shards(ShardSpec::Off);
+    let exact_mode = convergence.approximate_tolerance().is_none();
+
+    let mut daemon = Daemon::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let g2 = build(&interner, &l2, &edges2);
+    daemon.add_namespace(
+        name,
+        FsimEngine::new_owned(g1.clone(), g2, &cfg).expect("valid config"),
+    );
+    let mut client = HttpClient::connect(daemon.addr()).expect("connect");
+
+    for prefix in 0..=BATCHES {
+        if prefix > 0 {
+            let (body, mutate) = edit_batch(prefix - 1);
+            let resp = client
+                .post(&format!("/edits?ns={name}"), &body)
+                .expect("post edits");
+            assert_eq!(resp.status, 202, "{}", resp.text());
+            mutate(&mut edges2);
+        }
+        let served = wait_for_prefix(&mut client, name, prefix as u64);
+
+        let g2_now = build(&interner, &l2, &edges2);
+        let oracle = compute(&g1, &g2_now, &oracle_cfg).expect("oracle");
+        assert_eq!(
+            served.pairs.len(),
+            oracle.iter_pairs().count(),
+            "{name} prefix {prefix}: maintained sets diverge from the oracle"
+        );
+        let mut sup_gap = 0.0f64;
+        for (u, v, s) in &served.pairs {
+            let truth = oracle
+                .get(*u, *v)
+                .unwrap_or_else(|| panic!("{name} prefix {prefix}: oracle lacks ({u},{v})"));
+            if exact_mode {
+                assert_eq!(
+                    s.to_bits(),
+                    truth.to_bits(),
+                    "{name} prefix {prefix}: exact serving must be bitwise ({u},{v})"
+                );
+            }
+            sup_gap = sup_gap.max((s - truth).abs());
+        }
+        if exact_mode {
+            assert_eq!(
+                served.error_bound, 0.0,
+                "{name} prefix {prefix}: exact mode must certify a zero bound"
+            );
+        } else {
+            assert!(
+                served.error_bound >= sup_gap,
+                "{name} prefix {prefix}: certified bound {} < true sup gap {sup_gap}",
+                served.error_bound
+            );
+        }
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn exact_unsharded_serves_bitwise_oracle_scores() {
+    check_mode(
+        "exact",
+        Variant::Simple,
+        ConvergenceMode::Auto,
+        ShardSpec::Off,
+    );
+}
+
+#[test]
+fn exact_sharded_serves_bitwise_oracle_scores() {
+    check_mode(
+        "exact-sharded",
+        Variant::Simple,
+        ConvergenceMode::Auto,
+        ShardSpec::Fixed(3),
+    );
+}
+
+#[test]
+fn approximate_bound_dominates_true_gap() {
+    check_mode(
+        "approx",
+        Variant::Bi,
+        ConvergenceMode::Approximate { tolerance: 1.0 },
+        ShardSpec::Off,
+    );
+}
+
+#[test]
+fn approximate_sharded_bound_dominates_true_gap() {
+    check_mode(
+        "approx-sharded",
+        Variant::Bi,
+        ConvergenceMode::Approximate { tolerance: 0.5 },
+        ShardSpec::Fixed(3),
+    );
+}

@@ -1,12 +1,18 @@
-//! Structural guarantee behind the persistent runtime: exactly one thread
-//! spawn site exists in `fsim-core` (the `Runtime` constructor), and no
-//! scoped per-run pools remain. Guards against a future code path quietly
-//! reintroducing spawn-per-run.
+//! Structural guarantees on thread creation: exactly one spawn site
+//! exists in `fsim-core` (the `Runtime` constructor), no scoped per-run
+//! pools remain, and the serving daemon adds exactly three spawn sites
+//! (accept loop, per-connection handler, per-namespace writer) — the
+//! only ones outside `fsim-core`. Guards against a future code path
+//! quietly reintroducing spawn-per-run or growing ad-hoc threading.
 
 use std::path::{Path, PathBuf};
 
 fn core_src() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src")
+}
+
+fn serve_src() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/serve/src")
 }
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -21,11 +27,14 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Counts occurrences of `needle` in non-comment code lines of every
-/// `.rs` file under `crates/core/src`, returning `(file, line)` hits.
-fn code_hits(needle: &str) -> Vec<(PathBuf, usize)> {
+/// `.rs` file under `root`, returning `(file, line)` hits.
+fn code_hits_under(root: &Path, needle: &str) -> Vec<(PathBuf, usize)> {
     let mut files = Vec::new();
-    rust_files(&core_src(), &mut files);
-    assert!(!files.is_empty(), "found no core sources — wrong cwd?");
+    rust_files(root, &mut files);
+    assert!(
+        !files.is_empty(),
+        "found no sources under {root:?} — wrong cwd?"
+    );
     let mut hits = Vec::new();
     for file in files {
         let text = std::fs::read_to_string(&file).expect("readable source");
@@ -40,6 +49,10 @@ fn code_hits(needle: &str) -> Vec<(PathBuf, usize)> {
         }
     }
     hits
+}
+
+fn code_hits(needle: &str) -> Vec<(PathBuf, usize)> {
+    code_hits_under(&core_src(), needle)
 }
 
 #[test]
@@ -64,5 +77,30 @@ fn no_scoped_thread_pools_remain() {
         hits.is_empty(),
         "per-run scoped pools were removed in favor of the persistent \
          runtime; found: {hits:?}"
+    );
+}
+
+/// The daemon owns exactly three spawn sites: the accept loop and the
+/// per-connection handler in `daemon.rs`, and the per-namespace writer
+/// in `namespace.rs`. Every one is covered by the `live_daemon_threads`
+/// RAII accounting, which is what lets the serving tests pin "no leaked
+/// threads" exactly; a fourth site would silently escape that contract.
+#[test]
+fn daemon_spawns_threads_in_exactly_three_places() {
+    let hits = code_hits_under(&serve_src(), "thread::spawn");
+    let in_file = |name: &str| hits.iter().filter(|(file, _)| file.ends_with(name)).count();
+    assert_eq!(
+        (hits.len(), in_file("daemon.rs"), in_file("namespace.rs")),
+        (3, 2, 1),
+        "fsim-serve spawn sites moved: {hits:?}"
+    );
+}
+
+#[test]
+fn daemon_has_no_scoped_pools() {
+    let hits = code_hits_under(&serve_src(), "thread::scope");
+    assert!(
+        hits.is_empty(),
+        "unexpected scoped pool in fsim-serve: {hits:?}"
     );
 }
