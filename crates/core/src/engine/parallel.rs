@@ -501,6 +501,9 @@ where
             let write = &buffers[1 - read];
             for &s in &prev_changed {
                 if mark[s as usize] != epoch {
+                    // SAFETY: same window — no dispatch in flight, and
+                    // `prev_changed` slots are distinct, so this is the
+                    // sole writer of `s`.
                     unsafe { write.write(s as usize, read_buf[s as usize]) };
                 }
             }
@@ -576,6 +579,7 @@ where
             );
             // SAFETY: no dispatch is in flight; both buffers are stable.
             let new_buf = unsafe { buffers[read].as_read_slice() };
+            // SAFETY: as above — both reads share the quiescent window.
             let old_buf = unsafe { buffers[1 - read].as_read_slice() };
             ap.begin();
             for &c in &prev_changed {
@@ -752,6 +756,7 @@ where
         changed_sink.lock().expect("changed sink").clear();
         // SAFETY: no dispatch is in flight; both buffers are stable.
         let prev_buf = unsafe { buffers[read].as_read_slice() };
+        // SAFETY: as above — both reads share the quiescent window.
         let cur_buf = unsafe { buffers[1 - read].as_read_slice() };
         let mut delta = 0.0f64;
         changed.clear();
@@ -800,6 +805,7 @@ where
     if !out.converged && out.iterations < max_iters {
         // SAFETY: no dispatch is in flight; both buffers are stable.
         let prev_buf = unsafe { buffers[1 - read].as_read_slice() };
+        // SAFETY: as above — both reads share the quiescent window.
         let cur_buf = unsafe { buffers[read].as_read_slice() };
         let mut prev_changed: Vec<u32> = Vec::new();
         for s in 0..n {
@@ -828,6 +834,9 @@ where
                 let write = &buffers[1 - read];
                 for &s in &prev_changed {
                     if mark[s as usize] != epoch {
+                        // SAFETY: same window — no dispatch in flight,
+                        // and `prev_changed` slots are distinct, so this
+                        // is the sole writer of `s`.
                         unsafe { write.write(s as usize, read_buf[s as usize]) };
                     }
                 }

@@ -45,6 +45,14 @@ impl Csr {
         self.offsets.len() - 1
     }
 
+    /// Number of nodes as the exclusive upper bound of valid `u32` node
+    /// ids — checked, so an impossible `|V| > u32::MAX` fails loudly
+    /// instead of wrapping into a bogus id range.
+    #[inline]
+    pub fn node_count_u32(&self) -> u32 {
+        u32::try_from(self.node_count()).expect("CSR node count exceeds u32 node-id space")
+    }
+
     /// Number of stored (directed) edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
@@ -73,16 +81,15 @@ impl Csr {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count())
-            .map(|u| self.degree(u as u32))
+        (0..self.node_count_u32())
+            .map(|u| self.degree(u))
             .max()
             .unwrap_or(0)
     }
 
     /// Iterates over all `(source, target)` edges in sorted order.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.node_count() as u32)
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.node_count_u32()).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Builds a patched copy with `adds` spliced in and `removes` taken out
@@ -105,7 +112,7 @@ impl Csr {
         let mut targets = Vec::with_capacity(self.targets.len() + adds.len());
         offsets.push(0u32);
         let (mut ai, mut ri) = (0usize, 0usize);
-        for u in 0..n as u32 {
+        for u in 0..self.node_count_u32() {
             let old = self.neighbors(u);
             let a_start = ai;
             while ai < adds.len() && adds[ai].0 == u {
@@ -151,7 +158,9 @@ impl Csr {
                     }
                 }
             }
-            offsets.push(targets.len() as u32);
+            let end =
+                u32::try_from(targets.len()).expect("spliced edge count overflows u32 CSR offsets");
+            offsets.push(end);
         }
         debug_assert_eq!(ai, adds.len(), "add edge source out of range");
         Csr { offsets, targets }

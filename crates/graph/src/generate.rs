@@ -109,7 +109,7 @@ pub fn gnm_with_interner<R: Rng + ?Sized>(
     let mut b = GraphBuilder::with_interner(interner);
     b.reserve(cfg.nodes, m);
     assign_labels(&mut b, cfg, rng);
-    let n = cfg.nodes as u32;
+    let n = u32::try_from(cfg.nodes).expect("generator node count must fit u32 node ids");
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     while seen.len() < m {
         let u = rng.gen_range(0..n);
@@ -149,7 +149,8 @@ pub fn preferential_with_interner<R: Rng + ?Sized>(
     // "probability proportional to in-degree + 1".
     let mut pool: Vec<u32> = vec![0];
     let mut added = 0usize;
-    for u in 1..cfg.nodes as u32 {
+    let n = u32::try_from(cfg.nodes).expect("generator node count must fit u32 node ids");
+    for u in 1..n {
         let mut local: FxHashSet<u32> = FxHashSet::default();
         for _ in 0..out_per_node {
             if added >= cfg.edges {

@@ -44,6 +44,14 @@ impl Graph {
         self.labels.len()
     }
 
+    /// `|V|` as the exclusive upper bound of valid `u32` node ids —
+    /// checked, so an impossible `|V| > u32::MAX` fails loudly instead
+    /// of wrapping into a bogus id range.
+    #[inline]
+    pub fn node_count_u32(&self) -> u32 {
+        u32::try_from(self.node_count()).expect("node count exceeds u32 node-id space")
+    }
+
     /// `|E|` (directed edges, deduplicated).
     #[inline]
     pub fn edge_count(&self) -> usize {

@@ -81,6 +81,8 @@ pub fn pair_key(u: u32, v: u32) -> u64 {
 /// Inverse of [`pair_key`].
 #[inline]
 pub fn unpack_pair(key: u64) -> (u32, u32) {
+    // lint:allow(lossy-cast-in-core): truncation is the point — this
+    // splits the packed u64 back into its two u32 halves.
     ((key >> 32) as u32, key as u32)
 }
 

@@ -189,8 +189,8 @@ mod json {
                 '\n' => out.push_str("\\n"),
                 '\r' => out.push_str("\\r"),
                 '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
+                c if u32::from(c) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", u32::from(c)));
                 }
                 c => out.push(c),
             }
@@ -392,7 +392,9 @@ mod json {
         let (Some(labels), Some(edges)) = (labels, edges) else {
             return p.err("missing \"labels\" or \"edges\"");
         };
-        let n = labels.len() as u32;
+        let Ok(n) = u32::try_from(labels.len()) else {
+            return p.err("node count exceeds u32 id space");
+        };
         let mut b = GraphBuilder::new();
         for l in &labels {
             b.add_node(l);

@@ -43,7 +43,7 @@ pub fn structural_errors<R: Rng + ?Sized>(g: &Graph, ratio: f64, rng: &mut R) ->
     edges.truncate(m.saturating_sub(removals));
 
     let mut present = edge_set(g);
-    let n = g.node_count() as u32;
+    let n = g.node_count_u32();
     let mut added = 0;
     let mut attempts = 0usize;
     while added < insertions && n >= 2 && attempts < insertions * 50 {
@@ -112,7 +112,7 @@ pub fn relabel_random<R: Rng + ?Sized>(g: &Graph, ratio: f64, rng: &mut R) -> Gr
 /// count reaches `factor × |E|` (or the digraph saturates).
 pub fn densify<R: Rng + ?Sized>(g: &Graph, factor: f64, rng: &mut R) -> Graph {
     assert!(factor >= 1.0, "densify factor must be >= 1");
-    let n = g.node_count() as u32;
+    let n = g.node_count_u32();
     let target = ((g.edge_count() as f64) * factor) as usize;
     let max_edges = (n as usize) * (n as usize - 1);
     let target = target.min(max_edges);

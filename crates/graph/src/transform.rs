@@ -69,7 +69,8 @@ pub fn quotient(g: &Graph, partition: &[u32]) -> (Graph, Vec<u32>) {
     let mut representative: Vec<Option<u32>> = vec![None; classes];
     for (u, &c) in partition.iter().enumerate() {
         assert!((c as usize) < classes, "non-dense class id {c}");
-        representative[c as usize].get_or_insert(u as u32);
+        let u = u32::try_from(u).expect("node ids fit u32 by construction");
+        representative[c as usize].get_or_insert(u);
     }
     let mut b = GraphBuilder::with_interner(Arc::clone(g.interner()));
     for rep in &representative {

@@ -57,7 +57,7 @@ fn bfs_impl(g: &Graph, src: NodeId, undirected: bool, max_depth: u32) -> Vec<u32
 /// strong simulation (Ma et al.), where `r` is the query diameter.
 pub fn ball(g: &Graph, center: NodeId, radius: u32) -> Vec<NodeId> {
     let dist = bfs_undirected(g, center, radius);
-    (0..g.node_count() as u32)
+    (0..g.node_count_u32())
         .filter(|&u| dist[u as usize] <= radius)
         .collect()
 }

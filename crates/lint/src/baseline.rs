@@ -1,0 +1,173 @@
+//! The ratchet baseline: committed, hand-rolled JSON (the same
+//! no-dependency codec style as `fsim_graph::io`) recording how many
+//! findings of each rule each file is *allowed* to have.
+//!
+//! Semantics: per `(rule, file)`, `current > baseline` fails the build;
+//! `current < baseline` is a shrink the next `--update-baseline` locks
+//! in; a `(rule, file)` absent from the baseline allows zero. Keying on
+//! counts rather than line numbers keeps the ratchet stable across
+//! unrelated edits to the same file (line numbers drift, counts only
+//! move when a site is added or removed).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Allowed finding counts, keyed `(rule, file)` — a `BTreeMap` so the
+/// serialized form is canonically ordered and diffs stay minimal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule, file) -> allowed count`.
+    pub counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Allowed count for `(rule, file)` (zero when absent).
+    pub fn allowed(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(&(rule.to_string(), file.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Loads `path`, or an empty baseline if the file does not exist.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Serializes to the committed JSON shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"counts\": [\n");
+        let mut first = true;
+        for ((rule, file), count) in &self.counts {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}}}",
+                escape(rule),
+                escape(file),
+                count
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the baseline to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Minimal parser for exactly the shape [`Baseline::to_json`] emits
+/// (plus arbitrary whitespace). Anything else is a loud error — a
+/// hand-edited baseline that silently drops entries would un-ratchet
+/// the debt it was pinning.
+fn parse(text: &str) -> Result<Baseline, String> {
+    let mut counts = BTreeMap::new();
+    let mut rest = text;
+    // Each entry is an object with exactly rule/file/count; scan for
+    // the three fields object by object.
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or("unbalanced object".to_string())?
+            + open;
+        let obj = &rest[open + 1..close];
+        rest = &rest[close + 1..];
+        if !obj.contains("\"rule\"") {
+            continue; // the outer wrapper object
+        }
+        let rule = field_str(obj, "rule")?;
+        let file = field_str(obj, "file")?;
+        let count = field_num(obj, "count")?;
+        if counts.insert((rule.clone(), file.clone()), count).is_some() {
+            return Err(format!("duplicate baseline entry for {rule} / {file}"));
+        }
+    }
+    Ok(Baseline { counts })
+}
+
+fn field_str(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat).ok_or(format!("missing field {key:?}"))?;
+    let after = obj[at + pat.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or(format!("malformed field {key:?}"))?
+        .trim_start();
+    let inner = after
+        .strip_prefix('"')
+        .ok_or(format!("field {key:?} is not a string"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    loop {
+        match chars.next() {
+            None => return Err(format!("unterminated string for {key:?}")),
+            Some('\\') => match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                _ => return Err(format!("bad escape in {key:?}")),
+            },
+            Some('"') => return Ok(out),
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn field_num(obj: &str, key: &str) -> Result<usize, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat).ok_or(format!("missing field {key:?}"))?;
+    let after = obj[at + pat.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or(format!("malformed field {key:?}"))?
+        .trim_start();
+    let digits: String = after.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits
+        .parse::<usize>()
+        .map_err(|_| format!("field {key:?} is not a count"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.counts.insert(
+            ("lossy-cast-in-core".into(), "crates/core/src/a.rs".into()),
+            3,
+        );
+        b.counts
+            .insert(("spawn-site".into(), "crates/x/src/b.rs".into()), 1);
+        let parsed = parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/lint.baseline.json")).unwrap();
+        assert!(b.counts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        let text = r#"{"counts": [
+            {"rule": "r", "file": "f", "count": 1},
+            {"rule": "r", "file": "f", "count": 2}
+        ]}"#;
+        assert!(parse(text).is_err());
+    }
+}

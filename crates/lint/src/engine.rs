@@ -1,0 +1,307 @@
+//! The lint driver: walk the workspace's shipping sources, lex, run
+//! every rule, apply per-site waivers, then reconcile what is left
+//! against the ratchet baseline.
+
+use crate::baseline::Baseline;
+use crate::lexer::{lex, SourceFile};
+use crate::rules::{default_rules, Finding, Rule};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The marker a waiver comment starts with.
+const WAIVER_MARKER: &str = "lint:allow(";
+
+/// One parsed `// lint:allow(<rule>): <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The written justification (must be non-empty).
+    pub reason: String,
+    /// File and line the waiver *applies to* (the annotated code line).
+    pub file: String,
+    /// 1-based line of waived code.
+    pub line: usize,
+    /// Whether the waiver suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived waivers and exceed the baseline —
+    /// non-empty means fail.
+    pub violations: Vec<Finding>,
+    /// Findings absorbed by the baseline (debt, not failures).
+    pub baselined: Vec<Finding>,
+    /// Findings suppressed by a waiver.
+    pub waived: Vec<Finding>,
+    /// Waiver hygiene problems (missing reason, unknown rule, unused) —
+    /// these fail the run like violations do.
+    pub waiver_errors: Vec<Finding>,
+    /// `(rule, file)` groups where the tree now has *fewer* findings
+    /// than the baseline allows — shrink the baseline to lock it in.
+    pub ratchet_slack: Vec<(String, String, usize, usize)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (CI gate).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.waiver_errors.is_empty()
+    }
+
+    /// Current per-`(rule, file)` finding counts (waived findings
+    /// excluded) — what `--update-baseline` writes.
+    pub fn current_counts(&self) -> BTreeMap<(String, String), usize> {
+        let mut counts = BTreeMap::new();
+        for f in self.violations.iter().chain(&self.baselined) {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Directories under the workspace root whose `.rs` files are shipping
+/// code. `tests/`, `benches/` and `examples/` subtrees inside them are
+/// lexed as test context; `vendor/` and `target/` are skipped entirely.
+const SOURCE_ROOTS: &[&str] = &["crates", "src"];
+
+/// Recursively collects workspace-relative paths of `.rs` files.
+fn rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for dir in SOURCE_ROOTS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            walk(&abs, &mut out).map_err(|e| format!("{}: {e}", abs.display()))?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Whether a workspace-relative path is test-only by *location* (its
+/// contents never ship).
+fn path_is_test(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Extracts the waivers declared in `file`. A waiver on a line with
+/// code applies to that line; a waiver on a comment-only line applies
+/// to the next line that has code.
+fn waivers_of(file: &SourceFile, errors: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (lineno, line) in file.numbered() {
+        // Waivers are plain line comments; doc comments (`///`, `//!`)
+        // merely *talk about* the syntax (this crate's own docs do).
+        let trimmed = line.comment.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = line.comment.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let after = &line.comment[at + WAIVER_MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            errors.push(Finding::new(
+                "waiver-syntax",
+                file,
+                lineno,
+                "malformed waiver: expected `lint:allow(<rule>): <reason>`",
+            ));
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        let reason = after[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        if reason.is_empty() {
+            errors.push(Finding::new(
+                "waiver-needs-reason",
+                file,
+                lineno,
+                format!(
+                    "waiver for `{rule}` has no written reason — every exception \
+                         must say why the invariant holds here"
+                ),
+            ));
+            continue;
+        }
+        // A waiver on a comment-only line covers the next code line.
+        let mut target = lineno;
+        if line.code.trim().is_empty() {
+            for (next_no, next) in file.numbered().skip(lineno) {
+                if !next.code.trim().is_empty() {
+                    target = next_no;
+                    break;
+                }
+            }
+        }
+        out.push(Waiver {
+            rule,
+            reason,
+            file: file.rel_path.clone(),
+            line: target,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Runs every rule over one lexed file and applies its waivers.
+/// Returns `(kept, waived)`; waiver-hygiene problems go to `errors`.
+fn lint_file(
+    rules: &[Box<dyn Rule>],
+    file: &SourceFile,
+    errors: &mut Vec<Finding>,
+) -> (Vec<Finding>, Vec<Finding>) {
+    let known: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    let mut waivers = waivers_of(file, errors);
+    for w in &waivers {
+        if !known.contains(&w.rule.as_str()) {
+            errors.push(Finding {
+                rule: "waiver-unknown-rule",
+                file: w.file.clone(),
+                line: w.line,
+                message: format!("waiver names unknown rule `{}`", w.rule),
+            });
+        }
+    }
+    let mut raw = Vec::new();
+    for rule in rules {
+        if rule.applies_to(&file.rel_path) {
+            rule.check(file, &mut raw);
+        }
+    }
+    let mut kept = Vec::new();
+    let mut waived = Vec::new();
+    'findings: for f in raw {
+        for w in waivers.iter_mut() {
+            if w.rule == f.rule && w.line == f.line {
+                w.used = true;
+                waived.push(f);
+                continue 'findings;
+            }
+        }
+        kept.push(f);
+    }
+    for w in &waivers {
+        if !w.used && known.contains(&w.rule.as_str()) {
+            errors.push(Finding {
+                rule: "waiver-unused",
+                file: w.file.clone(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` suppresses nothing — the site was fixed; \
+                     delete the annotation",
+                    w.rule
+                ),
+            });
+        }
+    }
+    (kept, waived)
+}
+
+/// Lints a single in-memory source (the self-test entry point: fixture
+/// snippets per rule, positive and negative). Waivers apply; no
+/// baseline. The `rel_path` chooses which path-scoped rules fire.
+pub fn lint_source(rel_path: &str, text: &str) -> (Vec<Finding>, Vec<Finding>) {
+    let file = lex(rel_path, text, path_is_test(rel_path));
+    let mut errors = Vec::new();
+    let (mut kept, waived) = lint_file(&default_rules(), &file, &mut errors);
+    kept.extend(errors);
+    (kept, waived)
+}
+
+/// Lexes one on-disk file, for callers (like `tests/spawn_sites.rs`)
+/// that consume the lexer/rule API directly.
+pub fn lex_workspace_file(root: &Path, rel_path: &str) -> Result<SourceFile, String> {
+    let abs = root.join(rel_path);
+    let text = std::fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+    Ok(lex(rel_path, &text, path_is_test(rel_path)))
+}
+
+/// Workspace-relative `/`-separated paths of every shipping `.rs` file.
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>, String> {
+    Ok(rust_files(root)?
+        .into_iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect())
+}
+
+/// Runs the full audit rooted at `root` against `baseline`.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> Result<Report, String> {
+    let rules = default_rules();
+    let mut report = Report::default();
+    let mut kept_all: Vec<Finding> = Vec::new();
+    for rel in workspace_sources(root)? {
+        let file = lex_workspace_file(root, &rel)?;
+        report.files_scanned += 1;
+        let (kept, waived) = lint_file(&rules, &file, &mut report.waiver_errors);
+        kept_all.extend(kept);
+        report.waived.extend(waived);
+    }
+    // Reconcile against the baseline per (rule, file): the first
+    // `allowed` findings of a group are debt, the rest are violations.
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in kept_all {
+        groups
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+    for ((rule, file), findings) in &groups {
+        let allowed = baseline.allowed(rule, file);
+        if findings.len() < allowed {
+            report
+                .ratchet_slack
+                .push((rule.clone(), file.clone(), findings.len(), allowed));
+        }
+        for (i, f) in findings.iter().enumerate() {
+            if i < allowed {
+                report.baselined.push(f.clone());
+            } else {
+                report.violations.push(f.clone());
+            }
+        }
+    }
+    // Baseline entries whose file no longer yields findings at all are
+    // slack too (the file was fixed or deleted).
+    for ((rule, file), &allowed) in &baseline.counts {
+        if allowed > 0 && !groups.contains_key(&(rule.clone(), file.clone())) {
+            report
+                .ratchet_slack
+                .push((rule.clone(), file.clone(), 0, allowed));
+        }
+    }
+    Ok(report)
+}

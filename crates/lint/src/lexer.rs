@@ -1,0 +1,387 @@
+//! A comment- and string-aware line lexer for Rust sources.
+//!
+//! Every rule in this crate consumes [`SourceFile`]s produced here rather
+//! than raw text, which is what lets them reason about *code* instead of
+//! prose: string/char-literal contents are blanked (a log message that
+//! says `"do not unwrap() here"` is not a panic site), comments are
+//! split off into their own channel (so `// SAFETY:` and
+//! `// lint:allow(...)` annotations are visible without polluting code
+//! matches), and `#[cfg(test)]` / `#[test]` regions are tracked so rules
+//! can scope themselves to shipping code.
+//!
+//! This is deliberately a *line* lexer, not a parser: rules match
+//! substrings of the stripped code channel. That is the same altitude as
+//! the hand-rolled scanner this module replaced (`tests/spawn_sites.rs`
+//! pre-PR 9) — but with one shared implementation of the tricky parts
+//! (block comments, raw strings, char-vs-lifetime) instead of one per
+//! check.
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code with comments removed and string/char-literal
+    /// *contents* blanked to spaces (delimiters are kept, so `"..."`
+    /// still reads as an expression boundary).
+    pub code: String,
+    /// The line's comment text (line comments and any block-comment
+    /// portion), concatenated.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item or a
+    /// `#[test]` function body.
+    pub in_test: bool,
+    /// Brace depth (code braces only) at the *start* of the line.
+    pub depth: u32,
+}
+
+/// A lexed file: the unit every rule operates on.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (stable across platforms
+    /// so baselines and waivers are portable).
+    pub rel_path: String,
+    /// Lines in order; index 0 is line 1.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// 1-based iteration over `(line_number, line)`.
+    pub fn numbered(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// Lexer state across lines (block comments and raw strings may span
+/// many lines).
+enum Mode {
+    Code,
+    /// Nested block comments: Rust block comments nest, so we carry the
+    /// depth.
+    BlockComment(u32),
+    /// Inside a `"..."` string.
+    Str,
+    /// Inside a raw string `r##"..."##` with this many `#`s.
+    RawStr(u32),
+}
+
+/// Lexes one file. `force_test` marks every line as test context —
+/// used for files under `tests/`, `benches/` and `examples/`, which are
+/// never shipped.
+pub fn lex(rel_path: &str, text: &str, force_test: bool) -> SourceFile {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: u32 = 0;
+    // Test-region tracking: `pending_attr_depth` is set when a
+    // `#[cfg(test)]` / `#[test]` attribute is seen at that depth; the
+    // region opens at the attributed item's first `{` and closes when
+    // depth returns to the attribute's level.
+    let mut pending_attr_depth: Option<u32> = None;
+    let mut test_region_depth: Option<u32> = None;
+
+    for raw in text.lines() {
+        let depth_at_start = depth;
+        let in_test_at_start = force_test || test_region_depth.is_some();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes = raw.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match mode {
+                Mode::Code => {
+                    let rest = &raw[i..];
+                    if rest.starts_with("//") {
+                        comment.push_str(rest);
+                        break; // rest of the line is comment
+                    } else if rest.starts_with("/*") {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                    } else if rest.starts_with("r\"") || rest.starts_with("r#") {
+                        // Raw string: count the hashes.
+                        let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count() as u32;
+                        let open = 1 + hashes as usize + 1; // r + #s + "
+                        if rest.as_bytes().get(1 + hashes as usize) == Some(&b'"') {
+                            code.push_str("r\"");
+                            mode = Mode::RawStr(hashes);
+                            i += open;
+                        } else {
+                            // `r#` that is not a raw string (raw ident).
+                            code.push_str(&rest[..2]);
+                            i += 2;
+                        }
+                    } else if rest.starts_with("b\"") {
+                        code.push_str("b\"");
+                        mode = Mode::Str;
+                        i += 2;
+                    } else {
+                        let c = rest.chars().next().expect("non-empty rest");
+                        match c {
+                            '"' => {
+                                code.push('"');
+                                mode = Mode::Str;
+                                i += 1;
+                            }
+                            '\'' => {
+                                // Char literal vs lifetime: a literal is
+                                // `'\...'` or `'x'`; anything else (e.g.
+                                // `'static`) is a lifetime and stays code.
+                                let tail = &rest[1..];
+                                let close = char_literal_len(tail);
+                                match close {
+                                    Some(n) => {
+                                        code.push('\'');
+                                        for _ in 0..n.saturating_sub(1) {
+                                            code.push(' ');
+                                        }
+                                        code.push('\'');
+                                        i += 1 + n + 1;
+                                    }
+                                    None => {
+                                        code.push('\'');
+                                        i += 1;
+                                    }
+                                }
+                            }
+                            '{' => {
+                                depth += 1;
+                                // An attribute pending at depth d opens
+                                // its item body at the first deeper `{`.
+                                if let Some(d) = pending_attr_depth {
+                                    if depth == d + 1 && test_region_depth.is_none() {
+                                        test_region_depth = Some(d);
+                                        pending_attr_depth = None;
+                                    }
+                                }
+                                code.push('{');
+                                i += 1;
+                            }
+                            '}' => {
+                                depth = depth.saturating_sub(1);
+                                if test_region_depth.is_some_and(|d| depth <= d) {
+                                    test_region_depth = None;
+                                }
+                                code.push('}');
+                                i += 1;
+                            }
+                            _ => {
+                                code.push(c);
+                                i += c.len_utf8();
+                            }
+                        }
+                    }
+                }
+                Mode::BlockComment(n) => {
+                    let rest = &raw[i..];
+                    if rest.starts_with("*/") {
+                        mode = if n > 1 {
+                            Mode::BlockComment(n - 1)
+                        } else {
+                            Mode::Code
+                        };
+                        i += 2;
+                    } else if rest.starts_with("/*") {
+                        mode = Mode::BlockComment(n + 1);
+                        i += 2;
+                    } else {
+                        let c = rest.chars().next().expect("non-empty rest");
+                        comment.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+                Mode::Str => {
+                    let rest = &raw[i..];
+                    if rest.starts_with('\\') {
+                        // Skip the escaped character (blanked anyway).
+                        code.push(' ');
+                        i += 1;
+                        if let Some(c) = raw[i..].chars().next() {
+                            code.push(' ');
+                            i += c.len_utf8();
+                        }
+                    } else if rest.starts_with('"') {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        let c = rest.chars().next().expect("non-empty rest");
+                        code.push(' ');
+                        i += c.len_utf8();
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    let closer: String = std::iter::once('"')
+                        .chain((0..hashes).map(|_| '#'))
+                        .collect();
+                    match raw[i..].find(&closer) {
+                        Some(off) => {
+                            for _ in 0..off {
+                                code.push(' ');
+                            }
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += off + closer.len();
+                        }
+                        None => {
+                            for _ in raw[i..].chars() {
+                                code.push(' ');
+                            }
+                            i = bytes.len();
+                        }
+                    }
+                }
+            }
+        }
+        // Unterminated string at end of line (a `"` with no close before
+        // the newline can only be a multi-line string literal — rare in
+        // this tree, but stay consistent rather than leak string text
+        // into code).
+        let code_trim = code.trim();
+        if code_trim.starts_with("#[")
+            && (code_trim.contains("cfg(test)") || code_trim == "#[test]")
+        {
+            pending_attr_depth = Some(depth);
+        } else if code_trim.starts_with("#[") || code_trim.is_empty() {
+            // Other attributes / blank lines between the test attribute
+            // and its item keep the pending marker alive.
+        } else if pending_attr_depth.is_some()
+            && test_region_depth.is_none()
+            && depth == pending_attr_depth.unwrap_or(0)
+        {
+            // A code line at the attribute's own depth that did not open
+            // a brace: a single-line item (e.g. `#[test] fn f() {}` is
+            // handled by the brace path; `#[cfg(test)] use x;` lands
+            // here) — the attribute is consumed without opening a region.
+            pending_attr_depth = None;
+        }
+        lines.push(Line {
+            code,
+            comment,
+            in_test: in_test_at_start || (force_test || test_region_depth.is_some()),
+            depth: depth_at_start,
+        });
+    }
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        lines,
+    }
+}
+
+/// If `tail` (the text after an opening `'`) starts a char literal,
+/// returns the literal's content length (excluding both quotes);
+/// otherwise `None` (it is a lifetime).
+fn char_literal_len(tail: &str) -> Option<usize> {
+    let mut chars = tail.chars();
+    let first = chars.next()?;
+    if first == '\\' {
+        // Escape: scan to the closing quote (bounded — `\u{10FFFF}` is
+        // the longest escape).
+        let mut len = 1;
+        for c in chars.take(9) {
+            len += c.len_utf8();
+            if c == '\'' {
+                return Some(len - 1);
+            }
+        }
+        None
+    } else if first != '\'' && chars.next() == Some('\'') {
+        Some(first.len_utf8())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(text: &str) -> Vec<String> {
+        lex("x.rs", text, false)
+            .lines
+            .into_iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_split_off() {
+        let f = lex("x.rs", "let a = 1; // unwrap() in prose\n", false);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains("unwrap() in prose"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = code_of(r#"let s = "call unwrap() now"; s.len();"#);
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("s.len()"));
+        assert!(c[0].contains('"'), "delimiters kept");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let c = code_of(r##"let s = r#"panic!("x")"#; let t = "a\"unwrap()\"";"##);
+        assert!(!c[0].contains("panic"));
+        assert!(!c[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let c = code_of("a /* one /* two */ still comment */ b\n/* open\nunwrap()\n*/ c");
+        assert_eq!(c[0].trim_end().replace("  ", " ").trim(), "a b");
+        assert!(!c[2].contains("unwrap"));
+        assert!(c[3].contains('c'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code_of("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(c[0].contains("&'a str"));
+        assert!(!c[0].contains("\\n"), "escape blanked");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let text = "\
+fn shipping() {
+    work();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        helper();
+    }
+}
+fn also_shipping() {}
+";
+        let f = lex("x.rs", text, false);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert!(!flags[1], "shipping fn body");
+        assert!(flags[5], "inside test mod");
+        assert!(flags[7], "inside test fn");
+        assert!(!flags[10], "after the test mod closes");
+    }
+
+    #[test]
+    fn test_attr_on_single_fn_scopes_only_its_body() {
+        let text = "\
+#[test]
+fn t() {
+    x();
+}
+fn shipping() { y(); }
+";
+        let f = lex("x.rs", text, false);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn depth_is_tracked_per_line() {
+        let f = lex(
+            "x.rs",
+            "fn f() {\n    if x {\n        y();\n    }\n}\n",
+            false,
+        );
+        let depths: Vec<u32> = f.lines.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, vec![0, 1, 2, 2, 1]);
+    }
+}

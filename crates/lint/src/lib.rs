@@ -1,0 +1,38 @@
+//! `fsim-lint` — the workspace's invariant auditor.
+//!
+//! Every correctness story this reproduction tells rests on *code-level*
+//! invariants: float orderings must be total (`total_cmp`), threads come
+//! only from pinned, accounted spawn sites, the serving crate sheds
+//! instead of panicking, `unsafe` carries its soundness argument,
+//! index-critical casts do not truncate silently, and no lock guard
+//! spans a convergence. Before PR 9 these were enforced by scattered
+//! hand-rolled scanners or by review alone; this crate holds them
+//! mechanically:
+//!
+//! * [`lexer`] — a comment/string-aware line lexer (the promotion of the
+//!   scanner that lived in `tests/spawn_sites.rs`), so rules match code,
+//!   not prose.
+//! * [`rules`] — six rules, each grounded in a bug class this repo has
+//!   hit; the mapping lives in `docs/LINTS.md`.
+//! * Waivers — `// lint:allow(<rule>): <reason>` marks a deliberate
+//!   exception *at the site*, and the reason is mandatory; unused
+//!   waivers are themselves findings, so exceptions cannot outlive the
+//!   code they excuse.
+//! * [`baseline`] — a committed ratchet (`lint.baseline.json`): existing
+//!   debt is pinned per `(rule, file)` and can only shrink.
+//!
+//! The `fsim-lint` binary runs the audit over the workspace
+//! (`--json` for machines, `--update-baseline` to re-pin after paying
+//! debt down); CI fails on any non-baselined finding. All of it is
+//! std-only and dependency-free, like the rest of the tree.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use engine::{lex_workspace_file, lint_source, lint_workspace, workspace_sources, Report};
+pub use rules::{default_rules, spawn_sites, Finding, Rule, SpawnKind, SpawnSite, SPAWN_ALLOWLIST};

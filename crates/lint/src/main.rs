@@ -1,0 +1,192 @@
+//! The `fsim-lint` binary: audit the workspace, report, ratchet.
+//!
+//! ```text
+//! fsim-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or waiver-hygiene errors),
+//! `2` usage / IO error. The scan is over source *text*, so one pass
+//! covers every cfg twin (portable and `--features simd` kernels live
+//! in the same files).
+
+use fsim_lint::baseline::Baseline;
+use fsim_lint::engine::{lint_workspace, Report};
+use fsim_lint::rules::default_rules;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    update_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        baseline: PathBuf::new(),
+        json: false,
+        update_baseline: false,
+        list_rules: false,
+    };
+    let mut baseline_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?),
+            "--baseline" => {
+                opts.baseline = PathBuf::from(args.next().ok_or("--baseline needs a file")?);
+                baseline_set = true;
+            }
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: fsim-lint [--root DIR] [--baseline FILE] [--json] \
+                            [--update-baseline] [--list-rules]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    // Walk up from --root until a workspace Cargo.toml is in view, so
+    // `cargo run -p fsim-lint` works from any subdirectory.
+    let mut root = opts.root.clone();
+    for _ in 0..8 {
+        if root.join("Cargo.toml").is_file() && root.join("crates").is_dir() {
+            break;
+        }
+        root = root.join("..");
+    }
+    if !(root.join("Cargo.toml").is_file() && root.join("crates").is_dir()) {
+        return Err(format!(
+            "no workspace root at or above {}",
+            opts.root.display()
+        ));
+    }
+    opts.root = root;
+    if !baseline_set {
+        opts.baseline = opts.root.join("lint.baseline.json");
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in default_rules() {
+            println!("{:<30} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match Baseline::load(&opts.baseline) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&opts.root, &baseline) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.update_baseline {
+        let next = Baseline {
+            counts: report.current_counts(),
+        };
+        if let Err(msg) = next.save(&opts.baseline) {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} ratcheted finding(s) across {} (rule, file) group(s))",
+            opts.baseline.display(),
+            next.counts.values().sum::<usize>(),
+            next.counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if opts.json {
+        println!("{}", to_json(&report));
+    } else {
+        print_human(&report);
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_human(report: &Report) {
+    for f in report.violations.iter().chain(&report.waiver_errors) {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for (rule, file, current, allowed) in &report.ratchet_slack {
+        println!(
+            "note: {file}: [{rule}] baseline allows {allowed} but only {current} remain — \
+             run `fsim-lint --update-baseline` to lock the improvement in"
+        );
+    }
+    println!(
+        "fsim-lint: {} file(s), {} violation(s), {} baselined, {} waived{}",
+        report.files_scanned,
+        report.violations.len() + report.waiver_errors.len(),
+        report.baselined.len(),
+        report.waived.len(),
+        if report.is_clean() { " — clean" } else { "" },
+    );
+}
+
+fn to_json(report: &Report) -> String {
+    fn finding_json(f: &fsim_lint::Finding) -> String {
+        format!(
+            "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        )
+    }
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let violations: Vec<String> = report
+        .violations
+        .iter()
+        .chain(&report.waiver_errors)
+        .map(finding_json)
+        .collect();
+    let baselined: BTreeMap<(String, String), usize> = report.current_counts();
+    let debt: Vec<String> = baselined
+        .iter()
+        .map(|((rule, file), n)| {
+            format!(
+                "{{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {n}}}",
+                esc(rule),
+                esc(file)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"clean\": {},\n  \"files_scanned\": {},\n  \"violations\": [{}],\n  \
+         \"current_debt\": [{}],\n  \"waived\": {}\n}}",
+        report.is_clean(),
+        report.files_scanned,
+        violations.join(", "),
+        debt.join(", "),
+        report.waived.len()
+    )
+}

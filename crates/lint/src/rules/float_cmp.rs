@@ -1,0 +1,47 @@
+//! `float-cmp-unsound`: the PR 4 bug class. An f64 comparator built on
+//! `partial_cmp` turns a single NaN into either a panic
+//! (`partial_cmp(..).unwrap()`) or — worse — an *intransitive* sort
+//! comparator that silently corrupts the order. Every float ordering in
+//! this tree must go through `total_cmp` (or an `Ord` implementation
+//! that delegates to it, like `topk::Ranked`).
+
+use super::{Finding, Rule};
+use crate::lexer::SourceFile;
+
+pub struct FloatCmpUnsound;
+
+impl Rule for FloatCmpUnsound {
+    fn name(&self) -> &'static str {
+        "float-cmp-unsound"
+    }
+
+    fn description(&self) -> &'static str {
+        "float orderings must use total_cmp, not partial_cmp (NaN panics / intransitive sorts)"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (lineno, line) in file.numbered() {
+            if line.in_test || !line.code.contains("partial_cmp") {
+                continue;
+            }
+            // `fn partial_cmp(...)` is a PartialOrd *implementation*,
+            // not a call site; sound ones delegate to a total_cmp-based
+            // `Ord` (audited in docs/LINTS.md). A call that immediately
+            // falls back to `total_cmp` on the same line is also fine.
+            if line.code.contains("fn partial_cmp") || line.code.contains("total_cmp") {
+                continue;
+            }
+            out.push(Finding::new(
+                self.name(),
+                file,
+                lineno,
+                "partial_cmp on floats: use f64::total_cmp (NaN makes this \
+                 panic or corrupt the sort — the PR 4 top-k bug)",
+            ));
+        }
+    }
+}

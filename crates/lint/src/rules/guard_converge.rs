@@ -1,0 +1,169 @@
+//! `guard-held-across-converge`: PR 8's reader contract — loading an
+//! epoch is an `Arc` clone under a *briefly-held* lock; convergence work
+//! (`apply_edits`, `run`, `rerun`) and writer drains (`shutdown`) happen
+//! strictly outside any shared-map guard. A bound `RwLock`/`Mutex` guard
+//! in `crates/serve` that lives across such a call turns "readers are
+//! never blocked by convergence" into a lie: every request routing
+//! through that map stalls for a full re-converge.
+//!
+//! Heuristic, line-oriented: a `let` binding whose initializer *is* a
+//! lock acquisition (`read_lock(..)` / `write_lock(..)` / `lock(..)` /
+//! `.read()` / `.write()` / `.lock()` with no further method chaining —
+//! chained calls drop the temporary guard at the statement's end) opens
+//! a guard scope at that brace depth; any convergence call before the
+//! depth unwinds is flagged.
+
+use super::{Finding, Rule};
+use crate::lexer::SourceFile;
+
+/// Calls that re-converge an engine or block on a writer doing so.
+const CONVERGE_CALLS: &[&str] = &["apply_edits", ".run()", ".rerun(", ".shutdown()"];
+
+/// Lock acquisition forms. The poison-stripping helpers
+/// (`read_lock`/`write_lock`/`lock`) are this crate's idiom; the raw
+/// forms catch new code that bypasses them.
+const LOCK_CALLS: &[&str] = &[
+    "read_lock(",
+    "write_lock(",
+    "lock(",
+    ".read()",
+    ".write()",
+    ".lock()",
+];
+
+pub struct GuardHeldAcrossConverge;
+
+impl Rule for GuardHeldAcrossConverge {
+    fn name(&self) -> &'static str {
+        "guard-held-across-converge"
+    }
+
+    fn description(&self) -> &'static str {
+        "no bound lock guard in fsim-serve may span apply_edits/run/rerun/shutdown"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/serve/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // Active guard scopes: (binding line, depth the guard lives at).
+        let mut guards: Vec<(usize, u32)> = Vec::new();
+        for (lineno, line) in file.numbered() {
+            if line.in_test {
+                continue;
+            }
+            // Close scopes whose depth has unwound.
+            guards.retain(|&(_, depth)| line.depth >= depth);
+            if !guards.is_empty() {
+                for call in CONVERGE_CALLS {
+                    if line.code.contains(call) {
+                        let (bound_at, _) = guards[0];
+                        out.push(Finding::new(
+                            self.name(),
+                            file,
+                            lineno,
+                            format!(
+                                "{} while the lock guard bound on line {bound_at} is \
+                                 still held — drop the guard first (readers must never \
+                                 wait on convergence)",
+                                call.trim_matches(|c: char| !c.is_alphanumeric() && c != '_'),
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Some(code) = line.code.trim_start().strip_prefix("let ") {
+                // Join a wrapped statement (rustfmt breaks long chains)
+                // so `write_lock(&m)\n.drain()...` reads as the chain it
+                // is, not as a bound guard.
+                let mut stmt = code.trim_end().to_string();
+                let idx = lineno - 1;
+                for cont in file.lines.iter().skip(idx + 1).take(8) {
+                    if stmt.ends_with(';') {
+                        break;
+                    }
+                    stmt.push(' ');
+                    stmt.push_str(cont.code.trim());
+                }
+                if binds_guard(&stmt) {
+                    guards.push((lineno, line.depth));
+                }
+            }
+        }
+    }
+}
+
+/// Whether a `let` initializer binds a guard: the RHS ends in a lock
+/// call (possibly with poison-stripping `unwrap_or_else`), rather than
+/// chaining past it (which drops the temporary guard immediately).
+fn binds_guard(let_tail: &str) -> bool {
+    let Some(eq) = let_tail.find('=') else {
+        return false;
+    };
+    let rhs = let_tail[eq + 1..].trim();
+    // A block initializer (`let x = { .. }`) scopes any lock inside it
+    // to the block; its inner `let`s are tracked on their own lines at
+    // the deeper depth.
+    if rhs.starts_with('{') {
+        return false;
+    }
+    for call in LOCK_CALLS {
+        let Some(at) = rhs.find(call) else { continue };
+        // Find the call's closing paren, then see what follows.
+        let open = at + call.len() - 1; // index of '(' or ')' for ".read()"-style
+        let tail = match rhs[open..].chars().next() {
+            Some('(') => {
+                let Some(close) = matching_paren(rhs, open) else {
+                    // Call spans lines: conservatively treat as a guard.
+                    return true;
+                };
+                &rhs[close + 1..]
+            }
+            _ => &rhs[at + call.len()..],
+        };
+        // Walk the method chain: poison-stripping continuations
+        // (`.unwrap_or_else(..)` / `.expect(..)`) still yield the guard,
+        // but anything chained *past* the guard consumes the temporary
+        // within the statement (`read_lock(&m).get(k).cloned()` holds
+        // nothing afterwards).
+        let mut tail = tail.trim_start();
+        loop {
+            let strip = if tail.starts_with(".unwrap_or_else(") {
+                Some(".unwrap_or_else".len())
+            } else if tail.starts_with(".expect(") {
+                Some(".expect".len())
+            } else {
+                None
+            };
+            match strip {
+                Some(skip) => {
+                    let Some(close) = matching_paren(tail, skip) else {
+                        return true; // spans lines; conservatively a guard
+                    };
+                    tail = tail[close + 1..].trim_start();
+                }
+                None => return !tail.starts_with('.'),
+            }
+        }
+    }
+    false
+}
+
+/// Index of the `)` matching the `(` at `open`, if on this line.
+fn matching_paren(s: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices().skip(open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,75 @@
+//! `lossy-cast-in-core`: `as` casts to a narrower integer silently
+//! truncate. In `crates/core` and `crates/graph` — where the values
+//! being cast are node ids, slot indices and CSR offsets — a silent
+//! wraparound corrupts scores instead of failing, which is the worst
+//! possible failure mode for a correctness-certified engine. New code
+//! uses `u32::try_from(x).expect(...)` (loud) or carries a waiver
+//! stating why the value provably fits; the existing debt is ratcheted
+//! through `lint.baseline.json` and can only shrink.
+
+use super::{contains_word, Finding, Rule};
+use crate::lexer::SourceFile;
+
+/// Narrowing targets. `as usize` / `as u64` are widening on every
+/// supported target and `as f64` is exact for the `u32` ids this tree
+/// casts, so only genuinely truncating targets are listed.
+const NARROW_TARGETS: &[&str] = &["u32", "u16", "u8", "i32", "i16", "i8"];
+
+pub struct LossyCastInCore;
+
+impl Rule for LossyCastInCore {
+    fn name(&self) -> &'static str {
+        "lossy-cast-in-core"
+    }
+
+    fn description(&self) -> &'static str {
+        "no silently-truncating `as` casts in index-critical core/graph code (ratcheted)"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/") || rel_path.starts_with("crates/graph/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (lineno, line) in file.numbered() {
+            if line.in_test || !contains_word(&line.code, "as") {
+                continue;
+            }
+            for target in NARROW_TARGETS {
+                let mut start = 0;
+                while let Some(pos) = line.code[start..].find("as ") {
+                    let at = start + pos;
+                    start = at + 3;
+                    // Require `as` as a word (`alias `, `has ` must not match).
+                    let before_ok = at == 0
+                        || !line.code[..at]
+                            .chars()
+                            .next_back()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if !before_ok {
+                        continue;
+                    }
+                    let after = line.code[at + 3..].trim_start();
+                    if after.starts_with(target)
+                        && !after[target.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        out.push(Finding::new(
+                            self.name(),
+                            file,
+                            lineno,
+                            format!(
+                                "`as {target}` can silently truncate an index — use \
+                                 `{target}::try_from(..)` or waive with the reason the \
+                                 value provably fits"
+                            ),
+                        ));
+                        break; // one finding per (line, target)
+                    }
+                }
+            }
+        }
+    }
+}

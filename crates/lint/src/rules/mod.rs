@@ -1,0 +1,97 @@
+//! The rule registry: one module per rule, one shared [`Rule`] trait.
+//!
+//! Rules are deliberately small — each is a scoped pattern over the
+//! lexer's code channel plus whatever context (preceding comments, brace
+//! depth, test regions) the [`SourceFile`] carries. Every rule is
+//! grounded in a bug class this repository has actually hit; the mapping
+//! from rule to motivating incident lives in `docs/LINTS.md`.
+
+mod float_cmp;
+mod guard_converge;
+mod lossy_cast;
+mod panic_serve;
+mod safety_comment;
+mod spawn_site;
+
+pub use spawn_site::{spawn_sites, SpawnKind, SpawnSite, SPAWN_ALLOWLIST};
+
+use crate::lexer::SourceFile;
+
+/// One lint finding, pre-waiver and pre-baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (kebab-case, the waiver key).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what the sound alternative is.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(
+        rule: &'static str,
+        file: &SourceFile,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule,
+            file: file.rel_path.clone(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// A static-analysis rule over one lexed file.
+pub trait Rule {
+    /// The rule's kebab-case name (stable: waivers and baselines key on
+    /// it).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and reports.
+    fn description(&self) -> &'static str;
+    /// Whether the rule wants to see this file at all.
+    fn applies_to(&self, rel_path: &str) -> bool;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// The shipped rule set, in report order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(float_cmp::FloatCmpUnsound),
+        Box::new(spawn_site::SpawnSiteRule),
+        Box::new(panic_serve::PanicInServe),
+        Box::new(safety_comment::UnsafeNeedsSafetyComment),
+        Box::new(lossy_cast::LossyCastInCore),
+        Box::new(guard_converge::GuardHeldAcrossConverge),
+    ]
+}
+
+/// Whether `code` contains `needle` as a word (not embedded in a longer
+/// identifier) — the shared matcher most rules use.
+pub(crate) fn contains_word(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}

@@ -1,0 +1,82 @@
+//! `panic-in-serve`: `crates/serve`'s whole contract is *shed, don't
+//! crash* — hostile input becomes a structured `{"error","detail"}`
+//! response, overload becomes a 429, and a poisoned lock degrades the
+//! one affected request to a 500, never the daemon. A panic on a
+//! request-handling path kills a connection thread (or a writer) and
+//! voids that contract, so panicking constructs are banned in the
+//! crate's shipping code and every deliberate exception carries a
+//! written waiver.
+
+use super::{Finding, Rule};
+use crate::lexer::SourceFile;
+
+/// Panicking constructs the rule searches for. `.unwrap()` is matched
+/// with its parens so `unwrap_or` / `unwrap_or_else` (the *preferred*
+/// forms) never trip it.
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "use unwrap_or_else / match, or return a structured 500",
+    ),
+    (
+        ".expect(",
+        "return a structured 500 instead of panicking the thread",
+    ),
+    ("panic!(", "request paths must degrade, not panic"),
+    ("unreachable!(", "request paths must degrade, not panic"),
+    ("todo!(", "request paths must degrade, not panic"),
+    ("unimplemented!(", "request paths must degrade, not panic"),
+    (
+        "assert!(",
+        "turn the check into an error response (or waive a true daemon invariant)",
+    ),
+    (
+        "assert_eq!(",
+        "turn the check into an error response (or waive a true daemon invariant)",
+    ),
+    (
+        "assert_ne!(",
+        "turn the check into an error response (or waive a true daemon invariant)",
+    ),
+];
+
+pub struct PanicInServe;
+
+impl Rule for PanicInServe {
+    fn name(&self) -> &'static str {
+        "panic-in-serve"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic/assert in fsim-serve request-handling code (shed, don't crash)"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        // client.rs is the test/bench-side HTTP client, not the daemon;
+        // it never runs on a request-handling path.
+        rel_path.starts_with("crates/serve/src/") && !rel_path.ends_with("client.rs")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (lineno, line) in file.numbered() {
+            if line.in_test {
+                continue;
+            }
+            for (pattern, fix) in PANIC_PATTERNS {
+                // `debug_assert!` compiles out of release builds and is
+                // allowed; make sure `assert!(` does not match it.
+                if let Some(at) = line.code.find(pattern) {
+                    if pattern.starts_with("assert") && line.code[..at].ends_with("debug_") {
+                        continue;
+                    }
+                    out.push(Finding::new(
+                        self.name(),
+                        file,
+                        lineno,
+                        format!("{} on a serving path: {fix}", pattern.trim_end_matches('(')),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `unsafe-needs-safety-comment`: every `unsafe` block, function or
+//! impl must be justified by a `// SAFETY:` comment on the same line or
+//! immediately above it, stating the precondition it relies on
+//! (alignment, length, cfg baseline, disjointness discipline, …). The
+//! SSE2 kernel twins and the shared-scores cells in
+//! `crates/core/src/engine/parallel.rs` are exactly the code whose
+//! soundness argument must outlive its author.
+
+use super::{contains_word, Finding, Rule};
+use crate::lexer::SourceFile;
+
+/// How far above the `unsafe` line the justification may sit. Generous
+/// enough for a multi-line SAFETY paragraph, small enough that the
+/// comment is actually *about* this site.
+const LOOKBACK_LINES: usize = 6;
+
+/// A `// SAFETY:` comment or a rustdoc `# Safety` section both count as
+/// the written justification.
+fn has_safety(comment: &str) -> bool {
+    comment.contains("SAFETY") || comment.contains("# Safety")
+}
+
+pub struct UnsafeNeedsSafetyComment;
+
+impl Rule for UnsafeNeedsSafetyComment {
+    fn name(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/fn/impl carries a // SAFETY: justification"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (lineno, line) in file.numbered() {
+            if line.in_test || !contains_word(&line.code, "unsafe") {
+                continue;
+            }
+            let idx = lineno - 1;
+            let mut justified = has_safety(&line.comment);
+            // Walk up through the SAFETY paragraph. Comments, attributes,
+            // blanks and *partial* statements (a wrapped `let`, an open
+            // struct literal) are part of this site's context; a line
+            // that ends a previous statement (`;` or `}`) is where a
+            // justification would belong to someone else.
+            for back in 1..=LOOKBACK_LINES.min(idx) {
+                let above = &file.lines[idx - back];
+                if has_safety(&above.comment) {
+                    justified = true;
+                    break;
+                }
+                let code = above.code.trim_end();
+                if code.ends_with(';') || code.ends_with('}') {
+                    break;
+                }
+            }
+            if !justified {
+                out.push(Finding::new(
+                    self.name(),
+                    file,
+                    lineno,
+                    "unsafe without a // SAFETY: comment stating the precondition \
+                     (alignment / length / cfg baseline / disjointness) it relies on",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! `spawn-site`: thread creation is allowlisted per file with pinned
+//! counts. PR 7 collapsed all engine threading into one session-owned
+//! `Runtime` spawn site; PR 8 added exactly three daemon sites, every
+//! one covered by the `live_daemon_threads` RAII accounting. A spawn
+//! site anywhere else (or a count drift in an allowlisted file) either
+//! reintroduces spawn-per-run or escapes the thread-leak accounting the
+//! serving tests pin.
+
+use super::{Finding, Rule};
+use crate::lexer::SourceFile;
+
+/// What kind of thread-creation primitive a site uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnKind {
+    /// `thread::spawn`.
+    Spawn,
+    /// `thread::scope` — banned outright (per-run scoped pools were
+    /// removed in PR 7).
+    Scope,
+}
+
+/// One thread-creation site in shipping code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which primitive.
+    pub kind: SpawnKind,
+}
+
+/// Enumerates thread-creation sites in one lexed file (shipping code
+/// only — `#[cfg(test)]` regions are excluded). Public so
+/// `tests/spawn_sites.rs` shares this exact census with the rule.
+pub fn spawn_sites(file: &SourceFile) -> Vec<SpawnSite> {
+    let mut sites = Vec::new();
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, kind) in [
+            ("thread::spawn", SpawnKind::Spawn),
+            ("thread::scope", SpawnKind::Scope),
+        ] {
+            if line.code.contains(needle) {
+                sites.push(SpawnSite {
+                    file: file.rel_path.clone(),
+                    line: lineno,
+                    kind,
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// `(file, pinned spawn count)`: the only files allowed to call
+/// `thread::spawn`, and exactly how many sites each owns.
+pub const SPAWN_ALLOWLIST: &[(&str, usize)] = &[
+    // The persistent Runtime's worker constructor (PR 7).
+    ("crates/core/src/engine/parallel.rs", 1),
+    // Accept loop + per-connection handler (PR 8).
+    ("crates/serve/src/daemon.rs", 2),
+    // Per-namespace writer (PR 8).
+    ("crates/serve/src/namespace.rs", 1),
+];
+
+pub struct SpawnSiteRule;
+
+impl Rule for SpawnSiteRule {
+    fn name(&self) -> &'static str {
+        "spawn-site"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread::spawn only at pinned allowlisted sites; thread::scope banned"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let sites = spawn_sites(file);
+        let allowed = SPAWN_ALLOWLIST
+            .iter()
+            .find(|(f, _)| *f == file.rel_path)
+            .map(|&(_, n)| n);
+        let mut spawns = 0usize;
+        for site in &sites {
+            match site.kind {
+                SpawnKind::Scope => out.push(Finding::new(
+                    self.name(),
+                    file,
+                    site.line,
+                    "thread::scope: per-run scoped pools were removed in PR 7 — \
+                     route work through the session Runtime",
+                )),
+                SpawnKind::Spawn => {
+                    spawns += 1;
+                    if allowed.is_none() {
+                        out.push(Finding::new(
+                            self.name(),
+                            file,
+                            site.line,
+                            "thread::spawn outside the allowlist — new threads must go \
+                             through the Runtime (engine) or the daemon's accounted sites",
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(expected) = allowed {
+            if spawns != expected {
+                let line = sites.first().map_or(1, |s| s.line);
+                out.push(Finding::new(
+                    self.name(),
+                    file,
+                    line,
+                    format!(
+                        "allowlisted file owns {expected} spawn site(s) but has {spawns} — \
+                         update the allowlist (and the thread accounting) deliberately"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Fixture self-tests: one positive and one negative snippet per rule,
+//! run through [`fsim_lint::lint_source`] — the same lex → rules →
+//! waivers path the workspace audit uses — plus the waiver grammar's
+//! failure modes. If a rule's heuristic drifts, these fail before the
+//! repo-wide run starts mis-auditing real sources.
+
+use fsim_lint::{lint_source, Finding};
+
+/// Rules that fired, in order.
+fn fired(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn assert_clean(rel_path: &str, src: &str) {
+    let (kept, _) = lint_source(rel_path, src);
+    assert!(kept.is_empty(), "expected clean, got {kept:?}");
+}
+
+// ---------------------------------------------------------------- float-cmp
+
+#[test]
+fn float_cmp_flags_partial_cmp_call() {
+    let (kept, _) = lint_source(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn top(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+"#,
+    );
+    assert_eq!(fired(&kept), ["float-cmp-unsound"]);
+    assert_eq!(kept[0].line, 3);
+}
+
+#[test]
+fn float_cmp_allows_total_cmp_and_impl_definitions() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn top(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+"#,
+    );
+}
+
+#[test]
+fn float_cmp_skips_test_code() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        r#"
+#[cfg(test)]
+mod tests {
+    fn check(xs: &mut [f64]) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+"#,
+    );
+}
+
+// --------------------------------------------------------------- spawn-site
+
+#[test]
+fn spawn_site_flags_non_allowlisted_spawn_and_any_scope() {
+    let (kept, _) = lint_source(
+        "crates/measures/src/fixture.rs",
+        r#"
+pub fn run() {
+    let h = std::thread::spawn(|| ());
+    std::thread::scope(|s| { s.spawn(|| ()); });
+    h.join().ok();
+}
+"#,
+    );
+    assert_eq!(fired(&kept), ["spawn-site", "spawn-site"]);
+}
+
+#[test]
+fn spawn_site_pins_allowlisted_counts() {
+    // The per-namespace writer file owns exactly one spawn site.
+    let one = r#"
+pub fn start() {
+    std::thread::spawn(move || writer_loop());
+}
+"#;
+    assert_clean("crates/serve/src/namespace.rs", one);
+    let two = r#"
+pub fn start() {
+    std::thread::spawn(move || writer_loop());
+    std::thread::spawn(move || helper_loop());
+}
+"#;
+    let (kept, _) = lint_source("crates/serve/src/namespace.rs", two);
+    assert_eq!(fired(&kept), ["spawn-site"], "count drift must be flagged");
+    assert!(kept[0].message.contains("owns 1 spawn site(s) but has 2"));
+}
+
+// ------------------------------------------------------------ panic-in-serve
+
+#[test]
+fn panic_serve_flags_unwrap_expect_and_asserts() {
+    let (kept, _) = lint_source(
+        "crates/serve/src/fixture.rs",
+        r#"
+pub fn handle(req: &str) -> String {
+    let v = parse(req).unwrap();
+    let n = v.as_u64().expect("number");
+    assert!(n > 0, "positive");
+    format!("{n}")
+}
+"#,
+    );
+    assert_eq!(
+        fired(&kept),
+        ["panic-in-serve", "panic-in-serve", "panic-in-serve"]
+    );
+}
+
+#[test]
+fn panic_serve_allows_debug_assert_unwrap_or_and_client() {
+    assert_clean(
+        "crates/serve/src/fixture.rs",
+        r#"
+pub fn handle(req: &str) -> String {
+    debug_assert!(!req.is_empty());
+    let n = parse(req).unwrap_or(0);
+    format!("{n}")
+}
+"#,
+    );
+    // client.rs is the bench/test-side HTTP client, not a serving path.
+    assert_clean(
+        "crates/serve/src/client.rs",
+        "pub fn get(u: &str) -> String { fetch(u).unwrap() }\n",
+    );
+}
+
+// ---------------------------------------------- unsafe-needs-safety-comment
+
+#[test]
+fn safety_comment_flags_bare_unsafe() {
+    let (kept, _) = lint_source(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn read(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+"#,
+    );
+    assert_eq!(fired(&kept), ["unsafe-needs-safety-comment"]);
+}
+
+#[test]
+fn safety_comment_accepts_adjacent_justification() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn read(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid, aligned and live.
+    unsafe { *p }
+}
+
+/// Docs.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read_doc(p: *const f64) -> f64 {
+    *p
+}
+"#,
+    );
+}
+
+#[test]
+fn safety_comment_lookback_stops_at_statement_boundary() {
+    // The SAFETY comment belongs to the *previous* statement; the `;`
+    // between them ends its reach.
+    let (kept, _) = lint_source(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn read(p: *const f64) -> f64 {
+    // SAFETY: about this line only.
+    let q = p;
+    unsafe { *q }
+}
+"#,
+    );
+    assert_eq!(fired(&kept), ["unsafe-needs-safety-comment"]);
+}
+
+// --------------------------------------------------------- lossy-cast-in-core
+
+#[test]
+fn lossy_cast_flags_narrowing_in_core_only() {
+    let src = "pub fn idx(n: usize) -> u32 { n as u32 }\n";
+    let (kept, _) = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(fired(&kept), ["lossy-cast-in-core"]);
+    let (kept, _) = lint_source("crates/graph/src/fixture.rs", src);
+    assert_eq!(fired(&kept), ["lossy-cast-in-core"]);
+    // The same cast outside the index-critical crates is out of scope.
+    assert_clean("crates/serve/src/fixture.rs", src);
+}
+
+#[test]
+fn lossy_cast_ignores_widening_and_words_containing_as() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn widen(n: u32) -> u64 {
+    let alias = n;
+    let has_u32 = alias;
+    has_u32 as u64
+}
+"#,
+    );
+}
+
+// ------------------------------------------------- guard-held-across-converge
+
+#[test]
+fn guard_converge_flags_converge_under_live_guard() {
+    let (kept, _) = lint_source(
+        "crates/serve/src/fixture.rs",
+        r#"
+pub fn apply(shared: &Shared, batch: EditBatch) {
+    let namespaces = write_lock(&shared.namespaces);
+    namespaces.get("x").apply_edits(batch);
+}
+"#,
+    );
+    assert_eq!(fired(&kept), ["guard-held-across-converge"]);
+    assert!(kept[0].message.contains("line 3"));
+}
+
+#[test]
+fn guard_converge_allows_scoped_drop_and_chained_access() {
+    assert_clean(
+        "crates/serve/src/fixture.rs",
+        r#"
+pub fn apply(shared: &Shared, batch: EditBatch) {
+    let ns = {
+        let namespaces = read_lock(&shared.namespaces);
+        namespaces.get("x").cloned()
+    };
+    ns.apply_edits(batch);
+}
+
+pub fn count(shared: &Shared) -> usize {
+    // Chaining past the guard drops the temporary at statement end.
+    let n = read_lock(&shared.namespaces).len();
+    n
+}
+"#,
+    );
+}
+
+#[test]
+fn guard_converge_sees_through_poison_stripping_chain() {
+    // `.unwrap_or_else(|p| p.into_inner())` still *yields* the guard.
+    let (kept, _) = lint_source(
+        "crates/serve/src/fixture.rs",
+        r#"
+pub fn apply(shared: &Shared, batch: EditBatch) {
+    let namespaces = shared.namespaces.write().unwrap_or_else(|p| p.into_inner());
+    namespaces.get("x").apply_edits(batch);
+}
+"#,
+    );
+    assert_eq!(fired(&kept), ["guard-held-across-converge"]);
+}
+
+// ------------------------------------------------------------------- waivers
+
+#[test]
+fn waiver_with_reason_suppresses_the_finding() {
+    let (kept, waived) = lint_source(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn idx(n: usize) -> u32 {
+    // lint:allow(lossy-cast-in-core): n < node_count <= u32::MAX by construction.
+    n as u32
+}
+"#,
+    );
+    assert!(kept.is_empty(), "waived site must not fail: {kept:?}");
+    assert_eq!(fired(&waived), ["lossy-cast-in-core"]);
+}
+
+#[test]
+fn waiver_on_code_line_covers_that_line() {
+    let (kept, waived) = lint_source(
+        "crates/core/src/fixture.rs",
+        "pub fn idx(n: usize) -> u32 { n as u32 } \
+         // lint:allow(lossy-cast-in-core): bounded by caller.\n",
+    );
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(waived.len(), 1);
+}
+
+#[test]
+fn waiver_without_reason_is_an_error_and_suppresses_nothing() {
+    let (kept, waived) = lint_source(
+        "crates/core/src/fixture.rs",
+        r#"
+pub fn idx(n: usize) -> u32 {
+    // lint:allow(lossy-cast-in-core)
+    n as u32
+}
+"#,
+    );
+    assert!(waived.is_empty());
+    let mut rules = fired(&kept);
+    rules.sort_unstable();
+    assert_eq!(rules, ["lossy-cast-in-core", "waiver-needs-reason"]);
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_an_error() {
+    let (kept, _) = lint_source(
+        "crates/core/src/fixture.rs",
+        "// lint:allow(no-such-rule): because.\npub fn f() {}\n",
+    );
+    assert_eq!(fired(&kept), ["waiver-unknown-rule"]);
+}
+
+#[test]
+fn unused_waiver_is_an_error() {
+    let (kept, _) = lint_source(
+        "crates/core/src/fixture.rs",
+        "// lint:allow(lossy-cast-in-core): stale — the cast was fixed.\n\
+         pub fn f(n: u64) -> u64 { n }\n",
+    );
+    assert_eq!(fired(&kept), ["waiver-unused"]);
+}
+
+#[test]
+fn doc_comments_mentioning_the_syntax_are_not_waivers() {
+    // `///` and `//!` lines *talk about* waivers (as this crate's own
+    // docs do); only plain line comments declare them.
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        "/// Write `lint:allow(lossy-cast-in-core): <reason>` to waive.\n\
+         pub fn f() {}\n",
+    );
+}
+
+// -------------------------------------------------------------- test context
+
+#[test]
+fn tests_directory_sources_are_fully_test_context() {
+    // A path under tests/ is force-lexed as test code: rules skip it.
+    assert_clean(
+        "crates/core/tests/fixture.rs",
+        r#"
+pub fn check(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let _ = xs.len() as u32;
+}
+"#,
+    );
+}

@@ -517,14 +517,19 @@ fn create_namespace_inner(doc: &Json, shared: &Shared) -> Result<String, Respons
         epoch.snapshot.pair_count(),
         epoch.snapshot.converged()
     );
-    let mut namespaces = write_lock(&shared.namespaces);
-    if namespaces.contains_key(&name) {
-        // Lost a create race; the loser's namespace drains and joins.
-        ns.shutdown();
-        return Err(Response::error(409, "namespace_exists", &name));
+    {
+        use std::collections::hash_map::Entry;
+        let mut namespaces = write_lock(&shared.namespaces);
+        if let Entry::Vacant(slot) = namespaces.entry(name.clone()) {
+            slot.insert(ns);
+            return Ok(body);
+        }
     }
-    namespaces.insert(name, ns);
-    Ok(body)
+    // Lost a create race. The loser's namespace drains and joins its
+    // writer — strictly *after* the map guard is released, so no reader
+    // (or other creator) ever waits on a convergence we are discarding.
+    ns.shutdown();
+    Err(Response::error(409, "namespace_exists", &name))
 }
 
 fn graph_from_value(v: &Json, share_interner_with: Option<&Graph>) -> Result<Graph, String> {

@@ -56,6 +56,10 @@ impl EpochCell {
     /// relies on.
     pub fn publish(&self, next: Epoch) {
         let mut cur = write_lock(&self.cur);
+        // lint:allow(panic-in-serve): a non-monotone epoch is a daemon
+        // bug, not client input — serving silently regressing epochs
+        // would violate every freshness header; die loudly in the one
+        // writer thread instead (readers keep their loaded Arc).
         assert!(
             next.epoch_id > cur.epoch_id,
             "epoch ids must be monotone: {} -> {}",

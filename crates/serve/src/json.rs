@@ -215,7 +215,14 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number chars");
+        // The scanned range is ASCII by construction, but a request path
+        // must degrade to a parse error, never panic the connection.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(JsonParseError {
+                at: start,
+                message: "bad number".to_string(),
+            });
+        };
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Num(n)),
             _ => Err(JsonParseError {
@@ -270,7 +277,11 @@ impl<'a> Parser<'a> {
                         at: self.pos,
                         message: "bad utf8".into(),
                     })?;
-                    let c = s.chars().next().expect("non-empty rest");
+                    // `rest` is non-empty (the match arm saw a byte), but
+                    // degrade rather than panic if that ever drifts.
+                    let Some(c) = s.chars().next() else {
+                        return self.err("unterminated string");
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -4,75 +4,61 @@
 //! (accept loop, per-connection handler, per-namespace writer) — the
 //! only ones outside `fsim-core`. Guards against a future code path
 //! quietly reintroducing spawn-per-run or growing ad-hoc threading.
+//!
+//! The census runs on `fsim-lint`'s lexer and [`spawn_sites`] rule API —
+//! the same comment/string-aware scan the repo-wide `spawn-site` lint
+//! uses — so doc prose, string literals and `#[cfg(test)]` regions are
+//! excluded by construction rather than by the old line-prefix
+//! heuristic. The pinned counts here and `fsim_lint`'s `SPAWN_ALLOWLIST`
+//! must move together, deliberately.
 
-use std::path::{Path, PathBuf};
+use fsim_lint::{lex_workspace_file, spawn_sites, workspace_sources, SpawnKind, SpawnSite};
+use std::path::Path;
 
-fn core_src() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src")
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
 }
 
-fn serve_src() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/serve/src")
-}
-
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    for entry in std::fs::read_dir(dir).expect("readable source dir") {
-        let path = entry.expect("dir entry").path();
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Counts occurrences of `needle` in non-comment code lines of every
-/// `.rs` file under `root`, returning `(file, line)` hits.
-fn code_hits_under(root: &Path, needle: &str) -> Vec<(PathBuf, usize)> {
-    let mut files = Vec::new();
-    rust_files(root, &mut files);
+/// All shipping-code thread-creation sites under `crates/<prefix>`.
+fn sites_under(prefix: &str) -> Vec<SpawnSite> {
+    let root = workspace_root();
+    let sources = workspace_sources(root).expect("walkable workspace");
     assert!(
-        !files.is_empty(),
-        "found no sources under {root:?} — wrong cwd?"
+        sources.iter().any(|s| s.starts_with(prefix)),
+        "found no sources under {prefix:?} — wrong cwd?"
     );
-    let mut hits = Vec::new();
-    for file in files {
-        let text = std::fs::read_to_string(&file).expect("readable source");
-        for (lineno, line) in text.lines().enumerate() {
-            let trimmed = line.trim_start();
-            if trimmed.starts_with("//") {
-                continue; // doc prose may mention the names
-            }
-            if trimmed.contains(needle) {
-                hits.push((file.clone(), lineno + 1));
-            }
-        }
+    let mut sites = Vec::new();
+    for rel in sources.iter().filter(|s| s.starts_with(prefix)) {
+        let file = lex_workspace_file(root, rel).expect("readable source");
+        sites.extend(spawn_sites(&file));
     }
-    hits
-}
-
-fn code_hits(needle: &str) -> Vec<(PathBuf, usize)> {
-    code_hits_under(&core_src(), needle)
+    sites
 }
 
 #[test]
 fn exactly_one_thread_spawn_site() {
-    let hits = code_hits("thread::spawn");
+    let hits: Vec<SpawnSite> = sites_under("crates/core/src")
+        .into_iter()
+        .filter(|s| s.kind == SpawnKind::Spawn)
+        .collect();
     assert_eq!(
         hits.len(),
         1,
         "fsim-core must spawn threads in exactly one place (the Runtime \
          constructor); found: {hits:?}"
     );
-    assert!(
-        hits[0].0.ends_with("engine/parallel.rs"),
+    assert_eq!(
+        hits[0].file, "crates/core/src/engine/parallel.rs",
         "the spawn site moved out of the runtime module: {hits:?}"
     );
 }
 
 #[test]
 fn no_scoped_thread_pools_remain() {
-    let hits = code_hits("thread::scope");
+    let hits: Vec<SpawnSite> = sites_under("crates/core/src")
+        .into_iter()
+        .filter(|s| s.kind == SpawnKind::Scope)
+        .collect();
     assert!(
         hits.is_empty(),
         "per-run scoped pools were removed in favor of the persistent \
@@ -87,8 +73,11 @@ fn no_scoped_thread_pools_remain() {
 /// threads" exactly; a fourth site would silently escape that contract.
 #[test]
 fn daemon_spawns_threads_in_exactly_three_places() {
-    let hits = code_hits_under(&serve_src(), "thread::spawn");
-    let in_file = |name: &str| hits.iter().filter(|(file, _)| file.ends_with(name)).count();
+    let hits: Vec<SpawnSite> = sites_under("crates/serve/src")
+        .into_iter()
+        .filter(|s| s.kind == SpawnKind::Spawn)
+        .collect();
+    let in_file = |name: &str| hits.iter().filter(|s| s.file.ends_with(name)).count();
     assert_eq!(
         (hits.len(), in_file("daemon.rs"), in_file("namespace.rs")),
         (3, 2, 1),
@@ -98,9 +87,35 @@ fn daemon_spawns_threads_in_exactly_three_places() {
 
 #[test]
 fn daemon_has_no_scoped_pools() {
-    let hits = code_hits_under(&serve_src(), "thread::scope");
+    let hits: Vec<SpawnSite> = sites_under("crates/serve/src")
+        .into_iter()
+        .filter(|s| s.kind == SpawnKind::Scope)
+        .collect();
     assert!(
         hits.is_empty(),
         "unexpected scoped pool in fsim-serve: {hits:?}"
+    );
+}
+
+/// The lint's allowlist and this census pin the same contract — a drift
+/// between them would let one go stale silently.
+#[test]
+fn census_matches_lint_allowlist() {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for s in sites_under("crates") {
+        match counts.iter_mut().find(|(f, _)| *f == s.file) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((s.file, 1)),
+        }
+    }
+    counts.sort();
+    let mut expected: Vec<(String, usize)> = fsim_lint::SPAWN_ALLOWLIST
+        .iter()
+        .map(|&(f, n)| (f.to_string(), n))
+        .collect();
+    expected.sort();
+    assert_eq!(
+        counts, expected,
+        "spawn census drifted from SPAWN_ALLOWLIST"
     );
 }
