@@ -1,0 +1,245 @@
+//! Snapshot bench: what `fsnap` persistence buys and what it costs.
+//! Three measurements on NELL workloads, written to
+//! `BENCH_snapshot.json` at the repository root:
+//!
+//! 1. **Restore vs cold derive** — `FsimEngine::restore` against a
+//!    fresh `new` + `run`, on the θ-pruned serving workload the
+//!    snapshot subsystem exists for. Gated: restore must be ≥ 5×
+//!    faster (a cold start re-derives the prepared label table, the
+//!    candidate store, the dependency CSR and the whole fixpoint; a
+//!    restore is one validated file map).
+//! 2. **Shard-CSR spill** — warm sweep time at K=16 with `spill_dir`
+//!    set (shard CSRs served from retained spill mappings, validated
+//!    once and reborrowed every sweep after) vs rebuilt-every-sweep
+//!    sharding and the unsharded baseline, on the dense θ = 0 workload
+//!    whose CSR rebuilds dominate the standing ~1.9× sharded
+//!    warm-sweep trade in `BENCH_sharding.json`. Gated: spill-on warm
+//!    sweeps must stay within 1.5× of unsharded.
+//! 3. **Trajectory compression** — the freeze-point-encoded trajectory
+//!    section against the dense `T × |H|` matrix it replaces
+//!    (reported, ungated).
+//!
+//! Every timed engine is asserted **bitwise identical** to its
+//! workload's baseline first; a bench measuring a wrong answer
+//! measures nothing.
+
+use fsim_core::{ConvergenceMode, FsimConfig, FsimEngine, ShardSpec, Variant};
+use fsim_datasets::DatasetSpec;
+use fsim_labels::LabelFn;
+use fsim_snapshot::SnapshotFile;
+use std::time::Instant;
+
+/// Mirror of the engine codec's section registry (`persist.rs`), for
+/// reading section sizes out of the snapshot image.
+static SECTIONS: &[(u32, &str)] = &[
+    (1, "config"),
+    (2, "interner"),
+    (3, "graph1"),
+    (4, "graph2"),
+    (5, "store"),
+    (6, "scores"),
+    (7, "deps"),
+    (8, "trajectory"),
+    (9, "approx"),
+    (10, "diag"),
+    (11, "label_table"),
+];
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn assert_bitwise(what: &str, a: &FsimEngine<'_>, b: &FsimEngine<'_>) {
+    assert_eq!(a.pair_count(), b.pair_count(), "{what}: pair sets");
+    for ((u1, v1, s1), (u2, v2, s2)) in a.iter_pairs().zip(b.iter_pairs()) {
+        assert_eq!((u1, v1), (u2, v2), "{what}: pair order");
+        assert_eq!(
+            s1.to_bits(),
+            s2.to_bits(),
+            "{what}: diverged at ({u1},{v1})"
+        );
+    }
+    assert_eq!(a.iterations(), b.iterations(), "{what}: iterations");
+    assert_eq!(
+        a.pairs_evaluated(),
+        b.pairs_evaluated(),
+        "{what}: per-iteration work"
+    );
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    // The restore workload keeps a near-full scale even in test mode:
+    // below ~0.2 the cold derive is so fast that restore's fixed costs
+    // (open, map, checksum) dominate the ratio and the gate measures
+    // noise. It is one sub-15ms derive either way; the dense spill
+    // workload is the expensive one and scales down hard.
+    let (theta_scale, dense_scale, reps, epsilon) = if test_mode {
+        (0.3, 0.05, 3, 1e-3)
+    } else {
+        (0.35, 0.18, 5, 1e-4)
+    };
+    let scratch = std::env::temp_dir().join(format!("fsim-bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    // -- 1. restore vs cold derive ------------------------------------
+    // The serving shape (θ-pruned bijective self-similarity under
+    // Jaro–Winkler, delta-driven): cold start pays the O(|Σ|²) label
+    // table, θ-filtered candidate enumeration, CSR build and the full
+    // fixpoint; restore decodes all of them from one checksummed image.
+    let g = DatasetSpec::by_name("NELL")
+        .expect("spec")
+        .generate_scaled(theta_scale, 42);
+    let mut cfg = FsimConfig::new(Variant::Bijective)
+        .label_fn(LabelFn::JaroWinkler)
+        .theta(0.9)
+        .convergence(ConvergenceMode::DeltaDriven);
+    cfg.epsilon = epsilon;
+
+    let cold_s = best_of(reps, || {
+        FsimEngine::new(&g, &g, &cfg).expect("valid config").run();
+    });
+    let mut baseline = FsimEngine::new(&g, &g, &cfg).expect("valid config");
+    baseline.run();
+
+    let snap_path = scratch.join("bench.fsnp");
+    let t0 = Instant::now();
+    baseline.write_snapshot(&snap_path).expect("write snapshot");
+    let write_s = t0.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&snap_path).expect("stat").len();
+
+    let restored = FsimEngine::restore(&snap_path).expect("restore");
+    assert_bitwise("restore", &baseline, &restored);
+    let restore_s = best_of(reps, || {
+        let e = FsimEngine::restore(&snap_path).expect("restore");
+        std::hint::black_box(e.pair_count());
+    });
+    let speedup = cold_s / restore_s.max(1e-12);
+
+    // -- 2. shard-CSR spill at K=16 -----------------------------------
+    // The dense regime is where sharding's rebuild-per-sweep trade
+    // actually bites (and where its memory bound matters); spill
+    // replaces each rebuild with a reborrow of the shard's retained,
+    // once-validated mapping.
+    let gd = DatasetSpec::by_name("NELL")
+        .expect("spec")
+        .generate_scaled(dense_scale, 42);
+    let mut dense_cfg = FsimConfig::new(Variant::Simple)
+        .label_fn(LabelFn::JaroWinkler)
+        .convergence(ConvergenceMode::DeltaDriven);
+    dense_cfg.epsilon = epsilon;
+    let shard_cfg = dense_cfg.clone().shards(ShardSpec::Fixed(16));
+    let spill_cfg = shard_cfg.clone().spill_dir(scratch.join("spill"));
+
+    let mut dense_base = FsimEngine::new(&gd, &gd, &dense_cfg).expect("valid config");
+    dense_base.run();
+    let warm_s = best_of(reps, || {
+        dense_base.run();
+    });
+
+    let mut sharded = FsimEngine::new(&gd, &gd, &shard_cfg).expect("valid config");
+    sharded.run();
+    assert_bitwise("sharded K=16", &dense_base, &sharded);
+    let sharded_warm_s = best_of(reps, || {
+        sharded.run();
+    });
+
+    let mut spilled = FsimEngine::new(&gd, &gd, &spill_cfg).expect("valid config");
+    spilled.run(); // first run writes the per-shard spill files
+    assert_bitwise("spilled K=16", &dense_base, &spilled);
+    let spilled_warm_s = best_of(reps, || {
+        spilled.run();
+    });
+    let spill_ratio = spilled_warm_s / warm_s.max(1e-12);
+
+    // -- 3. trajectory compression ------------------------------------
+    let image = baseline.snapshot_bytes().expect("serialize");
+    let file = SnapshotFile::from_bytes(&image, SECTIONS).expect("own snapshot validates");
+    let encoded_bytes = file
+        .sections()
+        .iter()
+        .find(|s| s.id == 8)
+        .map(|s| s.len)
+        .unwrap_or(0);
+    // The dense matrix the encoding replaces: (iterations + 1) iterates
+    // (the trajectory includes FSim⁰), |H| slots, 8 bytes each.
+    let dense_bytes = (baseline.iterations() + 1) * baseline.pair_count() * 8;
+    let traj_ratio = encoded_bytes as f64 / dense_bytes.max(1) as f64;
+
+    println!(
+        "bench snapshot/restore   cold {:>9.3}ms  restore {:>9.3}ms  ({:>6.1}x)  image {:>9} B (write {:.3}ms)",
+        cold_s * 1e3,
+        restore_s * 1e3,
+        speedup,
+        snapshot_bytes,
+        write_s * 1e3,
+    );
+    println!(
+        "bench snapshot/spill     warm unsharded {:>9.3}ms  K=16 rebuilt {:>9.3}ms ({:.2}x)  K=16 spilled {:>9.3}ms ({:.2}x)",
+        warm_s * 1e3,
+        sharded_warm_s * 1e3,
+        sharded_warm_s / warm_s.max(1e-12),
+        spilled_warm_s * 1e3,
+        spill_ratio,
+    );
+    println!(
+        "bench snapshot/traj      dense {:>11} B  encoded {:>11} B  ({:.1}% of dense)",
+        dense_bytes,
+        encoded_bytes,
+        traj_ratio * 100.0,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"snapshot\",\"test_mode\":{},",
+            "\"restore\":{{\"workload\":\"theta0.9_bj_jw\",\"pairs\":{},\"iterations\":{},",
+            "\"cold_s\":{:.6},\"restore_s\":{:.6},\"speedup\":{:.2},",
+            "\"write_s\":{:.6},\"snapshot_bytes\":{}}},",
+            "\"spill\":{{\"workload\":\"dense_theta0_s_jw\",\"pairs\":{},\"k\":16,",
+            "\"unsharded_warm_s\":{:.6},\"sharded_warm_s\":{:.6},",
+            "\"spilled_warm_s\":{:.6},\"spilled_vs_unsharded\":{:.4}}},",
+            "\"trajectory\":{{\"dense_bytes\":{},\"encoded_bytes\":{},\"ratio\":{:.4}}}}}\n",
+        ),
+        test_mode,
+        baseline.pair_count(),
+        baseline.iterations(),
+        cold_s,
+        restore_s,
+        speedup,
+        write_s,
+        snapshot_bytes,
+        dense_base.pair_count(),
+        warm_s,
+        sharded_warm_s,
+        spilled_warm_s,
+        spill_ratio,
+        dense_bytes,
+        encoded_bytes,
+        traj_ratio,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    std::fs::write(path, &json).expect("write BENCH_snapshot.json");
+    println!("wrote {path}");
+    drop(spilled); // release the spill directory before the scratch sweep
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Acceptance gates, checked after the JSON is on disk so a failing
+    // record is still inspectable.
+    assert!(
+        speedup >= 5.0,
+        "restore must beat cold derivation by ≥ 5x, got {speedup:.1}x \
+         (cold {cold_s:.4}s, restore {restore_s:.4}s)"
+    );
+    assert!(
+        spill_ratio <= 1.5,
+        "spill-on warm sweeps at K=16 must stay within 1.5x of unsharded, got {spill_ratio:.2}x \
+         (unsharded {warm_s:.4}s, spilled {spilled_warm_s:.4}s)"
+    );
+}

@@ -327,6 +327,14 @@ pub struct FsimConfig {
     /// `0` to disable recording — and its per-iteration copy — for
     /// sessions that never edit their graphs. Default 256 MiB.
     pub trajectory_budget: usize,
+    /// Directory for **shard-CSR spill files**. When set, a sharded
+    /// session writes each shard's dependency CSR to disk on first
+    /// build and re-maps it on later sweeps instead of re-deriving it
+    /// (spills are invalidated whenever the entries would change, so
+    /// scores are bitwise unaffected). `None` (the default) rebuilds
+    /// per sweep. A machine-local path: deliberately **not** carried
+    /// into session snapshots.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl FsimConfig {
@@ -363,6 +371,7 @@ impl FsimConfig {
             shards: ShardSpec::Auto,
             csr_budget: Self::DEFAULT_CSR_BUDGET,
             trajectory_budget: Self::DEFAULT_TRAJECTORY_BUDGET,
+            spill_dir: None,
         }
     }
 
@@ -436,6 +445,13 @@ impl FsimConfig {
     /// ```
     pub fn trajectory_budget(mut self, bytes: usize) -> Self {
         self.trajectory_budget = bytes;
+        self
+    }
+
+    /// Sets the shard-CSR spill directory (see
+    /// [`spill_dir`](Self::spill_dir)).
+    pub fn spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 

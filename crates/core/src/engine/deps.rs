@@ -21,6 +21,7 @@ use crate::config::FsimConfig;
 use crate::operators::{DepEntry, OpCtx, OpScratch, Operator};
 use crate::store::{PairRef, PairStore};
 use fsim_graph::Graph;
+use fsim_snapshot::SnapshotError;
 
 /// Rough per-entry footprint in bytes (one [`DepEntry`] plus its reverse
 /// edge), used with [`crate::candidates::estimated_dep_entries`] to check
@@ -262,6 +263,60 @@ impl PairDepCsr {
         &self.rdeps
     }
 
+    /// Borrows the seven raw columns for the snapshot codec
+    /// (`engine/persist.rs`). The reverse CSR is persisted too — it is
+    /// derivable, but re-deriving it would cost a counting sort over
+    /// every entry on each restore.
+    pub(crate) fn raw_parts(&self) -> DepRawParts<'_> {
+        DepRawParts {
+            out_offsets: &self.out_offsets,
+            in_offsets: &self.in_offsets,
+            out_entries: &self.out_entries,
+            in_entries: &self.in_entries,
+            dims: &self.dims,
+            rdep_offsets: &self.rdep_offsets,
+            rdeps: &self.rdeps,
+        }
+    }
+
+    /// Rebuilds a CSR from deserialized columns, validating every
+    /// structural invariant `eval_slot` and the dirty scheduler index
+    /// with — offset monotonicity and terminals, slot bounds — so a
+    /// checksum-valid but logically inconsistent snapshot cannot cause
+    /// a panic later.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        out_offsets: Vec<usize>,
+        in_offsets: Vec<usize>,
+        out_entries: Vec<DepEntry>,
+        in_entries: Vec<DepEntry>,
+        dims: Vec<[u32; 4]>,
+        rdep_offsets: Vec<usize>,
+        rdeps: Vec<u32>,
+        n_slots: usize,
+    ) -> Result<PairDepCsr, String> {
+        check_offsets("out_offsets", &out_offsets, n_slots, out_entries.len())?;
+        check_offsets("in_offsets", &in_offsets, n_slots, in_entries.len())?;
+        check_offsets("rdep_offsets", &rdep_offsets, n_slots, rdeps.len())?;
+        if dims.len() != n_slots {
+            return Err(format!("dims has {} rows, store has {n_slots}", dims.len()));
+        }
+        check_entry_slots("out_entries", &out_entries, n_slots)?;
+        check_entry_slots("in_entries", &in_entries, n_slots)?;
+        if let Some(&bad) = rdeps.iter().find(|&&s| s as usize >= n_slots) {
+            return Err(format!("rdep slot {bad} out of range ({n_slots} slots)"));
+        }
+        Ok(PairDepCsr {
+            out_offsets,
+            in_offsets,
+            out_entries,
+            in_entries,
+            dims,
+            rdep_offsets,
+            rdeps,
+        })
+    }
+
     /// Equation 3 for one slot, evaluated from the prepared dependency
     /// lists and the cached label term — bitwise identical to
     /// [`pair_update`](super::iterate::pair_update) on the same inputs.
@@ -303,6 +358,56 @@ impl PairDepCsr {
     }
 }
 
+/// Borrowed views of every [`PairDepCsr`] column, for serialization.
+pub(crate) struct DepRawParts<'a> {
+    pub(crate) out_offsets: &'a [usize],
+    pub(crate) in_offsets: &'a [usize],
+    pub(crate) out_entries: &'a [DepEntry],
+    pub(crate) in_entries: &'a [DepEntry],
+    pub(crate) dims: &'a [[u32; 4]],
+    pub(crate) rdep_offsets: &'a [usize],
+    pub(crate) rdeps: &'a [u32],
+}
+
+/// Validates a deserialized offset column: length `n + 1`, starts at 0,
+/// non-decreasing, ends exactly at `terminal`.
+fn check_offsets(name: &str, offsets: &[usize], n: usize, terminal: usize) -> Result<(), String> {
+    if offsets.len() != n + 1 {
+        return Err(format!(
+            "{name} has {} entries, expected {}",
+            offsets.len(),
+            n + 1
+        ));
+    }
+    if offsets[0] != 0 {
+        return Err(format!("{name} must start at 0, found {}", offsets[0]));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format!("{name} is not non-decreasing"));
+    }
+    if offsets[n] != terminal {
+        return Err(format!(
+            "{name} ends at {}, entry array has {terminal}",
+            offsets[n]
+        ));
+    }
+    Ok(())
+}
+
+/// Validates deserialized dependency entries: every non-constant entry's
+/// score slot must be in range (constants carry [`DepEntry::CONST`]).
+fn check_entry_slots(name: &str, entries: &[DepEntry], n_slots: usize) -> Result<(), String> {
+    for e in entries {
+        if e.slot != DepEntry::CONST && e.slot as usize >= n_slots {
+            return Err(format!(
+                "{name} references slot {} out of range ({n_slots} slots)",
+                e.slot
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The dependency lists of one **u-row shard** of the candidate store —
 /// the slots `base..base + len` — built transiently for a single sweep of
 /// the sharded driver ([`super::shards`]) and dropped before the next
@@ -316,6 +421,19 @@ impl PairDepCsr {
 /// scanning each slot's forward entries against the previous iteration's
 /// changed-slot frontier instead (the boundary exchange).
 pub(crate) struct ShardCsr {
+    repr: ShardRepr,
+}
+
+/// Where a [`ShardCsr`]'s columns live.
+enum ShardRepr {
+    /// Freshly built, columns on the heap.
+    Owned(OwnedShardCsr),
+    /// Backed by a retained spill mapping ([`MappedShardCsr`]),
+    /// shared with the session's spill cache.
+    Mapped(std::sync::Arc<MappedShardCsr>),
+}
+
+struct OwnedShardCsr {
     /// First global slot of the shard.
     base: usize,
     /// Local slot → range of `out_entries` (length `len + 1`).
@@ -328,7 +446,41 @@ pub(crate) struct ShardCsr {
     dims: Vec<[u32; 4]>,
 }
 
+/// Borrowed view of one shard's CSR columns — the common shape both
+/// backings lower to, so evaluation is one code path (and therefore
+/// bitwise identical) regardless of where the bytes live.
+#[derive(Clone, Copy)]
+struct CsrCols<'a> {
+    base: usize,
+    out_offsets: &'a [usize],
+    in_offsets: &'a [usize],
+    out_entries: &'a [DepEntry],
+    in_entries: &'a [DepEntry],
+    dims: &'a [[u32; 4]],
+}
+
 impl ShardCsr {
+    #[inline]
+    fn cols(&self) -> CsrCols<'_> {
+        match &self.repr {
+            ShardRepr::Owned(o) => CsrCols {
+                base: o.base,
+                out_offsets: &o.out_offsets,
+                in_offsets: &o.in_offsets,
+                out_entries: &o.out_entries,
+                in_entries: &o.in_entries,
+                dims: &o.dims,
+            },
+            ShardRepr::Mapped(m) => m.cols(),
+        }
+    }
+
+    /// Wraps a retained spill mapping (shared with the spill cache).
+    pub(crate) fn from_mapped(m: std::sync::Arc<MappedShardCsr>) -> Self {
+        Self {
+            repr: ShardRepr::Mapped(m),
+        }
+    }
     /// Materializes the dependency structure of slots `lo..hi` of `store`
     /// under the session's evaluation context.
     pub(crate) fn build<O: Operator>(
@@ -385,29 +537,36 @@ impl ShardCsr {
             ]);
         }
         Self {
-            base: lo,
-            out_offsets,
-            in_offsets,
-            out_entries,
-            in_entries,
-            dims,
+            repr: ShardRepr::Owned(OwnedShardCsr {
+                base: lo,
+                out_offsets,
+                in_offsets,
+                out_entries,
+                in_entries,
+                dims,
+            }),
         }
     }
 
     /// Both directions' dependency entries of a **global** slot.
     #[inline]
     pub(crate) fn deps_of(&self, slot: usize) -> impl Iterator<Item = &DepEntry> {
-        let local = slot - self.base;
-        self.out_entries[self.out_offsets[local]..self.out_offsets[local + 1]]
+        let c = self.cols();
+        let local = slot - c.base;
+        c.out_entries[c.out_offsets[local]..c.out_offsets[local + 1]]
             .iter()
-            .chain(&self.in_entries[self.in_offsets[local]..self.in_offsets[local + 1]])
+            .chain(&c.in_entries[c.in_offsets[local]..c.in_offsets[local + 1]])
     }
 
-    /// Resident heap footprint in bytes.
+    /// Resident column footprint in bytes (for a mapped shard, the
+    /// page-cache-resident spill bytes the columns view).
     pub(crate) fn bytes(&self) -> usize {
-        (self.out_entries.len() + self.in_entries.len()) * std::mem::size_of::<DepEntry>()
-            + (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
-            + self.dims.len() * std::mem::size_of::<[u32; 4]>()
+        let c = self.cols();
+        std::mem::size_of_val(c.out_entries)
+            + std::mem::size_of_val(c.in_entries)
+            + std::mem::size_of_val(c.out_offsets)
+            + std::mem::size_of_val(c.in_offsets)
+            + std::mem::size_of_val(c.dims)
     }
 
     /// Equation 3 for one **global** slot of the shard — bitwise identical
@@ -429,17 +588,18 @@ impl ShardCsr {
         if cfg.pin_identical && u == v {
             return 1.0;
         }
-        let local = slot - self.base;
-        let [o1, o2, i1, i2] = self.dims[local];
+        let c = self.cols();
+        let local = slot - c.base;
+        let [o1, o2, i1, i2] = c.dims[local];
         let out = op.term_slots(
-            &self.out_entries[self.out_offsets[local]..self.out_offsets[local + 1]],
+            &c.out_entries[c.out_offsets[local]..c.out_offsets[local + 1]],
             o1 as usize,
             o2 as usize,
             prev,
             scratch,
         );
         let inn = op.term_slots(
-            &self.in_entries[self.in_offsets[local]..self.in_offsets[local + 1]],
+            &c.in_entries[c.in_offsets[local]..c.in_offsets[local + 1]],
             i1 as usize,
             i2 as usize,
             prev,
@@ -450,6 +610,231 @@ impl ShardCsr {
         // drift (identically to `pair_update` / `PairDepCsr::eval_slot`).
         score.clamp(0.0, 1.0)
     }
+
+    /// Writes this shard's dependency lists to `path` as a one-section
+    /// `FSNP` spill file (atomic temp-and-rename, FNV-1a checksummed),
+    /// so later sweeps re-map the lists instead of re-deriving them.
+    pub(crate) fn write_spill(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        use fsim_snapshot::writer::{put_usize, SnapshotBuilder};
+        let c = self.cols();
+        let mut b = SnapshotBuilder::new();
+        let buf = b.section(SPILL_SECTION);
+        put_usize(buf, c.base);
+        put_usize(buf, c.dims.len());
+        fsim_snapshot::cursor::put_usize_slice(buf, c.out_offsets);
+        fsim_snapshot::cursor::put_usize_slice(buf, c.in_offsets);
+        put_dep_entries(buf, c.out_entries);
+        put_dep_entries(buf, c.in_entries);
+        put_usize(buf, c.dims.len());
+        for d in c.dims {
+            for &v in d {
+                fsim_snapshot::writer::put_u32(buf, v);
+            }
+        }
+        b.write_atomic(path)
+    }
+}
+
+/// A shard spill file retained as a live mapping. [`MappedShardCsr::map`]
+/// opens, checksums and structurally validates the file exactly once;
+/// the session's spill cache then keeps the result across sweeps, so a
+/// warm sweep reborrows the CSR columns instead of re-reading,
+/// re-checksumming and re-decoding the file (the cost that previously
+/// made spilled sweeps slower than rebuilding).
+///
+/// The small columns (offsets, dims) are decoded into owned buffers at
+/// map time; the dependency-entry columns — the bulk of the bytes — are
+/// reborrowed in place from the mapping on little-endian targets, where
+/// the wire format (LE `u32`/`f32` words, 16 bytes per entry) coincides
+/// with `repr(C)` [`DepEntry`]'s in-memory layout.
+pub(crate) struct MappedShardCsr {
+    /// Owns the mapping (or fallback read buffer) the `Raw` entry
+    /// columns point into; never touched again after `map` returns.
+    _file: fsim_snapshot::SnapshotFile,
+    base: usize,
+    out_offsets: Vec<usize>,
+    in_offsets: Vec<usize>,
+    out_entries: EntryCol,
+    in_entries: EntryCol,
+    dims: Vec<[u32; 4]>,
+}
+
+// SAFETY: the `Raw` columns point into `_file`'s buffer, which is
+// owned by this same struct, read-only for its whole life and freed
+// only on drop — sharing `&self` across the parallel sweep's threads
+// is reads of immutable memory.
+unsafe impl Send for MappedShardCsr {}
+// SAFETY: as above — every access path is `&self` reads.
+unsafe impl Sync for MappedShardCsr {}
+
+/// One dependency-entry column of a retained spill.
+enum EntryCol {
+    /// Reborrowed in place from the mapping (little-endian targets
+    /// whose section bytes landed `DepEntry`-aligned).
+    #[cfg(target_endian = "little")]
+    Raw { ptr: *const DepEntry, len: usize },
+    /// Decoded copy — big-endian targets, or an unaligned column.
+    Owned(Vec<DepEntry>),
+}
+
+impl EntryCol {
+    #[inline]
+    fn as_slice(&self) -> &[DepEntry] {
+        match self {
+            #[cfg(target_endian = "little")]
+            // SAFETY: `ptr`/`len` were carved out of the owning
+            // `MappedShardCsr`'s `_file` buffer by `entry_col`, which
+            // proved alignment and `len * 16` bytes in bounds; the
+            // buffer is immutable and outlives `self`, and every
+            // 16-byte pattern is a valid `DepEntry` (plain `u32`s and
+            // an `f32` accepting all bit patterns).
+            EntryCol::Raw { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            EntryCol::Owned(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
+/// Reads one entry column off `cur`: zero-copy where the layout
+/// allows, decoded otherwise.
+fn entry_col(cur: &mut fsim_snapshot::Cursor<'_>) -> Result<EntryCol, SnapshotError> {
+    #[cfg(target_endian = "little")]
+    {
+        let len = cur.checked_len(std::mem::size_of::<DepEntry>())?;
+        let raw = cur.take(len * std::mem::size_of::<DepEntry>())?;
+        if (raw.as_ptr() as usize) % std::mem::align_of::<DepEntry>() == 0 {
+            return Ok(EntryCol::Raw {
+                ptr: raw.as_ptr().cast(),
+                len,
+            });
+        }
+        // Sections are 8-byte aligned and every preceding field is a
+        // multiple of 8 bytes, so this fallback should be unreachable;
+        // decoding the already-taken bytes keeps it correct anyway.
+        let mut entries = Vec::with_capacity(len);
+        for c in raw.chunks_exact(std::mem::size_of::<DepEntry>()) {
+            entries.push(DepEntry {
+                i: u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                j: u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                slot: u32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+                cval: f32::from_bits(u32::from_le_bytes(c[12..16].try_into().expect("4 bytes"))),
+            });
+        }
+        Ok(EntryCol::Owned(entries))
+    }
+    #[cfg(not(target_endian = "little"))]
+    Ok(EntryCol::Owned(read_dep_entries(cur)?))
+}
+
+impl MappedShardCsr {
+    /// Opens and validates the spill at `path`, verifying it covers
+    /// exactly the slot range `lo..hi` of the current plan and that
+    /// every offset column is structurally sound — a stale or
+    /// mismatched spill returns an error (the caller rebuilds) rather
+    /// than evaluating garbage. The validated mapping is the returned
+    /// value's backing store: drop it last.
+    pub(crate) fn map(
+        path: &std::path::Path,
+        lo: usize,
+        hi: usize,
+    ) -> Result<MappedShardCsr, SnapshotError> {
+        let file = fsim_snapshot::SnapshotFile::open(path, SPILL_KNOWN)?;
+        let mut cur = fsim_snapshot::Cursor::new("shard-csr", file.section(SPILL_SECTION)?);
+        let base = cur.usize64()?;
+        let len = cur.usize64()?;
+        let out_offsets = cur.usize_vec()?;
+        let in_offsets = cur.usize_vec()?;
+        let out_entries = entry_col(&mut cur)?;
+        let in_entries = entry_col(&mut cur)?;
+        let dims_len = cur.checked_len(16)?;
+        let mut dims = Vec::with_capacity(dims_len);
+        for _ in 0..dims_len {
+            dims.push([cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?]);
+        }
+        cur.finish()?;
+        let malformed = |detail: String| SnapshotError::Malformed {
+            section: "shard-csr",
+            detail,
+        };
+        if base != lo || len != hi - lo {
+            return Err(malformed(format!(
+                "spill covers slots {base}..{}, plan wants {lo}..{hi}",
+                base + len
+            )));
+        }
+        if dims.len() != len {
+            return Err(malformed(format!(
+                "{} dim rows for {len} slots",
+                dims.len()
+            )));
+        }
+        check_offsets("out_offsets", &out_offsets, len, out_entries.len())
+            .and_then(|()| check_offsets("in_offsets", &in_offsets, len, in_entries.len()))
+            .map_err(malformed)?;
+        Ok(MappedShardCsr {
+            _file: file,
+            base,
+            out_offsets,
+            in_offsets,
+            out_entries,
+            in_entries,
+            dims,
+        })
+    }
+
+    /// Whether this mapping still describes the plan range `lo..hi`.
+    pub(crate) fn covers(&self, lo: usize, hi: usize) -> bool {
+        self.base == lo && self.dims.len() == hi - lo
+    }
+
+    #[inline]
+    fn cols(&self) -> CsrCols<'_> {
+        CsrCols {
+            base: self.base,
+            out_offsets: &self.out_offsets,
+            in_offsets: &self.in_offsets,
+            out_entries: self.out_entries.as_slice(),
+            in_entries: self.in_entries.as_slice(),
+            dims: &self.dims,
+        }
+    }
+}
+
+/// The single section id of a shard spill file.
+const SPILL_SECTION: u32 = 1;
+/// Known-section registry for spill files.
+const SPILL_KNOWN: &[(u32, &str)] = &[(SPILL_SECTION, "shard-csr")];
+
+/// Encodes a [`DepEntry`] slice: count, then 16 bytes per entry
+/// (`i`, `j`, `slot` as LE `u32`, `cval` as LE `f32` bits).
+pub(crate) fn put_dep_entries(buf: &mut Vec<u8>, entries: &[DepEntry]) {
+    fsim_snapshot::writer::put_usize(buf, entries.len());
+    for e in entries {
+        buf.extend_from_slice(&e.i.to_le_bytes());
+        buf.extend_from_slice(&e.j.to_le_bytes());
+        buf.extend_from_slice(&e.slot.to_le_bytes());
+        buf.extend_from_slice(&e.cval.to_bits().to_le_bytes());
+    }
+}
+
+/// Decodes a [`put_dep_entries`] slice with a bounds-proven count.
+pub(crate) fn read_dep_entries(
+    cur: &mut fsim_snapshot::Cursor<'_>,
+) -> Result<Vec<DepEntry>, SnapshotError> {
+    let checked_n = cur.checked_len(16)?;
+    let raw = cur.take(checked_n * 16)?;
+    Ok(raw
+        .chunks_exact(16)
+        .map(|c| DepEntry {
+            i: u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+            j: u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            slot: u32::from_le_bytes([c[8], c[9], c[10], c[11]]),
+            cval: f32::from_bits(u32::from_le_bytes([c[12], c[13], c[14], c[15]])),
+        })
+        .collect())
 }
 
 /// Reverse CSR by counting sort: dependents of each source slot, in
@@ -678,6 +1063,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mapped_spill_matches_the_built_shard_bitwise() {
+        let (g1, g2, base) = setup();
+        let cfg = base.clone().theta(0.0);
+        let aligned = super::super::session::AlignedLabels::new(&g1, &g2);
+        let eval = super::super::session::build_label_eval(&cfg, &aligned.interner);
+        let ctx = OpCtx {
+            labels1: &aligned.labels1,
+            labels2: &aligned.labels2,
+            label_eval: &eval,
+            theta: cfg.theta,
+        };
+        let op = VariantOp::new(cfg.variant);
+        let store = crate::candidates::enumerate_candidates(&g1, &g2, &ctx, &cfg, &op);
+        let dir = std::env::temp_dir().join(format!("fsim-deps-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.fsnp");
+        let (lo, hi) = (0, store.len());
+        let built = ShardCsr::build(&g1, &g2, &ctx, &store, &op, lo, hi);
+        built.write_spill(&path).unwrap();
+        let mapped = ShardCsr::from_mapped(std::sync::Arc::new(
+            MappedShardCsr::map(&path, lo, hi).unwrap(),
+        ));
+        let scores: Vec<f64> = (0..store.len()).map(|i| (i % 5) as f64 / 5.0).collect();
+        let mut scratch = OpScratch::new();
+        for slot in lo..hi {
+            let label = ctx.label_sim(store.pairs[slot].0, store.pairs[slot].1);
+            let a = built.eval_slot(&cfg, &op, &store, slot, &scores, &mut scratch, label);
+            let b = mapped.eval_slot(&cfg, &op, &store, slot, &scores, &mut scratch, label);
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {slot}");
+            let da: Vec<DepEntry> = built.deps_of(slot).copied().collect();
+            let db: Vec<DepEntry> = mapped.deps_of(slot).copied().collect();
+            assert_eq!(da, db, "slot {slot}");
+        }
+        assert_eq!(built.bytes(), mapped.bytes());
+        // A mapping is pinned to its plan range: a range mismatch is a
+        // structured error (the caller rebuilds), never garbage.
+        assert!(MappedShardCsr::map(&path, lo, hi + 1).is_err());
+        assert!(MappedShardCsr::map(&path, 1, hi).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

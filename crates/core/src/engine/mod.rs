@@ -36,11 +36,13 @@ pub(crate) mod deps;
 pub mod edits;
 pub(crate) mod iterate;
 pub(crate) mod parallel;
+pub mod persist;
 pub mod session;
 pub(crate) mod shards;
 
 pub use edits::{EditError, GraphEdit, GraphSide};
 pub use parallel::live_runtime_workers;
+pub use persist::scan_snapshot_dir;
 pub use session::FsimEngine;
 
 use crate::config::{ConfigError, FsimConfig, Variant};

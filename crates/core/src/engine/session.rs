@@ -197,6 +197,57 @@ pub struct FsimEngine<'g, O: Operator = VariantOp> {
     has_run: bool,
 }
 
+/// The engine state `engine/persist.rs` serializes and restores —
+/// every field is borrowed or moved through these two structs so the
+/// snapshot codec never needs direct access to the (private) session
+/// fields. See `docs/SNAPSHOT.md` for what is persisted vs re-derived.
+pub(crate) struct PersistParts<'e> {
+    pub(crate) g1: &'e Graph,
+    pub(crate) g2: &'e Graph,
+    pub(crate) cfg: &'e FsimConfig,
+    pub(crate) interner: &'e Arc<LabelInterner>,
+    pub(crate) labels1: &'e [LabelId],
+    pub(crate) labels2: &'e [LabelId],
+    pub(crate) store: &'e PairStore,
+    pub(crate) label_terms: &'e [f64],
+    pub(crate) label_table: Option<&'e [f64]>,
+    pub(crate) deps: Option<&'e PairDepCsr>,
+    pub(crate) scores: &'e [f64],
+    pub(crate) trajectory: Option<&'e Vec<Vec<f64>>>,
+    pub(crate) approx_acc: Option<&'e Vec<f64>>,
+    pub(crate) iterations: usize,
+    pub(crate) converged: bool,
+    pub(crate) final_delta: f64,
+    pub(crate) error_bound: f64,
+    pub(crate) pairs_evaluated: &'e [usize],
+    pub(crate) delta_scheduled: bool,
+    pub(crate) shard_count: usize,
+    pub(crate) has_run: bool,
+}
+
+/// The decoded state a snapshot restores into a fresh owned session.
+pub(crate) struct RestoredParts {
+    pub(crate) g1: Graph,
+    pub(crate) g2: Graph,
+    pub(crate) cfg: FsimConfig,
+    pub(crate) interner: Arc<LabelInterner>,
+    pub(crate) store: PairStore,
+    pub(crate) label_terms: Vec<f64>,
+    pub(crate) label_table: Option<Vec<f64>>,
+    pub(crate) deps: Option<PairDepCsr>,
+    pub(crate) scores: Vec<f64>,
+    pub(crate) trajectory: Option<Vec<Vec<f64>>>,
+    pub(crate) approx_acc: Option<Vec<f64>>,
+    pub(crate) iterations: usize,
+    pub(crate) converged: bool,
+    pub(crate) final_delta: f64,
+    pub(crate) error_bound: f64,
+    pub(crate) pairs_evaluated: Vec<usize>,
+    pub(crate) delta_scheduled: bool,
+    pub(crate) shard_count: usize,
+    pub(crate) has_run: bool,
+}
+
 /// Warm-start state for the approximate edit path: the pre-edit scores
 /// and error accumulators remapped to the repaired store's slots (added
 /// and structurally dirty slots carry `f64::INFINITY`, forcing their
@@ -217,6 +268,38 @@ impl<'g> FsimEngine<'g, VariantOp> {
         };
         Self::with_operator(g1, g2, cfg, op)
     }
+
+    /// Borrows everything the snapshot codec persists (the codec lives
+    /// in `engine/persist.rs`; only built-in-operator sessions can be
+    /// reconstructed from a config, so persistence is `VariantOp`-only).
+    pub(crate) fn persist_parts(&self) -> PersistParts<'_> {
+        PersistParts {
+            g1: &self.g1,
+            g2: &self.g2,
+            cfg: &self.cfg,
+            interner: &self.interner,
+            labels1: &self.labels1,
+            labels2: &self.labels2,
+            store: &self.store,
+            label_terms: &self.label_terms,
+            label_table: match &self.label_eval {
+                LabelEval::Sim(p) => p.table(),
+                LabelEval::Constant(_) => None,
+            },
+            deps: self.deps.as_ref(),
+            scores: &self.scores,
+            trajectory: self.trajectory.as_ref(),
+            approx_acc: self.approx_acc.as_ref(),
+            iterations: self.iterations,
+            converged: self.converged,
+            final_delta: self.final_delta,
+            error_bound: self.error_bound,
+            pairs_evaluated: &self.pairs_evaluated,
+            delta_scheduled: self.delta_scheduled,
+            shard_count: self.shard_count,
+            has_run: self.has_run,
+        }
+    }
 }
 
 impl FsimEngine<'static, VariantOp> {
@@ -231,6 +314,58 @@ impl FsimEngine<'static, VariantOp> {
             matcher: cfg.matcher,
         };
         Self::from_cows(Cow::Owned(g1), Cow::Owned(g2), cfg, op)
+    }
+
+    /// Reassembles a session from decoded snapshot state. Everything
+    /// not in [`RestoredParts`] is re-derived: the prepared label
+    /// evaluation (from config + interner), the aligned label copies
+    /// (the snapshot stores graphs already remapped to the merged
+    /// interner), the double buffer, the worker pool (lazy), and any
+    /// shard state (rebuilt deterministically by the next run).
+    pub(crate) fn from_restored(parts: RestoredParts) -> FsimEngine<'static, VariantOp> {
+        // A persisted prepared table (validated against the interner by
+        // the codec) skips the O(|Σ|²) string-similarity rebuild — the
+        // dominant cost of a cold start under non-trivial label
+        // functions. Sessions without one re-derive as usual.
+        let label_eval = match parts.label_table {
+            Some(table) => LabelEval::Sim(fsim_labels::PreparedLabelSim::from_table(
+                parts.interner.len(),
+                table,
+            )),
+            None => build_label_eval(&parts.cfg, &parts.interner),
+        };
+        FsimEngine {
+            op: VariantOp {
+                variant: parts.cfg.variant,
+                matcher: parts.cfg.matcher,
+            },
+            labels1: parts.g1.labels().to_vec(),
+            labels2: parts.g2.labels().to_vec(),
+            g1: Cow::Owned(parts.g1),
+            g2: Cow::Owned(parts.g2),
+            cfg: parts.cfg,
+            interner: parts.interner,
+            label_eval,
+            store: parts.store,
+            label_terms: parts.label_terms,
+            deps: parts.deps,
+            shards: None,
+            scores: parts.scores,
+            cur: Vec::new(),
+            trajectory: parts.trajectory,
+            approx_acc: parts.approx_acc,
+            iterations: parts.iterations,
+            converged: parts.converged,
+            final_delta: parts.final_delta,
+            error_bound: parts.error_bound,
+            pairs_evaluated: parts.pairs_evaluated,
+            iter_seconds: Vec::new(),
+            delta_scheduled: parts.delta_scheduled,
+            shard_count: parts.shard_count,
+            peak_csr_bytes: 0,
+            runtime: None,
+            has_run: parts.has_run,
+        }
     }
 }
 
@@ -398,7 +533,13 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         if let Some(k) = forced_shards(&self.cfg) {
             self.deps = None;
             if self.shards.as_ref().map(|s| s.requested) != Some(k) {
-                self.shards = Some(ShardState::new(&self.g1, &self.g2, &self.store, k));
+                self.shards = Some(ShardState::new(
+                    &self.g1,
+                    &self.g2,
+                    &self.store,
+                    k,
+                    self.cfg.spill_dir.as_deref(),
+                ));
             }
             return;
         }
@@ -433,7 +574,13 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
                 } else if self.cfg.shards == ShardSpec::Auto {
                     let k = auto_shard_count(bytes, self.cfg.csr_budget);
                     if self.shards.as_ref().map(|s| s.requested) != Some(k) {
-                        self.shards = Some(ShardState::new(&self.g1, &self.g2, &self.store, k));
+                        self.shards = Some(ShardState::new(
+                            &self.g1,
+                            &self.g2,
+                            &self.store,
+                            k,
+                            self.cfg.spill_dir.as_deref(),
+                        ));
                     }
                 } else {
                     // ShardSpec::Off: neither — the run uses the full
@@ -653,6 +800,12 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
         let store_stale = store_changed(&self.cfg, &new_cfg, label_changed);
         self.cfg = new_cfg;
         self.op.sync_cfg(&self.cfg);
+        // A config change can alter the dependency entry lists (θ
+        // eligibility, label constants, operator folding) under an
+        // unchanged shard plan — spilled shard CSRs are stale.
+        if let Some(state) = self.shards.as_mut() {
+            state.clear_spill();
+        }
         if label_changed {
             self.label_eval = build_label_eval(&self.cfg, &self.interner);
         }
@@ -1017,7 +1170,7 @@ impl<'g, O: Operator> FsimEngine<'g, O> {
             self.shards = None;
         } else if any_entry_dirty {
             if let Some(state) = self.shards.as_mut() {
-                state.boundary.reset();
+                state.invalidate_entries();
             }
         }
         self.store = repair.store;

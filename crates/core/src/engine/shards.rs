@@ -40,13 +40,17 @@
 //! invariants as the unsharded accounting, so the certified error bound
 //! of [`ApproxState::error_bound`] holds unchanged.
 
-use super::deps::ShardCsr;
+use super::deps::{MappedShardCsr, ShardCsr};
 use super::iterate::{effective_threads, ApproxState};
 use super::parallel::{eval_worklist_parallel, IterationOutcome, Runtime};
 use crate::config::{FsimConfig, ShardSpec};
 use crate::operators::{DepEntry, OpCtx, OpScratch, Operator};
 use crate::store::PairStore;
 use fsim_graph::Graph;
+use fsim_snapshot::SnapshotError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Partition of the candidate store's slots into contiguous u-row ranges,
@@ -171,25 +175,179 @@ impl BoundaryTable {
     }
 }
 
+/// Process-unique suffix source for spill directories, so concurrent
+/// sessions of one process (e.g. `fsimd` namespaces) sharing a
+/// `spill_dir` never collide.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// On-disk cache of built [`ShardCsr`]s under a session-private
+/// subdirectory of [`FsimConfig::spill_dir`]. A shard's CSR is written
+/// on first build (atomic temp + rename, single-section `FSNP`),
+/// mapped and validated once on the next sweep, and the retained
+/// mapping ([`MappedShardCsr`]) is reborrowed by every sweep after —
+/// attacking the rebuild-per-sweep cost sharded warm runs otherwise
+/// pay (`BENCH_snapshot.json` records the trade).
+///
+/// A spill file is valid exactly as long as the inputs of
+/// `ShardCsr::build` are unchanged: the graphs, the store (slots and
+/// fallback), θ/label eligibility and the operator. The owning session
+/// clears the valid flags on every entry re-derivation and config
+/// change ([`ShardState::invalidate_entries`] /
+/// [`ShardState::clear_spill`]); a stale or corrupt file read back is
+/// detected by the container checksums plus range validation and
+/// falls back to a rebuild. Spill I/O failures silently disable
+/// spilling for the session — spilling is a cache, never a
+/// correctness dependency.
+pub(crate) struct SpillState {
+    dir: PathBuf,
+    written: Vec<bool>,
+    /// Retained spill mappings, one per shard: each file is opened,
+    /// checksummed and structurally validated once (on the first sweep
+    /// after it was written), then later sweeps reborrow its CSR
+    /// columns straight from the mapping — no per-sweep I/O, no
+    /// per-sweep validation. Shared by `Arc` so an in-flight sweep
+    /// keeps its mapping alive across an invalidation.
+    mapped: Vec<Option<Arc<MappedShardCsr>>>,
+}
+
+impl SpillState {
+    fn create(base: &Path, k: usize) -> Option<Self> {
+        let dir = base.join(format!(
+            "spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).ok()?;
+        Some(Self {
+            dir,
+            written: vec![false; k],
+            mapped: vec![None; k],
+        })
+    }
+
+    fn path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.fsnp"))
+    }
+
+    fn clear(&mut self) {
+        self.written.iter_mut().for_each(|w| *w = false);
+        self.mapped.iter_mut().for_each(|m| *m = None);
+    }
+
+    /// Drops shard `shard`'s spill (stale file or failed map).
+    fn forget(&mut self, shard: usize) {
+        self.written[shard] = false;
+        self.mapped[shard] = None;
+    }
+
+    /// The shard's CSR out of the spill cache: the retained mapping
+    /// when one is live and still matches the plan range, otherwise a
+    /// fresh map-and-validate of the spill file (retained for the
+    /// sweeps after).
+    fn remap(&mut self, shard: usize, lo: usize, hi: usize) -> Result<ShardCsr, SnapshotError> {
+        let m = match &self.mapped[shard] {
+            Some(m) if m.covers(lo, hi) => Arc::clone(m),
+            _ => {
+                let m = Arc::new(MappedShardCsr::map(&self.path(shard), lo, hi)?);
+                self.mapped[shard] = Some(Arc::clone(&m));
+                m
+            }
+        };
+        Ok(ShardCsr::from_mapped(m))
+    }
+}
+
+impl Drop for SpillState {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Loads shard `shard`'s CSR from spill when a valid file exists,
+/// otherwise builds it (writing the spill file as a side effect when
+/// spilling is enabled). Bitwise transparent: a re-mapped CSR is
+/// field-for-field identical to a rebuilt one, so scores, iteration
+/// counts and evaluation counts cannot depend on the spill path.
+#[allow(clippy::too_many_arguments)]
+fn obtain_shard_csr<O: Operator>(
+    spill: &mut Option<SpillState>,
+    shard: usize,
+    g1: &Graph,
+    g2: &Graph,
+    ctx: &OpCtx<'_>,
+    store: &PairStore,
+    op: &O,
+    lo: usize,
+    hi: usize,
+) -> ShardCsr {
+    if let Some(sp) = spill.as_mut() {
+        if sp.written[shard] {
+            match sp.remap(shard, lo, hi) {
+                Ok(csr) => return csr,
+                // Stale or corrupt: forget the file and rebuild.
+                Err(_) => sp.forget(shard),
+            }
+        }
+        let csr = ShardCsr::build(g1, g2, ctx, store, op, lo, hi);
+        match csr.write_spill(&sp.path(shard)) {
+            Ok(()) => sp.written[shard] = true,
+            // Disk trouble: drop the whole spill cache (removing the
+            // directory) and run unspilled from here on.
+            Err(_) => *spill = None,
+        }
+        return csr;
+    }
+    ShardCsr::build(g1, g2, ctx, store, op, lo, hi)
+}
+
 /// The session-cached sharded-execution state: the u-row plan plus the
-/// boundary-exchange table. Mutually exclusive with the full
-/// `PairDepCsr` cache and invalidated with the store, like it.
+/// boundary-exchange table and the optional CSR spill cache. Mutually
+/// exclusive with the full `PairDepCsr` cache and invalidated with the
+/// store, like it.
 pub(crate) struct ShardState {
     pub(crate) plan: ShardPlan,
     pub(crate) boundary: BoundaryTable,
     /// The shard count this state was requested with (the `Fixed(k)` /
     /// auto-chosen `k` before row clamping) — the session's cache key.
     pub(crate) requested: usize,
+    /// The on-disk CSR cache, when [`FsimConfig::spill_dir`] is set and
+    /// the directory could be created.
+    spill: Option<SpillState>,
 }
 
 impl ShardState {
-    pub(crate) fn new(g1: &Graph, g2: &Graph, store: &PairStore, requested: usize) -> Self {
+    pub(crate) fn new(
+        g1: &Graph,
+        g2: &Graph,
+        store: &PairStore,
+        requested: usize,
+        spill_dir: Option<&Path>,
+    ) -> Self {
         let plan = ShardPlan::build(g1, g2, store, requested);
         let boundary = BoundaryTable::new(store.len());
+        let spill = spill_dir.and_then(|base| SpillState::create(base, plan.k()));
         Self {
             plan,
             boundary,
             requested,
+            spill,
+        }
+    }
+
+    /// Invalidates everything derived from the dependency entries while
+    /// keeping the plan: the boundary masks (rebuilt by the next full
+    /// sweep) and the spilled CSRs (entries changed, files are stale).
+    pub(crate) fn invalidate_entries(&mut self) {
+        self.boundary.reset();
+        self.clear_spill();
+    }
+
+    /// Marks every spilled CSR stale (configuration changed under the
+    /// same plan — the entry lists may now differ). Files are
+    /// overwritten on the next build.
+    pub(crate) fn clear_spill(&mut self) {
+        if let Some(sp) = self.spill.as_mut() {
+            sp.clear();
         }
     }
 }
@@ -313,7 +471,7 @@ pub(crate) fn run_sharded<O: Operator>(
             if lo == hi {
                 continue;
             }
-            let csr = ShardCsr::build(g1, g2, ctx, store, op, lo, hi);
+            let csr = obtain_shard_csr(&mut state.spill, shard, g1, g2, ctx, store, op, lo, hi);
             peak_bytes = peak_bytes.max(csr.bytes());
             if filling_masks {
                 for slot in lo..hi {
@@ -480,7 +638,7 @@ pub(crate) fn run_sharded<O: Operator>(
                 if lo == hi {
                     continue;
                 }
-                let csr = ShardCsr::build(g1, g2, ctx, store, op, lo, hi);
+                let csr = obtain_shard_csr(&mut state.spill, shard, g1, g2, ctx, store, op, lo, hi);
                 peak_bytes = peak_bytes.max(csr.bytes());
                 for slot in lo..hi {
                     let mut m = 0.0f64;
@@ -598,5 +756,41 @@ mod tests {
         assert_eq!(full_mask(1), 1);
         assert_eq!(full_mask(3), 0b111);
         assert_eq!(full_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn spilled_sharded_run_is_bitwise_identical_and_cleans_up() {
+        use crate::engine::FsimEngine;
+        let (g1, g2, cfg) = setup();
+        let cfg = cfg.shards(ShardSpec::Fixed(3));
+        let mut plain = FsimEngine::new(&g1, &g2, &cfg).unwrap();
+        plain.run();
+
+        let base = std::env::temp_dir().join(format!("fsim-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let spill_cfg = cfg.clone().spill_dir(&base);
+        {
+            let mut spilled = FsimEngine::new(&g1, &g2, &spill_cfg).unwrap();
+            spilled.run();
+            // The spill directory holds one file per shard after a run.
+            let subdirs: Vec<_> = std::fs::read_dir(&base).unwrap().flatten().collect();
+            assert_eq!(subdirs.len(), 1, "one session-private spill subdir");
+            let files = std::fs::read_dir(subdirs[0].path()).unwrap().count();
+            assert_eq!(files, spilled.shard_count());
+            assert_eq!(plain.iterations(), spilled.iterations());
+            assert_eq!(plain.pairs_evaluated(), spilled.pairs_evaluated());
+            for (a, b) in plain.iter_pairs().zip(spilled.iter_pairs()) {
+                assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+            // A warm rerun of the same config re-maps instead of
+            // rebuilding — still bitwise.
+            spilled.run();
+            for (a, b) in plain.iter_pairs().zip(spilled.iter_pairs()) {
+                assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+        }
+        // Dropping the session removes its spill subdir.
+        assert_eq!(std::fs::read_dir(&base).unwrap().count(), 0);
+        std::fs::remove_dir_all(&base).ok();
     }
 }

@@ -56,9 +56,10 @@ pub use config::{
     UpperBoundPruning, Variant,
 };
 pub use engine::{
-    all_variants, compute, compute_with_operator, live_runtime_workers, score_on_demand, EditError,
-    FsimEngine, GraphEdit, GraphSide,
+    all_variants, compute, compute_with_operator, live_runtime_workers, scan_snapshot_dir,
+    score_on_demand, EditError, FsimEngine, GraphEdit, GraphSide,
 };
+pub use fsim_snapshot::SnapshotError;
 pub use operators::{
     force_scalar_kernel, scalar_kernel_forced, DepEntry, LabelEval, OpCtx, OpScratch, Operator,
     ScoreLookup, SimRankOp, VariantOp,

@@ -85,7 +85,12 @@ pub trait ScoreLookup {
 ///
 /// Pairs whose fallback constant is `0` are omitted entirely: a zero can
 /// neither win a max, enter a positive-weight matching, nor change a sum.
+// `repr(C)` pins the field order and (with four 4-byte fields) a
+// padding-free 16-byte layout, matching the spill wire format so a
+// retained spill mapping can reborrow entry columns in place on
+// little-endian targets (`deps::MappedShardCsr`).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct DepEntry {
     /// Position of `x` within `S1`.
     pub i: u32,

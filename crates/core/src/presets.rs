@@ -31,6 +31,7 @@ pub fn simrank_config(c: f64, epsilon: f64) -> FsimConfig {
         shards: crate::config::ShardSpec::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
         trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
+        spill_dir: None,
     }
 }
 
@@ -71,6 +72,7 @@ pub fn rolesim_via_framework(g: &Graph, beta: f64, epsilon: f64) -> FsimResult {
         shards: crate::config::ShardSpec::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
         trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
+        spill_dir: None,
     };
     compute(&und, &und, &cfg).expect("valid RoleSim configuration")
 }
@@ -129,6 +131,7 @@ pub fn kbisim_config(k: usize) -> FsimConfig {
         shards: crate::config::ShardSpec::Auto,
         csr_budget: FsimConfig::DEFAULT_CSR_BUDGET,
         trajectory_budget: FsimConfig::DEFAULT_TRAJECTORY_BUDGET,
+        spill_dir: None,
     }
 }
 

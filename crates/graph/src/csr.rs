@@ -92,6 +92,47 @@ impl Csr {
         (0..self.node_count_u32()).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
+    /// Rebuilds a CSR from raw `offsets`/`targets` columns (e.g. read
+    /// back from a session snapshot), validating every structural
+    /// invariant the accessors rely on: `offsets` non-empty and
+    /// monotone, starting at 0 and ending at `targets.len()`, every
+    /// target a valid node id, and every row sorted.
+    pub fn from_raw_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Result<Csr, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have at least one entry".to_string());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets must start at 0, found {}", offsets[0]));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing".to_string());
+        }
+        let last = *offsets.last().expect("non-empty") as usize;
+        if last != targets.len() {
+            return Err(format!(
+                "final offset {last} != target count {}",
+                targets.len()
+            ));
+        }
+        let n = (offsets.len() - 1) as u64;
+        if targets.iter().any(|&t| t as u64 >= n) {
+            return Err(format!("target node id out of range (n = {n})"));
+        }
+        let csr = Csr { offsets, targets };
+        for u in 0..csr.node_count_u32() {
+            if csr.neighbors(u).windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("neighbor row of node {u} is not strictly sorted"));
+            }
+        }
+        Ok(csr)
+    }
+
+    /// The raw `(offsets, targets)` columns — the serialization
+    /// counterpart of [`Csr::from_raw_parts`].
+    pub fn raw_parts(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.targets)
+    }
+
     /// Builds a patched copy with `adds` spliced in and `removes` taken out
     /// — one merge pass over the rows instead of a full sort-and-rebuild,
     /// so the cost is `O(|E| + |Δ|)` copying with per-row merge work only

@@ -38,6 +38,53 @@ impl Graph {
         }
     }
 
+    /// Rebuilds a graph from raw serialized parts — per-node labels
+    /// plus both adjacency CSRs — validating the cross-structure
+    /// invariants `from_parts` only debug-asserts: both CSRs sized to
+    /// the label vector, in-adjacency the exact transpose of
+    /// out-adjacency, and every label id known to `interner`.
+    pub fn from_csr_parts(
+        labels: Vec<LabelId>,
+        out: Csr,
+        inn: Csr,
+        interner: Arc<LabelInterner>,
+    ) -> Result<Graph, String> {
+        if labels.len() != out.node_count() || labels.len() != inn.node_count() {
+            return Err(format!(
+                "label / CSR size mismatch: {} labels, {} out rows, {} in rows",
+                labels.len(),
+                out.node_count(),
+                inn.node_count()
+            ));
+        }
+        if let Some(bad) = labels.iter().find(|l| l.index() >= interner.len()) {
+            return Err(format!(
+                "label id {} out of interner range ({} labels interned)",
+                bad.index(),
+                interner.len()
+            ));
+        }
+        if out.edge_count() != inn.edge_count() {
+            return Err(format!(
+                "edge count mismatch: {} out edges, {} in edges",
+                out.edge_count(),
+                inn.edge_count()
+            ));
+        }
+        let mut flipped: Vec<(u32, u32)> = inn.edges().map(|(v, u)| (u, v)).collect();
+        flipped.sort_unstable();
+        if !flipped.iter().copied().eq(out.edges()) {
+            return Err("in-adjacency is not the transpose of out-adjacency".to_string());
+        }
+        Ok(Graph::from_parts(labels, out, inn, interner))
+    }
+
+    /// Both raw adjacency CSRs `(out, in)` — the serialization
+    /// counterpart of [`Graph::from_csr_parts`].
+    pub fn csr_parts(&self) -> (&Csr, &Csr) {
+        (&self.out, &self.inn)
+    }
+
     /// `|V|`.
     #[inline]
     pub fn node_count(&self) -> usize {

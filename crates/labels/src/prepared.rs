@@ -124,6 +124,27 @@ impl PreparedLabelSim {
     pub fn label_count(&self) -> usize {
         self.n
     }
+
+    /// The dense row-major `n × n` table, when one was built
+    /// (`Indicator` runs table-free). Exposed so a session snapshot can
+    /// persist the prepared table and skip the O(|Σ|²) string-similarity
+    /// rebuild on restore.
+    pub fn table(&self) -> Option<&[f64]> {
+        self.table.as_deref()
+    }
+
+    /// Reassembles a prepared similarity from a persisted table.
+    ///
+    /// # Panics
+    /// Panics if `table.len() != n * n` — callers deserializing
+    /// untrusted bytes must validate the shape first.
+    pub fn from_table(n: usize, table: Vec<f64>) -> Self {
+        assert_eq!(table.len(), n * n, "prepared label table must be n × n");
+        Self {
+            table: Some(table),
+            n,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ mod guard_converge;
 mod lossy_cast;
 mod panic_serve;
 mod safety_comment;
+mod snapshot_len;
 mod spawn_site;
 
 pub use spawn_site::{spawn_sites, SpawnKind, SpawnSite, SPAWN_ALLOWLIST};
@@ -68,6 +69,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(safety_comment::UnsafeNeedsSafetyComment),
         Box::new(lossy_cast::LossyCastInCore),
         Box::new(guard_converge::GuardHeldAcrossConverge),
+        Box::new(snapshot_len::SnapshotUncheckedLen),
     ]
 }
 

@@ -1,0 +1,100 @@
+//! `snapshot-unchecked-len`: in snapshot-decoding code, a capacity
+//! allocation sized by a deserialized length is an OOM primitive — a
+//! hostile file claims `u64::MAX` elements and `Vec::with_capacity`
+//! aborts the process before any checksum is consulted. The decode path
+//! must clamp every wire length against the bytes actually remaining
+//! (`Cursor::checked_len`) *before* allocating; by convention the
+//! clamped value carries `checked` in its name, which is what this rule
+//! keys on. Anything else needs a waiver stating the bound that makes
+//! the allocation safe.
+
+use super::{Finding, Rule};
+use crate::lexer::SourceFile;
+
+/// Call forms that pre-size an allocation.
+const ALLOC_CALLS: &[&str] = &["with_capacity(", ".reserve("];
+
+pub struct SnapshotUncheckedLen;
+
+impl Rule for SnapshotUncheckedLen {
+    fn name(&self) -> &'static str {
+        "snapshot-unchecked-len"
+    }
+
+    fn description(&self) -> &'static str {
+        "snapshot decode paths must clamp wire lengths (`checked_*`) before sizing allocations"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        // The container crate, and the engine codec built on top of it.
+        rel_path.starts_with("crates/snapshot/src/")
+            || rel_path == "crates/core/src/engine/persist.rs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (lineno, line) in file.numbered() {
+            if line.in_test {
+                continue;
+            }
+            for call in ALLOC_CALLS {
+                let mut start = 0;
+                while let Some(pos) = line.code[start..].find(call) {
+                    let arg_start = start + pos + call.len();
+                    start = arg_start;
+                    let arg = balanced_arg(&line.code[arg_start..]);
+                    if is_exempt(arg) {
+                        continue;
+                    }
+                    out.push(Finding::new(
+                        self.name(),
+                        file,
+                        lineno,
+                        format!(
+                            "`{}{})` sizes an allocation from a value not proven small — \
+                             clamp it with `Cursor::checked_len` (and carry `checked` in \
+                             its name) or waive with the bound that makes it safe",
+                            call,
+                            arg.trim()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The argument text up to the call's matching close paren (best-effort
+/// on one line; an argument spilling to the next line is simply treated
+/// as unexempt, which fails safe).
+fn balanced_arg(rest: &str) -> &str {
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => {
+                if depth == 0 {
+                    return &rest[..i];
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    rest
+}
+
+/// Safe-by-construction capacity arguments: a bare integer literal
+/// (compile-time bound) or anything that names a `checked` value (the
+/// `Cursor::checked_len` convention).
+fn is_exempt(arg: &str) -> bool {
+    let arg = arg.trim();
+    if arg.is_empty() {
+        // `.reserve()`-shaped garbage the lexer cut mid-expression;
+        // nothing to judge.
+        return true;
+    }
+    if arg.chars().all(|c| c.is_ascii_digit() || c == '_') {
+        return true;
+    }
+    arg.contains("checked")
+}

@@ -275,6 +275,75 @@ pub fn apply(shared: &Shared, batch: EditBatch) {
     assert_eq!(fired(&kept), ["guard-held-across-converge"]);
 }
 
+// ------------------------------------------------------- snapshot-unchecked-len
+
+#[test]
+fn snapshot_len_flags_wire_length_allocations_in_decode_paths() {
+    let src = r#"
+pub fn decode(cur: &mut Cursor) -> Vec<u64> {
+    let n = cur.u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    out.reserve(n * 2);
+    out
+}
+"#;
+    let (kept, _) = lint_source("crates/snapshot/src/fixture.rs", src);
+    assert_eq!(
+        fired(&kept),
+        ["snapshot-unchecked-len", "snapshot-unchecked-len"]
+    );
+    // The engine codec is in scope too…
+    let (kept, _) = lint_source("crates/core/src/engine/persist.rs", src);
+    assert_eq!(
+        fired(&kept),
+        ["snapshot-unchecked-len", "snapshot-unchecked-len"]
+    );
+    // …but unrelated core files are not.
+    assert_clean("crates/core/src/engine/session.rs", src);
+}
+
+#[test]
+fn snapshot_len_accepts_checked_lengths_and_literal_capacities() {
+    assert_clean(
+        "crates/snapshot/src/fixture.rs",
+        r#"
+pub fn decode(cur: &mut Cursor) -> Vec<u64> {
+    let checked_n = cur.checked_len(8)?;
+    let mut out = Vec::with_capacity(checked_n);
+    let mut dims = Vec::with_capacity(2);
+    dims.reserve(16);
+    out
+}
+"#,
+    );
+}
+
+#[test]
+fn snapshot_len_skips_test_code_and_honours_waivers() {
+    assert_clean(
+        "crates/snapshot/src/fixture.rs",
+        r#"
+#[cfg(test)]
+mod tests {
+    fn alloc(n: usize) -> Vec<u8> {
+        Vec::with_capacity(n)
+    }
+}
+"#,
+    );
+    let (kept, waived) = lint_source(
+        "crates/snapshot/src/fixture.rs",
+        r#"
+pub fn table(count: usize) -> Vec<Entry> {
+    // lint:allow(snapshot-unchecked-len): count is bounds-proven against the file length above.
+    Vec::with_capacity(count)
+}
+"#,
+    );
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(fired(&waived), ["snapshot-unchecked-len"]);
+}
+
 // ------------------------------------------------------------------- waivers
 
 #[test]

@@ -32,6 +32,12 @@ pub struct ServerConfig {
     /// Socket read timeout — the interval at which idle connection
     /// threads poll the shutdown flag.
     pub read_timeout: Duration,
+    /// Where `POST /namespaces/<ns>/snapshot` writes `<ns>.fsnp` when
+    /// the request body does not name an explicit path, and where
+    /// [`Daemon::preload_snapshots`] looks for sessions at startup.
+    /// `None` (the default) disables the implicit target; snapshot
+    /// requests must then carry `{"path": ...}`.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -41,9 +47,14 @@ impl Default for ServerConfig {
             max_body_bytes: 1024 * 1024,
             writer_throttle: Duration::ZERO,
             read_timeout: Duration::from_millis(50),
+            snapshot_dir: None,
         }
     }
 }
+
+/// What a snapshot-directory preload did: the namespace names loaded,
+/// plus the files skipped as `(file_name, reason)` pairs.
+pub type PreloadOutcome = (Vec<String>, Vec<(String, String)>);
 
 struct Shared {
     cfg: ServerConfig,
@@ -101,6 +112,30 @@ impl Daemon {
     /// Snapshot accessor for tests/benches: the namespace by name.
     pub fn namespace(&self, name: &str) -> Option<Arc<Namespace>> {
         read_lock(&self.shared.namespaces).get(name).cloned()
+    }
+
+    /// Restores every `*.fsnp` session in `dir` as a namespace named by
+    /// its file stem — the cold-start path behind `fsimd
+    /// --snapshot-dir`. Returns the names loaded plus the files skipped
+    /// as `(file_name, reason)` pairs; only an unreadable directory is a
+    /// hard error. Files already claimed as namespaces are skipped, so
+    /// a preload never clobbers a live session.
+    pub fn preload_snapshots(&self, dir: &std::path::Path) -> Result<PreloadOutcome, String> {
+        let (sessions, rejected) = fsim_core::scan_snapshot_dir(dir).map_err(|e| e.to_string())?;
+        let mut loaded = Vec::new();
+        let mut skipped: Vec<(String, String)> = rejected
+            .into_iter()
+            .map(|(file, err)| (file, err.to_string()))
+            .collect();
+        for (name, engine) in sessions {
+            if read_lock(&self.shared.namespaces).contains_key(&name) {
+                skipped.push((format!("{name}.fsnp"), "namespace already exists".into()));
+                continue;
+            }
+            self.add_namespace(&name, engine);
+            loaded.push(name);
+        }
+        Ok((loaded, skipped))
     }
 
     /// Drain-and-join shutdown: stops accepting, joins every connection
@@ -228,6 +263,12 @@ fn route(req: &Request, shared: &Shared) -> Response {
         ("GET", "/dump") => with_namespace(req, shared, get_dump),
         ("GET", "/stats") => with_namespace(req, shared, get_stats),
         ("POST", "/edits") => with_namespace(req, shared, post_edits),
+        ("POST", path) if snapshot_route(path).is_some() => post_snapshot(req, shared),
+        (_, path) if snapshot_route(path).is_some() => Response::error(
+            405,
+            "method_not_allowed",
+            &format!("{} {}", req.method, req.path),
+        ),
         (_, "/health" | "/namespaces" | "/score" | "/top_k" | "/dump" | "/stats" | "/edits") => {
             Response::error(
                 405,
@@ -418,6 +459,85 @@ fn post_edits(req: &Request, ns: &Namespace) -> Handled {
             "shutting_down",
             "namespace is shutting down",
         )),
+    }
+}
+
+/// Matches `/namespaces/<ns>/snapshot` and extracts the namespace name
+/// from the middle segment. The name must be a single non-empty
+/// segment — no slashes, so a crafted path can never escape the
+/// configured snapshot directory.
+fn snapshot_route(path: &str) -> Option<&str> {
+    let name = path
+        .strip_prefix("/namespaces/")?
+        .strip_suffix("/snapshot")?;
+    (!name.is_empty() && !name.contains('/') && name != "." && name != "..").then_some(name)
+}
+
+/// `POST /namespaces/<ns>/snapshot`: ask the namespace writer to
+/// serialize its session. The optional body `{"path": "..."}` names an
+/// explicit target; otherwise the daemon writes
+/// `<snapshot_dir>/<ns>.fsnp`. The request rides the edit queue, so the
+/// snapshot reflects every batch enqueued before it and shares the
+/// queue's backpressure (429 when full).
+fn post_snapshot(req: &Request, shared: &Shared) -> Response {
+    let Some(name) = snapshot_route(&req.path) else {
+        return Response::error(404, "not_found", &req.path);
+    };
+    let Some(ns) = read_lock(&shared.namespaces).get(name).cloned() else {
+        return Response::error(404, "unknown_namespace", name);
+    };
+    let explicit = if req.body.is_empty() {
+        None
+    } else {
+        let doc = match std::str::from_utf8(&req.body)
+            .map_err(|_| "body is not utf-8".to_string())
+            .and_then(|t| Json::parse(t).map_err(|e| e.to_string()))
+        {
+            Ok(doc) => doc,
+            Err(detail) => return Response::error(400, "bad_request", &detail),
+        };
+        match doc.get("path") {
+            None => None,
+            Some(p) => match p.as_str() {
+                Some(s) if !s.is_empty() => Some(std::path::PathBuf::from(s)),
+                _ => {
+                    return Response::error(400, "bad_request", "'path' must be a non-empty string")
+                }
+            },
+        }
+    };
+    let target = match explicit {
+        Some(path) => path,
+        None => match &shared.cfg.snapshot_dir {
+            Some(dir) => dir.join(format!("{name}.fsnp")),
+            None => {
+                return Response::error(
+                    400,
+                    "no_snapshot_target",
+                    "no snapshot directory configured; pass {\"path\": ...} or start with --snapshot-dir",
+                )
+            }
+        },
+    };
+    match ns.snapshot_to(target.clone()) {
+        Ok(Ok(bytes)) => Response::json(
+            200,
+            format!(
+                "{{\"namespace\":\"{}\",\"path\":\"{}\",\"bytes\":{}}}",
+                escape_json(name),
+                escape_json(&target.display().to_string()),
+                bytes
+            ),
+        ),
+        Ok(Err(detail)) => Response::error(500, "snapshot_failed", &detail),
+        Err(EnqueueError::Full) => Response::error(
+            429,
+            "queue_full",
+            "edit queue is at capacity; retry after the writer catches up",
+        ),
+        Err(EnqueueError::ShuttingDown) => {
+            Response::error(409, "shutting_down", "namespace is shutting down")
+        }
     }
 }
 

@@ -27,6 +27,21 @@ pub enum EnqueueError {
     ShuttingDown,
 }
 
+/// A unit of work for the namespace's writer thread. Snapshot requests
+/// ride the same bounded queue as edit batches, so a snapshot observes
+/// exactly the state left by the batches enqueued before it — no second
+/// engine owner, no locks around the session.
+enum WriterCmd {
+    /// Apply one edit batch atomically.
+    Edits(Vec<GraphEdit>),
+    /// Serialize the session to `path` and report the written byte
+    /// count (or the error string) on `done`.
+    Snapshot {
+        path: std::path::PathBuf,
+        done: SyncSender<Result<u64, String>>,
+    },
+}
+
 /// Monotone serving counters, readable via `GET /stats`.
 #[derive(Debug, Default)]
 pub struct NamespaceStats {
@@ -44,6 +59,8 @@ pub struct NamespaceStats {
     pub batches_failed: AtomicU64,
     /// Epochs published (including the initial convergence).
     pub epochs_published: AtomicU64,
+    /// Snapshots written via `POST /namespaces/<ns>/snapshot`.
+    pub snapshots_written: AtomicU64,
     /// Most recent apply-time rejection, if any.
     pub last_error: Mutex<Option<String>>,
 }
@@ -56,7 +73,7 @@ pub struct Namespace {
     pub cell: EpochCell,
     /// Serving counters.
     pub stats: NamespaceStats,
-    tx: Mutex<Option<SyncSender<Vec<GraphEdit>>>>,
+    tx: Mutex<Option<SyncSender<WriterCmd>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -98,21 +115,54 @@ impl Namespace {
 
     /// Enqueues an edit batch for the writer; non-blocking.
     pub fn enqueue(&self, edits: Vec<GraphEdit>) -> Result<(), EnqueueError> {
-        let guard = lock(&self.tx);
-        let Some(tx) = guard.as_ref() else {
-            return Err(EnqueueError::ShuttingDown);
-        };
-        match tx.try_send(edits) {
+        match self.send(WriterCmd::Edits(edits)) {
             Ok(()) => {
                 self.stats.batches_accepted.fetch_add(1, Ordering::SeqCst);
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => {
-                self.stats
-                    .batches_rejected_full
-                    .fetch_add(1, Ordering::SeqCst);
-                Err(EnqueueError::Full)
+            Err(e) => {
+                if e == EnqueueError::Full {
+                    self.stats
+                        .batches_rejected_full
+                        .fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e)
             }
+        }
+    }
+
+    /// Asks the writer to snapshot the session to `path` and waits for
+    /// the result: the written byte count, or the engine's error
+    /// string. The request rides the edit queue, so the snapshot
+    /// captures exactly the state after every previously enqueued batch
+    /// — and the same backpressure applies ([`EnqueueError::Full`] when
+    /// the queue is at capacity).
+    pub fn snapshot_to(
+        &self,
+        path: std::path::PathBuf,
+    ) -> Result<Result<u64, String>, EnqueueError> {
+        let (done, rx) = sync_channel(1);
+        self.send(WriterCmd::Snapshot { path, done })?;
+        match rx.recv() {
+            Ok(result) => {
+                if result.is_ok() {
+                    self.stats.snapshots_written.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(result)
+            }
+            // Writer gone without replying — shutdown raced the request.
+            Err(_) => Err(EnqueueError::ShuttingDown),
+        }
+    }
+
+    fn send(&self, cmd: WriterCmd) -> Result<(), EnqueueError> {
+        let guard = lock(&self.tx);
+        let Some(tx) = guard.as_ref() else {
+            return Err(EnqueueError::ShuttingDown);
+        };
+        match tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(EnqueueError::Full),
             Err(TrySendError::Disconnected(_)) => Err(EnqueueError::ShuttingDown),
         }
     }
@@ -148,7 +198,7 @@ impl std::fmt::Debug for Namespace {
 fn writer_loop(
     ns: std::sync::Arc<Namespace>,
     mut engine: FsimEngine<'static>,
-    rx: Receiver<Vec<GraphEdit>>,
+    rx: Receiver<WriterCmd>,
     throttle: Duration,
 ) {
     let mut epoch_id = 1u64;
@@ -162,12 +212,24 @@ fn writer_loop(
         let mut window = vec![first];
         while window.len() < MAX_COALESCE {
             match rx.try_recv() {
-                Ok(batch) => window.push(batch),
+                Ok(cmd) => window.push(cmd),
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
         }
         let mut last_result = None;
-        for batch in window {
+        for cmd in window {
+            let batch = match cmd {
+                WriterCmd::Edits(batch) => batch,
+                WriterCmd::Snapshot { path, done } => {
+                    let result = engine
+                        .write_snapshot(&path)
+                        .map(|()| std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0))
+                        .map_err(|e| e.to_string());
+                    // The requester may have timed out and gone away.
+                    let _ = done.send(result);
+                    continue;
+                }
+            };
             match engine.apply_edits(&batch) {
                 Ok(result) => {
                     applied += 1;

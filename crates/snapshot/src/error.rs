@@ -1,0 +1,178 @@
+//! Structured snapshot failures. Every variant that concerns a
+//! particular section carries the section's name, so the corruption
+//! battery (and an operator reading a log line) can tell *where* a
+//! file went bad, not merely that it did.
+
+use std::fmt;
+
+/// Why a snapshot could not be written, opened, or decoded.
+///
+/// Decoding never panics and never allocates proportionally to an
+/// unvalidated on-disk length; any inconsistency surfaces as one of
+/// these variants instead.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What was being done (e.g. `"open"`, `"write-temp"`, `"rename"`).
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `FSNP` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The file ends before a structure it promises is complete.
+    Truncated {
+        /// Section (or `"header"` / `"section-table"`) cut short.
+        section: &'static str,
+        /// Bytes the structure needs.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A section's payload offset is not 8-byte aligned.
+    Misaligned {
+        /// The offending section.
+        section: &'static str,
+        /// The unaligned file offset.
+        offset: u64,
+    },
+    /// A section's stored FNV-1a checksum does not match its payload.
+    ChecksumMismatch {
+        /// The offending section.
+        section: &'static str,
+        /// Checksum recorded in the section table.
+        stored: u64,
+        /// Checksum recomputed from the payload bytes.
+        computed: u64,
+    },
+    /// A section the decoder requires is absent from the table.
+    MissingSection {
+        /// The absent section.
+        section: &'static str,
+    },
+    /// The section table names an id this build does not know.
+    /// New section ids require a format-version bump.
+    UnknownSection {
+        /// The unrecognized section id.
+        id: u32,
+    },
+    /// A deserialized length or count is larger than the bytes that
+    /// follow could possibly hold — rejected *before* any allocation.
+    LengthOverflow {
+        /// Section whose length field is bogus.
+        section: &'static str,
+        /// The claimed element count or byte length.
+        claimed: u64,
+        /// The maximum the surrounding bytes permit.
+        limit: u64,
+    },
+    /// A payload is internally inconsistent in some other way.
+    Malformed {
+        /// The offending section.
+        section: &'static str,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// The in-memory session contains state this format cannot carry
+    /// (e.g. a custom label-similarity closure).
+    Unsupported {
+        /// What cannot be serialized and why.
+        detail: String,
+    },
+}
+
+impl SnapshotError {
+    /// The section a decoding failure concerns, when there is one.
+    pub fn section(&self) -> Option<&'static str> {
+        match self {
+            SnapshotError::Truncated { section, .. }
+            | SnapshotError::Misaligned { section, .. }
+            | SnapshotError::ChecksumMismatch { section, .. }
+            | SnapshotError::MissingSection { section }
+            | SnapshotError::LengthOverflow { section, .. }
+            | SnapshotError::Malformed { section, .. } => Some(section),
+            _ => None,
+        }
+    }
+
+    /// Shorthand for an I/O failure during `op`.
+    pub fn io(op: &'static str, source: std::io::Error) -> Self {
+        SnapshotError::Io { op, source }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { op, source } => write!(f, "snapshot {op} failed: {source}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: magic {found:02x?} != b\"FSNP\"")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than supported version {supported}"
+            ),
+            SnapshotError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "section `{section}` truncated: needs {needed} bytes, {available} available"
+            ),
+            SnapshotError::Misaligned { section, offset } => write!(
+                f,
+                "section `{section}` payload offset {offset} is not 8-byte aligned"
+            ),
+            SnapshotError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section `{section}` checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "required section `{section}` is missing")
+            }
+            SnapshotError::UnknownSection { id } => write!(
+                f,
+                "unknown section id {id} — a new section requires a format-version bump"
+            ),
+            SnapshotError::LengthOverflow {
+                section,
+                claimed,
+                limit,
+            } => write!(
+                f,
+                "section `{section}` claims length {claimed} but at most {limit} fits the file"
+            ),
+            SnapshotError::Malformed { section, detail } => {
+                write!(f, "section `{section}` malformed: {detail}")
+            }
+            SnapshotError::Unsupported { detail } => {
+                write!(f, "session cannot be snapshotted: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Wire-level constants and the checksum shared by writer and reader.
+
+/// The four magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 4] = *b"FSNP";
+
+/// The highest container format version this build reads and the one
+/// it writes. Any layout change — new section id, reordered fields
+/// inside a payload, different encodings — must bump this (the golden
+/// fixture test in `tests/snapshot_roundtrip.rs` enforces it).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + section count + reserved.
+pub const HEADER_BYTES: usize = 16;
+
+/// Size of one section-table entry:
+/// `id u32 | reserved u32 | offset u64 | len u64 | checksum u64`.
+pub const TABLE_ENTRY_BYTES: usize = 32;
+
+/// Payload alignment. Section offsets are multiples of this so `u64`
+/// and `f64` columns can be reborrowed in place from an mmap.
+pub const SECTION_ALIGN: usize = 8;
+
+/// The per-section payload checksum: 64-bit FNV-1a folded a word at a
+/// time. Each round xors in eight little-endian payload bytes (the
+/// tail zero-padded) before the multiply, and a final round mixes in
+/// the byte length so a payload and its zero-extension never collide.
+/// Same basis/prime as `fsim-core`'s `score_hash`, chosen for a
+/// dependency-free, platform-stable digest (this is an integrity
+/// check against torn writes and bit rot, not a cryptographic seal).
+/// Folding by word instead of by byte keeps validation off the restore
+/// critical path: one multiply per eight bytes instead of per byte.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(PRIME)
+}
+
+/// Rounds `len` up to the next [`SECTION_ALIGN`] boundary.
+pub fn padded(len: usize) -> usize {
+    len.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_pins_its_value_and_separates_near_misses() {
+        // Pinned digests: the checksum is part of the on-disk format,
+        // so these values may only change with a FORMAT_VERSION bump.
+        assert_eq!(fnv1a(b""), 0xaf63_bd4c_8601_b7df);
+        assert_eq!(fnv1a(b"a"), 0x089b_e307_b544_f397);
+        assert_eq!(fnv1a(b"foobar"), 0xa1a0_7343_0586_a9ed);
+
+        // Every byte position matters, including within one word...
+        assert_ne!(fnv1a(b"foobar"), fnv1a(b"foobaz"));
+        assert_ne!(fnv1a(b"Xoobar"), fnv1a(b"foobar"));
+        // ...and the length round separates a payload from its
+        // zero-extension (the word fold alone would conflate them).
+        assert_ne!(fnv1a(b"foobar"), fnv1a(b"foobar\0"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+        assert_ne!(fnv1a(&[0u8; 8]), fnv1a(&[0u8; 16]));
+    }
+
+    #[test]
+    fn padding_rounds_up() {
+        assert_eq!(padded(0), 0);
+        assert_eq!(padded(1), 8);
+        assert_eq!(padded(8), 8);
+        assert_eq!(padded(9), 16);
+    }
+}

@@ -1,0 +1,56 @@
+//! # fsim-snapshot — the `FSNP` persistent-session container format.
+//!
+//! A versioned, checksummed, section-based binary container used by
+//! `fsim-core` to persist whole similarity sessions (and by the shard
+//! scheduler to spill per-shard CSRs between sweeps). The crate is
+//! deliberately *generic*: it knows about sections, checksums,
+//! alignment, and atomic replacement — never about graphs or scores.
+//! Payload layouts live with their owners in `fsim-core`.
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset 0   magic           4 bytes  b"FSNP"
+//! offset 4   format version  u32 LE
+//! offset 8   section count   u32 LE
+//! offset 12  reserved        u32 LE (zero)
+//! offset 16  section table   count × 32-byte entries
+//!            id u32 | reserved u32 | offset u64 | len u64 | fnv1a u64
+//! ...        payloads        each at an 8-byte-aligned offset,
+//!                            zero-padded up to the next section
+//! ```
+//!
+//! All integers are little-endian. Section payload offsets are 8-byte
+//! aligned so `u64`/`f64` columns can be reborrowed straight out of an
+//! mmap'd buffer (the page-aligned map base preserves the alignment).
+//!
+//! ## Safety posture
+//!
+//! Every field read out of a snapshot is attacker-controlled until
+//! proven otherwise: [`Cursor`] bounds-checks every take, and
+//! [`Cursor::checked_len`] refuses element counts that could not fit
+//! in the bytes that actually follow, so a flipped length bit can
+//! never drive an OOM-sized `Vec::with_capacity`. The companion
+//! `fsim-lint` rule `snapshot-unchecked-len` enforces that convention
+//! over this crate's sources.
+//!
+//! ## Atomicity
+//!
+//! [`SnapshotBuilder::write_atomic`] stages the full byte image in a
+//! sibling `*.tmp` file and `rename(2)`s it over the destination, so
+//! a crash mid-write leaves either the old snapshot or a `*.tmp`
+//! stub that directory scans ignore — never a half-written `.fsnp`.
+
+#![warn(missing_docs)]
+
+pub mod cursor;
+pub mod error;
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use cursor::Cursor;
+pub use error::SnapshotError;
+pub use format::{fnv1a, FORMAT_VERSION, MAGIC};
+pub use reader::{SectionMeta, SnapshotFile};
+pub use writer::SnapshotBuilder;

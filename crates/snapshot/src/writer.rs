@@ -1,0 +1,204 @@
+//! Building and atomically publishing snapshot files.
+
+use crate::error::SnapshotError;
+use crate::format::{fnv1a, padded, FORMAT_VERSION, HEADER_BYTES, MAGIC, TABLE_ENTRY_BYTES};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Appends a `u8` to a payload buffer.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a little-endian `u32` to a payload buffer.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64` to a payload buffer.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as a little-endian `u64`.
+pub fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+/// Appends an `f64` as its little-endian IEEE-754 bit pattern —
+/// bitwise round-trips NaN payloads and signed zeros.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends an `f32` as its little-endian IEEE-754 bit pattern.
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string (`u64` count + bytes).
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_usize(buf, bytes.len());
+    buf.extend_from_slice(bytes);
+}
+
+/// Accumulates named sections and serializes them into one snapshot
+/// image. Section ids must be unique; order of [`SnapshotBuilder::section`]
+/// calls is the on-disk order, making output byte-deterministic.
+#[derive(Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts (or reopens) the payload buffer for section `id` and
+    /// returns it for appending. Reopening an id appends to the same
+    /// section rather than creating a duplicate table entry.
+    pub fn section(&mut self, id: u32) -> &mut Vec<u8> {
+        if let Some(at) = self.sections.iter().position(|(sid, _)| *sid == id) {
+            return &mut self.sections[at].1;
+        }
+        self.sections.push((id, Vec::new()));
+        &mut self.sections.last_mut().expect("just pushed").1
+    }
+
+    /// Serializes header + section table + padded payloads into the
+    /// final byte image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = HEADER_BYTES + self.sections.len() * TABLE_ENTRY_BYTES;
+        let mut offset = padded(table_end);
+        let mut total = offset;
+        for (_, payload) in &self.sections {
+            total += padded(payload.len());
+        }
+        // lint:allow(snapshot-unchecked-len): capacity derives from in-memory section buffers, not deserialized input
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&(offset as u64).to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+            offset += padded(payload.len());
+        }
+        out.resize(padded(table_end), 0);
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+            out.resize(padded(out.len()), 0);
+        }
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Writes the snapshot to `path` atomically: the full image goes
+    /// to a sibling `<name>.tmp` first and is `rename`d over `path`
+    /// only once completely written, so readers only ever observe the
+    /// old snapshot or the new one — never a torn file.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.write_atomic_impl(path, None)
+    }
+
+    /// Test hook for the crash-consistency battery: behaves like
+    /// [`SnapshotBuilder::write_atomic`] but the process "dies" after
+    /// `byte_limit` bytes of the temp file — the partial `.tmp` stub
+    /// is left behind, the rename never happens, and an error is
+    /// returned. `path` (the old snapshot, if any) is untouched.
+    pub fn write_atomic_failing_after(
+        &self,
+        path: &Path,
+        byte_limit: usize,
+    ) -> Result<(), SnapshotError> {
+        self.write_atomic_impl(path, Some(byte_limit))
+    }
+
+    fn write_atomic_impl(
+        &self,
+        path: &Path,
+        fail_after: Option<usize>,
+    ) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes();
+        let tmp = temp_path(path);
+        let mut file =
+            std::fs::File::create(&tmp).map_err(|e| SnapshotError::io("create-temp", e))?;
+        let write_len = fail_after.map_or(bytes.len(), |n| n.min(bytes.len()));
+        file.write_all(&bytes[..write_len])
+            .map_err(|e| SnapshotError::io("write-temp", e))?;
+        if fail_after.is_some() {
+            // Simulated crash: leave the stub, skip flush and rename.
+            drop(file);
+            return Err(SnapshotError::Io {
+                op: "write-temp",
+                source: std::io::Error::other("simulated crash during snapshot write"),
+            });
+        }
+        file.sync_all()
+            .map_err(|e| SnapshotError::io("sync-temp", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| SnapshotError::io("rename", e))?;
+        Ok(())
+    }
+}
+
+/// The staging path for an atomic write: `<file_name>.tmp` in the
+/// same directory (same filesystem, so `rename` is atomic). The
+/// `.tmp` suffix is what `--snapshot-dir` scans key on to skip
+/// in-flight or crashed writes.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::SECTION_ALIGN;
+
+    #[test]
+    fn sections_are_aligned_and_checksummed() {
+        let mut b = SnapshotBuilder::new();
+        put_bytes(b.section(1), b"hello");
+        put_u64(b.section(2), 42);
+        let bytes = b.to_bytes();
+        assert_eq!(&bytes[..4], b"FSNP");
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        assert_eq!(count, 2);
+        for s in 0..count as usize {
+            let at = HEADER_BYTES + s * TABLE_ENTRY_BYTES;
+            let off = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
+            let sum = u64::from_le_bytes(bytes[at + 24..at + 32].try_into().unwrap());
+            assert_eq!(off % SECTION_ALIGN, 0);
+            assert_eq!(sum, fnv1a(&bytes[off..off + len]));
+        }
+    }
+
+    #[test]
+    fn reopening_a_section_appends() {
+        let mut b = SnapshotBuilder::new();
+        put_u32(b.section(7), 1);
+        put_u32(b.section(7), 2);
+        assert_eq!(b.sections.len(), 1);
+        assert_eq!(b.sections[0].1.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut b = SnapshotBuilder::new();
+            put_bytes(b.section(3), b"abc");
+            put_f64(b.section(9), 0.25);
+            b.to_bytes()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -12,6 +12,7 @@
 //! fsim exact <g1> <g2> [--variant s|dp|b|bj] [--pair U,V]...
 //! fsim topk <graph> [-k K] [--variant s|dp|b|bj]
 //! fsim align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]
+//! fsim snapshot <g1> <g2> -o session.fsnp [config flags]
 //! ```
 //!
 //! Graphs are read in the text edge-list format of `fsim_graph::io`
@@ -19,6 +20,13 @@
 //! hold one edit per line — `add SIDE SRC DST`, `del SIDE SRC DST`,
 //! `relabel SIDE NODE LABEL` (SIDE is `1` or `2`), with `flush` applying
 //! the batch accumulated so far; a trailing batch is flushed implicitly.
+//!
+//! Sessions persist: `fsim snapshot` runs to convergence and writes an
+//! `FSNP` snapshot; `score` and `update` accept `--from-snapshot FILE`
+//! in place of graph paths to restore it (bitwise-equivalent to the
+//! original session) and `--save-snapshot FILE` to persist their final
+//! state. `--spill-dir DIR` lets sharded runs cache per-shard CSRs on
+//! disk between sweeps.
 
 use fsim::core::{top_k_search, ConvergenceMode, FsimConfig, ShardSpec, Variant};
 use fsim::prelude::*;
@@ -39,6 +47,7 @@ fn main() {
         "exact" => cmd_exact(rest),
         "topk" => cmd_topk(rest),
         "align" => cmd_align(rest),
+        "snapshot" => cmd_snapshot(rest),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -61,7 +70,9 @@ fn usage() {
          update <g1> [g2] --script FILE [--variant V] [--theta T] [--threads N] [--convergence MODE] [--tolerance T] [--shards N|auto|off] [--verify] [--top K]\n  \
          exact <g1> <g2> [--variant V] [--pair U,V]...\n  \
          topk <graph> [-k K] [--variant V]\n  \
-         align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]"
+         align <g1> <g2> [--method fsim|kbisim|olap|gsa|final]\n  \
+         snapshot <g1> <g2> -o FILE [config flags]           run to convergence and persist the session\n\
+         score/update also accept --from-snapshot FILE, --save-snapshot FILE and --spill-dir DIR"
     );
 }
 
@@ -190,8 +201,85 @@ fn build_config(a: &Args<'_>) -> Result<FsimConfig, String> {
             ),
         };
     }
+    if let Some(dir) = a.flag("spill-dir") {
+        cfg.spill_dir = Some(dir.into());
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
+}
+
+/// Restores an engine from `--from-snapshot`, or builds and runs one on
+/// the two positional graph paths. Either way the caller gets an owned,
+/// converged session plus its effective configuration.
+fn obtain_session(
+    a: &Args<'_>,
+    usage: &str,
+) -> Result<(fsim::core::FsimEngine<'static>, FsimConfig), String> {
+    if let Some(path) = a.flag("from-snapshot") {
+        if !a.positional.is_empty() {
+            return Err("--from-snapshot replaces the graph paths".into());
+        }
+        let t0 = Instant::now();
+        let engine = fsim::core::FsimEngine::restore(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "restored session from {path} in {:.1} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        let cfg = engine.config().clone();
+        Ok((engine, cfg))
+    } else {
+        let [p1, p2] = a.positional[..] else {
+            return Err(usage.into());
+        };
+        let (g1, g2) = load_graph_pair(p1, p2)?;
+        let cfg = build_config(a)?;
+        let mut engine =
+            fsim::core::FsimEngine::new_owned(g1, g2, &cfg).map_err(|e| e.to_string())?;
+        engine.run();
+        Ok((engine, cfg))
+    }
+}
+
+/// Honors `--save-snapshot FILE` against the session's final state.
+fn save_snapshot(a: &Args<'_>, engine: &fsim::core::FsimEngine<'_>) -> Result<(), String> {
+    if let Some(path) = a.flag("save-snapshot") {
+        let path = std::path::Path::new(path);
+        engine
+            .write_snapshot(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        eprintln!("saved snapshot to {} ({bytes} bytes)", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let a = Args::parse(args);
+    let out = a
+        .flag("o")
+        .or_else(|| a.flag("out"))
+        .ok_or("usage: fsim snapshot <g1> <g2> -o FILE [config flags]")?;
+    let [p1, p2] = a.positional[..] else {
+        return Err("usage: fsim snapshot <g1> <g2> -o FILE [config flags]".into());
+    };
+    let (g1, g2) = load_graph_pair(p1, p2)?;
+    let cfg = build_config(&a)?;
+    let t0 = Instant::now();
+    let mut engine = fsim::core::FsimEngine::new_owned(g1, g2, &cfg).map_err(|e| e.to_string())?;
+    engine.run();
+    let run_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let path = std::path::Path::new(out);
+    engine
+        .write_snapshot(path)
+        .map_err(|e| format!("{out}: {e}"))?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "computed {} pairs in {} iterations ({run_ms:.1} ms); snapshot: {out} ({bytes} bytes)",
+        engine.pair_count(),
+        engine.iterations(),
+    );
+    Ok(())
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -231,15 +319,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_score(args: &[String]) -> Result<(), String> {
     let a = Args::parse(args);
-    let [p1, p2] = a.positional[..] else {
-        return Err("usage: fsim score <g1> <g2> [flags]".into());
-    };
-    let (g1, g2) = load_graph_pair(p1, p2)?;
-    let cfg = build_config(&a)?;
     // A session: --pair queries against pruned pairs reuse the cached
     // label alignment instead of rebuilding it per pair.
-    let mut engine = fsim::core::FsimEngine::new(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
-    engine.run();
+    let (engine, cfg) = obtain_session(&a, "usage: fsim score <g1> <g2> [flags]")?;
     eprintln!(
         "computed {} pairs in {} iterations (converged: {}, {}: {} evaluations)",
         engine.pair_count(),
@@ -268,15 +350,16 @@ fn cmd_score(args: &[String]) -> Result<(), String> {
             engine.error_bound()
         );
     }
+    save_snapshot(&a, &engine)?;
     let pairs = a.flags_all("pair");
     if !pairs.is_empty() {
+        let (g1, g2) = engine.graphs();
+        let (n1, n2) = (g1.node_count(), g2.node_count());
         for p in pairs {
             let (u, v) = parse_pair(p)?;
-            if u as usize >= g1.node_count() || v as usize >= g2.node_count() {
+            if u as usize >= n1 || v as usize >= n2 {
                 return Err(format!(
-                    "pair ({u},{v}) out of range: graphs have {} and {} nodes",
-                    g1.node_count(),
-                    g2.node_count()
+                    "pair ({u},{v}) out of range: graphs have {n1} and {n2} nodes"
                 ));
             }
             println!("FSim{}({u},{v}) = {:.6}", cfg.variant, engine.score(u, v));
@@ -356,42 +439,63 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     let a = Args::parse(args);
     let script_path = a.flag("script").ok_or("--script FILE is required")?;
     let script = std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?;
-    let (g1, g2, mirror) = match a.positional[..] {
-        [p] => {
-            let g = load_graph(p)?;
-            (g.clone(), g, true)
-        }
-        [p1, p2] => {
-            let (g1, g2) = load_graph_pair(p1, p2)?;
-            (g1, g2, false)
-        }
-        _ => return Err("usage: fsim update <g1> [g2] --script FILE [flags]".into()),
-    };
-    let cfg = build_config(&a)?;
     let verify = a.flags.iter().any(|(n, _)| *n == "verify");
 
-    let t0 = Instant::now();
-    let mut engine = fsim::core::FsimEngine::new(&g1, &g2, &cfg).map_err(|e| e.to_string())?;
-    engine.run();
-    eprintln!(
-        "cold start: {} pairs, {} iterations, {} evaluations, {:.1} ms{}",
-        engine.pair_count(),
-        engine.iterations(),
-        engine.pairs_evaluated().iter().sum::<usize>(),
-        t0.elapsed().as_secs_f64() * 1e3,
-        if engine.can_replay_edits() {
-            ""
-        } else if engine
-            .config()
-            .convergence
-            .approximate_tolerance()
-            .is_some()
-        {
-            " (approximate: edits warm-restart from carried error bounds)"
-        } else {
-            " (no trajectory: edits will re-iterate cold)"
-        },
-    );
+    let (mut engine, mirror) = if let Some(path) = a.flag("from-snapshot") {
+        if !a.positional.is_empty() {
+            return Err("--from-snapshot replaces the graph paths".into());
+        }
+        let t0 = Instant::now();
+        let engine = fsim::core::FsimEngine::restore(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "restored session from {path} in {:.1} ms ({} pairs, {} iterations carried)",
+            t0.elapsed().as_secs_f64() * 1e3,
+            engine.pair_count(),
+            engine.iterations(),
+        );
+        // A snapshot holds two (possibly identical) graphs; --mirror
+        // opts into applying each edit to both sides.
+        let mirror = a.flags.iter().any(|(n, _)| *n == "mirror");
+        (engine, mirror)
+    } else {
+        let (g1, g2, mirror) = match a.positional[..] {
+            [p] => {
+                let g = load_graph(p)?;
+                (g.clone(), g, true)
+            }
+            [p1, p2] => {
+                let (g1, g2) = load_graph_pair(p1, p2)?;
+                (g1, g2, false)
+            }
+            _ => return Err("usage: fsim update <g1> [g2] --script FILE [flags]".into()),
+        };
+        let cfg = build_config(&a)?;
+        let t0 = Instant::now();
+        let mut engine =
+            fsim::core::FsimEngine::new_owned(g1, g2, &cfg).map_err(|e| e.to_string())?;
+        engine.run();
+        eprintln!(
+            "cold start: {} pairs, {} iterations, {} evaluations, {:.1} ms{}",
+            engine.pair_count(),
+            engine.iterations(),
+            engine.pairs_evaluated().iter().sum::<usize>(),
+            t0.elapsed().as_secs_f64() * 1e3,
+            if engine.can_replay_edits() {
+                ""
+            } else if engine
+                .config()
+                .convergence
+                .approximate_tolerance()
+                .is_some()
+            {
+                " (approximate: edits warm-restart from carried error bounds)"
+            } else {
+                " (no trajectory: edits will re-iterate cold)"
+            },
+        );
+        (engine, mirror)
+    };
     if engine.shard_count() > 0 {
         eprintln!(
             "sharded: {} u-row shards, peak resident CSR {} bytes",
@@ -482,6 +586,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
         }
     }
     flush(&mut batch, &mut engine)?;
+    save_snapshot(&a, &engine)?;
 
     if let Some(k) = a.flag("top") {
         let k: usize = k.parse().map_err(|_| "bad --top")?;

@@ -5,7 +5,7 @@
 //!        [--variant s|dp|b|bj] [--theta T] [--threads N]
 //!        [--convergence auto|sweep|delta|approx] [--tolerance T]
 //!        [--shards N|auto|off]]
-//!       [--queue-capacity N] [--max-body-bytes N]
+//!       [--queue-capacity N] [--max-body-bytes N] [--snapshot-dir DIR]
 //! ```
 //!
 //! Binds `--listen` (default `127.0.0.1:7878`; port `0` picks an
@@ -15,6 +15,12 @@
 //! reading `quit`), at which point it drains every edit queue and joins
 //! every thread before exiting. Further namespaces can be created at
 //! runtime with `POST /namespaces`.
+//!
+//! With `--snapshot-dir DIR`, every `*.fsnp` session snapshot in `DIR`
+//! is restored at startup as a namespace named by its file stem (no
+//! re-convergence — the saved fixpoint is served as-is), and
+//! `POST /namespaces/<ns>/snapshot` writes `DIR/<ns>.fsnp` when the
+//! request body does not name an explicit path.
 //!
 //! The HTTP API (all responses JSON; namespaced reads carry
 //! `X-Fsim-Epoch`, `X-Fsim-Error-Bound` and `X-Fsim-Score-Hash`
@@ -29,6 +35,7 @@
 //! GET  /dump?ns=NAME
 //! GET  /stats?ns=NAME
 //! POST /edits?ns=NAME   {"edits": [{"op", "side", "src", "dst"}, ...]}
+//! POST /namespaces/NAME/snapshot   [{"path": "..."}]
 //! ```
 
 use fsim::core::{ConvergenceMode, FsimConfig, FsimEngine, ShardSpec, Variant};
@@ -55,6 +62,7 @@ fn usage() {
         "fsimd — epoch-swapped similarity-serving daemon\n\
          usage:\n  \
          fsimd [--listen ADDR] [--queue-capacity N] [--max-body-bytes N]\n        \
+         [--snapshot-dir DIR]\n        \
          [--ns NAME --g1 FILE --g2 FILE [--variant s|dp|b|bj] [--theta T]\n         \
          [--threads N] [--convergence auto|sweep|delta|approx] [--tolerance T]\n         \
          [--shards N|auto|off]]\n\
@@ -80,8 +88,31 @@ fn run(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --max-body-bytes {n:?}"))?;
     }
+    if let Some(dir) = a.flag("snapshot-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--snapshot-dir {dir}: {e}"))?;
+        cfg.snapshot_dir = Some(dir.into());
+    }
 
     let mut daemon = Daemon::bind(listen, cfg).map_err(|e| format!("bind {listen}: {e}"))?;
+
+    if let Some(dir) = a.flag("snapshot-dir") {
+        let (loaded, skipped) = daemon
+            .preload_snapshots(std::path::Path::new(dir))
+            .map_err(|e| format!("--snapshot-dir {dir}: {e}"))?;
+        for name in &loaded {
+            if let Some(ns) = daemon.namespace(name) {
+                let epoch = ns.cell.load();
+                eprintln!(
+                    "namespace {name:?}: restored from snapshot ({} pairs, {} iterations)",
+                    epoch.snapshot.pair_count(),
+                    epoch.snapshot.iterations()
+                );
+            }
+        }
+        for (file, reason) in &skipped {
+            eprintln!("warning: skipped snapshot {file:?}: {reason}");
+        }
+    }
 
     if let Some(name) = a.flag("ns") {
         let (Some(p1), Some(p2)) = (a.flag("g1"), a.flag("g2")) else {

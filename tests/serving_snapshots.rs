@@ -1,0 +1,259 @@
+//! Snapshots over HTTP: `POST /namespaces/<ns>/snapshot` must persist
+//! exactly the served state (including previously applied edits), a
+//! snapshot-dir preload must restore it bit-for-bit on a fresh daemon,
+//! and every abuse of the route must be a structured error — never a
+//! panic, never a wedged writer.
+
+use fsim::prelude::*;
+use fsim::serve::client::HttpClient;
+use fsim::serve::json::Json;
+use fsim::serve::{Daemon, ServerConfig};
+use fsim_core::FsimEngine;
+use std::path::PathBuf;
+
+fn small_engine() -> FsimEngine<'static> {
+    let g = fsim_graph::graph_from_parts(&["a", "b", "a"], &[(0, 1), (1, 2)]);
+    let cfg = FsimConfig::new(Variant::Simple).label_fn(LabelFn::Indicator);
+    FsimEngine::new_owned(g.clone(), g, &cfg).expect("valid config")
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsim-serve-snap-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn assert_error(resp: &fsim::serve::client::HttpResponse, status: u16, kind: &str) {
+    assert_eq!(resp.status, status, "body: {}", resp.text());
+    let doc = Json::parse(&resp.text()).expect("error body is JSON");
+    assert_eq!(
+        doc.get("error").and_then(Json::as_str),
+        Some(kind),
+        "body: {}",
+        resp.text()
+    );
+}
+
+/// Polls `/stats` until the writer has applied `n` batches.
+fn wait_for_applied(c: &mut HttpClient, ns: &str, n: u64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let resp = c.get(&format!("/stats?ns={ns}")).expect("poll stats");
+        let doc = Json::parse(&resp.text()).expect("stats json");
+        if doc.get("batches_applied").and_then(Json::as_u64) == Some(n) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "writer never applied {n} batches: {}",
+            resp.text()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// The full `/dump` body is the strongest equality witness the API
+/// offers: every maintained pair with its `json_f64`-exact score, plus
+/// convergence diagnostics.
+fn dump_pairs(c: &mut HttpClient, ns: &str) -> String {
+    let resp = c.get(&format!("/dump?ns={ns}")).expect("dump");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = Json::parse(&resp.text()).expect("dump json");
+    // Strip the epoch counter (fresh daemons restart at 1) but keep
+    // everything state-bearing.
+    format!(
+        "{:?}|{:?}|{:?}",
+        doc.get("pairs"),
+        doc.get("error_bound"),
+        doc.get("iterations")
+    )
+}
+
+#[test]
+fn snapshot_route_persists_edits_and_preload_restores_bitwise() {
+    let dir = scratch("roundtrip");
+    let served_dump;
+    let score_hash;
+    {
+        let mut daemon = Daemon::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                snapshot_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        daemon.add_namespace("g", small_engine());
+        let mut c = HttpClient::connect(daemon.addr()).expect("connect");
+
+        // Mutate the served session first, so the snapshot provably
+        // captures post-edit state, not the initial convergence.
+        let body =
+            "{\"edits\": [{\"op\": \"add_edge\", \"side\": \"right\", \"src\": 2, \"dst\": 0}]}";
+        assert_eq!(c.post("/edits?ns=g", body).expect("send").status, 202);
+        wait_for_applied(&mut c, "g", 1);
+
+        // Empty body → implicit target <snapshot_dir>/g.fsnp.
+        let resp = c.post("/namespaces/g/snapshot", "").expect("snapshot");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let doc = Json::parse(&resp.text()).expect("snapshot json");
+        let bytes = doc.get("bytes").and_then(Json::as_u64).expect("bytes");
+        let path = PathBuf::from(doc.get("path").and_then(Json::as_str).expect("path"));
+        assert_eq!(path, dir.join("g.fsnp"));
+        assert_eq!(
+            std::fs::metadata(&path)
+                .expect("snapshot file exists")
+                .len(),
+            bytes,
+            "reported byte count must match the file"
+        );
+
+        served_dump = dump_pairs(&mut c, "g");
+        let score = c.get("/score?ns=g&u=0&v=0").expect("score");
+        score_hash = Json::parse(&score.text())
+            .expect("score json")
+            .get("score_hash")
+            .and_then(Json::as_str)
+            .expect("score_hash")
+            .to_string();
+        daemon.shutdown();
+    }
+
+    // A brand-new daemon preloads the directory and serves the same
+    // fixpoint without re-converging.
+    let mut daemon = Daemon::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let (loaded, skipped) = daemon.preload_snapshots(&dir).expect("preload");
+    assert_eq!(loaded, vec!["g".to_string()]);
+    assert!(skipped.is_empty(), "unexpected skips: {skipped:?}");
+    let mut c = HttpClient::connect(daemon.addr()).expect("connect");
+    assert_eq!(dump_pairs(&mut c, "g"), served_dump);
+    let score = c.get("/score?ns=g&u=0&v=0").expect("score");
+    let restored_hash = Json::parse(&score.text())
+        .expect("score json")
+        .get("score_hash")
+        .and_then(Json::as_str)
+        .expect("score_hash")
+        .to_string();
+    assert_eq!(restored_hash, score_hash, "restored scores must be bitwise");
+
+    // The restored namespace is live, not a read-only husk: edits still
+    // apply and publish fresh epochs.
+    let undo =
+        "{\"edits\": [{\"op\": \"remove_edge\", \"side\": \"right\", \"src\": 2, \"dst\": 0}]}";
+    assert_eq!(c.post("/edits?ns=g", undo).expect("send").status, 202);
+    wait_for_applied(&mut c, "g", 1);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_route_abuse_is_structured_and_nonfatal() {
+    let dir = scratch("abuse");
+    // No snapshot_dir configured: implicit targets must 400, explicit
+    // paths must still work.
+    let mut daemon = Daemon::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    daemon.add_namespace("g", small_engine());
+    let mut c = HttpClient::connect(daemon.addr()).expect("connect");
+
+    assert_error(
+        &c.post("/namespaces/nope/snapshot", "").expect("send"),
+        404,
+        "unknown_namespace",
+    );
+    assert_error(
+        &c.get("/namespaces/g/snapshot").expect("send"),
+        405,
+        "method_not_allowed",
+    );
+    assert_error(
+        &c.post("/namespaces/g/snapshot", "").expect("send"),
+        400,
+        "no_snapshot_target",
+    );
+    assert_error(
+        &c.post("/namespaces/g/snapshot", "not json").expect("send"),
+        400,
+        "bad_request",
+    );
+    assert_error(
+        &c.post("/namespaces/g/snapshot", "{\"path\": 7}")
+            .expect("send"),
+        400,
+        "bad_request",
+    );
+    assert_error(
+        &c.post("/namespaces/g/snapshot", "{\"path\": \"\"}")
+            .expect("send"),
+        400,
+        "bad_request",
+    );
+    // Path traversal in the namespace segment must not resolve.
+    assert_error(
+        &c.post("/namespaces/../snapshot", "").expect("send"),
+        404,
+        "not_found",
+    );
+
+    // An explicit body path works without a configured directory.
+    let target = dir.join("explicit.fsnp");
+    let body = format!("{{\"path\": \"{}\"}}", target.display());
+    let resp = c.post("/namespaces/g/snapshot", &body).expect("send");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(target.is_file());
+
+    // An unwritable target is the writer's error, surfaced as a 500 —
+    // the writer thread itself must keep serving edits afterwards.
+    let bad = format!(
+        "{{\"path\": \"{}\"}}",
+        dir.join("no-such-subdir").join("x.fsnp").display()
+    );
+    assert_error(
+        &c.post("/namespaces/g/snapshot", &bad).expect("send"),
+        500,
+        "snapshot_failed",
+    );
+    let edit = "{\"edits\": [{\"op\": \"add_edge\", \"side\": \"right\", \"src\": 2, \"dst\": 0}]}";
+    assert_eq!(c.post("/edits?ns=g", edit).expect("send").status, 202);
+    wait_for_applied(&mut c, "g", 1);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn preload_reports_corrupt_files_and_never_clobbers_live_namespaces() {
+    let dir = scratch("preload");
+    let mut good = small_engine();
+    good.run();
+    good.write_snapshot(&dir.join("good.fsnp")).expect("write");
+
+    // A corrupt sibling: valid header prefix, truncated payload.
+    let bytes = std::fs::read(dir.join("good.fsnp")).expect("read back");
+    std::fs::write(dir.join("torn.fsnp"), &bytes[..bytes.len() / 2]).expect("write torn");
+    // Scan noise that must be ignored outright, not reported.
+    std::fs::write(dir.join("good.fsnp.tmp"), b"partial").expect("write tmp");
+    std::fs::write(dir.join("README.txt"), b"not a snapshot").expect("write txt");
+
+    let mut daemon = Daemon::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    // Claim "good" before the preload: the live namespace must win.
+    daemon.add_namespace("good", small_engine());
+    let (loaded, skipped) = daemon.preload_snapshots(&dir).expect("preload");
+    assert!(loaded.is_empty(), "loaded: {loaded:?}");
+    let mut names: Vec<&str> = skipped.iter().map(|(f, _)| f.as_str()).collect();
+    names.sort_unstable();
+    assert_eq!(names, ["good.fsnp", "torn.fsnp"]);
+    daemon.shutdown();
+
+    // Without the conflict, the good snapshot loads and the torn one is
+    // still reported rather than panicking the scan.
+    let mut daemon = Daemon::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let (loaded, skipped) = daemon.preload_snapshots(&dir).expect("preload");
+    assert_eq!(loaded, vec!["good".to_string()]);
+    assert_eq!(skipped.len(), 1, "skipped: {skipped:?}");
+    assert_eq!(skipped[0].0, "torn.fsnp");
+    let mut c = HttpClient::connect(daemon.addr()).expect("connect");
+    assert_eq!(c.get("/score?ns=good&u=0&v=0").expect("send").status, 200);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
